@@ -1,0 +1,194 @@
+//! The §5.2 adapter: a small task-oriented interface over the descriptor
+//! document.
+//!
+//! "Converting all of the Castor methods to WSDL can be done but the
+//! resulting interface is extremely complicated… Instead we are building
+//! an adapter class that encapsulates several Castor-generated get and
+//! set calls into a smaller interface definition for common tasks."
+//!
+//! [`DescriptorAdapter`] wraps the raw descriptor *document* (the
+//! Castor-bean analogue) and exposes the handful of operations prototype
+//! UI pages actually needed — each one internally a sequence of
+//! element-tree gets and sets.
+
+use portalws_xml::Element;
+
+use crate::descriptor::ApplicationDescriptor;
+use crate::instance::ApplicationInstance;
+use crate::{AppError, Result};
+
+/// Task-oriented adapter over an application descriptor document.
+pub struct DescriptorAdapter {
+    doc: Element,
+}
+
+impl DescriptorAdapter {
+    /// Wrap a descriptor document (validating its shape).
+    pub fn new(doc: Element) -> Result<DescriptorAdapter> {
+        // Parsing proves the shape; the adapter keeps the document form
+        // because that is what is downloaded from the service.
+        ApplicationDescriptor::from_element(&doc)?;
+        Ok(DescriptorAdapter { doc })
+    }
+
+    /// The underlying document.
+    pub fn document(&self) -> &Element {
+        &self.doc
+    }
+
+    /// Task: the application's display name and version.
+    pub fn title(&self) -> String {
+        let d = self.model();
+        format!("{} {}", d.name, d.version)
+    }
+
+    fn model(&self) -> ApplicationDescriptor {
+        ApplicationDescriptor::from_element(&self.doc).expect("validated at construction")
+    }
+
+    /// Task: the host/queue pairs a user can choose between.
+    pub fn execution_choices(&self) -> Vec<(String, String, String)> {
+        self.model()
+            .hosts
+            .iter()
+            .flat_map(|h| {
+                h.queues
+                    .iter()
+                    .map(|q| (h.dns.clone(), q.scheduler.clone(), q.queue.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Task: which input fields the UI must collect files for.
+    pub fn input_fields(&self) -> Vec<String> {
+        self.model()
+            .io_fields
+            .iter()
+            .filter(|f| f.direction == "input")
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// Task: the core services that must be discoverable before this
+    /// application can be offered.
+    pub fn required_services(&self) -> Vec<String> {
+        self.model()
+            .services
+            .iter()
+            .map(|s| s.service.clone())
+            .collect()
+    }
+
+    /// Task: add (or replace) a host-specific environment parameter —
+    /// what a deployer edits when adapting the descriptor to a site.
+    pub fn set_host_parameter(&mut self, dns: &str, key: &str, value: &str) -> Result<()> {
+        let host = self
+            .doc
+            .children_mut()
+            .find(|h| h.local_name() == "host" && h.attr("dns") == Some(dns))
+            .ok_or_else(|| AppError::NoSuchBinding(format!("host {dns:?}")))?;
+        // Replace an existing parameter of the same name.
+        if let Some(p) = host
+            .children_mut()
+            .find(|p| p.local_name() == "parameter" && p.attr("name") == Some(key))
+        {
+            p.take_children();
+            p.push_node(portalws_xml::Node::Text(value.to_owned()));
+            return Ok(());
+        }
+        host.push_child(
+            Element::new("parameter")
+                .with_attr("name", key)
+                .with_text(value),
+        );
+        Ok(())
+    }
+
+    /// Task: prepare an instance directly from the document (the common
+    /// "fill out HTML forms to create an application instance" flow).
+    pub fn prepare(
+        &self,
+        user: &str,
+        host_dns: &str,
+        queue: &str,
+        cpus: u32,
+        wall_minutes: u32,
+    ) -> Result<ApplicationInstance> {
+        ApplicationInstance::prepare(&self.model(), user, host_dns, queue, cpus, wall_minutes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::gaussian_example;
+
+    fn adapter() -> DescriptorAdapter {
+        DescriptorAdapter::new(gaussian_example().to_element()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DescriptorAdapter::new(Element::new("junk")).is_err());
+        assert!(DescriptorAdapter::new(gaussian_example().to_element()).is_ok());
+    }
+
+    #[test]
+    fn title_and_choices() {
+        let a = adapter();
+        assert_eq!(a.title(), "Gaussian 98-A.9");
+        let choices = a.execution_choices();
+        assert_eq!(choices.len(), 2);
+        assert_eq!(
+            choices[0],
+            (
+                "tg-login.sdsc.edu".to_string(),
+                "PBS".to_string(),
+                "batch".to_string()
+            )
+        );
+    }
+
+    #[test]
+    fn input_fields_filtered_by_direction() {
+        assert_eq!(adapter().input_fields(), vec!["inputDeck"]);
+    }
+
+    #[test]
+    fn required_services_listed() {
+        assert_eq!(
+            adapter().required_services(),
+            vec!["JobSubmission", "BatchScriptGen"]
+        );
+    }
+
+    #[test]
+    fn set_host_parameter_adds_and_replaces() {
+        let mut a = adapter();
+        a.set_host_parameter("modi4.ucs.indiana.edu", "GAUSS_SCRDIR", "/tmp/g98")
+            .unwrap();
+        let d = ApplicationDescriptor::from_element(a.document()).unwrap();
+        assert_eq!(
+            d.host("modi4.ucs.indiana.edu").unwrap().parameters,
+            vec![("GAUSS_SCRDIR".to_string(), "/tmp/g98".to_string())]
+        );
+        // Replace.
+        a.set_host_parameter("modi4.ucs.indiana.edu", "GAUSS_SCRDIR", "/var/g98")
+            .unwrap();
+        let d = ApplicationDescriptor::from_element(a.document()).unwrap();
+        assert_eq!(
+            d.host("modi4.ucs.indiana.edu").unwrap().parameters.len(),
+            1
+        );
+        assert!(a.set_host_parameter("nowhere", "k", "v").is_err());
+    }
+
+    #[test]
+    fn prepare_through_adapter() {
+        let inst = adapter()
+            .prepare("alice", "modi4.ucs.indiana.edu", "normal", 4, 60)
+            .unwrap();
+        assert_eq!(inst.scheduler, "GRD");
+    }
+}

@@ -1,0 +1,525 @@
+//! Abstract application descriptors (§5.1).
+//!
+//! "The abstract application description is implemented as a set of three
+//! schemas: application, host, and queue. These are implemented in a
+//! container hierarchy, with applications containing one or more hosts,
+//! and hosts containing queuing system descriptions."
+//!
+//! The descriptor's four essential elements, quoted from the paper:
+//! 1. "basic information" — name, version, option flags;
+//! 2. "internal communication" — input/output/error fields with
+//!    core-service bindings;
+//! 3. "execution environment" — core services needed to run, with host
+//!    bindings;
+//! 4. an optional generic parameter element for arbitrary name/value
+//!    pairs.
+
+use portalws_xml::{
+    ComplexType, Element, ElementDecl, Occurs, Primitive, Schema, SimpleType, TypeDef,
+};
+
+use crate::{AppError, Result};
+
+/// One I/O field of the application ("internal communication").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoField {
+    /// Field name (`inputDeck`, `log`, …).
+    pub name: String,
+    /// Direction: `input`, `output`, or `error`.
+    pub direction: String,
+    /// Human description.
+    pub description: String,
+    /// Core service bound to move this field (e.g. `DataManagement`).
+    pub service: String,
+}
+
+/// A core service required to execute the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceBinding {
+    /// Core service name (`JobSubmission`, `DataManagement`, …).
+    pub service: String,
+    /// Host the service instance runs on, if pinned.
+    pub host: Option<String>,
+}
+
+/// Queue binding inside a host binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueBinding {
+    /// Queuing system name (PBS/LSF/NQS/GRD).
+    pub scheduler: String,
+    /// Queue name.
+    pub queue: String,
+    /// Largest sensible CPU request for this application here.
+    pub max_cpus: u32,
+    /// Longest sensible walltime (minutes).
+    pub max_wall_minutes: u32,
+}
+
+/// Host binding: everything needed to invoke the application on one
+/// resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostBinding {
+    /// DNS name of the resource.
+    pub dns: String,
+    /// Dotted-quad address.
+    pub ip: String,
+    /// Location of the executable on this host.
+    pub exec_path: String,
+    /// Workspace / scratch directory.
+    pub workdir: String,
+    /// Queue bindings.
+    pub queues: Vec<QueueBinding>,
+    /// Host-specific name/value parameters (e.g. environment variables).
+    pub parameters: Vec<(String, String)>,
+}
+
+/// The abstract application description — lifecycle state (a).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ApplicationDescriptor {
+    /// Application name (standard across portals, per the paper's
+    /// Gaussian example).
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// Option flags the code accepts.
+    pub option_flags: Vec<String>,
+    /// I/O fields with service bindings.
+    pub io_fields: Vec<IoField>,
+    /// Core services required for execution.
+    pub services: Vec<ServiceBinding>,
+    /// Host bindings.
+    pub hosts: Vec<HostBinding>,
+    /// Generic parameters "to hold arbitrary information about the
+    /// application that is not covered by the elements above".
+    pub parameters: Vec<(String, String)>,
+}
+
+impl ApplicationDescriptor {
+    /// Start a descriptor.
+    pub fn new(name: impl Into<String>, version: impl Into<String>) -> Self {
+        ApplicationDescriptor {
+            name: name.into(),
+            version: version.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: add an option flag.
+    pub fn with_flag(mut self, flag: impl Into<String>) -> Self {
+        self.option_flags.push(flag.into());
+        self
+    }
+
+    /// Builder: add an I/O field.
+    pub fn with_io(mut self, field: IoField) -> Self {
+        self.io_fields.push(field);
+        self
+    }
+
+    /// Builder: require a core service.
+    pub fn with_service(mut self, service: ServiceBinding) -> Self {
+        self.services.push(service);
+        self
+    }
+
+    /// Builder: add a host binding.
+    pub fn with_host(mut self, host: HostBinding) -> Self {
+        self.hosts.push(host);
+        self
+    }
+
+    /// Builder: add a generic parameter.
+    pub fn with_parameter(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.parameters.push((k.into(), v.into()));
+        self
+    }
+
+    /// Find a host binding by DNS name.
+    pub fn host(&self, dns: &str) -> Option<&HostBinding> {
+        self.hosts.iter().find(|h| h.dns == dns)
+    }
+
+    /// Names of required core services.
+    pub fn required_services(&self) -> Vec<&str> {
+        self.services.iter().map(|s| s.service.as_str()).collect()
+    }
+
+    // ---- XML ---------------------------------------------------------------
+
+    /// Serialize to the descriptor document format.
+    pub fn to_element(&self) -> Element {
+        let mut app = Element::new("application");
+        // 1. Basic information.
+        let mut basic = Element::new("basicInformation")
+            .with_text_child("name", self.name.clone())
+            .with_text_child("version", self.version.clone());
+        for f in &self.option_flags {
+            basic.push_child(Element::new("optionFlag").with_text(f.clone()));
+        }
+        app.push_child(basic);
+        // 2. Internal communication.
+        let mut comm = Element::new("internalCommunication");
+        for field in &self.io_fields {
+            comm.push_child(
+                Element::new("field")
+                    .with_attr("name", field.name.clone())
+                    .with_attr("direction", field.direction.clone())
+                    .with_text_child("description", field.description.clone())
+                    .with_text_child("serviceBinding", field.service.clone()),
+            );
+        }
+        app.push_child(comm);
+        // 3. Execution environment.
+        let mut exec = Element::new("executionEnvironment");
+        for svc in &self.services {
+            let mut s = Element::new("coreService").with_attr("name", svc.service.clone());
+            if let Some(host) = &svc.host {
+                s.set_attr("host", host.clone());
+            }
+            exec.push_child(s);
+        }
+        app.push_child(exec);
+        // Hosts (the container hierarchy: application ⊃ host ⊃ queue).
+        for host in &self.hosts {
+            let mut h = Element::new("host")
+                .with_attr("dns", host.dns.clone())
+                .with_attr("ip", host.ip.clone())
+                .with_text_child("execPath", host.exec_path.clone())
+                .with_text_child("workdir", host.workdir.clone());
+            for q in &host.queues {
+                h.push_child(
+                    Element::new("queue")
+                        .with_attr("scheduler", q.scheduler.clone())
+                        .with_attr("name", q.queue.clone())
+                        .with_attr("maxCpus", q.max_cpus.to_string())
+                        .with_attr("maxWallMinutes", q.max_wall_minutes.to_string()),
+                );
+            }
+            for (k, v) in &host.parameters {
+                h.push_child(
+                    Element::new("parameter")
+                        .with_attr("name", k.clone())
+                        .with_text(v.clone()),
+                );
+            }
+            app.push_child(h);
+        }
+        // 4. Generic parameters.
+        for (k, v) in &self.parameters {
+            app.push_child(
+                Element::new("parameter")
+                    .with_attr("name", k.clone())
+                    .with_text(v.clone()),
+            );
+        }
+        app
+    }
+
+    /// Parse a descriptor document.
+    pub fn from_element(el: &Element) -> Result<ApplicationDescriptor> {
+        if el.local_name() != "application" {
+            return Err(AppError::Malformed(format!(
+                "expected application, found {:?}",
+                el.local_name()
+            )));
+        }
+        let basic = el
+            .find("basicInformation")
+            .ok_or_else(|| AppError::Malformed("missing basicInformation".into()))?;
+        let mut desc = ApplicationDescriptor::new(
+            basic
+                .find_text("name")
+                .ok_or_else(|| AppError::Malformed("missing application name".into()))?,
+            basic.find_text("version").unwrap_or(""),
+        );
+        desc.option_flags = basic
+            .find_all("optionFlag")
+            .map(|f| f.text().trim().to_owned())
+            .collect();
+        if let Some(comm) = el.find("internalCommunication") {
+            for f in comm.find_all("field") {
+                desc.io_fields.push(IoField {
+                    name: f.attr("name").unwrap_or("").to_owned(),
+                    direction: f.attr("direction").unwrap_or("input").to_owned(),
+                    description: f.find_text("description").unwrap_or("").to_owned(),
+                    service: f.find_text("serviceBinding").unwrap_or("").to_owned(),
+                });
+            }
+        }
+        if let Some(exec) = el.find("executionEnvironment") {
+            for s in exec.find_all("coreService") {
+                desc.services.push(ServiceBinding {
+                    service: s.attr("name").unwrap_or("").to_owned(),
+                    host: s.attr("host").map(str::to_owned),
+                });
+            }
+        }
+        for h in el.find_all("host") {
+            let queues = h
+                .find_all("queue")
+                .map(|q| QueueBinding {
+                    scheduler: q.attr("scheduler").unwrap_or("").to_owned(),
+                    queue: q.attr("name").unwrap_or("").to_owned(),
+                    max_cpus: q.attr("maxCpus").and_then(|v| v.parse().ok()).unwrap_or(1),
+                    max_wall_minutes: q
+                        .attr("maxWallMinutes")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(60),
+                })
+                .collect();
+            let parameters = h
+                .find_all("parameter")
+                .map(|p| (p.attr("name").unwrap_or("").to_owned(), p.text().trim().to_owned()))
+                .collect();
+            desc.hosts.push(HostBinding {
+                dns: h.attr("dns").unwrap_or("").to_owned(),
+                ip: h.attr("ip").unwrap_or("").to_owned(),
+                exec_path: h.find_text("execPath").unwrap_or("").to_owned(),
+                workdir: h.find_text("workdir").unwrap_or("").to_owned(),
+                queues,
+                parameters,
+            });
+        }
+        desc.parameters = el
+            .find_all("parameter")
+            .map(|p| (p.attr("name").unwrap_or("").to_owned(), p.text().trim().to_owned()))
+            .collect();
+        Ok(desc)
+    }
+}
+
+/// The XML Schema for descriptor documents — what the schema wizard
+/// downloads to auto-generate a UI (§5.3), and what deployment-time
+/// validation runs against.
+pub fn descriptor_schema() -> Schema {
+    let string_el = |name: &str| ElementDecl::string(name);
+    Schema::new("http://www.servogrid.org/GCWS/Schema/application")
+        .with_type(
+            "QueueType",
+            TypeDef::Complex(
+                ComplexType::default()
+                    .with_attr(
+                        "scheduler",
+                        SimpleType::enumerated(["PBS", "LSF", "NQS", "GRD"]),
+                        true,
+                    )
+                    .with_attr("name", SimpleType::plain(Primitive::String), true)
+                    .with_attr("maxCpus", SimpleType::plain(Primitive::Int), false)
+                    .with_attr("maxWallMinutes", SimpleType::plain(Primitive::Int), false),
+            ),
+        )
+        .with_type(
+            "ParameterType",
+            TypeDef::Complex(
+                ComplexType::default()
+                    .with_text_content(SimpleType::plain(Primitive::String))
+                    .with_attr("name", SimpleType::plain(Primitive::String), true),
+            ),
+        )
+        .with_type(
+            "HostType",
+            TypeDef::Complex(
+                ComplexType::default()
+                    .with(string_el("execPath").doc("Location of the executable"))
+                    .with(string_el("workdir").doc("Workspace / scratch directory"))
+                    .with(ElementDecl::named("queue", "QueueType").occurs(Occurs::ANY))
+                    .with(ElementDecl::named("parameter", "ParameterType").occurs(Occurs::ANY))
+                    .with_attr("dns", SimpleType::plain(Primitive::String), true)
+                    .with_attr("ip", SimpleType::plain(Primitive::String), false),
+            ),
+        )
+        .with_element(ElementDecl::new(
+            "application",
+            TypeDef::Complex(
+                ComplexType::default()
+                    .with(ElementDecl::new(
+                        "basicInformation",
+                        TypeDef::Complex(
+                            ComplexType::default()
+                                .with(string_el("name").doc("Application name"))
+                                .with(string_el("version").occurs(Occurs::OPTIONAL))
+                                .with(string_el("optionFlag").occurs(Occurs::ANY)),
+                        ),
+                    ))
+                    .with(ElementDecl::new(
+                        "internalCommunication",
+                        TypeDef::Complex(ComplexType::default().with(
+                            ElementDecl::new(
+                                "field",
+                                TypeDef::Complex(
+                                    ComplexType::default()
+                                        .with(string_el("description").occurs(Occurs::OPTIONAL))
+                                        .with(
+                                            string_el("serviceBinding")
+                                                .occurs(Occurs::OPTIONAL),
+                                        )
+                                        .with_attr(
+                                            "name",
+                                            SimpleType::plain(Primitive::String),
+                                            true,
+                                        )
+                                        .with_attr(
+                                            "direction",
+                                            SimpleType::enumerated([
+                                                "input", "output", "error",
+                                            ]),
+                                            true,
+                                        ),
+                                ),
+                            )
+                            .occurs(Occurs::ANY),
+                        )),
+                    ))
+                    .with(ElementDecl::new(
+                        "executionEnvironment",
+                        TypeDef::Complex(ComplexType::default().with(
+                            ElementDecl::new(
+                                "coreService",
+                                TypeDef::Complex(
+                                    ComplexType::default()
+                                        .with_attr(
+                                            "name",
+                                            SimpleType::plain(Primitive::String),
+                                            true,
+                                        )
+                                        .with_attr(
+                                            "host",
+                                            SimpleType::plain(Primitive::String),
+                                            false,
+                                        ),
+                                ),
+                            )
+                            .occurs(Occurs::ANY),
+                        )),
+                    ))
+                    .with(ElementDecl::named("host", "HostType").occurs(Occurs::MANY))
+                    .with(ElementDecl::named("parameter", "ParameterType").occurs(Occurs::ANY)),
+            ),
+        ))
+}
+
+/// A ready-made descriptor for the paper's own example: "The application
+/// description for the chemistry code Gaussian, for example, can be
+/// standard across portals."
+pub fn gaussian_example() -> ApplicationDescriptor {
+    ApplicationDescriptor::new("Gaussian", "98-A.9")
+        .with_flag("-scrdir")
+        .with_io(IoField {
+            name: "inputDeck".into(),
+            direction: "input".into(),
+            description: "Gaussian route + molecule specification".into(),
+            service: "DataManagement".into(),
+        })
+        .with_io(IoField {
+            name: "logFile".into(),
+            direction: "output".into(),
+            description: "Gaussian log output".into(),
+            service: "DataManagement".into(),
+        })
+        .with_service(ServiceBinding {
+            service: "JobSubmission".into(),
+            host: None,
+        })
+        .with_service(ServiceBinding {
+            service: "BatchScriptGen".into(),
+            host: None,
+        })
+        .with_host(HostBinding {
+            dns: "tg-login.sdsc.edu".into(),
+            ip: "10.0.0.8".into(),
+            exec_path: "/usr/local/apps/gaussian/g98".into(),
+            workdir: "/scratch/tg-login".into(),
+            queues: vec![QueueBinding {
+                scheduler: "PBS".into(),
+                queue: "batch".into(),
+                max_cpus: 16,
+                max_wall_minutes: 720,
+            }],
+            parameters: vec![("GAUSS_SCRDIR".into(), "/scratch/tg-login/g98".into())],
+        })
+        .with_host(HostBinding {
+            dns: "modi4.ucs.indiana.edu".into(),
+            ip: "10.0.0.9".into(),
+            exec_path: "/opt/gaussian/g98".into(),
+            workdir: "/scratch/modi4".into(),
+            queues: vec![QueueBinding {
+                scheduler: "GRD".into(),
+                queue: "normal".into(),
+                max_cpus: 8,
+                max_wall_minutes: 360,
+            }],
+            parameters: vec![],
+        })
+        .with_parameter("domain", "computational chemistry")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = gaussian_example();
+        let parsed = ApplicationDescriptor::from_element(&d.to_element()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn descriptor_document_validates_against_schema() {
+        let schema = descriptor_schema();
+        schema.validate(&gaussian_example().to_element()).unwrap();
+    }
+
+    #[test]
+    fn schema_rejects_missing_host() {
+        let schema = descriptor_schema();
+        let mut d = gaussian_example();
+        d.hosts.clear();
+        assert!(schema.validate(&d.to_element()).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_unknown_scheduler() {
+        let schema = descriptor_schema();
+        let mut d = gaussian_example();
+        d.hosts[0].queues[0].scheduler = "SLURM".into();
+        assert!(schema.validate(&d.to_element()).is_err());
+    }
+
+    #[test]
+    fn schema_round_trips_through_xml() {
+        let schema = descriptor_schema();
+        let rt = Schema::from_xml(&schema.to_xml()).unwrap();
+        assert_eq!(rt, schema);
+        // The reparsed schema still validates descriptors.
+        rt.validate(&gaussian_example().to_element()).unwrap();
+    }
+
+    #[test]
+    fn host_and_service_lookups() {
+        let d = gaussian_example();
+        assert!(d.host("tg-login.sdsc.edu").is_some());
+        assert!(d.host("nowhere").is_none());
+        assert_eq!(
+            d.required_services(),
+            vec!["JobSubmission", "BatchScriptGen"]
+        );
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        let el = Element::new("notanapp");
+        assert!(ApplicationDescriptor::from_element(&el).is_err());
+        let el = Element::new("application");
+        assert!(ApplicationDescriptor::from_element(&el).is_err());
+    }
+
+    #[test]
+    fn generic_parameters_are_separate_from_host_parameters() {
+        let d = gaussian_example();
+        let parsed = ApplicationDescriptor::from_element(&d.to_element()).unwrap();
+        assert_eq!(parsed.parameters.len(), 1);
+        assert_eq!(parsed.hosts[0].parameters.len(), 1);
+        assert_eq!(parsed.hosts[1].parameters.len(), 0);
+    }
+}

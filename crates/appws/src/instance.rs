@@ -1,0 +1,397 @@
+//! Application instances and the lifecycle of §5.1.
+//!
+//! "Web Services for science applications have at least four phases of
+//! existence: (a) an abstract state … (b) a prepared (but not queued or
+//! submitted) instance … (c) a running instance; and (d) an archived
+//! instance of a completed application run." Instances of the instance
+//! schema "contain the metadata about particular application runs: the
+//! input files used, the location of the output, the resources used for
+//! the computation" and "form the backbone of a session archiving
+//! system".
+
+use std::fmt;
+
+use portalws_xml::Element;
+
+use crate::descriptor::ApplicationDescriptor;
+use crate::{AppError, Result};
+
+/// Lifecycle phases. `Abstract` is represented by the descriptor itself;
+/// instances begin at `Prepared`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// The descriptor: choices not yet made.
+    Abstract,
+    /// Choices made, not yet submitted.
+    Prepared,
+    /// Submitted/running on the grid.
+    Running,
+    /// Completed and archived.
+    Archived,
+}
+
+impl LifecycleState {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LifecycleState::Abstract => "abstract",
+            LifecycleState::Prepared => "prepared",
+            LifecycleState::Running => "running",
+            LifecycleState::Archived => "archived",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_str_name(s: &str) -> Option<LifecycleState> {
+        Some(match s {
+            "abstract" => LifecycleState::Abstract,
+            "prepared" => LifecycleState::Prepared,
+            "running" => LifecycleState::Running,
+            "archived" => LifecycleState::Archived,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for LifecycleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One run of an application: the user's specific choices plus run
+/// metadata accumulated through the lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplicationInstance {
+    /// Application name (links back to the descriptor).
+    pub app_name: String,
+    /// Application version at preparation time.
+    pub app_version: String,
+    /// Owning user.
+    pub user: String,
+    /// Current lifecycle state.
+    pub state: LifecycleState,
+    /// Chosen host (DNS).
+    pub host: String,
+    /// Chosen scheduler.
+    pub scheduler: String,
+    /// Chosen queue.
+    pub queue: String,
+    /// CPU count chosen.
+    pub cpus: u32,
+    /// Walltime chosen (minutes).
+    pub wall_minutes: u32,
+    /// Input files staged for the run (SRB paths).
+    pub input_files: Vec<String>,
+    /// Where output lands (SRB path).
+    pub output_location: String,
+    /// Grid job id, once running.
+    pub job_id: Option<u64>,
+    /// Exit code, once archived.
+    pub exit_code: Option<i32>,
+    /// Free-form user choices (option flags etc.).
+    pub choices: Vec<(String, String)>,
+}
+
+impl ApplicationInstance {
+    /// State (a) → (b): prepare an instance from a descriptor by choosing
+    /// a host and queue binding. Validates the choice against the
+    /// descriptor's container hierarchy.
+    pub fn prepare(
+        descriptor: &ApplicationDescriptor,
+        user: impl Into<String>,
+        host_dns: &str,
+        queue: &str,
+        cpus: u32,
+        wall_minutes: u32,
+    ) -> Result<ApplicationInstance> {
+        let host = descriptor
+            .host(host_dns)
+            .ok_or_else(|| AppError::NoSuchBinding(format!("host {host_dns:?}")))?;
+        let qb = host
+            .queues
+            .iter()
+            .find(|q| q.queue == queue)
+            .ok_or_else(|| AppError::NoSuchBinding(format!("queue {queue:?} on {host_dns}")))?;
+        if cpus > qb.max_cpus {
+            return Err(AppError::NoSuchBinding(format!(
+                "queue {queue:?} binding allows at most {} cpus",
+                qb.max_cpus
+            )));
+        }
+        if wall_minutes > qb.max_wall_minutes {
+            return Err(AppError::NoSuchBinding(format!(
+                "queue {queue:?} binding allows at most {} minutes",
+                qb.max_wall_minutes
+            )));
+        }
+        Ok(ApplicationInstance {
+            app_name: descriptor.name.clone(),
+            app_version: descriptor.version.clone(),
+            user: user.into(),
+            state: LifecycleState::Prepared,
+            host: host_dns.to_owned(),
+            scheduler: qb.scheduler.clone(),
+            queue: queue.to_owned(),
+            cpus,
+            wall_minutes,
+            input_files: Vec::new(),
+            output_location: String::new(),
+            job_id: None,
+            exit_code: None,
+            choices: Vec::new(),
+        })
+    }
+
+    /// Builder: record a staged input file.
+    pub fn with_input(mut self, path: impl Into<String>) -> Self {
+        self.input_files.push(path.into());
+        self
+    }
+
+    /// Builder: record the output location.
+    pub fn with_output(mut self, path: impl Into<String>) -> Self {
+        self.output_location = path.into();
+        self
+    }
+
+    /// Builder: record a user choice.
+    pub fn with_choice(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.choices.push((k.into(), v.into()));
+        self
+    }
+
+    /// State (b) → (c): the run was submitted.
+    pub fn mark_running(&mut self, job_id: u64) -> Result<()> {
+        if self.state != LifecycleState::Prepared {
+            return Err(AppError::BadTransition {
+                from: self.state,
+                op: "mark_running",
+            });
+        }
+        self.state = LifecycleState::Running;
+        self.job_id = Some(job_id);
+        Ok(())
+    }
+
+    /// State (c) → (d): the run completed; archive the record.
+    pub fn archive(&mut self, exit_code: i32) -> Result<()> {
+        if self.state != LifecycleState::Running {
+            return Err(AppError::BadTransition {
+                from: self.state,
+                op: "archive",
+            });
+        }
+        self.state = LifecycleState::Archived;
+        self.exit_code = Some(exit_code);
+        Ok(())
+    }
+
+    // ---- XML -----------------------------------------------------------
+
+    /// Serialize as an `applicationInstance` document — what the context
+    /// manager stores for session archiving.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("applicationInstance")
+            .with_attr("application", self.app_name.clone())
+            .with_attr("version", self.app_version.clone())
+            .with_attr("user", self.user.clone())
+            .with_attr("state", self.state.as_str())
+            .with_child(
+                Element::new("resources")
+                    .with_attr("host", self.host.clone())
+                    .with_attr("scheduler", self.scheduler.clone())
+                    .with_attr("queue", self.queue.clone())
+                    .with_attr("cpus", self.cpus.to_string())
+                    .with_attr("wallMinutes", self.wall_minutes.to_string()),
+            );
+        let mut io = Element::new("io");
+        for f in &self.input_files {
+            io.push_child(Element::new("inputFile").with_text(f.clone()));
+        }
+        if !self.output_location.is_empty() {
+            io.push_child(Element::new("outputLocation").with_text(self.output_location.clone()));
+        }
+        el.push_child(io);
+        if let Some(id) = self.job_id {
+            el.push_child(Element::new("jobId").with_text(id.to_string()));
+        }
+        if let Some(rc) = self.exit_code {
+            el.push_child(Element::new("exitCode").with_text(rc.to_string()));
+        }
+        if !self.choices.is_empty() {
+            let mut choices = Element::new("choices");
+            for (k, v) in &self.choices {
+                choices.push_child(
+                    Element::new("choice")
+                        .with_attr("name", k.clone())
+                        .with_text(v.clone()),
+                );
+            }
+            el.push_child(choices);
+        }
+        el
+    }
+
+    /// Parse an instance document.
+    pub fn from_element(el: &Element) -> Result<ApplicationInstance> {
+        if el.local_name() != "applicationInstance" {
+            return Err(AppError::Malformed(format!(
+                "expected applicationInstance, found {:?}",
+                el.local_name()
+            )));
+        }
+        let resources = el
+            .find("resources")
+            .ok_or_else(|| AppError::Malformed("missing resources".into()))?;
+        let state = el
+            .attr("state")
+            .and_then(LifecycleState::from_str_name)
+            .ok_or_else(|| AppError::Malformed("missing/bad state".into()))?;
+        let io = el.find("io");
+        Ok(ApplicationInstance {
+            app_name: el.attr("application").unwrap_or("").to_owned(),
+            app_version: el.attr("version").unwrap_or("").to_owned(),
+            user: el.attr("user").unwrap_or("").to_owned(),
+            state,
+            host: resources.attr("host").unwrap_or("").to_owned(),
+            scheduler: resources.attr("scheduler").unwrap_or("").to_owned(),
+            queue: resources.attr("queue").unwrap_or("").to_owned(),
+            cpus: resources.attr("cpus").and_then(|v| v.parse().ok()).unwrap_or(1),
+            wall_minutes: resources
+                .attr("wallMinutes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(60),
+            input_files: io
+                .map(|io| {
+                    io.find_all("inputFile")
+                        .map(|f| f.text().trim().to_owned())
+                        .collect()
+                })
+                .unwrap_or_default(),
+            output_location: io
+                .and_then(|io| io.find_text("outputLocation"))
+                .unwrap_or("")
+                .to_owned(),
+            job_id: el.find_text("jobId").and_then(|v| v.parse().ok()),
+            exit_code: el.find_text("exitCode").and_then(|v| v.parse().ok()),
+            choices: el
+                .find("choices")
+                .map(|c| {
+                    c.find_all("choice")
+                        .map(|ch| {
+                            (
+                                ch.attr("name").unwrap_or("").to_owned(),
+                                ch.text().trim().to_owned(),
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::gaussian_example;
+
+    fn prepared() -> ApplicationInstance {
+        ApplicationInstance::prepare(
+            &gaussian_example(),
+            "alice@GCE.ORG",
+            "tg-login.sdsc.edu",
+            "batch",
+            8,
+            120,
+        )
+        .unwrap()
+        .with_input("/home-alice/g98/in.com")
+        .with_output("/home-alice/g98/out.log")
+        .with_choice("scrdir", "/scratch/g98")
+    }
+
+    #[test]
+    fn prepare_validates_against_descriptor() {
+        let d = gaussian_example();
+        assert!(ApplicationInstance::prepare(&d, "u", "nowhere", "batch", 1, 10).is_err());
+        assert!(
+            ApplicationInstance::prepare(&d, "u", "tg-login.sdsc.edu", "debug", 1, 10).is_err()
+        );
+        // cpu and walltime binding limits
+        assert!(
+            ApplicationInstance::prepare(&d, "u", "tg-login.sdsc.edu", "batch", 17, 10).is_err()
+        );
+        assert!(
+            ApplicationInstance::prepare(&d, "u", "tg-login.sdsc.edu", "batch", 1, 100000)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn scheduler_comes_from_queue_binding() {
+        let inst = prepared();
+        assert_eq!(inst.scheduler, "PBS");
+        assert_eq!(inst.state, LifecycleState::Prepared);
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut inst = prepared();
+        inst.mark_running(42).unwrap();
+        assert_eq!(inst.state, LifecycleState::Running);
+        assert_eq!(inst.job_id, Some(42));
+        inst.archive(0).unwrap();
+        assert_eq!(inst.state, LifecycleState::Archived);
+        assert_eq!(inst.exit_code, Some(0));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut inst = prepared();
+        assert!(inst.archive(0).is_err()); // prepared → archived skips running
+        inst.mark_running(1).unwrap();
+        assert!(inst.mark_running(2).is_err()); // already running
+        inst.archive(1).unwrap();
+        assert!(inst.mark_running(3).is_err()); // archived is terminal
+        assert!(inst.archive(2).is_err());
+    }
+
+    #[test]
+    fn xml_round_trip_all_states() {
+        let mut inst = prepared();
+        for _ in 0..3 {
+            let rt = ApplicationInstance::from_element(&inst.to_element()).unwrap();
+            assert_eq!(rt, inst);
+            match inst.state {
+                LifecycleState::Prepared => inst.mark_running(7).unwrap(),
+                LifecycleState::Running => inst.archive(0).unwrap(),
+                _ => break,
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_instance_rejected() {
+        assert!(ApplicationInstance::from_element(&Element::new("x")).is_err());
+        let el = Element::new("applicationInstance").with_attr("state", "prepared");
+        assert!(ApplicationInstance::from_element(&el).is_err()); // no resources
+        let el = Element::new("applicationInstance")
+            .with_attr("state", "levitating")
+            .with_child(Element::new("resources"));
+        assert!(ApplicationInstance::from_element(&el).is_err());
+    }
+
+    #[test]
+    fn state_names_round_trip() {
+        for s in [
+            LifecycleState::Abstract,
+            LifecycleState::Prepared,
+            LifecycleState::Running,
+            LifecycleState::Archived,
+        ] {
+            assert_eq!(LifecycleState::from_str_name(s.as_str()), Some(s));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Application Web Services (§5): descriptors, instances, and adapters.
+//!
+//! "The Web Services described in Section 3 are really core services that
+//! should be bound to a particular application. We thus believe the
+//! important next step is to define a general purpose set of schemas that
+//! describes how to use a particular application and bind it to the
+//! services it needs."
+//!
+//! * [`descriptor`] — the **abstract application description** (§5.1
+//!   state (a)): the application/host/queue container hierarchy, with
+//!   basic-information, internal-communication (I/O fields bound to core
+//!   services), execution-environment (core-service bindings), and the
+//!   generic parameter escape hatch — the four "essential elements" the
+//!   paper lists. Ships with the XML Schema the schema wizard consumes.
+//! * [`instance`] — **application instances** (states (b)–(d)): prepared,
+//!   running, and archived run records, "the backbone of a session
+//!   archiving system".
+//! * [`adapter`] — §5.2's narrow adapter: "an adapter class that
+//!   encapsulates several Castor-generated get and set calls into a
+//!   smaller interface definition for common tasks."
+
+pub mod adapter;
+pub mod descriptor;
+pub mod instance;
+
+pub use adapter::DescriptorAdapter;
+pub use descriptor::{
+    ApplicationDescriptor, HostBinding, IoField, QueueBinding, ServiceBinding,
+};
+pub use instance::{ApplicationInstance, LifecycleState};
+
+use std::fmt;
+
+/// Errors raised by the application-service layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// Descriptor or instance document malformed.
+    Malformed(String),
+    /// Lifecycle transition not allowed from the current state.
+    BadTransition {
+        /// State the instance is in.
+        from: LifecycleState,
+        /// Operation attempted.
+        op: &'static str,
+    },
+    /// Requested binding (host/queue) is not in the descriptor.
+    NoSuchBinding(String),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Malformed(msg) => write!(f, "malformed application document: {msg}"),
+            AppError::BadTransition { from, op } => {
+                write!(f, "cannot {op} from state {from}")
+            }
+            AppError::NoSuchBinding(what) => write!(f, "no such binding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AppError>;

@@ -1,0 +1,212 @@
+//! Akenti-style access control (§4's stated further work).
+//!
+//! "SAML can also be used to convey access control decisions made by
+//! other mechanisms, such as Akenti… Further work needs to be done, for
+//! instance, on access control."
+//!
+//! [`PolicyEngine`] is that mechanism: ordered permit/deny rules over
+//! `(principal, service, method)` with `*` wildcards, first match wins,
+//! explicit default. Decisions are expressible as SAML attribute
+//! statements (`akenti:decision`), so they ride inside assertions exactly
+//! as the paper sketches; [`crate::guard::authorized`] composes the
+//! engine with any authentication guard.
+
+use parking_lot::RwLock;
+
+/// Permit or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Allow the call.
+    Permit,
+    /// Refuse the call.
+    Deny,
+}
+
+/// One `(principal, service, method)` rule. Each field is an exact string
+/// or `"*"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Principal pattern.
+    pub principal: String,
+    /// Service pattern.
+    pub service: String,
+    /// Method pattern.
+    pub method: String,
+    /// What a match means.
+    pub effect: Effect,
+}
+
+fn matches(pattern: &str, value: &str) -> bool {
+    pattern == "*" || pattern == value
+}
+
+/// A decision with its provenance (for the SAML statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The outcome.
+    pub effect: Effect,
+    /// Index of the matched rule, or `None` when the default applied.
+    pub rule_index: Option<usize>,
+}
+
+impl Decision {
+    /// Render as the Akenti-style SAML attribute value.
+    pub fn statement_value(&self) -> String {
+        match (self.effect, self.rule_index) {
+            (Effect::Permit, Some(i)) => format!("permit;rule={i}"),
+            (Effect::Deny, Some(i)) => format!("deny;rule={i}"),
+            (Effect::Permit, None) => "permit;default".into(),
+            (Effect::Deny, None) => "deny;default".into(),
+        }
+    }
+}
+
+/// The ordered-rule policy engine.
+pub struct PolicyEngine {
+    rules: RwLock<Vec<Rule>>,
+    default_effect: Effect,
+}
+
+impl PolicyEngine {
+    /// Engine that permits unless a rule denies.
+    pub fn default_permit() -> PolicyEngine {
+        PolicyEngine {
+            rules: RwLock::new(Vec::new()),
+            default_effect: Effect::Permit,
+        }
+    }
+
+    /// Engine that denies unless a rule permits.
+    pub fn default_deny() -> PolicyEngine {
+        PolicyEngine {
+            rules: RwLock::new(Vec::new()),
+            default_effect: Effect::Deny,
+        }
+    }
+
+    /// Append a rule (evaluated in insertion order, first match wins).
+    pub fn add_rule(
+        &self,
+        principal: impl Into<String>,
+        service: impl Into<String>,
+        method: impl Into<String>,
+        effect: Effect,
+    ) {
+        self.rules.write().push(Rule {
+            principal: principal.into(),
+            service: service.into(),
+            method: method.into(),
+            effect,
+        });
+    }
+
+    /// Shorthand: permit a principal on a service/method.
+    pub fn permit(
+        &self,
+        principal: impl Into<String>,
+        service: impl Into<String>,
+        method: impl Into<String>,
+    ) {
+        self.add_rule(principal, service, method, Effect::Permit);
+    }
+
+    /// Shorthand: deny a principal on a service/method.
+    pub fn deny(
+        &self,
+        principal: impl Into<String>,
+        service: impl Into<String>,
+        method: impl Into<String>,
+    ) {
+        self.add_rule(principal, service, method, Effect::Deny);
+    }
+
+    /// Evaluate a call.
+    pub fn authorize(&self, principal: &str, service: &str, method: &str) -> Decision {
+        let rules = self.rules.read();
+        for (i, rule) in rules.iter().enumerate() {
+            if matches(&rule.principal, principal)
+                && matches(&rule.service, service)
+                && matches(&rule.method, method)
+            {
+                return Decision {
+                    effect: rule.effect,
+                    rule_index: Some(i),
+                };
+            }
+        }
+        Decision {
+            effect: self.default_effect,
+            rule_index: None,
+        }
+    }
+
+    /// Number of rules installed.
+    pub fn rule_count(&self) -> usize {
+        self.rules.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_effects() {
+        let p = PolicyEngine::default_permit();
+        assert_eq!(p.authorize("x", "y", "z").effect, Effect::Permit);
+        let d = PolicyEngine::default_deny();
+        assert_eq!(d.authorize("x", "y", "z").effect, Effect::Deny);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let p = PolicyEngine::default_deny();
+        p.deny("alice@GCE.ORG", "JobSubmission", "cancel");
+        p.permit("alice@GCE.ORG", "JobSubmission", "*");
+        // cancel hits the deny first even though the permit also matches.
+        assert_eq!(
+            p.authorize("alice@GCE.ORG", "JobSubmission", "cancel").effect,
+            Effect::Deny
+        );
+        assert_eq!(
+            p.authorize("alice@GCE.ORG", "JobSubmission", "submit").effect,
+            Effect::Permit
+        );
+    }
+
+    #[test]
+    fn wildcards() {
+        let p = PolicyEngine::default_deny();
+        p.permit("*", "BatchScriptGen", "*");
+        assert_eq!(
+            p.authorize("anyone", "BatchScriptGen", "generateScript").effect,
+            Effect::Permit
+        );
+        assert_eq!(
+            p.authorize("anyone", "JobSubmission", "run").effect,
+            Effect::Deny
+        );
+    }
+
+    #[test]
+    fn decision_statements() {
+        let p = PolicyEngine::default_deny();
+        p.permit("a", "s", "m");
+        assert_eq!(p.authorize("a", "s", "m").statement_value(), "permit;rule=0");
+        assert_eq!(p.authorize("b", "s", "m").statement_value(), "deny;default");
+    }
+
+    #[test]
+    fn exact_beats_nothing_but_order_decides() {
+        let p = PolicyEngine::default_permit();
+        p.deny("mallory@GCE.ORG", "*", "*");
+        assert_eq!(
+            p.authorize("mallory@GCE.ORG", "DataManagement", "get").effect,
+            Effect::Deny
+        );
+        assert_eq!(
+            p.authorize("alice@GCE.ORG", "DataManagement", "get").effect,
+            Effect::Permit
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! SAML-style authentication assertions.
+//!
+//! "Assertions are mechanism-independent, digitally signed claims about
+//! authentication… SAML can also be used to convey access control
+//! decisions made by other mechanisms, such as Akenti" (§4). An
+//! [`Assertion`] therefore carries a subject, the mechanism that
+//! authenticated it, validity bounds, optional attribute statements
+//! (the Akenti-style access decisions), and a detached signature over a
+//! canonical byte form.
+
+use portalws_xml::Element;
+
+use crate::mac;
+use crate::{AuthError, Result};
+
+/// Namespace used for assertion documents.
+pub const SAML_NS: &str = "urn:oasis:names:tc:SAML:1.0:assertion";
+
+/// A signed (or not-yet-signed) authentication assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assertion {
+    /// Assertion id (unique per issuance).
+    pub id: String,
+    /// GSS context that signs for this subject.
+    pub context_id: String,
+    /// Authenticated principal.
+    pub subject: String,
+    /// Mechanism name (`kerberos`, `gsi`, `pki`).
+    pub mechanism: String,
+    /// Issue instant, ISO timestamp.
+    pub issued_at: String,
+    /// Expiry in sim-clock milliseconds.
+    pub expires_at_ms: u64,
+    /// Attribute statements (access-control decisions etc.).
+    pub statements: Vec<(String, String)>,
+    /// Detached MAC over [`Assertion::canonical`], once signed.
+    pub signature: Option<String>,
+}
+
+impl Assertion {
+    /// Build an unsigned assertion.
+    pub fn new(
+        id: impl Into<String>,
+        context_id: impl Into<String>,
+        subject: impl Into<String>,
+        mechanism: impl Into<String>,
+        issued_at: impl Into<String>,
+        expires_at_ms: u64,
+    ) -> Assertion {
+        Assertion {
+            id: id.into(),
+            context_id: context_id.into(),
+            subject: subject.into(),
+            mechanism: mechanism.into(),
+            issued_at: issued_at.into(),
+            expires_at_ms,
+            statements: Vec::new(),
+            signature: None,
+        }
+    }
+
+    /// Builder: attach an attribute statement.
+    pub fn with_statement(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.statements.push((name.into(), value.into()));
+        self
+    }
+
+    /// The canonical byte form that is signed: every signed field in a
+    /// fixed order, newline-delimited. (Real SAML uses XML c14n; a fixed
+    /// field order serves the same purpose here.)
+    pub fn canonical(&self) -> String {
+        let mut s = format!(
+            "id={}\nctx={}\nsubject={}\nmechanism={}\nissued={}\nexpires={}\n",
+            self.id, self.context_id, self.subject, self.mechanism, self.issued_at,
+            self.expires_at_ms
+        );
+        for (k, v) in &self.statements {
+            s.push_str(&format!("stmt:{k}={v}\n"));
+        }
+        s
+    }
+
+    /// Sign in place with a GSS context key.
+    pub fn sign(&mut self, key: &str) {
+        self.signature = Some(mac::sign(key, &self.canonical()));
+    }
+
+    /// Verify the signature with a key; checks signature presence and MAC.
+    pub fn verify_signature(&self, key: &str) -> Result<()> {
+        let sig = self.signature.as_deref().ok_or(AuthError::BadSignature)?;
+        if mac::verify(key, &self.canonical(), sig) {
+            Ok(())
+        } else {
+            Err(AuthError::BadSignature)
+        }
+    }
+
+    /// Is the assertion expired at sim time `now_ms`?
+    pub fn is_expired_at(&self, now_ms: u64) -> bool {
+        now_ms >= self.expires_at_ms
+    }
+
+    /// Serialize as a `saml:Assertion` element (placed in SOAP headers).
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("saml:Assertion")
+            .with_attr("xmlns:saml", SAML_NS)
+            .with_attr("AssertionID", self.id.clone())
+            .with_attr("IssueInstant", self.issued_at.clone())
+            .with_child(
+                Element::new("saml:AuthenticationStatement")
+                    .with_attr("AuthenticationMethod", self.mechanism.clone())
+                    .with_attr("NotOnOrAfter", self.expires_at_ms.to_string())
+                    .with_child(
+                        Element::new("saml:Subject")
+                            .with_attr("NameQualifier", self.context_id.clone())
+                            .with_text(self.subject.clone()),
+                    ),
+            );
+        if !self.statements.is_empty() {
+            let mut attrs = Element::new("saml:AttributeStatement");
+            for (k, v) in &self.statements {
+                attrs.push_child(
+                    Element::new("saml:Attribute")
+                        .with_attr("AttributeName", k.clone())
+                        .with_text(v.clone()),
+                );
+            }
+            el.push_child(attrs);
+        }
+        if let Some(sig) = &self.signature {
+            el.push_child(Element::new("Signature").with_text(sig.clone()));
+        }
+        el
+    }
+
+    /// Parse an assertion element back.
+    pub fn from_element(el: &Element) -> Result<Assertion> {
+        if el.local_name() != "Assertion" {
+            return Err(AuthError::Malformed(format!(
+                "expected Assertion, found {:?}",
+                el.local_name()
+            )));
+        }
+        let id = el
+            .attr("AssertionID")
+            .ok_or_else(|| AuthError::Malformed("missing AssertionID".into()))?
+            .to_owned();
+        let issued_at = el.attr("IssueInstant").unwrap_or("").to_owned();
+        let auth_stmt = el
+            .find("AuthenticationStatement")
+            .ok_or_else(|| AuthError::Malformed("missing AuthenticationStatement".into()))?;
+        let mechanism = auth_stmt
+            .attr("AuthenticationMethod")
+            .unwrap_or("")
+            .to_owned();
+        let expires_at_ms = auth_stmt
+            .attr("NotOnOrAfter")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| AuthError::Malformed("missing/bad NotOnOrAfter".into()))?;
+        let subject_el = auth_stmt
+            .find("Subject")
+            .ok_or_else(|| AuthError::Malformed("missing Subject".into()))?;
+        let context_id = subject_el.attr("NameQualifier").unwrap_or("").to_owned();
+        let subject = subject_el.text().trim().to_owned();
+        let statements = el
+            .find("AttributeStatement")
+            .map(|s| {
+                s.find_all("Attribute")
+                    .map(|a| {
+                        (
+                            a.attr("AttributeName").unwrap_or("").to_owned(),
+                            a.text().trim().to_owned(),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let signature = el.find_text("Signature").map(str::to_owned);
+        Ok(Assertion {
+            id,
+            context_id,
+            subject,
+            mechanism,
+            issued_at,
+            expires_at_ms,
+            statements,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Assertion {
+        Assertion::new(
+            "a-0001",
+            "ctx-42",
+            "alice@GCE.ORG",
+            "kerberos",
+            "2002-11-16T09:00:00Z",
+            1_000_000,
+        )
+        .with_statement("akenti:decision", "permit")
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut a = sample();
+        a.sign("session-key");
+        a.verify_signature("session-key").unwrap();
+        assert_eq!(
+            a.verify_signature("wrong-key"),
+            Err(AuthError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn unsigned_fails_verification() {
+        assert_eq!(
+            sample().verify_signature("k"),
+            Err(AuthError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn xml_round_trip_preserves_signature() {
+        let mut a = sample();
+        a.sign("k");
+        let el = a.to_element();
+        let parsed = Assertion::from_element(&el).unwrap();
+        assert_eq!(parsed, a);
+        parsed.verify_signature("k").unwrap();
+    }
+
+    #[test]
+    fn tampered_subject_breaks_signature() {
+        let mut a = sample();
+        a.sign("k");
+        let mut parsed = Assertion::from_element(&a.to_element()).unwrap();
+        parsed.subject = "mallory@GCE.ORG".into();
+        assert_eq!(parsed.verify_signature("k"), Err(AuthError::BadSignature));
+    }
+
+    #[test]
+    fn tampered_statement_breaks_signature() {
+        let mut a = sample();
+        a.sign("k");
+        let mut parsed = Assertion::from_element(&a.to_element()).unwrap();
+        parsed.statements[0].1 = "deny".into();
+        assert_eq!(parsed.verify_signature("k"), Err(AuthError::BadSignature));
+    }
+
+    #[test]
+    fn expiry_check() {
+        let a = sample();
+        assert!(!a.is_expired_at(999_999));
+        assert!(a.is_expired_at(1_000_000));
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        let el = Element::new("NotAssertion");
+        assert!(Assertion::from_element(&el).is_err());
+        let el = Element::new("saml:Assertion"); // no id
+        assert!(Assertion::from_element(&el).is_err());
+        let el = Element::new("saml:Assertion").with_attr("AssertionID", "x");
+        assert!(Assertion::from_element(&el).is_err()); // no auth statement
+    }
+
+    #[test]
+    fn statements_survive_round_trip() {
+        let a = sample().with_statement("role", "pi");
+        let parsed = Assertion::from_element(&a.to_element()).unwrap();
+        assert_eq!(parsed.statements.len(), 2);
+        assert_eq!(parsed.statements[1], ("role".into(), "pi".into()));
+    }
+}

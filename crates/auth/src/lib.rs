@@ -1,0 +1,81 @@
+//! Secure Web services: SAML assertions and the single-sign-on
+//! Authentication Service of Figure 2.
+//!
+//! §4 of the paper: "Our authentication system is based on SAML…
+//! Assertions are mechanism-independent, digitally signed claims about
+//! authentication… SAML assertions are added to SOAP messages." The
+//! protocol it prototypes:
+//!
+//! 1. A user logs in through the UI server, which obtains a Kerberos
+//!    ticket and contacts the **Authentication Service**; the two
+//!    establish a GSS context whose symmetric key is held by a session
+//!    object on each side.
+//! 2. Every subsequent SOAP request carries a **signed SAML assertion** in
+//!    its header.
+//! 3. The SOAP Service Provider "does not check the signature of the
+//!    request directly but instead forwards to the Authentication
+//!    Service, which verifies the signature" — keeping the keytab on one
+//!    hardened server.
+//!
+//! Module map:
+//!
+//! * [`mac`] — the keyed-MAC "signature" primitive (simulated crypto; see
+//!   DESIGN.md §3 for why strength is out of scope).
+//! * [`assertion`] — the SAML-style assertion document: build, sign,
+//!   serialize, parse, verify.
+//! * [`service`] — [`AuthService`], the SOAP-exposed Authentication
+//!   Service holding the keytab (via the gridsim credential authority)
+//!   and all GSS contexts.
+//! * [`session`] — [`UserSession`], the UI-server-side session object that
+//!   signs an assertion per outgoing request (pluggable as a SOAP header
+//!   supplier).
+//! * [`guard`] — SOAP-server guards: [`guard::remote_guard`] (the paper's
+//!   central verification) and [`guard::local_guard`] (the decentralized
+//!   ablation measured in E2).
+
+pub mod access;
+pub mod assertion;
+pub mod guard;
+pub mod mac;
+pub mod mutual;
+pub mod service;
+pub mod session;
+
+pub use access::{Decision, Effect, PolicyEngine};
+pub use assertion::Assertion;
+pub use service::{AuthService, AuthSoapFacade, GssSession};
+pub use session::UserSession;
+
+use std::fmt;
+
+/// Errors raised by the auth layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// Login rejected (bad principal/secret, unknown mechanism).
+    LoginFailed(String),
+    /// No such GSS context.
+    UnknownContext(String),
+    /// Signature did not verify.
+    BadSignature,
+    /// Assertion expired.
+    Expired,
+    /// Malformed assertion document.
+    Malformed(String),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::LoginFailed(msg) => write!(f, "login failed: {msg}"),
+            AuthError::UnknownContext(id) => write!(f, "unknown GSS context {id:?}"),
+            AuthError::BadSignature => write!(f, "assertion signature invalid"),
+            AuthError::Expired => write!(f, "assertion expired"),
+            AuthError::Malformed(msg) => write!(f, "malformed assertion: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AuthError>;

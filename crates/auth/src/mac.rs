@@ -1,0 +1,90 @@
+//! Keyed MAC used as the simulated assertion signature.
+//!
+//! The paper signs assertions with GSS `wrap`/`unwrap` over Kerberos
+//! session keys. Real Kerberos crypto is out of scope for the
+//! reproduction (DESIGN.md §3); what the experiments measure is *where*
+//! verification happens and what it costs, so the primitive only needs to
+//! be keyed, deterministic, and collision-resistant against accidental
+//! corruption. This is an HMAC-shaped construction over a 128-bit
+//! FNV-1a-style permutation — **not** cryptographically secure, and
+//! documented as such.
+
+/// 128-bit FNV-1a over a byte stream, with extra mixing per block.
+fn fnv128(data: impl IntoIterator<Item = u8>) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for b in data {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+        h ^= h >> 61;
+    }
+    h
+}
+
+/// Compute the MAC of `data` under `key`, as lowercase hex.
+///
+/// HMAC shape: `H(key ‖ opad ‖ H(key ‖ ipad ‖ data))`.
+pub fn sign(key: &str, data: &str) -> String {
+    let inner = fnv128(
+        key.bytes()
+            .chain(std::iter::repeat_n(0x36u8, 16))
+            .chain(data.bytes()),
+    );
+    let outer = fnv128(
+        key.bytes()
+            .chain(std::iter::repeat_n(0x5cu8, 16))
+            .chain(inner.to_be_bytes()),
+    );
+    format!("{outer:032x}")
+}
+
+/// Verify a MAC produced by [`sign`]. Comparison is over fixed-length hex
+/// strings, so timing variation is not data-dependent in any way that
+/// matters for a simulation.
+pub fn verify(key: &str, data: &str, mac_hex: &str) -> bool {
+    sign(key, data) == mac_hex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(sign("k", "hello"), sign("k", "hello"));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        assert_ne!(sign("k1", "hello"), sign("k2", "hello"));
+    }
+
+    #[test]
+    fn data_sensitivity() {
+        assert_ne!(sign("k", "hello"), sign("k", "hellp"));
+        assert_ne!(sign("k", ""), sign("k", " "));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mac = sign("key", "payload");
+        assert!(verify("key", "payload", &mac));
+        assert!(!verify("key", "payload2", &mac));
+        assert!(!verify("key2", "payload", &mac));
+        assert!(!verify("key", "payload", "00"));
+    }
+
+    #[test]
+    fn output_is_32_hex_chars() {
+        let mac = sign("k", "v");
+        assert_eq!(mac.len(), 32);
+        assert!(mac.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn extension_resistance_smoke() {
+        // key ‖ data split ambiguity must change the MAC.
+        assert_ne!(sign("ab", "c"), sign("a", "bc"));
+    }
+}

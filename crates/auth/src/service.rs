@@ -1,0 +1,446 @@
+//! The Authentication Service of Figure 2.
+//!
+//! One hardened server holds the keytab ("limiting the use of keytabs to
+//! a single, well secured server is desirable") and every GSS context.
+//! The login flow establishes a context whose symmetric key is shared
+//! with the UI server's session object; subsequent verification requests
+//! from SOAP Service Providers are answered by recomputing the assertion
+//! MAC under the context key.
+//!
+//! The service is exposed both as a Rust API (for in-process use by the
+//! UI server) and as a [`SoapService`] (for the Figure 2 wire protocol,
+//! where even the UI server logs in over SOAP).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use portalws_gridsim::clock::SimClock;
+use portalws_gridsim::cred::{CredentialAuthority, Mechanism};
+use portalws_soap::{
+    CallContext, Fault, MethodDesc, PortalErrorKind, SoapResult, SoapService, SoapType, SoapValue,
+};
+
+use crate::assertion::Assertion;
+use crate::{AuthError, Result};
+
+/// What a successful login hands back to the UI server's session object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GssSession {
+    /// Context identifier (public).
+    pub context_id: String,
+    /// Symmetric session key (one "half" lives here, the other stays in
+    /// the Authentication Service — shipping it in the login response is
+    /// the simulation's stand-in for the GSS key exchange).
+    pub key: String,
+    /// The authenticated principal.
+    pub principal: String,
+    /// Mechanism used.
+    pub mechanism: Mechanism,
+    /// Context expiry (sim ms).
+    pub expires_at_ms: u64,
+}
+
+struct GssContext {
+    principal: String,
+    key: String,
+    expires_at_ms: u64,
+}
+
+/// The Authentication Service.
+pub struct AuthService {
+    clock: Arc<SimClock>,
+    authority: CredentialAuthority,
+    contexts: RwLock<HashMap<String, GssContext>>,
+    next_ctx: AtomicU64,
+    verifications: AtomicU64,
+    /// GSS context lifetime (ms).
+    context_ttl_ms: u64,
+}
+
+impl AuthService {
+    /// A service over `clock` with an empty keytab and 8-hour contexts.
+    pub fn new(clock: Arc<SimClock>) -> Arc<AuthService> {
+        let authority = CredentialAuthority::new(Arc::clone(&clock));
+        Arc::new(AuthService {
+            clock,
+            authority,
+            contexts: RwLock::new(HashMap::new()),
+            next_ctx: AtomicU64::new(0),
+            verifications: AtomicU64::new(0),
+            context_ttl_ms: 8 * 3600 * 1000,
+        })
+    }
+
+    /// Register a principal in the keytab.
+    pub fn register_user(&self, principal: &str, secret: &str) {
+        self.authority.register_principal(principal, secret);
+    }
+
+    /// The shared simulation clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Count of signature verifications performed (experiment E2 reports
+    /// the load concentrated on this server under central verification).
+    pub fn verification_count(&self) -> u64 {
+        self.verifications.load(Ordering::Relaxed)
+    }
+
+    /// Authenticate and establish a GSS context.
+    pub fn login(
+        &self,
+        principal: &str,
+        secret: &str,
+        mechanism: Mechanism,
+    ) -> Result<GssSession> {
+        let cred = self
+            .authority
+            .login(principal, secret, mechanism)
+            .map_err(|e| AuthError::LoginFailed(e.to_string()))?;
+        let n = self.next_ctx.fetch_add(1, Ordering::Relaxed) + 1;
+        let context_id = format!("ctx-{n:06}");
+        // Session key derivation: bound to the credential token, which
+        // only the authority and this login response ever see.
+        let key = crate::mac::sign(&cred.token, &context_id);
+        let expires_at_ms = self.clock.now() + self.context_ttl_ms;
+        self.contexts.write().insert(
+            context_id.clone(),
+            GssContext {
+                principal: principal.to_owned(),
+                key: key.clone(),
+                expires_at_ms,
+            },
+        );
+        Ok(GssSession {
+            context_id,
+            key,
+            principal: principal.to_owned(),
+            mechanism,
+            expires_at_ms,
+        })
+    }
+
+    /// Tear down a context.
+    pub fn logout(&self, context_id: &str) {
+        self.contexts.write().remove(context_id);
+    }
+
+    /// Verify a signed assertion: context known and unexpired, subject
+    /// matches the context principal, assertion unexpired, MAC valid.
+    /// Returns the authenticated principal.
+    pub fn verify_assertion(&self, assertion: &Assertion) -> Result<String> {
+        self.verifications.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now();
+        let contexts = self.contexts.read();
+        let ctx = contexts
+            .get(&assertion.context_id)
+            .ok_or_else(|| AuthError::UnknownContext(assertion.context_id.clone()))?;
+        if now >= ctx.expires_at_ms {
+            return Err(AuthError::Expired);
+        }
+        if assertion.is_expired_at(now) {
+            return Err(AuthError::Expired);
+        }
+        if ctx.principal != assertion.subject {
+            return Err(AuthError::BadSignature);
+        }
+        assertion.verify_signature(&ctx.key)?;
+        Ok(assertion.subject.clone())
+    }
+
+    /// Look up the key for a context — only used by the *local
+    /// verification* ablation, which deliberately violates the paper's
+    /// keytab-containment argument to measure what centralization costs.
+    pub fn context_key(&self, context_id: &str) -> Option<String> {
+        self.contexts.read().get(context_id).map(|c| c.key.clone())
+    }
+
+    /// Live context count.
+    pub fn context_count(&self) -> usize {
+        self.contexts.read().len()
+    }
+}
+
+/// Newtype exposing an [`AuthService`] as a SOAP service (the orphan rule
+/// forbids implementing the foreign trait directly on `Arc<AuthService>`).
+pub struct AuthSoapFacade(pub Arc<AuthService>);
+
+impl SoapService for AuthSoapFacade {
+    fn name(&self) -> &str {
+        "Authentication"
+    }
+
+    fn invoke(
+        &self,
+        method: &str,
+        args: &[(String, SoapValue)],
+        _ctx: &CallContext,
+    ) -> SoapResult<SoapValue> {
+        let arg_str = |i: usize, name: &str| -> SoapResult<&str> {
+            args.get(i)
+                .and_then(|(_, v)| v.as_str())
+                .ok_or_else(|| {
+                    Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}"))
+                })
+        };
+        match method {
+            "login" => {
+                let principal = arg_str(0, "principal")?;
+                let secret = arg_str(1, "secret")?;
+                let mechanism = Mechanism::from_name(arg_str(2, "mechanism")?).ok_or_else(|| {
+                    Fault::portal(PortalErrorKind::BadArguments, "unknown mechanism")
+                })?;
+                let session = self.0
+                    .login(principal, secret, mechanism)
+                    .map_err(|e| Fault::portal(PortalErrorKind::AuthFailed, e.to_string()))?;
+                Ok(SoapValue::Struct(vec![
+                    ("contextId".into(), SoapValue::str(session.context_id)),
+                    ("sessionKey".into(), SoapValue::str(session.key)),
+                    (
+                        "expiresAt".into(),
+                        SoapValue::Int(session.expires_at_ms as i64),
+                    ),
+                ]))
+            }
+            "verify" => {
+                let el = args
+                    .first()
+                    .and_then(|(_, v)| v.as_xml())
+                    .ok_or_else(|| {
+                        Fault::portal(PortalErrorKind::BadArguments, "missing assertion")
+                    })?;
+                let assertion = Assertion::from_element(el)
+                    .map_err(|e| Fault::portal(PortalErrorKind::BadArguments, e.to_string()))?;
+                match self.0.verify_assertion(&assertion) {
+                    Ok(principal) => Ok(SoapValue::Struct(vec![
+                        ("valid".into(), SoapValue::Bool(true)),
+                        ("principal".into(), SoapValue::str(principal)),
+                    ])),
+                    // A negative answer is a *result*, not a fault — the
+                    // SPP turns it into its own AUTH_FAILED fault.
+                    Err(e) => Ok(SoapValue::Struct(vec![
+                        ("valid".into(), SoapValue::Bool(false)),
+                        ("reason".into(), SoapValue::str(e.to_string())),
+                    ])),
+                }
+            }
+            "logout" => {
+                let context_id = arg_str(0, "contextId")?;
+                self.0.logout(context_id);
+                Ok(SoapValue::Null)
+            }
+            other => Err(Fault::client(format!(
+                "Authentication has no method {other:?}"
+            ))),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodDesc> {
+        vec![
+            MethodDesc::new(
+                "login",
+                vec![
+                    ("principal", SoapType::String),
+                    ("secret", SoapType::String),
+                    ("mechanism", SoapType::String),
+                ],
+                SoapType::Struct,
+                "Authenticate and establish a GSS context",
+            ),
+            MethodDesc::new(
+                "verify",
+                vec![("assertion", SoapType::Xml)],
+                SoapType::Struct,
+                "Verify a signed SAML assertion; returns valid/principal",
+            ),
+            MethodDesc::new(
+                "logout",
+                vec![("contextId", SoapType::String)],
+                SoapType::Void,
+                "Tear down a GSS context",
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Arc<AuthService> {
+        let svc = AuthService::new(SimClock::new());
+        svc.register_user("alice@GCE.ORG", "pw");
+        svc
+    }
+
+    fn signed_assertion(svc: &AuthService, session: &GssSession) -> Assertion {
+        let mut a = Assertion::new(
+            "a-1",
+            session.context_id.clone(),
+            session.principal.clone(),
+            session.mechanism.name(),
+            svc.clock().timestamp(),
+            svc.clock().now() + 60_000,
+        );
+        a.sign(&session.key);
+        a
+    }
+
+    #[test]
+    fn login_verify_logout_cycle() {
+        let svc = service();
+        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        assert_eq!(svc.context_count(), 1);
+        let a = signed_assertion(&svc, &session);
+        assert_eq!(svc.verify_assertion(&a).unwrap(), "alice@GCE.ORG");
+        svc.logout(&session.context_id);
+        assert!(matches!(
+            svc.verify_assertion(&a),
+            Err(AuthError::UnknownContext(_))
+        ));
+    }
+
+    #[test]
+    fn bad_login_rejected() {
+        let svc = service();
+        assert!(svc.login("alice@GCE.ORG", "bad", Mechanism::Kerberos).is_err());
+        assert!(svc.login("bob@GCE.ORG", "pw", Mechanism::Kerberos).is_err());
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let svc = service();
+        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let mut a = signed_assertion(&svc, &session);
+        a.sign("wrong-key");
+        assert_eq!(svc.verify_assertion(&a), Err(AuthError::BadSignature));
+    }
+
+    #[test]
+    fn subject_must_match_context() {
+        let svc = service();
+        svc.register_user("bob@GCE.ORG", "pw2");
+        let alice = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        // Bob's subject signed under Alice's context key.
+        let mut a = Assertion::new(
+            "a-2",
+            alice.context_id.clone(),
+            "bob@GCE.ORG",
+            "kerberos",
+            "t",
+            1_000_000,
+        );
+        a.sign(&alice.key);
+        assert_eq!(svc.verify_assertion(&a), Err(AuthError::BadSignature));
+    }
+
+    #[test]
+    fn expired_assertion_rejected() {
+        let svc = service();
+        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let a = signed_assertion(&svc, &session);
+        svc.clock().advance(61_000);
+        assert_eq!(svc.verify_assertion(&a), Err(AuthError::Expired));
+    }
+
+    #[test]
+    fn expired_context_rejected() {
+        let svc = service();
+        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        svc.clock().advance(9 * 3600 * 1000);
+        let mut a = Assertion::new(
+            "a-3",
+            session.context_id.clone(),
+            session.principal.clone(),
+            "kerberos",
+            "t",
+            svc.clock().now() + 1000,
+        );
+        a.sign(&session.key);
+        assert_eq!(svc.verify_assertion(&a), Err(AuthError::Expired));
+    }
+
+    #[test]
+    fn distinct_logins_get_distinct_contexts_and_keys() {
+        let svc = service();
+        let s1 = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let s2 = svc.login("alice@GCE.ORG", "pw", Mechanism::Pki).unwrap();
+        assert_ne!(s1.context_id, s2.context_id);
+        assert_ne!(s1.key, s2.key);
+    }
+
+    #[test]
+    fn verification_counter_tracks() {
+        let svc = service();
+        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let a = signed_assertion(&svc, &session);
+        for _ in 0..5 {
+            svc.verify_assertion(&a).unwrap();
+        }
+        assert_eq!(svc.verification_count(), 5);
+    }
+
+    #[test]
+    fn soap_facade_login_and_verify() {
+        let svc = service();
+        let ctx = CallContext {
+            headers: vec![],
+            service: "Authentication".into(),
+            method: "login".into(),
+        };
+        let facade = AuthSoapFacade(Arc::clone(&svc));
+        let out = SoapService::invoke(
+            &facade,
+            "login",
+            &[
+                ("p".into(), SoapValue::str("alice@GCE.ORG")),
+                ("s".into(), SoapValue::str("pw")),
+                ("m".into(), SoapValue::str("kerberos")),
+            ],
+            &ctx,
+        )
+        .unwrap();
+        let context_id = out.field("contextId").unwrap().as_str().unwrap().to_owned();
+        let key = out.field("sessionKey").unwrap().as_str().unwrap().to_owned();
+
+        let mut a = Assertion::new("a-9", context_id, "alice@GCE.ORG", "kerberos", "t", 60_000);
+        a.sign(&key);
+        let facade = AuthSoapFacade(Arc::clone(&svc));
+        let out = SoapService::invoke(
+            &facade,
+            "verify",
+            &[("assertion".into(), SoapValue::Xml(a.to_element()))],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(out.field("valid").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            out.field("principal").unwrap().as_str(),
+            Some("alice@GCE.ORG")
+        );
+    }
+
+    #[test]
+    fn soap_facade_negative_verify_is_result_not_fault() {
+        let svc = service();
+        let ctx = CallContext {
+            headers: vec![],
+            service: "Authentication".into(),
+            method: "verify".into(),
+        };
+        let mut a = Assertion::new("a-9", "ctx-none", "x", "kerberos", "t", 60_000);
+        a.sign("k");
+        let facade = AuthSoapFacade(Arc::clone(&svc));
+        let out = SoapService::invoke(
+            &facade,
+            "verify",
+            &[("assertion".into(), SoapValue::Xml(a.to_element()))],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(out.field("valid").unwrap().as_bool(), Some(false));
+    }
+}

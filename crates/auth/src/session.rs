@@ -1,0 +1,135 @@
+//! The UI-server-side session object.
+//!
+//! Figure 2: "a user logs in through a web browser and gets a Kerberos
+//! ticket on the User Interface server. This server creates a client
+//! session object… Subsequent user interaction generates a SOAP request
+//! that includes a SAML assertion that is signed by the client object on
+//! the UI server." [`UserSession`] is that client object: it holds one
+//! half of the GSS key and mints a fresh signed assertion per request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use portalws_gridsim::clock::SimClock;
+use portalws_soap::client::HeaderSupplier;
+use portalws_xml::Element;
+
+use crate::assertion::Assertion;
+use crate::service::GssSession;
+
+/// Per-user signing session on the UI server.
+pub struct UserSession {
+    gss: GssSession,
+    clock: Arc<SimClock>,
+    counter: AtomicU64,
+    /// Validity window for each minted assertion (ms).
+    assertion_ttl_ms: u64,
+}
+
+impl UserSession {
+    /// Wrap a completed login.
+    pub fn new(gss: GssSession, clock: Arc<SimClock>) -> Arc<UserSession> {
+        Arc::new(UserSession {
+            gss,
+            clock,
+            counter: AtomicU64::new(0),
+            assertion_ttl_ms: 5 * 60 * 1000,
+        })
+    }
+
+    /// The authenticated principal.
+    pub fn principal(&self) -> &str {
+        &self.gss.principal
+    }
+
+    /// The GSS context id.
+    pub fn context_id(&self) -> &str {
+        &self.gss.context_id
+    }
+
+    /// Assertions minted so far.
+    pub fn assertions_minted(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Mint and sign a fresh assertion.
+    pub fn make_assertion(&self) -> Assertion {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut a = Assertion::new(
+            format!("{}-a{n:06}", self.gss.context_id),
+            self.gss.context_id.clone(),
+            self.gss.principal.clone(),
+            self.gss.mechanism.name(),
+            self.clock.timestamp(),
+            self.clock.now() + self.assertion_ttl_ms,
+        );
+        a.sign(&self.gss.key);
+        a
+    }
+
+    /// A SOAP header supplier that attaches a fresh signed assertion to
+    /// every outgoing call (install on any `SoapClient`).
+    pub fn header_supplier(self: &Arc<Self>) -> HeaderSupplier {
+        let me = Arc::clone(self);
+        Arc::new(move || vec![me.make_assertion().to_element()])
+    }
+
+    /// Extract the assertion element from a set of SOAP headers.
+    pub fn find_assertion(headers: &[Element]) -> Option<&Element> {
+        headers.iter().find(|h| h.local_name() == "Assertion")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::AuthService;
+    use portalws_gridsim::cred::Mechanism;
+
+    fn session() -> (Arc<AuthService>, Arc<UserSession>) {
+        let svc = AuthService::new(SimClock::new());
+        svc.register_user("alice@GCE.ORG", "pw");
+        let gss = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let session = UserSession::new(gss, Arc::clone(svc.clock()));
+        (svc, session)
+    }
+
+    #[test]
+    fn minted_assertions_verify_centrally() {
+        let (svc, session) = session();
+        for _ in 0..3 {
+            let a = session.make_assertion();
+            assert_eq!(svc.verify_assertion(&a).unwrap(), "alice@GCE.ORG");
+        }
+        assert_eq!(session.assertions_minted(), 3);
+    }
+
+    #[test]
+    fn assertion_ids_are_unique() {
+        let (_, session) = session();
+        let a = session.make_assertion();
+        let b = session.make_assertion();
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn header_supplier_produces_assertion_header() {
+        let (svc, session) = session();
+        let headers = (session.header_supplier())();
+        assert_eq!(headers.len(), 1);
+        let el = UserSession::find_assertion(&headers).expect("assertion header");
+        let a = Assertion::from_element(el).unwrap();
+        assert_eq!(svc.verify_assertion(&a).unwrap(), "alice@GCE.ORG");
+    }
+
+    #[test]
+    fn assertions_expire_after_ttl() {
+        let (svc, session) = session();
+        let a = session.make_assertion();
+        svc.clock().advance(5 * 60 * 1000 + 1);
+        assert!(svc.verify_assertion(&a).is_err());
+        // …but a freshly minted one still works.
+        let fresh = session.make_assertion();
+        assert!(svc.verify_assertion(&fresh).is_ok());
+    }
+}

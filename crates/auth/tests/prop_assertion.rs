@@ -1,0 +1,102 @@
+//! Property tests for the assertion layer: arbitrary assertions survive
+//! the XML round trip, signatures bind every signed field, and the MAC
+//! behaves like a function of (key, message).
+
+use portalws_auth::mac;
+use portalws_auth::Assertion;
+use portalws_xml::Element;
+use proptest::prelude::*;
+
+fn assertion_strategy() -> impl Strategy<Value = Assertion> {
+    (
+        "[a-z0-9-]{1,16}",
+        "ctx-[0-9]{1,6}",
+        "[a-zA-Z][a-zA-Z0-9.@-]{0,24}",
+        prop_oneof![Just("kerberos"), Just("gsi"), Just("pki")],
+        any::<u32>(),
+        proptest::collection::vec(("[a-zA-Z][a-zA-Z0-9:_-]{0,12}", "[!-~]{0,20}"), 0..4),
+    )
+        .prop_map(|(id, ctx, subject, mech, expires, statements)| {
+            let mut a = Assertion::new(
+                id,
+                ctx,
+                subject,
+                mech,
+                "2002-11-16T00:00:00Z",
+                u64::from(expires),
+            );
+            for (k, v) in statements {
+                a = a.with_statement(k, v);
+            }
+            a
+        })
+}
+
+proptest! {
+    #[test]
+    fn xml_round_trip(mut a in assertion_strategy(), key in "[a-f0-9]{8,32}") {
+        a.sign(&key);
+        let parsed = Assertion::from_element(&a.to_element()).expect("reparse");
+        prop_assert_eq!(&parsed, &a);
+        parsed.verify_signature(&key).expect("signature survives round trip");
+    }
+
+    #[test]
+    fn wire_text_round_trip(mut a in assertion_strategy(), key in "[a-f0-9]{8,32}") {
+        a.sign(&key);
+        // Through actual XML text, as a SOAP header travels.
+        let text = a.to_element().to_xml();
+        let parsed = Assertion::from_element(&Element::parse(&text).unwrap()).unwrap();
+        parsed.verify_signature(&key).expect("verify after wire");
+    }
+
+    #[test]
+    fn any_field_tamper_breaks_signature(
+        mut a in assertion_strategy(),
+        key in "[a-f0-9]{8,32}",
+        which in 0usize..5,
+    ) {
+        a.sign(&key);
+        let mut t = a.clone();
+        match which {
+            0 => t.subject.push('x'),
+            1 => t.context_id.push('9'),
+            2 => t.id.push('z'),
+            3 => t.expires_at_ms = t.expires_at_ms.wrapping_add(1),
+            _ => t.mechanism.push('k'),
+        }
+        prop_assert!(t.verify_signature(&key).is_err());
+    }
+
+    #[test]
+    fn wrong_key_always_rejected(
+        mut a in assertion_strategy(),
+        key in "[a-f]{8,16}",
+        other in "[0-9]{8,16}",
+    ) {
+        a.sign(&key);
+        prop_assert!(a.verify_signature(&other).is_err());
+    }
+
+    #[test]
+    fn mac_is_deterministic_and_key_separated(
+        key in "\\PC{1,32}",
+        data in "\\PC{0,128}",
+        suffix in "\\PC{1,8}",
+    ) {
+        let m = mac::sign(&key, &data);
+        prop_assert_eq!(&m, &mac::sign(&key, &data));
+        prop_assert!(mac::verify(&key, &data, &m));
+        // A different key or different data must not verify.
+        let key2 = format!("{key}{suffix}");
+        prop_assert!(!mac::verify(&key2, &data, &m));
+        let data2 = format!("{data}{suffix}");
+        prop_assert!(!mac::verify(&key, &data2, &m));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_elements(name in "[a-zA-Z][a-zA-Z0-9]{0,8}") {
+        let el = Element::new(name);
+        let _ = Assertion::from_element(&el);
+    }
+}

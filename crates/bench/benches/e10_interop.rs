@@ -1,0 +1,108 @@
+//! E10: the batch-script interoperability matrix as a benchmark —
+//! generation cost per implementation and dialect, the validation cost on
+//! the scheduler side, and the two client styles compared.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portalws_gridsim::sched::{parse_script, render_script, JobRequirements, SchedulerKind};
+use portalws_services::scriptgen::{
+    GatewayClient, HotPageClient, IuScriptGen, ScriptRequest, SdscScriptGen,
+};
+use portalws_soap::{SoapServer, SoapService};
+use portalws_wire::{Handler, InMemoryTransport, Transport};
+use portalws_wsdl::WsdlDefinition;
+
+fn serve(service: Arc<dyn SoapService>) -> Arc<dyn Transport> {
+    let server = SoapServer::new();
+    server.mount(service);
+    let handler: Arc<dyn Handler> = Arc::new(server);
+    Arc::new(InMemoryTransport::new(handler))
+}
+
+fn request(kind: SchedulerKind) -> ScriptRequest {
+    ScriptRequest {
+        scheduler: kind,
+        queue: "batch".into(),
+        job_name: "bench".into(),
+        command: "./a.out".into(),
+        cpus: 8,
+        wall_minutes: 120,
+    }
+}
+
+fn generation_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_generate");
+    let sites: [(&str, Arc<dyn SoapService>, &[SchedulerKind]); 2] = [
+        (
+            "iu",
+            Arc::new(IuScriptGen::decoupled()),
+            &[SchedulerKind::Pbs, SchedulerKind::Grd],
+        ),
+        (
+            "sdsc",
+            Arc::new(SdscScriptGen),
+            &[SchedulerKind::Lsf, SchedulerKind::Nqs],
+        ),
+    ];
+    for (site, service, kinds) in sites {
+        let wsdl = WsdlDefinition::from_service(&*service);
+        let transport = serve(service);
+        let gateway = GatewayClient::bind(wsdl, Arc::clone(&transport));
+        let hotpage = HotPageClient::connect(transport);
+        for &kind in kinds {
+            let req = request(kind);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{site}_gateway_client"), kind.name()),
+                &req,
+                |b, req| b.iter(|| gateway.generate(req).unwrap()),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("{site}_hotpage_client"), kind.name()),
+                &req,
+                |b, req| b.iter(|| hotpage.generate(req).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn validation_cost(c: &mut Criterion) {
+    // Scheduler-side parse/validate per dialect.
+    let mut g = c.benchmark_group("e10_validate");
+    for kind in SchedulerKind::ALL {
+        let script = render_script(
+            kind,
+            &JobRequirements {
+                name: "v".into(),
+                queue: "batch".into(),
+                cpus: 8,
+                wall_minutes: 120,
+                command: "./a.out".into(),
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &script,
+            |b, script| b.iter(|| parse_script(kind, script).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn compat_check(c: &mut Criterion) {
+    // The mechanized "agreed interface" check.
+    let iu = WsdlDefinition::from_service(&IuScriptGen::decoupled());
+    let sdsc = WsdlDefinition::from_service(&SdscScriptGen);
+    let mut g = c.benchmark_group("e10_compat");
+    g.bench_function("wsdl_compatibility_check", |b| {
+        b.iter(|| portalws_wsdl::is_compatible(&iu, &sdsc))
+    });
+    g.bench_function("wsdl_round_trip", |b| {
+        b.iter(|| WsdlDefinition::from_xml(&iu.to_xml()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, generation_matrix, validation_cost, compat_check);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E5: "The get and put methods transfer a file … by simply streaming the
+//! file as a string. This transfer mechanism does not scale well."
+//!
+//! Size sweep for string-streamed put/get against the base64 ablation,
+//! with throughput reporting so the scaling shape is visible, plus the
+//! escaping-density sweep that isolates where the string path loses.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use portalws_bench::payload;
+use portalws_gridsim::srb::Srb;
+use portalws_services::DataManagementService;
+use portalws_soap::{SoapClient, SoapServer, SoapValue};
+use portalws_wire::{Handler, InMemoryTransport};
+
+fn client() -> SoapClient {
+    let srb = Arc::new(Srb::new());
+    srb.mkdir("/bench").unwrap();
+    let server = SoapServer::new();
+    server.mount(Arc::new(DataManagementService::new(srb)));
+    let handler: Arc<dyn Handler> = Arc::new(server);
+    SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "DataManagement")
+}
+
+fn size_sweep(c: &mut Criterion) {
+    let data = client();
+    let mut g = c.benchmark_group("e5_transfer_size");
+    g.sample_size(20);
+    for kib in [1usize, 16, 64, 256, 1024] {
+        let len = kib * 1024;
+        // 10% escapable characters: realistic text with some markup.
+        let content = payload(len, 0.1);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(
+            BenchmarkId::new("put_string", kib),
+            &content,
+            |b, content| {
+                b.iter(|| {
+                    data.call(
+                        "put",
+                        &[SoapValue::str("/bench/s.dat"), SoapValue::str(content)],
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("get_string", kib), &(), |b, _| {
+            b.iter(|| data.call("get", &[SoapValue::str("/bench/s.dat")]).unwrap())
+        });
+        let bytes = content.clone().into_bytes();
+        g.bench_with_input(BenchmarkId::new("put_base64", kib), &bytes, |b, bytes| {
+            b.iter(|| {
+                data.call(
+                    "putB64",
+                    &[
+                        SoapValue::str("/bench/b.dat"),
+                        SoapValue::Base64(bytes.clone()),
+                    ],
+                )
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("get_base64", kib), &(), |b, _| {
+            b.iter(|| {
+                data.call("getB64", &[SoapValue::str("/bench/b.dat")])
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn escaping_density(c: &mut Criterion) {
+    let data = client();
+    let mut g = c.benchmark_group("e5_escaping_density");
+    let len = 256 * 1024;
+    for pct in [0usize, 10, 50, 100] {
+        let content = payload(len, pct as f64 / 100.0);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(pct),
+            &content,
+            |b, content| {
+                b.iter(|| {
+                    data.call(
+                        "put",
+                        &[SoapValue::str("/bench/esc.dat"), SoapValue::str(content)],
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, size_sweep, escaping_density);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E7: UDDI string search vs the proposed typed container-registry query.
+//!
+//! Latency at growing registry sizes; precision/recall are deterministic
+//! and reported by the `report` binary and the `experiment_claims`
+//! integration test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portalws_bench::discovery_population;
+
+fn query_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_discovery");
+    for n in [16usize, 64, 256, 1024] {
+        let (uddi, container, _) = discovery_population(n);
+        g.bench_with_input(BenchmarkId::new("uddi_string_search", n), &uddi, |b, u| {
+            b.iter(|| u.find_service("LSF"))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("container_typed_query", n),
+            &container,
+            |b, reg| b.iter(|| reg.query("schedulers/scheduler", "LSF")),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("container_path_lookup", n),
+            &container,
+            |b, reg| b.iter(|| reg.lookup("/gce/scriptgen/scriptgen-0").unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn publication_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_publication");
+    g.bench_function("populate_64_services_both_registries", |b| {
+        b.iter(|| discovery_population(64))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, query_latency, publication_latency);
+criterion_main!(benches);

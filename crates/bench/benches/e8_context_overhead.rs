@@ -1,0 +1,172 @@
+//! E8: "Making this into an independent service introduced unnecessary
+//! overhead because we needed to create artificial contexts (sessions)
+//! for HotPage users."
+//!
+//! Per-call script generation under the three context couplings, plus
+//! monolith-vs-decomposed dispatch cost on the context manager itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use portalws_gridsim::sched::SchedulerKind;
+use portalws_services::context::{ContextManagerMonolith, ContextStore, DecomposedContextServices};
+use portalws_services::scriptgen::{ContextCoupling, HotPageClient, IuScriptGen, ScriptRequest};
+use portalws_soap::{SoapServer, SoapService, SoapValue};
+use portalws_wire::{Handler, InMemoryTransport};
+
+fn request() -> ScriptRequest {
+    ScriptRequest {
+        scheduler: SchedulerKind::Pbs,
+        queue: "batch".into(),
+        job_name: "bench".into(),
+        command: "date".into(),
+        cpus: 2,
+        wall_minutes: 10,
+    }
+}
+
+fn serve(coupling: ContextCoupling) -> HotPageClient {
+    let server = SoapServer::new();
+    server.mount(Arc::new(IuScriptGen::new(coupling)));
+    let handler: Arc<dyn Handler> = Arc::new(server);
+    HotPageClient::connect(Arc::new(InMemoryTransport::new(handler)))
+}
+
+fn coupling_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_scriptgen_coupling");
+    let req = request();
+
+    let client = serve(ContextCoupling::Decoupled);
+    g.bench_function("decoupled", |b| b.iter(|| client.generate(&req).unwrap()));
+
+    let client = serve(ContextCoupling::Integrated(ContextStore::new()));
+    g.bench_function("integrated_session", |b| {
+        b.iter(|| client.generate(&req).unwrap())
+    });
+
+    let client = serve(ContextCoupling::Placeholder(ContextStore::new()));
+    g.bench_function("placeholder_per_call", |b| {
+        b.iter(|| client.generate(&req).unwrap())
+    });
+    g.finish();
+}
+
+fn context_manager_dispatch(c: &mut Criterion) {
+    // Monolith vs decomposed for the same logical operation: set and read
+    // one property on a session context.
+    let ctx = portalws_soap::CallContext {
+        headers: vec![],
+        service: "ContextManager".into(),
+        method: "x".into(),
+    };
+    let mut g = c.benchmark_group("e8_context_dispatch");
+
+    let store = ContextStore::new();
+    store.add(&["u"]).unwrap();
+    store.add(&["u", "p"]).unwrap();
+    store.add(&["u", "p", "s"]).unwrap();
+    let monolith = ContextManagerMonolith::new(Arc::clone(&store));
+    g.bench_function("monolith_set_get", |b| {
+        b.iter(|| {
+            monolith
+                .invoke(
+                    "setSessionProperty",
+                    &[
+                        ("u".into(), SoapValue::str("u")),
+                        ("p".into(), SoapValue::str("p")),
+                        ("s".into(), SoapValue::str("s")),
+                        ("k".into(), SoapValue::str("key")),
+                        ("v".into(), SoapValue::str("value")),
+                    ],
+                    &ctx,
+                )
+                .unwrap();
+            monolith
+                .invoke(
+                    "getSessionProperty",
+                    &[
+                        ("u".into(), SoapValue::str("u")),
+                        ("p".into(), SoapValue::str("p")),
+                        ("s".into(), SoapValue::str("s")),
+                        ("k".into(), SoapValue::str("key")),
+                    ],
+                    &ctx,
+                )
+                .unwrap()
+        })
+    });
+
+    let d = DecomposedContextServices::new(Arc::clone(&store));
+    g.bench_function("decomposed_set_get", |b| {
+        b.iter(|| {
+            d.properties
+                .invoke(
+                    "set",
+                    &[
+                        ("p".into(), SoapValue::str("/u/p/s")),
+                        ("k".into(), SoapValue::str("key")),
+                        ("v".into(), SoapValue::str("value")),
+                    ],
+                    &ctx,
+                )
+                .unwrap();
+            d.properties
+                .invoke(
+                    "get",
+                    &[
+                        ("p".into(), SoapValue::str("/u/p/s")),
+                        ("k".into(), SoapValue::str("key")),
+                    ],
+                    &ctx,
+                )
+                .unwrap()
+        })
+    });
+
+    // Interface publication cost: generating the WSDL for 60+ methods vs
+    // three small services.
+    g.bench_function("monolith_wsdl_generation", |b| {
+        b.iter(|| portalws_wsdl::WsdlDefinition::from_service(&monolith).to_xml())
+    });
+    g.bench_function("decomposed_wsdl_generation", |b| {
+        b.iter(|| {
+            (
+                portalws_wsdl::WsdlDefinition::from_service(&*d.tree).to_xml(),
+                portalws_wsdl::WsdlDefinition::from_service(&*d.properties).to_xml(),
+                portalws_wsdl::WsdlDefinition::from_service(&*d.archive).to_xml(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn archival(c: &mut Criterion) {
+    let store = ContextStore::new();
+    store.add(&["u"]).unwrap();
+    for p in 0..8 {
+        let problem = format!("p{p}");
+        store.add(&["u", &problem]).unwrap();
+        for s in 0..8 {
+            let session = format!("s{s}");
+            store.add(&["u", &problem, &session]).unwrap();
+            store
+                .set_property(&["u", &problem, &session], "k", "v")
+                .unwrap();
+        }
+    }
+    let mut g = c.benchmark_group("e8_archival");
+    g.bench_function("archive_user_subtree_73_contexts", |b| {
+        b.iter(|| store.archive(&["u"]).unwrap())
+    });
+    let archived = store.archive(&["u"]).unwrap();
+    g.bench_function("restore_user_subtree", |b| {
+        b.iter(|| {
+            let fresh = ContextStore::new();
+            fresh.restore(&[], &archived).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, coupling_modes, context_manager_dispatch, archival);
+criterion_main!(benches);

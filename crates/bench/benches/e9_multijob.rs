@@ -1,0 +1,98 @@
+//! E9: "The DTD … was designed to allow multiple jobs to be included in a
+//! single XML string… The Web Service executes the jobs sequentially."
+//!
+//! Wall-clock processing cost of the multi-job request forms (parse +
+//! submit machinery), batched vs per-job requests, and the parallel
+//! ablation. The *simulated makespan* difference (the headline number) is
+//! deterministic and printed by the `report` binary.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portalws_bench::jobs_request;
+use portalws_gridsim::grid::Grid;
+use portalws_services::JobSubmissionService;
+use portalws_soap::{SoapClient, SoapServer, SoapValue};
+use portalws_wire::{Handler, InMemoryTransport};
+
+fn client() -> SoapClient {
+    let server = SoapServer::new();
+    server.mount(Arc::new(JobSubmissionService::new(Grid::testbed())));
+    let handler: Arc<dyn Handler> = Arc::new(server);
+    SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "JobSubmission")
+}
+
+fn multi_job_forms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_multijob");
+    g.sample_size(20);
+    for n in [1usize, 4, 16, 32] {
+        // Zero-second jobs isolate protocol/processing cost from the
+        // simulated runtimes.
+        let request = jobs_request(n, 0, 1);
+        let jobs = client();
+        g.bench_with_input(
+            BenchmarkId::new("one_request_sequential", n),
+            &request,
+            |b, request| {
+                b.iter(|| {
+                    jobs.call("runXml", &[SoapValue::Xml(request.clone())])
+                        .unwrap()
+                })
+            },
+        );
+        let jobs = client();
+        g.bench_with_input(
+            BenchmarkId::new("one_request_parallel", n),
+            &request,
+            |b, request| {
+                b.iter(|| {
+                    jobs.call("runXmlParallel", &[SoapValue::Xml(request.clone())])
+                        .unwrap()
+                })
+            },
+        );
+        let jobs = client();
+        g.bench_with_input(BenchmarkId::new("n_single_requests", n), &n, |b, &n| {
+            b.iter(|| {
+                for _ in 0..n {
+                    let one = jobs_request(1, 0, 1);
+                    jobs.call("runXml", &[SoapValue::Xml(one)]).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn submission_only(c: &mut Criterion) {
+    // Async submit path: how fast the service accepts work.
+    let jobs = client();
+    let script = portalws_gridsim::sched::render_script(
+        portalws_gridsim::sched::SchedulerKind::Pbs,
+        &portalws_gridsim::sched::JobRequirements {
+            name: "s".into(),
+            queue: "batch".into(),
+            cpus: 1,
+            wall_minutes: 10,
+            command: "date".into(),
+        },
+    );
+    let mut g = c.benchmark_group("e9_submit");
+    g.bench_function("async_submit", |b| {
+        b.iter(|| {
+            jobs.call(
+                "submit",
+                &[
+                    SoapValue::str("tg-login"),
+                    SoapValue::str("PBS"),
+                    SoapValue::str(&script),
+                ],
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, multi_job_forms, submission_only);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E3 / Figure 3: the schema wizard.
+//!
+//! Measures every pipeline stage against schema size (leaf-element count)
+//! and nesting depth, plus marshal/unmarshal round-trips — the generation
+//! cost the paper's automation trades for hand-written UI code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use portalws_bench::{synthetic_form, synthetic_schema};
+use portalws_wizard::{BeanRegistry, SchemaWizard, Som};
+
+fn pipeline_vs_schema_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_pipeline");
+    for leaves in [4usize, 16, 64, 256] {
+        let schema = synthetic_schema(leaves, 4, 2);
+        g.throughput(Throughput::Elements(leaves as u64));
+        g.bench_with_input(BenchmarkId::new("som_walk", leaves), &schema, |b, s| {
+            b.iter(|| Som::new(s).walk("root").unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("generate_bindings", leaves),
+            &schema,
+            |b, s| b.iter(|| BeanRegistry::generate(s, "root").unwrap()),
+        );
+        let wizard = SchemaWizard::new(schema.clone());
+        g.bench_with_input(BenchmarkId::new("generate_form", leaves), &wizard, |b, w| {
+            b.iter(|| w.generate_page("root", "/wizard/root", &[]).unwrap())
+        });
+        let form = synthetic_form(&schema);
+        g.bench_with_input(
+            BenchmarkId::new("form_to_instance", leaves),
+            &(wizard, form),
+            |b, (w, f)| b.iter(|| w.instance_from_form("root", f).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn depth_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_depth");
+    for depth in [1usize, 2, 3, 4] {
+        let schema = synthetic_schema(32, 2, depth);
+        let wizard = SchemaWizard::new(schema);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &wizard, |b, w| {
+            b.iter(|| w.generate_page("root", "/x", &[]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn marshal_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_marshal");
+    for leaves in [16usize, 64, 256] {
+        let schema = synthetic_schema(leaves, 4, 2);
+        let registry = BeanRegistry::generate(&schema, "root").unwrap();
+        let wizard = SchemaWizard::new(schema.clone());
+        let instance = wizard
+            .instance_from_form("root", &synthetic_form(&schema))
+            .unwrap();
+        g.throughput(Throughput::Elements(leaves as u64));
+        g.bench_with_input(
+            BenchmarkId::new("unmarshal", leaves),
+            &instance,
+            |b, inst| b.iter(|| registry.unmarshal(inst).unwrap()),
+        );
+        let bean = registry.unmarshal(&instance).unwrap();
+        g.bench_with_input(BenchmarkId::new("marshal_validated", leaves), &bean, |b, bean| {
+            b.iter(|| registry.marshal_validated(bean).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("validate_only", leaves),
+            &instance,
+            |b, inst| b.iter(|| schema.validate(inst).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn descriptor_schema_case(c: &mut Criterion) {
+    // The real workload: the Application Web Services descriptor schema.
+    let schema = portalws_appws::descriptor::descriptor_schema();
+    let wizard = SchemaWizard::new(schema);
+    let mut g = c.benchmark_group("fig3_descriptor_schema");
+    g.bench_function("generate_form", |b| {
+        b.iter(|| wizard.generate_page("application", "/x", &[]).unwrap())
+    });
+    g.bench_function("validate_gaussian_descriptor", |b| {
+        let doc = portalws_appws::descriptor::gaussian_example().to_element();
+        b.iter(|| wizard.schema().validate(&doc).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    pipeline_vs_schema_size,
+    depth_sweep,
+    marshal_round_trip,
+    descriptor_schema_case
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! E4 / Figure 4: the integrated portal.
+//!
+//! Measures portal-shell pipelines that compose core services, and
+//! portlet-page aggregation cost against portlet count.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use portalws_core::{PortalDeployment, PortalShell, SecurityMode, UiServer};
+use portalws_portlets::{HtmlPortlet, PortalPage, PortletRegistry, WebFormPortlet};
+use portalws_wire::{Handler, InMemoryTransport, Request, Response};
+
+fn shell_pipelines(c: &mut Criterion) {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let ui = Arc::new(UiServer::new(deployment));
+    let shell = PortalShell::new(ui);
+    shell.exec("mkdir /public/bench").unwrap();
+
+    let mut g = c.benchmark_group("fig4_shell");
+    g.bench_function("echo", |b| b.iter(|| shell.exec("echo hello").unwrap()));
+    g.bench_function("hosts", |b| b.iter(|| shell.exec("hosts").unwrap()));
+    g.bench_function("pipe_put_cat", |b| {
+        b.iter(|| {
+            shell
+                .exec("echo payload | put /public/bench/f.txt; cat /public/bench/f.txt")
+                .unwrap()
+        })
+    });
+    g.bench_function("scriptgen_only", |b| {
+        b.iter(|| {
+            shell
+                .exec("scriptgen iu PBS batch bench 2 10 -- date")
+                .unwrap()
+        })
+    });
+    g.bench_function("scriptgen_pipe_jobsub", |b| {
+        b.iter(|| {
+            shell
+                .exec("scriptgen iu PBS batch bench 2 10 -- date | jobsub tg-login PBS")
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn page_aggregation(c: &mut Criterion) {
+    let remote: Arc<dyn Handler> = Arc::new(|req: &Request| {
+        Response::html(format!(
+            "<p>content of {}</p><a href=\"/next\">next</a>",
+            req.path_only()
+        ))
+    });
+
+    let mut g = c.benchmark_group("fig4_portlet_aggregation");
+    for count in [1usize, 4, 8, 16, 24] {
+        let registry = Arc::new(PortletRegistry::new());
+        for i in 0..count {
+            if i % 2 == 0 {
+                registry.register(Arc::new(HtmlPortlet::new(
+                    format!("html{i}"),
+                    format!("Local {i}"),
+                    "<p>static content</p>",
+                )));
+                registry
+                    .add_to_layout("alice", &format!("html{i}"), i % 3)
+                    .unwrap();
+            } else {
+                registry.register(Arc::new(WebFormPortlet::new(
+                    format!("web{i}"),
+                    format!("Remote {i}"),
+                    format!("/app{i}"),
+                    Arc::new(InMemoryTransport::new(Arc::clone(&remote))),
+                )));
+                registry
+                    .add_to_layout("alice", &format!("web{i}"), i % 3)
+                    .unwrap();
+            }
+        }
+        let portal = PortalPage::new(registry, "/portal");
+        g.bench_with_input(BenchmarkId::from_parameter(count), &portal, |b, p| {
+            b.iter(|| p.handle(&Request::get("/portal?user=alice")))
+        });
+    }
+    g.finish();
+}
+
+fn full_session(c: &mut Criterion) {
+    // A complete secured user session: login, one discovery, one script
+    // generation, one async submit.
+    let mut g = c.benchmark_group("fig4_full_session");
+    g.sample_size(20);
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    g.bench_function("login_discover_generate_submit", |b| {
+        b.iter(|| {
+            let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
+            let shell = PortalShell::new(ui);
+            shell.exec("login alice@GCE.ORG alice-pass").unwrap();
+            shell
+                .exec("scriptgen iu PBS batch s 2 10 -- date | jobsub tg-login PBS")
+                .unwrap();
+            shell.exec("logout").unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, shell_pipelines, page_aggregation, full_session);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Substrate bench: the XML layer every experiment pays for.
+//!
+//! Parsing, serialization, escaping, and schema validation throughput —
+//! the "XML tax" that E1/E5 report at the protocol level, isolated here
+//! at the substrate level so regressions in the foundation are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use portalws_bench::{synthetic_schema, payload};
+use portalws_xml::{Element, Schema};
+
+fn build_document(elements: usize) -> Element {
+    let mut root = Element::new("results");
+    for i in 0..elements {
+        root.push_child(
+            Element::new("entry")
+                .with_attr("id", i.to_string())
+                .with_text_child("name", format!("object-{i}"))
+                .with_text_child("size", (i * 37).to_string())
+                .with_text_child("owner", "alice@GCE.ORG"),
+        );
+    }
+    root
+}
+
+fn parse_and_serialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml_parse_serialize");
+    for elements in [10usize, 100, 1000] {
+        let doc = build_document(elements);
+        let compact = doc.to_xml();
+        g.throughput(Throughput::Bytes(compact.len() as u64));
+        g.bench_with_input(BenchmarkId::new("parse", elements), &compact, |b, s| {
+            b.iter(|| Element::parse(s).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("serialize", elements), &doc, |b, d| {
+            b.iter(|| d.to_xml())
+        });
+        g.bench_with_input(BenchmarkId::new("pretty", elements), &doc, |b, d| {
+            b.iter(|| d.to_pretty())
+        });
+    }
+    g.finish();
+}
+
+fn escaping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml_escaping");
+    let len = 256 * 1024;
+    for pct in [0usize, 10, 100] {
+        let text = payload(len, pct as f64 / 100.0);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(
+            BenchmarkId::new("escape_text", pct),
+            &text,
+            |b, t| b.iter(|| portalws_xml::escape::escape_text(t)),
+        );
+        let escaped = portalws_xml::escape::escape_text(&text);
+        g.bench_with_input(
+            BenchmarkId::new("unescape", pct),
+            &escaped,
+            |b, t| b.iter(|| portalws_xml::escape::unescape(t).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn schema_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml_schema_validate");
+    for leaves in [16usize, 64, 256] {
+        let schema: Schema = synthetic_schema(leaves, 4, 2);
+        let instance = schema.sample_instance("root").unwrap();
+        g.throughput(Throughput::Elements(leaves as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(leaves),
+            &(schema, instance),
+            |b, (schema, instance)| b.iter(|| schema.validate(instance).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn path_queries(c: &mut Criterion) {
+    let doc = build_document(1000);
+    let mut g = c.benchmark_group("xml_path");
+    g.bench_function("value_at_indexed", |b| {
+        b.iter(|| portalws_xml::path::value_at(&doc, "entry[500]/name").unwrap())
+    });
+    g.bench_function("count_at", |b| {
+        b.iter(|| portalws_xml::path::count_at(&doc, "entry").unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, parse_and_serialize, escaping, schema_validation, path_queries);
+criterion_main!(benches);

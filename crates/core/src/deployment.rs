@@ -1,0 +1,703 @@
+//! Deployment: the multi-server GCE testbed topology.
+//!
+//! Figure 1's premise is that every piece "runs on a separate web
+//! server". This module stands up that topology:
+//!
+//! | Logical host        | Services |
+//! |---------------------|----------|
+//! | `registry.gce.org`  | `Uddi`, `ContainerRegistry` |
+//! | `auth.gce.org`      | `Authentication` |
+//! | `grid.sdsc.edu`     | `JobSubmission`, `DataManagement`, `BatchJob` |
+//! | `gateway.iu.edu`    | `BatchScriptGen` (IU impl), `ContextManager`, decomposed context services |
+//! | `hotpage.sdsc.edu`  | `BatchScriptGen` (SDSC impl) |
+//!
+//! Every host also publishes `/wsdl/<Service>` documents, and the UDDI is
+//! pre-populated with the testbed's businesses and services (with the
+//! era-faithful free-text capability descriptions), while the container
+//! registry carries the same services with *typed* metadata — the two
+//! sides of experiment E7.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use portalws_auth::{guard, AuthService, AuthSoapFacade};
+use portalws_gridsim::clock::SimClock;
+use portalws_gridsim::grid::Grid;
+use portalws_gridsim::srb::Srb;
+use portalws_registry::{
+    BindingTemplate, ContainerRegistry, ContainerRegistryService, ServiceEntry, UddiRegistry,
+    UddiService,
+};
+use portalws_services::context::{
+    ContextManagerMonolith, ContextStore, DecomposedContextServices,
+};
+use portalws_services::scriptgen::{ContextCoupling, IuScriptGen, SdscScriptGen};
+use portalws_services::{AppFactoryService, BatchJobService, DataManagementService, JobSubmissionService};
+use portalws_soap::{SoapClient, SoapServer, SoapService};
+use portalws_wire::{Handler, HttpServer, HttpTransport, InMemoryTransport, Router, ServerHandle, Transport};
+use portalws_wsdl::handler::WsdlHandler;
+use portalws_wsdl::WsdlDefinition;
+use portalws_xml::Element;
+
+use crate::{PortalError, Result};
+
+/// How SOAP Service Providers verify callers (the E2 arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecurityMode {
+    /// No authentication (baseline).
+    Open,
+    /// Figure 2 central verification: SSPs forward assertions to the
+    /// Authentication Service per call.
+    Central,
+    /// Decentralized ablation: SSPs verify in-process.
+    Local,
+}
+
+/// One logical server: a router holding `/soap`, `/wsdl`, and the
+/// decentralized-discovery document at `/inspection.wsil`.
+struct LogicalServer {
+    router: Arc<Router>,
+    soap: Arc<SoapServer>,
+    wsdl: Arc<WsdlHandler>,
+    wsil: Arc<portalws_registry::WsilHandler>,
+}
+
+impl LogicalServer {
+    fn new() -> LogicalServer {
+        let router = Arc::new(Router::new());
+        let soap = Arc::new(SoapServer::new());
+        let wsdl = Arc::new(WsdlHandler::new());
+        let wsil = Arc::new(portalws_registry::WsilHandler::new());
+        router.mount("/soap", Arc::clone(&soap) as Arc<dyn Handler>);
+        router.mount("/wsdl", Arc::clone(&wsdl) as Arc<dyn Handler>);
+        router.mount(
+            "/inspection.wsil",
+            Arc::clone(&wsil) as Arc<dyn Handler>,
+        );
+        LogicalServer {
+            router,
+            soap,
+            wsdl,
+            wsil,
+        }
+    }
+
+    fn mount(&self, host: &str, service: Arc<dyn SoapService>) {
+        let endpoint = format!("http://{host}/soap/{}", service.name());
+        self.wsdl
+            .publish(WsdlDefinition::from_service(&*service).with_endpoint(endpoint.clone()));
+        self.wsil.announce(portalws_registry::WsilService {
+            name: service.name().to_owned(),
+            abstract_text: service
+                .methods()
+                .first()
+                .map(|m| m.doc.clone())
+                .unwrap_or_default(),
+            wsdl_location: format!("http://{host}/wsdl/{}", service.name()),
+            endpoint,
+        });
+        self.soap.mount(service);
+    }
+}
+
+/// The running testbed.
+pub struct PortalDeployment {
+    /// Shared simulation clock.
+    pub clock: Arc<SimClock>,
+    /// The simulated grid.
+    pub grid: Arc<Grid>,
+    /// The storage broker.
+    pub srb: Arc<Srb>,
+    /// The Authentication Service (keytab holder).
+    pub auth: Arc<AuthService>,
+    /// The Gateway context store.
+    pub contexts: Arc<ContextStore>,
+    /// The UDDI registry (shared with its SOAP facade).
+    pub uddi: Arc<UddiRegistry>,
+    /// The container registry (shared with its SOAP facade).
+    pub container_registry: Arc<ContainerRegistry>,
+    transports: HashMap<String, Arc<dyn Transport>>,
+    /// True once [`PortalDeployment::enable_mutual_auth`] has run.
+    mutual: std::sync::atomic::AtomicBool,
+    /// SOAP servers by host, kept so guards (security mode, access
+    /// policies) can be reconfigured after deployment.
+    soap_servers: HashMap<String, Arc<SoapServer>>,
+    /// Keeps TCP servers alive in `over_tcp` mode.
+    _tcp_servers: Vec<ServerHandle>,
+    security: SecurityMode,
+}
+
+/// Registered demo users: (principal, secret).
+pub const USERS: [(&str, &str); 2] = [
+    ("alice@GCE.ORG", "alice-pass"),
+    ("bob@GCE.ORG", "bob-pass"),
+];
+
+impl PortalDeployment {
+    /// Stand the testbed up over in-memory transports (full message
+    /// framing, no sockets) — the default for tests and benchmarks.
+    pub fn in_memory(security: SecurityMode) -> Arc<PortalDeployment> {
+        Self::build(security, false)
+    }
+
+    /// Stand the testbed up over real TCP servers on localhost, each
+    /// logical host on its own port with `2` worker threads.
+    pub fn over_tcp(security: SecurityMode) -> Arc<PortalDeployment> {
+        Self::build(security, true)
+    }
+
+    fn build(security: SecurityMode, tcp: bool) -> Arc<PortalDeployment> {
+        let clock = SimClock::new();
+        let grid = Grid::with_clock(Arc::clone(&clock));
+        // Mirror the paper testbed hosts/schedulers.
+        for spec in testbed_hosts() {
+            grid.add_host(spec.0, spec.1);
+        }
+        let srb = Arc::new(Srb::testbed(&["alice@GCE.ORG", "bob@GCE.ORG"]));
+        let auth = AuthService::new(Arc::clone(&clock));
+        for (user, pass) in USERS {
+            auth.register_user(user, pass);
+        }
+        let contexts = ContextStore::new();
+        let uddi = Arc::new(UddiRegistry::new());
+        let container_registry = Arc::new(ContainerRegistry::new());
+
+        // ---- logical servers -------------------------------------------
+        let registry_srv = LogicalServer::new();
+        registry_srv.mount(
+            "registry.gce.org",
+            Arc::new(UddiService::new(Arc::clone(&uddi))),
+        );
+        registry_srv.mount(
+            "registry.gce.org",
+            Arc::new(ContainerRegistryService::new(Arc::clone(
+                &container_registry,
+            ))),
+        );
+
+        let auth_srv = LogicalServer::new();
+        auth_srv.mount(
+            "auth.gce.org",
+            Arc::new(AuthSoapFacade(Arc::clone(&auth))),
+        );
+
+        let grid_srv = LogicalServer::new();
+        let jobsub = Arc::new(JobSubmissionService::new(Arc::clone(&grid)));
+        grid_srv.mount("grid.sdsc.edu", jobsub);
+        grid_srv.mount(
+            "grid.sdsc.edu",
+            Arc::new(DataManagementService::new(Arc::clone(&srb))),
+        );
+        grid_srv.mount(
+            "grid.sdsc.edu",
+            Arc::new(AppFactoryService::new(
+                Arc::clone(&grid),
+                Some(Arc::clone(&contexts)),
+            )),
+        );
+
+        let iu_srv = LogicalServer::new();
+        iu_srv.mount(
+            "gateway.iu.edu",
+            Arc::new(IuScriptGen::new(ContextCoupling::Integrated(Arc::clone(
+                &contexts,
+            )))),
+        );
+        iu_srv.mount(
+            "gateway.iu.edu",
+            Arc::new(ContextManagerMonolith::new(Arc::clone(&contexts))),
+        );
+        let decomposed = DecomposedContextServices::new(Arc::clone(&contexts));
+        iu_srv.mount(
+            "gateway.iu.edu",
+            Arc::clone(&decomposed.tree) as Arc<dyn SoapService>,
+        );
+        iu_srv.mount(
+            "gateway.iu.edu",
+            Arc::clone(&decomposed.properties) as Arc<dyn SoapService>,
+        );
+        iu_srv.mount(
+            "gateway.iu.edu",
+            Arc::clone(&decomposed.archive) as Arc<dyn SoapService>,
+        );
+
+        let sdsc_srv = LogicalServer::new();
+        sdsc_srv.mount("hotpage.sdsc.edu", Arc::new(SdscScriptGen));
+
+        let servers: Vec<(&str, LogicalServer)> = vec![
+            ("registry.gce.org", registry_srv),
+            ("auth.gce.org", auth_srv),
+            ("grid.sdsc.edu", grid_srv),
+            ("gateway.iu.edu", iu_srv),
+            ("hotpage.sdsc.edu", sdsc_srv),
+        ];
+
+        // WSIL documents link their peers, making the host set walkable
+        // without the central registry.
+        for (host, server) in &servers {
+            for (other, _) in &servers {
+                if other != host {
+                    server
+                        .wsil
+                        .link(format!("http://{other}/inspection.wsil"));
+                }
+            }
+        }
+
+        // ---- transports --------------------------------------------------
+        let mut transports: HashMap<String, Arc<dyn Transport>> = HashMap::new();
+        let mut tcp_servers = Vec::new();
+        if tcp {
+            for (host, server) in &servers {
+                let handle = HttpServer::start(
+                    Arc::clone(&server.router) as Arc<dyn Handler>,
+                    2,
+                )
+                .expect("bind localhost");
+                transports.insert(
+                    (*host).to_owned(),
+                    Arc::new(HttpTransport::new(handle.addr())) as Arc<dyn Transport>,
+                );
+                tcp_servers.push(handle);
+            }
+        } else {
+            for (host, server) in &servers {
+                transports.insert(
+                    (*host).to_owned(),
+                    Arc::new(InMemoryTransport::new(
+                        Arc::clone(&server.router) as Arc<dyn Handler>
+                    )) as Arc<dyn Transport>,
+                );
+            }
+        }
+
+        // ---- composed service: BatchJob forwards to JobSubmission -------
+        {
+            let jobsub_client = Arc::new(SoapClient::new(
+                Arc::clone(&transports["grid.sdsc.edu"]),
+                "JobSubmission",
+            ));
+            let (_, grid_ls) = servers
+                .iter()
+                .find(|(h, _)| *h == "grid.sdsc.edu")
+                .expect("grid server exists");
+            grid_ls.mount("grid.sdsc.edu", Arc::new(BatchJobService::new(jobsub_client)));
+        }
+
+        let soap_servers: HashMap<String, Arc<SoapServer>> = servers
+            .iter()
+            .map(|(host, server)| ((*host).to_owned(), Arc::clone(&server.soap)))
+            .collect();
+
+        let deployment = PortalDeployment {
+            clock,
+            grid,
+            srb,
+            auth,
+            contexts,
+            uddi,
+            container_registry,
+            transports,
+            mutual: std::sync::atomic::AtomicBool::new(false),
+            soap_servers,
+            _tcp_servers: tcp_servers,
+            security,
+        };
+        deployment.apply_guards(None);
+        deployment.populate_registries();
+        Arc::new(deployment)
+    }
+
+    /// Security mode in effect.
+    pub fn security(&self) -> SecurityMode {
+        self.security
+    }
+
+    /// Hosts whose SSPs are guarded. The paper guards protected services,
+    /// not the Authentication Service itself or public discovery.
+    fn is_protected_host(host: &str) -> bool {
+        host != "auth.gce.org" && host != "registry.gce.org"
+    }
+
+    /// Build the authentication guard for the deployment's security mode.
+    fn authn_guard(&self) -> portalws_soap::Guard {
+        match self.security {
+            SecurityMode::Open => guard::no_auth_guard(),
+            SecurityMode::Central => {
+                let auth_client = Arc::new(SoapClient::new(
+                    Arc::clone(&self.transports["auth.gce.org"]),
+                    "Authentication",
+                ));
+                guard::remote_guard(auth_client)
+            }
+            SecurityMode::Local => guard::local_guard(Arc::clone(&self.auth)),
+        }
+    }
+
+    /// (Re)apply guards to every protected SSP, optionally composing an
+    /// Akenti-style access policy on top of authentication.
+    fn apply_guards(&self, policy: Option<Arc<portalws_auth::PolicyEngine>>) {
+        if self.security == SecurityMode::Open && policy.is_none() {
+            return;
+        }
+        for (host, server) in &self.soap_servers {
+            if !Self::is_protected_host(host) {
+                continue;
+            }
+            let base = self.authn_guard();
+            let g = match &policy {
+                // Policies require a verified subject, so Open mode keeps
+                // its authn-less base only when no policy is installed.
+                Some(policy) => {
+                    let base = if self.security == SecurityMode::Open {
+                        guard::local_guard(Arc::clone(&self.auth))
+                    } else {
+                        base
+                    };
+                    guard::authorized(base, Arc::clone(policy))
+                }
+                None => base,
+            };
+            server.set_guard(g);
+        }
+    }
+
+    /// Install an access-control policy on every protected SSP (§4's
+    /// further-work item). Callers must already be authenticated; the
+    /// policy decides per `(principal, service, method)`.
+    pub fn install_access_policy(&self, policy: Arc<portalws_auth::PolicyEngine>) {
+        self.apply_guards(Some(policy));
+    }
+
+    /// The host principal a server authenticates itself as under mutual
+    /// authentication.
+    pub fn server_principal(host: &str) -> String {
+        format!("{host}@GCE.ORG")
+    }
+
+    /// Is mutual authentication enabled?
+    pub fn mutual_enabled(&self) -> bool {
+        self.mutual.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Enable mutual authentication (§4's "each server in the system would
+    /// authenticate itself"): every server gets a host principal in the
+    /// keytab, logs in, and stamps a signed assertion into each reply.
+    /// `UiServer` proxies created afterwards verify those assertions.
+    pub fn enable_mutual_auth(&self) {
+        for (host, server) in &self.soap_servers {
+            let principal = Self::server_principal(host);
+            let secret = format!("{host}-host-secret");
+            self.auth.register_user(&principal, &secret);
+            let gss = self
+                .auth
+                .login(
+                    &principal,
+                    &secret,
+                    portalws_gridsim::cred::Mechanism::Kerberos,
+                )
+                .expect("host principal just registered");
+            let session =
+                portalws_auth::UserSession::new(gss, Arc::clone(&self.clock));
+            server.set_response_header_supplier(portalws_auth::mutual::server_identity(
+                session,
+            ));
+        }
+        self.mutual.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Transport to a logical host.
+    pub fn transport(&self, host: &str) -> Result<Arc<dyn Transport>> {
+        self.transports
+            .get(host)
+            .map(Arc::clone)
+            .ok_or_else(|| PortalError::Bind(format!("no transport for host {host:?}")))
+    }
+
+    /// Resolve a full endpoint URL (`http://host/soap/Service`) to its
+    /// transport plus the service name.
+    pub fn resolve_endpoint(&self, url: &str) -> Result<(Arc<dyn Transport>, String)> {
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| PortalError::Bind(format!("unsupported URL scheme: {url}")))?;
+        let (host, path) = rest
+            .split_once('/')
+            .ok_or_else(|| PortalError::Bind(format!("URL has no path: {url}")))?;
+        let service = path
+            .rsplit('/')
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| PortalError::Bind(format!("URL has no service name: {url}")))?;
+        Ok((self.transport(host)?, service.to_owned()))
+    }
+
+    /// Logical host names.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut hosts: Vec<String> = self.transports.keys().cloned().collect();
+        hosts.sort();
+        hosts
+    }
+
+    fn populate_registries(&self) {
+        // UDDI: businesses + services with free-text descriptions
+        // (capability info only by convention, as in §3.4).
+        let iu = self
+            .uddi
+            .publish_business("Community Grids Lab", "Indiana University portal group")
+            .expect("fresh registry");
+        let sdsc = self
+            .uddi
+            .publish_business("SDSC", "San Diego Supercomputer Center")
+            .expect("fresh registry");
+        let publish = |biz: &str, name: &str, desc: &str, url: &str| {
+            self.uddi
+                .publish_service(
+                    biz,
+                    name,
+                    desc,
+                    vec![BindingTemplate {
+                        access_point: url.to_owned(),
+                        tmodel_keys: vec![],
+                    }],
+                )
+                .expect("fresh registry");
+        };
+        publish(
+            &iu,
+            "BatchScriptGenerator",
+            "Batch script generation service. Supports PBS and GRD schedulers.",
+            "http://gateway.iu.edu/soap/BatchScriptGen",
+        );
+        publish(
+            &sdsc,
+            "BatchScriptGenerator",
+            "Script generator. Supports LSF and NQS; previously ran PBS.",
+            "http://hotpage.sdsc.edu/soap/BatchScriptGen",
+        );
+        publish(
+            &sdsc,
+            "JobSubmission",
+            "Globusrun-style secure job submission over the grid.",
+            "http://grid.sdsc.edu/soap/JobSubmission",
+        );
+        publish(
+            &sdsc,
+            "DataManagement",
+            "SRB data management: ls, cat, get, put, xml_call.",
+            "http://grid.sdsc.edu/soap/DataManagement",
+        );
+        publish(
+            &iu,
+            "ContextManager",
+            "Gateway user context management and session archiving.",
+            "http://gateway.iu.edu/soap/ContextManager",
+        );
+
+        // Container registry: same services, typed metadata.
+        let entry = |name: &str, host: &str, service: &str, schedulers: &[&str]| {
+            let mut metadata = Element::new("serviceMetadata")
+                .with_text_child("kind", kind_of(service));
+            if !schedulers.is_empty() {
+                let mut s = Element::new("schedulers");
+                for sch in schedulers {
+                    s.push_child(Element::new("scheduler").with_text(*sch));
+                }
+                metadata.push_child(s);
+            }
+            ServiceEntry {
+                name: name.to_owned(),
+                access_point: format!("http://{host}/soap/{service}"),
+                wsdl_url: format!("http://{host}/wsdl/{service}"),
+                metadata,
+            }
+        };
+        let reg = &self.container_registry;
+        reg.register(
+            "/gce/scriptgen",
+            entry("iu", "gateway.iu.edu", "BatchScriptGen", &["PBS", "GRD"]),
+        )
+        .expect("fresh registry");
+        reg.register(
+            "/gce/scriptgen",
+            entry(
+                "sdsc",
+                "hotpage.sdsc.edu",
+                "BatchScriptGen",
+                &["LSF", "NQS"],
+            ),
+        )
+        .expect("fresh registry");
+        reg.register(
+            "/gce/jobsub",
+            entry("sdsc", "grid.sdsc.edu", "JobSubmission", &[]),
+        )
+        .expect("fresh registry");
+        reg.register(
+            "/gce/data",
+            entry("sdsc", "grid.sdsc.edu", "DataManagement", &[]),
+        )
+        .expect("fresh registry");
+        reg.register(
+            "/gce/context",
+            entry("iu", "gateway.iu.edu", "ContextManager", &[]),
+        )
+        .expect("fresh registry");
+    }
+}
+
+fn kind_of(service: &str) -> &'static str {
+    match service {
+        "BatchScriptGen" => "scriptgen",
+        "JobSubmission" => "jobsub",
+        "DataManagement" => "datamgmt",
+        "ContextManager" => "context",
+        _ => "other",
+    }
+}
+
+/// One grid host plus its schedulers and queues.
+type HostTopology = (
+    portalws_gridsim::grid::HostSpec,
+    Vec<(
+        portalws_gridsim::sched::SchedulerKind,
+        Vec<portalws_gridsim::queue::QueueSpec>,
+    )>,
+);
+
+fn testbed_hosts() -> Vec<HostTopology> {
+    use portalws_gridsim::grid::HostSpec;
+    use portalws_gridsim::queue::QueueSpec;
+    use portalws_gridsim::sched::SchedulerKind;
+    vec![
+        (
+            HostSpec::new("tg-login", "tg-login.sdsc.edu", 32),
+            vec![
+                (
+                    SchedulerKind::Pbs,
+                    vec![
+                        QueueSpec::new("batch", 32, 720),
+                        QueueSpec::new("debug", 4, 30),
+                    ],
+                ),
+                (SchedulerKind::Lsf, vec![QueueSpec::new("normal", 16, 360)]),
+            ],
+        ),
+        (
+            HostSpec::new("modi4", "modi4.ucs.indiana.edu", 32),
+            vec![
+                (SchedulerKind::Nqs, vec![QueueSpec::new("batch", 32, 720)]),
+                (
+                    SchedulerKind::Grd,
+                    vec![
+                        QueueSpec::new("normal", 16, 360),
+                        QueueSpec::new("long", 32, 2880),
+                    ],
+                ),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_soap::SoapValue;
+
+    #[test]
+    fn topology_stands_up_in_memory() {
+        let d = PortalDeployment::in_memory(SecurityMode::Open);
+        assert_eq!(d.hosts().len(), 5);
+        assert_eq!(d.uddi.service_count(), 5);
+        assert_eq!(d.container_registry.entry_count(), 5);
+    }
+
+    #[test]
+    fn endpoint_resolution() {
+        let d = PortalDeployment::in_memory(SecurityMode::Open);
+        let (t, svc) = d
+            .resolve_endpoint("http://grid.sdsc.edu/soap/JobSubmission")
+            .unwrap();
+        assert_eq!(svc, "JobSubmission");
+        let client = SoapClient::new(t, svc);
+        let hosts = client.call("listHosts", &[]).unwrap();
+        assert_eq!(hosts.as_array().unwrap().len(), 2);
+        assert!(d.resolve_endpoint("ftp://x/y").is_err());
+        assert!(d.resolve_endpoint("http://unknown.host/soap/X").is_err());
+    }
+
+    #[test]
+    fn open_mode_serves_unauthenticated_calls() {
+        let d = PortalDeployment::in_memory(SecurityMode::Open);
+        let client = SoapClient::new(
+            d.transport("hotpage.sdsc.edu").unwrap(),
+            "BatchScriptGen",
+        );
+        let out = client.call("supportedSchedulers", &[]).unwrap();
+        assert_eq!(out.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn central_mode_rejects_unauthenticated_calls() {
+        let d = PortalDeployment::in_memory(SecurityMode::Central);
+        let client = SoapClient::new(
+            d.transport("grid.sdsc.edu").unwrap(),
+            "JobSubmission",
+        );
+        assert!(client.call("listHosts", &[]).is_err());
+        // But the registry stays public.
+        let reg = SoapClient::new(d.transport("registry.gce.org").unwrap(), "Uddi");
+        assert!(reg
+            .call("findService", &[SoapValue::str("script")])
+            .is_ok());
+    }
+
+    #[test]
+    fn wsdl_published_for_every_service() {
+        let d = PortalDeployment::in_memory(SecurityMode::Open);
+        for (host, service) in [
+            ("registry.gce.org", "Uddi"),
+            ("registry.gce.org", "ContainerRegistry"),
+            ("auth.gce.org", "Authentication"),
+            ("grid.sdsc.edu", "JobSubmission"),
+            ("grid.sdsc.edu", "DataManagement"),
+            ("grid.sdsc.edu", "BatchJob"),
+            ("grid.sdsc.edu", "AppFactory"),
+            ("gateway.iu.edu", "ContextTree"),
+            ("gateway.iu.edu", "ContextProperty"),
+            ("gateway.iu.edu", "ContextArchive"),
+            ("gateway.iu.edu", "BatchScriptGen"),
+            ("gateway.iu.edu", "ContextManager"),
+            ("hotpage.sdsc.edu", "BatchScriptGen"),
+        ] {
+            let t = d.transport(host).unwrap();
+            let wsdl = portalws_wsdl::handler::fetch_wsdl(&*t, service)
+                .unwrap_or_else(|e| panic!("no WSDL for {service} on {host}: {e}"));
+            assert_eq!(wsdl.service, service);
+            assert!(wsdl.endpoint.as_deref().unwrap_or("").contains(host));
+        }
+    }
+
+    #[test]
+    fn over_tcp_round_trip() {
+        let d = PortalDeployment::over_tcp(SecurityMode::Open);
+        let client = SoapClient::new(
+            d.transport("grid.sdsc.edu").unwrap(),
+            "JobSubmission",
+        );
+        let hosts = client.call("listHosts", &[]).unwrap();
+        assert_eq!(hosts.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn uddi_string_search_has_the_known_false_positive() {
+        let d = PortalDeployment::in_memory(SecurityMode::Open);
+        // "PBS" matches both script generators: IU genuinely supports it,
+        // SDSC's description merely mentions it historically.
+        let pbs_hits = d.uddi.find_service("PBS");
+        assert_eq!(pbs_hits.len(), 2);
+        // The typed registry gets it right.
+        let typed = d.container_registry.query("schedulers/scheduler", "PBS");
+        assert_eq!(typed.len(), 1);
+        assert_eq!(typed[0].1.name, "iu");
+    }
+}

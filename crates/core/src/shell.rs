@@ -1,0 +1,449 @@
+//! The portal shell: Figure 4's "distributed operating system" surface.
+//!
+//! "One may envision a scripting environment for example that provides
+//! the syntax for linking the various core services (redirecting output
+//! through pipes, for example) and the logic for executing services."
+//!
+//! Commands (each encapsulating one or more core-service SOAP calls):
+//!
+//! ```text
+//! login <principal> <secret>      logout          whoami
+//! hosts                           ls <path>       cat <path>
+//! put <path>                      rm <path>       mkdir <path>
+//! scriptgen <site> <sched> <queue> <name> <cpus> <wall> -- <command…>
+//! jobrun <host> <sched>           jobsub <host> <sched>
+//! jobstat <id>    jobout <id>     jobcancel <id>
+//! find <keyword>                  inspect <host>
+//! echo <text…>
+//! ```
+//!
+//! Pipelines compose with `|` (the previous command's output becomes the
+//! next command's standard input — `put` and the job commands consume
+//! it), and `;` sequences commands.
+
+use std::sync::Arc;
+
+use portalws_soap::SoapValue;
+use portalws_wsdl::DynamicClient;
+
+use crate::ui::UiServer;
+use crate::{PortalError, Result};
+
+/// The shell: parses command lines and drives the UI server's proxies.
+pub struct PortalShell {
+    ui: Arc<UiServer>,
+}
+
+impl PortalShell {
+    /// A shell over a UI server.
+    pub fn new(ui: Arc<UiServer>) -> PortalShell {
+        PortalShell { ui }
+    }
+
+    /// Execute a command line: `;`-separated pipelines of `|`-joined
+    /// commands. Returns the final output text.
+    pub fn exec(&self, line: &str) -> Result<String> {
+        let mut last = String::new();
+        for pipeline in split_top(line, ';') {
+            let pipeline = pipeline.trim();
+            if pipeline.is_empty() {
+                continue;
+            }
+            let mut stdin: Option<String> = None;
+            for stage in split_top(pipeline, '|') {
+                let stage = stage.trim();
+                let out = self.run_command(stage, stdin.take())?;
+                stdin = Some(out);
+            }
+            last = stdin.unwrap_or_default();
+        }
+        Ok(last)
+    }
+
+    fn run_command(&self, stage: &str, stdin: Option<String>) -> Result<String> {
+        let (words, tail) = split_command(stage);
+        let cmd = words
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| PortalError::Shell("empty command".into()))?;
+        let args = &words[1..];
+        let need = |i: usize, what: &str| -> Result<&str> {
+            args.get(i)
+                .map(String::as_str)
+                .ok_or_else(|| PortalError::Shell(format!("{cmd}: missing {what}")))
+        };
+        let need_stdin = || -> Result<String> {
+            stdin
+                .clone()
+                .ok_or_else(|| PortalError::Shell(format!("{cmd}: needs piped input")))
+        };
+        match cmd {
+            "echo" => {
+                let mut text = args.join(" ");
+                if let Some(t) = &tail {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(t);
+                }
+                Ok(text)
+            }
+            "whoami" => Ok(self
+                .ui
+                .principal()
+                .unwrap_or_else(|| "not logged in".into())),
+            "login" => {
+                self.ui.login(need(0, "principal")?, need(1, "secret")?)?;
+                Ok(format!("logged in as {}", need(0, "principal")?))
+            }
+            "logout" => {
+                self.ui.logout();
+                Ok("logged out".into())
+            }
+            "inspect" => {
+                let doc = self.ui.inspect(need(0, "host")?)?;
+                let mut lines: Vec<String> = doc
+                    .services
+                    .iter()
+                    .map(|s| format!("{}\t{}", s.name, s.endpoint))
+                    .collect();
+                for link in &doc.links {
+                    lines.push(format!("-> {link}"));
+                }
+                Ok(lines.join("\n"))
+            }
+            "find" => {
+                let hits = self.ui.find_services(need(0, "keyword")?)?;
+                Ok(hits
+                    .iter()
+                    .map(|h| format!("{}\t{}\t{}", h.business, h.name, h.access_point))
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
+            "hosts" => {
+                let out = self.jobsub()?.call("listHosts", &[]).map_err(svc_err)?;
+                let mut lines = Vec::new();
+                for h in out.as_array().unwrap_or_default() {
+                    let name = h.field("name").and_then(|v| v.as_str()).unwrap_or("?");
+                    let cpus = h.field("cpus").and_then(|v| v.as_i64()).unwrap_or(0);
+                    let scheds: Vec<&str> = h
+                        .field("schedulers")
+                        .and_then(|v| v.as_array())
+                        .map(|a| a.iter().filter_map(SoapValue::as_str).collect())
+                        .unwrap_or_default();
+                    lines.push(format!("{name}\t{cpus} cpus\t{}", scheds.join(",")));
+                }
+                Ok(lines.join("\n"))
+            }
+            "ls" => {
+                let out = self
+                    .data()?
+                    .call("ls", &[SoapValue::str(need(0, "path")?)])
+                    .map_err(svc_err)?;
+                let mut lines = Vec::new();
+                for e in out.as_array().unwrap_or_default() {
+                    let name = e.field("name").and_then(|v| v.as_str()).unwrap_or("?");
+                    let is_col = e
+                        .field("isCollection")
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false);
+                    let size = e.field("size").and_then(|v| v.as_i64()).unwrap_or(0);
+                    lines.push(if is_col {
+                        format!("{name}/")
+                    } else {
+                        format!("{name}\t{size}")
+                    });
+                }
+                Ok(lines.join("\n"))
+            }
+            "cat" => {
+                let out = self
+                    .data()?
+                    .call("cat", &[SoapValue::str(need(0, "path")?)])
+                    .map_err(svc_err)?;
+                Ok(out.as_str().unwrap_or("").to_owned())
+            }
+            "put" => {
+                let content = need_stdin()?;
+                let out = self
+                    .data()?
+                    .call(
+                        "put",
+                        &[SoapValue::str(need(0, "path")?), SoapValue::str(content)],
+                    )
+                    .map_err(svc_err)?;
+                Ok(format!("{} bytes written", out.as_i64().unwrap_or(0)))
+            }
+            "rm" => {
+                self.data()?
+                    .call("rm", &[SoapValue::str(need(0, "path")?)])
+                    .map_err(svc_err)?;
+                Ok(String::new())
+            }
+            "mkdir" => {
+                self.data()?
+                    .call("mkdir", &[SoapValue::str(need(0, "path")?)])
+                    .map_err(svc_err)?;
+                Ok(String::new())
+            }
+            "scriptgen" => {
+                // scriptgen <site> <sched> <queue> <name> <cpus> <wall> -- <cmd…>
+                let site = need(0, "site (iu|sdsc)")?;
+                let command = tail
+                    .clone()
+                    .ok_or_else(|| PortalError::Shell("scriptgen: missing '-- <command>'".into()))?;
+                let client = self.scriptgen(site)?;
+                let out = client
+                    .call(
+                        "generateScript",
+                        &[
+                            SoapValue::str(need(1, "scheduler")?),
+                            SoapValue::str(need(2, "queue")?),
+                            SoapValue::str(need(3, "job name")?),
+                            SoapValue::str(command),
+                            SoapValue::Int(parse_int(need(4, "cpus")?)?),
+                            SoapValue::Int(parse_int(need(5, "wall minutes")?)?),
+                        ],
+                    )
+                    .map_err(|e| PortalError::Service(e.to_string()))?;
+                Ok(out.as_str().unwrap_or("").to_owned())
+            }
+            "jobrun" => {
+                let script = need_stdin()?;
+                let out = self
+                    .jobsub()?
+                    .call(
+                        "run",
+                        &[
+                            SoapValue::str(need(0, "host")?),
+                            SoapValue::str(need(1, "scheduler")?),
+                            SoapValue::str(script),
+                        ],
+                    )
+                    .map_err(svc_err)?;
+                Ok(out.as_str().unwrap_or("").to_owned())
+            }
+            "jobsub" => {
+                let script = need_stdin()?;
+                let out = self
+                    .jobsub()?
+                    .call(
+                        "submit",
+                        &[
+                            SoapValue::str(need(0, "host")?),
+                            SoapValue::str(need(1, "scheduler")?),
+                            SoapValue::str(script),
+                        ],
+                    )
+                    .map_err(svc_err)?;
+                Ok(format!("job {}", out.as_i64().unwrap_or(-1)))
+            }
+            "jobstat" => {
+                let id = parse_int(need(0, "job id")?)?;
+                let out = self
+                    .jobsub()?
+                    .call("status", &[SoapValue::Int(id)])
+                    .map_err(svc_err)?;
+                let state = out.field("state").and_then(|v| v.as_str()).unwrap_or("?");
+                Ok(state.to_owned())
+            }
+            "jobout" => {
+                let id = parse_int(need(0, "job id")?)?;
+                let out = self
+                    .jobsub()?
+                    .call("output", &[SoapValue::Int(id)])
+                    .map_err(svc_err)?;
+                Ok(out.as_str().unwrap_or("").to_owned())
+            }
+            "jobcancel" => {
+                let id = parse_int(need(0, "job id")?)?;
+                self.jobsub()?
+                    .call("cancel", &[SoapValue::Int(id)])
+                    .map_err(svc_err)?;
+                Ok(format!("job {id} cancelled"))
+            }
+            other => Err(PortalError::Shell(format!("unknown command {other:?}"))),
+        }
+    }
+
+    fn jobsub(&self) -> Result<portalws_soap::SoapClient> {
+        self.ui.proxy("grid.sdsc.edu", "JobSubmission")
+    }
+
+    fn data(&self) -> Result<portalws_soap::SoapClient> {
+        self.ui.proxy("grid.sdsc.edu", "DataManagement")
+    }
+
+    fn scriptgen(&self, site: &str) -> Result<DynamicClient> {
+        let host = match site {
+            "iu" => "gateway.iu.edu",
+            "sdsc" => "hotpage.sdsc.edu",
+            other => {
+                return Err(PortalError::Shell(format!(
+                    "scriptgen: unknown site {other:?} (use iu or sdsc)"
+                )))
+            }
+        };
+        self.ui
+            .bind_endpoint(&format!("http://{host}/soap/BatchScriptGen"))
+    }
+}
+
+fn svc_err(e: portalws_soap::SoapError) -> PortalError {
+    PortalError::Service(e.to_string())
+}
+
+fn parse_int(s: &str) -> Result<i64> {
+    s.parse()
+        .map_err(|_| PortalError::Shell(format!("expected a number, got {s:?}")))
+}
+
+/// Split on a separator at top level (no quoting in this little shell,
+/// but `--` tails are protected by splitting the command first).
+fn split_top(s: &str, sep: char) -> Vec<&str> {
+    s.split(sep).collect()
+}
+
+/// Split a stage into words plus an optional `--`-introduced tail kept
+/// verbatim.
+fn split_command(stage: &str) -> (Vec<String>, Option<String>) {
+    match stage.split_once(" -- ") {
+        Some((head, tail)) => (
+            head.split_whitespace().map(str::to_owned).collect(),
+            Some(tail.trim().to_owned()),
+        ),
+        None => {
+            let trimmed = stage.strip_suffix(" --").unwrap_or(stage);
+            (
+                trimmed.split_whitespace().map(str::to_owned).collect(),
+                None,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{PortalDeployment, SecurityMode};
+
+    fn shell(mode: SecurityMode) -> PortalShell {
+        PortalShell::new(Arc::new(UiServer::new(PortalDeployment::in_memory(mode))))
+    }
+
+    #[test]
+    fn echo_and_sequencing() {
+        let sh = shell(SecurityMode::Open);
+        assert_eq!(sh.exec("echo one; echo two three").unwrap(), "two three");
+    }
+
+    #[test]
+    fn hosts_lists_grid() {
+        let sh = shell(SecurityMode::Open);
+        let out = sh.exec("hosts").unwrap();
+        assert!(out.contains("tg-login"), "{out}");
+        assert!(out.contains("modi4"));
+    }
+
+    #[test]
+    fn srb_cycle_through_shell() {
+        let sh = shell(SecurityMode::Open);
+        sh.exec("mkdir /public/demo").unwrap();
+        let out = sh
+            .exec("echo hello srb | put /public/demo/hello.txt")
+            .unwrap();
+        assert_eq!(out, "9 bytes written");
+        assert_eq!(sh.exec("cat /public/demo/hello.txt").unwrap(), "hello srb");
+        let ls = sh.exec("ls /public/demo").unwrap();
+        assert!(ls.contains("hello.txt\t9"), "{ls}");
+        sh.exec("rm /public/demo/hello.txt").unwrap();
+        assert_eq!(sh.exec("ls /public/demo").unwrap(), "");
+    }
+
+    #[test]
+    fn figure4_pipeline_scriptgen_to_jobrun() {
+        let sh = shell(SecurityMode::Open);
+        let out = sh
+            .exec("scriptgen iu PBS batch demo 2 10 -- hostname | jobrun tg-login PBS")
+            .unwrap();
+        assert_eq!(out, "tg-login\n");
+    }
+
+    #[test]
+    fn async_job_cycle() {
+        let sh = shell(SecurityMode::Open);
+        let out = sh
+            .exec("scriptgen sdsc LSF normal demo 2 10 -- hostname | jobsub tg-login LSF")
+            .unwrap();
+        let id: i64 = out.strip_prefix("job ").unwrap().parse().unwrap();
+        assert_eq!(sh.exec(&format!("jobstat {id}")).unwrap(), "QUEUED");
+        // Drive the grid forward.
+        let deployment = Arc::clone(sh.ui.deployment());
+        deployment.grid.tick(0);
+        deployment.grid.tick(2000);
+        assert_eq!(sh.exec(&format!("jobstat {id}")).unwrap(), "DONE");
+        assert_eq!(sh.exec(&format!("jobout {id}")).unwrap(), "tg-login\n");
+    }
+
+    #[test]
+    fn cancel_through_shell() {
+        let sh = shell(SecurityMode::Open);
+        let out = sh
+            .exec("scriptgen iu GRD normal long 2 60 -- sleep 1000 | jobsub modi4 GRD")
+            .unwrap();
+        let id: i64 = out.strip_prefix("job ").unwrap().parse().unwrap();
+        assert_eq!(
+            sh.exec(&format!("jobcancel {id}")).unwrap(),
+            format!("job {id} cancelled")
+        );
+        assert_eq!(sh.exec(&format!("jobstat {id}")).unwrap(), "CANCELLED");
+    }
+
+    #[test]
+    fn secured_shell_requires_login() {
+        let sh = shell(SecurityMode::Central);
+        assert!(sh.exec("hosts").is_err());
+        sh.exec("login alice@GCE.ORG alice-pass").unwrap();
+        assert_eq!(sh.exec("whoami").unwrap(), "alice@GCE.ORG");
+        assert!(sh.exec("hosts").unwrap().contains("tg-login"));
+        sh.exec("logout").unwrap();
+        assert!(sh.exec("hosts").is_err());
+    }
+
+    #[test]
+    fn wsil_inspection_through_shell() {
+        let sh = shell(SecurityMode::Open);
+        let out = sh.exec("inspect hotpage.sdsc.edu").unwrap();
+        assert!(out.contains("BatchScriptGen\thttp://hotpage.sdsc.edu/soap/BatchScriptGen"), "{out}");
+        assert!(out.contains("-> http://"));
+        assert!(sh.exec("inspect nowhere.example").is_err());
+    }
+
+    #[test]
+    fn discovery_through_shell() {
+        let sh = shell(SecurityMode::Open);
+        let out = sh.exec("find BatchScriptGenerator").unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("gateway.iu.edu"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let sh = shell(SecurityMode::Open);
+        assert!(sh.exec("frobnicate").is_err());
+        assert!(sh.exec("cat").is_err());
+        assert!(sh.exec("put /x").is_err()); // no piped input
+        assert!(sh.exec("jobstat notanumber").is_err());
+        assert!(sh.exec("cat /ghost/file").is_err());
+        assert!(sh.exec("scriptgen mars PBS b n 1 1 -- x").is_err());
+    }
+
+    #[test]
+    fn pipes_feed_left_to_right() {
+        let sh = shell(SecurityMode::Open);
+        let out = sh
+            .exec("echo payload | put /public/p.txt; cat /public/p.txt")
+            .unwrap();
+        assert_eq!(out, "payload");
+    }
+}

@@ -1,0 +1,324 @@
+//! The User Interface server: Figure 1's client side.
+//!
+//! "A user interacts with the User Interface server, which maintains
+//! client proxies to the UDDI and SOAP Service Providers… The client
+//! examines the UDDI for the desired service and then binds to the SSP."
+//!
+//! [`UiServer`] performs all three stages — *find* (UDDI keyword
+//! search), *fetch* (WSDL download from the provider), *bind* (dynamic
+//! client stub) — and wires the per-user SSO session into every bound
+//! proxy as a SOAP header supplier.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use portalws_auth::{GssSession, UserSession};
+use portalws_gridsim::cred::Mechanism;
+use portalws_soap::{SoapClient, SoapValue};
+use portalws_wsdl::handler::fetch_wsdl;
+use portalws_wsdl::DynamicClient;
+
+use crate::deployment::PortalDeployment;
+use crate::{PortalError, Result};
+
+/// The UI server: holds proxies and the user's SSO session.
+pub struct UiServer {
+    deployment: Arc<PortalDeployment>,
+    uddi: SoapClient,
+    session: RwLock<Option<Arc<UserSession>>>,
+}
+
+/// One discovery hit, surfaced to the user interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredService {
+    /// Owning organization.
+    pub business: String,
+    /// Service name.
+    pub name: String,
+    /// Description text.
+    pub description: String,
+    /// SOAP endpoint URL.
+    pub access_point: String,
+}
+
+impl UiServer {
+    /// A UI server against a deployment.
+    pub fn new(deployment: Arc<PortalDeployment>) -> UiServer {
+        let uddi = SoapClient::new(
+            deployment
+                .transport("registry.gce.org")
+                .expect("registry host exists"),
+            "Uddi",
+        );
+        UiServer {
+            deployment,
+            uddi,
+            session: RwLock::new(None),
+        }
+    }
+
+    /// The deployment behind this UI server.
+    pub fn deployment(&self) -> &Arc<PortalDeployment> {
+        &self.deployment
+    }
+
+    /// Log a user in (Figure 2 step 1): authenticate against the
+    /// Authentication Service over SOAP and hold the session object.
+    pub fn login(&self, principal: &str, secret: &str) -> Result<()> {
+        let auth_client = SoapClient::new(
+            self.deployment.transport("auth.gce.org")?,
+            "Authentication",
+        );
+        let out = auth_client
+            .call(
+                "login",
+                &[
+                    SoapValue::str(principal),
+                    SoapValue::str(secret),
+                    SoapValue::str("kerberos"),
+                ],
+            )
+            .map_err(|e| PortalError::Auth(e.to_string()))?;
+        let field = |name: &str| -> Result<String> {
+            out.field(name)
+                .and_then(|v| v.as_str())
+                .map(str::to_owned)
+                .ok_or_else(|| PortalError::Auth(format!("login reply missing {name}")))
+        };
+        let gss = GssSession {
+            context_id: field("contextId")?,
+            key: field("sessionKey")?,
+            principal: principal.to_owned(),
+            mechanism: Mechanism::Kerberos,
+            expires_at_ms: out
+                .field("expiresAt")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0) as u64,
+        };
+        let session = UserSession::new(gss, Arc::clone(&self.deployment.clock));
+        *self.session.write() = Some(session);
+        Ok(())
+    }
+
+    /// The logged-in principal, if any.
+    pub fn principal(&self) -> Option<String> {
+        self.session
+            .read()
+            .as_ref()
+            .map(|s| s.principal().to_owned())
+    }
+
+    /// Drop the session (and its server-side context).
+    pub fn logout(&self) {
+        if let Some(session) = self.session.write().take() {
+            self.deployment.auth.logout(session.context_id());
+        }
+    }
+
+    /// Find services by keyword (the UDDI leg of Figure 1).
+    pub fn find_services(&self, keyword: &str) -> Result<Vec<DiscoveredService>> {
+        let out = self
+            .uddi
+            .call("findService", &[SoapValue::str(keyword)])
+            .map_err(|e| PortalError::Discovery(e.to_string()))?;
+        let hits = out
+            .as_array()
+            .ok_or_else(|| PortalError::Discovery("malformed findService reply".into()))?;
+        Ok(hits
+            .iter()
+            .map(|h| {
+                let s = |f: &str| {
+                    h.field(f)
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("")
+                        .to_owned()
+                };
+                DiscoveredService {
+                    business: s("business"),
+                    name: s("name"),
+                    description: s("description"),
+                    access_point: s("accessPoint"),
+                }
+            })
+            .collect())
+    }
+
+    /// Bind to a discovered service: fetch its WSDL from the provider and
+    /// generate a dynamic proxy, with the SSO session attached.
+    pub fn bind(&self, service: &DiscoveredService) -> Result<DynamicClient> {
+        self.bind_endpoint(&service.access_point)
+    }
+
+    /// Bind directly to an endpoint URL.
+    pub fn bind_endpoint(&self, url: &str) -> Result<DynamicClient> {
+        let (transport, service_name) = self.deployment.resolve_endpoint(url)?;
+        let wsdl = fetch_wsdl(&*transport, &service_name)
+            .map_err(|e| PortalError::Bind(e.to_string()))?;
+        let client = DynamicClient::bind(wsdl, transport);
+        if let Some(session) = self.session.read().as_ref() {
+            client
+                .soap_client()
+                .set_header_supplier(session.header_supplier());
+        }
+        if let Some(host) = url.strip_prefix("http://").and_then(|r| r.split('/').next()) {
+            self.install_mutual_verifier(client.soap_client(), host);
+        }
+        Ok(client)
+    }
+
+    /// When mutual authentication is enabled, require the server to prove
+    /// it is the host principal the client believes it is calling.
+    fn install_mutual_verifier(&self, client: &SoapClient, host: &str) {
+        if self.deployment.mutual_enabled() {
+            client.set_reply_verifier(portalws_auth::mutual::expect_server(
+                Arc::clone(&self.deployment.auth),
+                &PortalDeployment::server_principal(host),
+            ));
+        }
+    }
+
+    /// The full Figure 1 interaction: find by keyword, pick the first
+    /// hit, fetch WSDL, bind.
+    pub fn discover_and_bind(&self, keyword: &str) -> Result<DynamicClient> {
+        let hits = self.find_services(keyword)?;
+        let hit = hits
+            .first()
+            .ok_or_else(|| PortalError::Discovery(format!("no services match {keyword:?}")))?;
+        self.bind(hit)
+    }
+
+    /// Decentralized discovery: fetch a host's WSIL inspection document
+    /// (the §2 alternative to UDDI — works even when the central registry
+    /// is down).
+    pub fn inspect(&self, host: &str) -> Result<portalws_registry::InspectionDocument> {
+        let transport = self.deployment.transport(host)?;
+        portalws_registry::wsil::fetch_inspection(&*transport)
+            .map_err(|e| PortalError::Discovery(e.to_string()))
+    }
+
+    /// A plain (non-WSDL) client proxy to a named service on a host, with
+    /// the session attached — for services the UI knows a priori.
+    pub fn proxy(&self, host: &str, service: &str) -> Result<SoapClient> {
+        let client = SoapClient::new(self.deployment.transport(host)?, service);
+        if let Some(session) = self.session.read().as_ref() {
+            client.set_header_supplier(session.header_supplier());
+        }
+        self.install_mutual_verifier(&client, host);
+        Ok(client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::SecurityMode;
+
+    #[test]
+    fn wsil_inspection_lists_host_services_and_links() {
+        let ui = ui(SecurityMode::Open);
+        let doc = ui.inspect("gateway.iu.edu").unwrap();
+        let names: Vec<&str> = doc.services.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"BatchScriptGen"), "{names:?}");
+        assert!(names.contains(&"ContextManager"));
+        // Peers linked: the host set is walkable.
+        assert_eq!(doc.links.len(), 4);
+    }
+
+    #[test]
+    fn wsil_discovery_survives_without_the_registry() {
+        // Walk hosts via WSIL, bind from the discovered endpoint — no
+        // UDDI involved.
+        let ui = ui(SecurityMode::Open);
+        let doc = ui.inspect("hotpage.sdsc.edu").unwrap();
+        let svc = doc.service("BatchScriptGen").unwrap();
+        let client = ui.bind_endpoint(&svc.endpoint).unwrap();
+        let out = client.call("supportedSchedulers", &[]).unwrap();
+        assert_eq!(out.as_array().unwrap().len(), 2);
+    }
+
+    fn ui(mode: SecurityMode) -> UiServer {
+        UiServer::new(PortalDeployment::in_memory(mode))
+    }
+
+    #[test]
+    fn login_success_and_failure() {
+        let ui = ui(SecurityMode::Central);
+        assert!(ui.login("alice@GCE.ORG", "wrong").is_err());
+        assert!(ui.principal().is_none());
+        ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+        assert_eq!(ui.principal().as_deref(), Some("alice@GCE.ORG"));
+    }
+
+    #[test]
+    fn find_services_by_keyword() {
+        let ui = ui(SecurityMode::Open);
+        let hits = ui.find_services("script").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().any(|h| h.access_point.contains("gateway.iu.edu")));
+        assert!(ui.find_services("teleport").unwrap().is_empty());
+    }
+
+    #[test]
+    fn figure1_find_fetch_bind_invoke() {
+        let ui = ui(SecurityMode::Open);
+        let client = ui.discover_and_bind("JobSubmission").unwrap();
+        let hosts = client.call("listHosts", &[]).unwrap();
+        assert_eq!(hosts.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn secured_flow_end_to_end() {
+        let ui = ui(SecurityMode::Central);
+        ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+        let client = ui.discover_and_bind("JobSubmission").unwrap();
+        // The bound proxy carries a fresh signed assertion per call, so
+        // the guarded SSP accepts it.
+        let hosts = client.call("listHosts", &[]).unwrap();
+        assert_eq!(hosts.as_array().unwrap().len(), 2);
+        // Central verification actually happened on the auth server.
+        assert!(ui.deployment().auth.verification_count() >= 1);
+    }
+
+    #[test]
+    fn logout_invalidates_bound_proxies() {
+        let ui = ui(SecurityMode::Central);
+        ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+        let client = ui.discover_and_bind("JobSubmission").unwrap();
+        client.call("listHosts", &[]).unwrap();
+        ui.logout();
+        assert!(client.call("listHosts", &[]).is_err());
+    }
+
+    #[test]
+    fn bind_unknown_endpoint_fails() {
+        let ui = ui(SecurityMode::Open);
+        assert!(ui
+            .bind_endpoint("http://grid.sdsc.edu/soap/NoSuchService")
+            .is_err());
+        assert!(ui.bind_endpoint("http://ghost.example/soap/X").is_err());
+    }
+
+    #[test]
+    fn two_script_generators_bindable_from_one_search() {
+        let ui = ui(SecurityMode::Open);
+        let hits = ui.find_services("BatchScriptGenerator").unwrap();
+        assert_eq!(hits.len(), 2);
+        let mut supported = Vec::new();
+        for hit in &hits {
+            let client = ui.bind(hit).unwrap();
+            let out = client.call("supportedSchedulers", &[]).unwrap();
+            supported.push(
+                out.as_array()
+                    .unwrap()
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        supported.sort();
+        assert_eq!(
+            supported,
+            vec![vec!["LSF", "NQS"], vec!["PBS", "GRD"]]
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! Credential simulation: Kerberos tickets and GSI proxy certificates.
+//!
+//! §4 of the paper builds single sign-on on Kerberos ("a keytab file…
+//! must be kept secure and usually is readable only by privileged users")
+//! with GSI/PKI planned. Real KDC and CA infrastructure is out of scope,
+//! so this module simulates the *lifecycle*: a [`CredentialAuthority`]
+//! holds principal secrets (the keytab), issues expiring [`Credential`]s,
+//! and verifies presented credentials by token lookup and expiry check
+//! against the shared [`SimClock`]. Cryptographic strength is irrelevant
+//! to the architecture claims (see DESIGN.md §3); what matters — and what
+//! the auth experiments exercise — is where verification happens and how
+//! many round trips it costs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::{SimClock, SimTime};
+use crate::{GridError, Result};
+
+/// Authentication mechanism, per the paper's list (Kerberos now; PKI and
+/// Globus GSI as planned additions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Kerberos ticket from the keytab-holding authority.
+    Kerberos,
+    /// GSI proxy certificate.
+    Gsi,
+    /// Plain PKI certificate.
+    Pki,
+}
+
+impl Mechanism {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Kerberos => "kerberos",
+            Mechanism::Gsi => "gsi",
+            Mechanism::Pki => "pki",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Option<Mechanism> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "kerberos" => Some(Mechanism::Kerberos),
+            "gsi" => Some(Mechanism::Gsi),
+            "pki" => Some(Mechanism::Pki),
+            _ => None,
+        }
+    }
+}
+
+/// An issued credential (ticket / proxy certificate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// Principal this credential names.
+    pub principal: String,
+    /// Issuing mechanism.
+    pub mechanism: Mechanism,
+    /// Opaque token presented for verification.
+    pub token: String,
+    /// Expiry in sim time (ms).
+    pub expires_at: SimTime,
+}
+
+impl Credential {
+    /// Is the credential still valid at `now`?
+    pub fn is_valid_at(&self, now: SimTime) -> bool {
+        now < self.expires_at
+    }
+}
+
+struct AuthorityState {
+    /// The keytab: principal → secret. Never leaves this struct — the
+    /// paper's argument for "limiting the use of keytabs to a single, well
+    /// secured server".
+    keytab: HashMap<String, String>,
+    /// Issued, unexpired tokens → credential.
+    issued: HashMap<String, Credential>,
+    rng: rand::rngs::StdRng,
+}
+
+/// The KDC / CA stand-in.
+pub struct CredentialAuthority {
+    clock: Arc<SimClock>,
+    state: RwLock<AuthorityState>,
+    /// Default credential lifetime (ms).
+    lifetime_ms: u64,
+}
+
+impl CredentialAuthority {
+    /// An authority over `clock` with 8-hour default ticket lifetime.
+    pub fn new(clock: Arc<SimClock>) -> CredentialAuthority {
+        CredentialAuthority {
+            clock,
+            state: RwLock::new(AuthorityState {
+                keytab: HashMap::new(),
+                issued: HashMap::new(),
+                rng: rand::rngs::StdRng::seed_from_u64(0x5C02_2002),
+            }),
+            lifetime_ms: 8 * 3600 * 1000,
+        }
+    }
+
+    /// Override the default credential lifetime.
+    pub fn set_lifetime_ms(&mut self, ms: u64) {
+        self.lifetime_ms = ms;
+    }
+
+    /// Register a principal and its secret in the keytab.
+    pub fn register_principal(&self, principal: impl Into<String>, secret: impl Into<String>) {
+        self.state
+            .write()
+            .keytab
+            .insert(principal.into(), secret.into());
+    }
+
+    /// Authenticate with a secret and obtain a credential (the `kinit` /
+    /// `grid-proxy-init` step).
+    pub fn login(
+        &self,
+        principal: &str,
+        secret: &str,
+        mechanism: Mechanism,
+    ) -> Result<Credential> {
+        let now = self.clock.now();
+        let mut state = self.state.write();
+        match state.keytab.get(principal) {
+            Some(expected) if expected == secret => {}
+            Some(_) => {
+                return Err(GridError::NotAuthorized(format!(
+                    "bad secret for {principal:?}"
+                )))
+            }
+            None => {
+                return Err(GridError::NotAuthorized(format!(
+                    "unknown principal {principal:?}"
+                )))
+            }
+        }
+        let token = format!(
+            "{}-{:016x}{:016x}",
+            mechanism.name(),
+            state.rng.gen::<u64>(),
+            state.rng.gen::<u64>()
+        );
+        let cred = Credential {
+            principal: principal.to_owned(),
+            mechanism,
+            token: token.clone(),
+            expires_at: now + self.lifetime_ms,
+        };
+        state.issued.insert(token, cred.clone());
+        Ok(cred)
+    }
+
+    /// Verify a presented token; returns the principal on success.
+    pub fn verify(&self, token: &str) -> Result<String> {
+        let now = self.clock.now();
+        let state = self.state.read();
+        match state.issued.get(token) {
+            Some(cred) if cred.is_valid_at(now) => Ok(cred.principal.clone()),
+            Some(_) => Err(GridError::NotAuthorized("credential expired".into())),
+            None => Err(GridError::NotAuthorized("unknown credential".into())),
+        }
+    }
+
+    /// Issue a *delegated* credential from an existing one (GSI proxy
+    /// chains; also used by the portal to act on the user's behalf).
+    pub fn delegate(&self, token: &str) -> Result<Credential> {
+        let principal = self.verify(token)?;
+        let now = self.clock.now();
+        let mut state = self.state.write();
+        let dtoken = format!(
+            "proxy-{:016x}{:016x}",
+            state.rng.gen::<u64>(),
+            state.rng.gen::<u64>()
+        );
+        // Proxies get half the remaining default lifetime, like real
+        // grid-proxy delegation defaults.
+        let cred = Credential {
+            principal,
+            mechanism: Mechanism::Gsi,
+            token: dtoken.clone(),
+            expires_at: now + self.lifetime_ms / 2,
+        };
+        state.issued.insert(dtoken, cred.clone());
+        Ok(cred)
+    }
+
+    /// Revoke a credential immediately.
+    pub fn revoke(&self, token: &str) {
+        self.state.write().issued.remove(token);
+    }
+
+    /// Drop expired credentials; returns how many were purged.
+    pub fn purge_expired(&self) -> usize {
+        let now = self.clock.now();
+        let mut state = self.state.write();
+        let before = state.issued.len();
+        state.issued.retain(|_, c| c.is_valid_at(now));
+        before - state.issued.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn authority() -> (Arc<SimClock>, CredentialAuthority) {
+        let clock = SimClock::new();
+        let auth = CredentialAuthority::new(Arc::clone(&clock));
+        auth.register_principal("alice@GCE.ORG", "s3cret");
+        (clock, auth)
+    }
+
+    #[test]
+    fn login_and_verify() {
+        let (_, auth) = authority();
+        let cred = auth
+            .login("alice@GCE.ORG", "s3cret", Mechanism::Kerberos)
+            .unwrap();
+        assert_eq!(auth.verify(&cred.token).unwrap(), "alice@GCE.ORG");
+        assert!(cred.token.starts_with("kerberos-"));
+    }
+
+    #[test]
+    fn wrong_secret_or_principal_rejected() {
+        let (_, auth) = authority();
+        assert!(auth
+            .login("alice@GCE.ORG", "wrong", Mechanism::Kerberos)
+            .is_err());
+        assert!(auth
+            .login("bob@GCE.ORG", "s3cret", Mechanism::Kerberos)
+            .is_err());
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let (clock, auth) = authority();
+        let cred = auth
+            .login("alice@GCE.ORG", "s3cret", Mechanism::Kerberos)
+            .unwrap();
+        clock.advance(8 * 3600 * 1000 - 1);
+        assert!(auth.verify(&cred.token).is_ok());
+        clock.advance(2);
+        assert!(matches!(
+            auth.verify(&cred.token),
+            Err(GridError::NotAuthorized(_))
+        ));
+    }
+
+    #[test]
+    fn delegation_produces_shorter_proxy() {
+        let (_, auth) = authority();
+        let cred = auth
+            .login("alice@GCE.ORG", "s3cret", Mechanism::Kerberos)
+            .unwrap();
+        let proxy = auth.delegate(&cred.token).unwrap();
+        assert_eq!(proxy.principal, "alice@GCE.ORG");
+        assert_eq!(proxy.mechanism, Mechanism::Gsi);
+        assert!(proxy.expires_at < cred.expires_at);
+        assert_eq!(auth.verify(&proxy.token).unwrap(), "alice@GCE.ORG");
+    }
+
+    #[test]
+    fn revoke_invalidates() {
+        let (_, auth) = authority();
+        let cred = auth
+            .login("alice@GCE.ORG", "s3cret", Mechanism::Kerberos)
+            .unwrap();
+        auth.revoke(&cred.token);
+        assert!(auth.verify(&cred.token).is_err());
+    }
+
+    #[test]
+    fn purge_drops_only_expired() {
+        let (clock, auth) = authority();
+        let old = auth
+            .login("alice@GCE.ORG", "s3cret", Mechanism::Kerberos)
+            .unwrap();
+        clock.advance(9 * 3600 * 1000);
+        let fresh = auth
+            .login("alice@GCE.ORG", "s3cret", Mechanism::Pki)
+            .unwrap();
+        assert_eq!(auth.purge_expired(), 1);
+        assert!(auth.verify(&old.token).is_err());
+        assert!(auth.verify(&fresh.token).is_ok());
+    }
+
+    #[test]
+    fn tokens_unique_across_logins() {
+        let (_, auth) = authority();
+        let a = auth
+            .login("alice@GCE.ORG", "s3cret", Mechanism::Kerberos)
+            .unwrap();
+        let b = auth
+            .login("alice@GCE.ORG", "s3cret", Mechanism::Kerberos)
+            .unwrap();
+        assert_ne!(a.token, b.token);
+    }
+
+    #[test]
+    fn mechanism_names_round_trip() {
+        for m in [Mechanism::Kerberos, Mechanism::Gsi, Mechanism::Pki] {
+            assert_eq!(Mechanism::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Mechanism::from_name("ntlm"), None);
+    }
+}

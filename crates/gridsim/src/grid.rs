@@ -1,0 +1,497 @@
+//! The grid fabric: hosts, schedulers, submission, and time progression.
+//!
+//! [`Grid`] plays the role Globus GRAM played for the SDSC team and direct
+//! queue submittal played for Gateway: the thing a job-submission service
+//! ultimately talks to. All state is behind one lock; the portal services
+//! above call in from many server worker threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::SimClock;
+use crate::job::{Job, JobId, JobState};
+use crate::queue::{BatchQueue, QueueSpec};
+use crate::sched::{parse_script, SchedulerKind};
+use crate::{GridError, Result};
+
+/// Static description of a compute host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSpec {
+    /// Short name used in portal paths (`tg-login`).
+    pub name: String,
+    /// Fully qualified DNS name.
+    pub dns: String,
+    /// Dotted-quad address (descriptor metadata).
+    pub ip: String,
+    /// Total CPUs shared by all schedulers on the host.
+    pub cpus: u32,
+    /// Scratch directory applications bind to.
+    pub workdir: String,
+}
+
+impl HostSpec {
+    /// Construct a spec.
+    pub fn new(name: impl Into<String>, dns: impl Into<String>, cpus: u32) -> HostSpec {
+        let name = name.into();
+        HostSpec {
+            dns: dns.into(),
+            ip: format!("10.0.0.{}", (name.len() as u32 % 250) + 1),
+            workdir: format!("/scratch/{name}"),
+            name,
+            cpus,
+        }
+    }
+}
+
+struct SimHost {
+    spec: HostSpec,
+    /// Queues per scheduler kind.
+    schedulers: HashMap<SchedulerKind, Vec<BatchQueue>>,
+}
+
+impl SimHost {
+    fn cpus_in_use(&self) -> u32 {
+        self.schedulers
+            .values()
+            .flat_map(|qs| qs.iter())
+            .map(BatchQueue::cpus_in_use)
+            .sum()
+    }
+}
+
+#[derive(Default)]
+struct GridState {
+    hosts: HashMap<String, SimHost>,
+    jobs: HashMap<JobId, Job>,
+    next_job: JobId,
+}
+
+/// The simulated grid.
+pub struct Grid {
+    clock: Arc<SimClock>,
+    state: Mutex<GridState>,
+}
+
+impl Grid {
+    /// An empty grid on a fresh clock.
+    pub fn new() -> Arc<Grid> {
+        Grid::with_clock(SimClock::new())
+    }
+
+    /// An empty grid sharing an existing clock.
+    pub fn with_clock(clock: Arc<SimClock>) -> Arc<Grid> {
+        Arc::new(Grid {
+            clock,
+            state: Mutex::new(GridState::default()),
+        })
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Add a host with a set of schedulers and their queues.
+    pub fn add_host(&self, spec: HostSpec, schedulers: Vec<(SchedulerKind, Vec<QueueSpec>)>) {
+        let mut state = self.state.lock();
+        let host = SimHost {
+            spec: spec.clone(),
+            schedulers: schedulers
+                .into_iter()
+                .map(|(kind, queues)| (kind, queues.into_iter().map(BatchQueue::new).collect()))
+                .collect(),
+        };
+        state.hosts.insert(spec.name.clone(), host);
+    }
+
+    /// A ready-made testbed matching the paper's two-site deployment:
+    /// an SDSC host (PBS + LSF) and an IU host (NQS + GRD), 32 CPUs each.
+    pub fn testbed() -> Arc<Grid> {
+        let grid = Grid::new();
+        grid.add_host(
+            HostSpec::new("tg-login", "tg-login.sdsc.edu", 32),
+            vec![
+                (
+                    SchedulerKind::Pbs,
+                    vec![
+                        QueueSpec::new("batch", 32, 720),
+                        QueueSpec::new("debug", 4, 30),
+                    ],
+                ),
+                (SchedulerKind::Lsf, vec![QueueSpec::new("normal", 16, 360)]),
+            ],
+        );
+        grid.add_host(
+            HostSpec::new("modi4", "modi4.ucs.indiana.edu", 32),
+            vec![
+                (SchedulerKind::Nqs, vec![QueueSpec::new("batch", 32, 720)]),
+                (
+                    SchedulerKind::Grd,
+                    vec![
+                        QueueSpec::new("normal", 16, 360),
+                        QueueSpec::new("long", 32, 2880),
+                    ],
+                ),
+            ],
+        );
+        grid
+    }
+
+    /// Host specs registered.
+    pub fn hosts(&self) -> Vec<HostSpec> {
+        let state = self.state.lock();
+        let mut hosts: Vec<HostSpec> = state.hosts.values().map(|h| h.spec.clone()).collect();
+        hosts.sort_by(|a, b| a.name.cmp(&b.name));
+        hosts
+    }
+
+    /// Scheduler kinds available on a host.
+    pub fn schedulers_on(&self, host: &str) -> Result<Vec<SchedulerKind>> {
+        let state = self.state.lock();
+        let h = state
+            .hosts
+            .get(host)
+            .ok_or_else(|| GridError::NoSuchHost(host.to_owned()))?;
+        let mut kinds: Vec<SchedulerKind> = h.schedulers.keys().copied().collect();
+        kinds.sort_by_key(|k| k.name());
+        Ok(kinds)
+    }
+
+    /// Queue specs for one scheduler on one host.
+    pub fn queues_on(&self, host: &str, kind: SchedulerKind) -> Result<Vec<QueueSpec>> {
+        let state = self.state.lock();
+        let h = state
+            .hosts
+            .get(host)
+            .ok_or_else(|| GridError::NoSuchHost(host.to_owned()))?;
+        let qs = h
+            .schedulers
+            .get(&kind)
+            .ok_or_else(|| GridError::NoSuchScheduler(kind.name().to_owned()))?;
+        Ok(qs.iter().map(|q| q.spec.clone()).collect())
+    }
+
+    /// Submit a batch script to a scheduler on a host. The script is
+    /// parsed and validated in the scheduler's own dialect; admission
+    /// limits are checked against the named queue.
+    pub fn submit(
+        &self,
+        owner: &str,
+        host: &str,
+        kind: SchedulerKind,
+        script: &str,
+    ) -> Result<JobId> {
+        let req =
+            parse_script(kind, script).map_err(|e| GridError::ScriptRejected(e.to_string()))?;
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        let h = state
+            .hosts
+            .get_mut(host)
+            .ok_or_else(|| GridError::NoSuchHost(host.to_owned()))?;
+        if req.cpus > h.spec.cpus {
+            return Err(GridError::ScriptRejected(format!(
+                "host {host} has {} cpus, requested {}",
+                h.spec.cpus, req.cpus
+            )));
+        }
+        let queues = h
+            .schedulers
+            .get_mut(&kind)
+            .ok_or_else(|| GridError::NoSuchScheduler(kind.name().to_owned()))?;
+        let queue = queues
+            .iter_mut()
+            .find(|q| q.spec.name == req.queue)
+            .ok_or_else(|| GridError::NoSuchQueue(req.queue.clone()))?;
+        if let Some(reason) = queue.spec.admission_error(&req) {
+            return Err(GridError::ScriptRejected(reason));
+        }
+        state.next_job += 1;
+        let id = state.next_job;
+        // Re-borrow after the id bump (split borrows of `state`).
+        let h = state.hosts.get_mut(host).expect("host just found");
+        let queue = h
+            .schedulers
+            .get_mut(&kind)
+            .expect("scheduler just found")
+            .iter_mut()
+            .find(|q| q.spec.name == req.queue)
+            .expect("queue just found");
+        queue.enqueue(id, req.cpus);
+        let job = Job {
+            id,
+            owner: owner.to_owned(),
+            host: host.to_owned(),
+            scheduler: kind.name().to_owned(),
+            requirements: req,
+            state: JobState::Queued,
+            submitted_at: now,
+            started_at: None,
+            ended_at: None,
+            stdout: String::new(),
+            exit_code: None,
+        };
+        state.jobs.insert(id, job);
+        Ok(id)
+    }
+
+    /// Current snapshot of a job.
+    pub fn poll(&self, id: JobId) -> Result<Job> {
+        self.state
+            .lock()
+            .jobs
+            .get(&id)
+            .cloned()
+            .ok_or(GridError::NoSuchJob(id))
+    }
+
+    /// Cancel a job if it has not finished.
+    pub fn cancel(&self, id: JobId) -> Result<()> {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        let job = state.jobs.get_mut(&id).ok_or(GridError::NoSuchJob(id))?;
+        if job.state.is_terminal() {
+            return Ok(());
+        }
+        job.state = JobState::Cancelled;
+        job.ended_at = Some(now);
+        let (host, sched) = (job.host.clone(), job.scheduler.clone());
+        if let Some(h) = state.hosts.get_mut(&host) {
+            if let Some(kind) = SchedulerKind::from_name(&sched) {
+                if let Some(queues) = h.schedulers.get_mut(&kind) {
+                    for q in queues {
+                        if q.remove(id) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance virtual time by `ms` and progress every host: finish
+    /// running jobs whose planned runtime has elapsed, then dispatch
+    /// pending jobs into freed CPUs.
+    pub fn tick(&self, ms: u64) {
+        let now = self.clock.advance(ms);
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        for host in state.hosts.values_mut() {
+            // Phase 1: completions.
+            for queues in host.schedulers.values_mut() {
+                for queue in queues.iter_mut() {
+                    for id in queue.running_jobs() {
+                        let job = state.jobs.get_mut(&id).expect("running job exists");
+                        let started = job.started_at.expect("running job has start");
+                        if now >= started + job.planned_runtime_ms() {
+                            queue.finish(id);
+                            job.exit_code = Some(job.planned_exit_code());
+                            job.stdout = job.render_stdout();
+                            job.state = if job.exit_code == Some(0) {
+                                JobState::Done
+                            } else {
+                                JobState::Failed
+                            };
+                            job.ended_at = Some(started + job.planned_runtime_ms());
+                        }
+                    }
+                }
+            }
+            // Phase 2: dispatch into remaining capacity, round-robin over
+            // schedulers in a stable order.
+            let mut free = host.spec.cpus.saturating_sub(host.cpus_in_use());
+            let mut kinds: Vec<SchedulerKind> = host.schedulers.keys().copied().collect();
+            kinds.sort_by_key(|k| k.name());
+            for kind in kinds {
+                let queues = host.schedulers.get_mut(&kind).expect("kind listed");
+                for queue in queues.iter_mut() {
+                    let (started, used) = queue.dispatch(free);
+                    free -= used;
+                    for id in started {
+                        let job = state.jobs.get_mut(&id).expect("dispatched job exists");
+                        job.state = JobState::Running;
+                        job.started_at = Some(now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tick until `id` reaches a terminal state (or `max_ticks` elapses);
+    /// returns the final job snapshot.
+    pub fn run_job_to_completion(&self, id: JobId, max_ticks: usize) -> Result<Job> {
+        for _ in 0..max_ticks {
+            let job = self.poll(id)?;
+            if job.state.is_terminal() {
+                return Ok(job);
+            }
+            self.tick(1000);
+        }
+        self.poll(id)
+    }
+
+    /// Total jobs ever submitted (for experiment reporting).
+    pub fn job_count(&self) -> usize {
+        self.state.lock().jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{render_script, JobRequirements};
+
+    fn script(kind: SchedulerKind, queue: &str, cpus: u32, command: &str) -> String {
+        render_script(
+            kind,
+            &JobRequirements {
+                name: "t".into(),
+                queue: queue.into(),
+                cpus,
+                wall_minutes: 10,
+                command: command.into(),
+            },
+        )
+    }
+
+    #[test]
+    fn submit_run_complete() {
+        let grid = Grid::testbed();
+        let id = grid
+            .submit(
+                "alice",
+                "tg-login",
+                SchedulerKind::Pbs,
+                &script(SchedulerKind::Pbs, "batch", 4, "hostname"),
+            )
+            .unwrap();
+        assert_eq!(grid.poll(id).unwrap().state, JobState::Queued);
+        grid.tick(0); // dispatch
+        assert_eq!(grid.poll(id).unwrap().state, JobState::Running);
+        let done = grid.run_job_to_completion(id, 10).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.stdout, "tg-login\n");
+        assert_eq!(done.exit_code, Some(0));
+    }
+
+    #[test]
+    fn failing_job_reports_failed() {
+        let grid = Grid::testbed();
+        let id = grid
+            .submit(
+                "alice",
+                "tg-login",
+                SchedulerKind::Pbs,
+                &script(SchedulerKind::Pbs, "batch", 1, "/bin/false"),
+            )
+            .unwrap();
+        let done = grid.run_job_to_completion(id, 10).unwrap();
+        assert_eq!(done.state, JobState::Failed);
+        assert_eq!(done.exit_code, Some(1));
+    }
+
+    #[test]
+    fn bad_script_rejected_at_submit() {
+        let grid = Grid::testbed();
+        let err = grid
+            .submit("a", "tg-login", SchedulerKind::Pbs, "#BSUB -J wrong\ndate\n")
+            .unwrap_err();
+        assert!(matches!(err, GridError::ScriptRejected(_)));
+    }
+
+    #[test]
+    fn unknown_host_scheduler_queue() {
+        let grid = Grid::testbed();
+        let s = script(SchedulerKind::Pbs, "batch", 1, "date");
+        assert!(matches!(
+            grid.submit("a", "ghost", SchedulerKind::Pbs, &s),
+            Err(GridError::NoSuchHost(_))
+        ));
+        assert!(matches!(
+            grid.submit("a", "modi4", SchedulerKind::Pbs, &s),
+            Err(GridError::NoSuchScheduler(_))
+        ));
+        let s = script(SchedulerKind::Pbs, "ghostqueue", 1, "date");
+        assert!(matches!(
+            grid.submit("a", "tg-login", SchedulerKind::Pbs, &s),
+            Err(GridError::NoSuchQueue(_))
+        ));
+    }
+
+    #[test]
+    fn queue_limits_enforced() {
+        let grid = Grid::testbed();
+        // debug queue admits ≤4 cpus
+        let s = script(SchedulerKind::Pbs, "debug", 8, "date");
+        assert!(matches!(
+            grid.submit("a", "tg-login", SchedulerKind::Pbs, &s),
+            Err(GridError::ScriptRejected(_))
+        ));
+    }
+
+    #[test]
+    fn host_capacity_queues_jobs() {
+        let grid = Grid::testbed();
+        // Two 20-cpu jobs on a 32-cpu host: second must wait.
+        let s = script(SchedulerKind::Pbs, "batch", 20, "sleep 5");
+        let a = grid.submit("u", "tg-login", SchedulerKind::Pbs, &s).unwrap();
+        let b = grid.submit("u", "tg-login", SchedulerKind::Pbs, &s).unwrap();
+        grid.tick(0);
+        assert_eq!(grid.poll(a).unwrap().state, JobState::Running);
+        assert_eq!(grid.poll(b).unwrap().state, JobState::Queued);
+        // After job a finishes (5s), b starts.
+        grid.tick(5000);
+        assert_eq!(grid.poll(a).unwrap().state, JobState::Done);
+        assert_eq!(grid.poll(b).unwrap().state, JobState::Running);
+        let done_b = grid.run_job_to_completion(b, 10).unwrap();
+        assert!(done_b.queue_wait_ms(0) >= 5000);
+    }
+
+    #[test]
+    fn cancel_pending_and_running() {
+        let grid = Grid::testbed();
+        let s = script(SchedulerKind::Grd, "normal", 2, "sleep 100");
+        let id = grid.submit("u", "modi4", SchedulerKind::Grd, &s).unwrap();
+        grid.tick(0);
+        grid.cancel(id).unwrap();
+        assert_eq!(grid.poll(id).unwrap().state, JobState::Cancelled);
+        // Cancelling again is a no-op.
+        grid.cancel(id).unwrap();
+        assert!(grid.cancel(9999).is_err());
+    }
+
+    #[test]
+    fn testbed_topology() {
+        let grid = Grid::testbed();
+        assert_eq!(grid.hosts().len(), 2);
+        assert_eq!(
+            grid.schedulers_on("tg-login").unwrap(),
+            vec![SchedulerKind::Lsf, SchedulerKind::Pbs]
+        );
+        let queues = grid.queues_on("modi4", SchedulerKind::Grd).unwrap();
+        assert_eq!(queues.len(), 2);
+        assert!(grid.queues_on("modi4", SchedulerKind::Pbs).is_err());
+    }
+
+    #[test]
+    fn all_four_dialects_run_on_testbed() {
+        let grid = Grid::testbed();
+        let cases = [
+            ("tg-login", SchedulerKind::Pbs, "batch"),
+            ("tg-login", SchedulerKind::Lsf, "normal"),
+            ("modi4", SchedulerKind::Nqs, "batch"),
+            ("modi4", SchedulerKind::Grd, "normal"),
+        ];
+        for (host, kind, queue) in cases {
+            let id = grid
+                .submit("u", host, kind, &script(kind, queue, 2, "date"))
+                .unwrap();
+            let done = grid.run_job_to_completion(id, 10).unwrap();
+            assert_eq!(done.state, JobState::Done, "{kind} on {host}");
+        }
+        assert_eq!(grid.job_count(), 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Job records and lifecycle.
+//!
+//! §5.1 of the paper enumerates application lifecycle phases and notes the
+//! "running" state "may be subdivided into queued, running, sleeping,
+//! terminating, and so on" — [`JobState`] is that refinement for the batch
+//! layer. The Application Web Services layer maps these onto its own
+//! coarser abstract/prepared/running/archived states.
+
+use crate::clock::SimTime;
+use crate::sched::JobRequirements;
+
+/// Opaque job identifier, unique per [`crate::Grid`].
+pub type JobId = u64;
+
+/// Batch-level job states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for CPUs.
+    Queued,
+    /// Executing on the host.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Finished with a nonzero exit code.
+    Failed,
+    /// Removed before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Has the job reached a terminal state?
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+
+    /// Wire rendering used by the job-submission service.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "QUEUED",
+            JobState::Running => "RUNNING",
+            JobState::Done => "DONE",
+            JobState::Failed => "FAILED",
+            JobState::Cancelled => "CANCELLED",
+        }
+    }
+}
+
+/// One submitted job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Grid-wide id.
+    pub id: JobId,
+    /// Owner principal (from the submitting credential).
+    pub owner: String,
+    /// Host the job was submitted to.
+    pub host: String,
+    /// Scheduler that accepted it.
+    pub scheduler: String,
+    /// Parsed requirements (name, queue, cpus, walltime, command).
+    pub requirements: JobRequirements,
+    /// Current state.
+    pub state: JobState,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Start time, once running.
+    pub started_at: Option<SimTime>,
+    /// Completion time, once terminal.
+    pub ended_at: Option<SimTime>,
+    /// Captured stdout (available once terminal).
+    pub stdout: String,
+    /// Exit code (available once terminal).
+    pub exit_code: Option<i32>,
+}
+
+impl Job {
+    /// Queue wait so far (or total, once started).
+    pub fn queue_wait_ms(&self, now: SimTime) -> u64 {
+        self.started_at.unwrap_or(now).saturating_sub(self.submitted_at)
+    }
+
+    /// Simulated execution duration derived deterministically from the
+    /// command: `sleep N` runs N seconds; everything else runs one second
+    /// per 16 bytes of command text (min 1s). Deterministic runtimes keep
+    /// the experiments reproducible.
+    pub fn planned_runtime_ms(&self) -> u64 {
+        let cmd = self.requirements.command.trim();
+        if let Some(rest) = cmd.strip_prefix("sleep ") {
+            if let Ok(secs) = rest.trim().parse::<u64>() {
+                return secs * 1000;
+            }
+        }
+        let units = (cmd.len() as u64 / 16).max(1);
+        units * 1000
+    }
+
+    /// Simulated exit code: commands containing `fail` or equal to
+    /// `/bin/false` fail with 1.
+    pub fn planned_exit_code(&self) -> i32 {
+        let cmd = self.requirements.command.trim();
+        if cmd == "/bin/false" || cmd.contains("fail") {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Simulated stdout produced at completion.
+    pub fn render_stdout(&self) -> String {
+        let cmd = self.requirements.command.trim();
+        if cmd == "hostname" || cmd == "/bin/hostname" {
+            return format!("{}\n", self.host);
+        }
+        format!(
+            "[{}:{}] {} (cpus={}) rc={}\n",
+            self.host,
+            self.requirements.queue,
+            cmd,
+            self.requirements.cpus,
+            self.planned_exit_code()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::JobRequirements;
+
+    fn job(command: &str) -> Job {
+        Job {
+            id: 1,
+            owner: "alice".into(),
+            host: "tg-login.sdsc.edu".into(),
+            scheduler: "PBS".into(),
+            requirements: JobRequirements {
+                name: "t".into(),
+                queue: "batch".into(),
+                cpus: 4,
+                wall_minutes: 10,
+                command: command.into(),
+            },
+            state: JobState::Queued,
+            submitted_at: 100,
+            started_at: None,
+            ended_at: None,
+            stdout: String::new(),
+            exit_code: None,
+        }
+    }
+
+    #[test]
+    fn sleep_commands_run_that_long() {
+        assert_eq!(job("sleep 7").planned_runtime_ms(), 7000);
+        assert_eq!(job("sleep 0").planned_runtime_ms(), 0);
+    }
+
+    #[test]
+    fn other_commands_scale_with_length() {
+        assert_eq!(job("date").planned_runtime_ms(), 1000);
+        let long = "x".repeat(64);
+        assert_eq!(job(&long).planned_runtime_ms(), 4000);
+    }
+
+    #[test]
+    fn failure_detection() {
+        assert_eq!(job("/bin/false").planned_exit_code(), 1);
+        assert_eq!(job("run-and-fail.sh").planned_exit_code(), 1);
+        assert_eq!(job("date").planned_exit_code(), 0);
+    }
+
+    #[test]
+    fn hostname_stdout() {
+        assert_eq!(job("hostname").render_stdout(), "tg-login.sdsc.edu\n");
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn queue_wait() {
+        let mut j = job("date");
+        assert_eq!(j.queue_wait_ms(600), 500);
+        j.started_at = Some(400);
+        assert_eq!(j.queue_wait_ms(9999), 300);
+    }
+}

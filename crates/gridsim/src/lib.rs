@@ -1,0 +1,80 @@
+//! Simulated computational grid: the substrate the paper's services stand
+//! on.
+//!
+//! The 2002 system ran over Globus GRAM, production batch schedulers
+//! (PBS, LSF, NQS, GRD), the SDSC Storage Resource Broker, and
+//! Kerberos/GSI credentials — none of which are available here, per the
+//! reproduction bands. This crate simulates each of them faithfully enough
+//! that the portal layers above exercise the same code paths (see
+//! DESIGN.md §3 for the substitution argument):
+//!
+//! * [`clock`] — a shared virtual clock; all lifecycle progression is
+//!   driven by explicit ticks, so tests and benchmarks are deterministic.
+//! * [`job`] — job records and lifecycle states.
+//! * [`sched`] — the four batch-scheduler dialects. Each scheduler
+//!   *parses and validates* submitted scripts in its own directive syntax,
+//!   which is what lets experiment E10 check that independently generated
+//!   scripts are genuinely accepted by the target system rather than just
+//!   string-compared.
+//! * [`queue`] — per-host batch queues with CPU-count admission and FIFO
+//!   scheduling.
+//! * [`grid`] — the grid fabric: hosts, their schedulers, submission and
+//!   polling (the Globus GRAM stand-in).
+//! * [`srb`] — an in-memory Storage Resource Broker: hierarchical
+//!   collections, per-user permissions, and quotas (so `DISK_FULL` is a
+//!   reachable error, as in the paper's example).
+//! * [`cred`] — Kerberos/GSI credential simulation: keytabs, a KDC issuing
+//!   expiring tickets, and proxy certificates.
+
+pub mod clock;
+pub mod cred;
+pub mod grid;
+pub mod job;
+pub mod queue;
+pub mod sched;
+pub mod srb;
+
+pub use clock::SimClock;
+pub use cred::{Credential, CredentialAuthority, Mechanism};
+pub use grid::{Grid, HostSpec};
+pub use job::{Job, JobId, JobState};
+pub use queue::{BatchQueue, QueueSpec};
+pub use sched::{JobRequirements, SchedulerKind};
+pub use srb::{Srb, SrbError};
+
+use std::fmt;
+
+/// Errors raised by the grid fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// Unknown host.
+    NoSuchHost(String),
+    /// Host exists but does not run the requested scheduler.
+    NoSuchScheduler(String),
+    /// Unknown queue on the target scheduler.
+    NoSuchQueue(String),
+    /// The scheduler rejected the script (dialect or limits violation).
+    ScriptRejected(String),
+    /// Unknown job id.
+    NoSuchJob(u64),
+    /// Credential missing, expired, or wrong principal.
+    NotAuthorized(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::NoSuchHost(h) => write!(f, "no such host: {h}"),
+            GridError::NoSuchScheduler(s) => write!(f, "no such scheduler: {s}"),
+            GridError::NoSuchQueue(q) => write!(f, "no such queue: {q}"),
+            GridError::ScriptRejected(msg) => write!(f, "script rejected: {msg}"),
+            GridError::NoSuchJob(id) => write!(f, "no such job: {id}"),
+            GridError::NotAuthorized(msg) => write!(f, "not authorized: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GridError>;

@@ -1,0 +1,196 @@
+//! Batch queues: admission limits and FIFO dispatch.
+
+use std::collections::VecDeque;
+
+use crate::job::JobId;
+use crate::sched::JobRequirements;
+
+/// Static description of one queue on one scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSpec {
+    /// Queue name (`batch`, `normal`, `debug`, …).
+    pub name: String,
+    /// Largest CPU request the queue admits.
+    pub max_cpus: u32,
+    /// Longest walltime (minutes) the queue admits.
+    pub max_wall_minutes: u32,
+}
+
+impl QueueSpec {
+    /// Construct a spec.
+    pub fn new(name: impl Into<String>, max_cpus: u32, max_wall_minutes: u32) -> QueueSpec {
+        QueueSpec {
+            name: name.into(),
+            max_cpus,
+            max_wall_minutes,
+        }
+    }
+
+    /// Why the queue refuses `req`, if it does.
+    pub fn admission_error(&self, req: &JobRequirements) -> Option<String> {
+        if req.cpus > self.max_cpus {
+            return Some(format!(
+                "queue {:?} admits at most {} cpus (requested {})",
+                self.name, self.max_cpus, req.cpus
+            ));
+        }
+        if req.wall_minutes > self.max_wall_minutes {
+            return Some(format!(
+                "queue {:?} admits at most {} minutes (requested {})",
+                self.name, self.max_wall_minutes, req.wall_minutes
+            ));
+        }
+        None
+    }
+}
+
+/// Runtime state of one queue: FIFO pending list plus the set running.
+#[derive(Debug, Clone)]
+pub struct BatchQueue {
+    /// The static limits.
+    pub spec: QueueSpec,
+    pending: VecDeque<(JobId, u32)>, // (job, cpus)
+    running: Vec<(JobId, u32)>,
+}
+
+impl BatchQueue {
+    /// A fresh, empty queue.
+    pub fn new(spec: QueueSpec) -> BatchQueue {
+        BatchQueue {
+            spec,
+            pending: VecDeque::new(),
+            running: Vec::new(),
+        }
+    }
+
+    /// Enqueue an admitted job.
+    pub fn enqueue(&mut self, job: JobId, cpus: u32) {
+        self.pending.push_back((job, cpus));
+    }
+
+    /// Remove a job from either list (cancellation). Returns true if found.
+    pub fn remove(&mut self, job: JobId) -> bool {
+        let before = self.pending.len() + self.running.len();
+        self.pending.retain(|(j, _)| *j != job);
+        self.running.retain(|(j, _)| *j != job);
+        before != self.pending.len() + self.running.len()
+    }
+
+    /// Mark a running job finished, releasing its CPUs.
+    pub fn finish(&mut self, job: JobId) {
+        self.running.retain(|(j, _)| *j != job);
+    }
+
+    /// Dispatch pending jobs FIFO while `free_cpus` allows; returns the
+    /// jobs started and the CPUs consumed. Strict FIFO: a large job at the
+    /// head blocks smaller jobs behind it (no backfilling), matching the
+    /// era's default scheduler behavior.
+    pub fn dispatch(&mut self, mut free_cpus: u32) -> (Vec<JobId>, u32) {
+        let mut started = Vec::new();
+        let mut used = 0;
+        while let Some(&(job, cpus)) = self.pending.front() {
+            if cpus > free_cpus {
+                break;
+            }
+            self.pending.pop_front();
+            self.running.push((job, cpus));
+            free_cpus -= cpus;
+            used += cpus;
+            started.push(job);
+        }
+        (started, used)
+    }
+
+    /// CPUs currently held by running jobs in this queue.
+    pub fn cpus_in_use(&self) -> u32 {
+        self.running.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Jobs waiting.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Jobs running.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Ids of running jobs (for completion scans).
+    pub fn running_jobs(&self) -> Vec<JobId> {
+        self.running.iter().map(|(j, _)| *j).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(cpus: u32, wall: u32) -> JobRequirements {
+        JobRequirements {
+            name: "j".into(),
+            queue: "q".into(),
+            cpus,
+            wall_minutes: wall,
+            command: "date".into(),
+        }
+    }
+
+    #[test]
+    fn admission_limits() {
+        let spec = QueueSpec::new("q", 16, 60);
+        assert!(spec.admission_error(&req(16, 60)).is_none());
+        assert!(spec.admission_error(&req(17, 10)).unwrap().contains("cpus"));
+        assert!(spec
+            .admission_error(&req(1, 61))
+            .unwrap()
+            .contains("minutes"));
+    }
+
+    #[test]
+    fn fifo_dispatch_respects_budget() {
+        let mut q = BatchQueue::new(QueueSpec::new("q", 32, 60));
+        q.enqueue(1, 8);
+        q.enqueue(2, 8);
+        q.enqueue(3, 8);
+        let (started, used) = q.dispatch(16);
+        assert_eq!(started, vec![1, 2]);
+        assert_eq!(used, 16);
+        assert_eq!(q.pending_count(), 1);
+        assert_eq!(q.running_count(), 2);
+        assert_eq!(q.cpus_in_use(), 16);
+    }
+
+    #[test]
+    fn head_of_line_blocking_is_strict_fifo() {
+        let mut q = BatchQueue::new(QueueSpec::new("q", 32, 60));
+        q.enqueue(1, 32); // too big for current budget
+        q.enqueue(2, 1); // could run, but must wait behind job 1
+        let (started, _) = q.dispatch(8);
+        assert!(started.is_empty());
+        assert_eq!(q.pending_count(), 2);
+    }
+
+    #[test]
+    fn finish_releases_cpus() {
+        let mut q = BatchQueue::new(QueueSpec::new("q", 32, 60));
+        q.enqueue(1, 8);
+        q.dispatch(8);
+        assert_eq!(q.cpus_in_use(), 8);
+        q.finish(1);
+        assert_eq!(q.cpus_in_use(), 0);
+        assert_eq!(q.running_count(), 0);
+    }
+
+    #[test]
+    fn remove_cancels_pending_or_running() {
+        let mut q = BatchQueue::new(QueueSpec::new("q", 32, 60));
+        q.enqueue(1, 4);
+        q.enqueue(2, 4);
+        q.dispatch(4); // job 1 running, job 2 pending
+        assert!(q.remove(1));
+        assert!(q.remove(2));
+        assert!(!q.remove(3));
+        assert_eq!(q.pending_count() + q.running_count(), 0);
+    }
+}

@@ -1,0 +1,487 @@
+//! The four batch-scheduler dialects of §3.4.
+//!
+//! The batch-script interoperability exercise hinged on UDDI being unable
+//! to distinguish "one script generator service that supports PBS and GRD
+//! and another that supports LSF and NQS". Those four systems each speak a
+//! different directive syntax; this module implements a parser/validator
+//! per dialect, so a generated script is *accepted by the target
+//! scheduler* only if it is genuinely well-formed in that dialect —
+//! the acceptance criterion for experiment E10.
+//!
+//! Dialect summaries (directive prefix, then the options we honor):
+//!
+//! | Scheduler | Prefix  | name | queue | cpus            | walltime        |
+//! |-----------|---------|------|-------|-----------------|-----------------|
+//! | PBS       | `#PBS`  | `-N` | `-q`  | `-l nodes=N:ppn=P` or `-l ncpus=N` | `-l walltime=HH:MM:SS` |
+//! | LSF       | `#BSUB` | `-J` | `-q`  | `-n N`          | `-W HH:MM`      |
+//! | NQS       | `#QSUB` | `-r` | `-q`  | `-l mpp_p=N`    | `-lT SECONDS`   |
+//! | GRD       | `#$`    | `-N` | `-q`  | `-pe mpi N`     | `-l h_rt=SECONDS` |
+
+use std::fmt;
+
+/// The queuing systems of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Portable Batch System.
+    Pbs,
+    /// Load Sharing Facility.
+    Lsf,
+    /// Network Queuing System.
+    Nqs,
+    /// Global/Sun Resource Director (Codine/GRD lineage).
+    Grd,
+}
+
+impl SchedulerKind {
+    /// All four kinds.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Pbs,
+        SchedulerKind::Lsf,
+        SchedulerKind::Nqs,
+        SchedulerKind::Grd,
+    ];
+
+    /// Canonical upper-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Pbs => "PBS",
+            SchedulerKind::Lsf => "LSF",
+            SchedulerKind::Nqs => "NQS",
+            SchedulerKind::Grd => "GRD",
+        }
+    }
+
+    /// Parse a (case-insensitive) name.
+    pub fn from_name(s: &str) -> Option<SchedulerKind> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "PBS" => Some(SchedulerKind::Pbs),
+            "LSF" => Some(SchedulerKind::Lsf),
+            "NQS" => Some(SchedulerKind::Nqs),
+            "GRD" | "CODINE" | "SGE" => Some(SchedulerKind::Grd),
+            _ => None,
+        }
+    }
+
+    /// The directive prefix lines must start with.
+    pub fn directive_prefix(self) -> &'static str {
+        match self {
+            SchedulerKind::Pbs => "#PBS",
+            SchedulerKind::Lsf => "#BSUB",
+            SchedulerKind::Nqs => "#QSUB",
+            SchedulerKind::Grd => "#$",
+        }
+    }
+
+    /// The submit command users would type (`qsub`, `bsub`, …) — used in
+    /// portal help text.
+    pub fn submit_command(self) -> &'static str {
+        match self {
+            SchedulerKind::Pbs => "qsub",
+            SchedulerKind::Lsf => "bsub",
+            SchedulerKind::Nqs => "qsub",
+            SchedulerKind::Grd => "qsub",
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a batch script asks for, in scheduler-neutral terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequirements {
+    /// Job name.
+    pub name: String,
+    /// Target queue.
+    pub queue: String,
+    /// CPU count.
+    pub cpus: u32,
+    /// Wall-clock limit in minutes.
+    pub wall_minutes: u32,
+    /// The command to run (first non-directive line).
+    pub command: String,
+}
+
+/// A dialect violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DialectError(pub String);
+
+impl fmt::Display for DialectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DialectError {}
+
+type ParseResult<T> = std::result::Result<T, DialectError>;
+
+fn err<T>(msg: impl Into<String>) -> ParseResult<T> {
+    Err(DialectError(msg.into()))
+}
+
+/// Parse and validate a script in the given dialect. Returns the
+/// scheduler-neutral requirements on success.
+///
+/// Rejections: wrong or foreign directive prefixes, unknown options,
+/// missing name/queue/cpus/walltime, no command line, malformed values.
+pub fn parse_script(kind: SchedulerKind, script: &str) -> ParseResult<JobRequirements> {
+    let prefix = kind.directive_prefix();
+    let mut name = None;
+    let mut queue = None;
+    let mut cpus = None;
+    let mut wall = None;
+    let mut command = None;
+
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.trim_end();
+        if lineno == 0 && line.starts_with("#!") {
+            continue; // shebang
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(prefix) {
+            // Must be followed by whitespace then an option.
+            let rest = rest.trim_start();
+            if rest.is_empty() {
+                return err(format!("line {}: empty directive", lineno + 1));
+            }
+            parse_directive(kind, rest, lineno + 1, &mut name, &mut queue, &mut cpus, &mut wall)?;
+            continue;
+        }
+        if line.starts_with('#') {
+            // A comment — but a *foreign* directive is a hard error: it
+            // means the generator targeted the wrong scheduler.
+            for other in SchedulerKind::ALL {
+                if other != kind && line.starts_with(other.directive_prefix()) {
+                    // "#$" would match plain comments starting "#$"; only
+                    // flag when the foreign prefix is followed by space+dash.
+                    let tail = &line[other.directive_prefix().len()..];
+                    if tail.trim_start().starts_with('-') {
+                        return err(format!(
+                            "line {}: {} directive in a {} script",
+                            lineno + 1,
+                            other.name(),
+                            kind.name()
+                        ));
+                    }
+                }
+            }
+            continue;
+        }
+        if command.is_none() {
+            command = Some(line.trim().to_owned());
+        }
+    }
+
+    let name = name.ok_or(DialectError("missing job name directive".into()))?;
+    let queue = queue.ok_or(DialectError("missing queue directive".into()))?;
+    let cpus = cpus.ok_or(DialectError("missing cpu-count directive".into()))?;
+    let wall_minutes = wall.ok_or(DialectError("missing walltime directive".into()))?;
+    let command = command.ok_or(DialectError("script has no command".into()))?;
+    if cpus == 0 {
+        return err("cpu count must be positive");
+    }
+    if wall_minutes == 0 {
+        return err("walltime must be positive");
+    }
+    Ok(JobRequirements {
+        name,
+        queue,
+        cpus,
+        wall_minutes,
+        command,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_directive(
+    kind: SchedulerKind,
+    rest: &str,
+    lineno: usize,
+    name: &mut Option<String>,
+    queue: &mut Option<String>,
+    cpus: &mut Option<u32>,
+    wall: &mut Option<u32>,
+) -> ParseResult<()> {
+    let mut tokens = rest.split_whitespace();
+    let opt = tokens.next().unwrap_or("");
+    let val = || -> ParseResult<String> {
+        rest.split_whitespace()
+            .nth(1)
+            .map(str::to_owned)
+            .ok_or(DialectError(format!("line {lineno}: {opt} needs a value")))
+    };
+    match (kind, opt) {
+        (SchedulerKind::Pbs, "-N")
+        | (SchedulerKind::Lsf, "-J")
+        | (SchedulerKind::Nqs, "-r")
+        | (SchedulerKind::Grd, "-N") => *name = Some(val()?),
+        (_, "-q") => *queue = Some(val()?),
+        (SchedulerKind::Lsf, "-n") => {
+            *cpus = Some(parse_u32(&val()?, lineno, "-n")?);
+        }
+        (SchedulerKind::Lsf, "-W") => {
+            let v = val()?;
+            let (h, m) = v
+                .split_once(':')
+                .ok_or(DialectError(format!("line {lineno}: -W expects HH:MM")))?;
+            let h: u32 = parse_u32(h, lineno, "-W hours")?;
+            let m: u32 = parse_u32(m, lineno, "-W minutes")?;
+            *wall = Some(h * 60 + m);
+        }
+        (SchedulerKind::Pbs, "-l") => {
+            let v = val()?;
+            parse_pbs_resource(&v, lineno, cpus, wall)?;
+        }
+        (SchedulerKind::Nqs, "-l") => {
+            let v = val()?;
+            if let Some(n) = v.strip_prefix("mpp_p=") {
+                *cpus = Some(parse_u32(n, lineno, "mpp_p")?);
+            } else {
+                return err(format!("line {lineno}: unknown NQS resource {v:?}"));
+            }
+        }
+        (SchedulerKind::Nqs, "-lT") => {
+            let secs = parse_u32(&val()?, lineno, "-lT")?;
+            *wall = Some(secs.div_ceil(60));
+        }
+        (SchedulerKind::Grd, "-pe") => {
+            // -pe <env> <n>
+            let env = rest.split_whitespace().nth(1);
+            let n = rest.split_whitespace().nth(2);
+            match (env, n) {
+                (Some(_), Some(n)) => *cpus = Some(parse_u32(n, lineno, "-pe")?),
+                _ => return err(format!("line {lineno}: -pe expects <env> <slots>")),
+            }
+        }
+        (SchedulerKind::Grd, "-l") => {
+            let v = val()?;
+            if let Some(secs) = v.strip_prefix("h_rt=") {
+                let secs = parse_u32(secs, lineno, "h_rt")?;
+                *wall = Some(secs.div_ceil(60));
+            } else {
+                return err(format!("line {lineno}: unknown GRD resource {v:?}"));
+            }
+        }
+        _ => {
+            return err(format!(
+                "line {lineno}: unknown {} option {opt:?}",
+                kind.name()
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn parse_u32(s: &str, lineno: usize, what: &str) -> ParseResult<u32> {
+    s.trim()
+        .parse::<u32>()
+        .map_err(|_| DialectError(format!("line {lineno}: bad number for {what}: {s:?}")))
+}
+
+fn parse_pbs_resource(
+    v: &str,
+    lineno: usize,
+    cpus: &mut Option<u32>,
+    wall: &mut Option<u32>,
+) -> ParseResult<()> {
+    if let Some(rest) = v.strip_prefix("nodes=") {
+        // nodes=N[:ppn=P]
+        let (n, ppn) = match rest.split_once(":ppn=") {
+            Some((n, p)) => (
+                parse_u32(n, lineno, "nodes")?,
+                parse_u32(p, lineno, "ppn")?,
+            ),
+            None => (parse_u32(rest, lineno, "nodes")?, 1),
+        };
+        *cpus = Some(n * ppn);
+        Ok(())
+    } else if let Some(n) = v.strip_prefix("ncpus=") {
+        *cpus = Some(parse_u32(n, lineno, "ncpus")?);
+        Ok(())
+    } else if let Some(t) = v.strip_prefix("walltime=") {
+        let parts: Vec<&str> = t.split(':').collect();
+        let [h, m, s] = match parts.as_slice() {
+            [h, m, s] => [*h, *m, *s],
+            _ => return err(format!("line {lineno}: walltime expects HH:MM:SS")),
+        };
+        let h = parse_u32(h, lineno, "walltime hours")?;
+        let m = parse_u32(m, lineno, "walltime minutes")?;
+        let s = parse_u32(s, lineno, "walltime seconds")?;
+        *wall = Some(h * 60 + m + s.div_ceil(60));
+        Ok(())
+    } else {
+        err(format!("line {lineno}: unknown PBS resource {v:?}"))
+    }
+}
+
+/// Render requirements back into a script for the given dialect — the
+/// reference generator the script-generation services are tested against.
+pub fn render_script(kind: SchedulerKind, req: &JobRequirements) -> String {
+    let mut out = String::from("#!/bin/sh\n");
+    let p = kind.directive_prefix();
+    match kind {
+        SchedulerKind::Pbs => {
+            out.push_str(&format!("{p} -N {}\n", req.name));
+            out.push_str(&format!("{p} -q {}\n", req.queue));
+            out.push_str(&format!("{p} -l ncpus={}\n", req.cpus));
+            out.push_str(&format!(
+                "{p} -l walltime={:02}:{:02}:00\n",
+                req.wall_minutes / 60,
+                req.wall_minutes % 60
+            ));
+        }
+        SchedulerKind::Lsf => {
+            out.push_str(&format!("{p} -J {}\n", req.name));
+            out.push_str(&format!("{p} -q {}\n", req.queue));
+            out.push_str(&format!("{p} -n {}\n", req.cpus));
+            out.push_str(&format!(
+                "{p} -W {:02}:{:02}\n",
+                req.wall_minutes / 60,
+                req.wall_minutes % 60
+            ));
+        }
+        SchedulerKind::Nqs => {
+            out.push_str(&format!("{p} -r {}\n", req.name));
+            out.push_str(&format!("{p} -q {}\n", req.queue));
+            out.push_str(&format!("{p} -l mpp_p={}\n", req.cpus));
+            out.push_str(&format!("{p} -lT {}\n", req.wall_minutes * 60));
+        }
+        SchedulerKind::Grd => {
+            out.push_str(&format!("{p} -N {}\n", req.name));
+            out.push_str(&format!("{p} -q {}\n", req.queue));
+            out.push_str(&format!("{p} -pe mpi {}\n", req.cpus));
+            out.push_str(&format!("{p} -l h_rt={}\n", req.wall_minutes * 60));
+        }
+    }
+    out.push_str(&req.command);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> JobRequirements {
+        JobRequirements {
+            name: "g98run".into(),
+            queue: "normal".into(),
+            cpus: 8,
+            wall_minutes: 90,
+            command: "/usr/local/bin/g98 < input.com".into(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_all_dialects() {
+        for kind in SchedulerKind::ALL {
+            let script = render_script(kind, &req());
+            let parsed = parse_script(kind, &script)
+                .unwrap_or_else(|e| panic!("{kind} rejected its own script: {e}\n{script}"));
+            assert_eq!(parsed, req(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn cross_dialect_scripts_rejected() {
+        for gen in SchedulerKind::ALL {
+            for target in SchedulerKind::ALL {
+                if gen == target {
+                    continue;
+                }
+                let script = render_script(gen, &req());
+                assert!(
+                    parse_script(target, &script).is_err(),
+                    "{target} accepted a {gen} script"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pbs_nodes_ppn_multiplies() {
+        let script = "#!/bin/sh\n#PBS -N j\n#PBS -q q\n#PBS -l nodes=4:ppn=2\n#PBS -l walltime=00:30:00\ndate\n";
+        let r = parse_script(SchedulerKind::Pbs, script).unwrap();
+        assert_eq!(r.cpus, 8);
+        assert_eq!(r.wall_minutes, 30);
+    }
+
+    #[test]
+    fn pbs_bare_nodes_defaults_ppn_1() {
+        let script = "#PBS -N j\n#PBS -q q\n#PBS -l nodes=4\n#PBS -l walltime=01:00:00\ndate\n";
+        assert_eq!(parse_script(SchedulerKind::Pbs, script).unwrap().cpus, 4);
+    }
+
+    #[test]
+    fn lsf_walltime_hhmm() {
+        let script = "#BSUB -J j\n#BSUB -q q\n#BSUB -n 2\n#BSUB -W 02:15\ndate\n";
+        assert_eq!(
+            parse_script(SchedulerKind::Lsf, script).unwrap().wall_minutes,
+            135
+        );
+    }
+
+    #[test]
+    fn nqs_seconds_round_up() {
+        let script = "#QSUB -r j\n#QSUB -q q\n#QSUB -l mpp_p=1\n#QSUB -lT 90\ndate\n";
+        assert_eq!(
+            parse_script(SchedulerKind::Nqs, script).unwrap().wall_minutes,
+            2
+        );
+    }
+
+    #[test]
+    fn grd_parallel_environment() {
+        let script = "#$ -N j\n#$ -q q\n#$ -pe mpi 16\n#$ -l h_rt=3600\ndate\n";
+        let r = parse_script(SchedulerKind::Grd, script).unwrap();
+        assert_eq!(r.cpus, 16);
+        assert_eq!(r.wall_minutes, 60);
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let script = "#PBS -N j\n#PBS -q q\ndate\n";
+        let e = parse_script(SchedulerKind::Pbs, script).unwrap_err();
+        assert!(e.0.contains("cpu"), "{e}");
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        let script = "#PBS -N j\n#PBS -q q\n#PBS -l ncpus=1\n#PBS -l walltime=00:10:00\n";
+        assert!(parse_script(SchedulerKind::Pbs, script).is_err());
+    }
+
+    #[test]
+    fn zero_cpus_rejected() {
+        let script = "#PBS -N j\n#PBS -q q\n#PBS -l ncpus=0\n#PBS -l walltime=00:10:00\ndate\n";
+        assert!(parse_script(SchedulerKind::Pbs, script).is_err());
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let script = "#PBS -Z whatever\n#PBS -N j\ndate\n";
+        assert!(parse_script(SchedulerKind::Pbs, script).is_err());
+    }
+
+    #[test]
+    fn plain_comments_tolerated() {
+        let script =
+            "#!/bin/sh\n# A plain comment\n#PBS -N j\n#PBS -q q\n#PBS -l ncpus=1\n#PBS -l walltime=00:10:00\n\ndate\n";
+        assert!(parse_script(SchedulerKind::Pbs, script).is_ok());
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::from_name("sge"), Some(SchedulerKind::Grd));
+        assert_eq!(SchedulerKind::from_name("slurm"), None);
+    }
+}

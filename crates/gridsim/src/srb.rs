@@ -1,0 +1,420 @@
+//! In-memory Storage Resource Broker (SRB) simulation.
+//!
+//! §3.2 wraps "a small subset of SRB's functionality": `ls`, `cat`, `get`,
+//! `put`, and the batched `xml_call`. This module is the broker itself —
+//! hierarchical *collections* holding byte objects, per-user permissions
+//! (the real SRB calls were "GSI authenticated"), and per-collection
+//! quotas so that the paper's canonical implementation error ("the file
+//! didn't get transferred because the disk was full") is reachable.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use std::fmt;
+
+/// SRB operation failures, mapped by the data-management service onto the
+/// portal's common error codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SrbError {
+    /// No such collection or object.
+    NotFound(String),
+    /// The principal lacks access to the collection.
+    PermissionDenied(String),
+    /// Writing would exceed the collection quota.
+    DiskFull { path: String, quota: usize },
+    /// Object exists where a collection is needed, or vice versa.
+    Invalid(String),
+}
+
+impl fmt::Display for SrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrbError::NotFound(p) => write!(f, "not found: {p}"),
+            SrbError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
+            SrbError::DiskFull { path, quota } => {
+                write!(f, "disk full: {path} (quota {quota} bytes)")
+            }
+            SrbError::Invalid(msg) => write!(f, "invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SrbError {}
+
+type SrbResult<T> = std::result::Result<T, SrbError>;
+
+/// A directory listing entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name.
+    pub name: String,
+    /// True for sub-collections.
+    pub is_collection: bool,
+    /// Object size in bytes (0 for collections).
+    pub size: usize,
+}
+
+#[derive(Debug, Default)]
+struct Collection {
+    children: BTreeMap<String, Node>,
+}
+
+#[derive(Debug)]
+enum Node {
+    Collection(Collection),
+    Object(Vec<u8>),
+}
+
+struct SrbState {
+    root: Collection,
+    /// Principals allowed per top-level collection; empty = world-readable.
+    acls: BTreeMap<String, Vec<String>>,
+    /// Byte quota per top-level collection.
+    quotas: BTreeMap<String, usize>,
+}
+
+/// The broker.
+pub struct Srb {
+    state: RwLock<SrbState>,
+}
+
+fn split(path: &str) -> SrbResult<Vec<&str>> {
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    if segs.is_empty() {
+        return Err(SrbError::Invalid("empty path".into()));
+    }
+    Ok(segs)
+}
+
+impl Default for Srb {
+    fn default() -> Self {
+        Srb::new()
+    }
+}
+
+impl Srb {
+    /// An empty broker.
+    pub fn new() -> Srb {
+        Srb {
+            state: RwLock::new(SrbState {
+                root: Collection::default(),
+                acls: BTreeMap::new(),
+                quotas: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// A broker populated like the GCE testbed: one home collection per
+    /// user with a 1 MiB quota, plus a world-readable `/public`.
+    pub fn testbed(users: &[&str]) -> Srb {
+        let srb = Srb::new();
+        for user in users {
+            let home = format!("/home-{user}");
+            srb.mkdir(&home).unwrap();
+            srb.set_acl(&home, vec![(*user).to_owned()]);
+            srb.set_quota(&home, 1 << 20);
+        }
+        srb.mkdir("/public").unwrap();
+        srb.put("anonymous", "/public/README", b"GCE testbed public collection\n")
+            .unwrap();
+        srb
+    }
+
+    /// Restrict a top-level collection to `principals`.
+    pub fn set_acl(&self, top: &str, principals: Vec<String>) {
+        let top = top.trim_matches('/').to_owned();
+        self.state.write().acls.insert(top, principals);
+    }
+
+    /// Set a byte quota on a top-level collection.
+    pub fn set_quota(&self, top: &str, bytes: usize) {
+        let top = top.trim_matches('/').to_owned();
+        self.state.write().quotas.insert(top, bytes);
+    }
+
+    fn check_access(state: &SrbState, principal: &str, segs: &[&str]) -> SrbResult<()> {
+        let top = segs.first().copied().unwrap_or("");
+        if let Some(allowed) = state.acls.get(top) {
+            if !allowed.iter().any(|p| p == principal) {
+                return Err(SrbError::PermissionDenied(format!("/{top}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn collection_size(col: &Collection) -> usize {
+        col.children
+            .values()
+            .map(|n| match n {
+                Node::Object(bytes) => bytes.len(),
+                Node::Collection(c) => Self::collection_size(c),
+            })
+            .sum()
+    }
+
+    fn descend<'c>(root: &'c Collection, segs: &[&str]) -> SrbResult<&'c Collection> {
+        let mut cur = root;
+        for seg in segs {
+            match cur.children.get(*seg) {
+                Some(Node::Collection(c)) => cur = c,
+                Some(Node::Object(_)) => {
+                    return Err(SrbError::Invalid(format!("{seg:?} is an object")))
+                }
+                None => return Err(SrbError::NotFound(format!("collection {seg:?}"))),
+            }
+        }
+        Ok(cur)
+    }
+
+    fn descend_mut<'c>(root: &'c mut Collection, segs: &[&str]) -> SrbResult<&'c mut Collection> {
+        let mut cur = root;
+        for seg in segs {
+            match cur.children.get_mut(*seg) {
+                Some(Node::Collection(c)) => cur = c,
+                Some(Node::Object(_)) => {
+                    return Err(SrbError::Invalid(format!("{seg:?} is an object")))
+                }
+                None => return Err(SrbError::NotFound(format!("collection {seg:?}"))),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Create a collection (and intermediates).
+    pub fn mkdir(&self, path: &str) -> SrbResult<()> {
+        let segs = split(path)?;
+        let mut state = self.state.write();
+        let mut cur = &mut state.root;
+        for seg in segs {
+            let entry = cur
+                .children
+                .entry(seg.to_owned())
+                .or_insert_with(|| Node::Collection(Collection::default()));
+            match entry {
+                Node::Collection(c) => cur = c,
+                Node::Object(_) => {
+                    return Err(SrbError::Invalid(format!("{seg:?} is an object")))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// List a collection.
+    pub fn ls(&self, principal: &str, path: &str) -> SrbResult<Vec<DirEntry>> {
+        let segs = split(path)?;
+        let state = self.state.read();
+        Self::check_access(&state, principal, &segs)?;
+        let col = Self::descend(&state.root, &segs)?;
+        Ok(col
+            .children
+            .iter()
+            .map(|(name, node)| match node {
+                Node::Collection(_) => DirEntry {
+                    name: name.clone(),
+                    is_collection: true,
+                    size: 0,
+                },
+                Node::Object(bytes) => DirEntry {
+                    name: name.clone(),
+                    is_collection: false,
+                    size: bytes.len(),
+                },
+            })
+            .collect())
+    }
+
+    /// Read an object's bytes.
+    pub fn get(&self, principal: &str, path: &str) -> SrbResult<Vec<u8>> {
+        let segs = split(path)?;
+        let state = self.state.read();
+        Self::check_access(&state, principal, &segs)?;
+        let (name, dirs) = segs.split_last().expect("split checked non-empty");
+        let col = Self::descend(&state.root, dirs)?;
+        match col.children.get(*name) {
+            Some(Node::Object(bytes)) => Ok(bytes.clone()),
+            Some(Node::Collection(_)) => {
+                Err(SrbError::Invalid(format!("{name:?} is a collection")))
+            }
+            None => Err(SrbError::NotFound(path.to_owned())),
+        }
+    }
+
+    /// Read an object as UTF-8 text (the `cat` call).
+    pub fn cat(&self, principal: &str, path: &str) -> SrbResult<String> {
+        let bytes = self.get(principal, path)?;
+        String::from_utf8(bytes).map_err(|_| SrbError::Invalid("object is not UTF-8".into()))
+    }
+
+    /// Write (create or replace) an object. Enforces the top-level quota.
+    pub fn put(&self, principal: &str, path: &str, data: &[u8]) -> SrbResult<()> {
+        let segs = split(path)?;
+        let mut state = self.state.write();
+        Self::check_access(&state, principal, &segs)?;
+        let (name, dirs) = segs.split_last().expect("split checked non-empty");
+        // Quota check against the top-level collection.
+        let top = segs.first().copied().unwrap_or("");
+        if let Some(&quota) = state.quotas.get(top) {
+            let existing = match Self::descend(&state.root, dirs)
+                .ok()
+                .and_then(|c| c.children.get(*name))
+            {
+                Some(Node::Object(bytes)) => bytes.len(),
+                _ => 0,
+            };
+            let top_col = Self::descend(&state.root, &segs[..1])?;
+            let used = Self::collection_size(top_col);
+            if used - existing + data.len() > quota {
+                return Err(SrbError::DiskFull {
+                    path: format!("/{top}"),
+                    quota,
+                });
+            }
+        }
+        let col = Self::descend_mut(&mut state.root, dirs)?;
+        match col.children.get_mut(*name) {
+            Some(Node::Collection(_)) => {
+                Err(SrbError::Invalid(format!("{name:?} is a collection")))
+            }
+            Some(Node::Object(bytes)) => {
+                *bytes = data.to_vec();
+                Ok(())
+            }
+            None => {
+                col.children
+                    .insert((*name).to_owned(), Node::Object(data.to_vec()));
+                Ok(())
+            }
+        }
+    }
+
+    /// Delete an object.
+    pub fn rm(&self, principal: &str, path: &str) -> SrbResult<()> {
+        let segs = split(path)?;
+        let mut state = self.state.write();
+        Self::check_access(&state, principal, &segs)?;
+        let (name, dirs) = segs.split_last().expect("split checked non-empty");
+        let col = Self::descend_mut(&mut state.root, dirs)?;
+        match col.children.get(*name) {
+            Some(Node::Object(_)) => {
+                col.children.remove(*name);
+                Ok(())
+            }
+            Some(Node::Collection(_)) => {
+                Err(SrbError::Invalid(format!("{name:?} is a collection")))
+            }
+            None => Err(SrbError::NotFound(path.to_owned())),
+        }
+    }
+
+    /// Size of an object, without transferring it.
+    pub fn stat(&self, principal: &str, path: &str) -> SrbResult<usize> {
+        self.get(principal, path).map(|b| b.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_cat_round_trip() {
+        let srb = Srb::new();
+        srb.mkdir("/data").unwrap();
+        srb.put("u", "/data/hello.txt", b"hello srb").unwrap();
+        assert_eq!(srb.get("u", "/data/hello.txt").unwrap(), b"hello srb");
+        assert_eq!(srb.cat("u", "/data/hello.txt").unwrap(), "hello srb");
+        assert_eq!(srb.stat("u", "/data/hello.txt").unwrap(), 9);
+    }
+
+    #[test]
+    fn ls_lists_objects_and_collections() {
+        let srb = Srb::new();
+        srb.mkdir("/data/sub").unwrap();
+        srb.put("u", "/data/a.txt", b"aaa").unwrap();
+        let entries = srb.ls("u", "/data").unwrap();
+        assert_eq!(entries.len(), 2);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.txt", "sub"]);
+        assert!(!entries[0].is_collection);
+        assert_eq!(entries[0].size, 3);
+        assert!(entries[1].is_collection);
+    }
+
+    #[test]
+    fn missing_paths_error() {
+        let srb = Srb::new();
+        assert!(matches!(srb.ls("u", "/ghost"), Err(SrbError::NotFound(_))));
+        assert!(matches!(
+            srb.get("u", "/ghost/x"),
+            Err(SrbError::NotFound(_))
+        ));
+        assert!(matches!(srb.rm("u", "/ghost/x"), Err(SrbError::NotFound(_))));
+    }
+
+    #[test]
+    fn acl_enforced() {
+        let srb = Srb::testbed(&["alice"]);
+        assert!(srb.ls("alice", "/home-alice").is_ok());
+        assert!(matches!(
+            srb.ls("mallory", "/home-alice"),
+            Err(SrbError::PermissionDenied(_))
+        ));
+        // Public collection readable by anyone.
+        assert!(srb.cat("mallory", "/public/README").is_ok());
+    }
+
+    #[test]
+    fn quota_produces_disk_full() {
+        let srb = Srb::new();
+        srb.mkdir("/small").unwrap();
+        srb.set_quota("/small", 10);
+        srb.put("u", "/small/a", b"12345").unwrap();
+        let err = srb.put("u", "/small/b", b"123456").unwrap_err();
+        assert!(matches!(err, SrbError::DiskFull { .. }));
+        // Replacing an object reuses its budget.
+        srb.put("u", "/small/a", b"1234567890").unwrap();
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let srb = Srb::new();
+        srb.mkdir("/d").unwrap();
+        srb.put("u", "/d/f", b"one").unwrap();
+        srb.put("u", "/d/f", b"two").unwrap();
+        assert_eq!(srb.cat("u", "/d/f").unwrap(), "two");
+        srb.rm("u", "/d/f").unwrap();
+        assert!(srb.get("u", "/d/f").is_err());
+    }
+
+    #[test]
+    fn object_collection_confusion_rejected() {
+        let srb = Srb::new();
+        srb.mkdir("/d").unwrap();
+        srb.put("u", "/d/f", b"x").unwrap();
+        assert!(matches!(srb.mkdir("/d/f"), Err(SrbError::Invalid(_))));
+        assert!(matches!(srb.get("u", "/d"), Err(SrbError::Invalid(_))));
+        assert!(matches!(
+            srb.put("u", "/d", b"y"),
+            Err(SrbError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_cat_rejected_but_get_works() {
+        let srb = Srb::new();
+        srb.mkdir("/d").unwrap();
+        srb.put("u", "/d/bin", &[0xFF, 0xFE]).unwrap();
+        assert!(srb.cat("u", "/d/bin").is_err());
+        assert_eq!(srb.get("u", "/d/bin").unwrap(), vec![0xFF, 0xFE]);
+    }
+
+    #[test]
+    fn deep_collections() {
+        let srb = Srb::new();
+        srb.mkdir("/a/b/c").unwrap();
+        srb.put("u", "/a/b/c/deep.txt", b"d").unwrap();
+        assert_eq!(srb.cat("u", "/a/b/c/deep.txt").unwrap(), "d");
+    }
+}

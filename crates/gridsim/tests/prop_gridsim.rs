@@ -1,0 +1,146 @@
+//! Property tests for the grid substrate: script dialects round-trip,
+//! cross-dialect scripts are always rejected, and the queue/job lifecycle
+//! preserves its invariants under random workloads.
+
+use portalws_gridsim::grid::Grid;
+use portalws_gridsim::job::JobState;
+use portalws_gridsim::sched::{parse_script, render_script, JobRequirements, SchedulerKind};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::Pbs),
+        Just(SchedulerKind::Lsf),
+        Just(SchedulerKind::Nqs),
+        Just(SchedulerKind::Grd),
+    ]
+}
+
+fn requirements_strategy() -> impl Strategy<Value = JobRequirements> {
+    (
+        "[a-zA-Z][a-zA-Z0-9_-]{0,15}",
+        "[a-z][a-z0-9]{0,11}",
+        1u32..=4096,
+        1u32..=100_000,
+        // Commands may not start with '#': in a shell script that line
+        // would be a comment, so it cannot round-trip (found by proptest).
+        "[!-\"$-~]([ -~]{0,60}[!-~])?",
+    )
+        .prop_map(|(name, queue, cpus, wall_minutes, command)| JobRequirements {
+            name,
+            queue,
+            cpus,
+            wall_minutes,
+            command,
+        })
+}
+
+proptest! {
+    #[test]
+    fn render_parse_identity(kind in kind_strategy(), req in requirements_strategy()) {
+        let script = render_script(kind, &req);
+        let parsed = parse_script(kind, &script)
+            .unwrap_or_else(|e| panic!("{kind} rejected own script: {e}\n{script}"));
+        prop_assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn cross_dialect_always_rejected(
+        gen in kind_strategy(),
+        target in kind_strategy(),
+        req in requirements_strategy(),
+    ) {
+        prop_assume!(gen != target);
+        let script = render_script(gen, &req);
+        prop_assert!(parse_script(target, &script).is_err());
+    }
+
+    #[test]
+    fn parser_never_panics(kind in kind_strategy(), s in "\\PC{0,300}") {
+        let _ = parse_script(kind, &s);
+    }
+
+    #[test]
+    fn grid_conserves_jobs_and_capacity(
+        cpu_requests in proptest::collection::vec(1u32..=16, 1..20),
+        sleeps in proptest::collection::vec(0u64..6, 1..20),
+    ) {
+        let grid = Grid::testbed();
+        let mut ids = Vec::new();
+        for (i, &cpus) in cpu_requests.iter().enumerate() {
+            let sleep = sleeps[i % sleeps.len()];
+            let script = render_script(
+                SchedulerKind::Pbs,
+                &JobRequirements {
+                    name: format!("p{i}"),
+                    queue: "batch".into(),
+                    cpus,
+                    wall_minutes: 10,
+                    command: format!("sleep {sleep}"),
+                },
+            );
+            ids.push(grid.submit("prop", "tg-login", SchedulerKind::Pbs, &script).unwrap());
+        }
+        // Drive to completion; at every step the running set must fit the
+        // 32-cpu host.
+        for _ in 0..200 {
+            let mut running_cpus = 0;
+            let mut all_done = true;
+            for &id in &ids {
+                let job = grid.poll(id).unwrap();
+                match job.state {
+                    JobState::Running => {
+                        running_cpus += job.requirements.cpus;
+                        all_done = false;
+                    }
+                    JobState::Queued => all_done = false,
+                    _ => {}
+                }
+            }
+            prop_assert!(running_cpus <= 32, "over-committed: {running_cpus}");
+            if all_done {
+                break;
+            }
+            grid.tick(1000);
+        }
+        // Every job reached DONE with its stdout captured, exactly once.
+        for &id in &ids {
+            let job = grid.poll(id).unwrap();
+            prop_assert_eq!(job.state, JobState::Done);
+            prop_assert!(job.ended_at.is_some());
+            prop_assert!(!job.stdout.is_empty());
+            prop_assert!(job.started_at.unwrap() >= job.submitted_at);
+            prop_assert!(job.ended_at.unwrap() >= job.started_at.unwrap());
+        }
+        prop_assert_eq!(grid.job_count(), ids.len());
+    }
+
+    #[test]
+    fn fifo_start_order_within_queue(
+        n in 2usize..10,
+    ) {
+        // Equal-size jobs in one queue must start in submission order.
+        let grid = Grid::testbed();
+        let script = render_script(
+            SchedulerKind::Pbs,
+            &JobRequirements {
+                name: "fifo".into(),
+                queue: "batch".into(),
+                cpus: 20, // only one fits at a time on 32 cpus
+                wall_minutes: 10,
+                command: "sleep 2".into(),
+            },
+        );
+        let ids: Vec<_> = (0..n)
+            .map(|_| grid.submit("prop", "tg-login", SchedulerKind::Pbs, &script).unwrap())
+            .collect();
+        for _ in 0..(n * 4 + 4) {
+            grid.tick(1000);
+        }
+        let starts: Vec<u64> = ids
+            .iter()
+            .map(|&id| grid.poll(id).unwrap().started_at.expect("all ran"))
+            .collect();
+        prop_assert!(starts.windows(2).all(|w| w[0] <= w[1]), "{starts:?}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Portlet container (§5.4) — the Jetspeed analogue.
+//!
+//! "Generally, portlet systems possess the following features:
+//! 1. Portlet types exist to retrieve both local and remote web content.
+//!    Each component web page is contained in a table and the final
+//!    composite web page is a collection of nested HTML tables…
+//! 2. In the case of remote web content, the portlet is a proxy that
+//!    loads the remote URL's contents…
+//! 3. Portal administrators decide which content sources to provide. In
+//!    Jetspeed, this is done by editing an XML configuration file
+//!    (local-portlets.xreg)…
+//! 4. Users can customize their portal displays…"
+//!
+//! Module map:
+//!
+//! * [`portlet`] — the [`Portlet`] trait, render context, and local
+//!   content portlets.
+//! * [`webpage`] — `WebPagePortlet`: proxy to a remote page with an
+//!   in-memory copy for reformatting.
+//! * [`webform`] — the paper's own `WebFormPortlet` extension: posts form
+//!   parameters, maintains remote session state, and remaps URLs so
+//!   followed links load inside the portlet window.
+//! * [`registry`] — the xreg-style configuration registry and per-user
+//!   layout customization.
+//! * [`page`] — nested-table page aggregation and the portal-page HTTP
+//!   handler.
+
+pub mod page;
+pub mod portlet;
+pub mod registry;
+pub mod webform;
+pub mod webpage;
+
+pub use page::PortalPage;
+pub use portlet::{HtmlPortlet, Portlet, PortletContext};
+pub use registry::{Layout, PortletRegistry, PortletSpec};
+pub use webform::WebFormPortlet;
+pub use webpage::WebPagePortlet;

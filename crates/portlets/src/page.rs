@@ -1,0 +1,211 @@
+//! Page aggregation: the composite portal page.
+//!
+//! "Each component web page is contained in a table and the final
+//! composite web page is a collection of nested HTML tables, each
+//! containing material loaded from the specified content server."
+//!
+//! [`PortalPage`] is also a wire [`Handler`]: `GET /portal?user=alice`
+//! renders the user's customized layout; requests carrying `portlet=` and
+//! `target=` parameters (produced by `WebFormPortlet`'s URL remapping)
+//! route the interaction to that portlet while the rest of the page
+//! re-renders around it.
+
+use std::sync::Arc;
+
+use portalws_wire::http::parse_form;
+use portalws_wire::{Handler, Request, Response, Status};
+
+use crate::portlet::PortletContext;
+use crate::registry::PortletRegistry;
+
+/// The portlet an interaction addresses: `(name, params, is_post)`.
+pub type ActivePortlet<'a> = (&'a str, &'a [(String, String)], bool);
+
+/// The aggregating portal page.
+pub struct PortalPage {
+    registry: Arc<PortletRegistry>,
+    /// Mount path (`/portal`).
+    mount: String,
+}
+
+impl PortalPage {
+    /// Serve `registry` at `mount`.
+    pub fn new(registry: Arc<PortletRegistry>, mount: impl Into<String>) -> PortalPage {
+        PortalPage {
+            registry,
+            mount: mount.into(),
+        }
+    }
+
+    /// The portlet registry in use.
+    pub fn registry(&self) -> &Arc<PortletRegistry> {
+        &self.registry
+    }
+
+    /// Render the composite page for `user`. `active` optionally names
+    /// the portlet the current interaction addresses, with its params.
+    pub fn render(&self, user: &str, active: Option<ActivePortlet<'_>>) -> String {
+        let layout = self.registry.layout_of(user);
+        let base_url = format!("{}?user={user}", self.mount);
+        let mut html = format!(
+            "<html><head><title>{user}'s portal</title></head><body>\n\
+             <h1>Computational portal</h1>\n<table class=\"portal\"><tr>\n"
+        );
+        for column in &layout.columns {
+            html.push_str("<td class=\"column\" valign=\"top\">\n");
+            for name in column {
+                let Some(portlet) = self.registry.get(name) else {
+                    continue;
+                };
+                let mut ctx = PortletContext::new(user, base_url.clone());
+                if let Some((active_name, params, is_post)) = active {
+                    if active_name == name.as_str() {
+                        ctx.params = params.to_vec();
+                        ctx.is_post = is_post;
+                    }
+                }
+                let content = portlet.render(&ctx);
+                html.push_str(&format!(
+                    "<table class=\"portlet\" border=\"1\"><tr><th>{}</th></tr>\n\
+                     <tr><td>\n{content}\n</td></tr></table>\n",
+                    portlet.title()
+                ));
+            }
+            html.push_str("</td>\n");
+        }
+        html.push_str("</tr></table></body></html>\n");
+        html
+    }
+}
+
+impl Handler for PortalPage {
+    fn handle(&self, req: &Request) -> Response {
+        let mut params = req.query_params();
+        let is_post = req.method == "POST";
+        if is_post {
+            params.extend(parse_form(&req.body_str()));
+        }
+        let user = params
+            .iter()
+            .find(|(k, _)| k == "user")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| "guest".to_owned());
+        let active_name = params
+            .iter()
+            .find(|(k, _)| k == "portlet")
+            .map(|(_, v)| v.clone());
+        let page = match &active_name {
+            Some(name) => {
+                if self.registry.get(name).is_none() {
+                    return Response::error(Status::NotFound, format!("no portlet {name:?}"));
+                }
+                self.render(&user, Some((name, &params, is_post)))
+            }
+            None => self.render(&user, None),
+        };
+        Response::html(page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portlet::HtmlPortlet;
+    use crate::webform::WebFormPortlet;
+    use portalws_wire::{InMemoryTransport, Transport};
+
+    fn remote_transport() -> Arc<dyn Transport> {
+        let handler: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            Response::html(format!(
+                "<p>remote {}</p><a href=\"/other\">go</a>",
+                req.path_only()
+            ))
+        });
+        Arc::new(InMemoryTransport::new(handler))
+    }
+
+    fn page() -> PortalPage {
+        let reg = Arc::new(PortletRegistry::new());
+        reg.register(Arc::new(HtmlPortlet::new("help", "Help", "<p>hi</p>")));
+        reg.register(Arc::new(WebFormPortlet::new(
+            "gw",
+            "Gateway",
+            "/home",
+            remote_transport(),
+        )));
+        reg.add_to_layout("alice", "help", 0).unwrap();
+        reg.add_to_layout("alice", "gw", 1).unwrap();
+        PortalPage::new(reg, "/portal")
+    }
+
+    #[test]
+    fn composite_page_is_nested_tables() {
+        let p = page();
+        let html = p.render("alice", None);
+        // Outer portal table plus one table per portlet.
+        assert_eq!(html.matches("<table class=\"portal\"").count(), 1);
+        assert_eq!(html.matches("<table class=\"portlet\"").count(), 2);
+        assert!(html.contains("<th>Help</th>"));
+        assert!(html.contains("<th>Gateway</th>"));
+        assert!(html.contains("<p>hi</p>"));
+        assert!(html.contains("remote /home"));
+    }
+
+    #[test]
+    fn remote_links_remapped_into_portal_urls() {
+        let p = page();
+        let html = p.render("alice", None);
+        assert!(
+            html.contains("href=\"/portal?user=alice&portlet=gw&target=%2Fother\""),
+            "{html}"
+        );
+    }
+
+    #[test]
+    fn http_get_renders_user_layout() {
+        let p = page();
+        let resp = p.handle(&Request::get("/portal?user=alice"));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body_str().contains("alice's portal"));
+    }
+
+    #[test]
+    fn clicking_a_remapped_link_routes_to_the_portlet() {
+        let p = page();
+        let resp = p.handle(&Request::get(
+            "/portal?user=alice&portlet=gw&target=%2Fother",
+        ));
+        let html = resp.body_str();
+        // The addressed portlet followed the link; the other portlet
+        // still renders.
+        assert!(html.contains("remote /other"), "{html}");
+        assert!(html.contains("<p>hi</p>"));
+    }
+
+    #[test]
+    fn unknown_portlet_is_404() {
+        let p = page();
+        let resp = p.handle(&Request::get("/portal?user=alice&portlet=ghost"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn users_see_only_their_portlets() {
+        let p = page();
+        p.registry().add_to_layout("bob", "help", 0).unwrap();
+        let html = p.render("bob", None);
+        assert!(html.contains("<th>Help</th>"));
+        assert!(!html.contains("<th>Gateway</th>"));
+    }
+
+    #[test]
+    fn post_routes_form_fields_to_portlet() {
+        let p = page();
+        let resp = p.handle(&Request::post(
+            "/portal?user=alice&portlet=gw&target=%2Fsubmit",
+            "field=value",
+        ));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body_str().contains("remote /submit"));
+    }
+}

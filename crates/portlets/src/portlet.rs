@@ -1,0 +1,124 @@
+//! The portlet abstraction.
+
+/// Per-render context: who is looking, and the request parameters routed
+/// to this portlet by the container.
+#[derive(Debug, Clone, Default)]
+pub struct PortletContext {
+    /// Viewing user.
+    pub user: String,
+    /// Parameters addressed to this portlet (`target`, form fields, …).
+    pub params: Vec<(String, String)>,
+    /// URL of the containing portal page, used for URL remapping.
+    pub base_url: String,
+    /// True when the triggering request was a POST.
+    pub is_post: bool,
+}
+
+impl PortletContext {
+    /// A context for `user` on a portal page at `base_url`.
+    pub fn new(user: impl Into<String>, base_url: impl Into<String>) -> PortletContext {
+        PortletContext {
+            user: user.into(),
+            base_url: base_url.into(),
+            ..Default::default()
+        }
+    }
+
+    /// First parameter value by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parameters excluding the container's routing keys — what gets
+    /// forwarded to the remote site on a form post.
+    pub fn forwarded_params(&self) -> Vec<(String, String)> {
+        self.params
+            .iter()
+            .filter(|(k, _)| !matches!(k.as_str(), "portlet" | "target" | "user" | "method"))
+            .cloned()
+            .collect()
+    }
+}
+
+/// A displayable portal component.
+pub trait Portlet: Send + Sync {
+    /// Unique portlet instance name (layout key).
+    fn name(&self) -> &str;
+
+    /// Title shown in the portlet's table header.
+    fn title(&self) -> &str;
+
+    /// Render HTML content for this user/request.
+    fn render(&self, ctx: &PortletContext) -> String;
+}
+
+/// Local static-content portlet (feature 1's "local web content" case:
+/// help text, documentation, announcements).
+pub struct HtmlPortlet {
+    name: String,
+    title: String,
+    html: String,
+}
+
+impl HtmlPortlet {
+    /// Build from static HTML.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        html: impl Into<String>,
+    ) -> HtmlPortlet {
+        HtmlPortlet {
+            name: name.into(),
+            title: title.into(),
+            html: html.into(),
+        }
+    }
+}
+
+impl Portlet for HtmlPortlet {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn title(&self) -> &str {
+        &self.title
+    }
+
+    fn render(&self, _ctx: &PortletContext) -> String {
+        self.html.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn html_portlet_renders_static_content() {
+        let p = HtmlPortlet::new("help", "Help", "<p>Welcome to the GCE portal</p>");
+        let ctx = PortletContext::new("alice", "/portal");
+        assert_eq!(p.render(&ctx), "<p>Welcome to the GCE portal</p>");
+        assert_eq!(p.name(), "help");
+        assert_eq!(p.title(), "Help");
+    }
+
+    #[test]
+    fn context_param_lookup() {
+        let mut ctx = PortletContext::new("alice", "/portal");
+        ctx.params = vec![
+            ("portlet".into(), "jobs".into()),
+            ("target".into(), "/x".into()),
+            ("cpus".into(), "4".into()),
+        ];
+        assert_eq!(ctx.param("cpus"), Some("4"));
+        assert_eq!(ctx.param("missing"), None);
+        // Routing keys stripped from forwarded parameters.
+        assert_eq!(
+            ctx.forwarded_params(),
+            vec![("cpus".to_string(), "4".to_string())]
+        );
+    }
+}

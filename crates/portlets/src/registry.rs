@@ -1,0 +1,298 @@
+//! Portlet registration (the `local-portlets.xreg` analogue) and per-user
+//! layout customization.
+//!
+//! "Portal administrators decide which content sources to provide. In
+//! Jetspeed, this is done by editing an XML configuration file
+//! (local-portlets.xreg) to extend the appropriate portlet. Users can
+//! customize their portal displays by decorating them with only those
+//! portlets that interest them."
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use portalws_xml::Element;
+
+use crate::portlet::{HtmlPortlet, Portlet};
+use crate::webform::WebFormPortlet;
+use crate::webpage::WebPagePortlet;
+
+/// One entry of the xreg configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortletSpec {
+    /// Instance name.
+    pub name: String,
+    /// Portlet type: `HtmlPortlet`, `WebPagePortlet`, or `WebFormPortlet`.
+    pub kind: String,
+    /// Display title.
+    pub title: String,
+    /// Remote path (web portlets) or inline HTML (html portlets).
+    pub source: String,
+}
+
+/// Parse an xreg document:
+/// `<portlet-registry><portlet-entry name=… type=… title=…><source>…</source></portlet-entry>…</portlet-registry>`.
+pub fn parse_xreg(doc: &Element) -> Result<Vec<PortletSpec>, String> {
+    if doc.local_name() != "portlet-registry" {
+        return Err(format!(
+            "expected portlet-registry, found {:?}",
+            doc.local_name()
+        ));
+    }
+    doc.find_all("portlet-entry")
+        .map(|e| {
+            Ok(PortletSpec {
+                name: e
+                    .attr("name")
+                    .ok_or("portlet-entry missing name")?
+                    .to_owned(),
+                kind: e
+                    .attr("type")
+                    .ok_or("portlet-entry missing type")?
+                    .to_owned(),
+                title: e.attr("title").unwrap_or("Untitled").to_owned(),
+                source: e.find_text("source").unwrap_or("").to_owned(),
+            })
+        })
+        .collect()
+}
+
+/// Instantiate a spec. Web portlets need a transport to their remote
+/// server, supplied by the caller's resolver (spec source → transport).
+pub fn instantiate(
+    spec: &PortletSpec,
+    resolve: &dyn Fn(&str) -> Option<Arc<dyn portalws_wire::Transport>>,
+) -> Result<Arc<dyn Portlet>, String> {
+    match spec.kind.as_str() {
+        "HtmlPortlet" => Ok(Arc::new(HtmlPortlet::new(
+            spec.name.clone(),
+            spec.title.clone(),
+            spec.source.clone(),
+        ))),
+        "WebPagePortlet" => {
+            let t = resolve(&spec.source)
+                .ok_or_else(|| format!("no transport for {:?}", spec.source))?;
+            Ok(Arc::new(WebPagePortlet::new(
+                spec.name.clone(),
+                spec.title.clone(),
+                spec.source.clone(),
+                t,
+            )))
+        }
+        "WebFormPortlet" => {
+            let t = resolve(&spec.source)
+                .ok_or_else(|| format!("no transport for {:?}", spec.source))?;
+            Ok(Arc::new(WebFormPortlet::new(
+                spec.name.clone(),
+                spec.title.clone(),
+                spec.source.clone(),
+                t,
+            )))
+        }
+        other => Err(format!("unknown portlet type {other:?}")),
+    }
+}
+
+/// A user's layout: columns of portlet names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Layout {
+    /// Columns, left to right; each holds portlet names top to bottom.
+    pub columns: Vec<Vec<String>>,
+}
+
+impl Layout {
+    /// A layout with `n` empty columns.
+    pub fn with_columns(n: usize) -> Layout {
+        Layout {
+            columns: vec![Vec::new(); n.max(1)],
+        }
+    }
+
+    /// All portlet names in display order.
+    pub fn portlet_names(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .flat_map(|c| c.iter().map(String::as_str))
+            .collect()
+    }
+}
+
+/// The container's registry: available portlets plus per-user layouts.
+#[derive(Default)]
+pub struct PortletRegistry {
+    portlets: RwLock<HashMap<String, Arc<dyn Portlet>>>,
+    layouts: RwLock<HashMap<String, Layout>>,
+}
+
+impl PortletRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a portlet instance.
+    pub fn register(&self, portlet: Arc<dyn Portlet>) {
+        self.portlets
+            .write()
+            .insert(portlet.name().to_owned(), portlet);
+    }
+
+    /// Look up a portlet.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Portlet>> {
+        self.portlets.read().get(name).map(Arc::clone)
+    }
+
+    /// Names of all registered portlets, sorted.
+    pub fn available(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.portlets.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A user's layout (two empty columns until customized).
+    pub fn layout_of(&self, user: &str) -> Layout {
+        self.layouts
+            .read()
+            .get(user)
+            .cloned()
+            .unwrap_or_else(|| Layout::with_columns(2))
+    }
+
+    /// Customize: add a portlet to a user's column (idempotent).
+    pub fn add_to_layout(&self, user: &str, portlet: &str, column: usize) -> Result<(), String> {
+        if self.get(portlet).is_none() {
+            return Err(format!("no such portlet {portlet:?}"));
+        }
+        let mut layouts = self.layouts.write();
+        let layout = layouts
+            .entry(user.to_owned())
+            .or_insert_with(|| Layout::with_columns(2));
+        if layout.portlet_names().contains(&portlet) {
+            return Ok(());
+        }
+        let col = column.min(layout.columns.len().saturating_sub(1));
+        layout.columns[col].push(portlet.to_owned());
+        Ok(())
+    }
+
+    /// Customize: remove a portlet from a user's layout.
+    pub fn remove_from_layout(&self, user: &str, portlet: &str) {
+        if let Some(layout) = self.layouts.write().get_mut(user) {
+            for col in &mut layout.columns {
+                col.retain(|p| p != portlet);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portlet::PortletContext;
+    use portalws_wire::{Handler, InMemoryTransport, Request, Response};
+
+    fn xreg_doc() -> Element {
+        Element::parse(
+            r#"<portlet-registry>
+                 <portlet-entry name="help" type="HtmlPortlet" title="Help">
+                   <source>&lt;p&gt;help text&lt;/p&gt;</source>
+                 </portlet-entry>
+                 <portlet-entry name="jobs" type="WebFormPortlet" title="Jobs">
+                   <source>/apps/jobs</source>
+                 </portlet-entry>
+               </portlet-registry>"#,
+        )
+        .unwrap()
+    }
+
+    fn resolver() -> impl Fn(&str) -> Option<Arc<dyn portalws_wire::Transport>> {
+        |_src: &str| {
+            let handler: Arc<dyn Handler> =
+                Arc::new(|_req: &Request| Response::html("<p>remote</p>"));
+            Some(Arc::new(InMemoryTransport::new(handler)) as Arc<dyn portalws_wire::Transport>)
+        }
+    }
+
+    #[test]
+    fn xreg_parses_entries() {
+        let specs = parse_xreg(&xreg_doc()).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].kind, "HtmlPortlet");
+        assert_eq!(specs[0].source, "<p>help text</p>");
+        assert_eq!(specs[1].source, "/apps/jobs");
+    }
+
+    #[test]
+    fn xreg_rejects_malformed() {
+        let el = Element::parse("<wrong/>").unwrap();
+        assert!(parse_xreg(&el).is_err());
+        let el =
+            Element::parse("<portlet-registry><portlet-entry type=\"x\"/></portlet-registry>")
+                .unwrap();
+        assert!(parse_xreg(&el).is_err());
+    }
+
+    #[test]
+    fn instantiate_all_kinds() {
+        let specs = parse_xreg(&xreg_doc()).unwrap();
+        let r = resolver();
+        for spec in &specs {
+            let p = instantiate(spec, &r).unwrap();
+            assert_eq!(p.name(), spec.name);
+        }
+        let bad = PortletSpec {
+            name: "x".into(),
+            kind: "FlashPortlet".into(),
+            title: "X".into(),
+            source: "".into(),
+        };
+        assert!(instantiate(&bad, &r).is_err());
+    }
+
+    #[test]
+    fn registry_and_layout_customization() {
+        let reg = PortletRegistry::new();
+        let r = resolver();
+        for spec in parse_xreg(&xreg_doc()).unwrap() {
+            reg.register(instantiate(&spec, &r).unwrap());
+        }
+        assert_eq!(reg.available(), vec!["help", "jobs"]);
+
+        reg.add_to_layout("alice", "help", 0).unwrap();
+        reg.add_to_layout("alice", "jobs", 1).unwrap();
+        // Idempotent add.
+        reg.add_to_layout("alice", "help", 1).unwrap();
+        let layout = reg.layout_of("alice");
+        assert_eq!(layout.columns[0], vec!["help"]);
+        assert_eq!(layout.columns[1], vec!["jobs"]);
+
+        // Unknown portlet rejected.
+        assert!(reg.add_to_layout("alice", "ghost", 0).is_err());
+
+        reg.remove_from_layout("alice", "help");
+        assert_eq!(reg.layout_of("alice").portlet_names(), vec!["jobs"]);
+
+        // Other users are untouched defaults.
+        assert!(reg.layout_of("bob").portlet_names().is_empty());
+    }
+
+    #[test]
+    fn column_index_clamped() {
+        let reg = PortletRegistry::new();
+        reg.register(Arc::new(crate::HtmlPortlet::new("a", "A", "x")));
+        reg.add_to_layout("u", "a", 99).unwrap();
+        assert_eq!(reg.layout_of("u").columns[1], vec!["a"]);
+    }
+
+    #[test]
+    fn registered_portlets_render() {
+        let reg = PortletRegistry::new();
+        let r = resolver();
+        for spec in parse_xreg(&xreg_doc()).unwrap() {
+            reg.register(instantiate(&spec, &r).unwrap());
+        }
+        let ctx = PortletContext::new("alice", "/portal");
+        assert_eq!(reg.get("help").unwrap().render(&ctx), "<p>help text</p>");
+        assert!(reg.get("jobs").unwrap().render(&ctx).contains("remote"));
+    }
+}

@@ -1,0 +1,309 @@
+//! `WebFormPortlet`: the paper's extension of Jetspeed's WebPagePortlet.
+//!
+//! "We have written a general purpose portlet that extends Jetspeed's
+//! simple WebPagePortlet… We have also implemented some additional
+//! features: 1. The portlet can post HTML Form parameters. 2. The portlet
+//! maintains session state with remote Tomcat servers. 3. The portlet
+//! remaps URLs in the remote page, so that the content of pages loaded
+//! from followed links and clicked buttons is loaded inside the portlet
+//! window."
+//!
+//! These three features are what let "the legacy Gateway user interface…
+//! several linked web form pages that maintain session state" run inside
+//! a container on a separate server — tested end-to-end in the
+//! integration suite with the schema wizard as the remote application.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use portalws_wire::http::{encode_form, url_encode};
+use portalws_wire::{Request, Status, Transport};
+
+use crate::portlet::{Portlet, PortletContext};
+use crate::webpage::WebPagePortlet;
+
+/// Remote-form portlet with session continuity and URL remapping.
+pub struct WebFormPortlet {
+    inner: WebPagePortlet,
+    /// Cookie value captured from the remote server (feature 2).
+    session: RwLock<Option<String>>,
+}
+
+impl WebFormPortlet {
+    /// Proxy `home_path` on the remote server reachable via `transport`.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        home_path: impl Into<String>,
+        transport: Arc<dyn Transport>,
+    ) -> WebFormPortlet {
+        WebFormPortlet {
+            inner: WebPagePortlet::new(name, title, home_path, transport),
+            session: RwLock::new(None),
+        }
+    }
+
+    /// The remote session cookie currently held, if any.
+    pub fn session_cookie(&self) -> Option<String> {
+        self.session.read().clone()
+    }
+
+    /// Perform one exchange with the remote server, maintaining session
+    /// state.
+    fn exchange(&self, mut req: Request) -> (Status, String) {
+        if let Some(cookie) = self.session.read().clone() {
+            req = req.with_header("Cookie", cookie);
+        }
+        match self.inner.transport.round_trip(req) {
+            Ok(resp) => {
+                if let Some(set) = resp.header("Set-Cookie") {
+                    let cookie = set.split(';').next().unwrap_or(set).trim().to_owned();
+                    *self.session.write() = Some(cookie);
+                }
+                (resp.status, resp.body_str())
+            }
+            Err(e) => (
+                Status::InternalError,
+                format!("<em>remote content unavailable: {e}</em>"),
+            ),
+        }
+    }
+}
+
+impl Portlet for WebFormPortlet {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn title(&self) -> &str {
+        self.inner.title()
+    }
+
+    fn render(&self, ctx: &PortletContext) -> String {
+        // Feature 3 routing: a followed link or submitted form arrives
+        // with a `target` parameter naming the remote path.
+        let path = ctx
+            .param("target")
+            .unwrap_or(&self.inner.home_path)
+            .to_owned();
+        let (_status, body) = if ctx.is_post {
+            // Feature 1: post the user's form fields onward.
+            let form = encode_form(&ctx.forwarded_params());
+            self.exchange(
+                Request::post(path, form)
+                    .with_header("Content-Type", "application/x-www-form-urlencoded"),
+            )
+        } else {
+            self.exchange(Request::get(path))
+        };
+        remap_html(&body, &ctx.base_url, self.name())
+    }
+}
+
+/// Rewrite `href`, `src`, and form `action` URLs in `html` so they route
+/// back through the portal page and into this portlet's window.
+///
+/// Fragment-only links, `javascript:`/`mailto:`/`data:` pseudo-URLs,
+/// absolute external URLs, and already-remapped URLs are left alone.
+pub fn remap_html(html: &str, base_url: &str, portlet: &str) -> String {
+    let sep = if base_url.contains('?') { '&' } else { '?' };
+    let mut out = String::with_capacity(html.len() + 128);
+    let mut rest = html;
+    const ATTRS: [&str; 3] = ["href=\"", "action=\"", "src=\""];
+    'outer: while !rest.is_empty() {
+        // Find the earliest attribute occurrence.
+        let hit = ATTRS
+            .iter()
+            .filter_map(|a| rest.find(a).map(|i| (i, *a)))
+            .min_by_key(|(i, _)| *i);
+        let Some((i, attr)) = hit else {
+            out.push_str(rest);
+            break 'outer;
+        };
+        let val_start = i + attr.len();
+        out.push_str(&rest[..val_start]);
+        rest = &rest[val_start..];
+        let Some(end) = rest.find('"') else {
+            out.push_str(rest);
+            break 'outer;
+        };
+        let url = &rest[..end];
+        if url.starts_with('#')
+            || url.starts_with("javascript:")
+            || url.starts_with("mailto:")
+            || url.starts_with("data:")
+            || url.starts_with("http://")
+            || url.starts_with("https://")
+            || url.contains("portlet=")
+        {
+            out.push_str(url);
+        } else {
+            out.push_str(&format!(
+                "{base_url}{sep}portlet={}&target={}",
+                url_encode(portlet),
+                url_encode(url)
+            ));
+        }
+        rest = &rest[end..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use portalws_wire::http::parse_form;
+    use portalws_wire::{Handler, InMemoryTransport, Response};
+    use std::collections::HashMap;
+
+    /// A remote "legacy Gateway UI": two linked form pages that count
+    /// per-session visits.
+    struct LegacyUi {
+        sessions: Mutex<HashMap<String, u32>>,
+        next: Mutex<u32>,
+    }
+
+    impl Handler for LegacyUi {
+        fn handle(&self, req: &Request) -> Response {
+            let cookie = req.header("Cookie").map(str::to_owned);
+            let (sid, fresh) = match cookie {
+                Some(c) => (c, false),
+                None => {
+                    let mut next = self.next.lock();
+                    *next += 1;
+                    (format!("sid={}", next), true)
+                }
+            };
+            let visits = {
+                let mut sessions = self.sessions.lock();
+                let v = sessions.entry(sid.clone()).or_insert(0);
+                *v += 1;
+                *v
+            };
+            let body = match req.path_only() {
+                "/page1" => format!(
+                    "<p>visit {visits}</p><a href=\"/page2\">next</a>\
+                     <form action=\"/submit\" method=\"post\">\
+                     <input name=\"jobname\"/></form>"
+                ),
+                "/page2" => format!("<p>page two, visit {visits}</p><a href=\"#top\">top</a>"),
+                "/submit" => {
+                    let form = parse_form(&req.body_str());
+                    format!(
+                        "<p>submitted {} on visit {visits}</p>",
+                        form.first().map(|(_, v)| v.as_str()).unwrap_or("?")
+                    )
+                }
+                _ => return Response::error(Status::NotFound, "no such page"),
+            };
+            let mut resp = Response::html(body);
+            if fresh {
+                resp = resp.with_header("Set-Cookie", format!("{sid}; Path=/"));
+            }
+            resp
+        }
+    }
+
+    fn portlet() -> WebFormPortlet {
+        let handler: Arc<dyn Handler> = Arc::new(LegacyUi {
+            sessions: Mutex::new(HashMap::new()),
+            next: Mutex::new(0),
+        });
+        WebFormPortlet::new(
+            "gateway",
+            "Gateway UI",
+            "/page1",
+            Arc::new(InMemoryTransport::new(handler)),
+        )
+    }
+
+    fn ctx(params: &[(&str, &str)], is_post: bool) -> PortletContext {
+        let mut c = PortletContext::new("alice", "/portal?user=alice");
+        c.params = params
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        c.is_post = is_post;
+        c
+    }
+
+    #[test]
+    fn renders_home_page_with_remapped_links() {
+        let p = portlet();
+        let html = p.render(&ctx(&[], false));
+        assert!(html.contains("visit 1"));
+        // The /page2 link now routes through the portal into the portlet.
+        assert!(
+            html.contains("href=\"/portal?user=alice&portlet=gateway&target=%2Fpage2\""),
+            "{html}"
+        );
+        // The form action is remapped too.
+        assert!(html.contains("action=\"/portal?user=alice&portlet=gateway&target=%2Fsubmit\""));
+    }
+
+    #[test]
+    fn session_state_maintained_across_clicks() {
+        let p = portlet();
+        p.render(&ctx(&[], false)); // visit 1, cookie captured
+        assert!(p.session_cookie().is_some());
+        let html = p.render(&ctx(&[("target", "/page2")], false));
+        // Same remote session: the visit counter advanced instead of
+        // restarting.
+        assert!(html.contains("visit 2"), "{html}");
+    }
+
+    #[test]
+    fn separate_portlets_get_separate_sessions() {
+        let handler: Arc<dyn Handler> = Arc::new(LegacyUi {
+            sessions: Mutex::new(HashMap::new()),
+            next: Mutex::new(0),
+        });
+        let t: Arc<dyn Transport> = Arc::new(InMemoryTransport::new(handler));
+        let p1 = WebFormPortlet::new("a", "A", "/page1", Arc::clone(&t));
+        let p2 = WebFormPortlet::new("b", "B", "/page1", t);
+        p1.render(&ctx(&[], false));
+        let html = p2.render(&ctx(&[], false));
+        assert!(html.contains("visit 1"), "{html}");
+        assert_ne!(p1.session_cookie(), p2.session_cookie());
+    }
+
+    #[test]
+    fn posts_forward_form_fields() {
+        let p = portlet();
+        p.render(&ctx(&[], false));
+        let html = p.render(&ctx(
+            &[
+                ("portlet", "gateway"),
+                ("target", "/submit"),
+                ("jobname", "g98-run-7"),
+            ],
+            true,
+        ));
+        assert!(html.contains("submitted g98-run-7"), "{html}");
+    }
+
+    #[test]
+    fn remap_leaves_fragments_and_external_urls() {
+        let html = r##"<a href="#sec">x</a><a href="http://www.globus.org/">g</a><img src="/logo.png"/>"##;
+        let out = remap_html(html, "/portal", "p");
+        assert!(out.contains("href=\"#sec\""));
+        assert!(out.contains("href=\"http://www.globus.org/\""));
+        assert!(out.contains("src=\"/portal?portlet=p&target=%2Flogo.png\""));
+    }
+
+    #[test]
+    fn remap_is_idempotent() {
+        let html = r#"<a href="/x">x</a>"#;
+        let once = remap_html(html, "/portal", "p");
+        let twice = remap_html(&once, "/portal", "p");
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn remote_404_shows_notice() {
+        let p = portlet();
+        let html = p.render(&ctx(&[("target", "/ghost")], false));
+        assert!(html.contains("no such page"), "{html}");
+    }
+}

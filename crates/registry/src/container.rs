@@ -1,0 +1,408 @@
+//! The paper's proposed discovery system: "a recursive, self-describing
+//! XML container hierarchy into which metadata about services may be
+//! flexibly mapped" (§3.4).
+//!
+//! Containers form a slash-separated namespace (`/gce/scriptgen/...`);
+//! every [`ServiceEntry`] carries an arbitrary XML metadata document, and
+//! queries are typed path expressions over that metadata
+//! (`schedulers/scheduler == "LSF"`) rather than substring conventions.
+//! Experiment E7 contrasts this registry's precision/recall against the
+//! UDDI string search on the same service population.
+
+use parking_lot::RwLock;
+use portalws_xml::{path, Element};
+
+use crate::{RegistryError, Result};
+
+/// A registered service with typed metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceEntry {
+    /// Entry name (unique within its container).
+    pub name: String,
+    /// SOAP endpoint URL.
+    pub access_point: String,
+    /// WSDL document URL.
+    pub wsdl_url: String,
+    /// Arbitrary self-describing metadata.
+    pub metadata: Element,
+}
+
+/// One node in the container hierarchy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Container {
+    /// Container name (path segment).
+    pub name: String,
+    /// Child containers.
+    pub children: Vec<Container>,
+    /// Entries registered directly in this container.
+    pub entries: Vec<ServiceEntry>,
+}
+
+impl Container {
+    fn child_mut(&mut self, name: &str) -> Option<&mut Container> {
+        self.children.iter_mut().find(|c| c.name == name)
+    }
+
+    fn child(&self, name: &str) -> Option<&Container> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    fn ensure_child(&mut self, name: &str) -> &mut Container {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            &mut self.children[i]
+        } else {
+            self.children.push(Container {
+                name: name.to_owned(),
+                ..Default::default()
+            });
+            self.children.last_mut().expect("just pushed")
+        }
+    }
+
+    fn visit<'c>(&'c self, prefix: &str, out: &mut Vec<(String, &'c ServiceEntry)>) {
+        for entry in &self.entries {
+            out.push((format!("{prefix}/{}", entry.name), entry));
+        }
+        for child in &self.children {
+            child.visit(&format!("{prefix}/{}", child.name), out);
+        }
+    }
+
+    /// Serialize this container subtree as self-describing XML.
+    pub fn to_xml(&self) -> Element {
+        let mut el = Element::new("container").with_attr("name", self.name.clone());
+        for entry in &self.entries {
+            el.push_child(
+                Element::new("entry")
+                    .with_attr("name", entry.name.clone())
+                    .with_text_child("accessPoint", entry.access_point.clone())
+                    .with_text_child("wsdlUrl", entry.wsdl_url.clone())
+                    .with_child(Element::new("metadata").with_child(entry.metadata.clone())),
+            );
+        }
+        for child in &self.children {
+            el.push_child(child.to_xml());
+        }
+        el
+    }
+
+    /// Parse a subtree serialized by [`Container::to_xml`].
+    pub fn from_xml(el: &Element) -> Result<Container> {
+        if el.local_name() != "container" {
+            return Err(RegistryError::Invalid(format!(
+                "expected container, found {:?}",
+                el.local_name()
+            )));
+        }
+        let mut c = Container {
+            name: el.attr("name").unwrap_or("").to_owned(),
+            ..Default::default()
+        };
+        for child in el.children() {
+            match child.local_name() {
+                "entry" => {
+                    let metadata = child
+                        .find("metadata")
+                        .and_then(|m| m.children().next().cloned())
+                        .unwrap_or_else(|| Element::new("metadata"));
+                    c.entries.push(ServiceEntry {
+                        name: child.attr("name").unwrap_or("").to_owned(),
+                        access_point: child.find_text("accessPoint").unwrap_or("").to_owned(),
+                        wsdl_url: child.find_text("wsdlUrl").unwrap_or("").to_owned(),
+                        metadata,
+                    });
+                }
+                "container" => c.children.push(Container::from_xml(child)?),
+                other => {
+                    return Err(RegistryError::Invalid(format!(
+                        "unexpected element {other:?} in container"
+                    )))
+                }
+            }
+        }
+        Ok(c)
+    }
+}
+
+/// The registry root plus thread-safe operations.
+#[derive(Default)]
+pub struct ContainerRegistry {
+    root: RwLock<Container>,
+}
+
+fn split_path(p: &str) -> Result<Vec<&str>> {
+    let segs: Vec<&str> = p.split('/').filter(|s| !s.is_empty()).collect();
+    if p.trim().is_empty() {
+        return Err(RegistryError::Invalid("empty path".into()));
+    }
+    Ok(segs)
+}
+
+impl ContainerRegistry {
+    /// New registry with an unnamed root.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create the container at `path` (and all intermediates).
+    pub fn create_container(&self, path_str: &str) -> Result<()> {
+        let segs = split_path(path_str)?;
+        let mut root = self.root.write();
+        let mut cur = &mut *root;
+        for seg in segs {
+            cur = cur.ensure_child(seg);
+        }
+        Ok(())
+    }
+
+    /// Register an entry inside the container at `path` (creating the
+    /// container if needed). Fails on duplicate entry names.
+    pub fn register(&self, path_str: &str, entry: ServiceEntry) -> Result<()> {
+        let segs = split_path(path_str)?;
+        let mut root = self.root.write();
+        let mut cur = &mut *root;
+        for seg in segs {
+            cur = cur.ensure_child(seg);
+        }
+        if cur.entries.iter().any(|e| e.name == entry.name) {
+            return Err(RegistryError::Duplicate(format!(
+                "{path_str}/{}",
+                entry.name
+            )));
+        }
+        cur.entries.push(entry);
+        Ok(())
+    }
+
+    /// Fetch an entry by full path (`/a/b/name`).
+    pub fn lookup(&self, full_path: &str) -> Result<ServiceEntry> {
+        let segs = split_path(full_path)?;
+        let (entry_name, container_segs) = segs
+            .split_last()
+            .ok_or_else(|| RegistryError::Invalid("path has no entry name".into()))?;
+        let root = self.root.read();
+        let mut cur = &*root;
+        for seg in container_segs {
+            cur = cur
+                .child(seg)
+                .ok_or_else(|| RegistryError::NotFound(format!("container {seg:?}")))?;
+        }
+        cur.entries
+            .iter()
+            .find(|e| e.name == *entry_name)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(full_path.to_owned()))
+    }
+
+    /// Remove an entry by full path.
+    pub fn unregister(&self, full_path: &str) -> Result<()> {
+        let segs = split_path(full_path)?;
+        let (entry_name, container_segs) = segs
+            .split_last()
+            .ok_or_else(|| RegistryError::Invalid("path has no entry name".into()))?;
+        let mut root = self.root.write();
+        let mut cur = &mut *root;
+        for seg in container_segs {
+            cur = cur
+                .child_mut(seg)
+                .ok_or_else(|| RegistryError::NotFound(format!("container {seg:?}")))?;
+        }
+        let before = cur.entries.len();
+        cur.entries.retain(|e| e.name != *entry_name);
+        if cur.entries.len() == before {
+            return Err(RegistryError::NotFound(full_path.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// All entries with their full paths.
+    pub fn all_entries(&self) -> Vec<(String, ServiceEntry)> {
+        let root = self.root.read();
+        let mut out = Vec::new();
+        root.visit("", &mut out);
+        out.into_iter().map(|(p, e)| (p, e.clone())).collect()
+    }
+
+    /// Typed metadata query: entries whose metadata has *any* value at
+    /// `path_expr` equal to `value`. `path_expr` uses the xml path
+    /// language relative to the metadata root, with repeated elements
+    /// checked at every index (so `schedulers/scheduler` matches if any
+    /// `<scheduler>` equals `value`).
+    pub fn query(&self, path_expr: &str, value: &str) -> Vec<(String, ServiceEntry)> {
+        self.all_entries()
+            .into_iter()
+            .filter(|(_, e)| metadata_matches(&e.metadata, path_expr, value))
+            .collect()
+    }
+
+    /// Number of entries in the registry.
+    pub fn entry_count(&self) -> usize {
+        self.all_entries().len()
+    }
+
+    /// Serialize the whole registry (self-describing document).
+    pub fn to_xml(&self) -> Element {
+        let mut el = self.root.read().to_xml();
+        el.set_attr("name", "registry");
+        el
+    }
+
+    /// Load a registry from a serialized document.
+    pub fn from_xml(el: &Element) -> Result<ContainerRegistry> {
+        let root = Container::from_xml(el)?;
+        Ok(ContainerRegistry {
+            root: RwLock::new(root),
+        })
+    }
+}
+
+/// Check whether `metadata` has any value equal to `value` at `path_expr`,
+/// trying successive indices on the final step for repeated elements.
+fn metadata_matches(metadata: &Element, path_expr: &str, value: &str) -> bool {
+    // Fast path: direct match on the expression as given.
+    if path::value_at(metadata, path_expr).is_ok_and(|v| v == value) {
+        return true;
+    }
+    // Then walk repeated final elements: a/b, a/b[1], a/b[2], …
+    if path_expr.ends_with(']') || path_expr.contains('@') {
+        return false;
+    }
+    for i in 1..64 {
+        match path::value_at(metadata, &format!("{path_expr}[{i}]")) {
+            Ok(v) if v == value => return true,
+            Ok(_) => continue,
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scriptgen_entry(name: &str, schedulers: &[&str]) -> ServiceEntry {
+        let mut scheds = Element::new("schedulers");
+        for s in schedulers {
+            scheds.push_child(Element::new("scheduler").with_text(*s));
+        }
+        ServiceEntry {
+            name: name.to_owned(),
+            access_point: format!("http://{name}:8080/soap/BatchScriptGen"),
+            wsdl_url: format!("http://{name}:8080/wsdl/BatchScriptGen"),
+            metadata: Element::new("serviceMetadata")
+                .with_text_child("kind", "scriptgen")
+                .with_child(scheds),
+        }
+    }
+
+    fn populated() -> ContainerRegistry {
+        let reg = ContainerRegistry::new();
+        reg.register("/gce/scriptgen", scriptgen_entry("iu", &["PBS", "GRD"]))
+            .unwrap();
+        reg.register("/gce/scriptgen", scriptgen_entry("sdsc", &["LSF", "NQS"]))
+            .unwrap();
+        reg.register("/gce/jobsub", scriptgen_entry("npaci", &["PBS"]))
+            .unwrap();
+        reg
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = populated();
+        let e = reg.lookup("/gce/scriptgen/iu").unwrap();
+        assert!(e.access_point.contains("iu"));
+        assert!(reg.lookup("/gce/scriptgen/ghost").is_err());
+        assert!(reg.lookup("/nosuch/x").is_err());
+    }
+
+    #[test]
+    fn duplicate_entry_rejected() {
+        let reg = populated();
+        let err = reg
+            .register("/gce/scriptgen", scriptgen_entry("iu", &["PBS"]))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Duplicate(_)));
+    }
+
+    #[test]
+    fn typed_query_is_exact() {
+        let reg = populated();
+        // LSF matches only the SDSC service — no substring false positives.
+        let hits = reg.query("schedulers/scheduler", "LSF");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.name, "sdsc");
+        // PBS appears in two services' metadata.
+        assert_eq!(reg.query("schedulers/scheduler", "PBS").len(), 2);
+        // Repeated-element matching reaches the second scheduler.
+        assert_eq!(reg.query("schedulers/scheduler", "GRD").len(), 1);
+        assert_eq!(reg.query("schedulers/scheduler", "NQS").len(), 1);
+    }
+
+    #[test]
+    fn query_by_kind() {
+        let reg = populated();
+        assert_eq!(reg.query("kind", "scriptgen").len(), 3);
+        assert_eq!(reg.query("kind", "datamgmt").len(), 0);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let reg = populated();
+        reg.unregister("/gce/scriptgen/iu").unwrap();
+        assert!(reg.lookup("/gce/scriptgen/iu").is_err());
+        assert_eq!(reg.entry_count(), 2);
+        assert!(reg.unregister("/gce/scriptgen/iu").is_err());
+    }
+
+    #[test]
+    fn all_entries_carry_full_paths() {
+        let reg = populated();
+        let mut paths: Vec<String> = reg.all_entries().into_iter().map(|(p, _)| p).collect();
+        paths.sort();
+        assert_eq!(
+            paths,
+            vec!["/gce/jobsub/npaci", "/gce/scriptgen/iu", "/gce/scriptgen/sdsc"]
+        );
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let reg = populated();
+        let doc = reg.to_xml();
+        let restored = ContainerRegistry::from_xml(&doc).unwrap();
+        assert_eq!(restored.entry_count(), 3);
+        assert_eq!(
+            restored.lookup("/gce/scriptgen/sdsc").unwrap(),
+            reg.lookup("/gce/scriptgen/sdsc").unwrap()
+        );
+        // Queries behave identically after the round trip.
+        assert_eq!(restored.query("schedulers/scheduler", "LSF").len(), 1);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let reg = ContainerRegistry::new();
+        reg.create_container("/a/b/c/d/e").unwrap();
+        reg.register("/a/b/c/d/e", scriptgen_entry("deep", &["PBS"]))
+            .unwrap();
+        assert!(reg.lookup("/a/b/c/d/e/deep").is_ok());
+    }
+
+    #[test]
+    fn empty_path_invalid() {
+        let reg = ContainerRegistry::new();
+        assert!(matches!(
+            reg.create_container("  "),
+            Err(RegistryError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn bad_container_xml_rejected() {
+        let el = Element::parse("<container><bogus/></container>").unwrap();
+        assert!(Container::from_xml(&el).is_err());
+        let el = Element::parse("<notcontainer/>").unwrap();
+        assert!(Container::from_xml(&el).is_err());
+    }
+}

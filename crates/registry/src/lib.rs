@@ -1,0 +1,61 @@
+//! Service discovery: UDDI and the paper's proposed replacement.
+//!
+//! §3.4 of the paper reports two findings about discovery:
+//!
+//! 1. **UDDI worked structurally but not semantically.** Mapping portal
+//!    groups to `businessEntity` and services to `businessService` "were
+//!    reasonable, but UDDI lacked flexible descriptions that could be used
+//!    to distinguish between something as simple as one script generator
+//!    service that supports PBS and GRD and another that supports LSF and
+//!    NQS". The groups fell back to free-text description strings, which
+//!    "works only by convention". [`uddi`] reproduces that system,
+//!    including the string-matching search whose imprecision experiment E7
+//!    measures.
+//! 2. **A better registry is "a recursive, self-describing XML container
+//!    hierarchy into which metadata about services may be flexibly
+//!    mapped".** [`container`] implements that proposal: a tree of named
+//!    containers, each entry carrying arbitrary XML metadata, queried with
+//!    typed path expressions instead of substring conventions.
+//!
+//! [`soap_api`] wraps both registries as SOAP services, because "UDDI is a
+//! specialized Web Service" — discovery itself is just another service in
+//! Figure 1. [`wsil`] implements the *decentralized* alternative §2 also
+//! lists: per-host Web Services Inspection Language documents.
+
+pub mod container;
+pub mod soap_api;
+pub mod uddi;
+pub mod wsil;
+
+pub use container::{Container, ContainerRegistry, ServiceEntry};
+pub use soap_api::{ContainerRegistryService, UddiService};
+pub use uddi::{BindingTemplate, BusinessEntity, BusinessService, TModel, UddiRegistry};
+pub use wsil::{InspectionDocument, WsilHandler, WsilService};
+
+use std::fmt;
+
+/// Errors raised by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A referenced key or path does not exist.
+    NotFound(String),
+    /// An entity with the same identity already exists.
+    Duplicate(String),
+    /// Malformed input (bad path, bad metadata XML).
+    Invalid(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::NotFound(what) => write!(f, "not found: {what}"),
+            RegistryError::Duplicate(what) => write!(f, "duplicate: {what}"),
+            RegistryError::Invalid(msg) => write!(f, "invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RegistryError>;

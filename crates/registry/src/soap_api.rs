@@ -1,0 +1,404 @@
+//! SOAP facades for both registries.
+//!
+//! "UDDI is a specialized Web Service" (§3.4) — so discovery is exposed
+//! through the same SOAP machinery as every other portal service. The UI
+//! server's find→bind flow in Figure 1 talks to [`UddiService`]; the E7
+//! comparison talks to both services over identical transports so that
+//! query latencies are measured on equal footing.
+
+use std::sync::Arc;
+
+use portalws_soap::{
+    CallContext, Fault, MethodDesc, PortalErrorKind, SoapResult, SoapService, SoapType, SoapValue,
+};
+use portalws_xml::Element;
+
+use crate::container::{ContainerRegistry, ServiceEntry};
+use crate::uddi::{BindingTemplate, ServiceHit, UddiRegistry};
+
+/// SOAP wrapper around [`UddiRegistry`].
+pub struct UddiService {
+    registry: Arc<UddiRegistry>,
+}
+
+impl UddiService {
+    /// Wrap a registry.
+    pub fn new(registry: Arc<UddiRegistry>) -> Self {
+        UddiService { registry }
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &Arc<UddiRegistry> {
+        &self.registry
+    }
+}
+
+fn arg_str<'a>(args: &'a [(String, SoapValue)], i: usize, name: &str) -> SoapResult<&'a str> {
+    args.get(i)
+        .and_then(|(_, v)| v.as_str())
+        .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}")))
+}
+
+fn hit_to_value(hit: &ServiceHit) -> SoapValue {
+    SoapValue::Struct(vec![
+        ("business".into(), SoapValue::str(hit.business.clone())),
+        ("key".into(), SoapValue::str(hit.key.clone())),
+        ("name".into(), SoapValue::str(hit.name.clone())),
+        (
+            "description".into(),
+            SoapValue::str(hit.description.clone()),
+        ),
+        (
+            "accessPoint".into(),
+            SoapValue::str(hit.access_point.clone().unwrap_or_default()),
+        ),
+    ])
+}
+
+impl SoapService for UddiService {
+    fn name(&self) -> &str {
+        "Uddi"
+    }
+
+    fn invoke(
+        &self,
+        method: &str,
+        args: &[(String, SoapValue)],
+        _ctx: &CallContext,
+    ) -> SoapResult<SoapValue> {
+        match method {
+            "publishBusiness" => {
+                let name = arg_str(args, 0, "name")?;
+                let desc = arg_str(args, 1, "description")?;
+                let key = self
+                    .registry
+                    .publish_business(name, desc)
+                    .map_err(|e| Fault::portal(PortalErrorKind::BadArguments, e.to_string()))?;
+                Ok(SoapValue::str(key))
+            }
+            "publishService" => {
+                let business_key = arg_str(args, 0, "businessKey")?;
+                let name = arg_str(args, 1, "name")?;
+                let desc = arg_str(args, 2, "description")?;
+                let access_point = arg_str(args, 3, "accessPoint")?;
+                let key = self
+                    .registry
+                    .publish_service(
+                        business_key,
+                        name,
+                        desc,
+                        vec![BindingTemplate {
+                            access_point: access_point.to_owned(),
+                            tmodel_keys: vec![],
+                        }],
+                    )
+                    .map_err(|e| Fault::portal(PortalErrorKind::NotFound, e.to_string()))?;
+                Ok(SoapValue::str(key))
+            }
+            "findService" => {
+                let keyword = arg_str(args, 0, "keyword")?;
+                let hits = self.registry.find_service(keyword);
+                Ok(SoapValue::Array(hits.iter().map(hit_to_value).collect()))
+            }
+            "findBusiness" => {
+                let keyword = arg_str(args, 0, "keyword")?;
+                let hits = self.registry.find_business(keyword);
+                Ok(SoapValue::Array(
+                    hits.iter()
+                        .map(|b| {
+                            SoapValue::Struct(vec![
+                                ("key".into(), SoapValue::str(b.key.clone())),
+                                ("name".into(), SoapValue::str(b.name.clone())),
+                            ])
+                        })
+                        .collect(),
+                ))
+            }
+            other => Err(Fault::client(format!("Uddi has no method {other:?}"))),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodDesc> {
+        vec![
+            MethodDesc::new(
+                "publishBusiness",
+                vec![("name", SoapType::String), ("description", SoapType::String)],
+                SoapType::String,
+                "Register a business entity; returns its key",
+            ),
+            MethodDesc::new(
+                "publishService",
+                vec![
+                    ("businessKey", SoapType::String),
+                    ("name", SoapType::String),
+                    ("description", SoapType::String),
+                    ("accessPoint", SoapType::String),
+                ],
+                SoapType::String,
+                "Register a service under a business; returns its key",
+            ),
+            MethodDesc::new(
+                "findService",
+                vec![("keyword", SoapType::String)],
+                SoapType::Array,
+                "Substring search over service names and descriptions",
+            ),
+            MethodDesc::new(
+                "findBusiness",
+                vec![("keyword", SoapType::String)],
+                SoapType::Array,
+                "Substring search over business names",
+            ),
+        ]
+    }
+}
+
+/// SOAP wrapper around [`ContainerRegistry`].
+pub struct ContainerRegistryService {
+    registry: Arc<ContainerRegistry>,
+}
+
+impl ContainerRegistryService {
+    /// Wrap a registry.
+    pub fn new(registry: Arc<ContainerRegistry>) -> Self {
+        ContainerRegistryService { registry }
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &Arc<ContainerRegistry> {
+        &self.registry
+    }
+}
+
+fn entry_to_value(path: &str, entry: &ServiceEntry) -> SoapValue {
+    SoapValue::Struct(vec![
+        ("path".into(), SoapValue::str(path)),
+        ("name".into(), SoapValue::str(entry.name.clone())),
+        (
+            "accessPoint".into(),
+            SoapValue::str(entry.access_point.clone()),
+        ),
+        ("wsdlUrl".into(), SoapValue::str(entry.wsdl_url.clone())),
+        ("metadata".into(), SoapValue::Xml(entry.metadata.clone())),
+    ])
+}
+
+impl SoapService for ContainerRegistryService {
+    fn name(&self) -> &str {
+        "ContainerRegistry"
+    }
+
+    fn invoke(
+        &self,
+        method: &str,
+        args: &[(String, SoapValue)],
+        _ctx: &CallContext,
+    ) -> SoapResult<SoapValue> {
+        match method {
+            "register" => {
+                let path = arg_str(args, 0, "path")?;
+                let name = arg_str(args, 1, "name")?;
+                let access_point = arg_str(args, 2, "accessPoint")?;
+                let wsdl_url = arg_str(args, 3, "wsdlUrl")?;
+                let metadata = args
+                    .get(4)
+                    .and_then(|(_, v)| v.as_xml())
+                    .cloned()
+                    .unwrap_or_else(|| Element::new("metadata"));
+                self.registry
+                    .register(
+                        path,
+                        ServiceEntry {
+                            name: name.to_owned(),
+                            access_point: access_point.to_owned(),
+                            wsdl_url: wsdl_url.to_owned(),
+                            metadata,
+                        },
+                    )
+                    .map_err(|e| Fault::portal(PortalErrorKind::BadArguments, e.to_string()))?;
+                Ok(SoapValue::Null)
+            }
+            "lookup" => {
+                let path = arg_str(args, 0, "path")?;
+                let entry = self
+                    .registry
+                    .lookup(path)
+                    .map_err(|e| Fault::portal(PortalErrorKind::NotFound, e.to_string()))?;
+                Ok(entry_to_value(path, &entry))
+            }
+            "query" => {
+                let path_expr = arg_str(args, 0, "pathExpr")?;
+                let value = arg_str(args, 1, "value")?;
+                let hits = self.registry.query(path_expr, value);
+                Ok(SoapValue::Array(
+                    hits.iter()
+                        .map(|(p, e)| entry_to_value(p, e))
+                        .collect(),
+                ))
+            }
+            other => Err(Fault::client(format!(
+                "ContainerRegistry has no method {other:?}"
+            ))),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodDesc> {
+        vec![
+            MethodDesc::new(
+                "register",
+                vec![
+                    ("path", SoapType::String),
+                    ("name", SoapType::String),
+                    ("accessPoint", SoapType::String),
+                    ("wsdlUrl", SoapType::String),
+                    ("metadata", SoapType::Xml),
+                ],
+                SoapType::Void,
+                "Register a service entry with typed metadata",
+            ),
+            MethodDesc::new(
+                "lookup",
+                vec![("path", SoapType::String)],
+                SoapType::Struct,
+                "Fetch an entry by full path",
+            ),
+            MethodDesc::new(
+                "query",
+                vec![("pathExpr", SoapType::String), ("value", SoapType::String)],
+                SoapType::Array,
+                "Typed metadata query over all entries",
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_soap::{SoapClient, SoapServer};
+    use portalws_wire::{Handler, InMemoryTransport};
+
+    fn clients() -> (SoapClient, SoapClient) {
+        let server = SoapServer::new();
+        server.mount(Arc::new(UddiService::new(Arc::new(UddiRegistry::new()))));
+        server.mount(Arc::new(ContainerRegistryService::new(Arc::new(
+            ContainerRegistry::new(),
+        ))));
+        let handler: Arc<dyn Handler> = Arc::new(server);
+        let t1: Arc<InMemoryTransport> = Arc::new(InMemoryTransport::new(Arc::clone(&handler)));
+        let t2: Arc<InMemoryTransport> = Arc::new(InMemoryTransport::new(handler));
+        (
+            SoapClient::new(t1, "Uddi"),
+            SoapClient::new(t2, "ContainerRegistry"),
+        )
+    }
+
+    #[test]
+    fn uddi_publish_and_find_over_soap() {
+        let (uddi, _) = clients();
+        let key = uddi
+            .call(
+                "publishBusiness",
+                &[SoapValue::str("SDSC"), SoapValue::str("portal group")],
+            )
+            .unwrap();
+        let key = key.as_str().unwrap().to_owned();
+        uddi.call(
+            "publishService",
+            &[
+                SoapValue::str(key),
+                SoapValue::str("BatchScriptGenerator"),
+                SoapValue::str("Supports LSF and NQS"),
+                SoapValue::str("http://sdsc:1/soap/BatchScriptGen"),
+            ],
+        )
+        .unwrap();
+        let hits = uddi.call("findService", &[SoapValue::str("lsf")]).unwrap();
+        let hits = hits.as_array().unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].field("accessPoint").and_then(|v| v.as_str()),
+            Some("http://sdsc:1/soap/BatchScriptGen")
+        );
+    }
+
+    #[test]
+    fn uddi_bad_business_key_is_not_found_fault() {
+        let (uddi, _) = clients();
+        let err = uddi
+            .call(
+                "publishService",
+                &[
+                    SoapValue::str("uuid:biz-404"),
+                    SoapValue::str("S"),
+                    SoapValue::str(""),
+                    SoapValue::str("http://x"),
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::NotFound)
+        );
+    }
+
+    #[test]
+    fn container_register_query_over_soap() {
+        let (_, creg) = clients();
+        let metadata = Element::new("serviceMetadata").with_child(
+            Element::new("schedulers")
+                .with_child(Element::new("scheduler").with_text("LSF"))
+                .with_child(Element::new("scheduler").with_text("NQS")),
+        );
+        creg.call(
+            "register",
+            &[
+                SoapValue::str("/gce/scriptgen"),
+                SoapValue::str("sdsc"),
+                SoapValue::str("http://sdsc:1/soap/BatchScriptGen"),
+                SoapValue::str("http://sdsc:1/wsdl/BatchScriptGen"),
+                SoapValue::Xml(metadata),
+            ],
+        )
+        .unwrap();
+        let hits = creg
+            .call(
+                "query",
+                &[
+                    SoapValue::str("schedulers/scheduler"),
+                    SoapValue::str("NQS"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(hits.as_array().unwrap().len(), 1);
+
+        let entry = creg
+            .call("lookup", &[SoapValue::str("/gce/scriptgen/sdsc")])
+            .unwrap();
+        assert_eq!(
+            entry.field("wsdlUrl").and_then(|v| v.as_str()),
+            Some("http://sdsc:1/wsdl/BatchScriptGen")
+        );
+    }
+
+    #[test]
+    fn container_lookup_missing_is_fault() {
+        let (_, creg) = clients();
+        let err = creg
+            .call("lookup", &[SoapValue::str("/ghost/x")])
+            .unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::NotFound)
+        );
+    }
+
+    #[test]
+    fn wsdl_generation_for_registry_services() {
+        // Both facades describe themselves for WSDL publication.
+        let u = UddiService::new(Arc::new(UddiRegistry::new()));
+        assert_eq!(u.methods().len(), 4);
+        let c = ContainerRegistryService::new(Arc::new(ContainerRegistry::new()));
+        assert_eq!(c.methods().len(), 3);
+    }
+}

@@ -1,0 +1,339 @@
+//! A UDDI-style registry: businessEntity / businessService /
+//! bindingTemplate / tModel, with string-based search.
+//!
+//! The search deliberately reproduces what the paper found inadequate:
+//! "UDDI entries are described with string comments and Identifier and
+//! Category data types based on industry standard descriptions of
+//! commercial entities… We developed workarounds with the string
+//! description, but this works only by convention." Keyword search here is
+//! case-insensitive substring match over names and description strings —
+//! nothing more — so a description like *"ported from LSF to PBS"* matches
+//! a query for `LSF` even though the service does not support LSF. That
+//! imprecision is the measured quantity in experiment E7.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::{RegistryError, Result};
+
+/// A tModel: a named technical fingerprint, typically pointing at a WSDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TModel {
+    /// Registry-assigned key (`uuid:tm-N`).
+    pub key: String,
+    /// tModel name.
+    pub name: String,
+    /// URL of the interface document this tModel identifies.
+    pub overview_url: String,
+}
+
+/// A binding template: where and how to reach one deployment of a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingTemplate {
+    /// Endpoint URL (the SOAP access point).
+    pub access_point: String,
+    /// tModel keys this binding implements.
+    pub tmodel_keys: Vec<String>,
+}
+
+/// A business service: one logical service offered by a business entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusinessService {
+    /// Registry-assigned key (`uuid:svc-N`).
+    pub key: String,
+    /// Service name.
+    pub name: String,
+    /// Free-text description — the only place capability metadata can go,
+    /// per the paper's complaint.
+    pub description: String,
+    /// Deployments of this service.
+    pub bindings: Vec<BindingTemplate>,
+}
+
+/// A business entity: a portal group (IU, SDSC, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusinessEntity {
+    /// Registry-assigned key (`uuid:biz-N`).
+    pub key: String,
+    /// Organization name.
+    pub name: String,
+    /// Free-text description.
+    pub description: String,
+    /// Services offered.
+    pub services: Vec<BusinessService>,
+}
+
+/// A search hit, flattened for client consumption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceHit {
+    /// Owning business name.
+    pub business: String,
+    /// Service key.
+    pub key: String,
+    /// Service name.
+    pub name: String,
+    /// Service description.
+    pub description: String,
+    /// First access point, if any binding exists.
+    pub access_point: Option<String>,
+}
+
+/// The registry. Thread-safe; shared by the SOAP wrapper.
+#[derive(Default)]
+pub struct UddiRegistry {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    businesses: Vec<BusinessEntity>,
+    tmodels: HashMap<String, TModel>,
+    next_key: u64,
+}
+
+impl Inner {
+    fn fresh_key(&mut self, prefix: &str) -> String {
+        self.next_key += 1;
+        format!("uuid:{prefix}-{:04}", self.next_key)
+    }
+}
+
+impl UddiRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a business entity; returns its key.
+    pub fn publish_business(
+        &self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Result<String> {
+        let name = name.into();
+        let mut inner = self.inner.write();
+        if inner.businesses.iter().any(|b| b.name == name) {
+            return Err(RegistryError::Duplicate(format!("business {name:?}")));
+        }
+        let key = inner.fresh_key("biz");
+        inner.businesses.push(BusinessEntity {
+            key: key.clone(),
+            name,
+            description: description.into(),
+            services: Vec::new(),
+        });
+        Ok(key)
+    }
+
+    /// Register a service under a business; returns the service key.
+    pub fn publish_service(
+        &self,
+        business_key: &str,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        bindings: Vec<BindingTemplate>,
+    ) -> Result<String> {
+        let mut inner = self.inner.write();
+        let key = inner.fresh_key("svc");
+        let biz = inner
+            .businesses
+            .iter_mut()
+            .find(|b| b.key == business_key)
+            .ok_or_else(|| RegistryError::NotFound(format!("business {business_key:?}")))?;
+        biz.services.push(BusinessService {
+            key: key.clone(),
+            name: name.into(),
+            description: description.into(),
+            bindings,
+        });
+        Ok(key)
+    }
+
+    /// Register a tModel; returns its key.
+    pub fn publish_tmodel(
+        &self,
+        name: impl Into<String>,
+        overview_url: impl Into<String>,
+    ) -> String {
+        let mut inner = self.inner.write();
+        let key = inner.fresh_key("tm");
+        let tm = TModel {
+            key: key.clone(),
+            name: name.into(),
+            overview_url: overview_url.into(),
+        };
+        inner.tmodels.insert(key.clone(), tm);
+        key
+    }
+
+    /// Look up a tModel.
+    pub fn tmodel(&self, key: &str) -> Option<TModel> {
+        self.inner.read().tmodels.get(key).cloned()
+    }
+
+    /// All businesses (cloned snapshot).
+    pub fn businesses(&self) -> Vec<BusinessEntity> {
+        self.inner.read().businesses.clone()
+    }
+
+    /// find_business: case-insensitive substring match on business names.
+    pub fn find_business(&self, keyword: &str) -> Vec<BusinessEntity> {
+        let kw = keyword.to_lowercase();
+        self.inner
+            .read()
+            .businesses
+            .iter()
+            .filter(|b| b.name.to_lowercase().contains(&kw))
+            .cloned()
+            .collect()
+    }
+
+    /// find_service: case-insensitive substring match over service *names
+    /// and description strings* — the convention-only search the paper
+    /// criticizes.
+    pub fn find_service(&self, keyword: &str) -> Vec<ServiceHit> {
+        let kw = keyword.to_lowercase();
+        let inner = self.inner.read();
+        let mut hits = Vec::new();
+        for biz in &inner.businesses {
+            for svc in &biz.services {
+                if svc.name.to_lowercase().contains(&kw)
+                    || svc.description.to_lowercase().contains(&kw)
+                {
+                    hits.push(ServiceHit {
+                        business: biz.name.clone(),
+                        key: svc.key.clone(),
+                        name: svc.name.clone(),
+                        description: svc.description.clone(),
+                        access_point: svc.bindings.first().map(|b| b.access_point.clone()),
+                    });
+                }
+            }
+        }
+        hits
+    }
+
+    /// Retrieve one service by key (the UDDI `get_serviceDetail` step).
+    pub fn service_detail(&self, key: &str) -> Result<BusinessService> {
+        let inner = self.inner.read();
+        inner
+            .businesses
+            .iter()
+            .flat_map(|b| &b.services)
+            .find(|s| s.key == key)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(format!("service {key:?}")))
+    }
+
+    /// Number of services registered (for experiment reporting).
+    pub fn service_count(&self) -> usize {
+        self.inner
+            .read()
+            .businesses
+            .iter()
+            .map(|b| b.services.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with_scriptgens() -> UddiRegistry {
+        let reg = UddiRegistry::new();
+        let iu = reg.publish_business("Community Grids Lab", "IU portal group").unwrap();
+        let sdsc = reg.publish_business("SDSC", "San Diego Supercomputer Center").unwrap();
+        reg.publish_service(
+            &iu,
+            "BatchScriptGenerator",
+            "Batch script generation. Supports PBS and GRD schedulers.",
+            vec![BindingTemplate {
+                access_point: "http://iu:8080/soap/BatchScriptGen".into(),
+                tmodel_keys: vec![],
+            }],
+        )
+        .unwrap();
+        reg.publish_service(
+            &sdsc,
+            "BatchScriptGenerator",
+            "Script generator service. Supports LSF and NQS. Recently ported from PBS.",
+            vec![BindingTemplate {
+                access_point: "http://sdsc:8080/soap/BatchScriptGen".into(),
+                tmodel_keys: vec![],
+            }],
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn publish_and_find_business() {
+        let reg = registry_with_scriptgens();
+        assert_eq!(reg.find_business("sdsc").len(), 1);
+        assert_eq!(reg.find_business("lab").len(), 1);
+        assert_eq!(reg.find_business("nosuch").len(), 0);
+    }
+
+    #[test]
+    fn duplicate_business_rejected() {
+        let reg = UddiRegistry::new();
+        reg.publish_business("X", "").unwrap();
+        assert!(matches!(
+            reg.publish_business("X", ""),
+            Err(RegistryError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn service_under_missing_business_rejected() {
+        let reg = UddiRegistry::new();
+        assert!(matches!(
+            reg.publish_service("uuid:biz-999", "S", "", vec![]),
+            Err(RegistryError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn keyword_search_matches_name_and_description() {
+        let reg = registry_with_scriptgens();
+        assert_eq!(reg.find_service("scriptgenerator").len(), 2);
+        assert_eq!(reg.find_service("GRD").len(), 1);
+    }
+
+    #[test]
+    fn string_search_is_imprecise_by_design() {
+        // The SDSC description mentions PBS only to say the service was
+        // *ported from* it — but substring search cannot tell. This is the
+        // paper's "works only by convention" failure, preserved on purpose.
+        let reg = registry_with_scriptgens();
+        let pbs_hits = reg.find_service("PBS");
+        assert_eq!(pbs_hits.len(), 2, "false positive expected: {pbs_hits:?}");
+    }
+
+    #[test]
+    fn service_detail_by_key() {
+        let reg = registry_with_scriptgens();
+        let hits = reg.find_service("LSF");
+        let detail = reg.service_detail(&hits[0].key).unwrap();
+        assert_eq!(detail.bindings.len(), 1);
+        assert!(reg.service_detail("uuid:svc-404").is_err());
+    }
+
+    #[test]
+    fn tmodels_stored_and_fetched() {
+        let reg = UddiRegistry::new();
+        let key = reg.publish_tmodel("scriptgen-interface", "http://gce/wsdl/scriptgen");
+        let tm = reg.tmodel(&key).unwrap();
+        assert_eq!(tm.overview_url, "http://gce/wsdl/scriptgen");
+        assert!(reg.tmodel("uuid:tm-999").is_none());
+    }
+
+    #[test]
+    fn counts() {
+        let reg = registry_with_scriptgens();
+        assert_eq!(reg.service_count(), 2);
+        assert_eq!(reg.businesses().len(), 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! Web Services Inspection Language (WSIL) documents.
+//!
+//! §2 lists WSIL alongside UDDI as the naming/discovery leg of the Web
+//! Services trio. Where UDDI is a central registry, WSIL is
+//! *decentralized*: each provider host serves an `inspection.wsil`
+//! document enumerating its services and pointing at their WSDL
+//! descriptions. This module implements the document model and an HTTP
+//! handler, giving the portal a second discovery path: walk the known
+//! hosts instead of querying the central registry (exercised by the
+//! UI-server integration tests as a registry-outage fallback).
+
+use parking_lot::RwLock;
+use portalws_wire::{Handler, Request, Response, Status};
+use portalws_xml::Element;
+
+use crate::{RegistryError, Result};
+
+/// One `<service>` entry of an inspection document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsilService {
+    /// Human-readable service name.
+    pub name: String,
+    /// The `<abstract>` description.
+    pub abstract_text: String,
+    /// Location of the WSDL description.
+    pub wsdl_location: String,
+    /// SOAP endpoint (carried as a second description link).
+    pub endpoint: String,
+}
+
+/// A WSIL inspection document: the services one provider host offers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InspectionDocument {
+    /// Services in declaration order.
+    pub services: Vec<WsilService>,
+    /// Links to further inspection documents (WSIL is recursive).
+    pub links: Vec<String>,
+}
+
+impl InspectionDocument {
+    /// Empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: add a service entry.
+    pub fn with_service(mut self, service: WsilService) -> Self {
+        self.services.push(service);
+        self
+    }
+
+    /// Builder: link another inspection document.
+    pub fn with_link(mut self, location: impl Into<String>) -> Self {
+        self.links.push(location.into());
+        self
+    }
+
+    /// Serialize as an `inspection` document element.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("inspection")
+            .with_attr("xmlns", "http://schemas.xmlsoap.org/ws/2001/10/inspection/");
+        for svc in &self.services {
+            root.push_child(
+                Element::new("service")
+                    .with_child(Element::new("name").with_text(svc.name.clone()))
+                    .with_child(Element::new("abstract").with_text(svc.abstract_text.clone()))
+                    .with_child(
+                        Element::new("description")
+                            .with_attr("referencedNamespace", "http://schemas.xmlsoap.org/wsdl/")
+                            .with_attr("location", svc.wsdl_location.clone()),
+                    )
+                    .with_child(
+                        Element::new("description")
+                            .with_attr("referencedNamespace", "urn:endpoint")
+                            .with_attr("location", svc.endpoint.clone()),
+                    ),
+            );
+        }
+        for link in &self.links {
+            root.push_child(
+                Element::new("link")
+                    .with_attr(
+                        "referencedNamespace",
+                        "http://schemas.xmlsoap.org/ws/2001/10/inspection/",
+                    )
+                    .with_attr("location", link.clone()),
+            );
+        }
+        root
+    }
+
+    /// Parse an inspection document.
+    pub fn from_xml(root: &Element) -> Result<InspectionDocument> {
+        if root.local_name() != "inspection" {
+            return Err(RegistryError::Invalid(format!(
+                "expected inspection document, found {:?}",
+                root.local_name()
+            )));
+        }
+        let mut doc = InspectionDocument::new();
+        for svc in root.find_all("service") {
+            let mut wsdl_location = String::new();
+            let mut endpoint = String::new();
+            for d in svc.find_all("description") {
+                let loc = d.attr("location").unwrap_or("").to_owned();
+                match d.attr("referencedNamespace") {
+                    Some("http://schemas.xmlsoap.org/wsdl/") => wsdl_location = loc,
+                    Some("urn:endpoint") => endpoint = loc,
+                    _ => {}
+                }
+            }
+            doc.services.push(WsilService {
+                name: svc.find_text("name").unwrap_or("").to_owned(),
+                abstract_text: svc.find_text("abstract").unwrap_or("").to_owned(),
+                wsdl_location,
+                endpoint,
+            });
+        }
+        doc.links = root
+            .find_all("link")
+            .filter_map(|l| l.attr("location").map(str::to_owned))
+            .collect();
+        Ok(doc)
+    }
+
+    /// Find a service entry by exact name.
+    pub fn service(&self, name: &str) -> Option<&WsilService> {
+        self.services.iter().find(|s| s.name == name)
+    }
+}
+
+/// Serves the host's inspection document at `/inspection.wsil`.
+#[derive(Default)]
+pub struct WsilHandler {
+    doc: RwLock<InspectionDocument>,
+}
+
+impl WsilHandler {
+    /// Handler with an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a service entry to the served document.
+    pub fn announce(&self, service: WsilService) {
+        self.doc.write().services.push(service);
+    }
+
+    /// Link another host's inspection document.
+    pub fn link(&self, location: impl Into<String>) {
+        self.doc.write().links.push(location.into());
+    }
+
+    /// Current document snapshot.
+    pub fn document(&self) -> InspectionDocument {
+        self.doc.read().clone()
+    }
+}
+
+impl Handler for WsilHandler {
+    fn handle(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return Response::error(Status::BadRequest, "inspection documents are GET-only");
+        }
+        Response::xml(self.doc.read().to_xml().to_document())
+    }
+}
+
+/// Fetch and parse an inspection document from a host.
+pub fn fetch_inspection(
+    transport: &dyn portalws_wire::Transport,
+) -> Result<InspectionDocument> {
+    let resp = transport
+        .round_trip(Request::get("/inspection.wsil"))
+        .map_err(|e| RegistryError::Invalid(format!("wsil fetch failed: {e}")))?;
+    if resp.status != Status::Ok {
+        return Err(RegistryError::NotFound(format!(
+            "inspection document ({})",
+            resp.status.code()
+        )));
+    }
+    let root = Element::parse(&resp.body_str())
+        .map_err(|e| RegistryError::Invalid(format!("wsil xml: {e}")))?;
+    InspectionDocument::from_xml(&root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_wire::InMemoryTransport;
+    use std::sync::Arc;
+
+    fn sample() -> InspectionDocument {
+        InspectionDocument::new()
+            .with_service(WsilService {
+                name: "BatchScriptGen".into(),
+                abstract_text: "Batch script generation for PBS and GRD".into(),
+                wsdl_location: "http://gateway.iu.edu/wsdl/BatchScriptGen".into(),
+                endpoint: "http://gateway.iu.edu/soap/BatchScriptGen".into(),
+            })
+            .with_service(WsilService {
+                name: "ContextManager".into(),
+                abstract_text: "Gateway context management".into(),
+                wsdl_location: "http://gateway.iu.edu/wsdl/ContextManager".into(),
+                endpoint: "http://gateway.iu.edu/soap/ContextManager".into(),
+            })
+            .with_link("http://hotpage.sdsc.edu/inspection.wsil")
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let doc = sample();
+        let rt = InspectionDocument::from_xml(&doc.to_xml()).unwrap();
+        assert_eq!(rt, doc);
+    }
+
+    #[test]
+    fn service_lookup() {
+        let doc = sample();
+        let s = doc.service("ContextManager").unwrap();
+        assert!(s.wsdl_location.ends_with("/wsdl/ContextManager"));
+        assert!(doc.service("Ghost").is_none());
+    }
+
+    #[test]
+    fn non_inspection_rejected() {
+        assert!(InspectionDocument::from_xml(&Element::new("wrong")).is_err());
+    }
+
+    #[test]
+    fn handler_serves_document() {
+        let h = WsilHandler::new();
+        for svc in sample().services {
+            h.announce(svc);
+        }
+        h.link("http://other/inspection.wsil");
+        let resp = h.handle(&Request::get("/inspection.wsil"));
+        assert_eq!(resp.status, Status::Ok);
+        let doc =
+            InspectionDocument::from_xml(&Element::parse(&resp.body_str()).unwrap()).unwrap();
+        assert_eq!(doc.services.len(), 2);
+        assert_eq!(doc.links.len(), 1);
+        // POST rejected.
+        assert_eq!(
+            h.handle(&Request::post("/inspection.wsil", "")).status,
+            Status::BadRequest
+        );
+    }
+
+    #[test]
+    fn fetch_round_trip() {
+        let h = WsilHandler::new();
+        h.announce(sample().services[0].clone());
+        let transport = InMemoryTransport::new(Arc::new(h));
+        let doc = fetch_inspection(&transport).unwrap();
+        assert_eq!(doc.services[0].name, "BatchScriptGen");
+    }
+
+    #[test]
+    fn fetch_missing_errors() {
+        let handler: Arc<dyn portalws_wire::Handler> = Arc::new(|_req: &Request| {
+            Response::error(Status::NotFound, "no wsil here")
+        });
+        let transport = InMemoryTransport::new(handler);
+        assert!(fetch_inspection(&transport).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests over both discovery systems: registrations are always
+//! findable (full recall), the container registry round-trips through its
+//! self-describing XML form, and typed queries never return a service
+//! that does not carry the queried metadata (full precision).
+
+use portalws_registry::{
+    BindingTemplate, Container, ContainerRegistry, InspectionDocument, ServiceEntry,
+    UddiRegistry, WsilService,
+};
+use portalws_xml::Element;
+use proptest::prelude::*;
+
+fn names() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set("[a-z][a-z0-9]{1,8}", 1..12)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn uddi_recall_is_total(names in names()) {
+        let uddi = UddiRegistry::new();
+        let biz = uddi.publish_business("B", "test").unwrap();
+        for n in &names {
+            uddi.publish_service(
+                &biz,
+                n.clone(),
+                format!("service named {n}"),
+                vec![BindingTemplate {
+                    access_point: format!("http://x/soap/{n}"),
+                    tmodel_keys: vec![],
+                }],
+            )
+            .unwrap();
+        }
+        prop_assert_eq!(uddi.service_count(), names.len());
+        // Every registered service is found by its own full name.
+        for n in &names {
+            let hits = uddi.find_service(n);
+            prop_assert!(
+                hits.iter().any(|h| &h.name == n),
+                "{n} not found among {hits:?}"
+            );
+            // And its detail is retrievable by key.
+            let key = hits.iter().find(|h| &h.name == n).unwrap().key.clone();
+            prop_assert!(uddi.service_detail(&key).is_ok());
+        }
+    }
+
+    #[test]
+    fn container_round_trip_and_query_precision(
+        entries in proptest::collection::btree_map(
+            "[a-z][a-z0-9]{1,8}",
+            prop_oneof![Just("PBS"), Just("LSF"), Just("NQS"), Just("GRD")],
+            1..10,
+        ),
+    ) {
+        let reg = ContainerRegistry::new();
+        for (name, sched) in &entries {
+            reg.register(
+                "/gce/svc",
+                ServiceEntry {
+                    name: name.clone(),
+                    access_point: format!("http://{name}/soap/S"),
+                    wsdl_url: format!("http://{name}/wsdl/S"),
+                    metadata: Element::new("m").with_child(
+                        Element::new("schedulers")
+                            .with_child(Element::new("scheduler").with_text(*sched)),
+                    ),
+                },
+            )
+            .unwrap();
+        }
+        // Self-describing round trip preserves everything.
+        let doc = reg.to_xml();
+        let restored = ContainerRegistry::from_xml(&doc).unwrap();
+        prop_assert_eq!(restored.entry_count(), entries.len());
+
+        // Typed queries: exact precision and recall per scheduler.
+        for sched in ["PBS", "LSF", "NQS", "GRD"] {
+            let expected: Vec<&String> = entries
+                .iter()
+                .filter(|(_, s)| **s == sched)
+                .map(|(n, _)| n)
+                .collect();
+            let hits = restored.query("schedulers/scheduler", sched);
+            prop_assert_eq!(hits.len(), expected.len(), "{}", sched);
+            for (_, e) in &hits {
+                prop_assert!(expected.contains(&&e.name));
+            }
+        }
+        // Path lookups find each entry.
+        for name in entries.keys() {
+            let path = format!("/gce/svc/{name}");
+            prop_assert!(restored.lookup(&path).is_ok());
+        }
+    }
+
+    #[test]
+    fn container_xml_never_panics_on_arbitrary_input(s in "\\PC{0,300}") {
+        if let Ok(el) = Element::parse(&s) {
+            let _ = Container::from_xml(&el);
+        }
+    }
+
+    #[test]
+    fn wsil_round_trip(services in names(), links in names()) {
+        let mut doc = InspectionDocument::new();
+        for s in &services {
+            doc = doc.with_service(WsilService {
+                name: s.clone(),
+                abstract_text: format!("about {s}"),
+                wsdl_location: format!("http://h/wsdl/{s}"),
+                endpoint: format!("http://h/soap/{s}"),
+            });
+        }
+        for l in &links {
+            doc = doc.with_link(format!("http://{l}/inspection.wsil"));
+        }
+        let rt = InspectionDocument::from_xml(&doc.to_xml()).unwrap();
+        prop_assert_eq!(&rt, &doc);
+        for s in &services {
+            prop_assert!(rt.service(s).is_some());
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! SRB data-management Web service (§3.2).
+//!
+//! "The methods exposed in the SRB Web Services are `ls`, `cat`, `get`,
+//! `put`, and `xml_call`. … The get and put methods transfer a file
+//! between an SRB collection and the client by simply streaming the file
+//! as a string. This transfer mechanism does not scale well, and was only
+//! used as a proof of concept. The `xml_call` method allows the client to
+//! create a single request string consisting of multiple SRB commands …
+//! sent to the Web Service using a single connection. The service
+//! executes the separate commands found within the requests sequentially."
+//!
+//! Both the string-streaming (measured in E5) and the batching (measured
+//! in E6) are reproduced exactly; `getB64`/`putB64` are the encoding
+//! ablation E5 compares against.
+
+use std::sync::Arc;
+
+use portalws_gridsim::srb::{Srb, SrbError};
+use portalws_soap::{
+    CallContext, Fault, MethodDesc, PortalErrorKind, SoapResult, SoapService, SoapType, SoapValue,
+};
+use portalws_xml::Element;
+
+use crate::caller_principal;
+
+/// SOAP facade over the Storage Resource Broker.
+pub struct DataManagementService {
+    srb: Arc<Srb>,
+}
+
+impl DataManagementService {
+    /// Wrap a broker.
+    pub fn new(srb: Arc<Srb>) -> DataManagementService {
+        DataManagementService { srb }
+    }
+
+    /// The wrapped broker.
+    pub fn srb(&self) -> &Arc<Srb> {
+        &self.srb
+    }
+}
+
+/// Map broker errors onto the portal's common error codes — the paper's
+/// consistent-error-messaging requirement, with `DISK_FULL` as its own
+/// worked example.
+fn srb_fault(e: SrbError) -> Fault {
+    let kind = match &e {
+        SrbError::NotFound(_) => PortalErrorKind::FileNotFound,
+        SrbError::PermissionDenied(_) => PortalErrorKind::PermissionDenied,
+        SrbError::DiskFull { .. } => PortalErrorKind::DiskFull,
+        SrbError::Invalid(_) => PortalErrorKind::BadArguments,
+    };
+    Fault::portal(kind, e.to_string())
+}
+
+fn arg_str<'a>(args: &'a [(String, SoapValue)], i: usize, name: &str) -> SoapResult<&'a str> {
+    args.get(i)
+        .and_then(|(_, v)| v.as_str())
+        .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}")))
+}
+
+impl DataManagementService {
+    /// Execute one `xml_call` command element, returning its result
+    /// element. Used by both the SOAP method and tests.
+    fn run_command(&self, principal: &str, cmd: &Element) -> Element {
+        let op = cmd.local_name().to_owned();
+        let outcome = (|| -> Result<Element, SrbError> {
+            match op.as_str() {
+                "ls" => {
+                    let path = cmd.attr("collection").unwrap_or("/");
+                    let entries = self.srb.ls(principal, path)?;
+                    let mut out = Element::new("result").with_attr("op", "ls");
+                    for e in entries {
+                        out.push_child(
+                            Element::new("entry")
+                                .with_attr("name", e.name)
+                                .with_attr("collection", e.is_collection.to_string())
+                                .with_attr("size", e.size.to_string()),
+                        );
+                    }
+                    Ok(out)
+                }
+                "cat" => {
+                    let path = cmd
+                        .attr("path")
+                        .ok_or_else(|| SrbError::Invalid("cat needs path".into()))?;
+                    let text = self.srb.cat(principal, path)?;
+                    Ok(Element::new("result").with_attr("op", "cat").with_text(text))
+                }
+                "get" => {
+                    let path = cmd
+                        .attr("path")
+                        .ok_or_else(|| SrbError::Invalid("get needs path".into()))?;
+                    let text = self.srb.cat(principal, path)?;
+                    Ok(Element::new("result").with_attr("op", "get").with_text(text))
+                }
+                "put" => {
+                    let path = cmd
+                        .attr("path")
+                        .ok_or_else(|| SrbError::Invalid("put needs path".into()))?;
+                    self.srb.put(principal, path, cmd.text().as_bytes())?;
+                    Ok(Element::new("result")
+                        .with_attr("op", "put")
+                        .with_attr("bytes", cmd.text().len().to_string()))
+                }
+                "rm" => {
+                    let path = cmd
+                        .attr("path")
+                        .ok_or_else(|| SrbError::Invalid("rm needs path".into()))?;
+                    self.srb.rm(principal, path)?;
+                    Ok(Element::new("result").with_attr("op", "rm"))
+                }
+                "mkdir" => {
+                    let path = cmd
+                        .attr("path")
+                        .ok_or_else(|| SrbError::Invalid("mkdir needs path".into()))?;
+                    self.srb.mkdir(path)?;
+                    Ok(Element::new("result").with_attr("op", "mkdir"))
+                }
+                other => Err(SrbError::Invalid(format!("unknown command {other:?}"))),
+            }
+        })();
+        match outcome {
+            Ok(el) => el,
+            Err(e) => Element::new("result")
+                .with_attr("op", op)
+                .with_attr("error", "true")
+                .with_text(e.to_string()),
+        }
+    }
+}
+
+impl SoapService for DataManagementService {
+    fn name(&self) -> &str {
+        "DataManagement"
+    }
+
+    fn invoke(
+        &self,
+        method: &str,
+        args: &[(String, SoapValue)],
+        ctx: &CallContext,
+    ) -> SoapResult<SoapValue> {
+        let principal = caller_principal(ctx);
+        match method {
+            "ls" => {
+                let path = arg_str(args, 0, "collection")?;
+                let entries = self.srb.ls(&principal, path).map_err(srb_fault)?;
+                // The paper's ls "returns an array containing the directory
+                // listing".
+                Ok(SoapValue::Array(
+                    entries
+                        .into_iter()
+                        .map(|e| {
+                            SoapValue::Struct(vec![
+                                ("name".into(), SoapValue::str(e.name)),
+                                ("isCollection".into(), SoapValue::Bool(e.is_collection)),
+                                ("size".into(), SoapValue::Int(e.size as i64)),
+                            ])
+                        })
+                        .collect(),
+                ))
+            }
+            "cat" => {
+                let path = arg_str(args, 0, "path")?;
+                let text = self.srb.cat(&principal, path).map_err(srb_fault)?;
+                Ok(SoapValue::String(text))
+            }
+            // String streaming, exactly as deployed in 2002.
+            "get" => {
+                let path = arg_str(args, 0, "path")?;
+                let text = self.srb.cat(&principal, path).map_err(srb_fault)?;
+                Ok(SoapValue::String(text))
+            }
+            "put" => {
+                let path = arg_str(args, 0, "path")?;
+                let content = arg_str(args, 1, "content")?;
+                self.srb
+                    .put(&principal, path, content.as_bytes())
+                    .map_err(srb_fault)?;
+                Ok(SoapValue::Int(content.len() as i64))
+            }
+            // Base64 ablation (E5): binary-safe, no escaping amplification.
+            "getB64" => {
+                let path = arg_str(args, 0, "path")?;
+                let bytes = self.srb.get(&principal, path).map_err(srb_fault)?;
+                Ok(SoapValue::Base64(bytes))
+            }
+            "putB64" => {
+                let path = arg_str(args, 0, "path")?;
+                let bytes = args
+                    .get(1)
+                    .and_then(|(_, v)| v.as_bytes())
+                    .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "missing data"))?;
+                self.srb.put(&principal, path, bytes).map_err(srb_fault)?;
+                Ok(SoapValue::Int(bytes.len() as i64))
+            }
+            "rm" => {
+                let path = arg_str(args, 0, "path")?;
+                self.srb.rm(&principal, path).map_err(srb_fault)?;
+                Ok(SoapValue::Null)
+            }
+            "mkdir" => {
+                let path = arg_str(args, 0, "path")?;
+                self.srb.mkdir(path).map_err(srb_fault)?;
+                Ok(SoapValue::Null)
+            }
+            "xml_call" => {
+                let request = args
+                    .first()
+                    .and_then(|(_, v)| v.as_xml())
+                    .ok_or_else(|| {
+                        Fault::portal(PortalErrorKind::BadArguments, "missing request document")
+                    })?;
+                if request.local_name() != "request" {
+                    return Err(Fault::portal(
+                        PortalErrorKind::BadArguments,
+                        "xml_call expects a <request> document",
+                    ));
+                }
+                // "The service executes the separate commands found within
+                // the requests sequentially."
+                let mut response = Element::new("response");
+                for cmd in request.children() {
+                    response.push_child(self.run_command(&principal, cmd));
+                }
+                Ok(SoapValue::Xml(response))
+            }
+            other => Err(Fault::client(format!(
+                "DataManagement has no method {other:?}"
+            ))),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodDesc> {
+        vec![
+            MethodDesc::new(
+                "ls",
+                vec![("collection", SoapType::String)],
+                SoapType::Array,
+                "Directory listing of an SRB collection",
+            ),
+            MethodDesc::new(
+                "cat",
+                vec![("path", SoapType::String)],
+                SoapType::String,
+                "Contents of a file in an SRB collection",
+            ),
+            MethodDesc::new(
+                "get",
+                vec![("path", SoapType::String)],
+                SoapType::String,
+                "Transfer a file to the client as a string",
+            ),
+            MethodDesc::new(
+                "put",
+                vec![("path", SoapType::String), ("content", SoapType::String)],
+                SoapType::Int,
+                "Transfer a file from the client as a string",
+            ),
+            MethodDesc::new(
+                "getB64",
+                vec![("path", SoapType::String)],
+                SoapType::Base64,
+                "Binary-safe transfer to the client (ablation)",
+            ),
+            MethodDesc::new(
+                "putB64",
+                vec![("path", SoapType::String), ("data", SoapType::Base64)],
+                SoapType::Int,
+                "Binary-safe transfer from the client (ablation)",
+            ),
+            MethodDesc::new(
+                "rm",
+                vec![("path", SoapType::String)],
+                SoapType::Void,
+                "Delete an object",
+            ),
+            MethodDesc::new(
+                "mkdir",
+                vec![("path", SoapType::String)],
+                SoapType::Void,
+                "Create a collection",
+            ),
+            MethodDesc::new(
+                "xml_call",
+                vec![("request", SoapType::Xml)],
+                SoapType::Xml,
+                "Execute multiple SRB commands from one XML request over one connection",
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_soap::{SoapClient, SoapError, SoapServer};
+    use portalws_wire::{Handler, InMemoryTransport};
+
+    fn client() -> (Arc<Srb>, SoapClient) {
+        let srb = Arc::new(Srb::new());
+        srb.mkdir("/data").unwrap();
+        srb.put("anonymous", "/data/in.txt", b"line one\nline two\n")
+            .unwrap();
+        let server = SoapServer::new();
+        server.mount(Arc::new(DataManagementService::new(Arc::clone(&srb))));
+        let handler: Arc<dyn Handler> = Arc::new(server);
+        (
+            srb,
+            SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "DataManagement"),
+        )
+    }
+
+    #[test]
+    fn ls_returns_array_of_structs() {
+        let (_, c) = client();
+        let out = c.call("ls", &[SoapValue::str("/data")]).unwrap();
+        let arr = out.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].field("name").unwrap().as_str(), Some("in.txt"));
+        assert_eq!(arr[0].field("size").unwrap().as_i64(), Some(18));
+    }
+
+    #[test]
+    fn cat_and_get_stream_strings() {
+        let (_, c) = client();
+        let out = c.call("cat", &[SoapValue::str("/data/in.txt")]).unwrap();
+        assert_eq!(out.as_str().unwrap(), "line one\nline two\n");
+        let out = c.call("get", &[SoapValue::str("/data/in.txt")]).unwrap();
+        assert!(out.as_str().unwrap().starts_with("line one"));
+    }
+
+    #[test]
+    fn put_then_get_round_trip() {
+        let (srb, c) = client();
+        let content = "x <b>&</b> y\n".repeat(10);
+        let n = c
+            .call(
+                "put",
+                &[SoapValue::str("/data/out.txt"), SoapValue::str(content.clone())],
+            )
+            .unwrap();
+        assert_eq!(n.as_i64(), Some(content.len() as i64));
+        assert_eq!(srb.cat("anonymous", "/data/out.txt").unwrap(), content);
+        let back = c.call("get", &[SoapValue::str("/data/out.txt")]).unwrap();
+        assert_eq!(back.as_str().unwrap(), content);
+    }
+
+    #[test]
+    fn base64_round_trip_is_binary_safe() {
+        let (_, c) = client();
+        let data: Vec<u8> = (0u8..=255).collect();
+        c.call(
+            "putB64",
+            &[SoapValue::str("/data/bin"), SoapValue::Base64(data.clone())],
+        )
+        .unwrap();
+        let back = c.call("getB64", &[SoapValue::str("/data/bin")]).unwrap();
+        assert_eq!(back.as_bytes().unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn missing_file_maps_to_file_not_found() {
+        let (_, c) = client();
+        let err = c.call("get", &[SoapValue::str("/data/ghost")]).unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::FileNotFound)
+        );
+    }
+
+    #[test]
+    fn quota_maps_to_disk_full() {
+        let (srb, c) = client();
+        srb.set_quota("/data", 32);
+        let err = c
+            .call(
+                "put",
+                &[
+                    SoapValue::str("/data/big.txt"),
+                    SoapValue::str("much more than thirty-two bytes of text"),
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::DiskFull)
+        );
+    }
+
+    #[test]
+    fn acl_maps_to_permission_denied() {
+        let (srb, c) = client();
+        srb.set_acl("/data", vec!["alice".into()]);
+        let err = c.call("ls", &[SoapValue::str("/data")]).unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::PermissionDenied)
+        );
+    }
+
+    #[test]
+    fn xml_call_batches_commands_sequentially() {
+        let (_, c) = client();
+        let request = Element::new("request")
+            .with_child(Element::new("mkdir").with_attr("path", "/data/sub"))
+            .with_child(
+                Element::new("put")
+                    .with_attr("path", "/data/sub/a.txt")
+                    .with_text("alpha"),
+            )
+            .with_child(Element::new("cat").with_attr("path", "/data/sub/a.txt"))
+            .with_child(Element::new("ls").with_attr("collection", "/data/sub"));
+        let out = c.call("xml_call", &[SoapValue::Xml(request)]).unwrap();
+        let response = out.as_xml().unwrap();
+        let results: Vec<&Element> = response.children().collect();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[2].text(), "alpha");
+        assert_eq!(results[3].children().count(), 1);
+    }
+
+    #[test]
+    fn xml_call_reports_per_command_errors_inline() {
+        let (_, c) = client();
+        let request = Element::new("request")
+            .with_child(Element::new("cat").with_attr("path", "/data/ghost"))
+            .with_child(Element::new("cat").with_attr("path", "/data/in.txt"));
+        let out = c.call("xml_call", &[SoapValue::Xml(request)]).unwrap();
+        let response = out.as_xml().unwrap();
+        let results: Vec<&Element> = response.children().collect();
+        assert_eq!(results[0].attr("error"), Some("true"));
+        // A failed command does not abort the batch.
+        assert_eq!(results[1].text(), "line one\nline two\n");
+    }
+
+    #[test]
+    fn xml_call_rejects_non_request_documents() {
+        let (_, c) = client();
+        let err = c
+            .call("xml_call", &[SoapValue::Xml(Element::new("wrong"))])
+            .unwrap_err();
+        assert!(matches!(err, SoapError::Fault(_)));
+    }
+
+    #[test]
+    fn unknown_method_is_fault() {
+        let (_, c) = client();
+        assert!(c.call("chmod", &[]).is_err());
+    }
+}

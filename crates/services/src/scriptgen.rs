@@ -1,0 +1,622 @@
+//! Batch script generation (§3.4) — the interoperability exercise.
+//!
+//! "We agreed to a common service interface, implemented it separately
+//! with support for different queuing systems, entered information into a
+//! UDDI repository and developed clients that could list services
+//! supported by each group… Both groups implemented services in Java and
+//! tested interoperating Java and Python clients successfully."
+//!
+//! This module reproduces all four corners of that matrix:
+//!
+//! * **One agreed interface** — [`SCRIPTGEN_INTERFACE`] (checked by
+//!   `wsdl::compat` in the integration tests).
+//! * **Two independent service implementations** — [`IuScriptGen`]
+//!   (Gateway; PBS and GRD; template-string internals, optional coupling
+//!   to the context manager) and [`SdscScriptGen`] (HotPage; LSF and NQS;
+//!   directive-list internals, no context manager).
+//! * **Two independently written clients** — [`GatewayClient`] (binds a
+//!   `DynamicClient` from the published WSDL) and [`HotPageClient`]
+//!   (hand-rolled `SoapClient` with named arguments).
+//!
+//! The context-coupling modes reproduce §3's overhead observation: "The
+//! Gateway batch script generator … was initially tightly integrated with
+//! the context manager… Making this into an independent service
+//! introduced unnecessary overhead because we needed to create artificial
+//! contexts (sessions) for HotPage users."
+
+use std::sync::Arc;
+
+use portalws_gridsim::sched::SchedulerKind;
+use portalws_soap::{
+    CallContext, Fault, MethodDesc, PortalErrorKind, SoapClient, SoapResult, SoapService,
+    SoapType, SoapValue,
+};
+use portalws_wsdl::{DynamicClient, WsdlDefinition};
+
+use crate::caller_principal;
+use crate::context::ContextStore;
+
+/// The agreed common interface: every implementation must expose exactly
+/// these operations with these signatures.
+pub fn scriptgen_interface() -> Vec<MethodDesc> {
+    vec![
+        MethodDesc::new(
+            "generateScript",
+            vec![
+                ("scheduler", SoapType::String),
+                ("queue", SoapType::String),
+                ("jobName", SoapType::String),
+                ("command", SoapType::String),
+                ("cpus", SoapType::Int),
+                ("wallMinutes", SoapType::Int),
+            ],
+            SoapType::String,
+            "Generate a batch script for the named queuing system",
+        ),
+        MethodDesc::new(
+            "supportedSchedulers",
+            vec![],
+            SoapType::Array,
+            "Queuing systems this implementation supports",
+        ),
+    ]
+}
+
+/// Name of the common interface, for registry/tModel entries.
+pub const SCRIPTGEN_INTERFACE: &str = "BatchScriptGen";
+
+/// The decoded arguments of a `generateScript` call.
+struct GenArgs {
+    scheduler: SchedulerKind,
+    queue: String,
+    job_name: String,
+    command: String,
+    cpus: u32,
+    wall_minutes: u32,
+}
+
+fn decode_gen_args(args: &[(String, SoapValue)]) -> SoapResult<GenArgs> {
+    let get_str = |i: usize, name: &str| -> SoapResult<&str> {
+        args.get(i)
+            .and_then(|(_, v)| v.as_str())
+            .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}")))
+    };
+    let get_int = |i: usize, name: &str| -> SoapResult<i64> {
+        args.get(i)
+            .and_then(|(_, v)| v.as_i64())
+            .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}")))
+    };
+    let scheduler = SchedulerKind::from_name(get_str(0, "scheduler")?).ok_or_else(|| {
+        Fault::portal(PortalErrorKind::BadArguments, "unknown scheduler name")
+    })?;
+    let cpus = get_int(4, "cpus")?;
+    let wall = get_int(5, "wallMinutes")?;
+    if cpus <= 0 || wall <= 0 {
+        return Err(Fault::portal(
+            PortalErrorKind::BadArguments,
+            "cpus and wallMinutes must be positive",
+        ));
+    }
+    Ok(GenArgs {
+        scheduler,
+        queue: get_str(1, "queue")?.to_owned(),
+        job_name: get_str(2, "jobName")?.to_owned(),
+        command: get_str(3, "command")?.to_owned(),
+        cpus: cpus as u32,
+        wall_minutes: wall as u32,
+    })
+}
+
+fn unsupported(kind: SchedulerKind, supported: &[SchedulerKind]) -> Fault {
+    Fault::portal(
+        PortalErrorKind::BadArguments,
+        format!(
+            "scheduler {} not supported; this service supports {}",
+            kind.name(),
+            supported
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// IU (Gateway) implementation
+// ---------------------------------------------------------------------------
+
+/// How the IU generator interacts with the context manager (the three
+/// arms of experiment E8).
+pub enum ContextCoupling {
+    /// Fully decoupled: no context operations (the refactored design the
+    /// paper says the experience "inspired").
+    Decoupled,
+    /// Original integrated Gateway behavior: each caller gets one durable
+    /// session context (created lazily on first call); every generated
+    /// script is recorded into it.
+    Integrated(Arc<ContextStore>),
+    /// The naive independent-service conversion: an *artificial*
+    /// placeholder context is minted for every call (the overhead the
+    /// paper complains about).
+    Placeholder(Arc<ContextStore>),
+}
+
+/// The Gateway script generator: PBS and GRD, template-string internals.
+pub struct IuScriptGen {
+    coupling: ContextCoupling,
+}
+
+impl IuScriptGen {
+    /// Supported schedulers.
+    pub const SUPPORTED: [SchedulerKind; 2] = [SchedulerKind::Pbs, SchedulerKind::Grd];
+
+    /// Build with the given context coupling.
+    pub fn new(coupling: ContextCoupling) -> IuScriptGen {
+        IuScriptGen { coupling }
+    }
+
+    /// Convenience: the decoupled variant.
+    pub fn decoupled() -> IuScriptGen {
+        IuScriptGen::new(ContextCoupling::Decoupled)
+    }
+
+    /// The Gateway codebase built scripts from whole-file templates.
+    fn render(&self, a: &GenArgs) -> String {
+        match a.scheduler {
+            SchedulerKind::Pbs => format!(
+                "#!/bin/sh\n#PBS -N {name}\n#PBS -q {queue}\n#PBS -l ncpus={cpus}\n#PBS -l walltime={hh:02}:{mm:02}:00\n{cmd}\n",
+                name = a.job_name,
+                queue = a.queue,
+                cpus = a.cpus,
+                hh = a.wall_minutes / 60,
+                mm = a.wall_minutes % 60,
+                cmd = a.command,
+            ),
+            SchedulerKind::Grd => format!(
+                "#!/bin/sh\n#$ -N {name}\n#$ -q {queue}\n#$ -pe mpi {cpus}\n#$ -l h_rt={secs}\n{cmd}\n",
+                name = a.job_name,
+                queue = a.queue,
+                cpus = a.cpus,
+                secs = a.wall_minutes * 60,
+                cmd = a.command,
+            ),
+            _ => unreachable!("guarded by SUPPORTED check"),
+        }
+    }
+
+    fn record_in_context(&self, principal: &str, script: &str) -> SoapResult<()> {
+        let fault = |e: crate::context::ContextError| {
+            Fault::portal(PortalErrorKind::Internal, e.to_string())
+        };
+        match &self.coupling {
+            ContextCoupling::Decoupled => Ok(()),
+            ContextCoupling::Integrated(store) => {
+                // One durable session per caller, created lazily.
+                if !store.exists(&[principal]) {
+                    store.add(&[principal]).map_err(fault)?;
+                }
+                if !store.exists(&[principal, "scriptgen"]) {
+                    store.add(&[principal, "scriptgen"]).map_err(fault)?;
+                }
+                if !store.exists(&[principal, "scriptgen", "session"]) {
+                    store
+                        .add(&[principal, "scriptgen", "session"])
+                        .map_err(fault)?;
+                }
+                store
+                    .set_property(
+                        &[principal, "scriptgen", "session"],
+                        "lastScript",
+                        script,
+                    )
+                    .map_err(fault)
+            }
+            ContextCoupling::Placeholder(store) => {
+                // The §3 overhead: an artificial problem+session per call.
+                let (problem, session) =
+                    store.create_placeholder(principal).map_err(fault)?;
+                store
+                    .set_property(&[principal, &problem, &session], "script", script)
+                    .map_err(fault)
+            }
+        }
+    }
+}
+
+impl SoapService for IuScriptGen {
+    fn name(&self) -> &str {
+        SCRIPTGEN_INTERFACE
+    }
+
+    fn invoke(
+        &self,
+        method: &str,
+        args: &[(String, SoapValue)],
+        ctx: &CallContext,
+    ) -> SoapResult<SoapValue> {
+        match method {
+            "generateScript" => {
+                let a = decode_gen_args(args)?;
+                if !Self::SUPPORTED.contains(&a.scheduler) {
+                    return Err(unsupported(a.scheduler, &Self::SUPPORTED));
+                }
+                let script = self.render(&a);
+                self.record_in_context(&caller_principal(ctx), &script)?;
+                Ok(SoapValue::String(script))
+            }
+            "supportedSchedulers" => Ok(SoapValue::Array(
+                Self::SUPPORTED
+                    .iter()
+                    .map(|k| SoapValue::str(k.name()))
+                    .collect(),
+            )),
+            other => Err(Fault::client(format!(
+                "BatchScriptGen has no method {other:?}"
+            ))),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodDesc> {
+        scriptgen_interface()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SDSC (HotPage) implementation
+// ---------------------------------------------------------------------------
+
+/// The HotPage script generator: LSF and NQS, directive-list internals,
+/// no context manager (HotPage never had one — which is exactly why the
+/// Gateway service's context requirement was "artificial" for its users).
+pub struct SdscScriptGen;
+
+impl SdscScriptGen {
+    /// Supported schedulers.
+    pub const SUPPORTED: [SchedulerKind; 2] = [SchedulerKind::Lsf, SchedulerKind::Nqs];
+
+    /// The GridPort codebase assembled directives as (flag, value) pairs.
+    fn render(a: &GenArgs) -> String {
+        let prefix = a.scheduler.directive_prefix();
+        let directives: Vec<(String, String)> = match a.scheduler {
+            SchedulerKind::Lsf => vec![
+                ("-J".into(), a.job_name.clone()),
+                ("-q".into(), a.queue.clone()),
+                ("-n".into(), a.cpus.to_string()),
+                (
+                    "-W".into(),
+                    format!("{:02}:{:02}", a.wall_minutes / 60, a.wall_minutes % 60),
+                ),
+            ],
+            SchedulerKind::Nqs => vec![
+                ("-r".into(), a.job_name.clone()),
+                ("-q".into(), a.queue.clone()),
+                ("-l".into(), format!("mpp_p={}", a.cpus)),
+                ("-lT".into(), (a.wall_minutes * 60).to_string()),
+            ],
+            _ => unreachable!("guarded by SUPPORTED check"),
+        };
+        let mut lines = vec!["#!/bin/sh".to_owned()];
+        lines.extend(
+            directives
+                .into_iter()
+                .map(|(flag, value)| format!("{prefix} {flag} {value}")),
+        );
+        lines.push(a.command.clone());
+        lines.join("\n") + "\n"
+    }
+}
+
+impl SoapService for SdscScriptGen {
+    fn name(&self) -> &str {
+        SCRIPTGEN_INTERFACE
+    }
+
+    fn invoke(
+        &self,
+        method: &str,
+        args: &[(String, SoapValue)],
+        _ctx: &CallContext,
+    ) -> SoapResult<SoapValue> {
+        match method {
+            "generateScript" => {
+                let a = decode_gen_args(args)?;
+                if !Self::SUPPORTED.contains(&a.scheduler) {
+                    return Err(unsupported(a.scheduler, &Self::SUPPORTED));
+                }
+                Ok(SoapValue::String(Self::render(&a)))
+            }
+            "supportedSchedulers" => Ok(SoapValue::Array(
+                Self::SUPPORTED
+                    .iter()
+                    .map(|k| SoapValue::str(k.name()))
+                    .collect(),
+            )),
+            other => Err(Fault::client(format!(
+                "BatchScriptGen has no method {other:?}"
+            ))),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodDesc> {
+        scriptgen_interface()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two independently written clients
+// ---------------------------------------------------------------------------
+
+/// A request both clients understand.
+#[derive(Debug, Clone)]
+pub struct ScriptRequest {
+    /// Target queuing system.
+    pub scheduler: SchedulerKind,
+    /// Queue name.
+    pub queue: String,
+    /// Job name.
+    pub job_name: String,
+    /// Command line.
+    pub command: String,
+    /// CPU count.
+    pub cpus: u32,
+    /// Walltime minutes.
+    pub wall_minutes: u32,
+}
+
+/// Client errors shared by both client styles.
+pub type ClientError = Box<dyn std::error::Error + Send + Sync>;
+
+/// The IU-style client: binds a dynamic stub from the published WSDL and
+/// calls positionally (types checked against the interface before the
+/// wire).
+pub struct GatewayClient {
+    stub: DynamicClient,
+}
+
+impl GatewayClient {
+    /// Bind from a WSDL definition.
+    pub fn bind(wsdl: WsdlDefinition, transport: Arc<dyn portalws_wire::Transport>) -> Self {
+        GatewayClient {
+            stub: DynamicClient::bind(wsdl, transport),
+        }
+    }
+
+    /// Generate a script.
+    pub fn generate(&self, req: &ScriptRequest) -> Result<String, ClientError> {
+        let out = self.stub.call(
+            "generateScript",
+            &[
+                SoapValue::str(req.scheduler.name()),
+                SoapValue::str(req.queue.clone()),
+                SoapValue::str(req.job_name.clone()),
+                SoapValue::str(req.command.clone()),
+                SoapValue::Int(req.cpus as i64),
+                SoapValue::Int(req.wall_minutes as i64),
+            ],
+        )?;
+        out.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| "non-string script".into())
+    }
+
+    /// List supported schedulers.
+    pub fn supported(&self) -> Result<Vec<String>, ClientError> {
+        let out = self.stub.call("supportedSchedulers", &[])?;
+        Ok(out
+            .as_array()
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_owned))
+            .collect())
+    }
+}
+
+/// The SDSC-style client: a hand-rolled SOAP proxy using named arguments
+/// and no WSDL machinery (the Python style of 2002).
+pub struct HotPageClient {
+    proxy: SoapClient,
+}
+
+impl HotPageClient {
+    /// Connect over a transport.
+    pub fn connect(transport: Arc<dyn portalws_wire::Transport>) -> Self {
+        HotPageClient {
+            proxy: SoapClient::new(transport, SCRIPTGEN_INTERFACE),
+        }
+    }
+
+    /// Generate a script.
+    pub fn generate(&self, req: &ScriptRequest) -> Result<String, ClientError> {
+        let out = self.proxy.call_named(
+            "generateScript",
+            &[
+                ("scheduler", SoapValue::str(req.scheduler.name())),
+                ("queue", SoapValue::str(req.queue.clone())),
+                ("jobName", SoapValue::str(req.job_name.clone())),
+                ("command", SoapValue::str(req.command.clone())),
+                ("cpus", SoapValue::Int(req.cpus as i64)),
+                ("wallMinutes", SoapValue::Int(req.wall_minutes as i64)),
+            ],
+        )?;
+        out.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| "non-string script".into())
+    }
+
+    /// List supported schedulers.
+    pub fn supported(&self) -> Result<Vec<String>, ClientError> {
+        let out = self.proxy.call("supportedSchedulers", &[])?;
+        Ok(out
+            .as_array()
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_owned))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_gridsim::sched::parse_script;
+    use portalws_soap::SoapServer;
+    use portalws_wire::{Handler, InMemoryTransport, Transport};
+
+    fn serve(service: Arc<dyn SoapService>) -> Arc<dyn Transport> {
+        let server = SoapServer::new();
+        server.mount(service);
+        let handler: Arc<dyn Handler> = Arc::new(server);
+        Arc::new(InMemoryTransport::new(handler))
+    }
+
+    fn request(kind: SchedulerKind) -> ScriptRequest {
+        ScriptRequest {
+            scheduler: kind,
+            queue: "batch".into(),
+            job_name: "g98run".into(),
+            command: "/usr/local/bin/g98 < in.com".into(),
+            cpus: 8,
+            wall_minutes: 120,
+        }
+    }
+
+    #[test]
+    fn interoperability_matrix_all_accepted_by_target_scheduler() {
+        // 2 services × 2 clients × their supported schedulers: every
+        // generated script must parse in the target dialect (E10).
+        let services: Vec<(Arc<dyn SoapService>, Vec<SchedulerKind>)> = vec![
+            (
+                Arc::new(IuScriptGen::decoupled()),
+                IuScriptGen::SUPPORTED.to_vec(),
+            ),
+            (Arc::new(SdscScriptGen), SdscScriptGen::SUPPORTED.to_vec()),
+        ];
+        for (service, supported) in services {
+            let wsdl = WsdlDefinition::from_service(&*service);
+            let transport = serve(service);
+            let gateway = GatewayClient::bind(wsdl, Arc::clone(&transport));
+            let hotpage = HotPageClient::connect(transport);
+            for kind in supported {
+                let req = request(kind);
+                for (who, script) in [
+                    ("gateway", gateway.generate(&req).unwrap()),
+                    ("hotpage", hotpage.generate(&req).unwrap()),
+                ] {
+                    let parsed = parse_script(kind, &script).unwrap_or_else(|e| {
+                        panic!("{kind} rejected {who} client's script: {e}\n{script}")
+                    });
+                    assert_eq!(parsed.cpus, 8);
+                    assert_eq!(parsed.wall_minutes, 120);
+                    assert_eq!(parsed.queue, "batch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_implementations_publish_identical_interfaces() {
+        let iu = WsdlDefinition::from_service(&IuScriptGen::decoupled());
+        let sdsc = WsdlDefinition::from_service(&SdscScriptGen);
+        assert!(portalws_wsdl::is_compatible(&iu, &sdsc));
+        assert!(portalws_wsdl::is_compatible(&sdsc, &iu));
+    }
+
+    #[test]
+    fn supported_schedulers_differ_by_site() {
+        let transport = serve(Arc::new(IuScriptGen::decoupled()));
+        let c = HotPageClient::connect(transport);
+        assert_eq!(c.supported().unwrap(), vec!["PBS", "GRD"]);
+        let transport = serve(Arc::new(SdscScriptGen));
+        let c = HotPageClient::connect(transport);
+        assert_eq!(c.supported().unwrap(), vec!["LSF", "NQS"]);
+    }
+
+    #[test]
+    fn unsupported_scheduler_is_typed_fault() {
+        let transport = serve(Arc::new(IuScriptGen::decoupled()));
+        let c = HotPageClient::connect(transport);
+        let err = c.generate(&request(SchedulerKind::Lsf)).unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let transport = serve(Arc::new(SdscScriptGen));
+        let c = HotPageClient::connect(Arc::clone(&transport));
+        let mut req = request(SchedulerKind::Lsf);
+        req.cpus = 0;
+        assert!(c.generate(&req).is_err());
+    }
+
+    #[test]
+    fn placeholder_coupling_mints_contexts_per_call() {
+        let store = ContextStore::new();
+        let svc = Arc::new(IuScriptGen::new(ContextCoupling::Placeholder(Arc::clone(
+            &store,
+        ))));
+        let transport = serve(svc);
+        let c = HotPageClient::connect(transport);
+        for _ in 0..3 {
+            c.generate(&request(SchedulerKind::Pbs)).unwrap();
+        }
+        assert_eq!(store.placeholder_count(), 3);
+        // 1 user + 3 problems + 3 sessions + root users map… count contexts:
+        assert_eq!(store.total_count(), 7);
+    }
+
+    #[test]
+    fn integrated_coupling_reuses_one_session() {
+        let store = ContextStore::new();
+        let svc = Arc::new(IuScriptGen::new(ContextCoupling::Integrated(Arc::clone(
+            &store,
+        ))));
+        let transport = serve(svc);
+        let c = HotPageClient::connect(transport);
+        for _ in 0..3 {
+            c.generate(&request(SchedulerKind::Grd)).unwrap();
+        }
+        assert_eq!(store.placeholder_count(), 0);
+        // user + problem + session only.
+        assert_eq!(store.total_count(), 3);
+        let script = store
+            .get_property(&["anonymous", "scriptgen", "session"], "lastScript")
+            .unwrap();
+        assert!(script.contains("#$ -pe mpi 8"));
+    }
+
+    #[test]
+    fn decoupled_touches_no_contexts() {
+        let store = ContextStore::new();
+        let svc = Arc::new(IuScriptGen::decoupled());
+        let transport = serve(svc);
+        let c = HotPageClient::connect(transport);
+        c.generate(&request(SchedulerKind::Pbs)).unwrap();
+        assert_eq!(store.total_count(), 0);
+    }
+
+    #[test]
+    fn gateway_client_rejects_type_errors_before_the_wire() {
+        let svc: Arc<dyn SoapService> = Arc::new(SdscScriptGen);
+        let wsdl = WsdlDefinition::from_service(&*svc);
+        let transport = serve(svc);
+        let gateway = GatewayClient::bind(wsdl, transport);
+        // Call with a string where cpus (Int) is expected, bypassing
+        // ScriptRequest.
+        let err = gateway
+            .stub
+            .call(
+                "generateScript",
+                &[
+                    SoapValue::str("LSF"),
+                    SoapValue::str("batch"),
+                    SoapValue::str("j"),
+                    SoapValue::str("date"),
+                    SoapValue::str("eight"),
+                    SoapValue::Int(10),
+                ],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("cpus"), "{err}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests on the context store: random operation sequences keep
+//! the tree consistent, archive/restore is lossless, and the monolith and
+//! decomposed facades agree on the same store.
+
+use std::sync::Arc;
+
+use portalws_services::context::{ContextManagerMonolith, ContextStore, DecomposedContextServices};
+use portalws_soap::{CallContext, SoapService, SoapValue};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddProblem(u8),
+    AddSession(u8, u8),
+    RemoveProblem(u8),
+    SetProp(u8, u8, String),
+    Rename(u8, u8),
+    Copy(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::AddProblem),
+        (0u8..4, 0u8..4).prop_map(|(p, s)| Op::AddSession(p, s)),
+        (0u8..4).prop_map(Op::RemoveProblem),
+        (0u8..4, 0u8..4, "[a-z]{1,8}").prop_map(|(p, s, v)| Op::SetProp(p, s, v)),
+        (0u8..4, 4u8..8).prop_map(|(p, n)| Op::Rename(p, n)),
+        (0u8..4).prop_map(Op::Copy),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn random_op_sequences_keep_the_tree_consistent(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let store = ContextStore::new();
+        store.add(&["user"]).unwrap();
+        for op in ops {
+            // Every operation either succeeds or returns a typed error;
+            // no operation may corrupt the store.
+            match op {
+                Op::AddProblem(p) => {
+                    let _ = store.add(&["user", &format!("p{p}")]);
+                }
+                Op::AddSession(p, s) => {
+                    let _ = store.add(&["user", &format!("p{p}"), &format!("s{s}")]);
+                }
+                Op::RemoveProblem(p) => {
+                    let _ = store.remove(&["user", &format!("p{p}")]);
+                }
+                Op::SetProp(p, s, v) => {
+                    let _ = store.set_property(
+                        &["user", &format!("p{p}"), &format!("s{s}")],
+                        "k",
+                        &v,
+                    );
+                }
+                Op::Rename(p, n) => {
+                    let _ = store.rename(&["user", &format!("p{p}")], &format!("p{n}"));
+                }
+                Op::Copy(p) => {
+                    let _ = store.copy(&["user", &format!("p{p}")], &format!("copy{p}"));
+                }
+            }
+            // Invariants after every step:
+            // 1. total_count agrees with a fresh traversal via archive.
+            let archived = store.archive(&["user"]).unwrap();
+            prop_assert_eq!(archived.subtree_size_contexts(), store.total_count());
+            // 2. every listed problem exists.
+            for p in store.list(&["user"]).unwrap() {
+                prop_assert!(store.exists(&["user", &p]));
+            }
+        }
+    }
+
+    #[test]
+    fn archive_restore_is_lossless(
+        problems in proptest::collection::vec(("[a-z]{1,6}", 0usize..4), 0..5),
+    ) {
+        let store = ContextStore::new();
+        store.add(&["u"]).unwrap();
+        for (name, sessions) in &problems {
+            if store.add(&["u", name]).is_err() {
+                continue; // duplicate problem name from the generator
+            }
+            for s in 0..*sessions {
+                let session = format!("s{s}");
+                store.add(&["u", name, &session]).unwrap();
+                store
+                    .set_property(&["u", name, &session], "idx", &s.to_string())
+                    .unwrap();
+            }
+        }
+        let archived = store.archive(&["u"]).unwrap();
+        let restored = ContextStore::new();
+        restored.restore(&[], &archived).unwrap();
+        prop_assert_eq!(restored.total_count(), store.total_count());
+        prop_assert_eq!(
+            restored.archive(&["u"]).unwrap(),
+            archived
+        );
+    }
+
+    #[test]
+    fn monolith_and_decomposed_see_the_same_store(
+        key in "[a-z]{1,8}",
+        value in "[a-z0-9]{1,12}",
+    ) {
+        let store = ContextStore::new();
+        store.add(&["u"]).unwrap();
+        store.add(&["u", "p"]).unwrap();
+        let monolith = ContextManagerMonolith::new(Arc::clone(&store));
+        let d = DecomposedContextServices::new(Arc::clone(&store));
+        let ctx = CallContext {
+            headers: vec![],
+            service: "x".into(),
+            method: "y".into(),
+        };
+        // Write through the monolith…
+        monolith
+            .invoke(
+                "setProblemProperty",
+                &[
+                    ("u".into(), SoapValue::str("u")),
+                    ("p".into(), SoapValue::str("p")),
+                    ("k".into(), SoapValue::str(key.clone())),
+                    ("v".into(), SoapValue::str(value.clone())),
+                ],
+                &ctx,
+            )
+            .unwrap();
+        // …read through the decomposed property service.
+        let got = d
+            .properties
+            .invoke(
+                "get",
+                &[
+                    ("p".into(), SoapValue::str("/u/p")),
+                    ("k".into(), SoapValue::str(key)),
+                ],
+                &ctx,
+            )
+            .unwrap();
+        prop_assert_eq!(got, SoapValue::String(value));
+    }
+}
+
+/// Count contexts in an archived document (helper trait used by the
+/// consistency property).
+trait ContextCount {
+    fn subtree_size_contexts(&self) -> usize;
+}
+
+impl ContextCount for portalws_xml::Element {
+    fn subtree_size_contexts(&self) -> usize {
+        let own = 1;
+        let children: usize = self
+            .children()
+            .filter(|c| c.local_name() != "property")
+            .map(|c| c.subtree_size_contexts())
+            .sum();
+        own + children
+    }
+}

@@ -1,0 +1,265 @@
+//! Client-side proxy to a remote SOAP service.
+//!
+//! The Figure 1 User Interface server "maintains client proxies to the
+//! UDDI and SOAP Service Providers"; [`SoapClient`] is such a proxy. It is
+//! transport-agnostic (real HTTP or in-memory) and supports an installable
+//! *header supplier* so the auth layer can attach a fresh signed SAML
+//! assertion to every outgoing call without the call sites knowing.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use portalws_wire::{Request, Transport, WireError};
+use portalws_xml::{Element, XmlError};
+
+use crate::envelope::Envelope;
+use crate::fault::Fault;
+use crate::server::endpoint_path;
+use crate::value::SoapValue;
+
+/// Errors seen by SOAP callers.
+#[derive(Debug)]
+pub enum SoapError {
+    /// The wire transport failed.
+    Transport(WireError),
+    /// The response was not a parsable envelope.
+    Protocol(String),
+    /// The response XML failed to parse.
+    Xml(XmlError),
+    /// The service returned a SOAP fault (possibly with a typed portal
+    /// error in its detail).
+    Fault(Fault),
+}
+
+impl fmt::Display for SoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoapError::Transport(e) => write!(f, "transport: {e}"),
+            SoapError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            SoapError::Xml(e) => write!(f, "xml: {e}"),
+            SoapError::Fault(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl std::error::Error for SoapError {}
+
+impl From<WireError> for SoapError {
+    fn from(e: WireError) -> Self {
+        SoapError::Transport(e)
+    }
+}
+
+impl From<XmlError> for SoapError {
+    fn from(e: XmlError) -> Self {
+        SoapError::Xml(e)
+    }
+}
+
+impl SoapError {
+    /// The fault, if this error is one.
+    pub fn as_fault(&self) -> Option<&Fault> {
+        match self {
+            SoapError::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Supplies SOAP header entries for every outgoing call (e.g. a signed
+/// SAML assertion from the auth layer).
+pub type HeaderSupplier = Arc<dyn Fn() -> Vec<Element> + Send + Sync>;
+
+/// Verifies the *reply* envelope before its value is returned (the
+/// client half of mutual authentication). Return an error string to
+/// reject the reply.
+pub type ReplyVerifier = Arc<dyn Fn(&Envelope) -> std::result::Result<(), String> + Send + Sync>;
+
+/// A client proxy bound to one service on one transport.
+pub struct SoapClient {
+    transport: Arc<dyn Transport>,
+    service: String,
+    path: String,
+    header_supplier: RwLock<Option<HeaderSupplier>>,
+    reply_verifier: RwLock<Option<ReplyVerifier>>,
+}
+
+impl SoapClient {
+    /// Bind a proxy for `service` over `transport` at the canonical
+    /// `/soap/<service>` path.
+    pub fn new(transport: Arc<dyn Transport>, service: impl Into<String>) -> SoapClient {
+        let service = service.into();
+        let path = endpoint_path(&service);
+        SoapClient {
+            transport,
+            service,
+            path,
+            header_supplier: RwLock::new(None),
+            reply_verifier: RwLock::new(None),
+        }
+    }
+
+    /// Service name this proxy is bound to.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// The transport in use (for stats inspection).
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Install a header supplier applied to every call.
+    pub fn set_header_supplier(&self, supplier: HeaderSupplier) {
+        *self.header_supplier.write() = Some(supplier);
+    }
+
+    /// Install a reply verifier: every reply envelope (including faults)
+    /// must pass before its value is surfaced — mutual authentication's
+    /// client half.
+    pub fn set_reply_verifier(&self, verifier: ReplyVerifier) {
+        *self.reply_verifier.write() = Some(verifier);
+    }
+
+    /// Invoke `method` with positional arguments.
+    pub fn call(&self, method: &str, args: &[SoapValue]) -> Result<SoapValue, SoapError> {
+        self.call_envelope(Envelope::request(&self.service, method, args))
+    }
+
+    /// Invoke `method` with named arguments.
+    pub fn call_named(
+        &self,
+        method: &str,
+        args: &[(&str, SoapValue)],
+    ) -> Result<SoapValue, SoapError> {
+        let env = Envelope::request_named(
+            &self.service,
+            method,
+            args.iter().map(|(n, v)| (*n, v)),
+        );
+        self.call_envelope(env)
+    }
+
+    /// Invoke with a fully built envelope (headers may already be set; the
+    /// supplier's headers are appended).
+    pub fn call_envelope(&self, mut envelope: Envelope) -> Result<SoapValue, SoapError> {
+        if let Some(supplier) = self.header_supplier.read().clone() {
+            envelope.headers.extend(supplier());
+        }
+        let req = Request::post(self.path.clone(), envelope.to_xml())
+            .with_header("Content-Type", "text/xml; charset=utf-8")
+            .with_header("SOAPAction", format!("urn:{}#{}", self.service, envelope.method()));
+        let resp = self.transport.round_trip(req)?;
+        let reply = Envelope::parse(&resp.body_str())
+            .map_err(|e| SoapError::Protocol(format!("unparsable reply: {e}")))?;
+        if let Some(verifier) = self.reply_verifier.read().clone() {
+            verifier(&reply)
+                .map_err(|msg| SoapError::Protocol(format!("reply rejected: {msg}")))?;
+        }
+        if let Some(fault) = reply.as_fault() {
+            return Err(SoapError::Fault(fault));
+        }
+        reply.return_value().map_err(SoapError::Protocol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::PortalErrorKind;
+    use crate::server::test_support::Calculator;
+    use crate::server::SoapServer;
+    use portalws_wire::{Handler, HttpServer, HttpTransport, InMemoryTransport};
+
+    fn in_memory_client() -> SoapClient {
+        let server = SoapServer::new();
+        server.mount(Arc::new(Calculator));
+        let handler: Arc<dyn Handler> = Arc::new(server);
+        SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "Calc")
+    }
+
+    #[test]
+    fn call_success() {
+        let client = in_memory_client();
+        let out = client
+            .call("add", &[SoapValue::Int(20), SoapValue::Int(22)])
+            .unwrap();
+        assert_eq!(out, SoapValue::Int(42));
+    }
+
+    #[test]
+    fn call_named_success() {
+        let client = in_memory_client();
+        let out = client
+            .call_named("echo", &[("value", SoapValue::str("marco"))])
+            .unwrap();
+        assert_eq!(out, SoapValue::str("marco"));
+    }
+
+    #[test]
+    fn fault_surfaces_typed_error() {
+        let client = in_memory_client();
+        let err = client.call("add", &[SoapValue::str("bad")]).unwrap_err();
+        let fault = err.as_fault().expect("fault");
+        assert_eq!(fault.kind(), Some(PortalErrorKind::BadArguments));
+    }
+
+    #[test]
+    fn unknown_method_is_fault() {
+        let client = in_memory_client();
+        assert!(matches!(
+            client.call("frobnicate", &[]),
+            Err(SoapError::Fault(_))
+        ));
+    }
+
+    #[test]
+    fn header_supplier_attaches_headers() {
+        let server = SoapServer::new();
+        server.mount(Arc::new(Calculator));
+        server.set_guard(Arc::new(|env, _| {
+            if env.header("Token").is_some() {
+                Ok(())
+            } else {
+                Err(Fault::portal(PortalErrorKind::AuthFailed, "no token"))
+            }
+        }));
+        let handler: Arc<dyn Handler> = Arc::new(server);
+        let client = SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "Calc");
+
+        // Without supplier: rejected.
+        assert!(client.call("echo", &[SoapValue::str("x")]).is_err());
+
+        client.set_header_supplier(Arc::new(|| vec![Element::new("Token").with_text("t")]));
+        assert_eq!(
+            client.call("echo", &[SoapValue::str("x")]).unwrap(),
+            SoapValue::str("x")
+        );
+    }
+
+    #[test]
+    fn over_real_http() {
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let handler: Arc<dyn Handler> = Arc::new(soap);
+        let server = HttpServer::start(handler, 2).unwrap();
+        let client = SoapClient::new(Arc::new(HttpTransport::new(server.addr())), "Calc");
+        assert_eq!(
+            client
+                .call("add", &[SoapValue::Int(4), SoapValue::Int(5)])
+                .unwrap(),
+            SoapValue::Int(9)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn transport_error_propagates() {
+        let client = SoapClient::new(Arc::new(HttpTransport::new("127.0.0.1:1")), "Calc");
+        assert!(matches!(
+            client.call("add", &[]),
+            Err(SoapError::Transport(_))
+        ));
+    }
+}

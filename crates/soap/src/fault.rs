@@ -1,0 +1,318 @@
+//! SOAP faults and the portal's common implementation-error vocabulary.
+//!
+//! §3 of the paper distinguishes two error classes: SOAP-level errors and
+//! *implementation* errors ("the file didn't get transferred because the
+//! disk was full"), and argues interoperability "requires consistent error
+//! messaging" — a common set of error messages relayed by every portal
+//! service. [`PortalErrorKind`] is that common set; it rides in the
+//! `<detail>` element of a SOAP fault and survives a round trip through
+//! the wire, so a Python-style client and a Java-style client (here: two
+//! independent Rust clients) see the same failure taxonomy.
+
+use std::fmt;
+
+use portalws_xml::Element;
+
+/// SOAP 1.1 fault codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCode {
+    /// The message was malformed or incomplete — sender's fault.
+    Client,
+    /// The service failed to process a well-formed message.
+    Server,
+    /// Envelope namespace mismatch.
+    VersionMismatch,
+    /// A mustUnderstand header was not understood.
+    MustUnderstand,
+}
+
+impl FaultCode {
+    /// Qualified wire form.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            FaultCode::Client => "SOAP-ENV:Client",
+            FaultCode::Server => "SOAP-ENV:Server",
+            FaultCode::VersionMismatch => "SOAP-ENV:VersionMismatch",
+            FaultCode::MustUnderstand => "SOAP-ENV:MustUnderstand",
+        }
+    }
+
+    /// Parse from wire form (prefix-insensitive).
+    pub fn from_wire_name(s: &str) -> FaultCode {
+        let local = s.split_once(':').map(|(_, l)| l).unwrap_or(s);
+        match local {
+            "Client" => FaultCode::Client,
+            "VersionMismatch" => FaultCode::VersionMismatch,
+            "MustUnderstand" => FaultCode::MustUnderstand,
+            _ => FaultCode::Server,
+        }
+    }
+}
+
+/// The portal-wide implementation-error taxonomy (§3's "common set of
+/// error messages").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortalErrorKind {
+    /// Storage is full — the paper's own example.
+    DiskFull,
+    /// Requested file or collection does not exist.
+    FileNotFound,
+    /// Caller lacks permission on the resource.
+    PermissionDenied,
+    /// Authentication failed or assertion rejected.
+    AuthFailed,
+    /// Target host is not registered or is down.
+    HostUnavailable,
+    /// Target queue does not exist on the host.
+    QueueUnavailable,
+    /// The scheduler rejected the job or script.
+    JobRejected,
+    /// No such job/session/context identifier.
+    NotFound,
+    /// Request arguments were invalid at the application level.
+    BadArguments,
+    /// Anything else; carries only its message.
+    Internal,
+}
+
+impl PortalErrorKind {
+    /// Stable wire code.
+    pub fn code(self) -> &'static str {
+        match self {
+            PortalErrorKind::DiskFull => "DISK_FULL",
+            PortalErrorKind::FileNotFound => "FILE_NOT_FOUND",
+            PortalErrorKind::PermissionDenied => "PERMISSION_DENIED",
+            PortalErrorKind::AuthFailed => "AUTH_FAILED",
+            PortalErrorKind::HostUnavailable => "HOST_UNAVAILABLE",
+            PortalErrorKind::QueueUnavailable => "QUEUE_UNAVAILABLE",
+            PortalErrorKind::JobRejected => "JOB_REJECTED",
+            PortalErrorKind::NotFound => "NOT_FOUND",
+            PortalErrorKind::BadArguments => "BAD_ARGUMENTS",
+            PortalErrorKind::Internal => "INTERNAL",
+        }
+    }
+
+    /// Parse a wire code; unknown codes map to [`PortalErrorKind::Internal`]
+    /// so that a newer peer never breaks an older client.
+    pub fn from_code(code: &str) -> PortalErrorKind {
+        match code {
+            "DISK_FULL" => PortalErrorKind::DiskFull,
+            "FILE_NOT_FOUND" => PortalErrorKind::FileNotFound,
+            "PERMISSION_DENIED" => PortalErrorKind::PermissionDenied,
+            "AUTH_FAILED" => PortalErrorKind::AuthFailed,
+            "HOST_UNAVAILABLE" => PortalErrorKind::HostUnavailable,
+            "QUEUE_UNAVAILABLE" => PortalErrorKind::QueueUnavailable,
+            "JOB_REJECTED" => PortalErrorKind::JobRejected,
+            "NOT_FOUND" => PortalErrorKind::NotFound,
+            "BAD_ARGUMENTS" => PortalErrorKind::BadArguments,
+            _ => PortalErrorKind::Internal,
+        }
+    }
+}
+
+/// A typed implementation error: common code plus human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortalError {
+    /// Which common error this is.
+    pub kind: PortalErrorKind,
+    /// Human-readable context.
+    pub message: String,
+}
+
+impl PortalError {
+    /// Construct an error.
+    pub fn new(kind: PortalErrorKind, message: impl Into<String>) -> Self {
+        PortalError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Serialize as the fault `<detail>` payload.
+    pub fn to_element(&self) -> Element {
+        Element::new("portalError")
+            .with_text_child("code", self.kind.code())
+            .with_text_child("message", self.message.clone())
+    }
+
+    /// Parse from a fault `<detail>` payload.
+    pub fn from_element(el: &Element) -> Option<PortalError> {
+        let code = el.find_text("code")?;
+        Some(PortalError {
+            kind: PortalErrorKind::from_code(code),
+            message: el.find_text("message").unwrap_or_default().to_owned(),
+        })
+    }
+}
+
+impl fmt::Display for PortalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.code(), self.message)
+    }
+}
+
+impl std::error::Error for PortalError {}
+
+/// A SOAP fault: code, human string, and optional typed portal error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// SOAP-level classification.
+    pub code: FaultCode,
+    /// `<faultstring>` text.
+    pub string: String,
+    /// Typed portal error carried in `<detail>`, if any.
+    pub detail: Option<PortalError>,
+}
+
+impl Fault {
+    /// A server-side fault without typed detail.
+    pub fn server(msg: impl Into<String>) -> Fault {
+        Fault {
+            code: FaultCode::Server,
+            string: msg.into(),
+            detail: None,
+        }
+    }
+
+    /// A client-side (caller) fault without typed detail.
+    pub fn client(msg: impl Into<String>) -> Fault {
+        Fault {
+            code: FaultCode::Client,
+            string: msg.into(),
+            detail: None,
+        }
+    }
+
+    /// A fault carrying a typed portal error. The fault code is `Server`
+    /// except for errors that are by definition the caller's
+    /// ([`PortalErrorKind::BadArguments`], [`PortalErrorKind::AuthFailed`]).
+    pub fn portal(kind: PortalErrorKind, msg: impl Into<String>) -> Fault {
+        let message = msg.into();
+        let code = match kind {
+            PortalErrorKind::BadArguments | PortalErrorKind::AuthFailed => FaultCode::Client,
+            _ => FaultCode::Server,
+        };
+        Fault {
+            code,
+            string: message.clone(),
+            detail: Some(PortalError::new(kind, message)),
+        }
+    }
+
+    /// The typed kind, if present.
+    pub fn kind(&self) -> Option<PortalErrorKind> {
+        self.detail.as_ref().map(|d| d.kind)
+    }
+
+    /// Serialize as the `<SOAP-ENV:Fault>` body entry.
+    pub fn to_element(&self) -> Element {
+        let mut el = Element::new("SOAP-ENV:Fault")
+            .with_text_child("faultcode", self.code.wire_name())
+            .with_text_child("faultstring", self.string.clone());
+        if let Some(detail) = &self.detail {
+            el.push_child(Element::new("detail").with_child(detail.to_element()));
+        }
+        el
+    }
+
+    /// Parse from a `<Fault>` body entry.
+    pub fn from_element(el: &Element) -> Fault {
+        let code = el
+            .find_text("faultcode")
+            .map(FaultCode::from_wire_name)
+            .unwrap_or(FaultCode::Server);
+        let string = el.find_text("faultstring").unwrap_or_default().to_owned();
+        let detail = el
+            .find("detail")
+            .and_then(|d| d.find("portalError"))
+            .and_then(PortalError::from_element);
+        Fault {
+            code,
+            string,
+            detail,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.detail {
+            Some(d) => write!(f, "SOAP fault ({:?}): {d}", self.code),
+            None => write!(f, "SOAP fault ({:?}): {}", self.code, self.string),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portal_fault_round_trip() {
+        let f = Fault::portal(PortalErrorKind::DiskFull, "srb collection at quota");
+        let el = f.to_element();
+        let rt = Fault::from_element(&el);
+        assert_eq!(rt, f);
+        assert_eq!(rt.kind(), Some(PortalErrorKind::DiskFull));
+    }
+
+    #[test]
+    fn plain_fault_round_trip() {
+        let f = Fault::server("exploded");
+        assert_eq!(Fault::from_element(&f.to_element()), f);
+    }
+
+    #[test]
+    fn caller_errors_get_client_code() {
+        assert_eq!(
+            Fault::portal(PortalErrorKind::BadArguments, "x").code,
+            FaultCode::Client
+        );
+        assert_eq!(
+            Fault::portal(PortalErrorKind::AuthFailed, "x").code,
+            FaultCode::Client
+        );
+        assert_eq!(
+            Fault::portal(PortalErrorKind::DiskFull, "x").code,
+            FaultCode::Server
+        );
+    }
+
+    #[test]
+    fn unknown_code_degrades_to_internal() {
+        assert_eq!(
+            PortalErrorKind::from_code("FUTURE_ERROR"),
+            PortalErrorKind::Internal
+        );
+    }
+
+    #[test]
+    fn all_kinds_round_trip_codes() {
+        for kind in [
+            PortalErrorKind::DiskFull,
+            PortalErrorKind::FileNotFound,
+            PortalErrorKind::PermissionDenied,
+            PortalErrorKind::AuthFailed,
+            PortalErrorKind::HostUnavailable,
+            PortalErrorKind::QueueUnavailable,
+            PortalErrorKind::JobRejected,
+            PortalErrorKind::NotFound,
+            PortalErrorKind::BadArguments,
+            PortalErrorKind::Internal,
+        ] {
+            assert_eq!(PortalErrorKind::from_code(kind.code()), kind);
+        }
+    }
+
+    #[test]
+    fn fault_code_wire_names() {
+        assert_eq!(
+            FaultCode::from_wire_name("SOAP-ENV:Client"),
+            FaultCode::Client
+        );
+        assert_eq!(FaultCode::from_wire_name("Server"), FaultCode::Server);
+        assert_eq!(FaultCode::from_wire_name("weird"), FaultCode::Server);
+    }
+}

@@ -1,0 +1,381 @@
+//! Server-side SOAP dispatch: the SOAP Service Provider (SSP) of Figure 1.
+//!
+//! A [`SoapServer`] mounts one or more [`SoapService`]s and implements the
+//! wire [`Handler`] trait, so it can be served by `wire::HttpServer` or
+//! driven directly through an in-memory transport. Services are addressed
+//! by path: `POST /soap/<ServiceName>`.
+//!
+//! A [`Guard`] hook runs before dispatch; the auth crate installs one that
+//! forwards the envelope's SAML assertion to the Authentication Service —
+//! the Figure 2 "atomic step" in which the SSP "does not check the
+//! signature of the request directly but instead forwards to the
+//! Authentication Service".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use portalws_wire::{Handler, Request, Response, Status};
+use portalws_xml::Element;
+
+use crate::envelope::Envelope;
+use crate::fault::Fault;
+use crate::value::{SoapType, SoapValue};
+use crate::SoapResult;
+
+/// Per-call context handed to service implementations.
+#[derive(Debug, Clone)]
+pub struct CallContext {
+    /// SOAP header entries from the request envelope.
+    pub headers: Vec<Element>,
+    /// Service name the call was addressed to.
+    pub service: String,
+    /// Method name invoked.
+    pub method: String,
+}
+
+impl CallContext {
+    /// Find a header entry by local name.
+    pub fn header(&self, local_name: &str) -> Option<&Element> {
+        self.headers.iter().find(|h| h.local_name() == local_name)
+    }
+}
+
+/// Description of one method, used for WSDL generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDesc {
+    /// Method name.
+    pub name: String,
+    /// Named, typed parameters in order.
+    pub params: Vec<(String, SoapType)>,
+    /// Return type.
+    pub ret: SoapType,
+    /// Documentation string.
+    pub doc: String,
+}
+
+impl MethodDesc {
+    /// Describe a method.
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<(&str, SoapType)>,
+        ret: SoapType,
+        doc: impl Into<String>,
+    ) -> MethodDesc {
+        MethodDesc {
+            name: name.into(),
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.to_owned(), t))
+                .collect(),
+            ret,
+            doc: doc.into(),
+        }
+    }
+}
+
+/// A SOAP-exposed service implementation.
+pub trait SoapService: Send + Sync {
+    /// Service name (used in the endpoint path and the `urn:` namespace).
+    fn name(&self) -> &str;
+
+    /// Invoke `method` with decoded arguments.
+    fn invoke(
+        &self,
+        method: &str,
+        args: &[(String, SoapValue)],
+        ctx: &CallContext,
+    ) -> SoapResult<SoapValue>;
+
+    /// Method descriptions for interface publication (WSDL generation).
+    fn methods(&self) -> Vec<MethodDesc>;
+}
+
+/// Pre-dispatch hook: may reject the call with a fault (used for auth).
+pub type Guard = Arc<dyn Fn(&Envelope, &CallContext) -> SoapResult<()> + Send + Sync>;
+
+/// Supplies SOAP header entries attached to every *reply* (mutual
+/// authentication: the server proves its identity to the client).
+pub type ResponseHeaderSupplier = Arc<dyn Fn() -> Vec<Element> + Send + Sync>;
+
+/// The SOAP Service Provider: routes envelopes to mounted services.
+#[derive(Default)]
+pub struct SoapServer {
+    services: RwLock<HashMap<String, Arc<dyn SoapService>>>,
+    guard: RwLock<Option<Guard>>,
+    response_headers: RwLock<Option<ResponseHeaderSupplier>>,
+}
+
+impl SoapServer {
+    /// New empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mount a service (addressable as `/soap/<name>`).
+    pub fn mount(&self, service: Arc<dyn SoapService>) {
+        self.services
+            .write()
+            .insert(service.name().to_owned(), service);
+    }
+
+    /// Install a pre-dispatch guard (replacing any existing one).
+    pub fn set_guard(&self, guard: Guard) {
+        *self.guard.write() = Some(guard);
+    }
+
+    /// Attach header entries to every reply envelope — the server half of
+    /// a mutual-authentication scheme (§4: "mutual authentication schemes
+    /// can also be developed").
+    pub fn set_response_header_supplier(&self, supplier: ResponseHeaderSupplier) {
+        *self.response_headers.write() = Some(supplier);
+    }
+
+    /// Names of mounted services.
+    pub fn service_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.services.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Look up a mounted service.
+    pub fn service(&self, name: &str) -> Option<Arc<dyn SoapService>> {
+        self.services.read().get(name).map(Arc::clone)
+    }
+
+    fn stamp(&self, mut reply: Envelope) -> Envelope {
+        if let Some(supplier) = self.response_headers.read().clone() {
+            reply.headers.extend(supplier());
+        }
+        reply
+    }
+
+    /// Dispatch a parsed envelope addressed to `service_name`.
+    pub fn dispatch(&self, service_name: &str, envelope: &Envelope) -> Envelope {
+        let Some(service) = self.service(service_name) else {
+            return self.stamp(Envelope::fault(&Fault::client(format!(
+                "no such service {service_name:?}"
+            ))));
+        };
+        let method = envelope.method().to_owned();
+        let ctx = CallContext {
+            headers: envelope.headers.clone(),
+            service: service_name.to_owned(),
+            method: method.clone(),
+        };
+        if let Some(guard) = self.guard.read().clone() {
+            if let Err(fault) = guard(envelope, &ctx) {
+                return self.stamp(Envelope::fault(&fault));
+            }
+        }
+        let args = match envelope.args() {
+            Ok(args) => args,
+            Err(msg) => {
+                return self.stamp(Envelope::fault(&Fault::client(format!(
+                    "argument decode failed: {msg}"
+                ))))
+            }
+        };
+        self.stamp(match service.invoke(&method, &args, &ctx) {
+            Ok(value) => Envelope::response(&method, &value),
+            Err(fault) => Envelope::fault(&fault),
+        })
+    }
+}
+
+impl Handler for SoapServer {
+    fn handle(&self, req: &Request) -> Response {
+        if req.method != "POST" {
+            return Response::error(Status::BadRequest, "SOAP endpoint expects POST");
+        }
+        // Path shape: /soap/<ServiceName>[...]
+        let service_name = req
+            .path_only()
+            .trim_start_matches('/')
+            .split('/')
+            .nth(1)
+            .unwrap_or("")
+            .to_owned();
+        let envelope = match Envelope::parse(&req.body_str()) {
+            Ok(env) => env,
+            Err(e) => {
+                let fault = Fault::client(format!("envelope parse failed: {e}"));
+                return Response {
+                    status: Status::InternalError,
+                    headers: vec![("Content-Type".into(), "text/xml; charset=utf-8".into())],
+                    body: Envelope::fault(&fault).to_xml().into_bytes(),
+                };
+            }
+        };
+        let reply = self.dispatch(&service_name, &envelope);
+        let status = if reply.is_fault() {
+            // SOAP-over-HTTP convention: faults ride on 500.
+            Status::InternalError
+        } else {
+            Status::Ok
+        };
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/xml; charset=utf-8".into())],
+            body: reply.to_xml().into_bytes(),
+        }
+    }
+}
+
+/// The canonical endpoint path for a service name.
+pub fn endpoint_path(service_name: &str) -> String {
+    format!("/soap/{service_name}")
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::fault::PortalErrorKind;
+
+    /// A tiny echo/add service used across the crate's tests.
+    pub struct Calculator;
+
+    impl SoapService for Calculator {
+        fn name(&self) -> &str {
+            "Calc"
+        }
+
+        fn invoke(
+            &self,
+            method: &str,
+            args: &[(String, SoapValue)],
+            _ctx: &CallContext,
+        ) -> SoapResult<SoapValue> {
+            match method {
+                "add" => {
+                    let a = args
+                        .first()
+                        .and_then(|(_, v)| v.as_i64())
+                        .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "a"))?;
+                    let b = args
+                        .get(1)
+                        .and_then(|(_, v)| v.as_i64())
+                        .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "b"))?;
+                    Ok(SoapValue::Int(a + b))
+                }
+                "echo" => Ok(args
+                    .first()
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(SoapValue::Null)),
+                other => Err(Fault::client(format!("no method {other:?}"))),
+            }
+        }
+
+        fn methods(&self) -> Vec<MethodDesc> {
+            vec![
+                MethodDesc::new(
+                    "add",
+                    vec![("a", SoapType::Int), ("b", SoapType::Int)],
+                    SoapType::Int,
+                    "Add two integers",
+                ),
+                MethodDesc::new(
+                    "echo",
+                    vec![("value", SoapType::String)],
+                    SoapType::String,
+                    "Echo the argument",
+                ),
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::Calculator;
+    use super::*;
+    use crate::fault::{FaultCode, PortalErrorKind};
+
+    fn server() -> SoapServer {
+        let s = SoapServer::new();
+        s.mount(Arc::new(Calculator));
+        s
+    }
+
+    #[test]
+    fn dispatch_success() {
+        let env = Envelope::request("Calc", "add", &[SoapValue::Int(2), SoapValue::Int(40)]);
+        let reply = server().dispatch("Calc", &env);
+        assert_eq!(reply.return_value().unwrap(), SoapValue::Int(42));
+    }
+
+    #[test]
+    fn dispatch_unknown_service() {
+        let env = Envelope::request("Nope", "x", &[]);
+        let reply = server().dispatch("Nope", &env);
+        assert!(reply.is_fault());
+        assert_eq!(reply.as_fault().unwrap().code, FaultCode::Client);
+    }
+
+    #[test]
+    fn dispatch_bad_args_gives_portal_error() {
+        let env = Envelope::request("Calc", "add", &[SoapValue::str("x")]);
+        let reply = server().dispatch("Calc", &env);
+        assert_eq!(
+            reply.as_fault().unwrap().kind(),
+            Some(PortalErrorKind::BadArguments)
+        );
+    }
+
+    #[test]
+    fn http_handler_round_trip() {
+        let srv = server();
+        let env = Envelope::request("Calc", "add", &[SoapValue::Int(1), SoapValue::Int(2)]);
+        let req = Request::post(endpoint_path("Calc"), env.to_xml());
+        let resp = srv.handle(&req);
+        assert_eq!(resp.status, Status::Ok);
+        let reply = Envelope::parse(&resp.body_str()).unwrap();
+        assert_eq!(reply.return_value().unwrap(), SoapValue::Int(3));
+    }
+
+    #[test]
+    fn http_fault_is_500() {
+        let srv = server();
+        let env = Envelope::request("Calc", "nosuch", &[]);
+        let resp = srv.handle(&Request::post(endpoint_path("Calc"), env.to_xml()));
+        assert_eq!(resp.status, Status::InternalError);
+        assert!(Envelope::parse(&resp.body_str()).unwrap().is_fault());
+    }
+
+    #[test]
+    fn get_rejected() {
+        let resp = server().handle(&Request::get("/soap/Calc"));
+        assert_eq!(resp.status, Status::BadRequest);
+    }
+
+    #[test]
+    fn malformed_envelope_is_fault() {
+        let resp = server().handle(&Request::post("/soap/Calc", "not xml"));
+        assert_eq!(resp.status, Status::InternalError);
+        assert!(Envelope::parse(&resp.body_str()).unwrap().is_fault());
+    }
+
+    #[test]
+    fn guard_can_reject() {
+        let srv = server();
+        srv.set_guard(Arc::new(|env: &Envelope, _ctx: &CallContext| {
+            if env.header("Assertion").is_some() {
+                Ok(())
+            } else {
+                Err(Fault::portal(PortalErrorKind::AuthFailed, "no assertion"))
+            }
+        }));
+        let env = Envelope::request("Calc", "add", &[SoapValue::Int(1), SoapValue::Int(1)]);
+        let reply = srv.dispatch("Calc", &env);
+        assert_eq!(reply.as_fault().unwrap().kind(), Some(PortalErrorKind::AuthFailed));
+
+        let ok_env = env.with_header(Element::new("Assertion"));
+        let reply = srv.dispatch("Calc", &ok_env);
+        assert!(!reply.is_fault());
+    }
+
+    #[test]
+    fn service_names_listed() {
+        assert_eq!(server().service_names(), vec!["Calc".to_string()]);
+    }
+}

@@ -1,0 +1,460 @@
+//! Minimal HTTP/1.0-style message framing.
+//!
+//! The portal servers of 2002 spoke plain HTTP/1.0 with `Content-Length`
+//! bodies and one request per connection. This module implements exactly
+//! that: enough HTTP for SOAP endpoints, WSDL fetches, and portlet content
+//! proxying, with nothing speculative on top.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{Result, WireError};
+
+/// Response status codes used by the portal stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 401
+    Unauthorized,
+    /// 500 — also used for SOAP faults, per SOAP-over-HTTP convention.
+    InternalError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::Unauthorized => 401,
+            Status::NotFound => 404,
+            Status::InternalError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::Unauthorized => "Unauthorized",
+            Status::NotFound => "Not Found",
+            Status::InternalError => "Internal Server Error",
+        }
+    }
+
+    /// Map a numeric code back to a status (unknown codes become 500).
+    pub fn from_code(code: u16) -> Status {
+        match code {
+            200 => Status::Ok,
+            400 => Status::BadRequest,
+            401 => Status::Unauthorized,
+            404 => Status::NotFound,
+            _ => Status::InternalError,
+        }
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Request path (with query string, if any).
+    pub path: String,
+    /// Headers in order; names case-preserved, matched case-insensitively.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build a GET request.
+    pub fn get(path: impl Into<String>) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Build a POST request with a body.
+    pub fn post(path: impl Into<String>, body: impl Into<Vec<u8>>) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Builder: add a header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Request {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First header value matching `name`, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Path without the query string.
+    pub fn path_only(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// Parsed query parameters (`k=v` pairs after `?`, URL-decoding `%XX`
+    /// and `+`).
+    pub fn query_params(&self) -> Vec<(String, String)> {
+        match self.path.split_once('?') {
+            Some((_, q)) => parse_form(q),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(format!("{} {} HTTP/1.0\r\n", self.method, self.path).as_bytes());
+        for (k, v) in &self.headers {
+            if k.eq_ignore_ascii_case("content-length") {
+                continue; // always recomputed
+            }
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Read one request from a stream.
+    pub fn read_from(stream: impl Read) -> Result<Request> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| WireError::BadFrame("empty request line".into()))?
+            .to_owned();
+        let path = parts
+            .next()
+            .ok_or_else(|| WireError::BadFrame("request line missing path".into()))?
+            .to_owned();
+        let (headers, body) = read_headers_and_body(&mut reader)?;
+        Ok(Request {
+            method,
+            path,
+            headers,
+            body,
+        })
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status line code.
+    pub status: Status,
+    /// Headers in order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response with a body and content type.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: Status::Ok,
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body: body.into(),
+        }
+    }
+
+    /// A 200 XML response (the common case for SOAP).
+    pub fn xml(body: impl Into<Vec<u8>>) -> Response {
+        Response::ok("text/xml; charset=utf-8", body)
+    }
+
+    /// A 200 HTML response (portlet content).
+    pub fn html(body: impl Into<Vec<u8>>) -> Response {
+        Response::ok("text/html; charset=utf-8", body)
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: Status, msg: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: msg.into().into_bytes(),
+        }
+    }
+
+    /// Builder: add a header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First header value matching `name`, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.0 {} {}\r\n",
+                self.status.code(),
+                self.status.reason()
+            )
+            .as_bytes(),
+        );
+        for (k, v) in &self.headers {
+            if k.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Read one response from a stream.
+    pub fn read_from(stream: impl Read) -> Result<Response> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let _version = parts
+            .next()
+            .ok_or_else(|| WireError::BadFrame("empty status line".into()))?;
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| WireError::BadFrame("status line missing code".into()))?;
+        let (headers, body) = read_headers_and_body(&mut reader)?;
+        Ok(Response {
+            status: Status::from_code(code),
+            headers,
+            body,
+        })
+    }
+
+    /// Write serialized bytes to a stream.
+    pub fn write_to(&self, mut stream: impl Write) -> Result<()> {
+        stream.write_all(&self.to_bytes())?;
+        stream.flush()?;
+        Ok(())
+    }
+}
+
+fn header_lookup<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Headers plus body, as read off the wire.
+type HeadersAndBody = (Vec<(String, String)>, Vec<u8>);
+
+fn read_headers_and_body(reader: &mut impl BufRead) -> Result<HeadersAndBody> {
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(WireError::BadFrame("eof before end of headers".into()));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::BadFrame(format!("malformed header line {line:?}")))?;
+        headers.push((k.trim().to_owned(), v.trim().to_owned()));
+    }
+    let len: usize = header_lookup(&headers, "content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// Percent-decode one URL-encoded component.
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                if let (Some(h), Some(l)) = (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    out.push((h * 16 + l) as u8);
+                    i += 3;
+                } else {
+                    // Stray '%' without two hex digits: pass through.
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode one URL component.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Parse `application/x-www-form-urlencoded` content into pairs.
+pub fn parse_form(s: &str) -> Vec<(String, String)> {
+    s.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Encode pairs as `application/x-www-form-urlencoded` content.
+pub fn encode_form(pairs: &[(String, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{}={}", url_encode(k), url_encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::post("/soap/jobsub", "<x/>").with_header("X-Session", "abc");
+        let bytes = req.to_bytes();
+        let parsed = Request::read_from(&bytes[..]).unwrap();
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path, "/soap/jobsub");
+        assert_eq!(parsed.header("x-session"), Some("abc"));
+        assert_eq!(parsed.body_str(), "<x/>");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::xml("<ok/>").with_header("X-Trace", "1");
+        let parsed = Response::read_from(&resp.to_bytes()[..]).unwrap();
+        assert_eq!(parsed.status, Status::Ok);
+        assert_eq!(parsed.header("X-TRACE"), Some("1"));
+        assert_eq!(parsed.body_str(), "<ok/>");
+    }
+
+    #[test]
+    fn content_length_recomputed() {
+        let req = Request::post("/p", "1234").with_header("Content-Length", "999");
+        let parsed = Request::read_from(&req.to_bytes()[..]).unwrap();
+        assert_eq!(parsed.body.len(), 4);
+    }
+
+    #[test]
+    fn empty_body_get() {
+        let req = Request::get("/wsdl/scriptgen?q=1");
+        let parsed = Request::read_from(&req.to_bytes()[..]).unwrap();
+        assert_eq!(parsed.path_only(), "/wsdl/scriptgen");
+        assert_eq!(parsed.query_params(), vec![("q".into(), "1".into())]);
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::from_code(404), Status::NotFound);
+        assert_eq!(Status::from_code(200).reason(), "OK");
+        assert_eq!(Status::from_code(599), Status::InternalError);
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let req = Request::post("/p", "full body");
+        let bytes = req.to_bytes();
+        assert!(Request::read_from(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        let raw = b"GET / HTTP/1.0\r\nbadheader\r\n\r\n";
+        assert!(matches!(
+            Request::read_from(&raw[..]),
+            Err(WireError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn url_codec_round_trip() {
+        let s = "a b&c=d/100%";
+        assert_eq!(url_decode(&url_encode(s)), s);
+    }
+
+    #[test]
+    fn form_codec() {
+        let pairs = vec![
+            ("host".to_string(), "tg login".to_string()),
+            ("cmd".to_string(), "qsub -q a&b".to_string()),
+        ];
+        assert_eq!(parse_form(&encode_form(&pairs)), pairs);
+    }
+
+    #[test]
+    fn binary_body_survives() {
+        let body: Vec<u8> = (0u8..=255).collect();
+        let req = Request::post("/bin", body.clone());
+        let parsed = Request::read_from(&req.to_bytes()[..]).unwrap();
+        assert_eq!(parsed.body, body);
+    }
+}

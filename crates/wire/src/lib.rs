@@ -1,0 +1,62 @@
+//! Wire transport for the portal's Web services.
+//!
+//! The 2002 deployment ran every service on its own web server (Tomcat,
+//! Apache SOAP, Python SOAP servers) and spoke HTTP between them; each SOAP
+//! call opened its own connection, which is why the paper highlights the
+//! `xml_call` batching trick ("multiple SRB commands … sent to the Web
+//! Service using a single connection", §3.2). This crate reproduces that
+//! transport regime:
+//!
+//! * [`http`] — minimal HTTP/1.0-style request/response framing.
+//! * [`server`] — a thread-pooled TCP server with a path [`server::Router`].
+//! * [`transport`] — the client-side [`Transport`] abstraction with two
+//!   implementations: a real [`transport::HttpTransport`] (one connection
+//!   per call, as in 2002) and an [`transport::InMemoryTransport`] that
+//!   still frames messages to bytes so that byte counts stay honest while
+//!   removing kernel networking from micro-benchmarks.
+//! * [`stats`] — atomic counters for requests, connections, and bytes on
+//!   the wire, read by the experiment harness.
+
+pub mod http;
+pub mod server;
+pub mod stats;
+pub mod transport;
+
+pub use http::{Request, Response, Status};
+pub use server::{Handler, HttpServer, Router, ServerHandle};
+pub use stats::{StatsSnapshot, WireStats};
+pub use transport::{HttpTransport, InMemoryTransport, Transport};
+
+use std::fmt;
+
+/// Errors raised by the wire layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket I/O failed.
+    Io(std::io::Error),
+    /// The peer sent a frame we could not parse.
+    BadFrame(String),
+    /// The response indicated an HTTP-level failure.
+    HttpStatus(u16, String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::BadFrame(msg) => write!(f, "bad frame: {msg}"),
+            WireError::HttpStatus(code, reason) => write!(f, "http {code} {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WireError>;

@@ -1,0 +1,348 @@
+//! Thread-pooled HTTP server with a path router.
+//!
+//! Each portal service in the paper ran on its own server ("Each of these
+//! runs on a separate web server", §2). [`HttpServer`] plays that role: one
+//! instance per logical server (UI server, UDDI server, SOAP Service
+//! Provider, Authentication Service), each with its own [`Router`] mapping
+//! paths to [`Handler`]s.
+//!
+//! The design follows the classic fixed-worker-pool shape: an acceptor
+//! thread pushes connections into a crossbeam channel; `worker` threads pop
+//! and serve one request per connection (HTTP/1.0 semantics, as deployed in
+//! 2002).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::http::{Request, Response, Status};
+use crate::stats::WireStats;
+use crate::Result;
+
+/// A request handler. Handlers are shared across worker threads, so they
+/// must provide their own interior synchronization.
+pub trait Handler: Send + Sync {
+    /// Produce a response for `req`.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Longest-prefix path router.
+#[derive(Default)]
+pub struct Router {
+    routes: RwLock<Vec<(String, Arc<dyn Handler>)>>,
+}
+
+impl Router {
+    /// New empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mount `handler` at `prefix`. Later mounts with the same prefix win.
+    pub fn mount(&self, prefix: impl Into<String>, handler: Arc<dyn Handler>) {
+        let mut routes = self.routes.write();
+        let prefix = prefix.into();
+        routes.retain(|(p, _)| *p != prefix);
+        routes.push((prefix, handler));
+        // Longest prefix first so matching can stop at the first hit.
+        routes.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
+    }
+
+    /// Resolve a path to its handler.
+    pub fn resolve(&self, path: &str) -> Option<Arc<dyn Handler>> {
+        let routes = self.routes.read();
+        routes
+            .iter()
+            .find(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .map(|(_, h)| Arc::clone(h))
+    }
+
+    /// Mounted prefixes, longest first.
+    pub fn prefixes(&self) -> Vec<String> {
+        self.routes.read().iter().map(|(p, _)| p.clone()).collect()
+    }
+}
+
+impl Handler for Router {
+    fn handle(&self, req: &Request) -> Response {
+        match self.resolve(req.path_only()) {
+            Some(h) => h.handle(req),
+            None => Response::error(Status::NotFound, format!("no route for {}", req.path)),
+        }
+    }
+}
+
+/// A running server; dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<WireStats>,
+}
+
+impl ServerHandle {
+    /// The bound address (use for clients).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-side wire statistics.
+    pub fn stats(&self) -> &Arc<WireStats> {
+        &self.stats
+    }
+
+    /// Request shutdown and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The server: binds a listener and serves a [`Handler`] with a fixed
+/// worker pool.
+pub struct HttpServer;
+
+impl HttpServer {
+    /// Start serving `handler` on an ephemeral localhost port with
+    /// `workers` worker threads.
+    pub fn start(handler: Arc<dyn Handler>, workers: usize) -> Result<ServerHandle> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(WireStats::new());
+        // Bounded queue: applies back-pressure to the acceptor rather than
+        // queueing unboundedly when all workers are busy.
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(workers * 4);
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    stats.record_connection();
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+
+        let worker_handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let handler = Arc::clone(&handler);
+                let stats = Arc::clone(&stats);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        serve_one(&*handler, stream, &stats, &shutdown);
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            stats,
+        })
+    }
+}
+
+/// Serve one connection: a single HTTP/1.0 exchange by default, or a
+/// sequence of exchanges when the client sends `Connection: keep-alive`
+/// (the ablation that shows what the 2002 per-call-connection regime
+/// cost). Idle keep-alive waits poll the shutdown flag so the server can
+/// always join its workers.
+fn serve_one(
+    handler: &dyn Handler,
+    stream: TcpStream,
+    stats: &WireStats,
+    shutdown: &AtomicBool,
+) {
+    let Ok(mut out) = stream.try_clone() else {
+        return;
+    };
+    let mut first = true;
+    loop {
+        // Wait for the next request without consuming bytes, so a timeout
+        // never corrupts a partially-read frame.
+        if !first {
+            if stream
+                .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+                .is_err()
+            {
+                return;
+            }
+            let mut probe = [0u8; 1];
+            loop {
+                match stream.peek(&mut probe) {
+                    Ok(0) => return, // peer closed the keep-alive connection
+                    Ok(_) => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+            if stream.set_read_timeout(None).is_err() {
+                return;
+            }
+        }
+        let req = match Request::read_from(&stream) {
+            Ok(req) => req,
+            Err(_) => {
+                // Shutdown poke or garbage: count nothing, close quietly.
+                return;
+            }
+        };
+        first = false;
+        let keep_alive = req
+            .header("Connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+        let resp = handler.handle(&req);
+        let req_len = req.to_bytes().len();
+        let resp_bytes = resp.to_bytes();
+        stats.record_exchange(resp_bytes.len(), req_len);
+        {
+            use std::io::Write;
+            if out.write_all(&resp_bytes).is_err() || out.flush().is_err() {
+                return;
+            }
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone()))
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let server = HttpServer::start(echo_handler(), 2).unwrap();
+        let addr = server.addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(&Request::post("/x", "hello").to_bytes())
+            .unwrap();
+        let resp = Response::read_from(&conn).unwrap();
+        assert_eq!(resp.body_str(), "hello");
+        assert_eq!(server.stats().snapshot().requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn router_longest_prefix_wins() {
+        let router = Router::new();
+        router.mount("/soap", Arc::new(|_: &Request| Response::html("general")));
+        router.mount(
+            "/soap/jobsub",
+            Arc::new(|_: &Request| Response::html("specific")),
+        );
+        let resp = router.handle(&Request::get("/soap/jobsub/run"));
+        assert_eq!(resp.body_str(), "specific");
+        let resp = router.handle(&Request::get("/soap/other"));
+        assert_eq!(resp.body_str(), "general");
+    }
+
+    #[test]
+    fn router_miss_is_404() {
+        let router = Router::new();
+        let resp = router.handle(&Request::get("/nope"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn router_remount_replaces() {
+        let router = Router::new();
+        router.mount("/a", Arc::new(|_: &Request| Response::html("one")));
+        router.mount("/a", Arc::new(|_: &Request| Response::html("two")));
+        assert_eq!(router.handle(&Request::get("/a")).body_str(), "two");
+        assert_eq!(router.prefixes().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = HttpServer::start(echo_handler(), 4).unwrap();
+        let addr = server.addr();
+        std::thread::scope(|scope| {
+            for i in 0..16 {
+                scope.spawn(move || {
+                    let body = format!("msg-{i}");
+                    let mut conn = TcpStream::connect(addr).unwrap();
+                    conn.write_all(&Request::post("/x", body.clone()).to_bytes())
+                        .unwrap();
+                    let resp = Response::read_from(&conn).unwrap();
+                    assert_eq!(resp.body_str(), body);
+                });
+            }
+        });
+        assert_eq!(server.stats().snapshot().requests, 16);
+    }
+
+    #[test]
+    fn query_routing_ignores_query_string() {
+        let router = Router::new();
+        router.mount("/wsdl", Arc::new(|_: &Request| Response::html("w")));
+        assert_eq!(
+            router.handle(&Request::get("/wsdl?svc=jobsub")).body_str(),
+            "w"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Atomic wire-level counters.
+//!
+//! The experiments (E1 latency breakdown, E5 byte amplification, E6 round
+//! trips) need to report not just time but *message traffic*. Both
+//! transports and the server update a shared [`WireStats`]; the harness
+//! reads a [`StatsSnapshot`] before and after a workload and diffs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, lock-free wire counters. All methods use relaxed ordering: the
+/// counters are statistics, not synchronization (per the atomics guidance:
+/// use the weakest ordering that is correct for the purpose).
+#[derive(Debug, Default)]
+pub struct WireStats {
+    requests: AtomicU64,
+    connections: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl WireStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request/response exchange with its byte sizes.
+    pub fn record_exchange(&self, sent: usize, received: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(received as u64, Ordering::Relaxed);
+    }
+
+    /// Record one TCP connection established.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one failed exchange.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read all counters at once.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.connections.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Request/response exchanges completed.
+    pub requests: u64,
+    /// TCP connections opened (always 0 for the in-memory transport).
+    pub connections: u64,
+    /// Bytes written toward the server.
+    pub bytes_sent: u64,
+    /// Bytes read back from the server.
+    pub bytes_received: u64,
+    /// Failed exchanges.
+    pub errors: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference since an earlier snapshot (`self - earlier`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests - earlier.requests,
+            connections: self.connections - earlier.connections,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            errors: self.errors - earlier.errors,
+        }
+    }
+
+    /// Total traffic in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_and_snapshots() {
+        let s = WireStats::new();
+        s.record_connection();
+        s.record_exchange(100, 250);
+        s.record_exchange(10, 20);
+        s.record_error();
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.bytes_sent, 110);
+        assert_eq!(snap.bytes_received, 270);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.total_bytes(), 380);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let s = WireStats::new();
+        s.record_exchange(5, 5);
+        let before = s.snapshot();
+        s.record_exchange(7, 3);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.requests, 1);
+        assert_eq!(delta.total_bytes(), 10);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = WireStats::new();
+        s.record_exchange(1, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_updates_sum() {
+        let s = Arc::new(WireStats::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_exchange(1, 2);
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 8000);
+        assert_eq!(snap.bytes_sent, 8000);
+        assert_eq!(snap.bytes_received, 16000);
+    }
+}

@@ -1,0 +1,570 @@
+//! Data-binding generation: the Castor source-generator analogue.
+//!
+//! "SchemaParser also invokes Castor's source generator to create Java
+//! classes that are data bindings for the schema. This generates one
+//! JavaBean class per schema element. Each element comes with the
+//! associated get and set methods needed to modify element values and
+//! attributes, add or delete children, etc."
+//!
+//! Rust has no runtime class loading, so the generated artifacts are
+//! *bean classes* ([`BeanClass`]) — runtime descriptions of each schema
+//! element — and *beans* ([`Bean`]), dynamically typed records checked
+//! against their class on every get/set. Marshal/unmarshal map beans to
+//! schema instances and back, and a marshaled bean always validates
+//! against the source schema (property-tested in the crate tests).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use portalws_xml::{Element, Node, Occurs, Schema, SimpleType, TypeDef};
+
+use crate::som::class_name_for;
+use crate::{Result, WizardError};
+
+/// One field (child element) of a bean class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSpec {
+    /// Element name of the field.
+    pub name: String,
+    /// Class of the child beans.
+    pub class: String,
+    /// Occurrence bounds.
+    pub occurs: Occurs,
+}
+
+/// A generated class: one per schema element, as in Castor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeanClass {
+    /// Class name (type name, or capitalized element name for anonymous
+    /// types).
+    pub name: String,
+    /// The element this class marshals to.
+    pub element: String,
+    /// Simple content type, if this is a simple-content class.
+    pub simple: Option<SimpleType>,
+    /// Child fields in sequence order (empty for simple classes).
+    pub fields: Vec<FieldSpec>,
+    /// Attributes: (name, type, required).
+    pub attributes: Vec<(String, SimpleType, bool)>,
+}
+
+/// The set of classes generated from one schema.
+pub struct BeanRegistry {
+    classes: BTreeMap<String, Arc<BeanClass>>,
+    root_class: String,
+    schema: Schema,
+}
+
+impl BeanRegistry {
+    /// Generate classes for the global element `root` (recursively).
+    pub fn generate(schema: &Schema, root: &str) -> Result<BeanRegistry> {
+        let decl = schema
+            .global_element(root)
+            .ok_or_else(|| WizardError::UnknownElement(root.to_owned()))?;
+        let mut classes = BTreeMap::new();
+        let root_class = Self::gen_class(schema, decl, &mut classes)?;
+        Ok(BeanRegistry {
+            classes,
+            root_class,
+            schema: schema.clone(),
+        })
+    }
+
+    fn gen_class(
+        schema: &Schema,
+        decl: &portalws_xml::ElementDecl,
+        classes: &mut BTreeMap<String, Arc<BeanClass>>,
+    ) -> Result<String> {
+        let class_name = class_name_for(decl);
+        if classes.contains_key(&class_name) {
+            return Ok(class_name);
+        }
+        let ty = schema
+            .resolve(&decl.ty)
+            .map_err(|e| WizardError::UnknownElement(e.to_string()))?
+            .clone();
+        // Insert a placeholder first so recursive schemas terminate.
+        classes.insert(
+            class_name.clone(),
+            Arc::new(BeanClass {
+                name: class_name.clone(),
+                element: decl.name.clone(),
+                simple: None,
+                fields: Vec::new(),
+                attributes: Vec::new(),
+            }),
+        );
+        let class = match ty {
+            TypeDef::Simple(st) => BeanClass {
+                name: class_name.clone(),
+                element: decl.name.clone(),
+                simple: Some(st),
+                fields: Vec::new(),
+                attributes: Vec::new(),
+            },
+            TypeDef::Complex(ct) => {
+                let mut fields = Vec::with_capacity(ct.sequence.len());
+                for child in &ct.sequence {
+                    let child_class = Self::gen_class(schema, child, classes)?;
+                    fields.push(FieldSpec {
+                        name: child.name.clone(),
+                        class: child_class,
+                        occurs: child.occurs,
+                    });
+                }
+                BeanClass {
+                    name: class_name.clone(),
+                    element: decl.name.clone(),
+                    // Simple-content complex types (text + attributes)
+                    // behave like simple classes that also carry attrs.
+                    simple: ct.text.clone(),
+                    fields,
+                    attributes: ct
+                        .attributes
+                        .iter()
+                        .map(|a| (a.name.clone(), a.ty.clone(), a.required))
+                        .collect(),
+                }
+            }
+        };
+        classes.insert(class_name.clone(), Arc::new(class));
+        Ok(class_name)
+    }
+
+    /// Number of generated classes — one per schema element, the E3
+    /// artifact count.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Look up a class.
+    pub fn class(&self, name: &str) -> Option<&Arc<BeanClass>> {
+        self.classes.get(name)
+    }
+
+    /// The root class name.
+    pub fn root_class(&self) -> &str {
+        &self.root_class
+    }
+
+    /// Instantiate an empty bean of the root class.
+    pub fn new_root(&self) -> Bean {
+        Bean::new(Arc::clone(&self.classes[&self.root_class]))
+    }
+
+    /// Instantiate an empty bean of any class.
+    pub fn new_bean(&self, class: &str) -> Result<Bean> {
+        self.classes
+            .get(class)
+            .map(|c| Bean::new(Arc::clone(c)))
+            .ok_or_else(|| WizardError::BadBean(format!("no class {class:?}")))
+    }
+
+    /// Unmarshal a schema instance into a bean tree ("Old instances can
+    /// be read in and unmarshaled to fill out the form elements").
+    pub fn unmarshal(&self, el: &Element) -> Result<Bean> {
+        self.unmarshal_as(&self.root_class, el)
+    }
+
+    fn unmarshal_as(&self, class_name: &str, el: &Element) -> Result<Bean> {
+        let class = self
+            .classes
+            .get(class_name)
+            .ok_or_else(|| WizardError::BadBean(format!("no class {class_name:?}")))?;
+        let mut bean = Bean::new(Arc::clone(class));
+        for (k, v) in el.attrs() {
+            if k.starts_with("xmlns") {
+                continue;
+            }
+            bean.set_attr(k, v)?;
+        }
+        if class.simple.is_some() {
+            bean.set_text(el.text().trim())?;
+            return Ok(bean);
+        }
+        for child in el.children() {
+            let field = class
+                .fields
+                .iter()
+                .find(|f| f.name == child.local_name())
+                .ok_or_else(|| {
+                    WizardError::BadBean(format!(
+                        "class {class_name} has no field {:?}",
+                        child.local_name()
+                    ))
+                })?
+                .clone();
+            let child_bean = self.unmarshal_as(&field.class, child)?;
+            bean.push_child(&field.name, child_bean)?;
+        }
+        Ok(bean)
+    }
+
+    /// Marshal a bean and validate the result against the source schema.
+    pub fn marshal_validated(&self, bean: &Bean) -> Result<Element> {
+        let el = bean.marshal();
+        self.schema
+            .validate(&el)
+            .map_err(|e| WizardError::BadForm(e.to_string()))?;
+        Ok(el)
+    }
+}
+
+/// A field's values inside a bean.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FieldValue {
+    beans: Vec<Bean>,
+}
+
+/// A dynamically typed record instance of a [`BeanClass`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bean {
+    class: Arc<BeanClass>,
+    text: Option<String>,
+    attrs: BTreeMap<String, String>,
+    /// field name → children, in field order per class.
+    children: BTreeMap<String, FieldValue>,
+}
+
+impl Bean {
+    /// An empty bean of `class`.
+    pub fn new(class: Arc<BeanClass>) -> Bean {
+        Bean {
+            class,
+            text: None,
+            attrs: BTreeMap::new(),
+            children: BTreeMap::new(),
+        }
+    }
+
+    /// The bean's class.
+    pub fn class(&self) -> &BeanClass {
+        &self.class
+    }
+
+    fn field_spec(&self, field: &str) -> Result<&FieldSpec> {
+        self.class
+            .fields
+            .iter()
+            .find(|f| f.name == field)
+            .ok_or_else(|| {
+                WizardError::BadBean(format!(
+                    "class {} has no field {field:?}",
+                    self.class.name
+                ))
+            })
+    }
+
+    /// Set simple content (simple-content classes only).
+    pub fn set_text(&mut self, text: &str) -> Result<()> {
+        let st = self.class.simple.as_ref().ok_or_else(|| {
+            WizardError::BadBean(format!("class {} is not simple-content", self.class.name))
+        })?;
+        if !st.accepts(text) {
+            return Err(WizardError::BadBean(format!(
+                "value {text:?} invalid for {}",
+                st.base.xsd_name()
+            )));
+        }
+        self.text = Some(text.to_owned());
+        Ok(())
+    }
+
+    /// Simple content, if any.
+    pub fn text(&self) -> Option<&str> {
+        self.text.as_deref()
+    }
+
+    /// Set an attribute (declared attributes only, value type-checked).
+    pub fn set_attr(&mut self, name: &str, value: &str) -> Result<()> {
+        let (_, ty, _) = self
+            .class
+            .attributes
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| {
+                WizardError::BadBean(format!(
+                    "class {} has no attribute {name:?}",
+                    self.class.name
+                ))
+            })?;
+        if !ty.accepts(value) {
+            return Err(WizardError::BadBean(format!(
+                "attribute {name:?} value {value:?} invalid"
+            )));
+        }
+        self.attrs.insert(name.to_owned(), value.to_owned());
+        Ok(())
+    }
+
+    /// Attribute value.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.get(name).map(String::as_str)
+    }
+
+    /// Append a child bean under `field` (cardinality-checked).
+    pub fn push_child(&mut self, field: &str, child: Bean) -> Result<()> {
+        let spec = self.field_spec(field)?.clone();
+        if child.class.name != spec.class {
+            return Err(WizardError::BadBean(format!(
+                "field {field:?} holds {}, got {}",
+                spec.class, child.class.name
+            )));
+        }
+        let slot = self.children.entry(spec.name.clone()).or_default();
+        if let Some(max) = spec.occurs.max {
+            if slot.beans.len() as u64 >= max as u64 {
+                return Err(WizardError::BadBean(format!(
+                    "field {field:?} admits at most {max} children"
+                )));
+            }
+        }
+        slot.beans.push(child);
+        Ok(())
+    }
+
+    /// Set the single simple-typed child `field` to `value` (creating or
+    /// replacing it) — the workhorse setter for form filling.
+    pub fn set(&mut self, field: &str, value: &str, registry: &BeanRegistry) -> Result<()> {
+        let spec = self.field_spec(field)?.clone();
+        let mut child = registry.new_bean(&spec.class)?;
+        child.set_text(value)?;
+        let slot = self.children.entry(spec.name).or_default();
+        slot.beans.clear();
+        slot.beans.push(child);
+        Ok(())
+    }
+
+    /// Append a simple-typed child value (unbounded fields).
+    pub fn add(&mut self, field: &str, value: &str, registry: &BeanRegistry) -> Result<()> {
+        let spec = self.field_spec(field)?.clone();
+        let mut child = registry.new_bean(&spec.class)?;
+        child.set_text(value)?;
+        self.push_child(&spec.name, child)
+    }
+
+    /// Single simple child value, if present.
+    pub fn get(&self, field: &str) -> Option<&str> {
+        self.children
+            .get(field)
+            .and_then(|fv| fv.beans.first())
+            .and_then(Bean::text)
+    }
+
+    /// All simple child values of a field.
+    pub fn get_all(&self, field: &str) -> Vec<&str> {
+        self.children
+            .get(field)
+            .map(|fv| fv.beans.iter().filter_map(Bean::text).collect())
+            .unwrap_or_default()
+    }
+
+    /// Child beans of a field.
+    pub fn children_of(&self, field: &str) -> &[Bean] {
+        self.children
+            .get(field)
+            .map(|fv| fv.beans.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Mutable access to the `idx`-th child of a field.
+    pub fn child_mut(&mut self, field: &str, idx: usize) -> Option<&mut Bean> {
+        self.children.get_mut(field).and_then(|fv| fv.beans.get_mut(idx))
+    }
+
+    /// Remove the `idx`-th child of a field.
+    pub fn remove_child(&mut self, field: &str, idx: usize) -> Result<()> {
+        let fv = self
+            .children
+            .get_mut(field)
+            .filter(|fv| idx < fv.beans.len())
+            .ok_or_else(|| WizardError::BadBean(format!("no child {idx} in {field:?}")))?;
+        fv.beans.remove(idx);
+        Ok(())
+    }
+
+    /// Marshal to an element ("The resulting Java object can be marshaled
+    /// back to a XML instance of the given schema").
+    pub fn marshal(&self) -> Element {
+        let mut el = Element::new(self.class.element.clone());
+        for (k, v) in &self.attrs {
+            el.set_attr(k.clone(), v.clone());
+        }
+        if let Some(text) = &self.text {
+            if !text.is_empty() {
+                el.push_node(Node::Text(text.clone()));
+            }
+        }
+        // Emit fields in class declaration order, so the sequence
+        // validates.
+        for spec in &self.class.fields {
+            if let Some(fv) = self.children.get(&spec.name) {
+                for child in &fv.beans {
+                    el.push_child(child.marshal());
+                }
+            }
+        }
+        el
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_xml::{ComplexType, ElementDecl, Primitive, TypeDef};
+
+    fn schema() -> Schema {
+        Schema::new("urn:test")
+            .with_type(
+                "HostType",
+                TypeDef::Complex(
+                    ComplexType::default()
+                        .with(ElementDecl::string("dns"))
+                        .with(ElementDecl::int("cpus").occurs(Occurs::OPTIONAL))
+                        .with_attr("ip", SimpleType::plain(Primitive::String), false),
+                ),
+            )
+            .with_element(ElementDecl::new(
+                "app",
+                TypeDef::Complex(
+                    ComplexType::default()
+                        .with(ElementDecl::string("name"))
+                        .with(ElementDecl::enumerated("kind", ["serial", "mpi"]))
+                        .with(ElementDecl::string("flag").occurs(Occurs::ANY))
+                        .with(ElementDecl::named("host", "HostType").occurs(Occurs::MANY))
+                        .with_attr("id", SimpleType::plain(Primitive::Int), true),
+                ),
+            ))
+    }
+
+    fn registry() -> BeanRegistry {
+        BeanRegistry::generate(&schema(), "app").unwrap()
+    }
+
+    #[test]
+    fn one_class_per_element() {
+        let r = registry();
+        // App, Name, Kind, Flag, HostType, Dns, Cpus.
+        assert_eq!(r.class_count(), 7);
+        assert_eq!(r.root_class(), "App");
+        assert!(r.class("HostType").is_some());
+    }
+
+    #[test]
+    fn build_marshal_validate() {
+        let r = registry();
+        let mut app = r.new_root();
+        app.set_attr("id", "3").unwrap();
+        app.set("name", "gaussian", &r).unwrap();
+        app.set("kind", "mpi", &r).unwrap();
+        app.add("flag", "-fast", &r).unwrap();
+        app.add("flag", "-big", &r).unwrap();
+        let mut host = r.new_bean("HostType").unwrap();
+        host.set("dns", "tg-login.sdsc.edu", &r).unwrap();
+        host.set("cpus", "32", &r).unwrap();
+        host.set_attr("ip", "10.0.0.1").unwrap();
+        app.push_child("host", host).unwrap();
+        let el = r.marshal_validated(&app).unwrap();
+        assert_eq!(el.find_text("name"), Some("gaussian"));
+        assert_eq!(el.find_all("flag").count(), 2);
+    }
+
+    #[test]
+    fn marshal_orders_fields_like_the_sequence() {
+        let r = registry();
+        let mut app = r.new_root();
+        app.set_attr("id", "1").unwrap();
+        // Set fields out of order.
+        let mut host = r.new_bean("HostType").unwrap();
+        host.set("dns", "h", &r).unwrap();
+        app.push_child("host", host).unwrap();
+        app.set("kind", "serial", &r).unwrap();
+        app.set("name", "x", &r).unwrap();
+        // Still validates: marshal re-orders by class declaration order.
+        r.marshal_validated(&app).unwrap();
+    }
+
+    #[test]
+    fn unmarshal_round_trip() {
+        let r = registry();
+        let mut app = r.new_root();
+        app.set_attr("id", "9").unwrap();
+        app.set("name", "code", &r).unwrap();
+        app.set("kind", "serial", &r).unwrap();
+        let mut host = r.new_bean("HostType").unwrap();
+        host.set("dns", "h0", &r).unwrap();
+        app.push_child("host", host).unwrap();
+
+        let el = app.marshal();
+        let back = r.unmarshal(&el).unwrap();
+        assert_eq!(back, app);
+        assert_eq!(back.get("name"), Some("code"));
+        assert_eq!(back.children_of("host")[0].get("dns"), Some("h0"));
+    }
+
+    #[test]
+    fn type_checking_on_set() {
+        let r = registry();
+        let mut app = r.new_root();
+        assert!(app.set_attr("id", "notanint").is_err());
+        assert!(app.set("kind", "gpu", &r).is_err()); // not in enumeration
+        let mut host = r.new_bean("HostType").unwrap();
+        assert!(host.set("cpus", "many", &r).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_and_attrs_rejected() {
+        let r = registry();
+        let mut app = r.new_root();
+        assert!(app.set("nosuch", "x", &r).is_err());
+        assert!(app.set_attr("nosuch", "x").is_err());
+        assert!(app.get("nosuch").is_none());
+    }
+
+    #[test]
+    fn cardinality_enforced_on_push() {
+        let r = registry();
+        let mut app = r.new_root();
+        app.set("name", "a", &r).unwrap();
+        // name admits one child; a second push must fail.
+        let mut extra = r.new_bean("Name").unwrap();
+        extra.set_text("b").unwrap();
+        assert!(app.push_child("name", extra).is_err());
+    }
+
+    #[test]
+    fn wrong_class_rejected_on_push() {
+        let r = registry();
+        let mut app = r.new_root();
+        let name_bean = r.new_bean("Name").unwrap();
+        assert!(app.push_child("host", name_bean).is_err());
+    }
+
+    #[test]
+    fn missing_required_content_fails_validation() {
+        let r = registry();
+        let mut app = r.new_root();
+        app.set_attr("id", "1").unwrap();
+        app.set("name", "x", &r).unwrap();
+        // kind and host missing.
+        assert!(r.marshal_validated(&app).is_err());
+    }
+
+    #[test]
+    fn remove_child_and_edit() {
+        let r = registry();
+        let mut app = r.new_root();
+        app.add("flag", "-a", &r).unwrap();
+        app.add("flag", "-b", &r).unwrap();
+        app.remove_child("flag", 0).unwrap();
+        assert_eq!(app.get_all("flag"), vec!["-b"]);
+        assert!(app.remove_child("flag", 5).is_err());
+    }
+
+    #[test]
+    fn unmarshal_rejects_unknown_children() {
+        let r = registry();
+        let el = Element::parse(r#"<app id="1"><mystery/></app>"#).unwrap();
+        assert!(r.unmarshal(&el).is_err());
+    }
+}

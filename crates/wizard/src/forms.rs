@@ -1,0 +1,481 @@
+//! Automatic HTML-form generation and form-to-instance marshaling.
+//!
+//! "As types are detected the Velocity engine is started and used to
+//! create a JSP page with the appropriate property values obtained from
+//! the SOM… Each template generates a JSP nugget that is used to build up
+//! the final page… The resulting JSP page has form elements that can be
+//! filled out to create an instance of the schema."
+//!
+//! Field naming: an input is named by its constituent's slash path
+//! (`application/basicInformation/name`); attributes append `/@attr`.
+//! Unbounded simple constituents repeat the same input name; submission
+//! order gives the instance order. Unbounded *complex* constituents are
+//! rendered once (their minimum occurrence) — the same simplification the
+//! 2002 prototype made for its first forms.
+
+use std::collections::BTreeMap;
+
+use portalws_xml::{Element, ElementDecl, Schema, TypeDef};
+
+use crate::binding::{Bean, BeanRegistry};
+use crate::som::{class_name_for, Constituent, ConstituentKind, Som};
+use crate::template::{TemplateEngine, Value};
+use crate::{Result, WizardError};
+
+/// Velocity template for a single simple-typed field.
+const T_SINGLE: &str = "<label>$label</label> <input type=\"text\" name=\"$name\" value=\"$value\"/>#if($doc) <small>$doc</small>#end<br/>\n";
+
+/// Velocity template for an enumerated field.
+const T_ENUM: &str = "<label>$label</label> <select name=\"$name\">#foreach($o in $options)<option value=\"$o.value\"#if($o.selected) selected#end>$o.value</option>#end</select><br/>\n";
+
+/// Velocity template for an unbounded simple field (three slots, like the
+/// 2002 prototype forms).
+const T_UNBOUNDED: &str = "<label>$label (repeatable)</label>#foreach($s in $slots) <input type=\"text\" name=\"$name\" value=\"$s.value\"/>#end<br/>\n";
+
+/// Velocity templates for complex fieldset open/close.
+const T_COMPLEX_OPEN: &str =
+    "<fieldset><legend>$label#if($doc) — $doc#end</legend>\n$attributes";
+const T_COMPLEX_CLOSE: &str = "</fieldset>\n";
+
+/// Velocity template for one attribute input inside a complex fieldset.
+const T_ATTR: &str = "<label>@$label</label> <input type=\"text\" name=\"$name\" value=\"$value\"/>#if($required) <b>*</b>#end<br/>\n";
+
+/// The page shell.
+const T_PAGE: &str = "<html><head><title>$title</title></head><body>\n<h1>$title</h1>\n<form method=\"POST\" action=\"$action\">\n$body<input type=\"submit\" value=\"Create instance\"/>\n</form></body></html>\n";
+
+/// The wizard: schema in, forms and instances out.
+pub struct SchemaWizard {
+    schema: Schema,
+}
+
+/// Form data: repeated keys allowed, order significant.
+pub type FormData = [(String, String)];
+
+fn form_all<'f>(form: &'f FormData, key: &str) -> Vec<&'f str> {
+    form.iter()
+        .filter(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .filter(|v| !v.trim().is_empty())
+        .collect()
+}
+
+fn form_first<'f>(form: &'f FormData, key: &str) -> Option<&'f str> {
+    form_all(form, key).into_iter().next()
+}
+
+impl SchemaWizard {
+    /// Wrap a schema.
+    pub fn new(schema: Schema) -> SchemaWizard {
+        SchemaWizard { schema }
+    }
+
+    /// The wrapped schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Generate the bean classes for `root` (Fig. 3's source-generation
+    /// stage, exposed for callers that want the bindings directly).
+    pub fn bindings(&self, root: &str) -> Result<BeanRegistry> {
+        BeanRegistry::generate(&self.schema, root)
+    }
+
+    /// Generate the full HTML form page for global element `root`,
+    /// posting to `action`. `prefill` optionally carries an existing
+    /// instance's values (edit-old-session flow).
+    pub fn generate_page(&self, root: &str, action: &str, prefill: &FormData) -> Result<String> {
+        let constituents = Som::new(&self.schema).walk(root)?;
+        let mut body = String::new();
+        let mut open_depth: Vec<usize> = Vec::new();
+        for c in &constituents {
+            // Close fieldsets for siblings shallower than this one.
+            while let Some(&d) = open_depth.last() {
+                if c.depth <= d {
+                    body.push_str(T_COMPLEX_CLOSE);
+                    open_depth.pop();
+                } else {
+                    break;
+                }
+            }
+            body.push_str(&render_constituent(c, prefill)?);
+            if c.kind == ConstituentKind::Complex {
+                open_depth.push(c.depth);
+            }
+        }
+        for _ in open_depth {
+            body.push_str(T_COMPLEX_CLOSE);
+        }
+        let ctx = BTreeMap::from([
+            ("title".to_owned(), Value::str(format!("{root} instance editor"))),
+            ("action".to_owned(), Value::str(action)),
+            ("body".to_owned(), Value::str(body)),
+        ]);
+        TemplateEngine::render_str(T_PAGE, &ctx)
+    }
+
+    /// Marshal submitted form data into a validated schema instance.
+    pub fn instance_from_form(&self, root: &str, form: &FormData) -> Result<Element> {
+        let registry = self.bindings(root)?;
+        let decl = self
+            .schema
+            .global_element(root)
+            .ok_or_else(|| WizardError::UnknownElement(root.to_owned()))?;
+        let beans = self.build_beans(decl, root, form, &registry)?;
+        let bean = beans
+            .into_iter()
+            .next()
+            .ok_or_else(|| WizardError::BadForm(format!("no data for {root:?}")))?;
+        registry.marshal_validated(&bean)
+    }
+
+    fn build_beans(
+        &self,
+        decl: &ElementDecl,
+        path: &str,
+        form: &FormData,
+        registry: &BeanRegistry,
+    ) -> Result<Vec<Bean>> {
+        let class = class_name_for(decl);
+        let ty = self
+            .schema
+            .resolve(&decl.ty)
+            .map_err(|e| WizardError::UnknownElement(e.to_string()))?;
+        match ty {
+            TypeDef::Simple(_) => {
+                let values = form_all(form, path);
+                if values.is_empty() {
+                    if decl.occurs.min == 0 {
+                        return Ok(Vec::new());
+                    }
+                    return Err(WizardError::BadForm(format!(
+                        "missing required field {path:?}"
+                    )));
+                }
+                let take = decl
+                    .occurs
+                    .max
+                    .map(|m| m as usize)
+                    .unwrap_or(usize::MAX)
+                    .min(values.len());
+                values[..take]
+                    .iter()
+                    .map(|v| {
+                        let mut b = registry.new_bean(&class)?;
+                        b.set_text(v.trim())
+                            .map_err(|e| WizardError::BadForm(e.to_string()))?;
+                        Ok(b)
+                    })
+                    .collect()
+            }
+            TypeDef::Complex(ct) => {
+                // Skip an optional complex group the form left untouched.
+                let touched = form.iter().any(|(k, v)| {
+                    !v.trim().is_empty() && (k == path || k.starts_with(&format!("{path}/")))
+                });
+                if !touched && decl.occurs.min == 0 {
+                    return Ok(Vec::new());
+                }
+                let mut bean = registry.new_bean(&class)?;
+                for (aname, _ty, required) in ct
+                    .attributes
+                    .iter()
+                    .map(|a| (a.name.clone(), a.ty.clone(), a.required))
+                {
+                    let key = format!("{path}/@{aname}");
+                    match form_first(form, &key) {
+                        Some(v) => bean
+                            .set_attr(&aname, v.trim())
+                            .map_err(|e| WizardError::BadForm(e.to_string()))?,
+                        None if required => {
+                            return Err(WizardError::BadForm(format!(
+                                "missing required attribute {key:?}"
+                            )))
+                        }
+                        None => {}
+                    }
+                }
+                if ct.text.is_some() {
+                    if let Some(v) = form_first(form, path) {
+                        bean.set_text(v.trim())
+                            .map_err(|e| WizardError::BadForm(e.to_string()))?;
+                    }
+                }
+                for child in &ct.sequence {
+                    let child_path = format!("{path}/{}", child.name);
+                    for cb in self.build_beans(child, &child_path, form, registry)? {
+                        bean.push_child(&child.name, cb)
+                            .map_err(|e| WizardError::BadForm(e.to_string()))?;
+                    }
+                }
+                Ok(vec![bean])
+            }
+        }
+    }
+}
+
+fn label_of(c: &Constituent) -> String {
+    c.name.clone()
+}
+
+fn render_constituent(c: &Constituent, prefill: &FormData) -> Result<String> {
+    let value = form_first(prefill, &c.path).unwrap_or("").to_owned();
+    match c.kind {
+        ConstituentKind::SingleSimple => {
+            let ctx = BTreeMap::from([
+                ("label".to_owned(), Value::str(label_of(c))),
+                ("name".to_owned(), Value::str(&c.path)),
+                ("value".to_owned(), Value::str(value)),
+                (
+                    "doc".to_owned(),
+                    Value::str(c.doc.clone().unwrap_or_default()),
+                ),
+            ]);
+            TemplateEngine::render_str(T_SINGLE, &ctx)
+        }
+        ConstituentKind::EnumeratedSimple => {
+            let st = c.simple.as_ref().expect("enumerated has simple type");
+            let options = Value::List(
+                st.enumeration
+                    .iter()
+                    .map(|o| {
+                        Value::Map(BTreeMap::from([
+                            ("value".to_owned(), Value::str(o)),
+                            ("selected".to_owned(), Value::Bool(*o == value)),
+                        ]))
+                    })
+                    .collect(),
+            );
+            let ctx = BTreeMap::from([
+                ("label".to_owned(), Value::str(label_of(c))),
+                ("name".to_owned(), Value::str(&c.path)),
+                ("options".to_owned(), options),
+            ]);
+            TemplateEngine::render_str(T_ENUM, &ctx)
+        }
+        ConstituentKind::UnboundedSimple => {
+            let existing = form_all(prefill, &c.path);
+            let slots: Vec<Value> = (0..existing.len().max(3))
+                .map(|i| {
+                    Value::Map(BTreeMap::from([(
+                        "value".to_owned(),
+                        Value::str(existing.get(i).copied().unwrap_or("")),
+                    )]))
+                })
+                .collect();
+            let ctx = BTreeMap::from([
+                ("label".to_owned(), Value::str(label_of(c))),
+                ("name".to_owned(), Value::str(&c.path)),
+                ("slots".to_owned(), Value::List(slots)),
+            ]);
+            TemplateEngine::render_str(T_UNBOUNDED, &ctx)
+        }
+        ConstituentKind::Complex => {
+            let mut attrs = String::new();
+            // Simple-content complex types get a value input for the text.
+            if c.simple.is_some() {
+                let ctx = BTreeMap::from([
+                    ("label".to_owned(), Value::str(format!("{} value", label_of(c)))),
+                    ("name".to_owned(), Value::str(&c.path)),
+                    ("value".to_owned(), Value::str(value.clone())),
+                    ("doc".to_owned(), Value::str("")),
+                ]);
+                attrs.push_str(&TemplateEngine::render_str(T_SINGLE, &ctx)?);
+            }
+            for (aname, _ty, required) in &c.attributes {
+                let key = format!("{}/@{aname}", c.path);
+                let ctx = BTreeMap::from([
+                    ("label".to_owned(), Value::str(aname)),
+                    ("name".to_owned(), Value::str(&key)),
+                    (
+                        "value".to_owned(),
+                        Value::str(form_first(prefill, &key).unwrap_or("")),
+                    ),
+                    ("required".to_owned(), Value::Bool(*required)),
+                ]);
+                attrs.push_str(&TemplateEngine::render_str(T_ATTR, &ctx)?);
+            }
+            let ctx = BTreeMap::from([
+                ("label".to_owned(), Value::str(label_of(c))),
+                (
+                    "doc".to_owned(),
+                    Value::str(c.doc.clone().unwrap_or_default()),
+                ),
+                ("attributes".to_owned(), Value::str(attrs)),
+            ]);
+            TemplateEngine::render_str(T_COMPLEX_OPEN, &ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_xml::{ComplexType, ElementDecl, Occurs, Primitive, SimpleType, TypeDef};
+
+    fn schema() -> Schema {
+        Schema::new("urn:test").with_element(ElementDecl::new(
+            "job",
+            TypeDef::Complex(
+                ComplexType::default()
+                    .with(ElementDecl::string("name").doc("Job name"))
+                    .with(ElementDecl::enumerated("scheduler", ["PBS", "LSF"]))
+                    .with(ElementDecl::string("arg").occurs(Occurs::ANY))
+                    .with(
+                        ElementDecl::new(
+                            "resources",
+                            TypeDef::Complex(
+                                ComplexType::default()
+                                    .with(ElementDecl::int("cpus"))
+                                    .with_attr(
+                                        "host",
+                                        SimpleType::plain(Primitive::String),
+                                        true,
+                                    ),
+                            ),
+                        )
+                        .occurs(Occurs::OPTIONAL),
+                    ),
+            ),
+        ))
+    }
+
+    fn wizard() -> SchemaWizard {
+        SchemaWizard::new(schema())
+    }
+
+    fn pairs(data: &[(&str, &str)]) -> Vec<(String, String)> {
+        data.iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn page_contains_all_widget_kinds() {
+        let page = wizard().generate_page("job", "/wizard/job", &[]).unwrap();
+        assert!(page.contains("name=\"job/name\""), "{page}");
+        assert!(page.contains("<select name=\"job/scheduler\">"));
+        assert!(page.contains("<option value=\"PBS\""));
+        // Three slots for the unbounded field.
+        assert_eq!(page.matches("name=\"job/arg\"").count(), 3);
+        assert!(page.contains("<fieldset><legend>resources"));
+        assert!(page.contains("name=\"job/resources/@host\""));
+        assert!(page.contains("method=\"POST\" action=\"/wizard/job\""));
+    }
+
+    #[test]
+    fn fieldsets_balance() {
+        let page = wizard().generate_page("job", "/x", &[]).unwrap();
+        assert_eq!(
+            page.matches("<fieldset>").count(),
+            page.matches("</fieldset>").count()
+        );
+    }
+
+    #[test]
+    fn docs_appear_as_hints() {
+        let page = wizard().generate_page("job", "/x", &[]).unwrap();
+        assert!(page.contains("<small>Job name</small>"));
+    }
+
+    #[test]
+    fn prefill_populates_values_and_selection() {
+        let pre = pairs(&[
+            ("job/name", "g98"),
+            ("job/scheduler", "LSF"),
+            ("job/arg", "-a"),
+        ]);
+        let page = wizard().generate_page("job", "/x", &pre).unwrap();
+        assert!(page.contains("value=\"g98\""));
+        assert!(page.contains("<option value=\"LSF\" selected>"));
+        assert!(page.contains("value=\"-a\""));
+    }
+
+    #[test]
+    fn form_round_trip_produces_valid_instance() {
+        let w = wizard();
+        let form = pairs(&[
+            ("job/name", "g98run"),
+            ("job/scheduler", "PBS"),
+            ("job/arg", "-fast"),
+            ("job/arg", "-big"),
+            ("job/resources/cpus", "8"),
+            ("job/resources/@host", "tg-login"),
+        ]);
+        let inst = w.instance_from_form("job", &form).unwrap();
+        assert_eq!(inst.find_text("name"), Some("g98run"));
+        assert_eq!(inst.find_all("arg").count(), 2);
+        assert_eq!(
+            inst.find("resources").and_then(|r| r.attr("host")),
+            Some("tg-login")
+        );
+        // And it validates against the schema (checked inside, but assert
+        // again from outside for clarity).
+        w.schema().validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn optional_group_skipped_when_untouched() {
+        let w = wizard();
+        let form = pairs(&[("job/name", "n"), ("job/scheduler", "PBS")]);
+        let inst = w.instance_from_form("job", &form).unwrap();
+        assert!(inst.find("resources").is_none());
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let w = wizard();
+        let form = pairs(&[("job/scheduler", "PBS")]);
+        let err = w.instance_from_form("job", &form).unwrap_err();
+        assert!(err.to_string().contains("job/name"), "{err}");
+    }
+
+    #[test]
+    fn bad_enum_value_rejected() {
+        let w = wizard();
+        let form = pairs(&[("job/name", "n"), ("job/scheduler", "SLURM")]);
+        assert!(w.instance_from_form("job", &form).is_err());
+    }
+
+    #[test]
+    fn missing_required_attribute_rejected() {
+        let w = wizard();
+        let form = pairs(&[
+            ("job/name", "n"),
+            ("job/scheduler", "PBS"),
+            ("job/resources/cpus", "4"),
+        ]);
+        let err = w.instance_from_form("job", &form).unwrap_err();
+        assert!(err.to_string().contains("@host"), "{err}");
+    }
+
+    #[test]
+    fn empty_values_treated_as_absent() {
+        let w = wizard();
+        let form = pairs(&[
+            ("job/name", "n"),
+            ("job/scheduler", "PBS"),
+            ("job/arg", ""),
+            ("job/arg", "  "),
+            ("job/resources/cpus", ""),
+        ]);
+        let inst = w.instance_from_form("job", &form).unwrap();
+        assert_eq!(inst.find_all("arg").count(), 0);
+        assert!(inst.find("resources").is_none());
+    }
+
+    #[test]
+    fn edit_old_instance_round_trip() {
+        // Create → render prefilled form → re-submit → identical instance.
+        let w = wizard();
+        let form = pairs(&[
+            ("job/name", "orig"),
+            ("job/scheduler", "LSF"),
+            ("job/arg", "-x"),
+        ]);
+        let inst = w.instance_from_form("job", &form).unwrap();
+        let page = w.generate_page("job", "/x", &form).unwrap();
+        assert!(page.contains("value=\"orig\""));
+        let inst2 = w.instance_from_form("job", &form).unwrap();
+        assert_eq!(inst, inst2);
+    }
+}

@@ -1,0 +1,65 @@
+//! The schema wizard of §5.3 / Figure 3.
+//!
+//! "By abstracting the application description into instances of a set of
+//! linked schema, we may automate the generation of the user interface: a
+//! web client proxy portlet can download the XML description of an
+//! application and automatically map the schema elements into visual
+//! widgets (HTML Form elements, for example). This approach can be
+//! generalized to create a general purpose schema wizard."
+//!
+//! The Figure 3 pipeline, stage by stage:
+//!
+//! | Figure 3 stage               | This crate                         |
+//! |------------------------------|------------------------------------|
+//! | Schema Processor             | `xml::Schema` parsing + [`som`]    |
+//! | Castor SOM                   | [`som::Som`] constituent traversal |
+//! | Castor source generator → JavaBeans | [`binding`] bean classes    |
+//! | Velocity templates           | [`template`] engine                |
+//! | JSP and HTML forms           | [`forms`] + [`webapp`]             |
+//!
+//! The four templated constituent types come straight from the paper:
+//! "single simple types, enumerated simple types, unbounded simple types,
+//! and complex types."
+
+pub mod binding;
+pub mod forms;
+pub mod som;
+pub mod template;
+pub mod webapp;
+
+pub use binding::{Bean, BeanClass, BeanRegistry, FieldValue};
+pub use forms::SchemaWizard;
+pub use som::{Constituent, ConstituentKind, Som};
+pub use template::{TemplateEngine, Value};
+pub use webapp::WizardApp;
+
+use std::fmt;
+
+/// Errors raised by the wizard pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WizardError {
+    /// The schema lacks the requested element or type.
+    UnknownElement(String),
+    /// A template failed to render.
+    Template(String),
+    /// Submitted form data does not produce a valid instance.
+    BadForm(String),
+    /// Bean misuse (unknown field, wrong cardinality).
+    BadBean(String),
+}
+
+impl fmt::Display for WizardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WizardError::UnknownElement(e) => write!(f, "unknown schema element {e:?}"),
+            WizardError::Template(msg) => write!(f, "template error: {msg}"),
+            WizardError::BadForm(msg) => write!(f, "bad form submission: {msg}"),
+            WizardError::BadBean(msg) => write!(f, "bean error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WizardError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WizardError>;

@@ -1,0 +1,253 @@
+//! Schema Object Model: classify schema constituents for templating.
+//!
+//! "The SOM provides a more convenient API for working with general
+//! schema elements than the XML DOM… The SOM is used to transverse the
+//! schema to detect if the element corresponds to one of the templated
+//! types above."
+
+use portalws_xml::{Occurs, Schema, SimpleType, TypeDef, TypeRef};
+
+use crate::{Result, WizardError};
+
+/// The four templated constituent types of §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstituentKind {
+    /// A simple-typed element occurring at most once.
+    SingleSimple,
+    /// A simple-typed element restricted to an enumeration.
+    EnumeratedSimple,
+    /// A simple-typed element with `maxOccurs > 1`.
+    UnboundedSimple,
+    /// A complex-typed element (renders as a nested fieldset).
+    Complex,
+}
+
+/// One schema constituent discovered by traversal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constituent {
+    /// Slash path from the root element (`application/basicInformation/name`).
+    pub path: String,
+    /// Element name.
+    pub name: String,
+    /// Template classification.
+    pub kind: ConstituentKind,
+    /// Occurrence bounds.
+    pub occurs: Occurs,
+    /// Nesting depth from the root (root = 0).
+    pub depth: usize,
+    /// Documentation, if the schema carries any (used as the form label).
+    pub doc: Option<String>,
+    /// The simple type: set for the three simple kinds, and for complex
+    /// constituents with simple (text) content.
+    pub simple: Option<SimpleType>,
+    /// Required attributes of a complex constituent (rendered as inputs).
+    pub attributes: Vec<(String, SimpleType, bool)>,
+}
+
+/// Traversal façade over a schema.
+pub struct Som<'s> {
+    schema: &'s Schema,
+}
+
+impl<'s> Som<'s> {
+    /// Wrap a schema.
+    pub fn new(schema: &'s Schema) -> Som<'s> {
+        Som { schema }
+    }
+
+    /// Depth-first constituent list for the global element `root`.
+    pub fn walk(&self, root: &str) -> Result<Vec<Constituent>> {
+        let decl = self
+            .schema
+            .global_element(root)
+            .ok_or_else(|| WizardError::UnknownElement(root.to_owned()))?;
+        let mut out = Vec::new();
+        self.visit(decl, root, 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn visit(
+        &self,
+        decl: &portalws_xml::ElementDecl,
+        path: &str,
+        depth: usize,
+        out: &mut Vec<Constituent>,
+    ) -> Result<()> {
+        let ty = self
+            .schema
+            .resolve(&decl.ty)
+            .map_err(|e| WizardError::UnknownElement(e.to_string()))?;
+        match ty {
+            TypeDef::Simple(st) => {
+                let kind = if !st.enumeration.is_empty() {
+                    ConstituentKind::EnumeratedSimple
+                } else if decl.occurs.is_unbounded() {
+                    ConstituentKind::UnboundedSimple
+                } else {
+                    ConstituentKind::SingleSimple
+                };
+                out.push(Constituent {
+                    path: path.to_owned(),
+                    name: decl.name.clone(),
+                    kind,
+                    occurs: decl.occurs,
+                    depth,
+                    doc: decl.doc.clone(),
+                    simple: Some(st.clone()),
+                    attributes: Vec::new(),
+                });
+            }
+            TypeDef::Complex(ct) => {
+                out.push(Constituent {
+                    path: path.to_owned(),
+                    name: decl.name.clone(),
+                    kind: ConstituentKind::Complex,
+                    occurs: decl.occurs,
+                    depth,
+                    doc: decl.doc.clone(),
+                    // Simple-content complex types expose their text type
+                    // so the form can render a value input.
+                    simple: ct.text.clone(),
+                    attributes: ct
+                        .attributes
+                        .iter()
+                        .map(|a| (a.name.clone(), a.ty.clone(), a.required))
+                        .collect(),
+                });
+                for child in &ct.sequence {
+                    let child_path = format!("{path}/{}", child.name);
+                    self.visit(child, &child_path, depth + 1, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count constituents by kind — the artifact-count series of
+    /// experiment E3.
+    pub fn census(&self, root: &str) -> Result<[usize; 4]> {
+        let mut counts = [0usize; 4];
+        for c in self.walk(root)? {
+            let i = match c.kind {
+                ConstituentKind::SingleSimple => 0,
+                ConstituentKind::EnumeratedSimple => 1,
+                ConstituentKind::UnboundedSimple => 2,
+                ConstituentKind::Complex => 3,
+            };
+            counts[i] += 1;
+        }
+        Ok(counts)
+    }
+}
+
+/// A named-type reference helper used by binding generation: the
+/// type-name a declaration resolves to, for naming generated classes.
+pub fn class_name_for(decl: &portalws_xml::ElementDecl) -> String {
+    match &decl.ty {
+        TypeRef::Named(n) => n.clone(),
+        TypeRef::Inline(_) => {
+            // Anonymous types get a class named after the element, like
+            // Castor's generated classes.
+            let mut name = decl.name.clone();
+            if let Some(first) = name.get_mut(0..1) {
+                first.make_ascii_uppercase();
+            }
+            name
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_xml::{ComplexType, ElementDecl, Primitive, SimpleType, TypeDef};
+
+    fn schema() -> Schema {
+        Schema::new("urn:test")
+            .with_element(ElementDecl::new(
+                "job",
+                TypeDef::Complex(
+                    ComplexType::default()
+                        .with(ElementDecl::string("name").doc("Job name"))
+                        .with(ElementDecl::enumerated("scheduler", ["PBS", "LSF"]))
+                        .with(ElementDecl::string("arg").occurs(Occurs::ANY))
+                        .with(ElementDecl::new(
+                            "resources",
+                            TypeDef::Complex(
+                                ComplexType::default()
+                                    .with(ElementDecl::int("cpus"))
+                                    .with_attr(
+                                        "host",
+                                        SimpleType::plain(Primitive::String),
+                                        true,
+                                    ),
+                            ),
+                        )),
+                ),
+            ))
+    }
+
+    #[test]
+    fn walk_classifies_all_four_kinds() {
+        let s = schema();
+        let constituents = Som::new(&s).walk("job").unwrap();
+        let kinds: Vec<(String, ConstituentKind)> = constituents
+            .iter()
+            .map(|c| (c.path.clone(), c.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("job".into(), ConstituentKind::Complex),
+                ("job/name".into(), ConstituentKind::SingleSimple),
+                ("job/scheduler".into(), ConstituentKind::EnumeratedSimple),
+                ("job/arg".into(), ConstituentKind::UnboundedSimple),
+                ("job/resources".into(), ConstituentKind::Complex),
+                ("job/resources/cpus".into(), ConstituentKind::SingleSimple),
+            ]
+        );
+    }
+
+    #[test]
+    fn depths_and_docs() {
+        let s = schema();
+        let cs = Som::new(&s).walk("job").unwrap();
+        assert_eq!(cs[0].depth, 0);
+        assert_eq!(cs[5].depth, 2);
+        assert_eq!(cs[1].doc.as_deref(), Some("Job name"));
+    }
+
+    #[test]
+    fn complex_constituents_carry_attributes() {
+        let s = schema();
+        let cs = Som::new(&s).walk("job").unwrap();
+        let resources = cs.iter().find(|c| c.name == "resources").unwrap();
+        assert_eq!(resources.attributes.len(), 1);
+        assert_eq!(resources.attributes[0].0, "host");
+        assert!(resources.attributes[0].2);
+    }
+
+    #[test]
+    fn census_counts() {
+        let s = schema();
+        assert_eq!(Som::new(&s).census("job").unwrap(), [2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn unknown_root_errors() {
+        let s = schema();
+        assert!(matches!(
+            Som::new(&s).walk("ghost"),
+            Err(WizardError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(class_name_for(&ElementDecl::string("name")), "Name");
+        assert_eq!(
+            class_name_for(&ElementDecl::named("host", "HostType")),
+            "HostType"
+        );
+    }
+}

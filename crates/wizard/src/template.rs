@@ -1,0 +1,426 @@
+//! A Velocity-style template engine.
+//!
+//! Figure 3 renders forms through Velocity templates; this engine covers
+//! the subset those templates need:
+//!
+//! * `$name`, `${name}`, `$item.field` — variable references;
+//! * `#if($cond) … #else … #end` — conditionals (missing variables are
+//!   falsy);
+//! * `#foreach($item in $list) … #end` — iteration over list values.
+//!
+//! Values are dynamically typed ([`Value`]); lookups walk a scope chain
+//! so `#foreach` variables shadow outer context.
+
+use std::collections::BTreeMap;
+
+use crate::{Result, WizardError};
+
+/// A template value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Text.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// A list (iterated by `#foreach`).
+    List(Vec<Value>),
+    /// A record (fields accessed as `$var.field`).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Convenience constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Velocity truthiness: false/empty values are falsy.
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::List(l) => l.iter().map(Value::render).collect::<Vec<_>>().join(","),
+            Value::Map(_) => "[object]".to_owned(),
+        }
+    }
+}
+
+/// Parsed template node.
+#[derive(Debug, Clone, PartialEq)]
+enum TNode {
+    Text(String),
+    Var(Vec<String>),
+    If {
+        cond: Vec<String>,
+        then: Vec<TNode>,
+        els: Vec<TNode>,
+    },
+    Foreach {
+        var: String,
+        list: Vec<String>,
+        body: Vec<TNode>,
+    },
+}
+
+/// The engine: parse once, render many times.
+pub struct TemplateEngine {
+    nodes: Vec<TNode>,
+}
+
+/// The rendering scope: a chain of maps, innermost last.
+type Scope<'v> = Vec<&'v BTreeMap<String, Value>>;
+
+impl TemplateEngine {
+    /// Parse a template.
+    pub fn parse(src: &str) -> Result<TemplateEngine> {
+        let mut pos = 0;
+        let nodes = parse_block(src, &mut pos, &["#end", "#else"], false)?;
+        if pos < src.len() {
+            return Err(WizardError::Template(format!(
+                "unexpected directive at byte {pos}"
+            )));
+        }
+        Ok(TemplateEngine { nodes })
+    }
+
+    /// Render with a context.
+    pub fn render(&self, ctx: &BTreeMap<String, Value>) -> Result<String> {
+        let mut out = String::new();
+        let scope: Scope = vec![ctx];
+        render_nodes(&self.nodes, &scope, &mut out)?;
+        Ok(out)
+    }
+
+    /// One-shot convenience.
+    pub fn render_str(src: &str, ctx: &BTreeMap<String, Value>) -> Result<String> {
+        TemplateEngine::parse(src)?.render(ctx)
+    }
+}
+
+fn lookup<'v>(scope: &Scope<'v>, path: &[String]) -> Option<&'v Value> {
+    let mut v: &Value = scope
+        .iter()
+        .rev()
+        .find_map(|m| m.get(path.first()?))?;
+    for seg in &path[1..] {
+        match v {
+            Value::Map(m) => v = m.get(seg)?,
+            _ => return None,
+        }
+    }
+    Some(v)
+}
+
+fn render_nodes(nodes: &[TNode], scope: &Scope, out: &mut String) -> Result<()> {
+    for node in nodes {
+        match node {
+            TNode::Text(t) => out.push_str(t),
+            TNode::Var(path) => {
+                if let Some(v) = lookup(scope, path) {
+                    out.push_str(&v.render());
+                }
+                // Missing variables render as empty, like Velocity's $!.
+            }
+            TNode::If { cond, then, els } => {
+                let t = lookup(scope, cond).map(Value::truthy).unwrap_or(false);
+                render_nodes(if t { then } else { els }, scope, out)?;
+            }
+            TNode::Foreach { var, list, body } => {
+                let Some(Value::List(items)) = lookup(scope, list) else {
+                    continue; // absent or non-list: render nothing
+                };
+                for item in items {
+                    let mut local = BTreeMap::new();
+                    local.insert(var.clone(), item.clone());
+                    let mut inner: Scope = scope.clone();
+                    inner.push(&local);
+                    render_nodes(body, &inner, out)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse `$name`, `${name.field}`, `$name.field` starting at the `$`.
+fn parse_var(src: &str, pos: &mut usize) -> Result<Vec<String>> {
+    if !src[*pos..].starts_with('$') {
+        return Err(WizardError::Template(format!(
+            "expected a $variable at byte {}",
+            *pos
+        )));
+    }
+    *pos += 1;
+    let braced = src[*pos..].starts_with('{');
+    if braced {
+        *pos += 1;
+    }
+    let rest = &src[*pos..];
+    let len = rest
+        .chars()
+        .take_while(|&c| is_ident(c) || c == '.')
+        .map(char::len_utf8)
+        .sum::<usize>();
+    if len == 0 {
+        return Err(WizardError::Template(format!(
+            "bad variable reference at byte {}",
+            *pos
+        )));
+    }
+    let path: Vec<String> = rest[..len].split('.').map(str::to_owned).collect();
+    *pos += len;
+    if braced {
+        if !src[*pos..].starts_with('}') {
+            return Err(WizardError::Template("unclosed ${…}".into()));
+        }
+        *pos += 1;
+    }
+    Ok(path)
+}
+
+/// Parse until one of `stops` (or EOF if `stops` allowed to be terminal).
+fn parse_block(
+    src: &str,
+    pos: &mut usize,
+    stops: &[&str],
+    must_stop: bool,
+) -> Result<Vec<TNode>> {
+    let mut nodes = Vec::new();
+    let mut text = String::new();
+    while *pos < src.len() {
+        let rest = &src[*pos..];
+        if stops.iter().any(|s| rest.starts_with(s)) {
+            if !text.is_empty() {
+                nodes.push(TNode::Text(std::mem::take(&mut text)));
+            }
+            return Ok(nodes);
+        }
+        if rest.starts_with("#if(") {
+            if !text.is_empty() {
+                nodes.push(TNode::Text(std::mem::take(&mut text)));
+            }
+            *pos += 4;
+            skip_ws(src, pos);
+            let cond = parse_var(src, pos)?;
+            skip_ws(src, pos);
+            expect(src, pos, ")")?;
+            let then = parse_block(src, pos, &["#else", "#end"], true)?;
+            let els = if src[*pos..].starts_with("#else") {
+                *pos += 5;
+                parse_block(src, pos, &["#end"], true)?
+            } else {
+                Vec::new()
+            };
+            expect(src, pos, "#end")?;
+            nodes.push(TNode::If { cond, then, els });
+            continue;
+        }
+        if rest.starts_with("#foreach(") {
+            if !text.is_empty() {
+                nodes.push(TNode::Text(std::mem::take(&mut text)));
+            }
+            *pos += 9;
+            skip_ws(src, pos);
+            let var = parse_var(src, pos)?;
+            if var.len() != 1 {
+                return Err(WizardError::Template(
+                    "#foreach variable must be simple".into(),
+                ));
+            }
+            skip_ws(src, pos);
+            expect(src, pos, "in")?;
+            skip_ws(src, pos);
+            let list = parse_var(src, pos)?;
+            skip_ws(src, pos);
+            expect(src, pos, ")")?;
+            let body = parse_block(src, pos, &["#end"], true)?;
+            expect(src, pos, "#end")?;
+            nodes.push(TNode::Foreach {
+                var: var.into_iter().next().expect("len checked"),
+                list,
+                body,
+            });
+            continue;
+        }
+        if rest.starts_with('$')
+            && rest[1..]
+                .chars()
+                .next()
+                .is_some_and(|c| is_ident(c) || c == '{')
+        {
+            if !text.is_empty() {
+                nodes.push(TNode::Text(std::mem::take(&mut text)));
+            }
+            nodes.push(TNode::Var(parse_var(src, pos)?));
+            continue;
+        }
+        let c = rest.chars().next().expect("pos < len");
+        text.push(c);
+        *pos += c.len_utf8();
+    }
+    if must_stop {
+        return Err(WizardError::Template(format!(
+            "unterminated block, expected one of {stops:?}"
+        )));
+    }
+    if !text.is_empty() {
+        nodes.push(TNode::Text(text));
+    }
+    Ok(nodes)
+}
+
+fn skip_ws(src: &str, pos: &mut usize) {
+    while src[*pos..].starts_with(|c: char| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(src: &str, pos: &mut usize, token: &str) -> Result<()> {
+    if src[*pos..].starts_with(token) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(WizardError::Template(format!(
+            "expected {token:?} at byte {}",
+            *pos
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn plain_text_passthrough() {
+        let out = TemplateEngine::render_str("hello <b>world</b>", &ctx(&[])).unwrap();
+        assert_eq!(out, "hello <b>world</b>");
+    }
+
+    #[test]
+    fn variable_substitution() {
+        let out = TemplateEngine::render_str(
+            "Hello $name, a.k.a. ${name}!",
+            &ctx(&[("name", Value::str("alice"))]),
+        )
+        .unwrap();
+        assert_eq!(out, "Hello alice, a.k.a. alice!");
+    }
+
+    #[test]
+    fn missing_variables_render_empty() {
+        let out = TemplateEngine::render_str("[$ghost]", &ctx(&[])).unwrap();
+        assert_eq!(out, "[]");
+    }
+
+    #[test]
+    fn dollar_without_ident_is_literal() {
+        let out = TemplateEngine::render_str("cost: $ 5 and $-x", &ctx(&[])).unwrap();
+        assert_eq!(out, "cost: $ 5 and $-x");
+    }
+
+    #[test]
+    fn if_else() {
+        let t = "#if($on)yes#else no#end";
+        assert_eq!(
+            TemplateEngine::render_str(t, &ctx(&[("on", Value::Bool(true))])).unwrap(),
+            "yes"
+        );
+        assert_eq!(
+            TemplateEngine::render_str(t, &ctx(&[("on", Value::Bool(false))])).unwrap(),
+            " no"
+        );
+        assert_eq!(TemplateEngine::render_str(t, &ctx(&[])).unwrap(), " no");
+    }
+
+    #[test]
+    fn truthiness_of_strings_and_lists() {
+        let t = "#if($s)S#end#if($l)L#end";
+        let out = TemplateEngine::render_str(
+            t,
+            &ctx(&[("s", Value::str("")), ("l", Value::List(vec![Value::str("x")]))]),
+        )
+        .unwrap();
+        assert_eq!(out, "L");
+    }
+
+    #[test]
+    fn foreach_over_maps() {
+        let items = Value::List(vec![
+            Value::Map(ctx(&[("name", Value::str("PBS"))])),
+            Value::Map(ctx(&[("name", Value::str("LSF"))])),
+        ]);
+        let out = TemplateEngine::render_str(
+            "#foreach($q in $queues)<option>$q.name</option>#end",
+            &ctx(&[("queues", items)]),
+        )
+        .unwrap();
+        assert_eq!(out, "<option>PBS</option><option>LSF</option>");
+    }
+
+    #[test]
+    fn foreach_scoping_shadows_and_restores() {
+        let out = TemplateEngine::render_str(
+            "$x #foreach($x in $xs)[$x]#end $x",
+            &ctx(&[
+                ("x", Value::str("outer")),
+                ("xs", Value::List(vec![Value::str("a"), Value::str("b")])),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(out, "outer [a][b] outer");
+    }
+
+    #[test]
+    fn nested_directives() {
+        let items = Value::List(vec![
+            Value::Map(ctx(&[("v", Value::str("one")), ("show", Value::Bool(true))])),
+            Value::Map(ctx(&[("v", Value::str("two")), ("show", Value::Bool(false))])),
+        ]);
+        let out = TemplateEngine::render_str(
+            "#foreach($i in $items)#if($i.show)$i.v #end#end",
+            &ctx(&[("items", items)]),
+        )
+        .unwrap();
+        assert_eq!(out, "one ");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(TemplateEngine::parse("#if($x) unterminated").is_err());
+        assert!(TemplateEngine::parse("#foreach($x in) #end").is_err());
+        assert!(TemplateEngine::parse("${unclosed").is_err());
+        assert!(TemplateEngine::parse("stray #end").is_err());
+    }
+
+    #[test]
+    fn dotted_paths() {
+        let inner = Value::Map(ctx(&[("b", Value::str("deep"))]));
+        let out = TemplateEngine::render_str(
+            "$a.b and $a.missing",
+            &ctx(&[("a", inner)]),
+        )
+        .unwrap();
+        assert_eq!(out, "deep and ");
+    }
+}

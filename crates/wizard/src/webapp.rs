@@ -1,0 +1,175 @@
+//! The deployed wizard web application.
+//!
+//! Figure 3's SchemaParser "deploys them as a JSP web application, and
+//! loads the new web application into the server". The Rust equivalent:
+//! [`WizardApp`] is a wire [`Handler`] that serves the generated form on
+//! GET and marshals submissions into validated schema instances on POST —
+//! mountable on any portal server, and proxied by `WebFormPortlet` in the
+//! portlet layer.
+
+use parking_lot::RwLock;
+use portalws_wire::http::parse_form;
+use portalws_wire::{Handler, Request, Response, Status};
+use portalws_xml::{Element, Schema};
+
+use crate::forms::SchemaWizard;
+
+/// A deployed schema-wizard application.
+pub struct WizardApp {
+    wizard: SchemaWizard,
+    mount: String,
+    /// Instances created through the app, newest last (the session
+    /// archive the portal layer reads back).
+    instances: RwLock<Vec<Element>>,
+}
+
+impl WizardApp {
+    /// Deploy a wizard for `schema` at path prefix `mount`
+    /// (e.g. `"/wizard"`).
+    pub fn new(schema: Schema, mount: impl Into<String>) -> WizardApp {
+        WizardApp {
+            wizard: SchemaWizard::new(schema),
+            mount: mount.into(),
+            instances: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The wizard in use.
+    pub fn wizard(&self) -> &SchemaWizard {
+        &self.wizard
+    }
+
+    /// Instances created so far.
+    pub fn instances(&self) -> Vec<Element> {
+        self.instances.read().clone()
+    }
+
+    fn root_of(&self, req: &Request) -> Option<String> {
+        let path = req.path_only();
+        let rest = path.strip_prefix(self.mount.as_str())?;
+        let root = rest.trim_matches('/');
+        if root.is_empty() {
+            None
+        } else {
+            Some(root.to_owned())
+        }
+    }
+
+    fn index_page(&self) -> String {
+        let mut body = String::from("<html><body><h1>Schema wizard</h1><ul>");
+        for decl in &self.wizard.schema().elements {
+            body.push_str(&format!(
+                "<li><a href=\"{}/{}\">{}</a></li>",
+                self.mount, decl.name, decl.name
+            ));
+        }
+        body.push_str("</ul></body></html>");
+        body
+    }
+}
+
+impl Handler for WizardApp {
+    fn handle(&self, req: &Request) -> Response {
+        let Some(root) = self.root_of(req) else {
+            return Response::html(self.index_page());
+        };
+        match req.method.as_str() {
+            "GET" => {
+                let action = format!("{}/{root}", self.mount);
+                match self.wizard.generate_page(&root, &action, &[]) {
+                    Ok(page) => Response::html(page),
+                    Err(e) => Response::error(Status::NotFound, e.to_string()),
+                }
+            }
+            "POST" => {
+                let form = parse_form(&req.body_str());
+                match self.wizard.instance_from_form(&root, &form) {
+                    Ok(instance) => {
+                        self.instances.write().push(instance.clone());
+                        Response::xml(instance.to_document())
+                    }
+                    Err(e) => Response::error(Status::BadRequest, e.to_string()),
+                }
+            }
+            _ => Response::error(Status::BadRequest, "GET or POST only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portalws_wire::http::encode_form;
+    use portalws_xml::{ComplexType, ElementDecl, TypeDef};
+
+    fn app() -> WizardApp {
+        let schema = Schema::new("urn:t").with_element(ElementDecl::new(
+            "experiment",
+            TypeDef::Complex(
+                ComplexType::default()
+                    .with(ElementDecl::string("title"))
+                    .with(ElementDecl::enumerated("code", ["g98", "amber"])),
+            ),
+        ));
+        WizardApp::new(schema, "/wizard")
+    }
+
+    #[test]
+    fn index_lists_roots() {
+        let resp = app().handle(&Request::get("/wizard"));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body_str().contains("/wizard/experiment"));
+    }
+
+    #[test]
+    fn get_serves_form() {
+        let resp = app().handle(&Request::get("/wizard/experiment"));
+        assert_eq!(resp.status, Status::Ok);
+        let page = resp.body_str();
+        assert!(page.contains("name=\"experiment/title\""));
+        assert!(page.contains("action=\"/wizard/experiment\""));
+    }
+
+    #[test]
+    fn unknown_root_404() {
+        let resp = app().handle(&Request::get("/wizard/ghost"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn post_creates_validated_instance() {
+        let a = app();
+        let body = encode_form(&[
+            ("experiment/title".into(), "run 1".into()),
+            ("experiment/code".into(), "g98".into()),
+        ]);
+        let resp = a.handle(&Request::post("/wizard/experiment", body));
+        assert_eq!(resp.status, Status::Ok);
+        let doc = Element::parse(&resp.body_str()).unwrap();
+        assert_eq!(doc.find_text("title"), Some("run 1"));
+        assert_eq!(a.instances().len(), 1);
+    }
+
+    #[test]
+    fn post_bad_data_is_400() {
+        let a = app();
+        let body = encode_form(&[("experiment/code".into(), "fortran".into())]);
+        let resp = a.handle(&Request::post("/wizard/experiment", body));
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(a.instances().is_empty());
+    }
+
+    #[test]
+    fn full_http_cycle_with_url_encoding() {
+        let a = app();
+        // Values with spaces and specials survive the form encoding.
+        let body = encode_form(&[
+            ("experiment/title".into(), "p = q & r < s".into()),
+            ("experiment/code".into(), "amber".into()),
+        ]);
+        let resp = a.handle(&Request::post("/wizard/experiment", body));
+        assert_eq!(resp.status, Status::Ok);
+        let doc = Element::parse(&resp.body_str()).unwrap();
+        assert_eq!(doc.find_text("title"), Some("p = q & r < s"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Structural compatibility between WSDL definitions.
+//!
+//! §3.4: the groups "agreed to a common service interface, implemented it
+//! separately with support for different queuing systems" — and the paper
+//! warns that "simply using SOAP and WSDL does not automatically create
+//! interoperability". This module mechanizes the agreement check: a
+//! *client written against* definition `required` can safely call a
+//! *service publishing* definition `provided` iff every required operation
+//! exists with identical parameter names/types in order and an identical
+//! return type.
+//!
+//! The check is deliberately one-directional: the provider may offer
+//! additional operations (HotPage's script generator supported different
+//! schedulers than Gateway's) without breaking clients.
+
+use portalws_soap::SoapType;
+
+use crate::model::{Operation, WsdlDefinition};
+
+/// Human-readable differences that make `provided` unusable by a client of
+/// `required`. Empty means compatible.
+pub fn diff(required: &WsdlDefinition, provided: &WsdlDefinition) -> Vec<String> {
+    let mut problems = Vec::new();
+    for need in &required.operations {
+        match provided.operation(&need.name) {
+            None => problems.push(format!("missing operation {:?}", need.name)),
+            Some(have) => diff_operation(need, have, &mut problems),
+        }
+    }
+    problems
+}
+
+fn type_name(t: SoapType) -> &'static str {
+    t.wire_name()
+}
+
+fn diff_operation(need: &Operation, have: &Operation, problems: &mut Vec<String>) {
+    if need.inputs.len() != have.inputs.len() {
+        problems.push(format!(
+            "operation {:?}: expected {} parameters, found {}",
+            need.name,
+            need.inputs.len(),
+            have.inputs.len()
+        ));
+        return;
+    }
+    for (i, (n, h)) in need.inputs.iter().zip(&have.inputs).enumerate() {
+        if n.name != h.name {
+            problems.push(format!(
+                "operation {:?}: parameter {i} named {:?}, expected {:?}",
+                need.name, h.name, n.name
+            ));
+        }
+        if n.ty != h.ty {
+            problems.push(format!(
+                "operation {:?}: parameter {:?} has type {}, expected {}",
+                need.name,
+                n.name,
+                type_name(h.ty),
+                type_name(n.ty)
+            ));
+        }
+    }
+    if need.output.ty != have.output.ty {
+        problems.push(format!(
+            "operation {:?}: returns {}, expected {}",
+            need.name,
+            type_name(have.output.ty),
+            type_name(need.output.ty)
+        ));
+    }
+}
+
+/// True when a client of `required` can call a service publishing
+/// `provided`.
+pub fn is_compatible(required: &WsdlDefinition, provided: &WsdlDefinition) -> bool {
+    diff(required, provided).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Part;
+    use portalws_soap::MethodDesc;
+
+    fn base() -> WsdlDefinition {
+        WsdlDefinition::from_methods(
+            "Gen",
+            &[MethodDesc::new(
+                "generateScript",
+                vec![("scheduler", SoapType::String), ("cpus", SoapType::Int)],
+                SoapType::String,
+                "",
+            )],
+        )
+    }
+
+    #[test]
+    fn identical_is_compatible() {
+        assert!(is_compatible(&base(), &base()));
+    }
+
+    #[test]
+    fn provider_may_add_operations() {
+        let mut provided = base();
+        provided.operations.push(Operation {
+            name: "extra".into(),
+            doc: String::new(),
+            inputs: vec![],
+            output: Part::new("return", SoapType::Void),
+        });
+        assert!(is_compatible(&base(), &provided));
+        // …but not the other way around.
+        assert!(!is_compatible(&provided, &base()));
+    }
+
+    #[test]
+    fn missing_operation_detected() {
+        let provided = WsdlDefinition::from_methods("Gen", &[]);
+        let problems = diff(&base(), &provided);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("missing operation"));
+    }
+
+    #[test]
+    fn parameter_type_mismatch_detected() {
+        let mut provided = base();
+        provided.operations[0].inputs[1].ty = SoapType::String;
+        let problems = diff(&base(), &provided);
+        assert!(problems.iter().any(|p| p.contains("cpus")), "{problems:?}");
+    }
+
+    #[test]
+    fn parameter_name_mismatch_detected() {
+        let mut provided = base();
+        provided.operations[0].inputs[0].name = "queueSystem".into();
+        assert!(!is_compatible(&base(), &provided));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut provided = base();
+        provided.operations[0].inputs.pop();
+        let problems = diff(&base(), &provided);
+        assert!(problems[0].contains("parameters"), "{problems:?}");
+    }
+
+    #[test]
+    fn return_type_mismatch_detected() {
+        let mut provided = base();
+        provided.operations[0].output.ty = SoapType::Array;
+        assert!(!is_compatible(&base(), &provided));
+    }
+
+    #[test]
+    fn namespace_and_endpoint_do_not_matter() {
+        let mut provided = base();
+        provided.target_ns = "urn:SomewhereElse".into();
+        provided.endpoint = Some("http://other:1/soap/Gen".into());
+        assert!(is_compatible(&base(), &provided));
+    }
+}

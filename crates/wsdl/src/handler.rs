@@ -1,0 +1,139 @@
+//! HTTP handler that publishes WSDL documents.
+//!
+//! Figure 1: "The UDDI maintains links to the service providers' WSDL
+//! files and server URLs." Each SOAP Service Provider therefore also
+//! serves its interface definitions over plain GET; this handler mounts at
+//! `/wsdl` and answers `/wsdl/<ServiceName>`.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use portalws_soap::SoapService;
+use portalws_wire::{Handler, Request, Response, Status};
+
+use crate::model::WsdlDefinition;
+
+/// Serves WSDL documents for a set of services.
+#[derive(Default)]
+pub struct WsdlHandler {
+    defs: RwLock<HashMap<String, WsdlDefinition>>,
+}
+
+impl WsdlHandler {
+    /// New empty publisher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish an explicit definition.
+    pub fn publish(&self, wsdl: WsdlDefinition) {
+        self.defs.write().insert(wsdl.service.clone(), wsdl);
+    }
+
+    /// Publish the generated definition of a live service with its
+    /// endpoint location.
+    pub fn publish_service(&self, service: &dyn SoapService, endpoint: impl Into<String>) {
+        self.publish(WsdlDefinition::from_service(service).with_endpoint(endpoint));
+    }
+
+    /// Retrieve a published definition.
+    pub fn get(&self, service: &str) -> Option<WsdlDefinition> {
+        self.defs.read().get(service).cloned()
+    }
+
+    /// Names of all published services.
+    pub fn services(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.defs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl Handler for WsdlHandler {
+    fn handle(&self, req: &Request) -> Response {
+        let service = req
+            .path_only()
+            .trim_start_matches('/')
+            .split('/')
+            .nth(1)
+            .unwrap_or("");
+        match self.get(service) {
+            Some(wsdl) => Response::xml(wsdl.to_xml().to_document()),
+            None => Response::error(Status::NotFound, format!("no WSDL for {service:?}")),
+        }
+    }
+}
+
+/// Fetch and parse a WSDL document from a transport (the Fig. 1 "examine
+/// then bind" step).
+pub fn fetch_wsdl(
+    transport: &dyn portalws_wire::Transport,
+    service: &str,
+) -> crate::Result<WsdlDefinition> {
+    let resp = transport
+        .round_trip(Request::get(format!("/wsdl/{service}")))
+        .map_err(|e| crate::WsdlError::Parse(format!("wsdl fetch failed: {e}")))?;
+    if resp.status != Status::Ok {
+        return Err(crate::WsdlError::Parse(format!(
+            "wsdl fetch returned {}",
+            resp.status.code()
+        )));
+    }
+    let root = portalws_xml::Element::parse(&resp.body_str())
+        .map_err(|e| crate::WsdlError::Parse(format!("wsdl xml: {e}")))?;
+    WsdlDefinition::from_xml(&root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_support::FakeScriptgen;
+    use portalws_wire::InMemoryTransport;
+    use std::sync::Arc;
+
+    #[test]
+    fn serves_published_wsdl() {
+        let h = WsdlHandler::new();
+        h.publish_service(&FakeScriptgen, "http://127.0.0.1:1/soap/BatchScriptGen");
+        let resp = h.handle(&Request::get("/wsdl/BatchScriptGen"));
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body_str().contains("generateScript"));
+    }
+
+    #[test]
+    fn unknown_service_404() {
+        let h = WsdlHandler::new();
+        assert_eq!(
+            h.handle(&Request::get("/wsdl/Ghost")).status,
+            Status::NotFound
+        );
+    }
+
+    #[test]
+    fn fetch_round_trip() {
+        let h = WsdlHandler::new();
+        h.publish_service(&FakeScriptgen, "http://127.0.0.1:1/soap/BatchScriptGen");
+        let transport = InMemoryTransport::new(Arc::new(h));
+        let wsdl = fetch_wsdl(&transport, "BatchScriptGen").unwrap();
+        assert_eq!(wsdl.service, "BatchScriptGen");
+        assert_eq!(
+            wsdl.endpoint.as_deref(),
+            Some("http://127.0.0.1:1/soap/BatchScriptGen")
+        );
+        assert_eq!(wsdl.operations.len(), 2);
+    }
+
+    #[test]
+    fn fetch_missing_errors() {
+        let h = WsdlHandler::new();
+        let transport = InMemoryTransport::new(Arc::new(h));
+        assert!(fetch_wsdl(&transport, "Ghost").is_err());
+    }
+
+    #[test]
+    fn services_listing() {
+        let h = WsdlHandler::new();
+        h.publish_service(&FakeScriptgen, "http://x/soap/BatchScriptGen");
+        assert_eq!(h.services(), vec!["BatchScriptGen".to_string()]);
+    }
+}

@@ -1,0 +1,64 @@
+//! WSDL 1.1-style interface definitions.
+//!
+//! The paper's interoperability result (§3.4) hinged on one practice: the
+//! IU and SDSC groups "agreed to a common service interface" in WSDL and a
+//! common data model, then built clients and servers *independently*. This
+//! crate provides that machinery:
+//!
+//! * [`model`] — the definition model ([`WsdlDefinition`], [`Operation`],
+//!   [`Part`]), generation from any live [`SoapService`](portalws_soap::SoapService), XML
+//!   serialization, and parsing back from XML.
+//! * [`compat`] — structural compatibility checking between definitions:
+//!   the check both groups performed by hand when they "agreed to a common
+//!   WSDL interface", mechanized.
+//! * [`client`] — [`DynamicClient`], a client stub generated *from* a
+//!   (possibly remote) WSDL document: it validates method names and
+//!   argument types against the definition before anything goes on the
+//!   wire, which is what made independently written clients safe in the
+//!   batch-script exercise (E10).
+//! * [`handler`] — an HTTP handler serving `GET /wsdl/<Service>` so that
+//!   the UI server can fetch interface definitions at bind time (Fig. 1).
+
+pub mod client;
+pub mod compat;
+pub mod handler;
+pub mod model;
+
+pub use client::DynamicClient;
+pub use compat::{diff, is_compatible};
+pub use handler::WsdlHandler;
+pub use model::{Operation, Part, WsdlDefinition};
+
+use std::fmt;
+
+/// Errors raised by the WSDL layer.
+#[derive(Debug)]
+pub enum WsdlError {
+    /// The XML was not a valid WSDL definition.
+    Parse(String),
+    /// A dynamic call did not match the definition.
+    InterfaceMismatch(String),
+    /// The underlying SOAP call failed.
+    Soap(portalws_soap::SoapError),
+}
+
+impl fmt::Display for WsdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsdlError::Parse(msg) => write!(f, "wsdl parse: {msg}"),
+            WsdlError::InterfaceMismatch(msg) => write!(f, "interface mismatch: {msg}"),
+            WsdlError::Soap(e) => write!(f, "soap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WsdlError {}
+
+impl From<portalws_soap::SoapError> for WsdlError {
+    fn from(e: portalws_soap::SoapError) -> Self {
+        WsdlError::Soap(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WsdlError>;

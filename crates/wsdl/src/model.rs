@@ -1,0 +1,396 @@
+//! The WSDL definition model: messages, operations, and service ports.
+
+use portalws_soap::{MethodDesc, SoapService, SoapType};
+use portalws_xml::Element;
+
+use crate::{Result, WsdlError};
+
+/// One typed message part (a named parameter or return value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// Part name.
+    pub name: String,
+    /// Part type.
+    pub ty: SoapType,
+}
+
+impl Part {
+    /// Construct a part.
+    pub fn new(name: impl Into<String>, ty: SoapType) -> Part {
+        Part {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// One operation: named inputs and a single output part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// Documentation.
+    pub doc: String,
+    /// Input parts in order.
+    pub inputs: Vec<Part>,
+    /// Output part (named `return`).
+    pub output: Part,
+}
+
+/// A parsed or generated WSDL definition for one service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsdlDefinition {
+    /// Service name.
+    pub service: String,
+    /// Target namespace, conventionally `urn:<service>`.
+    pub target_ns: String,
+    /// SOAP endpoint location, when known.
+    pub endpoint: Option<String>,
+    /// Operations in declaration order.
+    pub operations: Vec<Operation>,
+}
+
+impl WsdlDefinition {
+    /// Generate a definition from a live service's method descriptions.
+    pub fn from_service(service: &dyn SoapService) -> WsdlDefinition {
+        Self::from_methods(service.name(), &service.methods())
+    }
+
+    /// Generate a definition from a service name and method list.
+    pub fn from_methods(service: &str, methods: &[MethodDesc]) -> WsdlDefinition {
+        WsdlDefinition {
+            service: service.to_owned(),
+            target_ns: format!("urn:{service}"),
+            endpoint: None,
+            operations: methods
+                .iter()
+                .map(|m| Operation {
+                    name: m.name.clone(),
+                    doc: m.doc.clone(),
+                    inputs: m
+                        .params
+                        .iter()
+                        .map(|(n, t)| Part::new(n.clone(), *t))
+                        .collect(),
+                    output: Part::new("return", m.ret),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builder: attach the endpoint location.
+    pub fn with_endpoint(mut self, endpoint: impl Into<String>) -> WsdlDefinition {
+        self.endpoint = Some(endpoint.into());
+        self
+    }
+
+    /// Find an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Serialize as a `<definitions>` document element (WSDL 1.1 shape).
+    pub fn to_xml(&self) -> Element {
+        let mut defs = Element::new("definitions")
+            .with_attr("name", self.service.clone())
+            .with_attr("targetNamespace", self.target_ns.clone())
+            .with_attr("xmlns", "http://schemas.xmlsoap.org/wsdl/")
+            .with_attr("xmlns:soap", "http://schemas.xmlsoap.org/wsdl/soap/")
+            .with_attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema")
+            .with_attr("xmlns:tns", self.target_ns.clone());
+
+        // Messages: one request and one response message per operation.
+        for op in &self.operations {
+            let mut req = Element::new("message").with_attr("name", format!("{}Request", op.name));
+            for p in &op.inputs {
+                req.push_child(
+                    Element::new("part")
+                        .with_attr("name", p.name.clone())
+                        .with_attr("type", p.ty.wire_name()),
+                );
+            }
+            defs.push_child(req);
+            defs.push_child(
+                Element::new("message")
+                    .with_attr("name", format!("{}Response", op.name))
+                    .with_child(
+                        Element::new("part")
+                            .with_attr("name", op.output.name.clone())
+                            .with_attr("type", op.output.ty.wire_name()),
+                    ),
+            );
+        }
+
+        // Port type.
+        let mut port_type =
+            Element::new("portType").with_attr("name", format!("{}PortType", self.service));
+        for op in &self.operations {
+            let mut o = Element::new("operation").with_attr("name", op.name.clone());
+            if !op.doc.is_empty() {
+                o.push_child(Element::new("documentation").with_text(op.doc.clone()));
+            }
+            o.push_child(
+                Element::new("input").with_attr("message", format!("tns:{}Request", op.name)),
+            );
+            o.push_child(
+                Element::new("output").with_attr("message", format!("tns:{}Response", op.name)),
+            );
+            port_type.push_child(o);
+        }
+        defs.push_child(port_type);
+
+        // Binding (rpc/encoded, as in 2002).
+        let mut binding = Element::new("binding")
+            .with_attr("name", format!("{}Binding", self.service))
+            .with_attr("type", format!("tns:{}PortType", self.service))
+            .with_child(
+                Element::new("soap:binding")
+                    .with_attr("style", "rpc")
+                    .with_attr("transport", "http://schemas.xmlsoap.org/soap/http"),
+            );
+        for op in &self.operations {
+            binding.push_child(
+                Element::new("operation")
+                    .with_attr("name", op.name.clone())
+                    .with_child(
+                        Element::new("soap:operation")
+                            .with_attr("soapAction", format!("{}#{}", self.target_ns, op.name)),
+                    ),
+            );
+        }
+        defs.push_child(binding);
+
+        // Service + port.
+        let mut port = Element::new("port")
+            .with_attr("name", format!("{}Port", self.service))
+            .with_attr("binding", format!("tns:{}Binding", self.service));
+        if let Some(endpoint) = &self.endpoint {
+            port.push_child(Element::new("soap:address").with_attr("location", endpoint.clone()));
+        }
+        defs.push_child(
+            Element::new("service")
+                .with_attr("name", self.service.clone())
+                .with_child(port),
+        );
+        defs
+    }
+
+    /// Parse a `<definitions>` element back into the model.
+    pub fn from_xml(root: &Element) -> Result<WsdlDefinition> {
+        if root.local_name() != "definitions" {
+            return Err(WsdlError::Parse(format!(
+                "expected definitions, found {:?}",
+                root.local_name()
+            )));
+        }
+        let service = root
+            .attr("name")
+            .ok_or_else(|| WsdlError::Parse("definitions missing name".into()))?
+            .to_owned();
+        let target_ns = root
+            .attr("targetNamespace")
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("urn:{service}"));
+
+        // Index messages by name.
+        let mut messages: Vec<(String, Vec<Part>)> = Vec::new();
+        for msg in root.find_all("message") {
+            let name = msg
+                .attr("name")
+                .ok_or_else(|| WsdlError::Parse("message missing name".into()))?
+                .to_owned();
+            let parts = msg
+                .find_all("part")
+                .map(|p| {
+                    let pname = p
+                        .attr("name")
+                        .ok_or_else(|| WsdlError::Parse("part missing name".into()))?;
+                    let ty = p
+                        .attr("type")
+                        .and_then(SoapType::from_wire_name)
+                        .ok_or_else(|| {
+                            WsdlError::Parse(format!("part {pname:?} has unknown type"))
+                        })?;
+                    Ok(Part::new(pname, ty))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            messages.push((name, parts));
+        }
+        let lookup = |qname: &str| -> Result<&Vec<Part>> {
+            let local = qname.split_once(':').map(|(_, l)| l).unwrap_or(qname);
+            messages
+                .iter()
+                .find(|(n, _)| n == local)
+                .map(|(_, p)| p)
+                .ok_or_else(|| WsdlError::Parse(format!("unresolved message {qname:?}")))
+        };
+
+        let port_type = root
+            .find("portType")
+            .ok_or_else(|| WsdlError::Parse("definitions missing portType".into()))?;
+        let mut operations = Vec::new();
+        for op in port_type.find_all("operation") {
+            let name = op
+                .attr("name")
+                .ok_or_else(|| WsdlError::Parse("operation missing name".into()))?
+                .to_owned();
+            let doc = op.find_text("documentation").unwrap_or("").to_owned();
+            let inputs = op
+                .find("input")
+                .and_then(|i| i.attr("message"))
+                .map(lookup)
+                .transpose()?
+                .cloned()
+                .unwrap_or_default();
+            let output = op
+                .find("output")
+                .and_then(|o| o.attr("message"))
+                .map(lookup)
+                .transpose()?
+                .and_then(|parts| parts.first().cloned())
+                .unwrap_or_else(|| Part::new("return", SoapType::Void));
+            operations.push(Operation {
+                name,
+                doc,
+                inputs,
+                output,
+            });
+        }
+
+        let endpoint = root
+            .find("service")
+            .and_then(|s| s.find("port"))
+            .and_then(|p| p.find("address"))
+            .and_then(|a| a.attr("location"))
+            .map(str::to_owned);
+
+        Ok(WsdlDefinition {
+            service,
+            target_ns,
+            endpoint,
+            operations,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use portalws_soap::{CallContext, Fault, SoapResult, SoapValue};
+
+    /// The common batch-script interface both groups agreed on, reused
+    /// across tests in this crate.
+    pub fn scriptgen_methods() -> Vec<MethodDesc> {
+        vec![
+            MethodDesc::new(
+                "generateScript",
+                vec![
+                    ("scheduler", SoapType::String),
+                    ("jobName", SoapType::String),
+                    ("command", SoapType::String),
+                    ("cpus", SoapType::Int),
+                    ("wallMinutes", SoapType::Int),
+                ],
+                SoapType::String,
+                "Generate a batch script for the named scheduler",
+            ),
+            MethodDesc::new(
+                "supportedSchedulers",
+                vec![],
+                SoapType::Array,
+                "List queuing systems this implementation supports",
+            ),
+        ]
+    }
+
+    pub struct FakeScriptgen;
+
+    impl SoapService for FakeScriptgen {
+        fn name(&self) -> &str {
+            "BatchScriptGen"
+        }
+        fn invoke(
+            &self,
+            method: &str,
+            args: &[(String, SoapValue)],
+            _ctx: &CallContext,
+        ) -> SoapResult<SoapValue> {
+            match method {
+                "generateScript" => Ok(SoapValue::str(format!(
+                    "#!/bin/sh\n# {}\n",
+                    args.first().and_then(|(_, v)| v.as_str()).unwrap_or("?")
+                ))),
+                "supportedSchedulers" => Ok(SoapValue::Array(vec![
+                    SoapValue::str("PBS"),
+                    SoapValue::str("GRD"),
+                ])),
+                other => Err(Fault::client(format!("no method {other:?}"))),
+            }
+        }
+        fn methods(&self) -> Vec<MethodDesc> {
+            scriptgen_methods()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{scriptgen_methods, FakeScriptgen};
+    use super::*;
+
+    #[test]
+    fn generate_from_service() {
+        let wsdl = WsdlDefinition::from_service(&FakeScriptgen);
+        assert_eq!(wsdl.service, "BatchScriptGen");
+        assert_eq!(wsdl.operations.len(), 2);
+        let op = wsdl.operation("generateScript").unwrap();
+        assert_eq!(op.inputs.len(), 5);
+        assert_eq!(op.output.ty, SoapType::String);
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let wsdl = WsdlDefinition::from_methods("BatchScriptGen", &scriptgen_methods())
+            .with_endpoint("http://127.0.0.1:9000/soap/BatchScriptGen");
+        let xml = wsdl.to_xml();
+        let parsed = WsdlDefinition::from_xml(&xml).unwrap();
+        assert_eq!(parsed, wsdl);
+    }
+
+    #[test]
+    fn round_trip_without_endpoint() {
+        let wsdl = WsdlDefinition::from_methods("X", &scriptgen_methods());
+        let parsed = WsdlDefinition::from_xml(&wsdl.to_xml()).unwrap();
+        assert_eq!(parsed.endpoint, None);
+        assert_eq!(parsed, wsdl);
+    }
+
+    #[test]
+    fn docs_survive_round_trip() {
+        let wsdl = WsdlDefinition::from_methods("X", &scriptgen_methods());
+        let parsed = WsdlDefinition::from_xml(&wsdl.to_xml()).unwrap();
+        assert_eq!(
+            parsed.operation("generateScript").unwrap().doc,
+            "Generate a batch script for the named scheduler"
+        );
+    }
+
+    #[test]
+    fn malformed_wsdl_rejected() {
+        let el = Element::parse("<notwsdl/>").unwrap();
+        assert!(WsdlDefinition::from_xml(&el).is_err());
+        let el = Element::parse(r#"<definitions name="X"/>"#).unwrap();
+        assert!(WsdlDefinition::from_xml(&el).is_err()); // no portType
+    }
+
+    #[test]
+    fn unresolved_message_rejected() {
+        let el = Element::parse(
+            r#"<definitions name="X"><portType name="P">
+                <operation name="op"><input message="tns:ghost"/></operation>
+               </portType></definitions>"#,
+        )
+        .unwrap();
+        assert!(WsdlDefinition::from_xml(&el).is_err());
+    }
+}

@@ -1,0 +1,478 @@
+//! Owned XML element tree with a fluent builder and navigation helpers.
+//!
+//! The DOM is the interchange currency between every portal layer: SOAP
+//! bodies, WSDL definitions, UDDI entries, application descriptors, and
+//! generated forms are all built and inspected as [`Element`] trees.
+
+use crate::event::{Event, Tokenizer};
+use crate::writer;
+use crate::{Result, XmlError};
+
+/// One node in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (entities already resolved).
+    Text(String),
+    /// A CDATA section, serialized back as CDATA.
+    CData(String),
+    /// A comment, preserved on round trip.
+    Comment(String),
+}
+
+impl Node {
+    /// The element inside this node, if it is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The textual content of this node, if it is text or CDATA.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) | Node::CData(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: a (possibly prefixed) name, attributes in document
+/// order, and child nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an empty element named `name` (may include a `prefix:`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    // ---- builder -------------------------------------------------------
+
+    /// Builder: add an attribute and return self.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Builder: append a child element and return self.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: append several child elements and return self.
+    pub fn with_children(mut self, children: impl IntoIterator<Item = Element>) -> Self {
+        self.children
+            .extend(children.into_iter().map(Node::Element));
+        self
+    }
+
+    /// Builder: append a text node and return self.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Builder: append a named child that holds only text — the most common
+    /// shape in the portal's data documents.
+    pub fn with_text_child(self, name: impl Into<String>, text: impl Into<String>) -> Self {
+        self.with_child(Element::new(name).with_text(text))
+    }
+
+    /// Builder: append a CDATA section and return self.
+    pub fn with_cdata(mut self, data: impl Into<String>) -> Self {
+        self.children.push(Node::CData(data.into()));
+        self
+    }
+
+    // ---- mutation ------------------------------------------------------
+
+    /// Set (or replace) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((name, value));
+        }
+    }
+
+    /// Append a child element.
+    pub fn push_child(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Append a raw node.
+    pub fn push_node(&mut self, node: Node) {
+        self.children.push(node);
+    }
+
+    /// Remove and return all children, leaving the element empty.
+    pub fn take_children(&mut self) -> Vec<Node> {
+        std::mem::take(&mut self.children)
+    }
+
+    // ---- accessors -----------------------------------------------------
+
+    /// Full element name as written, including any prefix.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name with any `prefix:` removed.
+    pub fn local_name(&self) -> &str {
+        match self.name.split_once(':') {
+            Some((_, local)) => local,
+            None => &self.name,
+        }
+    }
+
+    /// Namespace prefix, if the name is prefixed.
+    pub fn prefix(&self) -> Option<&str> {
+        self.name.split_once(':').map(|(p, _)| p)
+    }
+
+    /// Attribute value by exact name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All attributes in document order.
+    pub fn attrs(&self) -> &[(String, String)] {
+        &self.attrs
+    }
+
+    /// All child nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Iterator over child *elements* only.
+    pub fn children(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Mutable iterator over child elements.
+    pub fn children_mut(&mut self) -> impl Iterator<Item = &mut Element> {
+        self.children.iter_mut().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of this element (direct text/CDATA
+    /// children only).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Some(t) = n.as_text() {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// First child element whose *local* name equals `name`.
+    ///
+    /// Matching on local names lets navigation ignore which namespace
+    /// prefix a peer implementation happened to choose — the essence of the
+    /// paper's interoperability exercise.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.children().find(|e| e.local_name() == name)
+    }
+
+    /// Mutable variant of [`Element::find`].
+    pub fn find_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.children_mut().find(|e| e.local_name() == name)
+    }
+
+    /// All child elements with local name `name`.
+    pub fn find_all<'s, 'n>(
+        &'s self,
+        name: &'n str,
+    ) -> impl Iterator<Item = &'s Element> + use<'s, 'n> {
+        self.children().filter(move |e| e.local_name() == name)
+    }
+
+    /// Text of the first child with local name `name`, if present and
+    /// non-empty after trimming.
+    pub fn find_text(&self, name: &str) -> Option<&str> {
+        let el = self.find(name)?;
+        for n in &el.children {
+            if let Some(t) = n.as_text() {
+                let t = t.trim();
+                if !t.is_empty() {
+                    // Safe: trim of a &str borrowed from el outlives this fn's
+                    // local borrows because el borrows from self.
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Namespace declarations made *on this element* (prefix → URI), with
+    /// the default namespace under the empty string.
+    pub fn namespace_decls(&self) -> Vec<(&str, &str)> {
+        self.attrs
+            .iter()
+            .filter_map(|(n, v)| {
+                if n == "xmlns" {
+                    Some(("", v.as_str()))
+                } else {
+                    n.strip_prefix("xmlns:").map(|p| (p, v.as_str()))
+                }
+            })
+            .collect()
+    }
+
+    /// Total number of elements in this subtree, including self.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children().map(Element::subtree_size).sum::<usize>()
+    }
+
+    // ---- serialization ---------------------------------------------------
+
+    /// Serialize compactly (no added whitespace).
+    pub fn to_xml(&self) -> String {
+        writer::write_compact(self)
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        writer::write_pretty(self, 2)
+    }
+
+    /// Serialize as a document with an XML declaration.
+    pub fn to_document(&self) -> String {
+        let mut s = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        s.push_str(&writer::write_pretty(self, 2));
+        s
+    }
+
+    // ---- parsing ---------------------------------------------------------
+
+    /// Parse a document and return its root element.
+    ///
+    /// Whitespace-only text between elements is dropped (the portal's
+    /// documents are data-oriented); mixed content with non-blank text is
+    /// preserved verbatim.
+    pub fn parse(src: &str) -> Result<Element> {
+        let mut tok = Tokenizer::new(src);
+        let mut stack: Vec<Element> = Vec::new();
+        let mut root: Option<Element> = None;
+        loop {
+            let pos = tok.pos();
+            let Some(ev) = tok.next_event()? else { break };
+            match ev {
+                Event::Decl(_) | Event::Doctype(_) | Event::Pi { .. } => {}
+                Event::Comment(c) => {
+                    if let Some(top) = stack.last_mut() {
+                        top.children.push(Node::Comment(c));
+                    }
+                }
+                Event::Text(t) => {
+                    if let Some(top) = stack.last_mut() {
+                        if !t.trim().is_empty() {
+                            top.children.push(Node::Text(t));
+                        }
+                    } else if !t.trim().is_empty() {
+                        return Err(XmlError::Syntax {
+                            pos,
+                            msg: "text outside root element".into(),
+                        });
+                    }
+                }
+                Event::CData(t) => match stack.last_mut() {
+                    Some(top) => top.children.push(Node::CData(t)),
+                    None => {
+                        return Err(XmlError::Syntax {
+                            pos,
+                            msg: "CDATA outside root element".into(),
+                        })
+                    }
+                },
+                Event::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    if root.is_some() && stack.is_empty() {
+                        return Err(XmlError::Syntax {
+                            pos,
+                            msg: "multiple root elements".into(),
+                        });
+                    }
+                    let el = Element {
+                        name,
+                        attrs,
+                        children: Vec::new(),
+                    };
+                    if self_closing {
+                        match stack.last_mut() {
+                            Some(top) => top.children.push(Node::Element(el)),
+                            None => root = Some(el),
+                        }
+                    } else {
+                        stack.push(el);
+                    }
+                }
+                Event::EndTag { name } => {
+                    let Some(el) = stack.pop() else {
+                        return Err(XmlError::Syntax {
+                            pos,
+                            msg: format!("unmatched close tag </{name}>"),
+                        });
+                    };
+                    if el.name != name {
+                        return Err(XmlError::MismatchedTag {
+                            pos,
+                            open: el.name,
+                            close: name,
+                        });
+                    }
+                    match stack.last_mut() {
+                        Some(top) => top.children.push(Node::Element(el)),
+                        None => root = Some(el),
+                    }
+                }
+            }
+        }
+        if !stack.is_empty() {
+            return Err(XmlError::UnexpectedEof { pos: tok.pos() });
+        }
+        root.ok_or(XmlError::Invalid("document has no root element".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_navigate() {
+        let el = Element::new("app")
+            .with_attr("version", "1")
+            .with_text_child("name", "gaussian98")
+            .with_child(
+                Element::new("host")
+                    .with_attr("dns", "tg-login.sdsc.edu")
+                    .with_text_child("queue", "normal"),
+            );
+        assert_eq!(el.attr("version"), Some("1"));
+        assert_eq!(el.find_text("name"), Some("gaussian98"));
+        assert_eq!(
+            el.find("host").and_then(|h| h.find_text("queue")),
+            Some("normal")
+        );
+        assert_eq!(el.subtree_size(), 4);
+    }
+
+    #[test]
+    fn parse_round_trip_compact() {
+        let src = r#"<a k="v"><b>text</b><c/></a>"#;
+        let el = Element::parse(src).unwrap();
+        assert_eq!(el.to_xml(), src);
+    }
+
+    #[test]
+    fn pretty_then_parse_is_identity_modulo_ws() {
+        let el = Element::new("root")
+            .with_text_child("x", "1")
+            .with_child(Element::new("y").with_attr("a", "b"));
+        let pretty = el.to_pretty();
+        let reparsed = Element::parse(&pretty).unwrap();
+        assert_eq!(reparsed, el);
+    }
+
+    #[test]
+    fn local_name_ignores_prefix() {
+        let el = Element::parse(r#"<soap:Envelope xmlns:soap="urn:e"><soap:Body/></soap:Envelope>"#)
+            .unwrap();
+        assert_eq!(el.local_name(), "Envelope");
+        assert!(el.find("Body").is_some());
+        assert_eq!(el.namespace_decls(), vec![("soap", "urn:e")]);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(matches!(
+            Element::parse("<a><b></a></b>"),
+            Err(XmlError::MismatchedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(Element::parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        assert!(matches!(
+            Element::parse("<a><b></b>"),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn whitespace_between_elements_dropped() {
+        let el = Element::parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(el.nodes().len(), 2);
+    }
+
+    #[test]
+    fn significant_text_preserved() {
+        let el = Element::parse("<a>one <b/> two</a>").unwrap();
+        assert_eq!(el.text(), "one  two");
+    }
+
+    #[test]
+    fn cdata_preserved_on_round_trip() {
+        let src = "<a><![CDATA[x < y]]></a>";
+        let el = Element::parse(src).unwrap();
+        assert_eq!(el.text(), "x < y");
+        assert_eq!(el.to_xml(), src);
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut el = Element::new("a").with_attr("k", "1");
+        el.set_attr("k", "2");
+        assert_eq!(el.attr("k"), Some("2"));
+        assert_eq!(el.attrs().len(), 1);
+    }
+
+    #[test]
+    fn find_all_filters_by_local_name() {
+        let el = Element::parse("<r><h>1</h><x/><h>2</h></r>").unwrap();
+        let hs: Vec<_> = el.find_all("h").map(|e| e.text()).collect();
+        assert_eq!(hs, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn declaration_and_doctype_ignored() {
+        let el =
+            Element::parse("<?xml version=\"1.0\"?><!DOCTYPE a><a><!-- note --><b/></a>").unwrap();
+        assert_eq!(el.name(), "a");
+        // comment preserved as node, element still findable
+        assert!(el.find("b").is_some());
+        assert_eq!(el.nodes().len(), 2);
+    }
+}

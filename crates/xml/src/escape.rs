@@ -1,0 +1,147 @@
+//! Escaping and unescaping of XML character data.
+//!
+//! Section 3.2 of the paper notes that the SRB `get`/`put` operations moved
+//! file contents "by simply streaming the file as a string" inside the SOAP
+//! envelope — a mechanism that "does not scale well". A large part of that
+//! cost is exactly this module: every `<`, `&`, and quote in the payload is
+//! expanded, so escaping cost and byte amplification are measured directly
+//! by experiment E5.
+
+/// Escape text content (`<`, `>`, `&`).
+///
+/// `>` is escaped too, although strictly only required in the `]]>`
+/// sequence, because the 2002-era toolchains did the same and it keeps the
+/// output unambiguous.
+pub fn escape_text(s: &str) -> String {
+    escape(s, false)
+}
+
+/// Escape an attribute value (`<`, `>`, `&`, `"`, `'`).
+pub fn escape_attr(s: &str) -> String {
+    escape(s, true)
+}
+
+fn escape(s: &str, attr: bool) -> String {
+    // Fast path: nothing to escape, return an owned copy without scanning
+    // twice. The common case for markup-free payloads.
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'<' | b'>' | b'&') || (attr && matches!(b, b'"' | b'\'')));
+    if !needs {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len() + s.len() / 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolve a single entity name (without `&` and `;`) to its character.
+///
+/// Supports the five XML predefined entities plus decimal (`#NN`) and
+/// hexadecimal (`#xHH`) character references.
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let rest = name.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+/// Unescape a string containing entity references.
+///
+/// Returns `None` if an entity is malformed or unknown. Callers in the
+/// tokenizer convert that into a positioned [`crate::XmlError::BadEntity`].
+pub fn unescape(s: &str) -> Option<String> {
+    if !s.contains('&') {
+        return Some(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';')?;
+        out.push(resolve_entity(&after[..semi])?);
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_text_specials() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn text_escape_leaves_quotes() {
+        assert_eq!(escape_text("say \"hi\""), "say \"hi\"");
+    }
+
+    #[test]
+    fn attr_escape_covers_quotes() {
+        assert_eq!(escape_attr("a\"b'c"), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn fast_path_returns_same_content() {
+        assert_eq!(escape_text("plain text 123"), "plain text 123");
+    }
+
+    #[test]
+    fn unescape_round_trip() {
+        let original = "x < y && y > \"z\" 'w'";
+        assert_eq!(unescape(&escape_attr(original)).unwrap(), original);
+        assert_eq!(unescape(&escape_text(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(unescape("&#65;&#x42;&#x43;").unwrap(), "ABC");
+        assert_eq!(unescape("&#x263A;").unwrap(), "\u{263A}");
+    }
+
+    #[test]
+    fn bad_entities_rejected() {
+        assert!(unescape("&nosuch;").is_none());
+        assert!(unescape("&unterminated").is_none());
+        assert!(unescape("&#xZZ;").is_none());
+        assert!(unescape("&#1114112;").is_none()); // beyond char::MAX
+    }
+
+    #[test]
+    fn unescape_plain_passthrough() {
+        assert_eq!(unescape("no entities").unwrap(), "no entities");
+    }
+
+    #[test]
+    fn unicode_preserved() {
+        let s = "héllo 世界";
+        assert_eq!(unescape(&escape_text(s)).unwrap(), s);
+    }
+}

@@ -1,0 +1,418 @@
+//! Pull tokenizer: turns XML text into a stream of [`Event`]s.
+//!
+//! The tokenizer is deliberately a single forward pass with no lookahead
+//! buffer: SOAP envelopes arrive as one contiguous string from the wire
+//! layer, and a single scan keeps the cost of the "XML tax" (experiments
+//! E1/E5) honest and measurable.
+
+use crate::escape::unescape;
+use crate::{Pos, Result, XmlError};
+
+/// One lexical event in the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// XML declaration `<?xml version="1.0"?>` (content unparsed).
+    Decl(String),
+    /// Start of an element. `self_closing` is true for `<a/>`.
+    StartTag {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    /// End of an element `</a>`.
+    EndTag { name: String },
+    /// Character data between tags, entities already resolved.
+    Text(String),
+    /// CDATA section contents (not entity-processed, per the spec).
+    CData(String),
+    /// Comment contents.
+    Comment(String),
+    /// Processing instruction other than the XML declaration.
+    Pi { target: String, data: String },
+    /// DOCTYPE declaration, skipped and reported verbatim.
+    Doctype(String),
+}
+
+/// Forward-only tokenizer over a source string.
+pub struct Tokenizer<'a> {
+    src: &'a str,
+    /// Current byte offset into `src`.
+    off: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Tokenizer {
+            src,
+            off: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Current source position (for error reporting).
+    pub fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.off..]
+    }
+
+    fn eof(&self) -> bool {
+        self.off >= self.src.len()
+    }
+
+    /// Advance past `n` bytes, maintaining line/column counters.
+    fn advance(&mut self, n: usize) {
+        let chunk = &self.src[self.off..self.off + n];
+        for b in chunk.bytes() {
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.off += n;
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::Syntax {
+            pos: self.pos(),
+            msg: msg.into(),
+        }
+    }
+
+    fn eof_err(&self) -> XmlError {
+        XmlError::UnexpectedEof { pos: self.pos() }
+    }
+
+    /// Consume up to and including `needle`, returning the text before it.
+    fn take_until(&mut self, needle: &str) -> Result<&'a str> {
+        match self.rest().find(needle) {
+            Some(i) => {
+                let out = &self.rest()[..i];
+                self.advance(i + needle.len());
+                Ok(out)
+            }
+            None => Err(self.eof_err()),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let n = self
+            .rest()
+            .bytes()
+            .take_while(|b| b.is_ascii_whitespace())
+            .count();
+        self.advance(n);
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_' || c == ':'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
+    }
+
+    fn take_name(&mut self) -> Result<String> {
+        let rest = self.rest();
+        let mut chars = rest.chars();
+        match chars.next() {
+            Some(c) if Self::is_name_start(c) => {}
+            Some(c) => return Err(self.err(format!("expected name, found {c:?}"))),
+            None => return Err(self.eof_err()),
+        }
+        let n: usize = rest
+            .chars()
+            .take_while(|&c| Self::is_name_char(c))
+            .map(char::len_utf8)
+            .sum();
+        let name = &rest[..n];
+        self.advance(n);
+        Ok(name.to_owned())
+    }
+
+    fn take_quoted(&mut self) -> Result<String> {
+        let quote = match self.rest().chars().next() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(self.err(format!("expected quoted value, found {c:?}"))),
+            None => return Err(self.eof_err()),
+        };
+        self.advance(1);
+        let pos = self.pos();
+        let raw = self.take_until(&quote.to_string())?;
+        unescape(raw).ok_or(XmlError::BadEntity {
+            pos,
+            entity: raw.to_owned(),
+        })
+    }
+
+    /// Produce the next event, or `None` at end of input.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        if self.eof() {
+            return Ok(None);
+        }
+        if !self.rest().starts_with('<') {
+            return self.text_event().map(Some);
+        }
+        let r = self.rest();
+        if r.starts_with("<!--") {
+            self.advance(4);
+            let body = self.take_until("-->")?;
+            return Ok(Some(Event::Comment(body.to_owned())));
+        }
+        if r.starts_with("<![CDATA[") {
+            self.advance(9);
+            let body = self.take_until("]]>")?;
+            return Ok(Some(Event::CData(body.to_owned())));
+        }
+        if r.starts_with("<!DOCTYPE") || r.starts_with("<!doctype") {
+            return self.doctype_event().map(Some);
+        }
+        if r.starts_with("<?") {
+            return self.pi_event().map(Some);
+        }
+        if r.starts_with("</") {
+            self.advance(2);
+            let name = self.take_name()?;
+            self.skip_ws();
+            if !self.rest().starts_with('>') {
+                return Err(self.err("expected '>' after close tag name"));
+            }
+            self.advance(1);
+            return Ok(Some(Event::EndTag { name }));
+        }
+        self.start_tag_event().map(Some)
+    }
+
+    fn text_event(&mut self) -> Result<Event> {
+        let pos = self.pos();
+        let raw = match self.rest().find('<') {
+            Some(i) => {
+                let t = &self.rest()[..i];
+                self.advance(i);
+                t
+            }
+            None => {
+                let t = self.rest();
+                self.advance(t.len());
+                t
+            }
+        };
+        let text = unescape(raw).ok_or(XmlError::BadEntity {
+            pos,
+            entity: raw.to_owned(),
+        })?;
+        Ok(Event::Text(text))
+    }
+
+    fn doctype_event(&mut self) -> Result<Event> {
+        self.advance("<!DOCTYPE".len());
+        // Skip to the matching '>' while tolerating an internal subset
+        // bracketed by [ ... ].
+        let start = self.off;
+        let mut depth = 0usize;
+        loop {
+            let Some(c) = self.rest().chars().next() else {
+                return Err(self.eof_err());
+            };
+            match c {
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                '>' if depth == 0 => {
+                    let body = self.src[start..self.off].trim().to_owned();
+                    self.advance(1);
+                    return Ok(Event::Doctype(body));
+                }
+                _ => {}
+            }
+            self.advance(c.len_utf8());
+        }
+    }
+
+    fn pi_event(&mut self) -> Result<Event> {
+        self.advance(2);
+        let target = self.take_name()?;
+        self.skip_ws();
+        let data = self.take_until("?>")?.trim_end().to_owned();
+        if target.eq_ignore_ascii_case("xml") {
+            Ok(Event::Decl(data))
+        } else {
+            Ok(Event::Pi { target, data })
+        }
+    }
+
+    fn start_tag_event(&mut self) -> Result<Event> {
+        self.advance(1); // consume '<'
+        let name = self.take_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            let r = self.rest();
+            if r.starts_with("/>") {
+                self.advance(2);
+                return Ok(Event::StartTag {
+                    name,
+                    attrs,
+                    self_closing: true,
+                });
+            }
+            if r.starts_with('>') {
+                self.advance(1);
+                return Ok(Event::StartTag {
+                    name,
+                    attrs,
+                    self_closing: false,
+                });
+            }
+            if r.is_empty() {
+                return Err(self.eof_err());
+            }
+            let aname = self.take_name()?;
+            self.skip_ws();
+            if !self.rest().starts_with('=') {
+                return Err(self.err(format!("attribute {aname:?} missing '='")));
+            }
+            self.advance(1);
+            self.skip_ws();
+            let value = self.take_quoted()?;
+            if attrs.iter().any(|(n, _)| *n == aname) {
+                return Err(self.err(format!("duplicate attribute {aname:?}")));
+            }
+            attrs.push((aname, value));
+        }
+    }
+
+    /// Drain all events into a vector (convenience for tests and the DOM).
+    pub fn collect_events(mut self) -> Result<Vec<Event>> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            out.push(ev);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event> {
+        Tokenizer::new(src).collect_events().unwrap()
+    }
+
+    #[test]
+    fn simple_element() {
+        let ev = events("<a>hi</a>");
+        assert_eq!(
+            ev,
+            vec![
+                Event::StartTag {
+                    name: "a".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
+                Event::Text("hi".into()),
+                Event::EndTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let ev = events(r#"<job name="g98" cpus='4'/>"#);
+        assert_eq!(
+            ev,
+            vec![Event::StartTag {
+                name: "job".into(),
+                attrs: vec![("name".into(), "g98".into()), ("cpus".into(), "4".into())],
+                self_closing: true
+            }]
+        );
+    }
+
+    #[test]
+    fn declaration_and_comment_and_pi() {
+        let ev = events("<?xml version=\"1.0\"?><!-- c --><?php echo ?><a/>");
+        assert!(matches!(ev[0], Event::Decl(_)));
+        assert_eq!(ev[1], Event::Comment(" c ".into()));
+        assert!(matches!(&ev[2], Event::Pi { target, .. } if target == "php"));
+    }
+
+    #[test]
+    fn cdata_not_entity_processed() {
+        let ev = events("<a><![CDATA[x < y & z]]></a>");
+        assert_eq!(ev[1], Event::CData("x < y & z".into()));
+    }
+
+    #[test]
+    fn entities_resolved_in_text_and_attrs() {
+        let ev = events(r#"<a k="&lt;v&gt;">&amp;</a>"#);
+        match &ev[0] {
+            Event::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "<v>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ev[1], Event::Text("&".into()));
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let ev = events("<!DOCTYPE html [ <!ENTITY x \"y\"> ]><a/>");
+        assert!(matches!(ev[0], Event::Doctype(_)));
+        assert!(matches!(ev[1], Event::StartTag { .. }));
+    }
+
+    #[test]
+    fn error_positions_track_lines() {
+        let mut t = Tokenizer::new("<a>\n  <b<>\n</a>");
+        t.next_event().unwrap(); // <a>
+        t.next_event().unwrap(); // text
+        let err = t.next_event().unwrap_err();
+        match err {
+            XmlError::Syntax { pos, .. } => {
+                assert_eq!(pos.line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut t = Tokenizer::new(r#"<a k="1" k="2"/>"#);
+        assert!(matches!(t.next_event(), Err(XmlError::Syntax { .. })));
+    }
+
+    #[test]
+    fn unterminated_tag_is_eof() {
+        let mut t = Tokenizer::new("<a ");
+        assert!(matches!(t.next_event(), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn bad_entity_reported() {
+        let mut t = Tokenizer::new("<a>&bogus;</a>");
+        t.next_event().unwrap();
+        assert!(matches!(t.next_event(), Err(XmlError::BadEntity { .. })));
+    }
+
+    #[test]
+    fn namespaced_names_allowed() {
+        let ev = events(r#"<soap:Envelope xmlns:soap="urn:x"/>"#);
+        match &ev[0] {
+            Event::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "soap:Envelope");
+                assert_eq!(attrs[0].0, "xmlns:soap");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

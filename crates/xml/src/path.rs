@@ -1,0 +1,182 @@
+//! A tiny path language for extracting values from element trees.
+//!
+//! Supports exactly what the portal layers need — no more:
+//!
+//! * `a/b/c` — descend through first-matching children by local name;
+//! * `a/b[2]` — the *n*-th (0-based) child matching that name;
+//! * `a/@attr` — an attribute of the element reached so far;
+//! * a trailing name step yields the element; [`text_at`] yields its text.
+//!
+//! This replaces the role XPath played in the 2002 stack for simple
+//! value plucking, without dragging in the full axis model.
+
+use crate::dom::Element;
+use crate::{Result, XmlError};
+
+/// One parsed step of a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step<'a> {
+    Child { name: &'a str, index: usize },
+    Attr(&'a str),
+}
+
+fn parse_steps(path: &str) -> Result<Vec<Step<'_>>> {
+    let mut steps = Vec::new();
+    for (i, raw) in path.split('/').enumerate() {
+        if raw.is_empty() {
+            return Err(XmlError::PathNotFound { path: path.into() });
+        }
+        if let Some(attr) = raw.strip_prefix('@') {
+            steps.push(Step::Attr(attr));
+            // attribute must be the last step
+            if path.split('/').count() != i + 1 {
+                return Err(XmlError::PathNotFound { path: path.into() });
+            }
+            continue;
+        }
+        let (name, index) = match raw.split_once('[') {
+            Some((n, idx)) => {
+                let idx = idx
+                    .strip_suffix(']')
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(|| XmlError::PathNotFound { path: path.into() })?;
+                (n, idx)
+            }
+            None => (raw, 0),
+        };
+        steps.push(Step::Child { name, index });
+    }
+    Ok(steps)
+}
+
+/// Resolve `path` relative to `root`, returning the element it names.
+///
+/// Attribute steps are not allowed here — use [`value_at`] for those.
+pub fn element_at<'e>(root: &'e Element, path: &str) -> Result<&'e Element> {
+    let mut cur = root;
+    for step in parse_steps(path)? {
+        match step {
+            Step::Child { name, index } => {
+                cur = cur
+                    .find_all(name)
+                    .nth(index)
+                    .ok_or_else(|| XmlError::PathNotFound { path: path.into() })?;
+            }
+            Step::Attr(_) => {
+                return Err(XmlError::PathNotFound { path: path.into() });
+            }
+        }
+    }
+    Ok(cur)
+}
+
+/// Resolve `path`, which may end in `@attr`, to a string value: the
+/// attribute value, or the trimmed text of the final element.
+pub fn value_at(root: &Element, path: &str) -> Result<String> {
+    let steps = parse_steps(path)?;
+    let mut cur = root;
+    for step in &steps {
+        match step {
+            Step::Child { name, index } => {
+                cur = cur
+                    .find_all(name)
+                    .nth(*index)
+                    .ok_or_else(|| XmlError::PathNotFound { path: path.into() })?;
+            }
+            Step::Attr(attr) => {
+                return cur
+                    .attr(attr)
+                    .map(str::to_owned)
+                    .ok_or_else(|| XmlError::PathNotFound { path: path.into() });
+            }
+        }
+    }
+    Ok(cur.text().trim().to_owned())
+}
+
+/// Trimmed text at `path`, as a convenience over [`value_at`].
+pub fn text_at(root: &Element, path: &str) -> Result<String> {
+    value_at(root, path)
+}
+
+/// Count the elements matching the final name step of `path` under the
+/// element reached by the preceding steps.
+pub fn count_at(root: &Element, path: &str) -> Result<usize> {
+    match path.rsplit_once('/') {
+        Some((head, last)) => {
+            let parent = element_at(root, head)?;
+            Ok(parent.find_all(last).count())
+        }
+        None => Ok(root.find_all(path).count()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Element {
+        Element::parse(
+            r#"<app version="2">
+                 <host dns="h0"><queue>batch</queue><queue>debug</queue></host>
+                 <host dns="h1"><queue>normal</queue></host>
+               </app>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn descend_first_match() {
+        assert_eq!(value_at(&doc(), "host/queue").unwrap(), "batch");
+    }
+
+    #[test]
+    fn indexing() {
+        assert_eq!(value_at(&doc(), "host/queue[1]").unwrap(), "debug");
+        assert_eq!(value_at(&doc(), "host[1]/queue").unwrap(), "normal");
+    }
+
+    #[test]
+    fn attributes() {
+        assert_eq!(value_at(&doc(), "host[1]/@dns").unwrap(), "h1");
+    }
+
+    #[test]
+    fn attribute_on_root_path() {
+        let root = doc();
+        // root attribute needs a child step first in this language; verify
+        // direct attr access still works through the Element API instead.
+        assert_eq!(root.attr("version"), Some("2"));
+    }
+
+    #[test]
+    fn count() {
+        assert_eq!(count_at(&doc(), "host").unwrap(), 2);
+        assert_eq!(count_at(&doc(), "host/queue").unwrap(), 2);
+        assert_eq!(count_at(&doc(), "host[1]/queue").unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_paths_error() {
+        assert!(matches!(
+            value_at(&doc(), "nosuch/queue"),
+            Err(XmlError::PathNotFound { .. })
+        ));
+        assert!(value_at(&doc(), "host/queue[9]").is_err());
+        assert!(value_at(&doc(), "host/@nope").is_err());
+    }
+
+    #[test]
+    fn malformed_paths_error() {
+        assert!(value_at(&doc(), "host//queue").is_err());
+        assert!(value_at(&doc(), "host/queue[x]").is_err());
+        assert!(value_at(&doc(), "@a/host").is_err());
+    }
+
+    #[test]
+    fn element_at_returns_subtree() {
+        let d = doc();
+        let host = element_at(&d, "host[1]").unwrap();
+        assert_eq!(host.attr("dns"), Some("h1"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Serialization of [`Element`] trees back to XML text.
+
+use crate::dom::{Element, Node};
+use crate::escape::{escape_attr, escape_text};
+
+/// Serialize with no inserted whitespace. Parsing the output reproduces the
+/// input tree exactly.
+pub fn write_compact(el: &Element) -> String {
+    let mut out = String::with_capacity(el.subtree_size() * 16);
+    write_element(&mut out, el, None, 0);
+    out
+}
+
+/// Serialize with newline-separated, indented elements. Text-only elements
+/// stay on one line so that values do not acquire spurious whitespace.
+pub fn write_pretty(el: &Element, indent: usize) -> String {
+    let mut out = String::with_capacity(el.subtree_size() * 24);
+    write_element(&mut out, el, Some(indent), 0);
+    out
+}
+
+fn is_inline(el: &Element) -> bool {
+    el.nodes().iter().all(|n| !matches!(n, Node::Element(_)))
+}
+
+fn write_element(out: &mut String, el: &Element, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(step) = indent {
+            out.push_str(&" ".repeat(step * depth));
+        }
+    };
+    pad(out, depth);
+    out.push('<');
+    out.push_str(el.name());
+    for (k, v) in el.attrs() {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if el.nodes().is_empty() {
+        out.push_str("/>");
+        if indent.is_some() {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+    let inline = indent.is_none() || is_inline(el);
+    if !inline {
+        out.push('\n');
+    }
+    for node in el.nodes() {
+        match node {
+            Node::Element(child) => {
+                if inline {
+                    write_element(out, child, None, 0);
+                } else {
+                    write_element(out, child, indent, depth + 1);
+                }
+            }
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::CData(t) => {
+                out.push_str("<![CDATA[");
+                out.push_str(t);
+                out.push_str("]]>");
+            }
+            Node::Comment(c) => {
+                if !inline {
+                    pad(out, depth + 1);
+                }
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+                if !inline {
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    if !inline {
+        pad(out, depth);
+    }
+    out.push_str("</");
+    out.push_str(el.name());
+    out.push('>');
+    if indent.is_some() {
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Element;
+
+    #[test]
+    fn compact_empty_element() {
+        assert_eq!(write_compact(&Element::new("a")), "<a/>");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let el = Element::new("a").with_attr("k", "x\"<&");
+        assert_eq!(write_compact(&el), r#"<a k="x&quot;&lt;&amp;"/>"#);
+    }
+
+    #[test]
+    fn text_escaped() {
+        let el = Element::new("a").with_text("1<2 & 3");
+        assert_eq!(write_compact(&el), "<a>1&lt;2 &amp; 3</a>");
+    }
+
+    #[test]
+    fn pretty_inlines_text_elements() {
+        let el = Element::new("r").with_text_child("name", "v");
+        let p = write_pretty(&el, 2);
+        assert!(p.contains("  <name>v</name>\n"), "got: {p}");
+    }
+
+    #[test]
+    fn pretty_nests() {
+        let el = Element::new("a").with_child(Element::new("b").with_child(Element::new("c")));
+        let p = write_pretty(&el, 2);
+        assert_eq!(p, "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+    }
+
+    #[test]
+    fn round_trip_compact_parse() {
+        let el = Element::new("root")
+            .with_attr("a", "1")
+            .with_text_child("x", "he said \"hi\" & left")
+            .with_child(Element::new("empty"));
+        let parsed = Element::parse(&write_compact(&el)).unwrap();
+        assert_eq!(parsed, el);
+    }
+}

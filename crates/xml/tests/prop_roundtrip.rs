@@ -1,0 +1,100 @@
+//! Property tests for the XML substrate: serialization/parsing round trips
+//! and escaping invariants, over randomly generated documents.
+
+use portalws_xml::escape::{escape_attr, escape_text, unescape};
+use portalws_xml::{Element, Node};
+use proptest::prelude::*;
+
+/// Arbitrary element name: ascii letter followed by name chars.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Arbitrary text including characters that require escaping.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,40}").unwrap()
+}
+
+/// Strategy for an element tree of bounded depth/width.
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), text_strategy()).prop_map(|(n, t)| {
+        let mut el = Element::new(n);
+        let trimmed = t.trim();
+        if !trimmed.is_empty() {
+            // Whitespace-only and leading/trailing-whitespace text is
+            // normalized by the parser, so generate pre-trimmed text.
+            el.push_node(Node::Text(trimmed.to_owned()));
+        }
+        el
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut el = Element::new(name);
+                for (k, v) in attrs {
+                    el.set_attr(k, v);
+                }
+                for c in children {
+                    el.push_child(c);
+                }
+                el
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(el in element_strategy()) {
+        let xml = el.to_xml();
+        let parsed = Element::parse(&xml).expect("serialized XML must reparse");
+        prop_assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn pretty_round_trip(el in element_strategy()) {
+        let xml = el.to_pretty();
+        let parsed = Element::parse(&xml).expect("pretty XML must reparse");
+        prop_assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn document_round_trip(el in element_strategy()) {
+        let xml = el.to_document();
+        let parsed = Element::parse(&xml).expect("document must reparse");
+        prop_assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn escape_unescape_text_identity(s in "\\PC{0,200}") {
+        prop_assert_eq!(unescape(&escape_text(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn escape_unescape_attr_identity(s in "\\PC{0,200}") {
+        prop_assert_eq!(unescape(&escape_attr(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn escaped_attr_has_no_specials(s in "\\PC{0,200}") {
+        let e = escape_attr(&s);
+        prop_assert!(!e.contains('<'));
+        prop_assert!(!e.contains('"'));
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,300}") {
+        // Arbitrary input must produce Ok or Err, never a panic.
+        let _ = Element::parse(&s);
+    }
+
+    #[test]
+    fn subtree_size_consistent(el in element_strategy()) {
+        let n = el.subtree_size();
+        let children_sum: usize = el.children().map(|c| c.subtree_size()).sum();
+        prop_assert_eq!(n, 1 + children_sum);
+    }
+}

@@ -1,0 +1,137 @@
+//! The §5 Application Web Services story, end to end, for the paper's
+//! own example application (Gaussian):
+//!
+//! 1. an application developer writes the **abstract descriptor**;
+//! 2. the **schema wizard** auto-generates an HTML form from the
+//!    descriptor schema (Figure 3);
+//! 3. a user's form submission becomes a **prepared instance**;
+//! 4. the instance **runs** through the core services;
+//! 5. the **archived instance** lands in the context manager — "the
+//!    backbone of a session archiving system".
+//!
+//! ```sh
+//! cargo run --example gaussian_application
+//! ```
+
+use std::sync::Arc;
+
+use portalws::appws::descriptor::{descriptor_schema, gaussian_example};
+use portalws::appws::{ApplicationInstance, DescriptorAdapter};
+use portalws::portal::{PortalDeployment, SecurityMode, UiServer};
+use portalws::soap::SoapValue;
+use portalws::wizard::SchemaWizard;
+use portalws::xml::Element;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let ui = UiServer::new(Arc::clone(&deployment));
+
+    // 1. The portal-independent application description.
+    let descriptor = gaussian_example();
+    println!("== abstract application descriptor ==");
+    println!("{}", descriptor.to_element().to_pretty());
+    descriptor_schema().validate(&descriptor.to_element())?;
+    println!("(validates against the descriptor schema)\n");
+
+    // 2. The schema wizard turns the schema into a form.
+    let wizard = SchemaWizard::new(descriptor_schema());
+    let page = wizard.generate_page("application", "/wizard/application", &[])?;
+    println!("== auto-generated form (first lines) ==");
+    for line in page.lines().take(8) {
+        println!("  {line}");
+    }
+    println!("  … ({} bytes total)\n", page.len());
+
+    // 3. Choices → prepared instance, via the §5.2 adapter.
+    let adapter = DescriptorAdapter::new(descriptor.to_element())?;
+    println!("== execution choices offered to the user ==");
+    for (host, sched, queue) in adapter.execution_choices() {
+        println!("  {host} via {sched} queue {queue}");
+    }
+    let mut instance = adapter
+        .prepare("alice@GCE.ORG", "tg-login.sdsc.edu", "batch", 4, 30)?
+        .with_input("/home-alice@GCE.ORG/water.com")
+        .with_output("/home-alice@GCE.ORG/water.log")
+        .with_choice("scrdir", "/scratch/g98");
+    println!("\nprepared: {} on {} ({})", instance.app_name, instance.host, instance.state);
+
+    // 4. Run through the discovered core services.
+    let gen = ui.discover_and_bind("BatchScriptGenerator")?;
+    let script = gen.call(
+        "generateScript",
+        &[
+            SoapValue::str(&instance.scheduler),
+            SoapValue::str(&instance.queue),
+            SoapValue::str("g98-water"),
+            SoapValue::str("hostname"),
+            SoapValue::Int(instance.cpus as i64),
+            SoapValue::Int(instance.wall_minutes as i64),
+        ],
+    )?;
+    let jobs = ui.discover_and_bind("JobSubmission")?;
+    let id = jobs.call(
+        "submit",
+        &[
+            SoapValue::str("tg-login"),
+            SoapValue::str(&instance.scheduler),
+            script,
+        ],
+    )?;
+    instance.mark_running(id.as_i64().unwrap() as u64)?;
+    println!("running: grid job {}", id.as_i64().unwrap());
+
+    deployment.grid.tick(0);
+    deployment.grid.tick(5000);
+    let output = jobs.call("output", &[id])?;
+    instance.archive(0)?;
+    println!("finished: {}", output.as_str().unwrap().trim());
+
+    // 5. Archive the instance record in the context manager.
+    let store = &deployment.contexts;
+    store.add(&["alice@GCE.ORG"]).ok();
+    store.add(&["alice@GCE.ORG", "gaussian"])?;
+    store.add(&["alice@GCE.ORG", "gaussian", "water-run"])?;
+    store.set_property(
+        &["alice@GCE.ORG", "gaussian", "water-run"],
+        "instance",
+        &instance.to_element().to_xml(),
+    )?;
+    println!("\n== archived session record ==");
+    println!("{}", instance.to_element().to_pretty());
+
+    // The user can restore the record later ("recover and edit old
+    // sessions").
+    let stored = store.get_property(&["alice@GCE.ORG", "gaussian", "water-run"], "instance")?;
+    let restored = ApplicationInstance::from_element(&Element::parse(&stored)?)?;
+    assert_eq!(restored, instance);
+    println!("restored archive matches: {} ({})", restored.app_name, restored.state);
+
+    // 6. The same lifecycle as a *service*: the §6 application factory,
+    //    deployed on the grid SSP, does steps 3–5 behind one interface.
+    println!("\n== the application factory does this as a service ==");
+    let factory = ui.proxy("grid.sdsc.edu", "AppFactory")?;
+    factory.call(
+        "registerApplication",
+        &[SoapValue::Xml(descriptor.to_element())],
+    )?;
+    let iid = factory.call(
+        "createInstance",
+        &[
+            SoapValue::str("Gaussian"),
+            SoapValue::str("modi4.ucs.indiana.edu"),
+            SoapValue::str("normal"),
+            SoapValue::Int(4),
+            SoapValue::Int(60),
+        ],
+    )?;
+    factory.call("submitInstance", &[iid.clone(), SoapValue::str("hostname")])?;
+    deployment.grid.tick(0);
+    deployment.grid.tick(3000);
+    let status = factory.call("instanceStatus", &[iid])?;
+    let inst = ApplicationInstance::from_element(status.as_xml().unwrap())?;
+    println!(
+        "factory instance on {} via {}: {} (exit {:?})",
+        inst.host, inst.scheduler, inst.state, inst.exit_code
+    );
+    Ok(())
+}

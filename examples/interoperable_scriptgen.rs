@@ -1,0 +1,90 @@
+//! The §3.4 interoperability exercise: two groups, one agreed WSDL
+//! interface, independently built services and clients, a registry both
+//! publish into — and the discovery problem UDDI couldn't solve.
+//!
+//! ```sh
+//! cargo run --example interoperable_scriptgen
+//! ```
+
+use std::sync::Arc;
+
+use portalws::gridsim::sched::{parse_script, SchedulerKind};
+use portalws::portal::{PortalDeployment, SecurityMode};
+use portalws::services::scriptgen::{GatewayClient, HotPageClient, ScriptRequest};
+use portalws::wsdl::handler::fetch_wsdl;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+
+    // --- the agreed interface, checked mechanically --------------------
+    let iu_wsdl = fetch_wsdl(
+        &*deployment.transport("gateway.iu.edu")?,
+        "BatchScriptGen",
+    )?;
+    let sdsc_wsdl = fetch_wsdl(
+        &*deployment.transport("hotpage.sdsc.edu")?,
+        "BatchScriptGen",
+    )?;
+    println!(
+        "common interface holds both ways: {} / {}\n",
+        portalws::wsdl::is_compatible(&iu_wsdl, &sdsc_wsdl),
+        portalws::wsdl::is_compatible(&sdsc_wsdl, &iu_wsdl),
+    );
+
+    // --- the interoperability matrix ------------------------------------
+    println!("{:<10} {:<10} {:<10} {:>10}", "service", "client", "scheduler", "accepted?");
+    let sites: [(&str, &str, &[SchedulerKind]); 2] = [
+        ("IU", "gateway.iu.edu", &[SchedulerKind::Pbs, SchedulerKind::Grd]),
+        ("SDSC", "hotpage.sdsc.edu", &[SchedulerKind::Lsf, SchedulerKind::Nqs]),
+    ];
+    for (site, host, schedulers) in sites {
+        let transport = deployment.transport(host)?;
+        let wsdl = fetch_wsdl(&*transport, "BatchScriptGen")?;
+        let gateway = GatewayClient::bind(wsdl, Arc::clone(&transport));
+        let hotpage = HotPageClient::connect(Arc::clone(&transport));
+        for &kind in schedulers {
+            let req = ScriptRequest {
+                scheduler: kind,
+                queue: "batch".into(),
+                job_name: "matrix".into(),
+                command: "./a.out".into(),
+                cpus: 8,
+                wall_minutes: 120,
+            };
+            for (client_name, script) in [
+                ("gateway", gateway.generate(&req)?),
+                ("hotpage", hotpage.generate(&req)?),
+            ] {
+                let accepted = parse_script(kind, &script).is_ok();
+                println!("{site:<10} {client_name:<10} {kind:<10} {accepted:>10}");
+            }
+        }
+    }
+
+    // --- a generated script, verbatim -----------------------------------
+    let transport = deployment.transport("hotpage.sdsc.edu")?;
+    let hotpage = HotPageClient::connect(transport);
+    let script = hotpage.generate(&ScriptRequest {
+        scheduler: SchedulerKind::Nqs,
+        queue: "batch".into(),
+        job_name: "demo".into(),
+        command: "mpirun -np 8 ./solver".into(),
+        cpus: 8,
+        wall_minutes: 45,
+    })?;
+    println!("\n== SDSC-generated NQS script ==\n{script}");
+
+    // --- the discovery problem -------------------------------------------
+    println!("== discovery: who supports PBS? ==");
+    println!("UDDI string search ('works only by convention'):");
+    for hit in deployment.uddi.find_service("PBS") {
+        println!("  {:<24} {}", hit.business, hit.description);
+    }
+    println!("typed container-registry query (the paper's proposal):");
+    for (path, entry) in deployment.container_registry.query("schedulers/scheduler", "PBS") {
+        println!("  {path:<24} {}", entry.access_point);
+    }
+    println!("\nThe SDSC entry matched the string search only because its");
+    println!("description *mentions* PBS; the typed query is exact.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: stand up the testbed, log in, discover a service in the
+//! UDDI, bind to it, and run a job on the simulated grid — the Figure 1
+//! interaction, end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use portalws::portal::{PortalDeployment, PortalShell, SecurityMode, UiServer};
+use portalws::soap::SoapValue;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One call stands up five logical servers (registry, auth, grid SSP,
+    // two script-generation SSPs) with Figure 2 central authentication.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
+
+    println!("== login (Kerberos-style, via the Authentication Service) ==");
+    ui.login("alice@GCE.ORG", "alice-pass")?;
+    println!("logged in as {}\n", ui.principal().unwrap());
+
+    println!("== discover: examine the UDDI ==");
+    for hit in ui.find_services("BatchScriptGenerator")? {
+        println!("  {:<22} {:<22} {}", hit.business, hit.name, hit.access_point);
+    }
+    println!();
+
+    println!("== bind: fetch WSDL, generate a dynamic proxy ==");
+    let scriptgen = ui.discover_and_bind("BatchScriptGenerator")?;
+    println!("operations: {:?}\n", scriptgen.operations());
+
+    println!("== invoke: generate a PBS script, then run it ==");
+    let script = scriptgen.call(
+        "generateScript",
+        &[
+            SoapValue::str("PBS"),
+            SoapValue::str("batch"),
+            SoapValue::str("quickstart"),
+            SoapValue::str("hostname"),
+            SoapValue::Int(2),
+            SoapValue::Int(10),
+        ],
+    )?;
+    println!("{}", script.as_str().unwrap());
+
+    let jobs = ui.discover_and_bind("JobSubmission")?;
+    let output = jobs.call(
+        "run",
+        &[
+            SoapValue::str("tg-login"),
+            SoapValue::str("PBS"),
+            script,
+        ],
+    )?;
+    println!("job output: {}", output.as_str().unwrap().trim());
+    println!(
+        "assertions verified centrally: {}\n",
+        deployment.auth.verification_count()
+    );
+
+    println!("== the same flow through the Figure 4 portal shell ==");
+    let shell = PortalShell::new(ui);
+    let out = shell.exec(
+        "scriptgen sdsc LSF normal demo 2 10 -- hostname | jobrun tg-login LSF",
+    )?;
+    println!("shell pipeline output: {}", out.trim());
+
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the `portalws` workspace.
+//!
+//! Re-exports every subsystem crate under a short name so that examples and
+//! integration tests can use one dependency.
+
+pub use portalws_appws as appws;
+pub use portalws_auth as auth;
+pub use portalws_core as portal;
+pub use portalws_gridsim as gridsim;
+pub use portalws_portlets as portlets;
+pub use portalws_registry as registry;
+pub use portalws_services as services;
+pub use portalws_soap as soap;
+pub use portalws_wire as wire;
+pub use portalws_wizard as wizard;
+pub use portalws_wsdl as wsdl;
+pub use portalws_xml as xml;

@@ -1,0 +1,102 @@
+//! §4 further-work: access control layered on the SSO architecture.
+//! "SAML can also be used to convey access control decisions made by
+//! other mechanisms, such as Akenti… Further work needs to be done, for
+//! instance, on access control."
+
+use std::sync::Arc;
+
+use portalws::auth::PolicyEngine;
+use portalws::portal::{PortalDeployment, SecurityMode, UiServer};
+use portalws::soap::PortalErrorKind;
+
+#[test]
+fn policy_separates_authenticated_users_by_capability() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    // Alice is a full user; Bob may only generate scripts, never touch
+    // the grid or data.
+    let policy = Arc::new(PolicyEngine::default_deny());
+    policy.permit("alice@GCE.ORG", "*", "*");
+    policy.permit("bob@GCE.ORG", "BatchScriptGen", "*");
+    deployment.install_access_policy(policy);
+
+    let alice = UiServer::new(Arc::clone(&deployment));
+    alice.login("alice@GCE.ORG", "alice-pass").unwrap();
+    let bob = UiServer::new(Arc::clone(&deployment));
+    bob.login("bob@GCE.ORG", "bob-pass").unwrap();
+
+    // Both can generate scripts.
+    for ui in [&alice, &bob] {
+        let gen = ui.proxy("gateway.iu.edu", "BatchScriptGen").unwrap();
+        gen.call("supportedSchedulers", &[]).unwrap();
+    }
+    // Only alice can reach the grid SSP.
+    let jobs = alice.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    jobs.call("listHosts", &[]).unwrap();
+    let jobs = bob.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    let err = jobs.call("listHosts", &[]).unwrap_err();
+    assert_eq!(
+        err.as_fault().and_then(|f| f.kind()),
+        Some(PortalErrorKind::PermissionDenied)
+    );
+}
+
+#[test]
+fn method_level_denial() {
+    // Bob may query jobs but not cancel them — method granularity.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Local);
+    let policy = Arc::new(PolicyEngine::default_permit());
+    policy.deny("bob@GCE.ORG", "JobSubmission", "cancel");
+    deployment.install_access_policy(policy);
+
+    let bob = UiServer::new(Arc::clone(&deployment));
+    bob.login("bob@GCE.ORG", "bob-pass").unwrap();
+    let jobs = bob.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    jobs.call("listHosts", &[]).unwrap();
+    let err = jobs
+        .call("cancel", &[portalws::soap::SoapValue::Int(1)])
+        .unwrap_err();
+    assert_eq!(
+        err.as_fault().and_then(|f| f.kind()),
+        Some(PortalErrorKind::PermissionDenied)
+    );
+}
+
+#[test]
+fn policy_requires_authentication_even_in_open_mode() {
+    // Installing a policy on an Open deployment upgrades the guard: the
+    // subject must be verifiable before the policy can evaluate it.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let policy = Arc::new(PolicyEngine::default_permit());
+    deployment.install_access_policy(policy);
+
+    let ui = UiServer::new(Arc::clone(&deployment));
+    // Unauthenticated: refused.
+    let bare = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    let err = bare.call("listHosts", &[]).unwrap_err();
+    assert_eq!(
+        err.as_fault().and_then(|f| f.kind()),
+        Some(PortalErrorKind::AuthFailed)
+    );
+    // After login: the permissive policy lets the call through.
+    ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+    let jobs = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    jobs.call("listHosts", &[]).unwrap();
+}
+
+#[test]
+fn denial_reports_the_akenti_decision() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Local);
+    let policy = Arc::new(PolicyEngine::default_deny());
+    policy.permit("alice@GCE.ORG", "BatchScriptGen", "*");
+    deployment.install_access_policy(policy);
+
+    let ui = UiServer::new(Arc::clone(&deployment));
+    ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+    let data = ui.proxy("grid.sdsc.edu", "DataManagement").unwrap();
+    let err = data
+        .call("ls", &[portalws::soap::SoapValue::str("/public")])
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("deny;default"), "{msg}");
+    assert!(msg.contains("DataManagement.ls"), "{msg}");
+}

@@ -1,0 +1,153 @@
+//! Figure 1 end-to-end: "The client examines the UDDI for the desired
+//! service and then binds to the SSP. The SSP in turn acts as a proxy to
+//! some backend services … to perform a HPC task."
+//!
+//! These tests drive the complete interaction over both transports and
+//! check the architectural properties the figure encodes: discovery is a
+//! service, interfaces travel as WSDL, binding is dynamic, and the UI
+//! server is not wired to any particular provider.
+
+use std::sync::Arc;
+
+use portalws::portal::{PortalDeployment, SecurityMode, UiServer};
+use portalws::soap::SoapValue;
+
+fn pbs_script(command: &str) -> String {
+    portalws::gridsim::sched::render_script(
+        portalws::gridsim::sched::SchedulerKind::Pbs,
+        &portalws::gridsim::sched::JobRequirements {
+            name: "it".into(),
+            queue: "batch".into(),
+            cpus: 2,
+            wall_minutes: 10,
+            command: command.into(),
+        },
+    )
+}
+
+#[test]
+fn full_figure1_flow_in_memory() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let ui = UiServer::new(Arc::clone(&deployment));
+
+    // 1. Examine the UDDI.
+    let hits = ui.find_services("JobSubmission").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].business, "SDSC");
+
+    // 2–3. Fetch WSDL from the provider and bind.
+    let client = ui.bind(&hits[0]).unwrap();
+    assert!(client.operations().contains(&"run"));
+
+    // 4. Invoke: the SSP proxies to the backend grid.
+    let out = client
+        .call(
+            "run",
+            &[
+                SoapValue::str("tg-login"),
+                SoapValue::str("PBS"),
+                SoapValue::str(pbs_script("hostname")),
+            ],
+        )
+        .unwrap();
+    assert_eq!(out.as_str().unwrap(), "tg-login\n");
+}
+
+#[test]
+fn full_figure1_flow_over_tcp() {
+    let deployment = PortalDeployment::over_tcp(SecurityMode::Open);
+    let ui = UiServer::new(Arc::clone(&deployment));
+    let client = ui.discover_and_bind("JobSubmission").unwrap();
+    let out = client
+        .call(
+            "run",
+            &[
+                SoapValue::str("tg-login"),
+                SoapValue::str("PBS"),
+                SoapValue::str(pbs_script("hostname")),
+            ],
+        )
+        .unwrap();
+    assert_eq!(out.as_str().unwrap(), "tg-login\n");
+}
+
+#[test]
+fn ui_server_can_rebind_to_a_different_provider() {
+    // The stovepipe-breaking property: the same UI code binds to whichever
+    // provider discovery returns.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let ui = UiServer::new(Arc::clone(&deployment));
+    let hits = ui.find_services("BatchScriptGenerator").unwrap();
+    assert_eq!(hits.len(), 2);
+    for hit in &hits {
+        let client = ui.bind(hit).unwrap();
+        // Identical interface…
+        assert!(client.operations().contains(&"generateScript"));
+        // …different implementations behind it.
+        let out = client.call("supportedSchedulers", &[]).unwrap();
+        assert_eq!(out.as_array().unwrap().len(), 2);
+    }
+}
+
+#[test]
+fn message_traffic_is_observable() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let transport = deployment.transport("grid.sdsc.edu").unwrap();
+    let before = transport.stats().snapshot();
+    let client = portalws::soap::SoapClient::new(Arc::clone(&transport), "JobSubmission");
+    client.call("listHosts", &[]).unwrap();
+    let delta = transport.stats().snapshot().since(&before);
+    assert_eq!(delta.requests, 1);
+    // A SOAP exchange costs real bytes: envelope + HTTP framing both ways.
+    assert!(delta.bytes_sent > 300, "sent {}", delta.bytes_sent);
+    assert!(delta.bytes_received > 300, "recv {}", delta.bytes_received);
+}
+
+#[test]
+fn composition_adds_one_hop() {
+    // BatchJob → JobSubmission: "a Web Service using another Web Service".
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let grid_transport = deployment.transport("grid.sdsc.edu").unwrap();
+    let before = grid_transport.stats().snapshot();
+    let batch = portalws::soap::SoapClient::new(Arc::clone(&grid_transport), "BatchJob");
+    let out = batch
+        .call(
+            "runBatch",
+            &[SoapValue::str("tg-login PBS batch 2 10 -- hostname")],
+        )
+        .unwrap();
+    assert_eq!(out.as_str().unwrap(), "tg-login\n");
+    // Two exchanges crossed this host's transport: the client's call to
+    // BatchJob, and BatchJob's own SOAP call to JobSubmission — the
+    // measurable cost of building services out of services.
+    let delta = grid_transport.stats().snapshot().since(&before);
+    assert_eq!(delta.requests, 2);
+}
+
+#[test]
+fn the_wsdl_on_the_wire_is_self_sufficient() {
+    // A client built only from bytes fetched over the wire (no shared Rust
+    // types) can call the service — the language-neutrality claim.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let transport = deployment.transport("hotpage.sdsc.edu").unwrap();
+    let resp = transport
+        .round_trip(portalws::wire::Request::get("/wsdl/BatchScriptGen"))
+        .unwrap();
+    let wsdl_doc = portalws::xml::Element::parse(&resp.body_str()).unwrap();
+    let wsdl = portalws::wsdl::WsdlDefinition::from_xml(&wsdl_doc).unwrap();
+    let client = portalws::wsdl::DynamicClient::bind(wsdl, transport);
+    let script = client
+        .call(
+            "generateScript",
+            &[
+                SoapValue::str("NQS"),
+                SoapValue::str("batch"),
+                SoapValue::str("j"),
+                SoapValue::str("date"),
+                SoapValue::Int(1),
+                SoapValue::Int(5),
+            ],
+        )
+        .unwrap();
+    assert!(script.as_str().unwrap().contains("#QSUB"));
+}

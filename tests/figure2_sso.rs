@@ -1,0 +1,215 @@
+//! Figure 2 end-to-end: the assertion-based single-sign-on protocol.
+//!
+//! "Subsequent user interaction generates a SOAP request that includes a
+//! SAML assertion that is signed by the client object on the UI server…
+//! The SPP does not check the signature of the request directly but
+//! instead forwards to the Authentication Service."
+
+use std::sync::Arc;
+
+use portalws::auth::Assertion;
+use portalws::portal::{PortalDeployment, SecurityMode, UiServer};
+use portalws::soap::SoapClient;
+use portalws::xml::Element;
+
+#[test]
+fn single_sign_on_spans_all_ssps() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    let ui = UiServer::new(Arc::clone(&deployment));
+    ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+
+    // One login, three different guarded servers, no re-authentication.
+    let jobs = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    jobs.call("listHosts", &[]).unwrap();
+    let gen = ui.proxy("gateway.iu.edu", "BatchScriptGen").unwrap();
+    gen.call("supportedSchedulers", &[]).unwrap();
+    let gen2 = ui.proxy("hotpage.sdsc.edu", "BatchScriptGen").unwrap();
+    gen2.call("supportedSchedulers", &[]).unwrap();
+
+    // Every verification landed on the central Authentication Service.
+    assert_eq!(deployment.auth.verification_count(), 3);
+}
+
+#[test]
+fn requests_without_assertions_rejected_by_every_ssp() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    for (host, service) in [
+        ("grid.sdsc.edu", "JobSubmission"),
+        ("gateway.iu.edu", "BatchScriptGen"),
+        ("hotpage.sdsc.edu", "BatchScriptGen"),
+    ] {
+        let bare = SoapClient::new(deployment.transport(host).unwrap(), service);
+        let err = bare.call("supportedSchedulers", &[]).unwrap_err();
+        assert!(
+            err.to_string().contains("AUTH_FAILED") || err.to_string().contains("assertion"),
+            "{host}/{service}: {err}"
+        );
+    }
+}
+
+#[test]
+fn forged_assertions_rejected() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    let jobs = SoapClient::new(
+        deployment.transport("grid.sdsc.edu").unwrap(),
+        "JobSubmission",
+    );
+    // An attacker mints an assertion with a made-up context and key.
+    let mut forged = Assertion::new(
+        "a-evil",
+        "ctx-999999",
+        "alice@GCE.ORG",
+        "kerberos",
+        "2002-11-16T00:00:00Z",
+        u64::MAX,
+    );
+    forged.sign("guessed-key");
+    jobs.set_header_supplier(Arc::new(move || vec![forged.to_element()]));
+    assert!(jobs.call("listHosts", &[]).is_err());
+}
+
+#[test]
+fn stolen_context_id_with_wrong_key_rejected() {
+    // An attacker who learned alice's context id (it travels in the
+    // clear) but not her session key cannot mint acceptable assertions.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    let ui = UiServer::new(Arc::clone(&deployment));
+    ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+    let mut tampered = Assertion::new(
+        "a-1",
+        "ctx-000001", // alice's real context id (first login)
+        "alice@GCE.ORG",
+        "kerberos",
+        "t",
+        u64::MAX,
+    );
+    tampered.sign("not-the-session-key");
+    let bare = SoapClient::new(
+        deployment.transport("grid.sdsc.edu").unwrap(),
+        "JobSubmission",
+    );
+    bare.set_header_supplier(Arc::new(move || vec![tampered.to_element()]));
+    assert!(bare.call("listHosts", &[]).is_err());
+}
+
+#[test]
+fn replayed_assertions_expire_with_the_clock() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    let gss = deployment
+        .auth
+        .login(
+            "alice@GCE.ORG",
+            "alice-pass",
+            portalws::gridsim::cred::Mechanism::Kerberos,
+        )
+        .unwrap();
+    let session = portalws::auth::UserSession::new(gss, Arc::clone(&deployment.clock));
+
+    // Capture ONE assertion and replay it from a client that never mints
+    // fresh ones.
+    let captured = session.make_assertion();
+    let replayer = SoapClient::new(
+        deployment.transport("grid.sdsc.edu").unwrap(),
+        "JobSubmission",
+    );
+    let fixed = captured.clone();
+    replayer.set_header_supplier(Arc::new(move || vec![fixed.to_element()]));
+    replayer.call("listHosts", &[]).unwrap();
+
+    deployment.clock.advance(6 * 60 * 1000); // beyond the 5-minute TTL
+    assert!(replayer.call("listHosts", &[]).is_err());
+
+    // A freshly minted assertion from the live session still works.
+    let fresh_client = SoapClient::new(
+        deployment.transport("grid.sdsc.edu").unwrap(),
+        "JobSubmission",
+    );
+    fresh_client.set_header_supplier(session.header_supplier());
+    fresh_client.call("listHosts", &[]).unwrap();
+}
+
+#[test]
+fn local_mode_avoids_central_round_trips() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Local);
+    let ui = UiServer::new(Arc::clone(&deployment));
+    ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+    let auth_transport = deployment.transport("auth.gce.org").unwrap();
+    let before = auth_transport.stats().snapshot();
+    let jobs = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    for _ in 0..5 {
+        jobs.call("listHosts", &[]).unwrap();
+    }
+    // Verification happened (counter moved) but no SOAP traffic reached
+    // the auth host from the SSP side through this transport.
+    assert_eq!(deployment.auth.verification_count(), 5);
+    assert_eq!(
+        auth_transport.stats().snapshot().since(&before).requests,
+        0
+    );
+}
+
+#[test]
+fn central_mode_doubles_wire_requests_per_call() {
+    // The measurable cost of the Figure 2 atomic step: each application
+    // call drags one extra verification exchange behind it.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    let ui = UiServer::new(Arc::clone(&deployment));
+    ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+    let jobs = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    let v0 = deployment.auth.verification_count();
+    for _ in 0..4 {
+        jobs.call("listHosts", &[]).unwrap();
+    }
+    assert_eq!(deployment.auth.verification_count() - v0, 4);
+}
+
+#[test]
+fn sso_works_over_real_tcp() {
+    let deployment = PortalDeployment::over_tcp(SecurityMode::Central);
+    let ui = UiServer::new(Arc::clone(&deployment));
+    ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+    let jobs = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    let out = jobs.call("listHosts", &[]).unwrap();
+    assert_eq!(out.as_array().unwrap().len(), 2);
+}
+
+#[test]
+fn assertion_survives_wire_and_verifies_against_service() {
+    // The mechanism-independent claim: the assertion is a document; any
+    // consumer holding the context key can verify it.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let gss = deployment
+        .auth
+        .login(
+            "alice@GCE.ORG",
+            "alice-pass",
+            portalws::gridsim::cred::Mechanism::Kerberos,
+        )
+        .unwrap();
+    let session =
+        portalws::auth::UserSession::new(gss, Arc::clone(&deployment.clock));
+    let assertion = session.make_assertion();
+    // Round-trip the document through XML text (as the SOAP header does).
+    let text = assertion.to_element().to_xml();
+    let parsed = Assertion::from_element(&Element::parse(&text).unwrap()).unwrap();
+    assert_eq!(
+        deployment.auth.verify_assertion(&parsed).unwrap(),
+        "alice@GCE.ORG"
+    );
+}
+
+#[test]
+fn mechanisms_pki_and_gsi_also_supported() {
+    use portalws::gridsim::cred::Mechanism;
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    for mech in [Mechanism::Pki, Mechanism::Gsi] {
+        let gss = deployment
+            .auth
+            .login("alice@GCE.ORG", "alice-pass", mech)
+            .unwrap();
+        let session = portalws::auth::UserSession::new(gss, Arc::clone(&deployment.clock));
+        let a = session.make_assertion();
+        assert_eq!(a.mechanism, mech.name());
+        deployment.auth.verify_assertion(&a).unwrap();
+    }
+}

@@ -1,0 +1,208 @@
+//! Figure 4 end-to-end: the comprehensive service-based portal — shell
+//! commands over core services, application web services bound to them,
+//! and the portlet aggregation on top.
+
+use std::sync::Arc;
+
+use portalws::appws::descriptor::gaussian_example;
+use portalws::appws::{ApplicationInstance, LifecycleState};
+use portalws::portal::{PortalDeployment, PortalShell, SecurityMode, UiServer};
+use portalws::portlets::{HtmlPortlet, PortalPage, PortletRegistry, WebFormPortlet};
+use portalws::soap::SoapValue;
+use portalws::wire::{Handler, InMemoryTransport, Request};
+
+#[test]
+fn complete_user_session_through_the_shell() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
+    let shell = PortalShell::new(Arc::clone(&ui));
+
+    shell.exec("login alice@GCE.ORG alice-pass").unwrap();
+
+    // Stage an input file in the user's home collection, generate a
+    // script through the IU service, run it, and file the output — a
+    // whole portal session as one command line.
+    shell
+        .exec("echo %chk=water.chk | put /home-alice@GCE.ORG/input.com")
+        .unwrap();
+    let out = shell
+        .exec("scriptgen iu PBS batch g98run 4 30 -- hostname | jobrun tg-login PBS")
+        .unwrap();
+    assert_eq!(out, "tg-login\n");
+    shell
+        .exec("echo tg-login | put /home-alice@GCE.ORG/run.out")
+        .unwrap();
+    let listing = shell.exec("ls /home-alice@GCE.ORG").unwrap();
+    assert!(listing.contains("input.com"), "{listing}");
+    assert!(listing.contains("run.out"));
+
+    // The Gateway integrated script generator recorded the session in the
+    // context store.
+    assert!(deployment
+        .contexts
+        .exists(&["alice@GCE.ORG", "scriptgen", "session"]));
+}
+
+#[test]
+fn application_lifecycle_bound_to_core_services() {
+    // §5: descriptor → prepared instance → running (real grid job) →
+    // archived (record stored in the context manager).
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let ui = UiServer::new(Arc::clone(&deployment));
+
+    let descriptor = gaussian_example();
+    // Verify every core service the descriptor requires is discoverable.
+    for service in descriptor.required_services() {
+        let hits = ui.find_services(service).unwrap();
+        assert!(!hits.is_empty(), "{service} not discoverable");
+    }
+
+    let mut instance = ApplicationInstance::prepare(
+        &descriptor,
+        "alice@GCE.ORG",
+        "tg-login.sdsc.edu",
+        "batch",
+        4,
+        30,
+    )
+    .unwrap()
+    .with_input("/home-alice@GCE.ORG/input.com")
+    .with_output("/home-alice@GCE.ORG/g98.log");
+
+    // Generate the script via the bound scriptgen service…
+    let gen = ui.discover_and_bind("BatchScriptGenerator").unwrap();
+    let script = gen
+        .call(
+            "generateScript",
+            &[
+                SoapValue::str(&instance.scheduler),
+                SoapValue::str(&instance.queue),
+                SoapValue::str("g98run"),
+                SoapValue::str("hostname"),
+                SoapValue::Int(instance.cpus as i64),
+                SoapValue::Int(instance.wall_minutes as i64),
+            ],
+        )
+        .unwrap();
+    // …submit through job submission…
+    let jobs = ui.discover_and_bind("JobSubmission").unwrap();
+    let id = jobs
+        .call(
+            "submit",
+            &[
+                SoapValue::str("tg-login"),
+                SoapValue::str(&instance.scheduler),
+                script.clone(),
+            ],
+        )
+        .unwrap();
+    instance.mark_running(id.as_i64().unwrap() as u64).unwrap();
+
+    // …drive the grid, archive the run.
+    deployment.grid.tick(0);
+    deployment.grid.tick(3000);
+    let status = jobs.call("status", std::slice::from_ref(&id)).unwrap();
+    assert_eq!(status.field("state").unwrap().as_str(), Some("DONE"));
+    instance.archive(0).unwrap();
+    assert_eq!(instance.state, LifecycleState::Archived);
+
+    // The archived record goes into the context manager (the session
+    // archive backbone).
+    let store = &deployment.contexts;
+    store.add(&["alice@GCE.ORG"]).unwrap();
+    store.add(&["alice@GCE.ORG", "g98"]).unwrap();
+    store.add(&["alice@GCE.ORG", "g98", "run-1"]).unwrap();
+    store
+        .set_property(
+            &["alice@GCE.ORG", "g98", "run-1"],
+            "instance",
+            &instance.to_element().to_xml(),
+        )
+        .unwrap();
+    // Reading the archive back reproduces the instance.
+    let stored = store
+        .get_property(&["alice@GCE.ORG", "g98", "run-1"], "instance")
+        .unwrap();
+    let restored = ApplicationInstance::from_element(
+        &portalws::xml::Element::parse(&stored).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(restored, instance);
+}
+
+#[test]
+fn portal_page_aggregates_shell_results_and_remote_apps() {
+    // The full stack: grid SSP (remote app server) proxied by a
+    // WebFormPortlet, plus local content, aggregated for one user.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+
+    // A tiny "legacy UI" server that surfaces job listings as HTML.
+    let grid = Arc::clone(&deployment.grid);
+    let legacy: Arc<dyn Handler> = Arc::new(move |_req: &Request| {
+        let hosts = grid
+            .hosts()
+            .into_iter()
+            .map(|h| format!("<li>{} ({} cpus)</li>", h.dns, h.cpus))
+            .collect::<String>();
+        portalws::wire::Response::html(format!(
+            "<ul>{hosts}</ul><a href=\"/refresh\">refresh</a>"
+        ))
+    });
+
+    let registry = Arc::new(PortletRegistry::new());
+    registry.register(Arc::new(HtmlPortlet::new(
+        "motd",
+        "Welcome",
+        "<p>GCE testbed portal</p>",
+    )));
+    registry.register(Arc::new(WebFormPortlet::new(
+        "machines",
+        "Machines",
+        "/machines",
+        Arc::new(InMemoryTransport::new(legacy)),
+    )));
+    registry.add_to_layout("alice", "motd", 0).unwrap();
+    registry.add_to_layout("alice", "machines", 1).unwrap();
+
+    let portal = PortalPage::new(registry, "/portal");
+    let resp = portal.handle(&Request::get("/portal?user=alice"));
+    let html = resp.body_str();
+    assert!(html.contains("GCE testbed portal"));
+    assert!(html.contains("tg-login.sdsc.edu (32 cpus)"));
+    // The refresh link is remapped into the portlet window.
+    assert!(
+        html.contains("portlet=machines&target=%2Frefresh"),
+        "{html}"
+    );
+}
+
+#[test]
+fn shell_over_tcp_deployment() {
+    let deployment = PortalDeployment::over_tcp(SecurityMode::Open);
+    let ui = Arc::new(UiServer::new(deployment));
+    let shell = PortalShell::new(ui);
+    let out = shell
+        .exec("scriptgen sdsc NQS batch t 2 10 -- hostname | jobrun modi4 NQS")
+        .unwrap();
+    assert_eq!(out, "modi4\n");
+}
+
+#[test]
+fn shell_pipeline_crosses_three_servers() {
+    // scriptgen runs on gateway.iu.edu, jobrun on grid.sdsc.edu, and the
+    // script content flows through the shell — three servers, one line.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    let iu_t = deployment.transport("gateway.iu.edu").unwrap();
+    let grid_t = deployment.transport("grid.sdsc.edu").unwrap();
+    let iu0 = iu_t.stats().snapshot();
+    let grid0 = grid_t.stats().snapshot();
+
+    let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
+    let shell = PortalShell::new(ui);
+    shell
+        .exec("scriptgen iu GRD normal t 2 10 -- hostname | jobrun modi4 GRD")
+        .unwrap();
+
+    assert!(iu_t.stats().snapshot().since(&iu0).requests >= 1);
+    assert!(grid_t.stats().snapshot().since(&grid0).requests >= 1);
+}

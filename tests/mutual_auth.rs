@@ -1,0 +1,113 @@
+//! §4 future-work: mutual authentication across the deployed testbed.
+//! "Minimally, each server in the system would authenticate itself, and
+//! mutual authentication schemes can also be developed."
+
+use std::sync::Arc;
+
+use portalws::portal::{PortalDeployment, SecurityMode, UiServer};
+use portalws::soap::{SoapClient, SoapValue};
+
+#[test]
+fn both_directions_verified_end_to_end() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Central);
+    deployment.enable_mutual_auth();
+    let ui = UiServer::new(Arc::clone(&deployment));
+    ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+
+    // Client → server: SAML assertion verified centrally (Central mode).
+    // Server → client: host assertion verified by the proxy.
+    let jobs = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+    let out = jobs.call("listHosts", &[]).unwrap();
+    assert_eq!(out.as_array().unwrap().len(), 2);
+
+    // Both verifications really happened on the Authentication Service:
+    // one for alice's assertion, one for the server's.
+    assert!(deployment.auth.verification_count() >= 2);
+}
+
+#[test]
+fn dynamic_binding_carries_the_verifier() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    deployment.enable_mutual_auth();
+    let ui = UiServer::new(Arc::clone(&deployment));
+    let client = ui.discover_and_bind("JobSubmission").unwrap();
+    // The server proves itself; the bound stub checks it transparently.
+    client.call("listHosts", &[]).unwrap();
+    assert!(deployment.auth.verification_count() >= 1);
+}
+
+#[test]
+fn client_without_verifier_still_works() {
+    // Mutual auth is additive: plain clients ignore the extra header.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    deployment.enable_mutual_auth();
+    let plain = SoapClient::new(
+        deployment.transport("grid.sdsc.edu").unwrap(),
+        "JobSubmission",
+    );
+    plain.call("listHosts", &[]).unwrap();
+}
+
+#[test]
+fn verifier_pins_the_host_principal() {
+    // A client that believes it is talking to gateway.iu.edu must reject
+    // replies signed by grid.sdsc.edu's host principal.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    deployment.enable_mutual_auth();
+    let mispinned = SoapClient::new(
+        deployment.transport("grid.sdsc.edu").unwrap(),
+        "JobSubmission",
+    );
+    mispinned.set_reply_verifier(portalws::auth::mutual::expect_server(
+        Arc::clone(&deployment.auth),
+        &PortalDeployment::server_principal("gateway.iu.edu"),
+    ));
+    let err = mispinned.call("listHosts", &[]).unwrap_err();
+    assert!(err.to_string().contains("identified as"), "{err}");
+}
+
+#[test]
+fn without_enabling_servers_do_not_identify() {
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    assert!(!deployment.mutual_enabled());
+    let client = SoapClient::new(
+        deployment.transport("grid.sdsc.edu").unwrap(),
+        "JobSubmission",
+    );
+    client.set_reply_verifier(portalws::auth::mutual::expect_server(
+        Arc::clone(&deployment.auth),
+        &PortalDeployment::server_principal("grid.sdsc.edu"),
+    ));
+    let err = client.call("listHosts", &[]).unwrap_err();
+    assert!(err.to_string().contains("no server assertion"), "{err}");
+}
+
+#[test]
+fn mutual_auth_over_tcp_and_shell() {
+    let deployment = PortalDeployment::over_tcp(SecurityMode::Central);
+    deployment.enable_mutual_auth();
+    let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
+    let shell = portalws::portal::PortalShell::new(ui);
+    shell.exec("login alice@GCE.ORG alice-pass").unwrap();
+    let out = shell
+        .exec("scriptgen iu PBS batch m 2 10 -- hostname | jobrun tg-login PBS")
+        .unwrap();
+    assert_eq!(out, "tg-login\n");
+}
+
+#[test]
+fn composed_service_replies_verify_too() {
+    // BatchJob's reply is stamped by grid.sdsc.edu's identity, even though
+    // it internally called JobSubmission.
+    let deployment = PortalDeployment::in_memory(SecurityMode::Open);
+    deployment.enable_mutual_auth();
+    let ui = UiServer::new(Arc::clone(&deployment));
+    let batch = ui.proxy("grid.sdsc.edu", "BatchJob").unwrap();
+    let out = batch
+        .call(
+            "runBatch",
+            &[SoapValue::str("tg-login PBS batch 2 10 -- hostname")],
+        )
+        .unwrap();
+    assert_eq!(out.as_str().unwrap(), "tg-login\n");
+}
