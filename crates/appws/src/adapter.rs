@@ -177,10 +177,7 @@ mod tests {
         a.set_host_parameter("modi4.ucs.indiana.edu", "GAUSS_SCRDIR", "/var/g98")
             .unwrap();
         let d = ApplicationDescriptor::from_element(a.document()).unwrap();
-        assert_eq!(
-            d.host("modi4.ucs.indiana.edu").unwrap().parameters.len(),
-            1
-        );
+        assert_eq!(d.host("modi4.ucs.indiana.edu").unwrap().parameters.len(), 1);
         assert!(a.set_host_parameter("nowhere", "k", "v").is_err());
     }
 

@@ -269,7 +269,12 @@ impl ApplicationDescriptor {
                 .collect();
             let parameters = h
                 .find_all("parameter")
-                .map(|p| (p.attr("name").unwrap_or("").to_owned(), p.text().trim().to_owned()))
+                .map(|p| {
+                    (
+                        p.attr("name").unwrap_or("").to_owned(),
+                        p.text().trim().to_owned(),
+                    )
+                })
                 .collect();
             desc.hosts.push(HostBinding {
                 dns: h.attr("dns").unwrap_or("").to_owned(),
@@ -282,7 +287,12 @@ impl ApplicationDescriptor {
         }
         desc.parameters = el
             .find_all("parameter")
-            .map(|p| (p.attr("name").unwrap_or("").to_owned(), p.text().trim().to_owned()))
+            .map(|p| {
+                (
+                    p.attr("name").unwrap_or("").to_owned(),
+                    p.text().trim().to_owned(),
+                )
+            })
             .collect();
         Ok(desc)
     }
@@ -343,54 +353,58 @@ pub fn descriptor_schema() -> Schema {
                     ))
                     .with(ElementDecl::new(
                         "internalCommunication",
-                        TypeDef::Complex(ComplexType::default().with(
-                            ElementDecl::new(
-                                "field",
-                                TypeDef::Complex(
-                                    ComplexType::default()
-                                        .with(string_el("description").occurs(Occurs::OPTIONAL))
-                                        .with(
-                                            string_el("serviceBinding")
-                                                .occurs(Occurs::OPTIONAL),
-                                        )
-                                        .with_attr(
-                                            "name",
-                                            SimpleType::plain(Primitive::String),
-                                            true,
-                                        )
-                                        .with_attr(
-                                            "direction",
-                                            SimpleType::enumerated([
-                                                "input", "output", "error",
-                                            ]),
-                                            true,
-                                        ),
-                                ),
-                            )
-                            .occurs(Occurs::ANY),
-                        )),
+                        TypeDef::Complex(
+                            ComplexType::default().with(
+                                ElementDecl::new(
+                                    "field",
+                                    TypeDef::Complex(
+                                        ComplexType::default()
+                                            .with(string_el("description").occurs(Occurs::OPTIONAL))
+                                            .with(
+                                                string_el("serviceBinding")
+                                                    .occurs(Occurs::OPTIONAL),
+                                            )
+                                            .with_attr(
+                                                "name",
+                                                SimpleType::plain(Primitive::String),
+                                                true,
+                                            )
+                                            .with_attr(
+                                                "direction",
+                                                SimpleType::enumerated([
+                                                    "input", "output", "error",
+                                                ]),
+                                                true,
+                                            ),
+                                    ),
+                                )
+                                .occurs(Occurs::ANY),
+                            ),
+                        ),
                     ))
                     .with(ElementDecl::new(
                         "executionEnvironment",
-                        TypeDef::Complex(ComplexType::default().with(
-                            ElementDecl::new(
-                                "coreService",
-                                TypeDef::Complex(
-                                    ComplexType::default()
-                                        .with_attr(
-                                            "name",
-                                            SimpleType::plain(Primitive::String),
-                                            true,
-                                        )
-                                        .with_attr(
-                                            "host",
-                                            SimpleType::plain(Primitive::String),
-                                            false,
-                                        ),
-                                ),
-                            )
-                            .occurs(Occurs::ANY),
-                        )),
+                        TypeDef::Complex(
+                            ComplexType::default().with(
+                                ElementDecl::new(
+                                    "coreService",
+                                    TypeDef::Complex(
+                                        ComplexType::default()
+                                            .with_attr(
+                                                "name",
+                                                SimpleType::plain(Primitive::String),
+                                                true,
+                                            )
+                                            .with_attr(
+                                                "host",
+                                                SimpleType::plain(Primitive::String),
+                                                false,
+                                            ),
+                                    ),
+                                )
+                                .occurs(Occurs::ANY),
+                            ),
+                        ),
                     ))
                     .with(ElementDecl::named("host", "HostType").occurs(Occurs::MANY))
                     .with(ElementDecl::named("parameter", "ParameterType").occurs(Occurs::ANY)),

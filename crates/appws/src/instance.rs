@@ -257,7 +257,10 @@ impl ApplicationInstance {
             host: resources.attr("host").unwrap_or("").to_owned(),
             scheduler: resources.attr("scheduler").unwrap_or("").to_owned(),
             queue: resources.attr("queue").unwrap_or("").to_owned(),
-            cpus: resources.attr("cpus").and_then(|v| v.parse().ok()).unwrap_or(1),
+            cpus: resources
+                .attr("cpus")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
             wall_minutes: resources
                 .attr("wallMinutes")
                 .and_then(|v| v.parse().ok())
@@ -324,8 +327,7 @@ mod tests {
             ApplicationInstance::prepare(&d, "u", "tg-login.sdsc.edu", "batch", 17, 10).is_err()
         );
         assert!(
-            ApplicationInstance::prepare(&d, "u", "tg-login.sdsc.edu", "batch", 1, 100000)
-                .is_err()
+            ApplicationInstance::prepare(&d, "u", "tg-login.sdsc.edu", "batch", 1, 100000).is_err()
         );
     }
 

@@ -24,9 +24,7 @@ pub mod descriptor;
 pub mod instance;
 
 pub use adapter::DescriptorAdapter;
-pub use descriptor::{
-    ApplicationDescriptor, HostBinding, IoField, QueueBinding, ServiceBinding,
-};
+pub use descriptor::{ApplicationDescriptor, HostBinding, IoField, QueueBinding, ServiceBinding};
 pub use instance::{ApplicationInstance, LifecycleState};
 
 use std::fmt;

@@ -165,11 +165,13 @@ mod tests {
         p.permit("alice@GCE.ORG", "JobSubmission", "*");
         // cancel hits the deny first even though the permit also matches.
         assert_eq!(
-            p.authorize("alice@GCE.ORG", "JobSubmission", "cancel").effect,
+            p.authorize("alice@GCE.ORG", "JobSubmission", "cancel")
+                .effect,
             Effect::Deny
         );
         assert_eq!(
-            p.authorize("alice@GCE.ORG", "JobSubmission", "submit").effect,
+            p.authorize("alice@GCE.ORG", "JobSubmission", "submit")
+                .effect,
             Effect::Permit
         );
     }
@@ -179,7 +181,8 @@ mod tests {
         let p = PolicyEngine::default_deny();
         p.permit("*", "BatchScriptGen", "*");
         assert_eq!(
-            p.authorize("anyone", "BatchScriptGen", "generateScript").effect,
+            p.authorize("anyone", "BatchScriptGen", "generateScript")
+                .effect,
             Effect::Permit
         );
         assert_eq!(
@@ -192,7 +195,10 @@ mod tests {
     fn decision_statements() {
         let p = PolicyEngine::default_deny();
         p.permit("a", "s", "m");
-        assert_eq!(p.authorize("a", "s", "m").statement_value(), "permit;rule=0");
+        assert_eq!(
+            p.authorize("a", "s", "m").statement_value(),
+            "permit;rule=0"
+        );
         assert_eq!(p.authorize("b", "s", "m").statement_value(), "deny;default");
     }
 
@@ -201,7 +207,8 @@ mod tests {
         let p = PolicyEngine::default_permit();
         p.deny("mallory@GCE.ORG", "*", "*");
         assert_eq!(
-            p.authorize("mallory@GCE.ORG", "DataManagement", "get").effect,
+            p.authorize("mallory@GCE.ORG", "DataManagement", "get")
+                .effect,
             Effect::Deny
         );
         assert_eq!(

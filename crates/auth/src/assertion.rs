@@ -71,7 +71,11 @@ impl Assertion {
     pub fn canonical(&self) -> String {
         let mut s = format!(
             "id={}\nctx={}\nsubject={}\nmechanism={}\nissued={}\nexpires={}\n",
-            self.id, self.context_id, self.subject, self.mechanism, self.issued_at,
+            self.id,
+            self.context_id,
+            self.subject,
+            self.mechanism,
+            self.issued_at,
             self.expires_at_ms
         );
         for (k, v) in &self.statements {
@@ -218,10 +222,7 @@ mod tests {
 
     #[test]
     fn unsigned_fails_verification() {
-        assert_eq!(
-            sample().verify_signature("k"),
-            Err(AuthError::BadSignature)
-        );
+        assert_eq!(sample().verify_signature("k"), Err(AuthError::BadSignature));
     }
 
     #[test]

@@ -237,7 +237,9 @@ mod tests {
 
         // Alice is permitted; Bob is authenticated but not authorized.
         assert!(client_for("alice@GCE.ORG", "pw").call("ping", &[]).is_ok());
-        let err = client_for("bob@GCE.ORG", "pw2").call("ping", &[]).unwrap_err();
+        let err = client_for("bob@GCE.ORG", "pw2")
+            .call("ping", &[])
+            .unwrap_err();
         assert_eq!(
             err.as_fault().and_then(|f| f.kind()),
             Some(portalws_soap::PortalErrorKind::PermissionDenied)

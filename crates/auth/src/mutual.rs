@@ -81,9 +81,7 @@ mod tests {
     use super::*;
     use portalws_gridsim::clock::SimClock;
     use portalws_gridsim::cred::Mechanism;
-    use portalws_soap::{
-        CallContext, MethodDesc, SoapResult, SoapServer, SoapService, SoapType,
-    };
+    use portalws_soap::{CallContext, MethodDesc, SoapResult, SoapServer, SoapService, SoapType};
     use portalws_wire::{Handler, InMemoryTransport};
 
     struct Ping;
@@ -99,9 +97,7 @@ mod tests {
         ) -> SoapResult<SoapValue> {
             match m {
                 "ping" => Ok(SoapValue::str("pong")),
-                other => Err(portalws_soap::Fault::client(format!(
-                    "no method {other:?}"
-                ))),
+                other => Err(portalws_soap::Fault::client(format!("no method {other:?}"))),
             }
         }
         fn methods(&self) -> Vec<MethodDesc> {
@@ -200,10 +196,7 @@ mod tests {
             Arc::new(InMemoryTransport::new(auth_handler)),
             "Authentication",
         ));
-        client.set_reply_verifier(expect_server_remote(
-            auth_client,
-            "grid.sdsc.edu@GCE.ORG",
-        ));
+        client.set_reply_verifier(expect_server_remote(auth_client, "grid.sdsc.edu@GCE.ORG"));
         assert_eq!(client.call("ping", &[]).unwrap(), SoapValue::str("pong"));
     }
 }

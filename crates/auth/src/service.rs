@@ -90,12 +90,7 @@ impl AuthService {
     }
 
     /// Authenticate and establish a GSS context.
-    pub fn login(
-        &self,
-        principal: &str,
-        secret: &str,
-        mechanism: Mechanism,
-    ) -> Result<GssSession> {
+    pub fn login(&self, principal: &str, secret: &str, mechanism: Mechanism) -> Result<GssSession> {
         let cred = self
             .authority
             .login(principal, secret, mechanism)
@@ -180,20 +175,20 @@ impl SoapService for AuthSoapFacade {
         _ctx: &CallContext,
     ) -> SoapResult<SoapValue> {
         let arg_str = |i: usize, name: &str| -> SoapResult<&str> {
-            args.get(i)
-                .and_then(|(_, v)| v.as_str())
-                .ok_or_else(|| {
-                    Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}"))
-                })
+            args.get(i).and_then(|(_, v)| v.as_str()).ok_or_else(|| {
+                Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}"))
+            })
         };
         match method {
             "login" => {
                 let principal = arg_str(0, "principal")?;
                 let secret = arg_str(1, "secret")?;
-                let mechanism = Mechanism::from_name(arg_str(2, "mechanism")?).ok_or_else(|| {
-                    Fault::portal(PortalErrorKind::BadArguments, "unknown mechanism")
-                })?;
-                let session = self.0
+                let mechanism =
+                    Mechanism::from_name(arg_str(2, "mechanism")?).ok_or_else(|| {
+                        Fault::portal(PortalErrorKind::BadArguments, "unknown mechanism")
+                    })?;
+                let session = self
+                    .0
                     .login(principal, secret, mechanism)
                     .map_err(|e| Fault::portal(PortalErrorKind::AuthFailed, e.to_string()))?;
                 Ok(SoapValue::Struct(vec![
@@ -206,12 +201,9 @@ impl SoapService for AuthSoapFacade {
                 ]))
             }
             "verify" => {
-                let el = args
-                    .first()
-                    .and_then(|(_, v)| v.as_xml())
-                    .ok_or_else(|| {
-                        Fault::portal(PortalErrorKind::BadArguments, "missing assertion")
-                    })?;
+                let el = args.first().and_then(|(_, v)| v.as_xml()).ok_or_else(|| {
+                    Fault::portal(PortalErrorKind::BadArguments, "missing assertion")
+                })?;
                 let assertion = Assertion::from_element(el)
                     .map_err(|e| Fault::portal(PortalErrorKind::BadArguments, e.to_string()))?;
                 match self.0.verify_assertion(&assertion) {
@@ -292,7 +284,9 @@ mod tests {
     #[test]
     fn login_verify_logout_cycle() {
         let svc = service();
-        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
         assert_eq!(svc.context_count(), 1);
         let a = signed_assertion(&svc, &session);
         assert_eq!(svc.verify_assertion(&a).unwrap(), "alice@GCE.ORG");
@@ -306,14 +300,18 @@ mod tests {
     #[test]
     fn bad_login_rejected() {
         let svc = service();
-        assert!(svc.login("alice@GCE.ORG", "bad", Mechanism::Kerberos).is_err());
+        assert!(svc
+            .login("alice@GCE.ORG", "bad", Mechanism::Kerberos)
+            .is_err());
         assert!(svc.login("bob@GCE.ORG", "pw", Mechanism::Kerberos).is_err());
     }
 
     #[test]
     fn forged_signature_rejected() {
         let svc = service();
-        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
         let mut a = signed_assertion(&svc, &session);
         a.sign("wrong-key");
         assert_eq!(svc.verify_assertion(&a), Err(AuthError::BadSignature));
@@ -323,7 +321,9 @@ mod tests {
     fn subject_must_match_context() {
         let svc = service();
         svc.register_user("bob@GCE.ORG", "pw2");
-        let alice = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let alice = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
         // Bob's subject signed under Alice's context key.
         let mut a = Assertion::new(
             "a-2",
@@ -340,7 +340,9 @@ mod tests {
     #[test]
     fn expired_assertion_rejected() {
         let svc = service();
-        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
         let a = signed_assertion(&svc, &session);
         svc.clock().advance(61_000);
         assert_eq!(svc.verify_assertion(&a), Err(AuthError::Expired));
@@ -349,7 +351,9 @@ mod tests {
     #[test]
     fn expired_context_rejected() {
         let svc = service();
-        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
         svc.clock().advance(9 * 3600 * 1000);
         let mut a = Assertion::new(
             "a-3",
@@ -366,7 +370,9 @@ mod tests {
     #[test]
     fn distinct_logins_get_distinct_contexts_and_keys() {
         let svc = service();
-        let s1 = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let s1 = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
         let s2 = svc.login("alice@GCE.ORG", "pw", Mechanism::Pki).unwrap();
         assert_ne!(s1.context_id, s2.context_id);
         assert_ne!(s1.key, s2.key);
@@ -375,7 +381,9 @@ mod tests {
     #[test]
     fn verification_counter_tracks() {
         let svc = service();
-        let session = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
         let a = signed_assertion(&svc, &session);
         for _ in 0..5 {
             svc.verify_assertion(&a).unwrap();
@@ -404,7 +412,12 @@ mod tests {
         )
         .unwrap();
         let context_id = out.field("contextId").unwrap().as_str().unwrap().to_owned();
-        let key = out.field("sessionKey").unwrap().as_str().unwrap().to_owned();
+        let key = out
+            .field("sessionKey")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
 
         let mut a = Assertion::new("a-9", context_id, "alice@GCE.ORG", "kerberos", "t", 60_000);
         a.sign(&key);

@@ -89,7 +89,9 @@ mod tests {
     fn session() -> (Arc<AuthService>, Arc<UserSession>) {
         let svc = AuthService::new(SimClock::new());
         svc.register_user("alice@GCE.ORG", "pw");
-        let gss = svc.login("alice@GCE.ORG", "pw", Mechanism::Kerberos).unwrap();
+        let gss = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
         let session = UserSession::new(gss, Arc::clone(svc.clock()));
         (svc, session)
     }

@@ -78,19 +78,15 @@ fn escaping_density(c: &mut Criterion) {
     for pct in [0usize, 10, 50, 100] {
         let content = payload(len, pct as f64 / 100.0);
         g.throughput(Throughput::Bytes(len as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(pct),
-            &content,
-            |b, content| {
-                b.iter(|| {
-                    data.call(
-                        "put",
-                        &[SoapValue::str("/bench/esc.dat"), SoapValue::str(content)],
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(pct), &content, |b, content| {
+            b.iter(|| {
+                data.call(
+                    "put",
+                    &[SoapValue::str("/bench/esc.dat"), SoapValue::str(content)],
+                )
+                .unwrap()
+            })
+        });
     }
     g.finish();
 }

@@ -12,7 +12,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use portalws_gridsim::srb::Srb;
 use portalws_services::DataManagementService;
 use portalws_soap::{SoapClient, SoapServer, SoapValue};
-use portalws_wire::{Handler, HttpServer, HttpTransport, InMemoryTransport, Transport};
+use portalws_wire::{
+    Handler, HttpServer, HttpTransport, InMemoryTransport, PooledTransport, Transport,
+};
 use portalws_xml::Element;
 
 fn handler() -> Arc<dyn Handler> {
@@ -76,10 +78,19 @@ fn over_tcp(c: &mut Criterion) {
     server.shutdown();
 }
 
+fn over_tcp_pooled(c: &mut Criterion) {
+    // Pooled keep-alive ablation: batching still wins on protocol bytes,
+    // but the connection-per-call tax the 2002 paper worked around is gone.
+    let server = HttpServer::start(handler(), 4).unwrap();
+    let transport: Arc<dyn Transport> = Arc::new(PooledTransport::new(server.addr()));
+    run_group(c, "e6_xml_call_tcp_pooled", transport);
+    server.shutdown();
+}
+
 fn in_memory(c: &mut Criterion) {
     let transport: Arc<dyn Transport> = Arc::new(InMemoryTransport::new(handler()));
     run_group(c, "e6_xml_call_mem", transport);
 }
 
-criterion_group!(benches, over_tcp, in_memory);
+criterion_group!(benches, over_tcp, over_tcp_pooled, in_memory);
 criterion_main!(benches);

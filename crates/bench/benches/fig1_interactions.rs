@@ -107,8 +107,18 @@ fn overhead(c: &mut Criterion) {
     g.bench_function("soap_over_tcp_keepalive", |b| {
         b.iter(|| ka.call("listHosts", &[]).unwrap())
     });
+    // Ablation: the pooled keep-alive transport (shared per-endpoint pool
+    // with liveness checks), versus the single-slot keep-alive above.
+    let pooled = SoapClient::new(
+        Arc::new(portalws_wire::PooledTransport::new(tcp_server.addr())),
+        "JobSubmission",
+    );
+    g.bench_function("soap_over_tcp_pooled", |b| {
+        b.iter(|| pooled.call("listHosts", &[]).unwrap())
+    });
     g.finish();
     drop(ka);
+    drop(pooled);
     tcp_server.shutdown();
 }
 

@@ -54,9 +54,7 @@ fn per_call_by_mode(c: &mut Criterion) {
         let ui = UiServer::new(Arc::clone(&deployment));
         ui.login("alice@GCE.ORG", "alice-pass").unwrap();
         let client = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
-        g.bench_function(label, |b| {
-            b.iter(|| client.call("listHosts", &[]).unwrap())
-        });
+        g.bench_function(label, |b| b.iter(|| client.call("listHosts", &[]).unwrap()));
     }
     g.finish();
 }
@@ -73,9 +71,7 @@ fn per_call_by_mode_tcp(c: &mut Criterion) {
         let ui = UiServer::new(Arc::clone(&deployment));
         ui.login("alice@GCE.ORG", "alice-pass").unwrap();
         let client = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
-        g.bench_function(label, |b| {
-            b.iter(|| client.call("listHosts", &[]).unwrap())
-        });
+        g.bench_function(label, |b| b.iter(|| client.call("listHosts", &[]).unwrap()));
     }
     g.finish();
 }

@@ -22,9 +22,11 @@ fn pipeline_vs_schema_size(c: &mut Criterion) {
             |b, s| b.iter(|| BeanRegistry::generate(s, "root").unwrap()),
         );
         let wizard = SchemaWizard::new(schema.clone());
-        g.bench_with_input(BenchmarkId::new("generate_form", leaves), &wizard, |b, w| {
-            b.iter(|| w.generate_page("root", "/wizard/root", &[]).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("generate_form", leaves),
+            &wizard,
+            |b, w| b.iter(|| w.generate_page("root", "/wizard/root", &[]).unwrap()),
+        );
         let form = synthetic_form(&schema);
         g.bench_with_input(
             BenchmarkId::new("form_to_instance", leaves),
@@ -63,9 +65,11 @@ fn marshal_round_trip(c: &mut Criterion) {
             |b, inst| b.iter(|| registry.unmarshal(inst).unwrap()),
         );
         let bean = registry.unmarshal(&instance).unwrap();
-        g.bench_with_input(BenchmarkId::new("marshal_validated", leaves), &bean, |b, bean| {
-            b.iter(|| registry.marshal_validated(bean).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("marshal_validated", leaves),
+            &bean,
+            |b, bean| b.iter(|| registry.marshal_validated(bean).unwrap()),
+        );
         g.bench_with_input(
             BenchmarkId::new("validate_only", leaves),
             &instance,

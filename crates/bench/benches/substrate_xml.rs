@@ -5,7 +5,7 @@
 //! at the substrate level so regressions in the foundation are visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use portalws_bench::{synthetic_schema, payload};
+use portalws_bench::{payload, synthetic_schema};
 use portalws_xml::{Element, Schema};
 
 fn build_document(elements: usize) -> Element {
@@ -47,17 +47,13 @@ fn escaping(c: &mut Criterion) {
     for pct in [0usize, 10, 100] {
         let text = payload(len, pct as f64 / 100.0);
         g.throughput(Throughput::Bytes(len as u64));
-        g.bench_with_input(
-            BenchmarkId::new("escape_text", pct),
-            &text,
-            |b, t| b.iter(|| portalws_xml::escape::escape_text(t)),
-        );
+        g.bench_with_input(BenchmarkId::new("escape_text", pct), &text, |b, t| {
+            b.iter(|| portalws_xml::escape::escape_text(t))
+        });
         let escaped = portalws_xml::escape::escape_text(&text);
-        g.bench_with_input(
-            BenchmarkId::new("unescape", pct),
-            &escaped,
-            |b, t| b.iter(|| portalws_xml::escape::unescape(t).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::new("unescape", pct), &escaped, |b, t| {
+            b.iter(|| portalws_xml::escape::unescape(t).unwrap())
+        });
     }
     g.finish();
 }
@@ -89,5 +85,11 @@ fn path_queries(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, parse_and_serialize, escaping, schema_validation, path_queries);
+criterion_group!(
+    benches,
+    parse_and_serialize,
+    escaping,
+    schema_validation,
+    path_queries
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use portalws_bench::{discovery_population, jobs_request, payload, synthetic_form, synthetic_schema};
+use portalws_bench::{
+    discovery_population, jobs_request, payload, synthetic_form, synthetic_schema,
+};
 use portalws_core::{PortalDeployment, PortalShell, SecurityMode, UiServer};
 use portalws_gridsim::sched::{parse_script, SchedulerKind};
 use portalws_services::context::{ContextManagerMonolith, ContextStore, DecomposedContextServices};
@@ -81,6 +83,10 @@ fn e1() {
     for (label, deployment) in [
         ("in-memory", PortalDeployment::in_memory(SecurityMode::Open)),
         ("over TCP", PortalDeployment::over_tcp(SecurityMode::Open)),
+        (
+            "over TCP, pooled",
+            PortalDeployment::over_tcp_pooled(SecurityMode::Open),
+        ),
     ] {
         let ui = UiServer::new(Arc::clone(&deployment));
         let hit = ui.find_services("JobSubmission").unwrap().remove(0);
@@ -115,22 +121,21 @@ fn e1() {
         Arc::new(server)
     };
     println!("\n  the stove-pipe comparison (listHosts):");
-    println!(
-        "    {:<28} {:>12} {:>14}",
-        "regime", "median", "bytes/call"
-    );
+    println!("    {:<28} {:>12} {:>14}", "regime", "median", "bytes/call");
     let direct: Arc<dyn Transport> = Arc::new(InMemoryTransport::direct(make_server()));
     let framed: Arc<dyn Transport> = Arc::new(InMemoryTransport::new(make_server()));
     let tcp_server = portalws_wire::HttpServer::start(make_server(), 4).unwrap();
-    let tcp: Arc<dyn Transport> =
-        Arc::new(portalws_wire::HttpTransport::new(tcp_server.addr()));
+    let tcp: Arc<dyn Transport> = Arc::new(portalws_wire::HttpTransport::new(tcp_server.addr()));
     let tcp_ka: Arc<dyn Transport> =
         Arc::new(portalws_wire::HttpTransport::keep_alive(tcp_server.addr()));
+    let tcp_pooled: Arc<dyn Transport> =
+        Arc::new(portalws_wire::PooledTransport::new(tcp_server.addr()));
     for (label, transport) in [
         ("direct (three-tier)", direct),
         ("SOAP, in-memory", framed),
         ("SOAP, TCP per-call conn", tcp),
         ("SOAP, TCP keep-alive", tcp_ka),
+        ("SOAP, TCP pooled", tcp_pooled),
     ] {
         let client = SoapClient::new(Arc::clone(&transport), "JobSubmission");
         let before = transport.stats().snapshot();
@@ -138,11 +143,19 @@ fn e1() {
             client.call("listHosts", &[]).unwrap();
         });
         let delta = transport.stats().snapshot().since(&before);
-        let per_call = delta
-            .total_bytes()
-            .checked_div(delta.requests)
-            .unwrap_or(0);
-        println!("    {:<28} {:>12} {:>14}", label, us(t), per_call);
+        let per_call = delta.total_bytes().checked_div(delta.requests).unwrap_or(0);
+        if delta.pool_reuse_hits + delta.pool_reuse_misses > 0 {
+            println!(
+                "    {:<28} {:>12} {:>14}   (pool: {} reuse hits, {} misses)",
+                label,
+                us(t),
+                per_call,
+                delta.pool_reuse_hits,
+                delta.pool_reuse_misses
+            );
+        } else {
+            println!("    {:<28} {:>12} {:>14}", label, us(t), per_call);
+        }
     }
     tcp_server.shutdown();
 }
@@ -200,7 +213,11 @@ fn e2() {
     let verify = median(500, || {
         deployment.auth.verify_assertion(&a).unwrap();
     });
-    println!("\n  primitives: mint+sign {} | verify {}", us(mint), us(verify));
+    println!(
+        "\n  primitives: mint+sign {} | verify {}",
+        us(mint),
+        us(verify)
+    );
 }
 
 fn e3() {
@@ -267,7 +284,10 @@ fn e4() {
     let remote: Arc<dyn Handler> =
         Arc::new(|_req: &portalws_wire::Request| portalws_wire::Response::html("<p>app</p>"));
     println!("\n  portlet aggregation:");
-    println!("    {:<10} {:>12} {:>12}", "portlets", "render", "page bytes");
+    println!(
+        "    {:<10} {:>12} {:>12}",
+        "portlets", "render", "page bytes"
+    );
     for count in [1usize, 4, 8, 16, 24] {
         let registry = Arc::new(PortletRegistry::new());
         for i in 0..count {
@@ -277,7 +297,9 @@ fn e4() {
                     format!("H{i}"),
                     "<p>local</p>",
                 )));
-                registry.add_to_layout("u", &format!("h{i}"), i % 3).unwrap();
+                registry
+                    .add_to_layout("u", &format!("h{i}"), i % 3)
+                    .unwrap();
             } else {
                 registry.register(Arc::new(WebFormPortlet::new(
                     format!("w{i}"),
@@ -285,7 +307,9 @@ fn e4() {
                     "/app",
                     Arc::new(InMemoryTransport::new(Arc::clone(&remote))),
                 )));
-                registry.add_to_layout("u", &format!("w{i}"), i % 3).unwrap();
+                registry
+                    .add_to_layout("u", &format!("w{i}"), i % 3)
+                    .unwrap();
             }
         }
         let portal = PortalPage::new(registry, "/portal");
@@ -360,7 +384,9 @@ fn e5() {
             ms(t_b)
         );
     }
-    println!("\n  (string amplification grows with markup density; base64 is a flat 4/3 + envelope)");
+    println!(
+        "\n  (string amplification grows with markup density; base64 is a flat 4/3 + envelope)"
+    );
 
     // Where the string path actually loses: markup-dense payloads.
     println!(
@@ -405,55 +431,61 @@ fn e6() {
     server.mount(Arc::new(portalws_services::DataManagementService::new(srb)));
     let handler: Arc<dyn Handler> = Arc::new(server);
     let tcp_server = portalws_wire::HttpServer::start(handler, 4).unwrap();
-    let transport: Arc<dyn Transport> =
+    let per_call: Arc<dyn Transport> =
         Arc::new(portalws_wire::HttpTransport::new(tcp_server.addr()));
-    let data = SoapClient::new(Arc::clone(&transport), "DataManagement");
+    let pooled: Arc<dyn Transport> =
+        Arc::new(portalws_wire::PooledTransport::new(tcp_server.addr()));
 
-    println!(
-        "\n  {:<6} {:>14} {:>12} {:>14} {:>12} {:>9}",
-        "N", "separate conn", "time", "xml_call conn", "time", "speedup"
-    );
-    for n in [1usize, 4, 16, 64] {
-        let before = transport.stats().snapshot();
-        let t_sep = median(10, || {
+    for (regime, transport) in [
+        ("TCP per-call conn (2002 regime)", per_call),
+        ("TCP pooled keep-alive", pooled),
+    ] {
+        let data = SoapClient::new(Arc::clone(&transport), "DataManagement");
+        println!("\n  transport: {regime}");
+        println!(
+            "  {:<6} {:>14} {:>12} {:>14} {:>12} {:>9}",
+            "N", "separate conn", "time", "xml_call conn", "time", "speedup"
+        );
+        for n in [1usize, 4, 16, 64] {
+            let before = transport.stats().snapshot();
+            let t_sep = median(10, || {
+                for i in 0..n {
+                    data.call(
+                        "put",
+                        &[
+                            SoapValue::str(format!("/bench/s{i}")),
+                            SoapValue::str("payload"),
+                        ],
+                    )
+                    .unwrap();
+                }
+            });
+            let sep_conns = transport.stats().snapshot().since(&before).connections as f64 / 10.0;
+
+            let mut request = Element::new("request");
             for i in 0..n {
-                data.call(
-                    "put",
-                    &[
-                        SoapValue::str(format!("/bench/s{i}")),
-                        SoapValue::str("payload"),
-                    ],
-                )
-                .unwrap();
+                request.push_child(
+                    Element::new("put")
+                        .with_attr("path", format!("/bench/b{i}"))
+                        .with_text("payload"),
+                );
             }
-        });
-        let sep_conns =
-            transport.stats().snapshot().since(&before).connections as f64 / 10.0;
-
-        let mut request = Element::new("request");
-        for i in 0..n {
-            request.push_child(
-                Element::new("put")
-                    .with_attr("path", format!("/bench/b{i}"))
-                    .with_text("payload"),
+            let before = transport.stats().snapshot();
+            let t_batch = median(10, || {
+                data.call("xml_call", &[SoapValue::Xml(request.clone())])
+                    .unwrap();
+            });
+            let batch_conns = transport.stats().snapshot().since(&before).connections as f64 / 10.0;
+            println!(
+                "  {:<6} {:>14.1} {:>12} {:>14.1} {:>12} {:>8.1}x",
+                n,
+                sep_conns,
+                ms(t_sep),
+                batch_conns,
+                ms(t_batch),
+                t_sep.as_secs_f64() / t_batch.as_secs_f64()
             );
         }
-        let before = transport.stats().snapshot();
-        let t_batch = median(10, || {
-            data.call("xml_call", &[SoapValue::Xml(request.clone())])
-                .unwrap();
-        });
-        let batch_conns =
-            transport.stats().snapshot().since(&before).connections as f64 / 10.0;
-        println!(
-            "  {:<6} {:>14.0} {:>12} {:>14.0} {:>12} {:>8.1}x",
-            n,
-            sep_conns,
-            ms(t_sep),
-            batch_conns,
-            ms(t_batch),
-            t_sep.as_secs_f64() / t_batch.as_secs_f64()
-        );
     }
     tcp_server.shutdown();
 }
@@ -484,7 +516,9 @@ fn e7() {
             us(t_typed)
         );
     }
-    println!("\n  (both searches achieve full recall; only the typed query achieves full precision)");
+    println!(
+        "\n  (both searches achieve full recall; only the typed query achieves full precision)"
+    );
 }
 
 fn e8() {

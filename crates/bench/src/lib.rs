@@ -140,7 +140,6 @@ pub fn payload(len: usize, escape_fraction: f64) -> String {
     s
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,9 +180,6 @@ mod tests {
     fn jobs_request_shape() {
         let r = jobs_request(3, 5, 2);
         assert_eq!(r.find_all("job").count(), 3);
-        assert_eq!(
-            r.find("job").unwrap().find_text("command"),
-            Some("sleep 5")
-        );
+        assert_eq!(r.find("job").unwrap().find_text("command"), Some("sleep 5"));
     }
 }

@@ -28,13 +28,16 @@ use portalws_registry::{
     BindingTemplate, ContainerRegistry, ContainerRegistryService, ServiceEntry, UddiRegistry,
     UddiService,
 };
-use portalws_services::context::{
-    ContextManagerMonolith, ContextStore, DecomposedContextServices,
-};
+use portalws_services::context::{ContextManagerMonolith, ContextStore, DecomposedContextServices};
 use portalws_services::scriptgen::{ContextCoupling, IuScriptGen, SdscScriptGen};
-use portalws_services::{AppFactoryService, BatchJobService, DataManagementService, JobSubmissionService};
+use portalws_services::{
+    AppFactoryService, BatchJobService, DataManagementService, JobSubmissionService,
+};
 use portalws_soap::{SoapClient, SoapServer, SoapService};
-use portalws_wire::{Handler, HttpServer, HttpTransport, InMemoryTransport, Router, ServerHandle, Transport};
+use portalws_wire::{
+    Handler, HttpServer, HttpTransport, InMemoryTransport, Pool, PoolConfig, PooledTransport,
+    Router, ServerHandle, Transport,
+};
 use portalws_wsdl::handler::WsdlHandler;
 use portalws_wsdl::WsdlDefinition;
 use portalws_xml::Element;
@@ -51,6 +54,23 @@ pub enum SecurityMode {
     Central,
     /// Decentralized ablation: SSPs verify in-process.
     Local,
+}
+
+/// Client transport regime for the testbed — the deployment-wide flag
+/// switching every consumer (registry lookups, job submission, the Fig. 2
+/// auth hop, the portal shell) between the 2002 connect-per-call wire and
+/// the pooled keep-alive one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// Full message framing, no sockets (tests and micro-benchmarks).
+    #[default]
+    InMemory,
+    /// One TCP connection per call — the 2002 regime, kept as the
+    /// benchmark ablation baseline.
+    TcpPerCall,
+    /// Keep-alive connections drawn from a deployment-wide pool, with
+    /// per-request deadlines and bounded idempotent retry.
+    TcpPooled,
 }
 
 /// One logical server: a router holding `/soap`, `/wsdl`, and the
@@ -70,10 +90,7 @@ impl LogicalServer {
         let wsil = Arc::new(portalws_registry::WsilHandler::new());
         router.mount("/soap", Arc::clone(&soap) as Arc<dyn Handler>);
         router.mount("/wsdl", Arc::clone(&wsdl) as Arc<dyn Handler>);
-        router.mount(
-            "/inspection.wsil",
-            Arc::clone(&wsil) as Arc<dyn Handler>,
-        );
+        router.mount("/inspection.wsil", Arc::clone(&wsil) as Arc<dyn Handler>);
         LogicalServer {
             router,
             soap,
@@ -125,28 +142,34 @@ pub struct PortalDeployment {
     /// Keeps TCP servers alive in `over_tcp` mode.
     _tcp_servers: Vec<ServerHandle>,
     security: SecurityMode,
+    mode: TransportMode,
 }
 
 /// Registered demo users: (principal, secret).
-pub const USERS: [(&str, &str); 2] = [
-    ("alice@GCE.ORG", "alice-pass"),
-    ("bob@GCE.ORG", "bob-pass"),
-];
+pub const USERS: [(&str, &str); 2] = [("alice@GCE.ORG", "alice-pass"), ("bob@GCE.ORG", "bob-pass")];
 
 impl PortalDeployment {
     /// Stand the testbed up over in-memory transports (full message
     /// framing, no sockets) — the default for tests and benchmarks.
     pub fn in_memory(security: SecurityMode) -> Arc<PortalDeployment> {
-        Self::build(security, false)
+        Self::build(security, TransportMode::InMemory)
     }
 
     /// Stand the testbed up over real TCP servers on localhost, each
-    /// logical host on its own port with `2` worker threads.
+    /// logical host on its own port with `2` worker threads. One TCP
+    /// connection per call, as deployed in 2002.
     pub fn over_tcp(security: SecurityMode) -> Arc<PortalDeployment> {
-        Self::build(security, true)
+        Self::build(security, TransportMode::TcpPerCall)
     }
 
-    fn build(security: SecurityMode, tcp: bool) -> Arc<PortalDeployment> {
+    /// Like [`PortalDeployment::over_tcp`], but clients draw keep-alive
+    /// connections from a deployment-wide pool instead of dialing per
+    /// call.
+    pub fn over_tcp_pooled(security: SecurityMode) -> Arc<PortalDeployment> {
+        Self::build(security, TransportMode::TcpPooled)
+    }
+
+    fn build(security: SecurityMode, mode: TransportMode) -> Arc<PortalDeployment> {
         let clock = SimClock::new();
         let grid = Grid::with_clock(Arc::clone(&clock));
         // Mirror the paper testbed hosts/schedulers.
@@ -176,10 +199,7 @@ impl PortalDeployment {
         );
 
         let auth_srv = LogicalServer::new();
-        auth_srv.mount(
-            "auth.gce.org",
-            Arc::new(AuthSoapFacade(Arc::clone(&auth))),
-        );
+        auth_srv.mount("auth.gce.org", Arc::new(AuthSoapFacade(Arc::clone(&auth))));
 
         let grid_srv = LogicalServer::new();
         let jobsub = Arc::new(JobSubmissionService::new(Arc::clone(&grid)));
@@ -237,9 +257,7 @@ impl PortalDeployment {
         for (host, server) in &servers {
             for (other, _) in &servers {
                 if other != host {
-                    server
-                        .wsil
-                        .link(format!("http://{other}/inspection.wsil"));
+                    server.wsil.link(format!("http://{other}/inspection.wsil"));
                 }
             }
         }
@@ -247,27 +265,34 @@ impl PortalDeployment {
         // ---- transports --------------------------------------------------
         let mut transports: HashMap<String, Arc<dyn Transport>> = HashMap::new();
         let mut tcp_servers = Vec::new();
-        if tcp {
-            for (host, server) in &servers {
-                let handle = HttpServer::start(
-                    Arc::clone(&server.router) as Arc<dyn Handler>,
-                    2,
-                )
-                .expect("bind localhost");
-                transports.insert(
-                    (*host).to_owned(),
-                    Arc::new(HttpTransport::new(handle.addr())) as Arc<dyn Transport>,
-                );
-                tcp_servers.push(handle);
+        match mode {
+            TransportMode::InMemory => {
+                for (host, server) in &servers {
+                    transports.insert(
+                        (*host).to_owned(),
+                        Arc::new(InMemoryTransport::new(
+                            Arc::clone(&server.router) as Arc<dyn Handler>
+                        )) as Arc<dyn Transport>,
+                    );
+                }
             }
-        } else {
-            for (host, server) in &servers {
-                transports.insert(
-                    (*host).to_owned(),
-                    Arc::new(InMemoryTransport::new(
-                        Arc::clone(&server.router) as Arc<dyn Handler>
-                    )) as Arc<dyn Transport>,
-                );
+            TransportMode::TcpPerCall | TransportMode::TcpPooled => {
+                // One idle-connection pool for the whole deployment, keyed
+                // internally by endpoint (unused in per-call mode).
+                let pool = Arc::new(Pool::new(PoolConfig::default()));
+                for (host, server) in &servers {
+                    let handle =
+                        HttpServer::start(Arc::clone(&server.router) as Arc<dyn Handler>, 2)
+                            .expect("bind localhost");
+                    let transport: Arc<dyn Transport> = match mode {
+                        TransportMode::TcpPooled => {
+                            Arc::new(PooledTransport::with_pool(handle.addr(), Arc::clone(&pool)))
+                        }
+                        _ => Arc::new(HttpTransport::new(handle.addr())),
+                    };
+                    transports.insert((*host).to_owned(), transport);
+                    tcp_servers.push(handle);
+                }
             }
         }
 
@@ -281,7 +306,10 @@ impl PortalDeployment {
                 .iter()
                 .find(|(h, _)| *h == "grid.sdsc.edu")
                 .expect("grid server exists");
-            grid_ls.mount("grid.sdsc.edu", Arc::new(BatchJobService::new(jobsub_client)));
+            grid_ls.mount(
+                "grid.sdsc.edu",
+                Arc::new(BatchJobService::new(jobsub_client)),
+            );
         }
 
         let soap_servers: HashMap<String, Arc<SoapServer>> = servers
@@ -302,6 +330,7 @@ impl PortalDeployment {
             soap_servers,
             _tcp_servers: tcp_servers,
             security,
+            mode,
         };
         deployment.apply_guards(None);
         deployment.populate_registries();
@@ -311,6 +340,11 @@ impl PortalDeployment {
     /// Security mode in effect.
     pub fn security(&self) -> SecurityMode {
         self.security
+    }
+
+    /// Transport regime in effect.
+    pub fn transport_mode(&self) -> TransportMode {
+        self.mode
     }
 
     /// Hosts whose SSPs are guarded. The paper guards protected services,
@@ -397,13 +431,11 @@ impl PortalDeployment {
                     portalws_gridsim::cred::Mechanism::Kerberos,
                 )
                 .expect("host principal just registered");
-            let session =
-                portalws_auth::UserSession::new(gss, Arc::clone(&self.clock));
-            server.set_response_header_supplier(portalws_auth::mutual::server_identity(
-                session,
-            ));
+            let session = portalws_auth::UserSession::new(gss, Arc::clone(&self.clock));
+            server.set_response_header_supplier(portalws_auth::mutual::server_identity(session));
         }
-        self.mutual.store(true, std::sync::atomic::Ordering::Release);
+        self.mutual
+            .store(true, std::sync::atomic::Ordering::Release);
     }
 
     /// Transport to a logical host.
@@ -495,8 +527,8 @@ impl PortalDeployment {
 
         // Container registry: same services, typed metadata.
         let entry = |name: &str, host: &str, service: &str, schedulers: &[&str]| {
-            let mut metadata = Element::new("serviceMetadata")
-                .with_text_child("kind", kind_of(service));
+            let mut metadata =
+                Element::new("serviceMetadata").with_text_child("kind", kind_of(service));
             if !schedulers.is_empty() {
                 let mut s = Element::new("schedulers");
                 for sch in schedulers {
@@ -628,10 +660,7 @@ mod tests {
     #[test]
     fn open_mode_serves_unauthenticated_calls() {
         let d = PortalDeployment::in_memory(SecurityMode::Open);
-        let client = SoapClient::new(
-            d.transport("hotpage.sdsc.edu").unwrap(),
-            "BatchScriptGen",
-        );
+        let client = SoapClient::new(d.transport("hotpage.sdsc.edu").unwrap(), "BatchScriptGen");
         let out = client.call("supportedSchedulers", &[]).unwrap();
         assert_eq!(out.as_array().unwrap().len(), 2);
     }
@@ -639,16 +668,11 @@ mod tests {
     #[test]
     fn central_mode_rejects_unauthenticated_calls() {
         let d = PortalDeployment::in_memory(SecurityMode::Central);
-        let client = SoapClient::new(
-            d.transport("grid.sdsc.edu").unwrap(),
-            "JobSubmission",
-        );
+        let client = SoapClient::new(d.transport("grid.sdsc.edu").unwrap(), "JobSubmission");
         assert!(client.call("listHosts", &[]).is_err());
         // But the registry stays public.
         let reg = SoapClient::new(d.transport("registry.gce.org").unwrap(), "Uddi");
-        assert!(reg
-            .call("findService", &[SoapValue::str("script")])
-            .is_ok());
+        assert!(reg.call("findService", &[SoapValue::str("script")]).is_ok());
     }
 
     #[test]
@@ -680,12 +704,59 @@ mod tests {
     #[test]
     fn over_tcp_round_trip() {
         let d = PortalDeployment::over_tcp(SecurityMode::Open);
-        let client = SoapClient::new(
-            d.transport("grid.sdsc.edu").unwrap(),
-            "JobSubmission",
-        );
+        let client = SoapClient::new(d.transport("grid.sdsc.edu").unwrap(), "JobSubmission");
         let hosts = client.call("listHosts", &[]).unwrap();
         assert_eq!(hosts.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pooled_deployment_round_trip_and_reuse() {
+        let d = PortalDeployment::over_tcp_pooled(SecurityMode::Open);
+        assert_eq!(d.transport_mode(), TransportMode::TcpPooled);
+        let t = d.transport("grid.sdsc.edu").unwrap();
+        let client = SoapClient::new(Arc::clone(&t), "JobSubmission");
+        for _ in 0..4 {
+            let hosts = client.call("listHosts", &[]).unwrap();
+            assert_eq!(hosts.as_array().unwrap().len(), 2);
+        }
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.connections, 1, "one dial for four calls");
+        assert_eq!(snap.pool_reuse_hits, 3);
+    }
+
+    #[test]
+    fn per_call_mode_stays_the_2002_regime() {
+        let d = PortalDeployment::over_tcp(SecurityMode::Open);
+        assert_eq!(d.transport_mode(), TransportMode::TcpPerCall);
+        let t = d.transport("grid.sdsc.edu").unwrap();
+        let client = SoapClient::new(Arc::clone(&t), "JobSubmission");
+        for _ in 0..3 {
+            client.call("listHosts", &[]).unwrap();
+        }
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.connections, 3, "a dial per call, as in 2002");
+        assert_eq!(snap.pool_reuse_hits, 0);
+    }
+
+    #[test]
+    fn central_auth_verification_hop_rides_the_pool() {
+        // In Central mode every guarded SSP call triggers a verification
+        // call to auth.gce.org (Fig. 2); under the pooled deployment that
+        // hop reuses a pooled connection instead of dialing per call.
+        let d = PortalDeployment::over_tcp_pooled(SecurityMode::Central);
+        let ui = crate::ui::UiServer::new(Arc::clone(&d));
+        ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+        let client = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+        for _ in 0..3 {
+            client.call("listHosts", &[]).unwrap();
+        }
+        let auth_t = d.transport("auth.gce.org").unwrap();
+        let snap = auth_t.stats().snapshot();
+        assert!(
+            snap.pool_reuse_hits >= 1,
+            "verification hop reused pooled connections: {snap:?}"
+        );
+        assert!(snap.connections < snap.requests, "fewer dials than calls");
     }
 
     #[test]

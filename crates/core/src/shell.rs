@@ -189,9 +189,9 @@ impl PortalShell {
             "scriptgen" => {
                 // scriptgen <site> <sched> <queue> <name> <cpus> <wall> -- <cmd…>
                 let site = need(0, "site (iu|sdsc)")?;
-                let command = tail
-                    .clone()
-                    .ok_or_else(|| PortalError::Shell("scriptgen: missing '-- <command>'".into()))?;
+                let command = tail.clone().ok_or_else(|| {
+                    PortalError::Shell("scriptgen: missing '-- <command>'".into())
+                })?;
                 let client = self.scriptgen(site)?;
                 let out = client
                     .call(
@@ -414,7 +414,10 @@ mod tests {
     fn wsil_inspection_through_shell() {
         let sh = shell(SecurityMode::Open);
         let out = sh.exec("inspect hotpage.sdsc.edu").unwrap();
-        assert!(out.contains("BatchScriptGen\thttp://hotpage.sdsc.edu/soap/BatchScriptGen"), "{out}");
+        assert!(
+            out.contains("BatchScriptGen\thttp://hotpage.sdsc.edu/soap/BatchScriptGen"),
+            "{out}"
+        );
         assert!(out.contains("-> http://"));
         assert!(sh.exec("inspect nowhere.example").is_err());
     }

@@ -65,10 +65,8 @@ impl UiServer {
     /// Log a user in (Figure 2 step 1): authenticate against the
     /// Authentication Service over SOAP and hold the session object.
     pub fn login(&self, principal: &str, secret: &str) -> Result<()> {
-        let auth_client = SoapClient::new(
-            self.deployment.transport("auth.gce.org")?,
-            "Authentication",
-        );
+        let auth_client =
+            SoapClient::new(self.deployment.transport("auth.gce.org")?, "Authentication");
         let out = auth_client
             .call(
                 "login",
@@ -90,10 +88,7 @@ impl UiServer {
             key: field("sessionKey")?,
             principal: principal.to_owned(),
             mechanism: Mechanism::Kerberos,
-            expires_at_ms: out
-                .field("expiresAt")
-                .and_then(|v| v.as_i64())
-                .unwrap_or(0) as u64,
+            expires_at_ms: out.field("expiresAt").and_then(|v| v.as_i64()).unwrap_or(0) as u64,
         };
         let session = UserSession::new(gss, Arc::clone(&self.deployment.clock));
         *self.session.write() = Some(session);
@@ -127,12 +122,7 @@ impl UiServer {
         Ok(hits
             .iter()
             .map(|h| {
-                let s = |f: &str| {
-                    h.field(f)
-                        .and_then(|v| v.as_str())
-                        .unwrap_or("")
-                        .to_owned()
-                };
+                let s = |f: &str| h.field(f).and_then(|v| v.as_str()).unwrap_or("").to_owned();
                 DiscoveredService {
                     business: s("business"),
                     name: s("name"),
@@ -152,15 +142,18 @@ impl UiServer {
     /// Bind directly to an endpoint URL.
     pub fn bind_endpoint(&self, url: &str) -> Result<DynamicClient> {
         let (transport, service_name) = self.deployment.resolve_endpoint(url)?;
-        let wsdl = fetch_wsdl(&*transport, &service_name)
-            .map_err(|e| PortalError::Bind(e.to_string()))?;
+        let wsdl =
+            fetch_wsdl(&*transport, &service_name).map_err(|e| PortalError::Bind(e.to_string()))?;
         let client = DynamicClient::bind(wsdl, transport);
         if let Some(session) = self.session.read().as_ref() {
             client
                 .soap_client()
                 .set_header_supplier(session.header_supplier());
         }
-        if let Some(host) = url.strip_prefix("http://").and_then(|r| r.split('/').next()) {
+        if let Some(host) = url
+            .strip_prefix("http://")
+            .and_then(|r| r.split('/').next())
+        {
             self.install_mutual_verifier(client.soap_client(), host);
         }
         Ok(client)
@@ -254,7 +247,9 @@ mod tests {
         let ui = ui(SecurityMode::Open);
         let hits = ui.find_services("script").unwrap();
         assert_eq!(hits.len(), 2);
-        assert!(hits.iter().any(|h| h.access_point.contains("gateway.iu.edu")));
+        assert!(hits
+            .iter()
+            .any(|h| h.access_point.contains("gateway.iu.edu")));
         assert!(ui.find_services("teleport").unwrap().is_empty());
     }
 
@@ -316,9 +311,6 @@ mod tests {
             );
         }
         supported.sort();
-        assert_eq!(
-            supported,
-            vec![vec!["LSF", "NQS"], vec!["PBS", "GRD"]]
-        );
+        assert_eq!(supported, vec![vec!["LSF", "NQS"], vec!["PBS", "GRD"]]);
     }
 }

@@ -120,12 +120,7 @@ impl CredentialAuthority {
 
     /// Authenticate with a secret and obtain a credential (the `kinit` /
     /// `grid-proxy-init` step).
-    pub fn login(
-        &self,
-        principal: &str,
-        secret: &str,
-        mechanism: Mechanism,
-    ) -> Result<Credential> {
+    pub fn login(&self, principal: &str, secret: &str, mechanism: Mechanism) -> Result<Credential> {
         let now = self.clock.now();
         let mut state = self.state.write();
         match state.keytab.get(principal) {

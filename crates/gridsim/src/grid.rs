@@ -397,7 +397,12 @@ mod tests {
     fn bad_script_rejected_at_submit() {
         let grid = Grid::testbed();
         let err = grid
-            .submit("a", "tg-login", SchedulerKind::Pbs, "#BSUB -J wrong\ndate\n")
+            .submit(
+                "a",
+                "tg-login",
+                SchedulerKind::Pbs,
+                "#BSUB -J wrong\ndate\n",
+            )
             .unwrap_err();
         assert!(matches!(err, GridError::ScriptRejected(_)));
     }
@@ -437,8 +442,12 @@ mod tests {
         let grid = Grid::testbed();
         // Two 20-cpu jobs on a 32-cpu host: second must wait.
         let s = script(SchedulerKind::Pbs, "batch", 20, "sleep 5");
-        let a = grid.submit("u", "tg-login", SchedulerKind::Pbs, &s).unwrap();
-        let b = grid.submit("u", "tg-login", SchedulerKind::Pbs, &s).unwrap();
+        let a = grid
+            .submit("u", "tg-login", SchedulerKind::Pbs, &s)
+            .unwrap();
+        let b = grid
+            .submit("u", "tg-login", SchedulerKind::Pbs, &s)
+            .unwrap();
         grid.tick(0);
         assert_eq!(grid.poll(a).unwrap().state, JobState::Running);
         assert_eq!(grid.poll(b).unwrap().state, JobState::Queued);

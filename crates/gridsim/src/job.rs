@@ -30,7 +30,10 @@ pub enum JobState {
 impl JobState {
     /// Has the job reached a terminal state?
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
     }
 
     /// Wire rendering used by the job-submission service.
@@ -75,7 +78,9 @@ pub struct Job {
 impl Job {
     /// Queue wait so far (or total, once started).
     pub fn queue_wait_ms(&self, now: SimTime) -> u64 {
-        self.started_at.unwrap_or(now).saturating_sub(self.submitted_at)
+        self.started_at
+            .unwrap_or(now)
+            .saturating_sub(self.submitted_at)
     }
 
     /// Simulated execution duration derived deterministically from the

@@ -150,7 +150,15 @@ pub fn parse_script(kind: SchedulerKind, script: &str) -> ParseResult<JobRequire
             if rest.is_empty() {
                 return err(format!("line {}: empty directive", lineno + 1));
             }
-            parse_directive(kind, rest, lineno + 1, &mut name, &mut queue, &mut cpus, &mut wall)?;
+            parse_directive(
+                kind,
+                rest,
+                lineno + 1,
+                &mut name,
+                &mut queue,
+                &mut cpus,
+                &mut wall,
+            )?;
             continue;
         }
         if line.starts_with('#') {
@@ -293,10 +301,7 @@ fn parse_pbs_resource(
     if let Some(rest) = v.strip_prefix("nodes=") {
         // nodes=N[:ppn=P]
         let (n, ppn) = match rest.split_once(":ppn=") {
-            Some((n, p)) => (
-                parse_u32(n, lineno, "nodes")?,
-                parse_u32(p, lineno, "ppn")?,
-            ),
+            Some((n, p)) => (parse_u32(n, lineno, "nodes")?, parse_u32(p, lineno, "ppn")?),
             None => (parse_u32(rest, lineno, "nodes")?, 1),
         };
         *cpus = Some(n * ppn);
@@ -422,7 +427,9 @@ mod tests {
     fn lsf_walltime_hhmm() {
         let script = "#BSUB -J j\n#BSUB -q q\n#BSUB -n 2\n#BSUB -W 02:15\ndate\n";
         assert_eq!(
-            parse_script(SchedulerKind::Lsf, script).unwrap().wall_minutes,
+            parse_script(SchedulerKind::Lsf, script)
+                .unwrap()
+                .wall_minutes,
             135
         );
     }
@@ -431,7 +438,9 @@ mod tests {
     fn nqs_seconds_round_up() {
         let script = "#QSUB -r j\n#QSUB -q q\n#QSUB -l mpp_p=1\n#QSUB -lT 90\ndate\n";
         assert_eq!(
-            parse_script(SchedulerKind::Nqs, script).unwrap().wall_minutes,
+            parse_script(SchedulerKind::Nqs, script)
+                .unwrap()
+                .wall_minutes,
             2
         );
     }

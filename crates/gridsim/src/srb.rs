@@ -116,8 +116,12 @@ impl Srb {
             srb.set_quota(&home, 1 << 20);
         }
         srb.mkdir("/public").unwrap();
-        srb.put("anonymous", "/public/README", b"GCE testbed public collection\n")
-            .unwrap();
+        srb.put(
+            "anonymous",
+            "/public/README",
+            b"GCE testbed public collection\n",
+        )
+        .unwrap();
         srb
     }
 
@@ -193,9 +197,7 @@ impl Srb {
                 .or_insert_with(|| Node::Collection(Collection::default()));
             match entry {
                 Node::Collection(c) => cur = c,
-                Node::Object(_) => {
-                    return Err(SrbError::Invalid(format!("{seg:?} is an object")))
-                }
+                Node::Object(_) => return Err(SrbError::Invalid(format!("{seg:?} is an object"))),
             }
         }
         Ok(())
@@ -350,7 +352,10 @@ mod tests {
             srb.get("u", "/ghost/x"),
             Err(SrbError::NotFound(_))
         ));
-        assert!(matches!(srb.rm("u", "/ghost/x"), Err(SrbError::NotFound(_))));
+        assert!(matches!(
+            srb.rm("u", "/ghost/x"),
+            Err(SrbError::NotFound(_))
+        ));
     }
 
     #[test]

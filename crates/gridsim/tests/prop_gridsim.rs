@@ -26,13 +26,15 @@ fn requirements_strategy() -> impl Strategy<Value = JobRequirements> {
         // would be a comment, so it cannot round-trip (found by proptest).
         "[!-\"$-~]([ -~]{0,60}[!-~])?",
     )
-        .prop_map(|(name, queue, cpus, wall_minutes, command)| JobRequirements {
-            name,
-            queue,
-            cpus,
-            wall_minutes,
-            command,
-        })
+        .prop_map(
+            |(name, queue, cpus, wall_minutes, command)| JobRequirements {
+                name,
+                queue,
+                cpus,
+                wall_minutes,
+                command,
+            },
+        )
 }
 
 proptest! {

@@ -226,9 +226,8 @@ mod tests {
     fn xreg_rejects_malformed() {
         let el = Element::parse("<wrong/>").unwrap();
         assert!(parse_xreg(&el).is_err());
-        let el =
-            Element::parse("<portlet-registry><portlet-entry type=\"x\"/></portlet-registry>")
-                .unwrap();
+        let el = Element::parse("<portlet-registry><portlet-entry type=\"x\"/></portlet-registry>")
+            .unwrap();
         assert!(parse_xreg(&el).is_err());
     }
 

@@ -285,7 +285,8 @@ mod tests {
 
     #[test]
     fn remap_leaves_fragments_and_external_urls() {
-        let html = r##"<a href="#sec">x</a><a href="http://www.globus.org/">g</a><img src="/logo.png"/>"##;
+        let html =
+            r##"<a href="#sec">x</a><a href="http://www.globus.org/">g</a><img src="/logo.png"/>"##;
         let out = remap_html(html, "/portal", "p");
         assert!(out.contains("href=\"#sec\""));
         assert!(out.contains("href=\"http://www.globus.org/\""));

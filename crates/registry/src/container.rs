@@ -362,7 +362,11 @@ mod tests {
         paths.sort();
         assert_eq!(
             paths,
-            vec!["/gce/jobsub/npaci", "/gce/scriptgen/iu", "/gce/scriptgen/sdsc"]
+            vec![
+                "/gce/jobsub/npaci",
+                "/gce/scriptgen/iu",
+                "/gce/scriptgen/sdsc"
+            ]
         );
     }
 

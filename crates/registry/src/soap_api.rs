@@ -122,7 +122,10 @@ impl SoapService for UddiService {
         vec![
             MethodDesc::new(
                 "publishBusiness",
-                vec![("name", SoapType::String), ("description", SoapType::String)],
+                vec![
+                    ("name", SoapType::String),
+                    ("description", SoapType::String),
+                ],
                 SoapType::String,
                 "Register a business entity; returns its key",
             ),
@@ -231,9 +234,7 @@ impl SoapService for ContainerRegistryService {
                 let value = arg_str(args, 1, "value")?;
                 let hits = self.registry.query(path_expr, value);
                 Ok(SoapValue::Array(
-                    hits.iter()
-                        .map(|(p, e)| entry_to_value(p, e))
-                        .collect(),
+                    hits.iter().map(|(p, e)| entry_to_value(p, e)).collect(),
                 ))
             }
             other => Err(Fault::client(format!(

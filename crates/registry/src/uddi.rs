@@ -243,8 +243,12 @@ mod tests {
 
     fn registry_with_scriptgens() -> UddiRegistry {
         let reg = UddiRegistry::new();
-        let iu = reg.publish_business("Community Grids Lab", "IU portal group").unwrap();
-        let sdsc = reg.publish_business("SDSC", "San Diego Supercomputer Center").unwrap();
+        let iu = reg
+            .publish_business("Community Grids Lab", "IU portal group")
+            .unwrap();
+        let sdsc = reg
+            .publish_business("SDSC", "San Diego Supercomputer Center")
+            .unwrap();
         reg.publish_service(
             &iu,
             "BatchScriptGenerator",

@@ -167,9 +167,7 @@ impl Handler for WsilHandler {
 }
 
 /// Fetch and parse an inspection document from a host.
-pub fn fetch_inspection(
-    transport: &dyn portalws_wire::Transport,
-) -> Result<InspectionDocument> {
+pub fn fetch_inspection(transport: &dyn portalws_wire::Transport) -> Result<InspectionDocument> {
     let resp = transport
         .round_trip(Request::get("/inspection.wsil"))
         .map_err(|e| RegistryError::Invalid(format!("wsil fetch failed: {e}")))?;
@@ -236,8 +234,7 @@ mod tests {
         h.link("http://other/inspection.wsil");
         let resp = h.handle(&Request::get("/inspection.wsil"));
         assert_eq!(resp.status, Status::Ok);
-        let doc =
-            InspectionDocument::from_xml(&Element::parse(&resp.body_str()).unwrap()).unwrap();
+        let doc = InspectionDocument::from_xml(&Element::parse(&resp.body_str()).unwrap()).unwrap();
         assert_eq!(doc.services.len(), 2);
         assert_eq!(doc.links.len(), 1);
         // POST rejected.
@@ -258,9 +255,8 @@ mod tests {
 
     #[test]
     fn fetch_missing_errors() {
-        let handler: Arc<dyn portalws_wire::Handler> = Arc::new(|_req: &Request| {
-            Response::error(Status::NotFound, "no wsil here")
-        });
+        let handler: Arc<dyn portalws_wire::Handler> =
+            Arc::new(|_req: &Request| Response::error(Status::NotFound, "no wsil here"));
         let transport = InMemoryTransport::new(handler);
         assert!(fetch_inspection(&transport).is_err());
     }

@@ -4,8 +4,8 @@
 //! that does not carry the queried metadata (full precision).
 
 use portalws_registry::{
-    BindingTemplate, Container, ContainerRegistry, InspectionDocument, ServiceEntry,
-    UddiRegistry, WsilService,
+    BindingTemplate, Container, ContainerRegistry, InspectionDocument, ServiceEntry, UddiRegistry,
+    WsilService,
 };
 use portalws_xml::Element;
 use proptest::prelude::*;

@@ -67,7 +67,9 @@ impl BatchCommand {
                 .ok_or_else(|| format!("unknown scheduler {scheduler:?}"))?,
             queue: (*queue).to_owned(),
             cpus: cpus.parse().map_err(|_| format!("bad cpus {cpus:?}"))?,
-            wall_minutes: wall.parse().map_err(|_| format!("bad wallMinutes {wall:?}"))?,
+            wall_minutes: wall
+                .parse()
+                .map_err(|_| format!("bad wallMinutes {wall:?}"))?,
             command: command.to_owned(),
         })
     }
@@ -119,12 +121,9 @@ impl SoapService for BatchJobService {
     ) -> SoapResult<SoapValue> {
         match method {
             "runBatch" => {
-                let spec = args
-                    .first()
-                    .and_then(|(_, v)| v.as_str())
-                    .ok_or_else(|| {
-                        Fault::portal(PortalErrorKind::BadArguments, "missing command string")
-                    })?;
+                let spec = args.first().and_then(|(_, v)| v.as_str()).ok_or_else(|| {
+                    Fault::portal(PortalErrorKind::BadArguments, "missing command string")
+                })?;
                 let cmd = BatchCommand::parse(spec)
                     .map_err(|e| Fault::portal(PortalErrorKind::BadArguments, e))?;
                 // The composition step: one Web service calling another.
@@ -234,7 +233,9 @@ mod tests {
     #[test]
     fn bad_command_string_is_caller_fault() {
         let c = composed();
-        let err = c.call("runBatch", &[SoapValue::str("nonsense")]).unwrap_err();
+        let err = c
+            .call("runBatch", &[SoapValue::str("nonsense")])
+            .unwrap_err();
         assert_eq!(
             err.as_fault().and_then(|f| f.kind()),
             Some(PortalErrorKind::BadArguments)
@@ -245,8 +246,7 @@ mod tests {
     fn script_round_trips_through_target_dialect() {
         let cmd = BatchCommand::parse("modi4 GRD normal 8 45 -- ./solver in.dat").unwrap();
         let script = cmd.to_script();
-        let parsed =
-            portalws_gridsim::sched::parse_script(SchedulerKind::Grd, &script).unwrap();
+        let parsed = portalws_gridsim::sched::parse_script(SchedulerKind::Grd, &script).unwrap();
         assert_eq!(parsed.cpus, 8);
         assert_eq!(parsed.wall_minutes, 45);
         assert_eq!(parsed.command, "./solver in.dat");

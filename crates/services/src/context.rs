@@ -113,7 +113,11 @@ impl Node {
     }
 
     fn subtree_count(&self) -> usize {
-        1 + self.children.values().map(Node::subtree_count).sum::<usize>()
+        1 + self
+            .children
+            .values()
+            .map(Node::subtree_count)
+            .sum::<usize>()
     }
 }
 
@@ -150,11 +154,7 @@ impl ContextStore {
 
     // ---- navigation helpers ---------------------------------------------
 
-    fn with_node<T>(
-        &self,
-        path: &[&str],
-        f: impl FnOnce(&Node) -> CtxResult<T>,
-    ) -> CtxResult<T> {
+    fn with_node<T>(&self, path: &[&str], f: impl FnOnce(&Node) -> CtxResult<T>) -> CtxResult<T> {
         let users = self.users.read();
         let mut cur = users
             .get(path[0])
@@ -423,11 +423,7 @@ impl ContextStore {
 
     /// Total context count across the store.
     pub fn total_count(&self) -> usize {
-        self.users
-            .read()
-            .values()
-            .map(Node::subtree_count)
-            .sum()
+        self.users.read().values().map(Node::subtree_count).sum()
     }
 
     /// Remove every placeholder problem subtree; returns how many were
@@ -551,13 +547,10 @@ impl SoapService for ContextManagerMonolith {
         // Store-wide specials first.
         match method {
             "totalContextCount" => return Ok(SoapValue::Int(store.total_count() as i64)),
-            "placeholderCount" => {
-                return Ok(SoapValue::Int(store.placeholder_count() as i64))
-            }
+            "placeholderCount" => return Ok(SoapValue::Int(store.placeholder_count() as i64)),
             "createPlaceholderContext" => {
                 let a = strs(args, 1)?;
-                let (problem, session) =
-                    store.create_placeholder(a[0]).map_err(ctx_fault)?;
+                let (problem, session) = store.create_placeholder(a[0]).map_err(ctx_fault)?;
                 return Ok(SoapValue::Struct(vec![
                     ("problem".into(), SoapValue::String(problem)),
                     ("session".into(), SoapValue::String(session)),
@@ -575,7 +568,10 @@ impl SoapService for ContextManagerMonolith {
             }
             "storeStatistics" => {
                 return Ok(SoapValue::Struct(vec![
-                    ("contexts".into(), SoapValue::Int(store.total_count() as i64)),
+                    (
+                        "contexts".into(),
+                        SoapValue::Int(store.total_count() as i64),
+                    ),
                     (
                         "users".into(),
                         SoapValue::Int(store.list(&[]).map_err(ctx_fault)?.len() as i64),
@@ -589,9 +585,8 @@ impl SoapService for ContextManagerMonolith {
             _ => {}
         }
 
-        let (depth, lname) = Self::level_of(method).ok_or_else(|| {
-            Fault::client(format!("ContextManager has no method {method:?}"))
-        })?;
+        let (depth, lname) = Self::level_of(method)
+            .ok_or_else(|| Fault::client(format!("ContextManager has no method {method:?}")))?;
         let verb = method
             .replace(lname, "")
             .replace(&lname.to_lowercase(), "")
@@ -669,7 +664,9 @@ impl SoapService for ContextManagerMonolith {
             "getproperty" => {
                 let a = strs(args, depth + 1)?;
                 Ok(SoapValue::String(
-                    store.get_property(&a[..depth], a[depth]).map_err(ctx_fault)?,
+                    store
+                        .get_property(&a[..depth], a[depth])
+                        .map_err(ctx_fault)?,
                 ))
             }
             "removeproperty" => {
@@ -681,9 +678,7 @@ impl SoapService for ContextManagerMonolith {
             }
             "listproperties" => {
                 let a = strs(args, depth)?;
-                Ok(props_value(
-                    store.list_properties(&a).map_err(ctx_fault)?,
-                ))
+                Ok(props_value(store.list_properties(&a).map_err(ctx_fault)?))
             }
             "countproperties" => {
                 let a = strs(args, depth)?;
@@ -721,50 +716,70 @@ impl SoapService for ContextManagerMonolith {
         for (lname, depth) in LEVELS {
             type VerbRow<'v> = (&'v str, Vec<(&'v str, SoapType)>, SoapType);
             let verbs: [VerbRow<'_>; 17] = [
-                (
-                    "add{L}Context",
-                    path_params(depth),
-                    SoapType::Void,
-                ),
+                ("add{L}Context", path_params(depth), SoapType::Void),
                 ("remove{L}Context", path_params(depth), SoapType::Void),
                 ("{l}ContextExists", path_params(depth), SoapType::Boolean),
                 ("list{L}Contexts", path_params(depth - 1), SoapType::Array),
                 ("count{L}Contexts", path_params(depth - 1), SoapType::Int),
-                ("rename{L}Context", {
-                    let mut p = path_params(depth);
-                    p.push(("newName", SoapType::String));
-                    p
-                }, SoapType::Void),
+                (
+                    "rename{L}Context",
+                    {
+                        let mut p = path_params(depth);
+                        p.push(("newName", SoapType::String));
+                        p
+                    },
+                    SoapType::Void,
+                ),
                 ("clear{L}Context", path_params(depth), SoapType::Void),
                 ("describe{L}Context", path_params(depth), SoapType::Xml),
                 ("archive{L}Context", path_params(depth), SoapType::Xml),
-                ("restore{L}Context", {
-                    let mut p = path_params(depth - 1);
-                    p.push(("archive", SoapType::Xml));
-                    p
-                }, SoapType::String),
-                ("copy{L}Context", {
-                    let mut p = path_params(depth);
-                    p.push(("newName", SoapType::String));
-                    p
-                }, SoapType::Void),
+                (
+                    "restore{L}Context",
+                    {
+                        let mut p = path_params(depth - 1);
+                        p.push(("archive", SoapType::Xml));
+                        p
+                    },
+                    SoapType::String,
+                ),
+                (
+                    "copy{L}Context",
+                    {
+                        let mut p = path_params(depth);
+                        p.push(("newName", SoapType::String));
+                        p
+                    },
+                    SoapType::Void,
+                ),
                 ("{l}ContextCreated", path_params(depth), SoapType::Int),
-                ("set{L}Property", {
-                    let mut p = path_params(depth);
-                    p.push(("key", SoapType::String));
-                    p.push(("value", SoapType::String));
-                    p
-                }, SoapType::Void),
-                ("get{L}Property", {
-                    let mut p = path_params(depth);
-                    p.push(("key", SoapType::String));
-                    p
-                }, SoapType::String),
-                ("remove{L}Property", {
-                    let mut p = path_params(depth);
-                    p.push(("key", SoapType::String));
-                    p
-                }, SoapType::Void),
+                (
+                    "set{L}Property",
+                    {
+                        let mut p = path_params(depth);
+                        p.push(("key", SoapType::String));
+                        p.push(("value", SoapType::String));
+                        p
+                    },
+                    SoapType::Void,
+                ),
+                (
+                    "get{L}Property",
+                    {
+                        let mut p = path_params(depth);
+                        p.push(("key", SoapType::String));
+                        p
+                    },
+                    SoapType::String,
+                ),
+                (
+                    "remove{L}Property",
+                    {
+                        let mut p = path_params(depth);
+                        p.push(("key", SoapType::String));
+                        p
+                    },
+                    SoapType::Void,
+                ),
                 ("list{L}Properties", path_params(depth), SoapType::Array),
                 ("count{L}Properties", path_params(depth), SoapType::Int),
             ];
@@ -894,16 +909,38 @@ impl SoapService for ContextTreeService {
                 self.store.rename(&p, new_name).map_err(ctx_fault)?;
                 Ok(SoapValue::Null)
             }
-            other => Err(Fault::client(format!("ContextTree has no method {other:?}"))),
+            other => Err(Fault::client(format!(
+                "ContextTree has no method {other:?}"
+            ))),
         }
     }
 
     fn methods(&self) -> Vec<MethodDesc> {
         vec![
-            MethodDesc::new("create", vec![("path", SoapType::String)], SoapType::Void, "Create a context"),
-            MethodDesc::new("delete", vec![("path", SoapType::String)], SoapType::Void, "Delete a context subtree"),
-            MethodDesc::new("exists", vec![("path", SoapType::String)], SoapType::Boolean, "Existence check"),
-            MethodDesc::new("list", vec![("path", SoapType::String)], SoapType::Array, "Child context names"),
+            MethodDesc::new(
+                "create",
+                vec![("path", SoapType::String)],
+                SoapType::Void,
+                "Create a context",
+            ),
+            MethodDesc::new(
+                "delete",
+                vec![("path", SoapType::String)],
+                SoapType::Void,
+                "Delete a context subtree",
+            ),
+            MethodDesc::new(
+                "exists",
+                vec![("path", SoapType::String)],
+                SoapType::Boolean,
+                "Existence check",
+            ),
+            MethodDesc::new(
+                "list",
+                vec![("path", SoapType::String)],
+                SoapType::Array,
+                "Child context names",
+            ),
             MethodDesc::new(
                 "rename",
                 vec![("path", SoapType::String), ("newName", SoapType::String)],
@@ -931,9 +968,9 @@ impl SoapService for ContextPropertyService {
         _ctx: &CallContext,
     ) -> SoapResult<SoapValue> {
         let sarg = |i: usize| -> SoapResult<&str> {
-            args.get(i).and_then(|(_, v)| v.as_str()).ok_or_else(|| {
-                Fault::portal(PortalErrorKind::BadArguments, "missing argument")
-            })
+            args.get(i)
+                .and_then(|(_, v)| v.as_str())
+                .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "missing argument"))
         };
         match method {
             "set" => {
@@ -1019,9 +1056,9 @@ impl SoapService for ContextArchiveService {
         _ctx: &CallContext,
     ) -> SoapResult<SoapValue> {
         let sarg = |i: usize| -> SoapResult<&str> {
-            args.get(i).and_then(|(_, v)| v.as_str()).ok_or_else(|| {
-                Fault::portal(PortalErrorKind::BadArguments, "missing argument")
-            })
+            args.get(i)
+                .and_then(|(_, v)| v.as_str())
+                .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "missing argument"))
         };
         match method {
             "archive" => {
@@ -1125,7 +1162,9 @@ mod tests {
         store.add(&["alice", "cms", "run-1"]).unwrap();
         assert!(store.exists(&["alice", "cms", "run-1"]));
         assert_eq!(store.list(&["alice"]).unwrap(), vec!["cms"]);
-        store.rename(&["alice", "cms", "run-1"], "run-final").unwrap();
+        store
+            .rename(&["alice", "cms", "run-1"], "run-final")
+            .unwrap();
         assert!(!store.exists(&["alice", "cms", "run-1"]));
         store.remove(&["alice", "cms"]).unwrap();
         assert_eq!(store.list(&["alice"]).unwrap(), Vec::<String>::new());
@@ -1135,10 +1174,7 @@ mod tests {
     fn duplicates_and_missing_rejected() {
         let store = ContextStore::new();
         store.add(&["u"]).unwrap();
-        assert!(matches!(
-            store.add(&["u"]),
-            Err(ContextError::Duplicate(_))
-        ));
+        assert!(matches!(store.add(&["u"]), Err(ContextError::Duplicate(_))));
         assert!(matches!(
             store.add(&["ghost", "p"]),
             Err(ContextError::NotFound(_))
@@ -1251,8 +1287,12 @@ mod tests {
     fn monolith_dispatches_context_ops() {
         let m = ContextManagerMonolith::new(ContextStore::new());
         let c = ctx();
-        m.invoke("addUserContext", &[("u".into(), SoapValue::str("alice"))], &c)
-            .unwrap();
+        m.invoke(
+            "addUserContext",
+            &[("u".into(), SoapValue::str("alice"))],
+            &c,
+        )
+        .unwrap();
         m.invoke(
             "addProblemContext",
             &[
@@ -1301,8 +1341,12 @@ mod tests {
     fn monolith_property_ops_per_level() {
         let m = ContextManagerMonolith::new(ContextStore::new());
         let c = ctx();
-        m.invoke("addUserContext", &[("u".into(), SoapValue::str("alice"))], &c)
-            .unwrap();
+        m.invoke(
+            "addUserContext",
+            &[("u".into(), SoapValue::str("alice"))],
+            &c,
+        )
+        .unwrap();
         m.invoke(
             "setUserProperty",
             &[
@@ -1446,10 +1490,7 @@ mod tests {
         d.archive
             .invoke(
                 "restore",
-                &[
-                    ("p".into(), SoapValue::str("/u")),
-                    ("a".into(), archived),
-                ],
+                &[("p".into(), SoapValue::str("/u")), ("a".into(), archived)],
                 &c,
             )
             .unwrap();

@@ -85,14 +85,18 @@ impl DataManagementService {
                         .attr("path")
                         .ok_or_else(|| SrbError::Invalid("cat needs path".into()))?;
                     let text = self.srb.cat(principal, path)?;
-                    Ok(Element::new("result").with_attr("op", "cat").with_text(text))
+                    Ok(Element::new("result")
+                        .with_attr("op", "cat")
+                        .with_text(text))
                 }
                 "get" => {
                     let path = cmd
                         .attr("path")
                         .ok_or_else(|| SrbError::Invalid("get needs path".into()))?;
                     let text = self.srb.cat(principal, path)?;
-                    Ok(Element::new("result").with_attr("op", "get").with_text(text))
+                    Ok(Element::new("result")
+                        .with_attr("op", "get")
+                        .with_text(text))
                 }
                 "put" => {
                     let path = cmd
@@ -206,12 +210,9 @@ impl SoapService for DataManagementService {
                 Ok(SoapValue::Null)
             }
             "xml_call" => {
-                let request = args
-                    .first()
-                    .and_then(|(_, v)| v.as_xml())
-                    .ok_or_else(|| {
-                        Fault::portal(PortalErrorKind::BadArguments, "missing request document")
-                    })?;
+                let request = args.first().and_then(|(_, v)| v.as_xml()).ok_or_else(|| {
+                    Fault::portal(PortalErrorKind::BadArguments, "missing request document")
+                })?;
                 if request.local_name() != "request" {
                     return Err(Fault::portal(
                         PortalErrorKind::BadArguments,
@@ -338,7 +339,10 @@ mod tests {
         let n = c
             .call(
                 "put",
-                &[SoapValue::str("/data/out.txt"), SoapValue::str(content.clone())],
+                &[
+                    SoapValue::str("/data/out.txt"),
+                    SoapValue::str(content.clone()),
+                ],
             )
             .unwrap();
         assert_eq!(n.as_i64(), Some(content.len() as i64));

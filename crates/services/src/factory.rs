@@ -169,11 +169,8 @@ impl SoapService for AppFactoryService {
                 let d = descriptors.get(name).ok_or_else(|| {
                     Fault::portal(PortalErrorKind::NotFound, format!("application {name:?}"))
                 })?;
-                let instance =
-                    ApplicationInstance::prepare(d, principal, host, queue, cpus, wall)
-                        .map_err(|e| {
-                            Fault::portal(PortalErrorKind::BadArguments, e.to_string())
-                        })?;
+                let instance = ApplicationInstance::prepare(d, principal, host, queue, cpus, wall)
+                    .map_err(|e| Fault::portal(PortalErrorKind::BadArguments, e.to_string()))?;
                 drop(descriptors);
                 let id = self.next_instance.fetch_add(1, Ordering::Relaxed) + 1;
                 self.instances.write().insert(id, instance);
@@ -192,10 +189,9 @@ impl SoapService for AppFactoryService {
                         format!("instance {id} is {}, not prepared", instance.state),
                     ));
                 }
-                let scheduler =
-                    SchedulerKind::from_name(&instance.scheduler).ok_or_else(|| {
-                        Fault::portal(PortalErrorKind::Internal, "unknown scheduler binding")
-                    })?;
+                let scheduler = SchedulerKind::from_name(&instance.scheduler).ok_or_else(|| {
+                    Fault::portal(PortalErrorKind::Internal, "unknown scheduler binding")
+                })?;
                 let grid_host = self.grid_host_for(&instance.host).ok_or_else(|| {
                     Fault::portal(
                         PortalErrorKind::HostUnavailable,
@@ -386,10 +382,7 @@ mod tests {
             )
             .unwrap();
         let job = c
-            .call(
-                "submitInstance",
-                &[id.clone(), SoapValue::str("hostname")],
-            )
+            .call("submitInstance", &[id.clone(), SoapValue::str("hostname")])
             .unwrap();
         assert!(job.as_i64().unwrap() > 0);
 
@@ -516,7 +509,10 @@ mod tests {
             )
             .unwrap();
         let job = c
-            .call("submitInstance", &[id.clone(), SoapValue::str("sleep 1000")])
+            .call(
+                "submitInstance",
+                &[id.clone(), SoapValue::str("sleep 1000")],
+            )
             .unwrap();
         grid.cancel(job.as_i64().unwrap() as u64).unwrap();
         let status = c.call("instanceStatus", &[id]).unwrap();

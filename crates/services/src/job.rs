@@ -122,7 +122,10 @@ fn job_to_struct(job: &Job) -> SoapValue {
         ("state".into(), SoapValue::str(job.state.as_str())),
         ("host".into(), SoapValue::str(job.host.clone())),
         ("scheduler".into(), SoapValue::str(job.scheduler.clone())),
-        ("queue".into(), SoapValue::str(job.requirements.queue.clone())),
+        (
+            "queue".into(),
+            SoapValue::str(job.requirements.queue.clone()),
+        ),
         (
             "submittedAt".into(),
             SoapValue::Int(job.submitted_at as i64),
@@ -301,23 +304,26 @@ impl SoapService for JobSubmissionService {
                 Ok(SoapValue::Int(id as i64))
             }
             "status" => {
-                let id = args.first().and_then(|(_, v)| v.as_i64()).ok_or_else(|| {
-                    Fault::portal(PortalErrorKind::BadArguments, "missing jobId")
-                })?;
+                let id = args
+                    .first()
+                    .and_then(|(_, v)| v.as_i64())
+                    .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "missing jobId"))?;
                 let job = self.grid.poll(id as u64).map_err(grid_fault)?;
                 Ok(job_to_struct(&job))
             }
             "output" => {
-                let id = args.first().and_then(|(_, v)| v.as_i64()).ok_or_else(|| {
-                    Fault::portal(PortalErrorKind::BadArguments, "missing jobId")
-                })?;
+                let id = args
+                    .first()
+                    .and_then(|(_, v)| v.as_i64())
+                    .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "missing jobId"))?;
                 let job = self.grid.poll(id as u64).map_err(grid_fault)?;
                 Ok(SoapValue::String(job.stdout))
             }
             "cancel" => {
-                let id = args.first().and_then(|(_, v)| v.as_i64()).ok_or_else(|| {
-                    Fault::portal(PortalErrorKind::BadArguments, "missing jobId")
-                })?;
+                let id = args
+                    .first()
+                    .and_then(|(_, v)| v.as_i64())
+                    .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "missing jobId"))?;
                 self.grid.cancel(id as u64).map_err(grid_fault)?;
                 Ok(SoapValue::Null)
             }
@@ -481,7 +487,10 @@ mod tests {
     fn run_xml_executes_sequentially() {
         let (grid, c) = client();
         let out = c
-            .call("runXml", &[SoapValue::Xml(jobs_xml(&["sleep 2", "sleep 3"]))])
+            .call(
+                "runXml",
+                &[SoapValue::Xml(jobs_xml(&["sleep 2", "sleep 3"]))],
+            )
             .unwrap();
         let results = out.as_xml().unwrap();
         assert_eq!(results.attr("mode"), Some("sequential"));

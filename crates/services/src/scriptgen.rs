@@ -28,8 +28,8 @@ use std::sync::Arc;
 
 use portalws_gridsim::sched::SchedulerKind;
 use portalws_soap::{
-    CallContext, Fault, MethodDesc, PortalErrorKind, SoapClient, SoapResult, SoapService,
-    SoapType, SoapValue,
+    CallContext, Fault, MethodDesc, PortalErrorKind, SoapClient, SoapResult, SoapService, SoapType,
+    SoapValue,
 };
 use portalws_wsdl::{DynamicClient, WsdlDefinition};
 
@@ -86,9 +86,8 @@ fn decode_gen_args(args: &[(String, SoapValue)]) -> SoapResult<GenArgs> {
             .and_then(|(_, v)| v.as_i64())
             .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}")))
     };
-    let scheduler = SchedulerKind::from_name(get_str(0, "scheduler")?).ok_or_else(|| {
-        Fault::portal(PortalErrorKind::BadArguments, "unknown scheduler name")
-    })?;
+    let scheduler = SchedulerKind::from_name(get_str(0, "scheduler")?)
+        .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "unknown scheduler name"))?;
     let cpus = get_int(4, "cpus")?;
     let wall = get_int(5, "wallMinutes")?;
     if cpus <= 0 || wall <= 0 {
@@ -162,8 +161,11 @@ impl IuScriptGen {
     }
 
     /// The Gateway codebase built scripts from whole-file templates.
-    fn render(&self, a: &GenArgs) -> String {
-        match a.scheduler {
+    ///
+    /// Faults (rather than panics) on a scheduler outside [`Self::SUPPORTED`]
+    /// so a bad request can never take the server down.
+    fn render(&self, a: &GenArgs) -> SoapResult<String> {
+        Ok(match a.scheduler {
             SchedulerKind::Pbs => format!(
                 "#!/bin/sh\n#PBS -N {name}\n#PBS -q {queue}\n#PBS -l ncpus={cpus}\n#PBS -l walltime={hh:02}:{mm:02}:00\n{cmd}\n",
                 name = a.job_name,
@@ -181,8 +183,8 @@ impl IuScriptGen {
                 secs = a.wall_minutes * 60,
                 cmd = a.command,
             ),
-            _ => unreachable!("guarded by SUPPORTED check"),
-        }
+            _ => return Err(unsupported(a.scheduler, &Self::SUPPORTED)),
+        })
     }
 
     fn record_in_context(&self, principal: &str, script: &str) -> SoapResult<()> {
@@ -205,17 +207,12 @@ impl IuScriptGen {
                         .map_err(fault)?;
                 }
                 store
-                    .set_property(
-                        &[principal, "scriptgen", "session"],
-                        "lastScript",
-                        script,
-                    )
+                    .set_property(&[principal, "scriptgen", "session"], "lastScript", script)
                     .map_err(fault)
             }
             ContextCoupling::Placeholder(store) => {
                 // The §3 overhead: an artificial problem+session per call.
-                let (problem, session) =
-                    store.create_placeholder(principal).map_err(fault)?;
+                let (problem, session) = store.create_placeholder(principal).map_err(fault)?;
                 store
                     .set_property(&[principal, &problem, &session], "script", script)
                     .map_err(fault)
@@ -241,7 +238,7 @@ impl SoapService for IuScriptGen {
                 if !Self::SUPPORTED.contains(&a.scheduler) {
                     return Err(unsupported(a.scheduler, &Self::SUPPORTED));
                 }
-                let script = self.render(&a);
+                let script = self.render(&a)?;
                 self.record_in_context(&caller_principal(ctx), &script)?;
                 Ok(SoapValue::String(script))
             }
@@ -276,7 +273,10 @@ impl SdscScriptGen {
     pub const SUPPORTED: [SchedulerKind; 2] = [SchedulerKind::Lsf, SchedulerKind::Nqs];
 
     /// The GridPort codebase assembled directives as (flag, value) pairs.
-    fn render(a: &GenArgs) -> String {
+    ///
+    /// Faults (rather than panics) on a scheduler outside [`Self::SUPPORTED`]
+    /// so a bad request can never take the server down.
+    fn render(a: &GenArgs) -> SoapResult<String> {
         let prefix = a.scheduler.directive_prefix();
         let directives: Vec<(String, String)> = match a.scheduler {
             SchedulerKind::Lsf => vec![
@@ -294,7 +294,7 @@ impl SdscScriptGen {
                 ("-l".into(), format!("mpp_p={}", a.cpus)),
                 ("-lT".into(), (a.wall_minutes * 60).to_string()),
             ],
-            _ => unreachable!("guarded by SUPPORTED check"),
+            _ => return Err(unsupported(a.scheduler, &Self::SUPPORTED)),
         };
         let mut lines = vec!["#!/bin/sh".to_owned()];
         lines.extend(
@@ -303,7 +303,7 @@ impl SdscScriptGen {
                 .map(|(flag, value)| format!("{prefix} {flag} {value}")),
         );
         lines.push(a.command.clone());
-        lines.join("\n") + "\n"
+        Ok(lines.join("\n") + "\n")
     }
 }
 
@@ -324,7 +324,7 @@ impl SoapService for SdscScriptGen {
                 if !Self::SUPPORTED.contains(&a.scheduler) {
                     return Err(unsupported(a.scheduler, &Self::SUPPORTED));
                 }
-                Ok(SoapValue::String(Self::render(&a)))
+                Ok(SoapValue::String(Self::render(&a)?))
             }
             "supportedSchedulers" => Ok(SoapValue::Array(
                 Self::SUPPORTED
@@ -537,6 +537,26 @@ mod tests {
         let transport = serve(Arc::new(IuScriptGen::decoupled()));
         let c = HotPageClient::connect(transport);
         let err = c.generate(&request(SchedulerKind::Lsf)).unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn render_faults_rather_than_panics_on_foreign_scheduler() {
+        // The render internals themselves must fault on a scheduler the
+        // site doesn't speak, independent of the invoke-level guard — a
+        // malformed request must never take the server down.
+        let mut a = GenArgs {
+            scheduler: SchedulerKind::Nqs,
+            queue: "batch".into(),
+            job_name: "j".into(),
+            command: "date".into(),
+            cpus: 1,
+            wall_minutes: 10,
+        };
+        let iu = IuScriptGen::decoupled();
+        assert!(iu.render(&a).is_err());
+        a.scheduler = SchedulerKind::Pbs;
+        let err = SdscScriptGen::render(&a).unwrap_err();
         assert!(err.to_string().contains("not supported"), "{err}");
     }
 

@@ -47,10 +47,7 @@ fn value_of(c: u8) -> Option<u32> {
 /// Decode base64 text (whitespace tolerated) to bytes. Returns `None` on
 /// malformed input.
 pub fn decode(text: &str) -> Option<Vec<u8>> {
-    let compact: Vec<u8> = text
-        .bytes()
-        .filter(|b| !b.is_ascii_whitespace())
-        .collect();
+    let compact: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
     if !compact.len().is_multiple_of(4) {
         return None;
     }

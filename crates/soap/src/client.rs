@@ -6,11 +6,13 @@
 //! *header supplier* so the auth layer can attach a fresh signed SAML
 //! assertion to every outgoing call without the call sites knowing.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
-use portalws_wire::{Request, Transport, WireError};
+use portalws_wire::{Request, Transport, WireError, DEADLINE_HEADER, IDEMPOTENT_HEADER};
 use portalws_xml::{Element, XmlError};
 
 use crate::envelope::Envelope;
@@ -83,6 +85,14 @@ pub struct SoapClient {
     path: String,
     header_supplier: RwLock<Option<HeaderSupplier>>,
     reply_verifier: RwLock<Option<ReplyVerifier>>,
+    /// Methods safe to re-send after a transport failure; calls to these
+    /// carry the wire layer's idempotency marker so a pooled transport's
+    /// [`portalws_wire::RetryPolicy`] may retry them.
+    idempotent_methods: RwLock<HashSet<String>>,
+    /// Per-call wall-clock budget attached to every request; honored by
+    /// deadline-aware transports ([`portalws_wire::PooledTransport`]),
+    /// ignored by the 2002-regime ones.
+    call_deadline: RwLock<Option<Duration>>,
 }
 
 impl SoapClient {
@@ -97,6 +107,8 @@ impl SoapClient {
             path,
             header_supplier: RwLock::new(None),
             reply_verifier: RwLock::new(None),
+            idempotent_methods: RwLock::new(HashSet::new()),
+            call_deadline: RwLock::new(None),
         }
     }
 
@@ -122,6 +134,23 @@ impl SoapClient {
         *self.reply_verifier.write() = Some(verifier);
     }
 
+    /// Declare `methods` safe to re-send after a transport failure
+    /// (queries, lookups, status polls — anything without side effects).
+    /// Calls to them are marked idempotent on the wire, which is the
+    /// precondition for a pooled transport's retry policy to apply.
+    pub fn set_idempotent_methods(&self, methods: &[&str]) {
+        let mut set = self.idempotent_methods.write();
+        set.clear();
+        set.extend(methods.iter().map(|m| (*m).to_owned()));
+    }
+
+    /// Attach a wall-clock `budget` to every subsequent call. The budget
+    /// rides the request as a header; deadline-aware transports enforce
+    /// it across dial, exchange, and retries.
+    pub fn set_call_deadline(&self, budget: Duration) {
+        *self.call_deadline.write() = Some(budget);
+    }
+
     /// Invoke `method` with positional arguments.
     pub fn call(&self, method: &str, args: &[SoapValue]) -> Result<SoapValue, SoapError> {
         self.call_envelope(Envelope::request(&self.service, method, args))
@@ -133,11 +162,7 @@ impl SoapClient {
         method: &str,
         args: &[(&str, SoapValue)],
     ) -> Result<SoapValue, SoapError> {
-        let env = Envelope::request_named(
-            &self.service,
-            method,
-            args.iter().map(|(n, v)| (*n, v)),
-        );
+        let env = Envelope::request_named(&self.service, method, args.iter().map(|(n, v)| (*n, v)));
         self.call_envelope(env)
     }
 
@@ -147,9 +172,18 @@ impl SoapClient {
         if let Some(supplier) = self.header_supplier.read().clone() {
             envelope.headers.extend(supplier());
         }
-        let req = Request::post(self.path.clone(), envelope.to_xml())
+        let mut req = Request::post(self.path.clone(), envelope.to_xml())
             .with_header("Content-Type", "text/xml; charset=utf-8")
-            .with_header("SOAPAction", format!("urn:{}#{}", self.service, envelope.method()));
+            .with_header(
+                "SOAPAction",
+                format!("urn:{}#{}", self.service, envelope.method()),
+            );
+        if self.idempotent_methods.read().contains(envelope.method()) {
+            req = req.with_header(IDEMPOTENT_HEADER, "true");
+        }
+        if let Some(budget) = *self.call_deadline.read() {
+            req = req.with_header(DEADLINE_HEADER, budget.as_millis().to_string());
+        }
         let resp = self.transport.round_trip(req)?;
         let reply = Envelope::parse(&resp.body_str())
             .map_err(|e| SoapError::Protocol(format!("unparsable reply: {e}")))?;
@@ -252,6 +286,63 @@ mod tests {
             SoapValue::Int(9)
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn pooled_transport_reuses_connections_across_soap_calls() {
+        use portalws_wire::PooledTransport;
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let handler: Arc<dyn Handler> = Arc::new(soap);
+        let server = HttpServer::start(handler, 2).unwrap();
+        let client = SoapClient::new(Arc::new(PooledTransport::new(server.addr())), "Calc");
+        for i in 0..5 {
+            assert_eq!(
+                client
+                    .call("add", &[SoapValue::Int(i), SoapValue::Int(1)])
+                    .unwrap(),
+                SoapValue::Int(i + 1)
+            );
+        }
+        let snap = client.transport().stats().snapshot();
+        assert_eq!(snap.connections, 1, "pool amortized the per-call dial");
+        assert_eq!(snap.pool_reuse_hits, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idempotent_and_deadline_markers_ride_the_request() {
+        use parking_lot::Mutex;
+        use portalws_wire::{DEADLINE_HEADER, IDEMPOTENT_HEADER};
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let inner: Arc<dyn Handler> = Arc::new(soap);
+        type SeenMarkers = Vec<(bool, Option<String>)>;
+        let seen: Arc<Mutex<SeenMarkers>> = Arc::new(Mutex::new(Vec::new()));
+        let observer = Arc::clone(&seen);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            observer.lock().push((
+                req.header(IDEMPOTENT_HEADER).is_some(),
+                req.header(DEADLINE_HEADER).map(str::to_owned),
+            ));
+            inner.handle(req)
+        });
+        let client = SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "Calc");
+        client.set_idempotent_methods(&["echo"]);
+        client.set_call_deadline(std::time::Duration::from_millis(1500));
+
+        client.call("echo", &[SoapValue::str("x")]).unwrap();
+        client
+            .call("add", &[SoapValue::Int(1), SoapValue::Int(2)])
+            .unwrap();
+
+        let seen = seen.lock();
+        assert_eq!(seen[0], (true, Some("1500".into())), "echo is idempotent");
+        assert_eq!(
+            seen[1],
+            (false, Some("1500".into())),
+            "add is not marked idempotent"
+        );
     }
 
     #[test]

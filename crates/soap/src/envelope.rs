@@ -39,11 +39,7 @@ impl Envelope {
             .enumerate()
             .map(|(i, v)| (format!("arg{i}"), v))
             .collect();
-        Self::request_named(
-            service,
-            method,
-            named.iter().map(|(n, v)| (n.as_str(), *v)),
-        )
+        Self::request_named(service, method, named.iter().map(|(n, v)| (n.as_str(), *v)))
     }
 
     /// Build an RPC request envelope with explicitly named parameters.
@@ -256,9 +252,13 @@ mod tests {
     #[test]
     fn xml_payload_through_envelope() {
         // The paper's "accepts an XML definition of a job" call shape.
-        let jobs = Element::new("jobs")
-            .with_child(Element::new("job").with_text_child("command", "date"));
-        let env = Envelope::request("JobSubmission", "submitXml", &[SoapValue::Xml(jobs.clone())]);
+        let jobs =
+            Element::new("jobs").with_child(Element::new("job").with_text_child("command", "date"));
+        let env = Envelope::request(
+            "JobSubmission",
+            "submitXml",
+            &[SoapValue::Xml(jobs.clone())],
+        );
         let parsed = Envelope::parse(&env.to_xml()).unwrap();
         let args = parsed.args().unwrap();
         assert_eq!(args[0].1, SoapValue::Xml(jobs));

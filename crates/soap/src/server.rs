@@ -64,10 +64,7 @@ impl MethodDesc {
     ) -> MethodDesc {
         MethodDesc {
             name: name.into(),
-            params: params
-                .into_iter()
-                .map(|(n, t)| (n.to_owned(), t))
-                .collect(),
+            params: params.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
             ret,
             doc: doc.into(),
         }
@@ -367,7 +364,10 @@ mod tests {
         }));
         let env = Envelope::request("Calc", "add", &[SoapValue::Int(1), SoapValue::Int(1)]);
         let reply = srv.dispatch("Calc", &env);
-        assert_eq!(reply.as_fault().unwrap().kind(), Some(PortalErrorKind::AuthFailed));
+        assert_eq!(
+            reply.as_fault().unwrap().kind(),
+            Some(PortalErrorKind::AuthFailed)
+        );
 
         let ok_env = env.with_header(Element::new("Assertion"));
         let reply = srv.dispatch("Calc", &ok_env);

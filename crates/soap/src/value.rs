@@ -174,9 +174,7 @@ impl SoapValue {
     /// Struct field lookup.
     pub fn field(&self, name: &str) -> Option<&SoapValue> {
         match self {
-            SoapValue::Struct(fields) => {
-                fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
-            }
+            SoapValue::Struct(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -352,9 +350,8 @@ mod tests {
 
     #[test]
     fn embedded_xml_round_trip() {
-        let doc = Element::new("jobs").with_child(
-            Element::new("job").with_text_child("command", "/bin/hostname"),
-        );
+        let doc = Element::new("jobs")
+            .with_child(Element::new("job").with_text_child("command", "/bin/hostname"));
         let v = SoapValue::Xml(doc.clone());
         assert_eq!(round_trip(v), SoapValue::Xml(doc));
     }

@@ -276,6 +276,12 @@ fn header_lookup<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h 
         .map(|(_, v)| v.as_str())
 }
 
+/// Upper bound on a declared `Content-Length`. The portal frames SOAP
+/// envelopes and portlet fragments, not bulk transfers; a peer declaring
+/// more than this is sending a malformed (or hostile) frame, and honoring
+/// it would turn one header into an arbitrary allocation.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
 /// Headers plus body, as read off the wire.
 type HeadersAndBody = (Vec<(String, String)>, Vec<u8>);
 
@@ -296,9 +302,17 @@ fn read_headers_and_body(reader: &mut impl BufRead) -> Result<HeadersAndBody> {
             .ok_or_else(|| WireError::BadFrame(format!("malformed header line {line:?}")))?;
         headers.push((k.trim().to_owned(), v.trim().to_owned()));
     }
-    let len: usize = header_lookup(&headers, "content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let len: usize = match header_lookup(&headers, "content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| WireError::BadFrame(format!("unparseable Content-Length {v:?}")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(WireError::BadFrame(format!(
+            "Content-Length {len} exceeds the {MAX_BODY_BYTES}-byte frame cap"
+        )));
+    }
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     Ok((headers, body))
@@ -456,5 +470,116 @@ mod tests {
         let req = Request::post("/bin", body.clone());
         let parsed = Request::read_from(&req.to_bytes()[..]).unwrap();
         assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn oversized_content_length_is_bad_frame_not_allocation() {
+        // A peer declaring a multi-gigabyte body must be rejected before
+        // the body buffer is allocated.
+        let raw = format!(
+            "POST /p HTTP/1.0\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match Request::read_from(raw.as_bytes()) {
+            Err(WireError::BadFrame(msg)) => assert!(msg.contains("frame cap"), "{msg}"),
+            other => panic!("expected BadFrame, got {other:?}"),
+        }
+        // At the cap itself the frame is honest, merely truncated here.
+        let raw = format!("POST /p HTTP/1.0\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n");
+        assert!(matches!(
+            Request::read_from(raw.as_bytes()),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn unparseable_content_length_is_bad_frame_not_empty_body() {
+        for bad in ["abc", "-1", "1e9", "18446744073709551616"] {
+            let raw = format!("POST /p HTTP/1.0\r\nContent-Length: {bad}\r\n\r\nbody");
+            match Request::read_from(raw.as_bytes()) {
+                Err(WireError::BadFrame(msg)) => {
+                    assert!(msg.contains("Content-Length"), "{msg}")
+                }
+                other => panic!("{bad}: expected BadFrame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_response_is_error() {
+        let resp = Response::xml("<ok>payload</ok>");
+        let bytes = resp.to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() - 8, bytes.len() - 16] {
+            assert!(Response::read_from(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    mod framing_props {
+        use super::*;
+        use proptest::collection::vec as pvec;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn request_frames_round_trip(
+                method in "[A-Z]{3,7}",
+                path in "/[a-z0-9/]{0,20}",
+                names in pvec("[A-Za-z][A-Za-z0-9-]{0,10}", 0..4),
+                values in pvec("[ -~]{0,24}", 0..4),
+                body in pvec(any::<u8>(), 0..512),
+            ) {
+                let mut req = Request { method, path, headers: Vec::new(), body };
+                for (k, v) in names.iter().zip(values.iter()) {
+                    // Header values are trimmed on read; keep them trimmed
+                    // on write so equality is exact.
+                    req.headers.push((k.clone(), v.trim().to_owned()));
+                }
+                let parsed = Request::read_from(&req.to_bytes()[..]).unwrap();
+                prop_assert_eq!(parsed.method, req.method);
+                prop_assert_eq!(parsed.path, req.path);
+                // to_bytes appends the recomputed Content-Length; everything
+                // the caller set must survive verbatim.
+                let without_cl: Vec<_> = parsed
+                    .headers
+                    .into_iter()
+                    .filter(|(k, _)| !k.eq_ignore_ascii_case("content-length"))
+                    .collect();
+                prop_assert_eq!(without_cl, req.headers);
+                prop_assert_eq!(parsed.body, req.body);
+            }
+
+            #[test]
+            fn response_frames_round_trip(
+                code in prop_oneof![Just(200u16), Just(400), Just(401), Just(404), Just(500)],
+                body in pvec(any::<u8>(), 0..512),
+            ) {
+                let resp = Response {
+                    status: Status::from_code(code),
+                    headers: vec![("Content-Type".into(), "text/xml".into())],
+                    body,
+                };
+                let parsed = Response::read_from(&resp.to_bytes()[..]).unwrap();
+                prop_assert_eq!(parsed.status, resp.status);
+                prop_assert_eq!(parsed.body, resp.body);
+            }
+
+            #[test]
+            fn any_truncation_of_a_valid_frame_errors(
+                body in pvec(any::<u8>(), 1..128),
+                frac in 0.0f64..1.0,
+            ) {
+                let req = Request::post("/soap/x", body);
+                let bytes = req.to_bytes();
+                // Cut strictly inside the frame: every prefix must fail to
+                // parse rather than yield a short body.
+                let cut = 1 + ((bytes.len() - 2) as f64 * frac) as usize;
+                prop_assert!(Request::read_from(&bytes[..cut]).is_err());
+            }
+
+            #[test]
+            fn url_codec_round_trips(s in "[ -~]{0,40}") {
+                prop_assert_eq!(url_decode(&url_encode(&s)), s);
+            }
+        }
     }
 }

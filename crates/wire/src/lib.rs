@@ -14,15 +14,24 @@
 //!   per call, as in 2002) and an [`transport::InMemoryTransport`] that
 //!   still frames messages to bytes so that byte counts stay honest while
 //!   removing kernel networking from micro-benchmarks.
-//! * [`stats`] — atomic counters for requests, connections, and bytes on
-//!   the wire, read by the experiment harness.
+//! * [`pool`] — the modern counterpoint: a [`pool::PooledTransport`]
+//!   drawing keep-alive connections from a shared per-endpoint
+//!   [`pool::Pool`], with per-request deadlines and bounded
+//!   idempotent-only retry. The experiments run both regimes side by side.
+//! * [`stats`] — atomic counters for requests, connections, bytes, and
+//!   pool behavior (reuse, evictions, retries, timeouts), read by the
+//!   experiment harness.
 
 pub mod http;
+pub mod pool;
 pub mod server;
 pub mod stats;
 pub mod transport;
 
-pub use http::{Request, Response, Status};
+pub use http::{Request, Response, Status, MAX_BODY_BYTES};
+pub use pool::{
+    Deadline, Pool, PoolConfig, PooledTransport, RetryPolicy, DEADLINE_HEADER, IDEMPOTENT_HEADER,
+};
 pub use server::{Handler, HttpServer, Router, ServerHandle};
 pub use stats::{StatsSnapshot, WireStats};
 pub use transport::{HttpTransport, InMemoryTransport, Transport};
@@ -38,6 +47,8 @@ pub enum WireError {
     BadFrame(String),
     /// The response indicated an HTTP-level failure.
     HttpStatus(u16, String),
+    /// The call's deadline expired before a response arrived.
+    Timeout(String),
 }
 
 impl fmt::Display for WireError {
@@ -46,6 +57,7 @@ impl fmt::Display for WireError {
             WireError::Io(e) => write!(f, "wire i/o error: {e}"),
             WireError::BadFrame(msg) => write!(f, "bad frame: {msg}"),
             WireError::HttpStatus(code, reason) => write!(f, "http {code} {reason}"),
+            WireError::Timeout(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }

@@ -139,7 +139,17 @@ impl HttpServer {
     /// Start serving `handler` on an ephemeral localhost port with
     /// `workers` worker threads.
     pub fn start(handler: Arc<dyn Handler>, workers: usize) -> Result<ServerHandle> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        HttpServer::start_on("127.0.0.1:0", handler, workers)
+    }
+
+    /// Start serving `handler` on a specific address (tests use this to
+    /// restart a server on a port a client already knows).
+    pub fn start_on(
+        addr: impl std::net::ToSocketAddrs,
+        handler: Arc<dyn Handler>,
+        workers: usize,
+    ) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(WireStats::new());
@@ -196,12 +206,7 @@ impl HttpServer {
 /// (the ablation that shows what the 2002 per-call-connection regime
 /// cost). Idle keep-alive waits poll the shutdown flag so the server can
 /// always join its workers.
-fn serve_one(
-    handler: &dyn Handler,
-    stream: TcpStream,
-    stats: &WireStats,
-    shutdown: &AtomicBool,
-) {
+fn serve_one(handler: &dyn Handler, stream: TcpStream, stats: &WireStats, shutdown: &AtomicBool) {
     let Ok(mut out) = stream.try_clone() else {
         return;
     };

@@ -17,6 +17,11 @@ pub struct WireStats {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     errors: AtomicU64,
+    pool_reuse_hits: AtomicU64,
+    pool_reuse_misses: AtomicU64,
+    pool_evictions: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl WireStats {
@@ -43,6 +48,33 @@ impl WireStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a pool checkout satisfied by a live idle connection.
+    pub fn record_pool_reuse_hit(&self) {
+        self.pool_reuse_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a pool checkout that had to dial (empty pool, or the idle
+    /// connection turned out to be dead).
+    pub fn record_pool_reuse_miss(&self) {
+        self.pool_reuse_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record idle connections discarded by the pool (over-age, over-count,
+    /// or found dead at checkout).
+    pub fn record_pool_evictions(&self, n: u64) {
+        self.pool_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one retry of an idempotent request after a failure.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one call abandoned because its deadline expired.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Read all counters at once.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -51,6 +83,11 @@ impl WireStats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            pool_reuse_hits: self.pool_reuse_hits.load(Ordering::Relaxed),
+            pool_reuse_misses: self.pool_reuse_misses.load(Ordering::Relaxed),
+            pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -61,6 +98,11 @@ impl WireStats {
         self.bytes_sent.store(0, Ordering::Relaxed);
         self.bytes_received.store(0, Ordering::Relaxed);
         self.errors.store(0, Ordering::Relaxed);
+        self.pool_reuse_hits.store(0, Ordering::Relaxed);
+        self.pool_reuse_misses.store(0, Ordering::Relaxed);
+        self.pool_evictions.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
     }
 }
 
@@ -77,6 +119,16 @@ pub struct StatsSnapshot {
     pub bytes_received: u64,
     /// Failed exchanges.
     pub errors: u64,
+    /// Pool checkouts satisfied by a live idle connection.
+    pub pool_reuse_hits: u64,
+    /// Pool checkouts that dialed a fresh connection.
+    pub pool_reuse_misses: u64,
+    /// Idle connections discarded by the pool.
+    pub pool_evictions: u64,
+    /// Idempotent requests re-sent after a failure.
+    pub retries: u64,
+    /// Calls abandoned at their deadline.
+    pub timeouts: u64,
 }
 
 impl StatsSnapshot {
@@ -88,6 +140,11 @@ impl StatsSnapshot {
             bytes_sent: self.bytes_sent - earlier.bytes_sent,
             bytes_received: self.bytes_received - earlier.bytes_received,
             errors: self.errors - earlier.errors,
+            pool_reuse_hits: self.pool_reuse_hits - earlier.pool_reuse_hits,
+            pool_reuse_misses: self.pool_reuse_misses - earlier.pool_reuse_misses,
+            pool_evictions: self.pool_evictions - earlier.pool_evictions,
+            retries: self.retries - earlier.retries,
+            timeouts: self.timeouts - earlier.timeouts,
         }
     }
 
@@ -116,6 +173,28 @@ mod tests {
         assert_eq!(snap.bytes_received, 270);
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.total_bytes(), 380);
+    }
+
+    #[test]
+    fn pool_counters_snapshot_and_diff() {
+        let s = WireStats::new();
+        s.record_pool_reuse_miss();
+        s.record_pool_reuse_hit();
+        s.record_pool_reuse_hit();
+        s.record_pool_evictions(3);
+        s.record_retry();
+        s.record_timeout();
+        let snap = s.snapshot();
+        assert_eq!(snap.pool_reuse_hits, 2);
+        assert_eq!(snap.pool_reuse_misses, 1);
+        assert_eq!(snap.pool_evictions, 3);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.timeouts, 1);
+        let before = snap;
+        s.record_pool_reuse_hit();
+        assert_eq!(s.snapshot().since(&before).pool_reuse_hits, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 
     #[test]

@@ -248,10 +248,7 @@ impl Bean {
             .iter()
             .find(|f| f.name == field)
             .ok_or_else(|| {
-                WizardError::BadBean(format!(
-                    "class {} has no field {field:?}",
-                    self.class.name
-                ))
+                WizardError::BadBean(format!("class {} has no field {field:?}", self.class.name))
             })
     }
 
@@ -369,7 +366,9 @@ impl Bean {
 
     /// Mutable access to the `idx`-th child of a field.
     pub fn child_mut(&mut self, field: &str, idx: usize) -> Option<&mut Bean> {
-        self.children.get_mut(field).and_then(|fv| fv.beans.get_mut(idx))
+        self.children
+            .get_mut(field)
+            .and_then(|fv| fv.beans.get_mut(idx))
     }
 
     /// Remove the `idx`-th child of a field.

@@ -33,8 +33,7 @@ const T_ENUM: &str = "<label>$label</label> <select name=\"$name\">#foreach($o i
 const T_UNBOUNDED: &str = "<label>$label (repeatable)</label>#foreach($s in $slots) <input type=\"text\" name=\"$name\" value=\"$s.value\"/>#end<br/>\n";
 
 /// Velocity templates for complex fieldset open/close.
-const T_COMPLEX_OPEN: &str =
-    "<fieldset><legend>$label#if($doc) — $doc#end</legend>\n$attributes";
+const T_COMPLEX_OPEN: &str = "<fieldset><legend>$label#if($doc) — $doc#end</legend>\n$attributes";
 const T_COMPLEX_CLOSE: &str = "</fieldset>\n";
 
 /// Velocity template for one attribute input inside a complex fieldset.
@@ -106,7 +105,10 @@ impl SchemaWizard {
             body.push_str(T_COMPLEX_CLOSE);
         }
         let ctx = BTreeMap::from([
-            ("title".to_owned(), Value::str(format!("{root} instance editor"))),
+            (
+                "title".to_owned(),
+                Value::str(format!("{root} instance editor")),
+            ),
             ("action".to_owned(), Value::str(action)),
             ("body".to_owned(), Value::str(body)),
         ]);
@@ -274,7 +276,10 @@ fn render_constituent(c: &Constituent, prefill: &FormData) -> Result<String> {
             // Simple-content complex types get a value input for the text.
             if c.simple.is_some() {
                 let ctx = BTreeMap::from([
-                    ("label".to_owned(), Value::str(format!("{} value", label_of(c)))),
+                    (
+                        "label".to_owned(),
+                        Value::str(format!("{} value", label_of(c))),
+                    ),
                     ("name".to_owned(), Value::str(&c.path)),
                     ("value".to_owned(), Value::str(value.clone())),
                     ("doc".to_owned(), Value::str("")),
@@ -326,11 +331,7 @@ mod tests {
                             TypeDef::Complex(
                                 ComplexType::default()
                                     .with(ElementDecl::int("cpus"))
-                                    .with_attr(
-                                        "host",
-                                        SimpleType::plain(Primitive::String),
-                                        true,
-                                    ),
+                                    .with_attr("host", SimpleType::plain(Primitive::String), true),
                             ),
                         )
                         .occurs(Occurs::OPTIONAL),

@@ -163,28 +163,23 @@ mod tests {
     use portalws_xml::{ComplexType, ElementDecl, Primitive, SimpleType, TypeDef};
 
     fn schema() -> Schema {
-        Schema::new("urn:test")
-            .with_element(ElementDecl::new(
-                "job",
-                TypeDef::Complex(
-                    ComplexType::default()
-                        .with(ElementDecl::string("name").doc("Job name"))
-                        .with(ElementDecl::enumerated("scheduler", ["PBS", "LSF"]))
-                        .with(ElementDecl::string("arg").occurs(Occurs::ANY))
-                        .with(ElementDecl::new(
-                            "resources",
-                            TypeDef::Complex(
-                                ComplexType::default()
-                                    .with(ElementDecl::int("cpus"))
-                                    .with_attr(
-                                        "host",
-                                        SimpleType::plain(Primitive::String),
-                                        true,
-                                    ),
-                            ),
-                        )),
-                ),
-            ))
+        Schema::new("urn:test").with_element(ElementDecl::new(
+            "job",
+            TypeDef::Complex(
+                ComplexType::default()
+                    .with(ElementDecl::string("name").doc("Job name"))
+                    .with(ElementDecl::enumerated("scheduler", ["PBS", "LSF"]))
+                    .with(ElementDecl::string("arg").occurs(Occurs::ANY))
+                    .with(ElementDecl::new(
+                        "resources",
+                        TypeDef::Complex(
+                            ComplexType::default()
+                                .with(ElementDecl::int("cpus"))
+                                .with_attr("host", SimpleType::plain(Primitive::String), true),
+                        ),
+                    )),
+            ),
+        ))
     }
 
     #[test]

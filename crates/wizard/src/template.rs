@@ -107,10 +107,7 @@ impl TemplateEngine {
 }
 
 fn lookup<'v>(scope: &Scope<'v>, path: &[String]) -> Option<&'v Value> {
-    let mut v: &Value = scope
-        .iter()
-        .rev()
-        .find_map(|m| m.get(path.first()?))?;
+    let mut v: &Value = scope.iter().rev().find_map(|m| m.get(path.first()?))?;
     for seg in &path[1..] {
         match v {
             Value::Map(m) => v = m.get(seg)?,
@@ -192,12 +189,7 @@ fn parse_var(src: &str, pos: &mut usize) -> Result<Vec<String>> {
 }
 
 /// Parse until one of `stops` (or EOF if `stops` allowed to be terminal).
-fn parse_block(
-    src: &str,
-    pos: &mut usize,
-    stops: &[&str],
-    must_stop: bool,
-) -> Result<Vec<TNode>> {
+fn parse_block(src: &str, pos: &mut usize, stops: &[&str], must_stop: bool) -> Result<Vec<TNode>> {
     let mut nodes = Vec::new();
     let mut text = String::new();
     while *pos < src.len() {
@@ -358,7 +350,10 @@ mod tests {
         let t = "#if($s)S#end#if($l)L#end";
         let out = TemplateEngine::render_str(
             t,
-            &ctx(&[("s", Value::str("")), ("l", Value::List(vec![Value::str("x")]))]),
+            &ctx(&[
+                ("s", Value::str("")),
+                ("l", Value::List(vec![Value::str("x")])),
+            ]),
         )
         .unwrap();
         assert_eq!(out, "L");
@@ -394,8 +389,14 @@ mod tests {
     #[test]
     fn nested_directives() {
         let items = Value::List(vec![
-            Value::Map(ctx(&[("v", Value::str("one")), ("show", Value::Bool(true))])),
-            Value::Map(ctx(&[("v", Value::str("two")), ("show", Value::Bool(false))])),
+            Value::Map(ctx(&[
+                ("v", Value::str("one")),
+                ("show", Value::Bool(true)),
+            ])),
+            Value::Map(ctx(&[
+                ("v", Value::str("two")),
+                ("show", Value::Bool(false)),
+            ])),
         ]);
         let out = TemplateEngine::render_str(
             "#foreach($i in $items)#if($i.show)$i.v #end#end",
@@ -416,11 +417,7 @@ mod tests {
     #[test]
     fn dotted_paths() {
         let inner = Value::Map(ctx(&[("b", Value::str("deep"))]));
-        let out = TemplateEngine::render_str(
-            "$a.b and $a.missing",
-            &ctx(&[("a", inner)]),
-        )
-        .unwrap();
+        let out = TemplateEngine::render_str("$a.b and $a.missing", &ctx(&[("a", inner)])).unwrap();
         assert_eq!(out, "deep and ");
     }
 }

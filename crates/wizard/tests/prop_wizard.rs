@@ -31,10 +31,7 @@ fn schema_strategy() -> impl Strategy<Value = Schema> {
                 });
                 ct = ct.with(decl);
             }
-            root = root.with(ElementDecl::new(
-                format!("group{gi}"),
-                TypeDef::Complex(ct),
-            ));
+            root = root.with(ElementDecl::new(format!("group{gi}"), TypeDef::Complex(ct)));
         }
         Schema::new("urn:prop").with_element(ElementDecl::new("root", TypeDef::Complex(root)))
     })

@@ -403,8 +403,9 @@ mod tests {
 
     #[test]
     fn local_name_ignores_prefix() {
-        let el = Element::parse(r#"<soap:Envelope xmlns:soap="urn:e"><soap:Body/></soap:Envelope>"#)
-            .unwrap();
+        let el =
+            Element::parse(r#"<soap:Envelope xmlns:soap="urn:e"><soap:Body/></soap:Envelope>"#)
+                .unwrap();
         assert_eq!(el.local_name(), "Envelope");
         assert!(el.find("Body").is_some());
         assert_eq!(el.namespace_decls(), vec![("soap", "urn:e")]);

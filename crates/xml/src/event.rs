@@ -394,7 +394,10 @@ mod tests {
     #[test]
     fn unterminated_tag_is_eof() {
         let mut t = Tokenizer::new("<a ");
-        assert!(matches!(t.next_event(), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            t.next_event(),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod writer;
 
 pub use dom::{Element, Node};
 pub use event::{Event, Tokenizer};
-pub use schema::{ComplexType, ElementDecl, Occurs, Primitive, Schema, SimpleType, TypeDef, TypeRef};
+pub use schema::{
+    ComplexType, ElementDecl, Occurs, Primitive, Schema, SimpleType, TypeDef, TypeRef,
+};
 
 use std::fmt;
 
@@ -68,7 +70,11 @@ pub enum XmlError {
     /// The document ended before the parse was complete.
     UnexpectedEof { pos: Pos },
     /// A close tag did not match the open tag.
-    MismatchedTag { pos: Pos, open: String, close: String },
+    MismatchedTag {
+        pos: Pos,
+        open: String,
+        close: String,
+    },
     /// An entity reference could not be resolved.
     BadEntity { pos: Pos, entity: String },
     /// A path expression did not match the document.

@@ -541,8 +541,8 @@ impl Schema {
 
     /// Serialize as an `xs:schema` document element.
     pub fn to_xml(&self) -> Element {
-        let mut root = Element::new("xs:schema")
-            .with_attr("xmlns:xs", "http://www.w3.org/2001/XMLSchema");
+        let mut root =
+            Element::new("xs:schema").with_attr("xmlns:xs", "http://www.w3.org/2001/XMLSchema");
         if let Some(ns) = &self.target_ns {
             root.set_attr("targetNamespace", ns.clone());
         }
@@ -1017,15 +1017,14 @@ mod tests {
 
     #[test]
     fn typed_simple_content_checks_values() {
-        let schema = Schema::new("urn:t")
-            .with_element(ElementDecl::new(
-                "count",
-                TypeDef::Complex(
-                    ComplexType::default()
-                        .with_text_content(SimpleType::plain(Primitive::Int))
-                        .with_attr("unit", SimpleType::plain(Primitive::String), false),
-                ),
-            ));
+        let schema = Schema::new("urn:t").with_element(ElementDecl::new(
+            "count",
+            TypeDef::Complex(
+                ComplexType::default()
+                    .with_text_content(SimpleType::plain(Primitive::Int))
+                    .with_attr("unit", SimpleType::plain(Primitive::String), false),
+            ),
+        ));
         schema
             .validate(&Element::new("count").with_text("42"))
             .unwrap();
@@ -1036,8 +1035,7 @@ mod tests {
 
     #[test]
     fn unresolved_named_type_errors() {
-        let schema =
-            Schema::default().with_element(ElementDecl::named("x", "NoSuchType"));
+        let schema = Schema::default().with_element(ElementDecl::named("x", "NoSuchType"));
         let inst = Element::new("x");
         assert!(matches!(
             schema.validate(&inst),

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_input("/home-alice@GCE.ORG/water.com")
         .with_output("/home-alice@GCE.ORG/water.log")
         .with_choice("scrdir", "/scratch/g98");
-    println!("\nprepared: {} on {} ({})", instance.app_name, instance.host, instance.state);
+    println!(
+        "\nprepared: {} on {} ({})",
+        instance.app_name, instance.host, instance.state
+    );
 
     // 4. Run through the discovered core services.
     let gen = ui.discover_and_bind("BatchScriptGenerator")?;
@@ -104,7 +107,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stored = store.get_property(&["alice@GCE.ORG", "gaussian", "water-run"], "instance")?;
     let restored = ApplicationInstance::from_element(&Element::parse(&stored)?)?;
     assert_eq!(restored, instance);
-    println!("restored archive matches: {} ({})", restored.app_name, restored.state);
+    println!(
+        "restored archive matches: {} ({})",
+        restored.app_name, restored.state
+    );
 
     // 6. The same lifecycle as a *service*: the §6 application factory,
     //    deployed on the grid SSP, does steps 3–5 behind one interface.

@@ -17,10 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let deployment = PortalDeployment::in_memory(SecurityMode::Open);
 
     // --- the agreed interface, checked mechanically --------------------
-    let iu_wsdl = fetch_wsdl(
-        &*deployment.transport("gateway.iu.edu")?,
-        "BatchScriptGen",
-    )?;
+    let iu_wsdl = fetch_wsdl(&*deployment.transport("gateway.iu.edu")?, "BatchScriptGen")?;
     let sdsc_wsdl = fetch_wsdl(
         &*deployment.transport("hotpage.sdsc.edu")?,
         "BatchScriptGen",
@@ -32,10 +29,21 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     );
 
     // --- the interoperability matrix ------------------------------------
-    println!("{:<10} {:<10} {:<10} {:>10}", "service", "client", "scheduler", "accepted?");
+    println!(
+        "{:<10} {:<10} {:<10} {:>10}",
+        "service", "client", "scheduler", "accepted?"
+    );
     let sites: [(&str, &str, &[SchedulerKind]); 2] = [
-        ("IU", "gateway.iu.edu", &[SchedulerKind::Pbs, SchedulerKind::Grd]),
-        ("SDSC", "hotpage.sdsc.edu", &[SchedulerKind::Lsf, SchedulerKind::Nqs]),
+        (
+            "IU",
+            "gateway.iu.edu",
+            &[SchedulerKind::Pbs, SchedulerKind::Grd],
+        ),
+        (
+            "SDSC",
+            "hotpage.sdsc.edu",
+            &[SchedulerKind::Lsf, SchedulerKind::Nqs],
+        ),
     ];
     for (site, host, schedulers) in sites {
         let transport = deployment.transport(host)?;
@@ -81,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         println!("  {:<24} {}", hit.business, hit.description);
     }
     println!("typed container-registry query (the paper's proposal):");
-    for (path, entry) in deployment.container_registry.query("schedulers/scheduler", "PBS") {
+    for (path, entry) in deployment
+        .container_registry
+        .query("schedulers/scheduler", "PBS")
+    {
         println!("  {path:<24} {}", entry.access_point);
     }
     println!("\nThe SDSC entry matched the string search only because its");

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== discover: examine the UDDI ==");
     for hit in ui.find_services("BatchScriptGenerator")? {
-        println!("  {:<22} {:<22} {}", hit.business, hit.name, hit.access_point);
+        println!(
+            "  {:<22} {:<22} {}",
+            hit.business, hit.name, hit.access_point
+        );
     }
     println!();
 
@@ -48,11 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jobs = ui.discover_and_bind("JobSubmission")?;
     let output = jobs.call(
         "run",
-        &[
-            SoapValue::str("tg-login"),
-            SoapValue::str("PBS"),
-            script,
-        ],
+        &[SoapValue::str("tg-login"), SoapValue::str("PBS"), script],
     )?;
     println!("job output: {}", output.as_str().unwrap().trim());
     println!(
@@ -62,9 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== the same flow through the Figure 4 portal shell ==");
     let shell = PortalShell::new(ui);
-    let out = shell.exec(
-        "scriptgen sdsc LSF normal demo 2 10 -- hostname | jobrun tg-login LSF",
-    )?;
+    let out =
+        shell.exec("scriptgen sdsc LSF normal demo 2 10 -- hostname | jobrun tg-login LSF")?;
     println!("shell pipeline output: {}", out.trim());
 
     Ok(())

@@ -71,11 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let out = jobs.call(
         "run",
-        &[
-            SoapValue::str("tg-login"),
-            SoapValue::str("PBS"),
-            script,
-        ],
+        &[SoapValue::str("tg-login"), SoapValue::str("PBS"), script],
     )?;
     println!("== secured job ran: {} ==", out.as_str().unwrap().trim());
     println!("   (both directions verified: alice's assertion checked by the SSP,");
@@ -94,8 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- the portlet portal on its own TCP server --------------------------
     // The schema wizard runs as a separate web application; the portal
     // aggregates it through WebFormPortlet (session state + URL remap).
-    let wizard_app: Arc<dyn Handler> =
-        Arc::new(WizardApp::new(descriptor_schema(), "/wizard"));
+    let wizard_app: Arc<dyn Handler> = Arc::new(WizardApp::new(descriptor_schema(), "/wizard"));
     let wizard_server = HttpServer::start(wizard_app, 2)?;
 
     let registry = Arc::new(PortletRegistry::new());
@@ -132,7 +127,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     ui.logout();
-    println!("\nlogged out; live GSS contexts: {}", deployment.auth.context_count());
+    println!(
+        "\nlogged out; live GSS contexts: {}",
+        deployment.auth.context_count()
+    );
     wizard_server.shutdown();
     portal_server.shutdown();
     Ok(())

@@ -1,0 +1,328 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace ships a
+//! minimal wall-clock micro-benchmark harness exposing the API subset the
+//! bench suite uses: `criterion_group!`/`criterion_main!`, `Criterion`
+//! with `bench_function`/`benchmark_group`, `BenchmarkGroup` with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/`finish`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, and `black_box`.
+//!
+//! Reported statistic is the median per-iteration wall time over the
+//! sampled batches. When invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets) every benchmark runs exactly one
+//! iteration so the suite stays fast and acts as a smoke test.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a benchmark
+/// body.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for [`BenchmarkGroup::throughput`]; recorded and echoed, not used
+/// in any rate computation by this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Samples already collected (median-of per-iteration durations).
+    samples: Vec<Duration>,
+    sample_count: usize,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording per-iteration wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm up, then size the inner batch so one sample costs ~1ms.
+        let warm = Instant::now();
+        black_box(routine());
+        let one = warm.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn report(group: &str, id: &str, throughput: Option<Throughput>, samples: &mut [Duration]) {
+    let med = median(samples);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            println!("bench {label:<60} {med:>12.2?}/iter  ({n} bytes/iter)")
+        }
+        Some(Throughput::Elements(n)) => {
+            println!("bench {label:<60} {med:>12.2?}/iter  ({n} elems/iter)")
+        }
+        None => println!("bench {label:<60} {med:>12.2?}/iter"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            quick: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build a driver from the process arguments.
+    ///
+    /// Recognizes `--test` (and `--quick`): run each benchmark once, as a
+    /// smoke test. A bare positional argument filters benchmarks by
+    /// substring. All other flags are accepted and ignored.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" | "--quick" => c.quick = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        c.sample_size = n;
+                    }
+                }
+                // Flags with a value we don't interpret.
+                "--measurement-time" | "--warm-up-time" | "--save-baseline" | "--baseline"
+                | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn skip(&self, label: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !label.contains(f))
+    }
+
+    /// Default sample count for subsequently created benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        if self.skip(id) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            quick: self.quick,
+        };
+        f(&mut b);
+        report("", id, None, &mut b.samples);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Print the trailing summary (no-op in this shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Record the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        if self.c.skip(&label) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size.unwrap_or(self.c.sample_size),
+            quick: self.c.quick,
+        };
+        f(&mut b);
+        report(&self.name, &id, self.throughput, &mut b.samples);
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Run one parameterized benchmark; the input is passed to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 3,
+            quick: false,
+        };
+        let mut n = 0u64;
+        b.iter(|| n = n.wrapping_add(1));
+        assert_eq!(b.samples.len(), 3);
+        assert!(n > 3);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 50,
+            quick: true,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 1);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("tcp").to_string(), "tcp");
+    }
+
+    #[test]
+    fn median_of_samples() {
+        let mut s = vec![
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ];
+        assert_eq!(median(&mut s), Duration::from_nanos(20));
+    }
+}

@@ -1,0 +1,396 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::cell::OnceCell;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::Gen;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, O, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            inner: self,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case, `f` receives a
+    /// handle usable as the inner strategy and returns the branch case.
+    /// `depth` bounds recursion; the size hints are accepted for API
+    /// compatibility and unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(RecHandle<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let cell: Rc<OnceCell<BoxedStrategy<Self::Value>>> = Rc::new(OnceCell::new());
+        let handle = RecHandle {
+            leaf: leaf.clone(),
+            cell: Rc::clone(&cell),
+        };
+        let full = f(handle).boxed();
+        cell.set(full).ok().expect("fresh cell");
+        Recursive { cell, leaf, depth }
+    }
+
+    /// Type-erase this strategy behind a clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+// Object-safe indirection used by BoxedStrategy.
+trait DynStrategy<T> {
+    fn gen_dyn(&self, g: &mut Gen) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, g: &mut Gen) -> S::Value {
+        self.generate(g)
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        self.0.gen_dyn(g)
+    }
+}
+
+/// Always produce a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _g: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, O, F> {
+    inner: S,
+    f: F,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<S: Clone, O, F: Clone> Clone for Map<S, O, F> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+            _out: PhantomData,
+        }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, O, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, g: &mut Gen) -> O {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// The inner-strategy handle passed to `prop_recursive`'s closure.
+pub struct RecHandle<T> {
+    leaf: BoxedStrategy<T>,
+    cell: Rc<OnceCell<BoxedStrategy<T>>>,
+}
+
+impl<T> Clone for RecHandle<T> {
+    fn clone(&self) -> Self {
+        RecHandle {
+            leaf: self.leaf.clone(),
+            cell: Rc::clone(&self.cell),
+        }
+    }
+}
+
+impl<T> Strategy for RecHandle<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        if g.depth == 0 {
+            return self.leaf.generate(g);
+        }
+        g.depth -= 1;
+        let value = self
+            .cell
+            .get()
+            .expect("recursive strategy fully constructed")
+            .generate(g);
+        g.depth += 1;
+        value
+    }
+}
+
+/// Output of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    cell: Rc<OnceCell<BoxedStrategy<T>>>,
+    leaf: BoxedStrategy<T>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            cell: Rc::clone(&self.cell),
+            leaf: self.leaf.clone(),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        let saved = g.depth;
+        // Vary the depth budget per value so both shallow and deep shapes
+        // appear.
+        g.depth = (g.below(u64::from(self.depth) + 1)) as u32;
+        let value = if g.depth == 0 {
+            self.leaf.generate(g)
+        } else {
+            g.depth -= 1;
+            self.cell
+                .get()
+                .expect("recursive strategy fully constructed")
+                .generate(g)
+        };
+        g.depth = saved;
+        value
+    }
+}
+
+/// Uniform choice among same-valued strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `arms`; must be nonempty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        let idx = g.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(g)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> Self {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (`any::<T>()`).
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+/// The strategy generating every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- ranges as strategies ----------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                (lo + (u128::from(g.next_u64()) % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                (lo + (u128::from(g.next_u64()) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, g: &mut Gen) -> f64 {
+        self.start + g.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---- string regex literals as strategies --------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        crate::string::string_regex(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+            .generate(g)
+    }
+}
+
+// ---- tuples of strategies ------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(g),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut g = Gen::from_name("ranges");
+        for _ in 0..200 {
+            let v = (3u32..17).generate(&mut g);
+            assert!((3..17).contains(&v));
+            let w = (1i64..=5).generate(&mut g);
+            assert!((1..=5).contains(&w));
+            let f = (-2.0f64..2.0).generate(&mut g);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_oneof() {
+        let mut g = Gen::from_name("map");
+        let s = crate::prop_oneof![Just(1u8), (10u8..20).prop_map(|v| v)];
+        for _ in 0..100 {
+            let v = s.generate(&mut g);
+            assert!(v == 1 || (10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursion_bounded() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut g = Gen::from_name("tree");
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut g)) <= 4);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! `string_regex`: generate strings matching a regex subset.
+//!
+//! Supported syntax: literals, `\x` escapes, `\PC` (printable, non-control),
+//! character classes `[a-z0-9_.-]` with ranges and `\`-escapes, groups
+//! `( .. )`, alternation `|`, and the quantifiers `?`, `*`, `+`, `{n}`,
+//! `{n,}`, `{n,m}`. Unbounded repetition is capped at a small constant so
+//! generated values stay test-sized. No anchors, negated classes, or
+//! backreferences — none of the patterns in this workspace use them.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::strategy::Strategy;
+use crate::Gen;
+
+/// Cap applied to `*`, `+`, and `{n,}`.
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Parse failure for [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A strategy generating strings matching the parsed pattern.
+#[derive(Clone)]
+pub struct StringRegex {
+    ast: Rc<Alt>,
+}
+
+/// Build a [`StringRegex`] strategy for `pattern`.
+pub fn string_regex(pattern: &str) -> Result<StringRegex, Error> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let ast = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        return Err(Error(format!(
+            "unexpected {:?} at offset {}",
+            p.chars[p.pos], p.pos
+        )));
+    }
+    Ok(StringRegex { ast: Rc::new(ast) })
+}
+
+impl Strategy for StringRegex {
+    type Value = String;
+    fn generate(&self, g: &mut Gen) -> String {
+        let mut out = String::new();
+        emit_alt(&self.ast, g, &mut out);
+        out
+    }
+}
+
+// ---- AST -----------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Alt {
+    branches: Vec<Seq>,
+}
+
+#[derive(Debug, Clone)]
+struct Seq {
+    terms: Vec<(Atom, Quant)>,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive codepoint ranges.
+    Class(Vec<(char, char)>),
+    Group(Alt),
+    /// `\PC`: any printable, non-control character.
+    Printable,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+// ---- parser --------------------------------------------------------------
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Alt, Error> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq()?);
+        }
+        Ok(Alt { branches })
+    }
+
+    fn parse_seq(&mut self) -> Result<Seq, Error> {
+        let mut terms = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let quant = self.parse_quant()?;
+            terms.push((atom, quant));
+        }
+        Ok(Seq { terms })
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, Error> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                match self.bump() {
+                    Some(')') => Ok(Atom::Group(inner)),
+                    _ => Err(Error("unclosed group".into())),
+                }
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some(c @ ('?' | '*' | '+')) => Err(Error(format!("dangling quantifier {c:?}"))),
+            Some(c) => Ok(Atom::Literal(c)),
+            None => Err(Error("unexpected end of pattern".into())),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Atom, Error> {
+        match self.bump() {
+            Some('P') => match self.bump() {
+                // Unicode category "C" (control/other), negated by `\P`.
+                Some('C') => Ok(Atom::Printable),
+                other => Err(Error(format!("unsupported \\P category {other:?}"))),
+            },
+            Some('n') => Ok(Atom::Literal('\n')),
+            Some('r') => Ok(Atom::Literal('\r')),
+            Some('t') => Ok(Atom::Literal('\t')),
+            Some(c) => Ok(Atom::Literal(c)),
+            None => Err(Error("trailing backslash".into())),
+        }
+    }
+
+    fn class_member(&mut self) -> Result<char, Error> {
+        match self.bump() {
+            Some('\\') => match self.bump() {
+                Some('n') => Ok('\n'),
+                Some('r') => Ok('\r'),
+                Some('t') => Ok('\t'),
+                Some(c) => Ok(c),
+                None => Err(Error("trailing backslash in class".into())),
+            },
+            Some(c) => Ok(c),
+            None => Err(Error("unclosed character class".into())),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Atom, Error> {
+        let mut ranges = Vec::new();
+        loop {
+            match self.peek() {
+                Some(']') => {
+                    self.bump();
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    return Ok(Atom::Class(ranges));
+                }
+                None => return Err(Error("unclosed character class".into())),
+                Some(_) => {
+                    let lo = self.class_member()?;
+                    // `a-z` range, unless the `-` is the class's last char.
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        self.bump();
+                        let hi = self.class_member()?;
+                        if hi < lo {
+                            return Err(Error(format!("inverted range {lo:?}-{hi:?}")));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_quant(&mut self) -> Result<Quant, Error> {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Ok(Quant { min: 0, max: 1 })
+            }
+            Some('*') => {
+                self.bump();
+                Ok(Quant {
+                    min: 0,
+                    max: UNBOUNDED_CAP,
+                })
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Quant {
+                    min: 1,
+                    max: UNBOUNDED_CAP,
+                })
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number()?;
+                let max = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        if self.peek() == Some('}') {
+                            min.saturating_add(UNBOUNDED_CAP)
+                        } else {
+                            self.parse_number()?
+                        }
+                    }
+                    _ => min,
+                };
+                match self.bump() {
+                    Some('}') if min <= max => Ok(Quant { min, max }),
+                    Some('}') => Err(Error(format!("bad repetition {{{min},{max}}}"))),
+                    _ => Err(Error("unclosed repetition".into())),
+                }
+            }
+            _ => Ok(Quant { min: 1, max: 1 }),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(Error("expected number in repetition".into()));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|e| Error(format!("bad repetition count: {e}")))
+    }
+}
+
+// ---- generation ----------------------------------------------------------
+
+fn emit_alt(alt: &Alt, g: &mut Gen, out: &mut String) {
+    let idx = g.below(alt.branches.len() as u64) as usize;
+    for (atom, quant) in &alt.branches[idx].terms {
+        let span = u64::from(quant.max - quant.min) + 1;
+        let reps = quant.min + g.below(span) as u32;
+        for _ in 0..reps {
+            emit_atom(atom, g, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, g: &mut Gen, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Group(inner) => emit_alt(inner, g, out),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1)
+                .sum();
+            let mut pick = g.below(total);
+            for &(lo, hi) in ranges {
+                let size = u64::from(hi as u32 - lo as u32) + 1;
+                if pick < size {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap_or(lo));
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("pick < total by construction");
+        }
+        Atom::Printable => out.push(printable_char(g)),
+    }
+}
+
+/// A printable, non-control character: mostly ASCII, sometimes from a few
+/// well-known Unicode blocks so multibyte handling gets exercised.
+fn printable_char(g: &mut Gen) -> char {
+    if g.below(8) != 0 {
+        // ' '..='~'
+        return char::from_u32(0x20 + g.below(0x5F) as u32).expect("ascii printable");
+    }
+    const BLOCKS: &[(u32, u32)] = &[
+        (0x00A1, 0x00FF),   // Latin-1 supplement
+        (0x0391, 0x03C9),   // Greek
+        (0x0410, 0x044F),   // Cyrillic
+        (0x4E00, 0x4FFF),   // CJK (slice)
+        (0x1F600, 0x1F64F), // emoticons
+    ];
+    let (lo, hi) = BLOCKS[g.below(BLOCKS.len() as u64) as usize];
+    char::from_u32(lo + g.below(u64::from(hi - lo) + 1) as u32).unwrap_or('¿')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pattern: &str, pred: impl Fn(&str) -> bool) {
+        let s = string_regex(pattern).expect(pattern);
+        let mut g = Gen::from_name(pattern);
+        for _ in 0..200 {
+            let v = s.generate(&mut g);
+            assert!(pred(&v), "pattern {pattern:?} produced {v:?}");
+        }
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        check("[a-f0-9]{8,32}", |v| {
+            (8..=32).contains(&v.chars().count())
+                && v.chars()
+                    .all(|c| c.is_ascii_hexdigit() && !c.is_uppercase())
+        });
+        check("[a-zA-Z][a-zA-Z0-9_.-]{0,11}", |v| {
+            let mut cs = v.chars();
+            cs.next().is_some_and(|c| c.is_ascii_alphabetic())
+                && cs.all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c))
+        });
+        check("ctx-[0-9]{1,6}", |v| {
+            v.starts_with("ctx-") && v.len() >= 5 && v[4..].chars().all(|c| c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn groups_alternation_optional() {
+        check("([!-~]([ -~]*[!-~])?)?", |v| {
+            v.is_empty()
+                || (!v.starts_with(' ')
+                    && !v.ends_with(' ')
+                    && v.chars().all(|c| (' '..='~').contains(&c)))
+        });
+        check("(ab|cd)+", |v| {
+            !v.is_empty() && v.as_bytes().chunks(2).all(|p| p == b"ab" || p == b"cd")
+        });
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        check("[!-\"$-~]([ -~]{0,60}[!-~])?", |v| {
+            !v.is_empty() && v.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn printable_non_control() {
+        check("\\PC{0,128}", |v| {
+            v.chars().count() <= 128 && v.chars().all(|c| !c.is_control())
+        });
+    }
+
+    #[test]
+    fn bad_patterns_error() {
+        assert!(string_regex("(").is_err());
+        assert!(string_regex("[").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+        assert!(string_regex("*").is_err());
+        assert!(string_regex("\\Pz").is_err());
+    }
+}

@@ -31,7 +31,10 @@ fn e5_string_streaming_amplifies_markup_payloads() {
     let before = transport.stats().snapshot();
     data.call(
         "put",
-        &[SoapValue::str("/public/markup.dat"), SoapValue::str(&payload)],
+        &[
+            SoapValue::str("/public/markup.dat"),
+            SoapValue::str(&payload),
+        ],
     )
     .unwrap();
     let string_bytes = transport.stats().snapshot().since(&before).bytes_sent;
@@ -77,7 +80,9 @@ fn e5_transfer_fidelity_both_encodings() {
         &[SoapValue::str("/public/f.txt"), SoapValue::str(&content)],
     )
     .unwrap();
-    let back = data.call("get", &[SoapValue::str("/public/f.txt")]).unwrap();
+    let back = data
+        .call("get", &[SoapValue::str("/public/f.txt")])
+        .unwrap();
     assert_eq!(back.as_str().unwrap(), content);
 }
 
@@ -92,7 +97,8 @@ fn e6_xml_call_uses_one_connection_for_n_commands() {
     let deployment = PortalDeployment::over_tcp(SecurityMode::Open);
     let transport = deployment.transport("grid.sdsc.edu").unwrap();
     let data = SoapClient::new(Arc::clone(&transport), "DataManagement");
-    data.call("mkdir", &[SoapValue::str("/public/batch")]).unwrap();
+    data.call("mkdir", &[SoapValue::str("/public/batch")])
+        .unwrap();
 
     let n = 16;
     // Separate calls: one connection each.
@@ -137,21 +143,17 @@ fn e6_keep_alive_ablation_also_reaches_one_connection() {
     let srb = Arc::new(portalws::gridsim::srb::Srb::new());
     srb.mkdir("/ka").unwrap();
     let server = SoapServer::new();
-    server.mount(Arc::new(
-        portalws::services::DataManagementService::new(srb),
-    ));
+    server.mount(Arc::new(portalws::services::DataManagementService::new(
+        srb,
+    )));
     let handler: Arc<dyn Handler> = Arc::new(server);
     let tcp_server = HttpServer::start(handler, 2).unwrap();
-    let transport: Arc<dyn Transport> =
-        Arc::new(HttpTransport::keep_alive(tcp_server.addr()));
+    let transport: Arc<dyn Transport> = Arc::new(HttpTransport::keep_alive(tcp_server.addr()));
     let data = SoapClient::new(Arc::clone(&transport), "DataManagement");
     for i in 0..16 {
         data.call(
             "put",
-            &[
-                SoapValue::str(format!("/ka/f{i}")),
-                SoapValue::str("x"),
-            ],
+            &[SoapValue::str(format!("/ka/f{i}")), SoapValue::str("x")],
         )
         .unwrap();
     }
@@ -174,18 +176,16 @@ fn e6_keep_alive_ablation_also_reaches_one_connection() {
 fn discovery_population(n: usize) -> (UddiRegistry, ContainerRegistry, usize) {
     let uddi = UddiRegistry::new();
     let container = ContainerRegistry::new();
-    let biz = uddi.publish_business("TestBed", "synthetic population").unwrap();
+    let biz = uddi
+        .publish_business("TestBed", "synthetic population")
+        .unwrap();
     let mut truly_lsf = 0;
     for i in 0..n {
         let supports_lsf = i % 4 == 0;
         if supports_lsf {
             truly_lsf += 1;
         }
-        let schedulers: &[&str] = if supports_lsf {
-            &["LSF"]
-        } else {
-            &["PBS"]
-        };
+        let schedulers: &[&str] = if supports_lsf { &["LSF"] } else { &["PBS"] };
         let description = if supports_lsf {
             format!("Service {i}. Supports LSF.")
         } else if i % 2 == 1 {
@@ -296,7 +296,9 @@ fn e8_monolith_vs_decomposed_interface_sizes() {
     use portalws::services::context::{ContextManagerMonolith, DecomposedContextServices};
     use portalws::soap::SoapService;
     let store = ContextStore::new();
-    let monolith = ContextManagerMonolith::new(Arc::clone(&store)).methods().len();
+    let monolith = ContextManagerMonolith::new(Arc::clone(&store))
+        .methods()
+        .len();
     let d = DecomposedContextServices::new(store);
     let decomposed =
         d.tree.methods().len() + d.properties.methods().len() + d.archive.methods().len();

@@ -142,10 +142,7 @@ fn local_mode_avoids_central_round_trips() {
     // Verification happened (counter moved) but no SOAP traffic reached
     // the auth host from the SSP side through this transport.
     assert_eq!(deployment.auth.verification_count(), 5);
-    assert_eq!(
-        auth_transport.stats().snapshot().since(&before).requests,
-        0
-    );
+    assert_eq!(auth_transport.stats().snapshot().since(&before).requests, 0);
 }
 
 #[test]
@@ -186,8 +183,7 @@ fn assertion_survives_wire_and_verifies_against_service() {
             portalws::gridsim::cred::Mechanism::Kerberos,
         )
         .unwrap();
-    let session =
-        portalws::auth::UserSession::new(gss, Arc::clone(&deployment.clock));
+    let session = portalws::auth::UserSession::new(gss, Arc::clone(&deployment.clock));
     let assertion = session.make_assertion();
     // Round-trip the document through XML text (as the SOAP header does).
     let text = assertion.to_element().to_xml();

@@ -50,8 +50,10 @@ fn wizard_pipeline_over_descriptor_schema() {
         .generate_page("application", "/wizard/application", &[])
         .unwrap();
     assert!(page.contains("name=\"application/basicInformation/name\""));
-    assert!(page.contains("<select name=\"application/host/queue/@scheduler\"")
-        || page.contains("name=\"application/host/queue/@scheduler\""));
+    assert!(
+        page.contains("<select name=\"application/host/queue/@scheduler\"")
+            || page.contains("name=\"application/host/queue/@scheduler\"")
+    );
 
     // Submission → validated instance.
     let instance = wizard
@@ -122,7 +124,9 @@ fn wizard_through_webform_portlet() {
     let resp = portal.handle(&Request::get("/portal?user=alice"));
     let html = resp.body_str();
     assert!(
-        html.contains("action=\"/portal?user=alice&portlet=appwizard&target=%2Fwizard%2Fapplication\""),
+        html.contains(
+            "action=\"/portal?user=alice&portlet=appwizard&target=%2Fwizard%2Fapplication\""
+        ),
         "{html}"
     );
 
@@ -143,8 +147,7 @@ fn census_matches_paper_taxonomy() {
     // The four templated constituent kinds all occur in the descriptor
     // schema.
     let schema = descriptor_schema();
-    let [single, enumerated, unbounded, complex] =
-        Som::new(&schema).census("application").unwrap();
+    let [single, enumerated, unbounded, complex] = Som::new(&schema).census("application").unwrap();
     assert!(single >= 2, "single={single}");
     assert!(complex >= 4, "complex={complex}");
     assert!(unbounded >= 1, "unbounded={unbounded}");

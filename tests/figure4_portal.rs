@@ -123,10 +123,9 @@ fn application_lifecycle_bound_to_core_services() {
     let stored = store
         .get_property(&["alice@GCE.ORG", "g98", "run-1"], "instance")
         .unwrap();
-    let restored = ApplicationInstance::from_element(
-        &portalws::xml::Element::parse(&stored).unwrap(),
-    )
-    .unwrap();
+    let restored =
+        ApplicationInstance::from_element(&portalws::xml::Element::parse(&stored).unwrap())
+            .unwrap();
     assert_eq!(restored, instance);
 }
 
@@ -144,9 +143,7 @@ fn portal_page_aggregates_shell_results_and_remote_apps() {
             .into_iter()
             .map(|h| format!("<li>{} ({} cpus)</li>", h.dns, h.cpus))
             .collect::<String>();
-        portalws::wire::Response::html(format!(
-            "<ul>{hosts}</ul><a href=\"/refresh\">refresh</a>"
-        ))
+        portalws::wire::Response::html(format!("<ul>{hosts}</ul><a href=\"/refresh\">refresh</a>"))
     });
 
     let registry = Arc::new(PortletRegistry::new());

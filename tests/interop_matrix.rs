@@ -26,7 +26,10 @@ fn full_matrix_against_deployed_services() {
     let deployment = PortalDeployment::in_memory(SecurityMode::Open);
     let sites: [(&str, &[SchedulerKind]); 2] = [
         ("gateway.iu.edu", &[SchedulerKind::Pbs, SchedulerKind::Grd]),
-        ("hotpage.sdsc.edu", &[SchedulerKind::Lsf, SchedulerKind::Nqs]),
+        (
+            "hotpage.sdsc.edu",
+            &[SchedulerKind::Lsf, SchedulerKind::Nqs],
+        ),
     ];
     let mut combinations = 0;
     for (host, schedulers) in sites {
