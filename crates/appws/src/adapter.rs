@@ -20,15 +20,17 @@ use crate::{AppError, Result};
 /// Task-oriented adapter over an application descriptor document.
 pub struct DescriptorAdapter {
     doc: Element,
+    model: ApplicationDescriptor,
 }
 
 impl DescriptorAdapter {
     /// Wrap a descriptor document (validating its shape).
     pub fn new(doc: Element) -> Result<DescriptorAdapter> {
         // Parsing proves the shape; the adapter keeps the document form
-        // because that is what is downloaded from the service.
-        ApplicationDescriptor::from_element(&doc)?;
-        Ok(DescriptorAdapter { doc })
+        // because that is what is downloaded from the service, plus the
+        // parsed model so read paths never re-parse (and never panic).
+        let model = ApplicationDescriptor::from_element(&doc)?;
+        Ok(DescriptorAdapter { doc, model })
     }
 
     /// The underlying document.
@@ -42,8 +44,8 @@ impl DescriptorAdapter {
         format!("{} {}", d.name, d.version)
     }
 
-    fn model(&self) -> ApplicationDescriptor {
-        ApplicationDescriptor::from_element(&self.doc).expect("validated at construction")
+    fn model(&self) -> &ApplicationDescriptor {
+        &self.model
     }
 
     /// Task: the host/queue pairs a user can choose between.
@@ -89,19 +91,23 @@ impl DescriptorAdapter {
             .find(|h| h.local_name() == "host" && h.attr("dns") == Some(dns))
             .ok_or_else(|| AppError::NoSuchBinding(format!("host {dns:?}")))?;
         // Replace an existing parameter of the same name.
-        if let Some(p) = host
+        let replaced = host
             .children_mut()
             .find(|p| p.local_name() == "parameter" && p.attr("name") == Some(key))
-        {
-            p.take_children();
-            p.push_node(portalws_xml::Node::Text(value.to_owned()));
-            return Ok(());
+            .map(|p| {
+                p.take_children();
+                p.push_node(portalws_xml::Node::Text(value.to_owned()));
+            })
+            .is_some();
+        if !replaced {
+            host.push_child(
+                Element::new("parameter")
+                    .with_attr("name", key)
+                    .with_text(value),
+            );
         }
-        host.push_child(
-            Element::new("parameter")
-                .with_attr("name", key)
-                .with_text(value),
-        );
+        // Keep the parsed model in sync with the mutated document.
+        self.model = ApplicationDescriptor::from_element(&self.doc)?;
         Ok(())
     }
 
@@ -115,7 +121,7 @@ impl DescriptorAdapter {
         cpus: u32,
         wall_minutes: u32,
     ) -> Result<ApplicationInstance> {
-        ApplicationInstance::prepare(&self.model(), user, host_dns, queue, cpus, wall_minutes)
+        ApplicationInstance::prepare(self.model(), user, host_dns, queue, cpus, wall_minutes)
     }
 }
 

@@ -1,0 +1,581 @@
+//! A minimal Rust lexer: just enough structure for portalint's rules.
+//!
+//! This is deliberately not a parser. The build environment is fully
+//! offline (no `syn`, no `clippy_utils`), and none of the rules need an
+//! AST — they need a token stream in which string literals, character
+//! literals, lifetimes, nested block comments, and attributes can never
+//! be confused with code. The lexer therefore guarantees:
+//!
+//! * `unwrap` inside `"a string"`, a raw string, or a `/* comment */`
+//!   is a literal/comment, never an identifier token;
+//! * `'a` (lifetime) and `'a'` (char) are distinguished, so a stray
+//!   apostrophe never desynchronizes string detection;
+//! * block comments nest, as in real Rust;
+//! * attributes (`#[...]` / `#![...]`) are captured whole, so `[` inside
+//!   `#[derive(Debug)]` is never mistaken for slice indexing;
+//! * tokens covered by a `#[cfg(test)]` (or `#[test]`) item are marked
+//!   excluded, because the panic-freedom rules apply to request paths,
+//!   not to test code.
+//!
+//! Comments are collected separately with line numbers so the rule
+//! engine can find `// portalint: allow(...)` directives.
+
+/// One lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Raw identifier `r#ident` (name without the `r#`).
+    RawIdent(String),
+    /// String literal of any flavor (cooked, raw, byte); the payload is
+    /// the raw content between the quotes, escapes undecoded.
+    Str(String),
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Integer literal; the payload is its parsed value when it fits.
+    Int(Option<u128>),
+    /// Float literal.
+    Float,
+    /// Single punctuation character.
+    Punct(char),
+    /// Whole attribute; payload is the inner text with whitespace removed,
+    /// e.g. `cfg(test)` or `derive(Debug,Clone)`.
+    Attr(String),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment with its 1-based source line (line comments keep their text
+/// after `//`; block comments keep the text between the delimiters).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body text.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Significant tokens in order.
+    pub tokens: Vec<Token>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+    /// `excluded[i]` is true when `tokens[i]` belongs to a `#[cfg(test)]`
+    /// or `#[test]` item.
+    pub excluded: Vec<bool>,
+}
+
+impl Lexed {
+    /// Indices of tokens that are part of non-test code.
+    pub fn live_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.excluded[i])
+            .collect()
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+/// Lex a source file.
+pub fn lex(source: &str) -> Lexed {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    };
+    lx.run();
+    let excluded = mark_test_items(&lx.tokens);
+    Lexed {
+        tokens: lx.tokens,
+        comments: lx.comments,
+        excluded,
+    }
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, off: usize) -> u8 {
+        *self.src.get(self.pos + off).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.tokens.push(Token { tok, line });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let line = self.line;
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => {
+                    let s = self.cooked_string();
+                    self.push(Tok::Str(s), line);
+                }
+                b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => self.raw_prefixed(line),
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    let s = self.cooked_string();
+                    self.push(Tok::Str(s), line);
+                }
+                b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
+                    self.bump();
+                    self.raw_prefixed(line);
+                }
+                b'\'' => self.char_or_lifetime(line),
+                b'#' => self.attr_or_punct(line),
+                b'0'..=b'9' => self.number(line),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    let id = self.ident();
+                    self.push(Tok::Ident(id), line);
+                }
+                _ if b >= 0x80 => {
+                    // Non-ASCII: treat an XID-ish run as an identifier-like
+                    // blob; rules never match these.
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(b as char), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                if depth == 1 {
+                    break;
+                }
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos.min(self.src.len())])
+            .into_owned();
+        if self.pos < self.src.len() {
+            self.bump();
+            self.bump();
+        }
+        self.comments.push(Comment { line, text });
+    }
+
+    /// Cooked string starting at the opening quote; returns the content.
+    fn cooked_string(&mut self) -> String {
+        self.bump(); // opening quote
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let content = String::from_utf8_lossy(&self.src[start..self.pos.min(self.src.len())])
+            .into_owned();
+        self.bump(); // closing quote
+        content
+    }
+
+    /// At `r`, with `"` or `#` next: raw string `r"…"`, `r#"…"#`, … or a
+    /// raw identifier `r#ident`.
+    fn raw_prefixed(&mut self, line: u32) {
+        self.bump(); // the r
+        let mut hashes = 0usize;
+        while self.peek(hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(hashes) == b'"' {
+            for _ in 0..hashes {
+                self.bump();
+            }
+            self.bump(); // opening quote
+            let start = self.pos;
+            let end;
+            loop {
+                if self.pos >= self.src.len() {
+                    end = self.src.len();
+                    break;
+                }
+                if self.peek(0) == b'"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != b'#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        end = self.pos;
+                        self.bump();
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                self.bump();
+            }
+            let content = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+            self.push(Tok::Str(content), line);
+        } else if hashes == 1 {
+            // raw identifier
+            self.bump(); // #
+            let id = self.ident();
+            self.push(Tok::RawIdent(id), line);
+        } else {
+            // Lone `r` identifier (e.g. variable named r) followed by #.
+            let id = self.ident();
+            self.push(Tok::Ident(id), line);
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // Lifetime: 'ident not closed by a quote. Char: anything else.
+        let b1 = self.peek(1);
+        let is_ident_start = b1 == b'_' || b1.is_ascii_alphabetic();
+        if is_ident_start && self.peek(2) != b'\'' {
+            self.bump(); // '
+            while {
+                let c = self.peek(0);
+                c == b'_' || c.is_ascii_alphanumeric()
+            } {
+                self.bump();
+            }
+            self.push(Tok::Lifetime, line);
+            return;
+        }
+        self.bump(); // '
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        } else {
+            self.bump();
+        }
+        self.bump(); // closing '
+        self.push(Tok::Char, line);
+    }
+
+    /// `#[...]`, `#![...]`, or a lone `#` punct.
+    fn attr_or_punct(&mut self, line: u32) {
+        let inner = self.peek(1) == b'!';
+        let bracket_at = if inner { 2 } else { 1 };
+        if self.peek(bracket_at) != b'[' {
+            self.bump();
+            self.push(Tok::Punct('#'), line);
+            return;
+        }
+        self.bump(); // #
+        if inner {
+            self.bump(); // !
+        }
+        self.bump(); // [
+        let mut depth = 1usize;
+        let mut content = String::new();
+        while self.pos < self.src.len() && depth > 0 {
+            match self.peek(0) {
+                b'"' => {
+                    let s = self.cooked_string();
+                    content.push('"');
+                    content.push_str(&s);
+                    content.push('"');
+                }
+                b'[' => {
+                    depth += 1;
+                    content.push('[');
+                    self.bump();
+                }
+                b']' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        content.push(']');
+                    }
+                    self.bump();
+                }
+                c => {
+                    if !(c as char).is_whitespace() {
+                        content.push(c as char);
+                    }
+                    self.bump();
+                }
+            }
+        }
+        self.push(Tok::Attr(content), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        let mut is_float = false;
+        // Consume digits, underscores, radix prefixes, suffixes.
+        while {
+            let c = self.peek(0);
+            c == b'_' || c.is_ascii_alphanumeric()
+        } {
+            self.bump();
+        }
+        // Fractional part: a dot followed by a digit (not `..` or method).
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            is_float = true;
+            self.bump();
+            while {
+                let c = self.peek(0);
+                c == b'_' || c.is_ascii_alphanumeric()
+            } {
+                self.bump();
+            }
+        }
+        if is_float {
+            self.push(Tok::Float, line);
+            return;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(Tok::Int(parse_int(&text)), line);
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while {
+            let c = self.peek(0);
+            c == b'_' || c.is_ascii_alphanumeric()
+        } {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+/// Parse an integer literal's value: handles `_` separators, `0x`/`0o`/`0b`
+/// radix prefixes, and type suffixes (`usize`, `u64`, …).
+fn parse_int(text: &str) -> Option<u128> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(rest) = cleaned.strip_prefix("0x") {
+        (16, rest)
+    } else if let Some(rest) = cleaned.strip_prefix("0o") {
+        (8, rest)
+    } else if let Some(rest) = cleaned.strip_prefix("0b") {
+        (2, rest)
+    } else {
+        (10, cleaned.as_str())
+    };
+    // Strip a trailing type suffix.
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Is this attribute content a test gate? Matches `cfg(test)` anywhere in
+/// the (whitespace-stripped) attribute, plus bare `#[test]`/`#[bench]`.
+fn is_test_attr(content: &str) -> bool {
+    content == "test" || content == "bench" || content.contains("cfg(test)")
+}
+
+/// Mark every token belonging to an item gated by a test attribute.
+///
+/// The item extent is approximated structurally: from the attribute, skip
+/// any further attributes, then consume to the first `;` at depth 0 or to
+/// the matching `}` of the first `{` opened.
+fn mark_test_items(tokens: &[Token]) -> Vec<bool> {
+    let mut excluded = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_gate = matches!(&tokens[i].tok, Tok::Attr(a) if is_test_attr(a));
+        if !is_gate {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            match &tokens[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for flag in excluded.iter_mut().take(j).skip(i) {
+            *flag = true;
+        }
+        i = j;
+    }
+    excluded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let ids = idents(r#"let x = "call unwrap() here"; y.unwrap();"#);
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"contains "quotes" and unwrap()"#; s.expect("x");"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner panic!() */ still comment */ real()";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["real".to_string()]);
+        assert_eq!(lex(src).comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn attributes_swallow_brackets() {
+        let lexed = lex("#[derive(Debug, Clone)] struct S { v: Vec<[u8; 4]> }");
+        assert!(matches!(&lexed.tokens[0].tok, Tok::Attr(a) if a == "derive(Debug,Clone)"));
+    }
+
+    #[test]
+    fn cfg_test_items_are_excluded() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }";
+        let lexed = lex(src);
+        let live: Vec<&str> = lexed
+            .live_indices()
+            .into_iter()
+            .filter_map(|i| match &lexed.tokens[i].tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(live.iter().filter(|s| **s == "unwrap").count(), 1);
+        assert!(!live.contains(&"tests"));
+    }
+
+    #[test]
+    fn int_values_parse() {
+        let lexed = lex("const A: usize = 64 * 1024; let b = 0x10; let c = 1_000usize;");
+        let ints: Vec<Option<u128>> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Int(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ints, vec![Some(64), Some(1024), Some(16), Some(1000)]);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn comments_collected_with_lines() {
+        let lexed = lex("// first\ncode();\n// portalint: allow(panic) — ok\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[1].line, 3);
+        assert!(lexed.comments[1].text.contains("allow(panic)"));
+    }
+}

@@ -1,0 +1,40 @@
+//! `portalint` — in-tree static analysis for the portal workspace.
+//!
+//! The portal runs as a mesh of long-lived SOAP services; a single
+//! `unwrap()` on a request path takes a whole capability down for every
+//! connected portal (the stove-pipe fragility the paper's Web-services
+//! architecture is supposed to eliminate). The build is fully offline —
+//! no `syn`, no clippy — so the analysis is grown in-tree on a
+//! dependency-free lexer ([`lexer`]) that understands strings, nested
+//! comments, attributes, and `#[cfg(test)]` extents.
+//!
+//! Three invariant families ([`rules`]):
+//!
+//! 1. **Panic-freedom on server paths** — no `unwrap`/`expect`/`panic!`/
+//!    `unreachable!`/`todo!`/`unimplemented!`/direct indexing in the
+//!    request-handling crates, with an audited escape hatch:
+//!    `// portalint: allow(panic) — <reason>`.
+//! 2. **Lock discipline** — every `Mutex`/`RwLock` acquisition site is
+//!    extracted statically; the dynamic half (an acquired-before graph
+//!    with cycle detection) lives in `shims/parking_lot` and fails the
+//!    test suite on a potential deadlock.
+//! 3. **Wire-protocol invariants** — every `WireError` variant has a SOAP
+//!    fault mapping (`portalint: wire-error-map` marker), every literal
+//!    `invoke` arm of a `SoapService` appears in its `methods()` (hence
+//!    in its WSDL port type), and size guards cite named cap constants.
+//!
+//! Run as `cargo run -p portalint -- check` (human output, exit 1 on any
+//! unsuppressed violation) with `--json <path>` for the machine-readable
+//! JSON-lines report the CI gate uploads.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{
+    analyze_file, check_wire_map, parse_allow, wire_error_variants, Allow, FileRules, LockSite,
+    Violation, RULE_BAD_ALLOW, RULE_PANIC, RULE_SIZE_CAP, RULE_WIRE_MAP, RULE_WSDL_PORT,
+    SERVER_CRATES,
+};
+pub use workspace::{analyze_root, Analysis};

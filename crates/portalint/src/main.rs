@@ -1,0 +1,94 @@
+//! CLI entry point: `cargo run -p portalint -- check [--json PATH]
+//! [--root PATH] [--tally]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use portalint::report;
+use portalint::workspace::analyze_root;
+
+fn usage() -> &'static str {
+    "usage: portalint check [--json PATH] [--root PATH] [--tally]\n\
+     \n\
+     check    walk the workspace and enforce the three invariant families\n\
+     --json   also write the machine-readable JSON-lines report to PATH\n\
+     --root   workspace root (default: the repo this binary was built in)\n\
+     --tally  print the per-crate per-rule violation tally and exit\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut tally = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" => command = Some("check"),
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--json requires a path\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--root requires a path\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--tally" => tally = true,
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if command != Some("check") {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace this binary was compiled in, so
+    // `cargo run -p portalint -- check` works from any directory.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let analysis = match analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("portalint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report::to_jsonl(&analysis)) {
+            eprintln!("portalint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if tally {
+        print!("{}", report::to_tally(&analysis));
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", report::to_text(&analysis));
+    if analysis.unsuppressed().count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,127 @@
+//! Report rendering: human-readable text and machine-readable JSON lines.
+//!
+//! The JSON report is one object per line (`{"type": "violation" | "lock"
+//! | "summary", ...}`), hand-serialized — the offline build has no serde.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::tally_by_crate;
+use crate::workspace::Analysis;
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render the JSON-lines report.
+pub fn to_jsonl(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for v in &analysis.violations {
+        let reason = match &v.reason {
+            Some(r) => json_str(r),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"violation\",\"file\":{},\"line\":{},\"rule\":{},\"kind\":{},\"message\":{},\"suppressed\":{},\"reason\":{}}}",
+            json_str(&v.file),
+            v.line,
+            json_str(v.rule),
+            json_str(&v.kind),
+            json_str(&v.message),
+            v.suppressed,
+            reason,
+        );
+    }
+    for l in &analysis.locks {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"lock\",\"file\":{},\"line\":{},\"kind\":{}}}",
+            json_str(&l.file),
+            l.line,
+            json_str(&l.kind),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"summary\",\"files_scanned\":{},\"violations\":{},\"unsuppressed\":{},\"suppressed\":{},\"lock_sites\":{}}}",
+        analysis.files_scanned,
+        analysis.violations.len(),
+        analysis.unsuppressed().count(),
+        analysis.suppressed_count(),
+        analysis.locks.len(),
+    );
+    out
+}
+
+/// Render the human report.
+pub fn to_text(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for v in analysis.unsuppressed() {
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}/{}] {}",
+            v.file, v.line, v.rule, v.kind, v.message
+        );
+    }
+    if analysis.suppressed_count() > 0 {
+        let _ = writeln!(out, "allowed sites ({}):", analysis.suppressed_count());
+        for v in analysis.violations.iter().filter(|v| v.suppressed) {
+            let _ = writeln!(
+                out,
+                "  {}:{}: [{}/{}] — {}",
+                v.file,
+                v.line,
+                v.rule,
+                v.kind,
+                v.reason.as_deref().unwrap_or("")
+            );
+        }
+    }
+    let mut lock_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for l in &analysis.locks {
+        *lock_counts.entry(l.kind.as_str()).or_insert(0) += 1;
+    }
+    let locks_line: Vec<String> = lock_counts
+        .iter()
+        .map(|(k, n)| format!("{k}×{n}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "portalint: {} files, {} unsuppressed violation(s), {} allowed, {} lock acquisition site(s) [{}]",
+        analysis.files_scanned,
+        analysis.unsuppressed().count(),
+        analysis.suppressed_count(),
+        analysis.locks.len(),
+        locks_line.join(", "),
+    );
+    out
+}
+
+/// Render the per-crate per-rule tally (the EXPERIMENTS.md table rows),
+/// counting only unsuppressed findings.
+pub fn to_tally(analysis: &Analysis) -> String {
+    let tally = tally_by_crate(analysis.unsuppressed());
+    let mut out = String::new();
+    for ((crate_name, rule), count) in tally {
+        let _ = writeln!(out, "{crate_name}\t{rule}\t{count}");
+    }
+    out
+}

@@ -1,0 +1,129 @@
+//! Workspace driver: walks `crates/*/src`, applies the per-file rules,
+//! and runs the cross-file `wire-fault-map` check.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{
+    analyze_file, check_wire_map, Allow, FileRules, LockSite, Violation, SERVER_CRATES,
+};
+
+/// Full workspace analysis.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings, suppressed and unsuppressed, sorted by file then line.
+    pub violations: Vec<Violation>,
+    /// Lock acquisition inventory across all crates.
+    pub locks: Vec<LockSite>,
+    /// Allow directives found, keyed by file.
+    pub allows: BTreeMap<String, Vec<Allow>>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Findings not covered by an allow directive.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.suppressed)
+    }
+
+    /// Count of findings covered by allow directives.
+    pub fn suppressed_count(&self) -> usize {
+        self.violations.iter().filter(|v| v.suppressed).count()
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Analyze the workspace rooted at `root` (the directory holding
+/// `crates/`). Scans each crate's `src/` tree only: integration tests and
+/// fixtures are not request paths.
+pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
+    let mut analysis = Analysis::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut all_sources: Vec<(String, String)> = Vec::new();
+    let mut wire_lib: Option<(String, String)> = None;
+
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if crate_name == "portalint" {
+            // The linter does not lint itself: its sources quote the very
+            // patterns it searches for.
+            continue;
+        }
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let is_server = SERVER_CRATES.contains(&crate_name.as_str());
+        let rules = FileRules {
+            panic: is_server,
+            size_cap: is_server,
+            wsdl_port: true,
+            locks: true,
+        };
+        let mut files = Vec::new();
+        rs_files(&src_dir, &mut files)?;
+        for path in files {
+            let source = fs::read_to_string(&path)?;
+            let label = rel_label(root, &path);
+            let file_analysis = analyze_file(&label, &source, rules);
+            analysis.files_scanned += 1;
+            analysis.violations.extend(file_analysis.violations);
+            analysis.locks.extend(file_analysis.locks);
+            if !file_analysis.allows.is_empty() {
+                analysis
+                    .allows
+                    .insert(label.clone(), file_analysis.allows);
+            }
+            if label == "crates/wire/src/lib.rs" {
+                wire_lib = Some((label.clone(), source.clone()));
+            }
+            all_sources.push((label, source));
+        }
+    }
+
+    analysis.violations.extend(check_wire_map(
+        wire_lib.as_ref().map(|(p, s)| (p.as_str(), s.as_str())),
+        &all_sources,
+    ));
+    analysis
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    analysis
+        .locks
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(analysis)
+}

@@ -1,0 +1,166 @@
+//! Fixture suite: every rule in both firing and suppressed modes, plus
+//! lexer edge cases. Fixtures live under `tests/fixtures/` (not compiled
+//! by cargo, and outside the `crates/*/src` trees the workspace walker
+//! scans).
+
+use portalint::{
+    analyze_file, check_wire_map, FileRules, Violation, RULE_BAD_ALLOW, RULE_PANIC, RULE_SIZE_CAP,
+    RULE_WIRE_MAP, RULE_WSDL_PORT,
+};
+
+fn analyze(name: &str, src: &str) -> Vec<Violation> {
+    analyze_file(name, src, FileRules::all()).violations
+}
+
+fn firing<'v>(violations: &'v [Violation], rule: &str) -> Vec<&'v Violation> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule && !v.suppressed)
+        .collect()
+}
+
+#[test]
+fn panic_rule_fires_on_every_pattern() {
+    let vs = analyze("panic_firing.rs", include_str!("fixtures/panic_firing.rs"));
+    let kinds: Vec<&str> = firing(&vs, RULE_PANIC).iter().map(|v| v.kind.as_str()).collect();
+    for expected in [
+        "unwrap",
+        "expect",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "index",
+    ] {
+        assert!(
+            kinds.contains(&expected),
+            "expected a {expected} finding, got {kinds:?}"
+        );
+    }
+    // `args[0]`, `&args[1..]`, and `map["missing"]` are three index sites.
+    assert_eq!(kinds.iter().filter(|k| **k == "index").count(), 3);
+    assert!(vs.iter().all(|v| !v.suppressed));
+}
+
+#[test]
+fn panic_rule_suppressed_by_allow_with_reason() {
+    let vs = analyze("panic_allowed.rs", include_str!("fixtures/panic_allowed.rs"));
+    assert!(firing(&vs, RULE_PANIC).is_empty(), "{vs:?}");
+    let suppressed: Vec<&Violation> = vs.iter().filter(|v| v.suppressed).collect();
+    assert_eq!(suppressed.len(), 2, "{vs:?}");
+    // The comment-above form and the same-line form both carry reasons.
+    assert!(suppressed
+        .iter()
+        .any(|v| v.reason.as_deref() == Some("index is masked to the array length")));
+    assert!(suppressed
+        .iter()
+        .any(|v| v.reason.as_deref() == Some("the push above makes last() Some")));
+}
+
+#[test]
+fn reasonless_allow_is_flagged_and_suppresses_nothing() {
+    let vs = analyze("bad_allow.rs", include_str!("fixtures/bad_allow.rs"));
+    assert_eq!(firing(&vs, RULE_BAD_ALLOW).len(), 1, "{vs:?}");
+    // The indexing under the bad directive still fires.
+    assert_eq!(firing(&vs, RULE_PANIC).len(), 1, "{vs:?}");
+}
+
+#[test]
+fn size_cap_fires_on_magic_literal_only() {
+    let vs = analyze("size_cap.rs", include_str!("fixtures/size_cap.rs"));
+    let fires = firing(&vs, RULE_SIZE_CAP);
+    // The bare 1048576 comparison fires; the named-constant guard, the
+    // allowed RFC-fixed frame size, and the small literal do not.
+    assert_eq!(fires.len(), 1, "{vs:?}");
+    assert!(fires.iter().all(|v| v.message.contains("1048576")));
+    assert_eq!(
+        vs.iter()
+            .filter(|v| v.rule == RULE_SIZE_CAP && v.suppressed)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn wsdl_port_fires_on_unadvertised_arm_only() {
+    let vs = analyze("wsdl_port.rs", include_str!("fixtures/wsdl_port.rs"));
+    let fires = firing(&vs, RULE_WSDL_PORT);
+    assert_eq!(fires.len(), 1, "{vs:?}");
+    assert!(fires.iter().all(|v| v.message.contains("ghostMethod")));
+    // "advertised" matches directly, "addUserContext" matches through the
+    // add{L}Context template, and "debugDump" is explicitly allowed.
+    assert_eq!(
+        vs.iter()
+            .filter(|v| v.rule == RULE_WSDL_PORT && v.suppressed)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn lexer_is_not_fooled_by_strings_comments_or_test_code() {
+    let vs = analyze("lexer_edges.rs", include_str!("fixtures/lexer_edges.rs"));
+    let fires = firing(&vs, RULE_PANIC);
+    // Exactly one finding: the real unwrap in `real_violation`. Raw
+    // strings, the nested block comment, the char literal, and both
+    // `#[cfg(test)]` items contribute nothing.
+    assert_eq!(fires.len(), 1, "{fires:?}");
+    assert_eq!(fires.first().map(|v| v.kind.as_str()), Some("unwrap"));
+}
+
+#[test]
+fn lock_sites_inventoried() {
+    let analysis = portalint::analyze_file(
+        "locks.rs",
+        include_str!("fixtures/locks.rs"),
+        FileRules::all(),
+    );
+    let kinds: Vec<&str> = analysis.locks.iter().map(|l| l.kind.as_str()).collect();
+    assert_eq!(kinds, vec!["lock", "try_lock", "read", "write"]);
+}
+
+const WIRE_LIB: &str = r#"
+pub enum WireError {
+    Io(std::io::Error),
+    BadFrame(String),
+}
+"#;
+
+#[test]
+fn wire_map_fires_without_marker() {
+    let vs = check_wire_map(Some(("wire/lib.rs", WIRE_LIB)), &[]);
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs.first().map(|v| v.rule), Some(RULE_WIRE_MAP));
+    assert_eq!(vs.first().map(|v| v.kind.as_str()), Some("no-mapping"));
+}
+
+#[test]
+fn wire_map_fires_on_unmapped_variant() {
+    let partial = r#"
+// portalint: wire-error-map
+fn from_wire(e: &WireError) -> Fault {
+    match e {
+        WireError::Io(_) => Fault::server("io"),
+        _ => Fault::server("other"),
+    }
+}
+"#;
+    let files = vec![("fault.rs".to_string(), partial.to_string())];
+    let vs = check_wire_map(Some(("wire/lib.rs", WIRE_LIB)), &files);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert!(vs.first().is_some_and(|v| v.message.contains("BadFrame")));
+}
+
+#[test]
+fn wire_map_satisfied_when_all_variants_mapped() {
+    let full = r#"
+// portalint: wire-error-map
+fn from_wire(e: &WireError) -> Fault {
+    match e {
+        WireError::Io(_) => Fault::server("io"),
+        WireError::BadFrame(m) => Fault::server(m),
+    }
+}
+"#;
+    let files = vec![("fault.rs".to_string(), full.to_string())];
+    assert!(check_wire_map(Some(("wire/lib.rs", WIRE_LIB)), &files).is_empty());
+}

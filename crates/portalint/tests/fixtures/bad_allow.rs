@@ -1,0 +1,7 @@
+//! Fixture: a reasonless allow is itself a violation, and does not
+//! suppress the site it is attached to.
+
+fn sloppy(args: &[String]) -> usize {
+    // portalint: allow(panic)
+    args[0].len()
+}

@@ -1,0 +1,33 @@
+//! Fixture: the lexer must not be fooled by panic-looking text inside
+//! raw strings, nested block comments, or `#[cfg(test)]` items — but the
+//! one real unwrap at the bottom must still be seen.
+
+const DOC: &str = r#"call .unwrap() and panic!("boom") freely in prose"#;
+const DOC2: &str = r##"even r#"nested raw "# markers"## ;
+
+/* outer comment /* nested block comment with x.unwrap() and v[0] */
+   still inside the outer comment: panic!("not code") */
+
+fn quoted() -> char {
+    '[' // a char literal bracket is not an index expression
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        let s: String = "ok".parse().unwrap();
+        assert!(!s.is_empty());
+    }
+}
+
+#[cfg(test)]
+fn test_helper(v: &[u32]) -> u32 {
+    v[1] + v.first().copied().unwrap()
+}
+
+fn real_violation(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

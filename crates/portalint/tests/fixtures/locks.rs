@@ -1,0 +1,10 @@
+//! Fixture: lock acquisitions are inventoried; io-style read/write calls
+//! (which take arguments) are not.
+
+fn acquisitions(m: &Mutex<u32>, l: &RwLock<u32>, mut s: impl std::io::Write, buf: &[u8]) {
+    let _g = m.lock();
+    let _t = m.try_lock();
+    let _r = l.read();
+    let _w = l.write();
+    let _ = s.write(buf); // io write, not a lock
+}

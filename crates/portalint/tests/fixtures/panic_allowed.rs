@@ -1,0 +1,12 @@
+//! Fixture: flagged sites carrying well-formed allow directives are
+//! reported as suppressed, with their reasons.
+
+fn checked(bytes: &[u8; 4]) -> u8 {
+    // portalint: allow(panic) — index is masked to the array length
+    bytes[3 & 0x3]
+}
+
+fn invariant(v: &mut Vec<u32>) -> u32 {
+    v.push(7);
+    *v.last().expect("just pushed") // portalint: allow(panic) — the push above makes last() Some
+}

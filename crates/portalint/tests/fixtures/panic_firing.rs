@@ -1,0 +1,18 @@
+//! Fixture: every panic-family pattern fires once, unsuppressed.
+
+fn handler(args: &[String], map: &std::collections::HashMap<String, u32>) -> u32 {
+    let first = args.first().unwrap();
+    let parsed: u32 = first.parse().expect("numeric");
+    if map.is_empty() {
+        panic!("no entries");
+    }
+    if parsed > 100 {
+        unreachable!();
+    }
+    if parsed > 50 {
+        todo!();
+    }
+    let direct = args[0].len() as u32;
+    let sliced = &args[1..];
+    direct + sliced.len() as u32 + map["missing"]
+}

@@ -1,0 +1,22 @@
+//! Fixture: size guards comparing against bare large literals fire; the
+//! same guard citing a named cap constant does not, and an allow
+//! suppresses a deliberate bare literal.
+
+const MAX_UPLOAD_BYTES: usize = 8 * 1024 * 1024;
+
+fn guard_magic(len: usize) -> bool {
+    len > 1048576
+}
+
+fn guard_named(len: usize) -> bool {
+    len > MAX_UPLOAD_BYTES
+}
+
+fn guard_allowed(len: usize) -> bool {
+    // portalint: allow(size-cap) — protocol-fixed frame size from RFC 1234
+    len >= 65536
+}
+
+fn small_literals_ignored(n: usize) -> bool {
+    n > 16
+}

@@ -1,0 +1,24 @@
+//! Fixture: an invoke arm absent from methods() fires; advertised arms
+//! (including template-expanded ones) do not.
+
+impl SoapService for FixtureService {
+    fn name(&self) -> &str {
+        "Fixture"
+    }
+
+    fn invoke(&self, method: &str) -> SoapResult<SoapValue> {
+        match method {
+            "advertised" => Ok(SoapValue::Null),
+            "addUserContext" => Ok(SoapValue::Null),
+            "ghostMethod" => Ok(SoapValue::Null),
+            // portalint: allow(wsdl-port) — internal debug hook, deliberately unadvertised
+            "debugDump" => Ok(SoapValue::Null),
+            other => Err(Fault::client(format!("no method {other:?}"))),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodDesc> {
+        let template = "add{L}Context";
+        vec![MethodDesc::new("advertised"), MethodDesc::new(template)]
+    }
+}

@@ -171,7 +171,11 @@ impl PortletRegistry {
             return Ok(());
         }
         let col = column.min(layout.columns.len().saturating_sub(1));
-        layout.columns[col].push(portlet.to_owned());
+        layout
+            .columns
+            .get_mut(col)
+            .ok_or_else(|| format!("layout for {user:?} has no columns"))?
+            .push(portlet.to_owned());
         Ok(())
     }
 

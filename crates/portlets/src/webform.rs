@@ -121,13 +121,20 @@ pub fn remap_html(html: &str, base_url: &str, portlet: &str) -> String {
             break 'outer;
         };
         let val_start = i + attr.len();
-        out.push_str(&rest[..val_start]);
-        rest = &rest[val_start..];
+        let Some((head, tail)) = rest.split_at_checked(val_start) else {
+            out.push_str(rest);
+            break 'outer;
+        };
+        out.push_str(head);
+        rest = tail;
         let Some(end) = rest.find('"') else {
             out.push_str(rest);
             break 'outer;
         };
-        let url = &rest[..end];
+        let Some((url, tail)) = rest.split_at_checked(end) else {
+            out.push_str(rest);
+            break 'outer;
+        };
         if url.starts_with('#')
             || url.starts_with("javascript:")
             || url.starts_with("mailto:")
@@ -144,7 +151,7 @@ pub fn remap_html(html: &str, base_url: &str, portlet: &str) -> String {
                 url_encode(url)
             ));
         }
-        rest = &rest[end..];
+        rest = tail;
     }
     out
 }

@@ -48,13 +48,17 @@ impl Container {
     }
 
     fn ensure_child(&mut self, name: &str) -> &mut Container {
+        // (The borrow checker rejects the `iter_mut().find()` + push
+        // fallback form, so both arms carry an audited index/expect.)
         if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            // portalint: allow(panic) — index produced by position() on the same vec
             &mut self.children[i]
         } else {
             self.children.push(Container {
                 name: name.to_owned(),
                 ..Default::default()
             });
+            // portalint: allow(panic) — the push on the line above makes last_mut Some
             self.children.last_mut().expect("just pushed")
         }
     }

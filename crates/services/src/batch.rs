@@ -101,6 +101,8 @@ fn forward_error(e: SoapError) -> Fault {
         // Relay the downstream fault unchanged: the common error codes
         // survive service composition.
         SoapError::Fault(f) => f,
+        // Transport failures go through the canonical wire→fault table.
+        SoapError::Transport(w) => Fault::from_wire(&w),
         other => Fault::portal(
             PortalErrorKind::Internal,
             format!("job submission service unreachable: {other}"),

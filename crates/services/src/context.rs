@@ -155,11 +155,14 @@ impl ContextStore {
     // ---- navigation helpers ---------------------------------------------
 
     fn with_node<T>(&self, path: &[&str], f: impl FnOnce(&Node) -> CtxResult<T>) -> CtxResult<T> {
+        let (first, rest) = path
+            .split_first()
+            .ok_or_else(|| ContextError::Invalid("empty context path".into()))?;
         let users = self.users.read();
         let mut cur = users
-            .get(path[0])
-            .ok_or_else(|| ContextError::NotFound(path[0].to_owned()))?;
-        for seg in &path[1..] {
+            .get(*first)
+            .ok_or_else(|| ContextError::NotFound((*first).to_owned()))?;
+        for seg in rest {
             cur = cur
                 .children
                 .get(*seg)
@@ -173,11 +176,14 @@ impl ContextStore {
         path: &[&str],
         f: impl FnOnce(&mut Node) -> CtxResult<T>,
     ) -> CtxResult<T> {
+        let (first, rest) = path
+            .split_first()
+            .ok_or_else(|| ContextError::Invalid("empty context path".into()))?;
         let mut users = self.users.write();
         let mut cur = users
-            .get_mut(path[0])
-            .ok_or_else(|| ContextError::NotFound(path[0].to_owned()))?;
-        for seg in &path[1..] {
+            .get_mut(*first)
+            .ok_or_else(|| ContextError::NotFound((*first).to_owned()))?;
+        for seg in rest {
             cur = cur
                 .children
                 .get_mut(*seg)
@@ -201,13 +207,16 @@ impl ContextStore {
             check_name(seg)?;
         }
         let seq = self.next_seq();
-        if path.len() == 1 {
+        let (leaf, parent) = path
+            .split_last()
+            .ok_or_else(|| ContextError::Invalid("empty context path".into()))?;
+        if parent.is_empty() {
             let mut users = self.users.write();
-            if users.contains_key(path[0]) {
-                return Err(ContextError::Duplicate(path[0].to_owned()));
+            if users.contains_key(*leaf) {
+                return Err(ContextError::Duplicate((*leaf).to_owned()));
             }
             users.insert(
-                path[0].to_owned(),
+                (*leaf).to_owned(),
                 Node {
                     created_seq: seq,
                     ..Default::default()
@@ -215,7 +224,6 @@ impl ContextStore {
             );
             return Ok(());
         }
-        let (leaf, parent) = path.split_last().expect("checked non-empty");
         self.with_node_mut(parent, |node| {
             if node.children.contains_key(*leaf) {
                 return Err(ContextError::Duplicate((*leaf).to_owned()));
@@ -233,16 +241,16 @@ impl ContextStore {
 
     /// Remove the context at `path` and its whole subtree.
     pub fn remove(&self, path: &[&str]) -> CtxResult<()> {
-        if path.len() == 1 {
+        let (leaf, parent) = path
+            .split_last()
+            .ok_or_else(|| ContextError::Invalid("empty path".into()))?;
+        if parent.is_empty() {
             let mut users = self.users.write();
             users
-                .remove(path[0])
+                .remove(*leaf)
                 .map(|_| ())
-                .ok_or_else(|| ContextError::NotFound(path[0].to_owned()))
+                .ok_or_else(|| ContextError::NotFound((*leaf).to_owned()))
         } else {
-            let (leaf, parent) = path
-                .split_last()
-                .ok_or_else(|| ContextError::Invalid("empty path".into()))?;
             self.with_node_mut(parent, |node| {
                 node.children
                     .remove(*leaf)
@@ -271,20 +279,20 @@ impl ContextStore {
     /// Rename a context in place.
     pub fn rename(&self, path: &[&str], new_name: &str) -> CtxResult<()> {
         check_name(new_name)?;
-        if path.len() == 1 {
+        let (leaf, parent) = path
+            .split_last()
+            .ok_or_else(|| ContextError::Invalid("empty path".into()))?;
+        if parent.is_empty() {
             let mut users = self.users.write();
             if users.contains_key(new_name) {
                 return Err(ContextError::Duplicate(new_name.to_owned()));
             }
             let node = users
-                .remove(path[0])
-                .ok_or_else(|| ContextError::NotFound(path[0].to_owned()))?;
+                .remove(*leaf)
+                .ok_or_else(|| ContextError::NotFound((*leaf).to_owned()))?;
             users.insert(new_name.to_owned(), node);
             return Ok(());
         }
-        let (leaf, parent) = path
-            .split_last()
-            .ok_or_else(|| ContextError::Invalid("empty path".into()))?;
         self.with_node_mut(parent, |node| {
             if node.children.contains_key(new_name) {
                 return Err(ContextError::Duplicate(new_name.to_owned()));
@@ -363,7 +371,9 @@ impl ContextStore {
             3 => "sessionContext",
             _ => return Err(ContextError::Invalid("archive depth must be 1–3".into())),
         };
-        let leaf = path.last().expect("non-empty");
+        let leaf = path
+            .last()
+            .ok_or_else(|| ContextError::Invalid("empty context path".into()))?;
         self.with_node(path, |node| Ok(node.to_xml(leaf, kind)))
     }
 
@@ -394,7 +404,9 @@ impl ContextStore {
         let archived = self.archive(path)?;
         let mut renamed = archived.clone();
         renamed.set_attr("name", new_name);
-        let parent = &path[..path.len() - 1];
+        let (_, parent) = path
+            .split_last()
+            .ok_or_else(|| ContextError::Invalid("empty context path".into()))?;
         self.restore(parent, &renamed).map(|_| ())
     }
 
@@ -482,6 +494,27 @@ fn strs(args: &[(String, SoapValue)], n: usize) -> SoapResult<Vec<&str>> {
     Ok(out)
 }
 
+/// Exactly `N` string arguments, destructurable: `let [user] = strs_n(args)?`.
+fn strs_n<'a, const N: usize>(args: &'a [(String, SoapValue)]) -> SoapResult<[&'a str; N]> {
+    strs(args, N)?.try_into().map_err(|_| {
+        Fault::portal(PortalErrorKind::BadArguments, "argument arity mismatch")
+    })
+}
+
+/// The first `depth` string arguments as a context path plus exactly `N`
+/// trailing string arguments: `let (path, [key, value]) = path_args(args, depth)?`.
+fn path_args<'a, const N: usize>(
+    args: &'a [(String, SoapValue)],
+    depth: usize,
+) -> SoapResult<(Vec<&'a str>, [&'a str; N])> {
+    let mut path = strs(args, depth + N)?;
+    let extras = path.split_off(depth);
+    let extras = extras.try_into().map_err(|_| {
+        Fault::portal(PortalErrorKind::BadArguments, "argument arity mismatch")
+    })?;
+    Ok((path, extras))
+}
+
 fn names_value(names: Vec<String>) -> SoapValue {
     SoapValue::Array(names.into_iter().map(SoapValue::String).collect())
 }
@@ -549,16 +582,16 @@ impl SoapService for ContextManagerMonolith {
             "totalContextCount" => return Ok(SoapValue::Int(store.total_count() as i64)),
             "placeholderCount" => return Ok(SoapValue::Int(store.placeholder_count() as i64)),
             "createPlaceholderContext" => {
-                let a = strs(args, 1)?;
-                let (problem, session) = store.create_placeholder(a[0]).map_err(ctx_fault)?;
+                let [user] = strs_n(args)?;
+                let (problem, session) = store.create_placeholder(user).map_err(ctx_fault)?;
                 return Ok(SoapValue::Struct(vec![
                     ("problem".into(), SoapValue::String(problem)),
                     ("session".into(), SoapValue::String(session)),
                 ]));
             }
             "findContextsByProperty" => {
-                let a = strs(args, 2)?;
-                return Ok(names_value(store.find_by_property(a[0], a[1])));
+                let [key, value] = strs_n(args)?;
+                return Ok(names_value(store.find_by_property(key, value)));
             }
             "listUsers" => {
                 return Ok(names_value(store.list(&[]).map_err(ctx_fault)?));
@@ -619,8 +652,8 @@ impl SoapService for ContextManagerMonolith {
                 ))
             }
             "renamecontext" => {
-                let a = strs(args, depth + 1)?;
-                store.rename(&a[..depth], a[depth]).map_err(ctx_fault)?;
+                let (path, [new_name]) = path_args(args, depth)?;
+                store.rename(&path, new_name).map_err(ctx_fault)?;
                 Ok(SoapValue::Null)
             }
             "clearcontext" => {
@@ -644,8 +677,8 @@ impl SoapService for ContextManagerMonolith {
                 Ok(SoapValue::String(name))
             }
             "copycontext" => {
-                let a = strs(args, depth + 1)?;
-                store.copy(&a[..depth], a[depth]).map_err(ctx_fault)?;
+                let (path, [new_name]) = path_args(args, depth)?;
+                store.copy(&path, new_name).map_err(ctx_fault)?;
                 Ok(SoapValue::Null)
             }
             "contextcreated" => {
@@ -655,25 +688,19 @@ impl SoapService for ContextManagerMonolith {
                 ))
             }
             "setproperty" => {
-                let a = strs(args, depth + 2)?;
-                store
-                    .set_property(&a[..depth], a[depth], a[depth + 1])
-                    .map_err(ctx_fault)?;
+                let (path, [key, value]) = path_args(args, depth)?;
+                store.set_property(&path, key, value).map_err(ctx_fault)?;
                 Ok(SoapValue::Null)
             }
             "getproperty" => {
-                let a = strs(args, depth + 1)?;
+                let (path, [key]) = path_args(args, depth)?;
                 Ok(SoapValue::String(
-                    store
-                        .get_property(&a[..depth], a[depth])
-                        .map_err(ctx_fault)?,
+                    store.get_property(&path, key).map_err(ctx_fault)?,
                 ))
             }
             "removeproperty" => {
-                let a = strs(args, depth + 1)?;
-                store
-                    .remove_property(&a[..depth], a[depth])
-                    .map_err(ctx_fault)?;
+                let (path, [key]) = path_args(args, depth)?;
+                store.remove_property(&path, key).map_err(ctx_fault)?;
                 Ok(SoapValue::Null)
             }
             "listproperties" => {
@@ -708,8 +735,9 @@ impl SoapService for ContextManagerMonolith {
     fn methods(&self) -> Vec<MethodDesc> {
         let mut out = Vec::new();
         let path_params = |depth: usize| -> Vec<(&'static str, SoapType)> {
-            ["user", "problem", "session"][..depth]
+            ["user", "problem", "session"]
                 .iter()
+                .take(depth)
                 .map(|n| (*n, SoapType::String))
                 .collect()
         };

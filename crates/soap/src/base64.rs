@@ -7,28 +7,26 @@
 
 const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
+/// The base64 digit for the 6 bits of `n` starting at `shift`.
+fn sextet(n: u32, shift: u32) -> char {
+    // portalint: allow(panic) — index is masked to 0..=63 over a 64-byte table
+    ALPHABET[(n >> shift) as usize & 63] as char
+}
+
 /// Encode bytes to base64 text.
 pub fn encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b = [
-            chunk[0],
-            chunk.get(1).copied().unwrap_or(0),
-            chunk.get(2).copied().unwrap_or(0),
-        ];
-        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
-        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
-        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 {
-            ALPHABET[(n >> 6) as usize & 63] as char
-        } else {
-            '='
-        });
-        out.push(if chunk.len() > 2 {
-            ALPHABET[n as usize & 63] as char
-        } else {
-            '='
-        });
+        let Some((&b0, rest)) = chunk.split_first() else {
+            continue; // chunks(3) never yields an empty slice
+        };
+        let b1 = rest.first().copied().unwrap_or(0);
+        let b2 = rest.get(1).copied().unwrap_or(0);
+        let n = (u32::from(b0) << 16) | (u32::from(b1) << 8) | u32::from(b2);
+        out.push(sextet(n, 18));
+        out.push(sextet(n, 12));
+        out.push(if chunk.len() > 1 { sextet(n, 6) } else { '=' });
+        out.push(if chunk.len() > 2 { sextet(n, 0) } else { '=' });
     }
     out
 }
@@ -54,11 +52,12 @@ pub fn decode(text: &str) -> Option<Vec<u8>> {
     let mut out = Vec::with_capacity(compact.len() / 4 * 3);
     for chunk in compact.chunks(4) {
         let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
-        if pad > 2 || chunk[..4 - pad].contains(&b'=') {
+        let digits = chunk.get(..4 - pad)?;
+        if pad > 2 || digits.contains(&b'=') {
             return None;
         }
         let mut n = 0u32;
-        for &c in &chunk[..4 - pad] {
+        for &c in digits {
             n = (n << 6) | value_of(c)?;
         }
         n <<= 6 * pad as u32;

@@ -11,6 +11,7 @@
 
 use std::fmt;
 
+use portalws_wire::WireError;
 use portalws_xml::Element;
 
 /// SOAP 1.1 fault codes.
@@ -196,6 +197,33 @@ impl Fault {
             code,
             string: message.clone(),
             detail: Some(PortalError::new(kind, message)),
+        }
+    }
+
+    /// Map a transport-level [`WireError`] to the portal fault taxonomy.
+    ///
+    /// This is the canonical wire→fault mapping: every `WireError` variant
+    /// must appear here, and portalint's `wire-fault-map` rule checks that
+    /// it does (add an arm before adding a variant).
+    // portalint: wire-error-map
+    pub fn from_wire(e: &WireError) -> Fault {
+        match e {
+            WireError::Io(io) => Fault::portal(
+                PortalErrorKind::HostUnavailable,
+                format!("transport I/O failure: {io}"),
+            ),
+            WireError::BadFrame(msg) => Fault::portal(
+                PortalErrorKind::Internal,
+                format!("malformed HTTP frame: {msg}"),
+            ),
+            WireError::HttpStatus(status, body) => Fault::portal(
+                PortalErrorKind::Internal,
+                format!("unexpected HTTP status {status}: {body}"),
+            ),
+            WireError::Timeout(what) => Fault::portal(
+                PortalErrorKind::HostUnavailable,
+                format!("timed out waiting for {what}"),
+            ),
         }
     }
 

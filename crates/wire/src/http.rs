@@ -323,8 +323,8 @@ pub fn url_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&cur) = bytes.get(i) {
+        match cur {
             b'+' => {
                 out.push(b' ');
                 i += 1;

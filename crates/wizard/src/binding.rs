@@ -148,8 +148,8 @@ impl BeanRegistry {
     }
 
     /// Instantiate an empty bean of the root class.
-    pub fn new_root(&self) -> Bean {
-        Bean::new(Arc::clone(&self.classes[&self.root_class]))
+    pub fn new_root(&self) -> Result<Bean> {
+        self.new_bean(&self.root_class)
     }
 
     /// Instantiate an empty bean of any class.
@@ -452,7 +452,7 @@ mod tests {
     #[test]
     fn build_marshal_validate() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         app.set_attr("id", "3").unwrap();
         app.set("name", "gaussian", &r).unwrap();
         app.set("kind", "mpi", &r).unwrap();
@@ -471,7 +471,7 @@ mod tests {
     #[test]
     fn marshal_orders_fields_like_the_sequence() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         app.set_attr("id", "1").unwrap();
         // Set fields out of order.
         let mut host = r.new_bean("HostType").unwrap();
@@ -486,7 +486,7 @@ mod tests {
     #[test]
     fn unmarshal_round_trip() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         app.set_attr("id", "9").unwrap();
         app.set("name", "code", &r).unwrap();
         app.set("kind", "serial", &r).unwrap();
@@ -504,7 +504,7 @@ mod tests {
     #[test]
     fn type_checking_on_set() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         assert!(app.set_attr("id", "notanint").is_err());
         assert!(app.set("kind", "gpu", &r).is_err()); // not in enumeration
         let mut host = r.new_bean("HostType").unwrap();
@@ -514,7 +514,7 @@ mod tests {
     #[test]
     fn unknown_fields_and_attrs_rejected() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         assert!(app.set("nosuch", "x", &r).is_err());
         assert!(app.set_attr("nosuch", "x").is_err());
         assert!(app.get("nosuch").is_none());
@@ -523,7 +523,7 @@ mod tests {
     #[test]
     fn cardinality_enforced_on_push() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         app.set("name", "a", &r).unwrap();
         // name admits one child; a second push must fail.
         let mut extra = r.new_bean("Name").unwrap();
@@ -534,7 +534,7 @@ mod tests {
     #[test]
     fn wrong_class_rejected_on_push() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         let name_bean = r.new_bean("Name").unwrap();
         assert!(app.push_child("host", name_bean).is_err());
     }
@@ -542,7 +542,7 @@ mod tests {
     #[test]
     fn missing_required_content_fails_validation() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         app.set_attr("id", "1").unwrap();
         app.set("name", "x", &r).unwrap();
         // kind and host missing.
@@ -552,7 +552,7 @@ mod tests {
     #[test]
     fn remove_child_and_edit() {
         let r = registry();
-        let mut app = r.new_root();
+        let mut app = r.new_root().unwrap();
         app.add("flag", "-a", &r).unwrap();
         app.add("flag", "-b", &r).unwrap();
         app.remove_child("flag", 0).unwrap();

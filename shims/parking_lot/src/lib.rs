@@ -6,84 +6,380 @@
 //! directly (no `LockResult`). Built on `std::sync`; a poisoned lock is
 //! recovered rather than propagated, matching `parking_lot`'s behaviour of
 //! not poisoning at all.
+//!
+//! # Lock-order tracking (debug builds only)
+//!
+//! In debug builds every blocking acquisition records an *acquired-before*
+//! edge from each lock currently held by the thread to the lock being
+//! acquired, in a process-global order graph. If the new edge would close
+//! a cycle — thread 1 takes A then B while thread 2 takes B then A — the
+//! acquisition panics immediately, naming both locks, instead of letting
+//! the suite deadlock. Locks constructed with [`Mutex::new_named`] /
+//! [`RwLock::new_named`] report their given names; anonymous locks report
+//! `lock#<id>`. portalint's static pass inventories the acquisition
+//! *sites*; this module is the dynamic half that checks the *order*.
+//!
+//! Release builds compile all of this away: guards are thin newtypes over
+//! the `std::sync` guards with no token and no global state.
 
 use std::sync;
+use std::time::Duration;
+
+#[cfg(debug_assertions)]
+mod order {
+    //! The acquired-before graph and the per-thread held-lock stack.
+
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// Assign a fresh per-instance lock id. Instances get distinct ids, so
+    /// locks from unrelated tests never alias in the global graph.
+    pub fn fresh_id() -> u64 {
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// `edges[a]` contains `b` when some thread acquired `b` while
+        /// holding `a`.
+        edges: HashMap<u64, HashSet<u64>>,
+        /// Optional human names from `new_named`.
+        names: HashMap<u64, String>,
+    }
+
+    fn graph() -> &'static Mutex<Graph> {
+        static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(Mutex::default)
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Register a human-readable name for a lock id.
+    pub fn set_name(id: u64, name: &str) {
+        let mut g = graph().lock().unwrap_or_else(|p| p.into_inner());
+        g.names.insert(id, name.to_owned());
+    }
+
+    fn name_of(g: &Graph, id: u64) -> String {
+        g.names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("lock#{id}"))
+    }
+
+    /// Is there a path `from → … → to` in the acquired-before graph?
+    fn reachable(g: &Graph, from: u64, to: u64) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = g.edges.get(&n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Record that the current thread is about to block on `id`. Called
+    /// *before* the underlying acquisition so a would-be deadlock panics
+    /// with both lock names instead of hanging the suite.
+    pub fn check_before_acquire(id: u64) {
+        HELD.with(|held| {
+            let held = held.borrow();
+            if held.is_empty() {
+                return;
+            }
+            let mut g = graph().lock().unwrap_or_else(|p| p.into_inner());
+            for &h in held.iter() {
+                if h == id {
+                    continue; // reentrant shared read of the same lock
+                }
+                // New edge h → id. A pre-existing path id → … → h means
+                // some thread takes these locks in the opposite order.
+                if reachable(&g, id, h) {
+                    let a = name_of(&g, h);
+                    let b = name_of(&g, id);
+                    panic!(
+                        "lock-order cycle: acquiring {b:?} while holding {a:?}, \
+                         but {b:?} is acquired before {a:?} elsewhere \
+                         (acquired-before cycle {a:?} → {b:?} → {a:?})"
+                    );
+                }
+                g.edges.entry(h).or_default().insert(id);
+            }
+        });
+    }
+
+    /// Pops its lock id from the thread's held stack on drop.
+    #[derive(Debug)]
+    pub struct HeldToken {
+        id: u64,
+    }
+
+    /// Push `id` onto the thread's held stack (after a successful
+    /// acquisition, blocking or not).
+    pub fn push_held(id: u64) -> HeldToken {
+        HELD.with(|held| held.borrow_mut().push(id));
+        HeldToken { id }
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&h| h == self.id) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// How long `try_lock_for` sleeps between attempts.
+const SPIN_INTERVAL: Duration = Duration::from_micros(100);
 
 /// Mutual exclusion lock with a non-poisoning `lock()`.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: u64,
+    inner: sync::Mutex<T>,
+}
 
 /// RAII guard for [`Mutex`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Display> std::fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex.
     pub fn new(value: T) -> Mutex<T> {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(debug_assertions)]
+            id: order::fresh_id(),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Create a new mutex whose name appears in lock-order diagnostics.
+    pub fn new_named(value: T, name: &str) -> Mutex<T> {
+        let m = Mutex::new(value);
+        #[cfg(debug_assertions)]
+        order::set_name(m.id, name);
+        let _ = name;
+        m
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, recovering from poison.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    fn guard<'a>(&self, inner: sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            #[cfg(debug_assertions)]
+            _token: order::push_held(self.id),
+            inner,
+        }
     }
 
-    /// Try to acquire the lock without blocking.
+    /// Acquire the lock, recovering from poison. In debug builds, panics
+    /// if the acquisition would close a lock-order cycle.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        order::check_before_acquire(self.id);
+        self.guard(self.inner.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Try to acquire the lock without blocking. Never deadlocks, so no
+    /// order check is made; the held stack is still maintained.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        match self.inner.try_lock() {
+            Ok(g) => Some(self.guard(g)),
+            Err(sync::TryLockError::Poisoned(p)) => Some(self.guard(p.into_inner())),
             Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire the lock, giving up after `timeout`. The bounded
+    /// wait is the backstop for deadlocks the order graph cannot see (for
+    /// example, cross-process ones): the caller gets `None` back instead
+    /// of hanging forever.
+    pub fn try_lock_for(&self, timeout: Duration) -> Option<MutexGuard<'_, T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(g) = self.try_lock() {
+                return Some(g);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(SPIN_INTERVAL);
         }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 /// Reader-writer lock with non-poisoning `read()`/`write()`.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    id: u64,
+    inner: sync::RwLock<T>,
+}
 
 /// RAII shared-read guard for [`RwLock`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
 /// RAII exclusive-write guard for [`RwLock`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Display> std::fmt::Display for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Display> std::fmt::Display for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     pub fn new(value: T) -> RwLock<T> {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(debug_assertions)]
+            id: order::fresh_id(),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Create a new lock whose name appears in lock-order diagnostics.
+    pub fn new_named(value: T, name: &str) -> RwLock<T> {
+        let l = RwLock::new(value);
+        #[cfg(debug_assertions)]
+        order::set_name(l.id, name);
+        let _ = name;
+        l
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquire a shared read guard, recovering from poison.
+    /// Acquire a shared read guard, recovering from poison. In debug
+    /// builds, panics if the acquisition would close a lock-order cycle.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|p| p.into_inner())
+        #[cfg(debug_assertions)]
+        order::check_before_acquire(self.id);
+        RwLockReadGuard {
+            #[cfg(debug_assertions)]
+            _token: order::push_held(self.id),
+            inner: self.inner.read().unwrap_or_else(|p| p.into_inner()),
+        }
     }
 
-    /// Acquire an exclusive write guard, recovering from poison.
+    /// Acquire an exclusive write guard, recovering from poison. In debug
+    /// builds, panics if the acquisition would close a lock-order cycle.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|p| p.into_inner())
+        #[cfg(debug_assertions)]
+        order::check_before_acquire(self.id);
+        RwLockWriteGuard {
+            #[cfg(debug_assertions)]
+            _token: order::push_held(self.id),
+            inner: self.inner.write().unwrap_or_else(|p| p.into_inner()),
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -113,5 +409,84 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn try_lock_for_times_out_then_succeeds() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock_for(Duration::from_millis(10)).is_none());
+        drop(g);
+        assert!(m.try_lock_for(Duration::from_millis(10)).is_some());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lock_order_cycle_panics_with_both_names() {
+        let a = Mutex::new_named(0, "ctx-store");
+        let b = Mutex::new_named(0, "job-queue");
+        {
+            // Establish ctx-store → job-queue.
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // The reverse order must panic (before blocking), naming both.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }))
+        .expect_err("reverse acquisition order must be rejected");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("lock-order cycle"), "unexpected: {msg}");
+        assert!(msg.contains("ctx-store"), "unexpected: {msg}");
+        assert!(msg.contains("job-queue"), "unexpected: {msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn consistent_order_is_fine() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn transitive_cycle_detected() {
+        let a = Mutex::new_named(0, "t-a");
+        let b = Mutex::new_named(0, "t-b");
+        let c = Mutex::new_named(0, "t-c");
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a → b
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock(); // b → c
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gc = c.lock();
+            let _ga = a.lock(); // c → a closes a → b → c → a
+        }))
+        .expect_err("transitive cycle must be rejected");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("t-c") && msg.contains("t-a"), "unexpected: {msg}");
+    }
+
+    #[test]
+    fn guards_deref_through_collections() {
+        let l = RwLock::new(std::collections::HashMap::new());
+        l.write().insert("k", 1);
+        assert_eq!(l.read().get("k"), Some(&1));
     }
 }
