@@ -5,7 +5,8 @@
 //! at the substrate level so regressions in the foundation are visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use portalws_bench::{payload, synthetic_schema};
+use portalws_bench::{payload, representative_envelope, synthetic_schema};
+use portalws_soap::Envelope;
 use portalws_xml::{Element, Schema};
 
 fn build_document(elements: usize) -> Element {
@@ -38,6 +39,20 @@ fn parse_and_serialize(c: &mut Criterion) {
             b.iter(|| d.to_pretty())
         });
     }
+    g.finish();
+}
+
+fn soap_envelope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("soap_envelope");
+    let env = representative_envelope();
+    let xml = env.to_xml();
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_with_input(BenchmarkId::new("parse", xml.len()), &xml, |b, s| {
+        b.iter(|| Envelope::parse(s).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("serialize", xml.len()), &env, |b, e| {
+        b.iter(|| e.to_xml())
+    });
     g.finish();
 }
 
@@ -88,6 +103,7 @@ fn path_queries(c: &mut Criterion) {
 criterion_group!(
     benches,
     parse_and_serialize,
+    soap_envelope,
     escaping,
     schema_validation,
     path_queries

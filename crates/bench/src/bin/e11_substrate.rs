@@ -1,0 +1,224 @@
+//! E11 — substrate throughput: the zero-copy XML substrate and per-worker
+//! buffer reuse, measured end to end.
+//!
+//! Two series:
+//!
+//! 1. **µs/envelope** — median parse and serialize time for the
+//!    representative SOAP envelope (a `submitXml` request with a SAML
+//!    header), the unit the whole SOAP hot path is built from.
+//! 2. **req/s vs worker count** — closed-loop load against a pooled TCP
+//!    server: one keep-alive client per server worker, each echoing the
+//!    representative job payload through a full SOAP round trip. Reuse
+//!    diagnostics (scratch growths, capacity high-water, escape/unescape
+//!    fast-path rates) come from the server's `WireStats`.
+//!
+//! ```sh
+//! cargo run -p portalws-bench --release --bin e11_substrate -- \
+//!     [--quick] [--json PATH] [--baseline PATH]
+//! ```
+//!
+//! `--json` writes the measurements as `BENCH_substrate.json`; `--baseline`
+//! compares parse µs/envelope against a committed baseline and exits
+//! nonzero on a >2× regression (the CI smoke gate).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use portalws_bench::{jobs_request, representative_envelope};
+use portalws_soap::{
+    CallContext, Envelope, Fault, MethodDesc, SoapClient, SoapResult, SoapServer, SoapService,
+    SoapType, SoapValue,
+};
+use portalws_wire::{Handler, HttpServer, PooledTransport};
+
+/// Echo service: one full envelope decode + encode per call, so the
+/// round trip is dominated by the substrate under measurement.
+struct EchoService;
+
+impl SoapService for EchoService {
+    fn name(&self) -> &str {
+        "Echo"
+    }
+
+    fn invoke(
+        &self,
+        method: &str,
+        args: &[(String, SoapValue)],
+        _ctx: &CallContext,
+    ) -> SoapResult<SoapValue> {
+        match method {
+            "echo" => Ok(args
+                .first()
+                .map(|(_, v)| v.clone())
+                .unwrap_or(SoapValue::Null)),
+            other => Err(Fault::client(format!("no method {other:?}"))),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodDesc> {
+        vec![MethodDesc::new(
+            "echo",
+            vec![("value", SoapType::Xml)],
+            SoapType::Xml,
+            "Echo the argument",
+        )]
+    }
+}
+
+/// Median wall time of `f` over `n` runs, in microseconds.
+fn median_us(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<Duration> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64() * 1e6
+}
+
+struct ThroughputRow {
+    workers: usize,
+    req_per_s: f64,
+    scratch_growths: u64,
+    scratch_high_water: u64,
+    escape_fast_path_rate: f64,
+    unescape_fast_path_rate: f64,
+}
+
+/// Closed-loop load: `workers` keep-alive clients against a server with
+/// `workers` worker threads, `per_client` echo calls each.
+fn throughput(workers: usize, per_client: usize) -> ThroughputRow {
+    let soap = SoapServer::new();
+    soap.mount(Arc::new(EchoService));
+    let handler: Arc<dyn Handler> = Arc::new(soap);
+    let server = HttpServer::start(handler, workers).expect("bind");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || {
+                let client = SoapClient::new(Arc::new(PooledTransport::new(addr)), "Echo");
+                let payload = SoapValue::Xml(jobs_request(4, 30, 2));
+                for _ in 0..per_client {
+                    client
+                        .call("echo", std::slice::from_ref(&payload))
+                        .expect("echo");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let snap = server.stats().snapshot();
+    let row = ThroughputRow {
+        workers,
+        req_per_s: (workers * per_client) as f64 / elapsed,
+        scratch_growths: snap.scratch_growths,
+        scratch_high_water: snap.scratch_high_water,
+        escape_fast_path_rate: snap.escape_fast_path_rate(),
+        unescape_fast_path_rate: snap.unescape_fast_path_rate(),
+    };
+    server.shutdown();
+    row
+}
+
+/// Pull the number after `"key":` out of a flat JSON document. Enough for
+/// the baseline file this binary writes itself.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let tail = doc.get(at..)?.trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail.get(..end)?.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = flag_value("--json");
+    let baseline_path = flag_value("--baseline");
+
+    let (micro_iters, per_client) = if quick { (300, 100) } else { (3000, 1500) };
+
+    // --- Series 1: µs/envelope for the representative envelope ----------
+    let env = representative_envelope();
+    let xml = env.to_xml();
+    let parse_us = median_us(micro_iters, || {
+        let parsed = Envelope::parse(&xml).expect("parse");
+        std::hint::black_box(parsed);
+    });
+    let serialize_us = median_us(micro_iters, || {
+        std::hint::black_box(env.to_xml());
+    });
+
+    println!("E11 — substrate throughput (envelope: {} bytes)", xml.len());
+    println!("  parse:     {parse_us:>8.2} µs/envelope");
+    println!("  serialize: {serialize_us:>8.2} µs/envelope");
+
+    // --- Series 2: closed-loop req/s vs worker count ---------------------
+    println!("\n  workers   req/s   scratch-growths   high-water   escape-fast   unescape-fast");
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let row = throughput(workers, per_client);
+        println!(
+            "  {:>7}   {:>7.0}   {:>15}   {:>10}   {:>10.3}   {:>12.3}",
+            row.workers,
+            row.req_per_s,
+            row.scratch_growths,
+            row.scratch_high_water,
+            row.escape_fast_path_rate,
+            row.unescape_fast_path_rate,
+        );
+        rows.push(row);
+    }
+
+    // --- JSON artifact ----------------------------------------------------
+    if let Some(path) = json_path {
+        let mut doc = String::new();
+        doc.push_str("{\n");
+        doc.push_str(&format!("  \"envelope_bytes\": {},\n", xml.len()));
+        doc.push_str(&format!("  \"parse_us\": {parse_us:.3},\n"));
+        doc.push_str(&format!("  \"serialize_us\": {serialize_us:.3},\n"));
+        doc.push_str("  \"throughput\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            doc.push_str(&format!(
+                "    {{\"workers\": {}, \"req_per_s\": {:.1}, \"scratch_growths\": {}, \"scratch_high_water\": {}, \"escape_fast_path_rate\": {:.4}, \"unescape_fast_path_rate\": {:.4}}}{}\n",
+                row.workers,
+                row.req_per_s,
+                row.scratch_growths,
+                row.scratch_high_water,
+                row.escape_fast_path_rate,
+                row.unescape_fast_path_rate,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        doc.push_str("  ]\n}\n");
+        std::fs::write(&path, doc).expect("write json");
+        println!("\nwrote {path}");
+    }
+
+    // --- Baseline gate ----------------------------------------------------
+    if let Some(path) = baseline_path {
+        let doc = std::fs::read_to_string(&path).expect("read baseline");
+        let base_parse = json_number(&doc, "parse_us").expect("baseline parse_us");
+        println!("baseline parse: {base_parse:.2} µs/envelope, current: {parse_us:.2} µs/envelope");
+        if parse_us > 2.0 * base_parse {
+            eprintln!(
+                "FAIL: parse-per-envelope regressed >2x ({parse_us:.2} µs vs baseline {base_parse:.2} µs)"
+            );
+            std::process::exit(1);
+        }
+        println!("baseline gate passed (threshold 2x)");
+    }
+}

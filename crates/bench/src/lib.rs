@@ -9,7 +9,33 @@
 use std::sync::Arc;
 
 use portalws_registry::{ContainerRegistry, ServiceEntry, UddiRegistry};
+use portalws_soap::{Envelope, SoapValue};
 use portalws_xml::{ComplexType, Element, ElementDecl, Schema, TypeDef};
+
+/// A representative SOAP request envelope for the E11 substrate
+/// experiment: a multi-job submission with a SAML-style assertion header —
+/// the shape every portal call pays to parse and serialize.
+pub fn representative_envelope() -> Envelope {
+    let jobs = SoapValue::Xml(jobs_request(4, 30, 2));
+    let notify = SoapValue::str("alice@GCE.ORG");
+    let priority = SoapValue::Int(5);
+    Envelope::request_named(
+        "JobSubmission",
+        "submitXml",
+        [
+            ("jobs", &jobs),
+            ("notify", &notify),
+            ("priority", &priority),
+        ],
+    )
+    .with_header(
+        Element::new("saml:Assertion")
+            .with_attr("xmlns:saml", "urn:oasis:saml")
+            .with_text_child("subject", "kerberos:alice@GCE.ORG")
+            .with_text_child("issuer", "auth.gce.org")
+            .with_text_child("signature", "9f8e7d6c5b4a39281706f5e4d3c2b1a0"),
+    )
+}
 
 /// Deterministic synthetic schema for E3: `leaves` simple elements spread
 /// over complex groups of `group_size`, nested `depth` levels.

@@ -207,8 +207,8 @@ impl<'s> Lexer<'s> {
                 self.bump();
             }
         }
-        let text = String::from_utf8_lossy(&self.src[start..self.pos.min(self.src.len())])
-            .into_owned();
+        let text =
+            String::from_utf8_lossy(&self.src[start..self.pos.min(self.src.len())]).into_owned();
         if self.pos < self.src.len() {
             self.bump();
             self.bump();
@@ -232,8 +232,8 @@ impl<'s> Lexer<'s> {
                 }
             }
         }
-        let content = String::from_utf8_lossy(&self.src[start..self.pos.min(self.src.len())])
-            .into_owned();
+        let content =
+            String::from_utf8_lossy(&self.src[start..self.pos.min(self.src.len())]).into_owned();
         self.bump(); // closing quote
         content
     }

@@ -34,9 +34,12 @@ pub const RULE_SIZE_CAP: &str = "size-cap";
 pub const RULE_BAD_ALLOW: &str = "bad-allow";
 
 /// Crates whose `src/` trees are server request paths (panic + size-cap
-/// rules apply).
+/// rules apply). `xml` joined when the zero-copy substrate landed: every
+/// envelope a server parses or serializes runs through it, so its hot
+/// loops are server path as much as the socket code is (the `xml::scan`
+/// helpers exist so those loops have a panic-free shape to use).
 pub const SERVER_CRATES: &[&str] = &[
-    "wire", "soap", "registry", "auth", "services", "appws", "portlets",
+    "wire", "soap", "xml", "registry", "auth", "services", "appws", "portlets",
 ];
 
 /// Integer literals below this bound never trigger `size-cap`; small
@@ -313,7 +316,10 @@ pub fn analyze_file(file: &str, source: &str, rules: FileRules) -> FileAnalysis 
                 continue;
             }
             let cmp_before = k >= 2
-                && matches!(tok(k - 1), Some(Tok::Punct('=')) | Some(Tok::Punct('<')) | Some(Tok::Punct('>')))
+                && matches!(
+                    tok(k - 1),
+                    Some(Tok::Punct('=')) | Some(Tok::Punct('<')) | Some(Tok::Punct('>'))
+                )
                 && matches!(tok(k - 2), Some(Tok::Punct('<')) | Some(Tok::Punct('>')))
                 || k >= 1 && matches!(tok(k - 1), Some(Tok::Punct('<')) | Some(Tok::Punct('>')));
             let cmp_after = matches!(tok(k + 1), Some(Tok::Punct('<')) | Some(Tok::Punct('>')));
@@ -378,7 +384,7 @@ pub fn analyze_file(file: &str, source: &str, rules: FileRules) -> FileAnalysis 
             reason: allow.map(|a| a.reason),
         });
     }
-    out.violations.sort_by(|a, b| a.line.cmp(&b.line));
+    out.violations.sort_by_key(|a| a.line);
     out.allows = allows;
     out
 }
@@ -513,8 +519,10 @@ fn invoke_match_arms(lexed: &Lexed, live: &[usize]) -> Vec<(u32, String)> {
                         ),
                         (Some(Tok::Punct('=')), Some(Tok::Punct('>')))
                     );
-                    let next_pipe =
-                        matches!(live.get(j + 1).map(|&i| &lexed.tokens[i].tok), Some(Tok::Punct('|')));
+                    let next_pipe = matches!(
+                        live.get(j + 1).map(|&i| &lexed.tokens[i].tok),
+                        Some(Tok::Punct('|'))
+                    );
                     if next_arrow || next_pipe {
                         out.push((lexed.tokens[live[j]].line, s.clone()));
                     }
@@ -720,17 +728,14 @@ mod tests {
     fn indexing_detected_array_literals_not() {
         let src = "fn f(v: &[u8]) -> u8 { let a = [1, 2]; let _ = vec![3]; v[0] + a[1] }";
         let a = analyze_file("f.rs", src, FileRules::all());
-        let idx: Vec<&Violation> = a
-            .violations
-            .iter()
-            .filter(|v| v.kind == "index")
-            .collect();
+        let idx: Vec<&Violation> = a.violations.iter().filter(|v| v.kind == "index").collect();
         assert_eq!(idx.len(), 2, "{:?}", a.violations);
     }
 
     #[test]
     fn size_cap_fires_on_magic_compare_only() {
-        let src = "const CAP: usize = 65536;\nfn f(n: usize) -> bool { n > 65536 && n < CAP && n > 3 }";
+        let src =
+            "const CAP: usize = 65536;\nfn f(n: usize) -> bool { n > 65536 && n < CAP && n > 3 }";
         let a = analyze_file("f.rs", src, FileRules::all());
         let caps: Vec<&Violation> = a
             .violations

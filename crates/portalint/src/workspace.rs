@@ -104,9 +104,7 @@ pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
             analysis.violations.extend(file_analysis.violations);
             analysis.locks.extend(file_analysis.locks);
             if !file_analysis.allows.is_empty() {
-                analysis
-                    .allows
-                    .insert(label.clone(), file_analysis.allows);
+                analysis.allows.insert(label.clone(), file_analysis.allows);
             }
             if label == "crates/wire/src/lib.rs" {
                 wire_lib = Some((label.clone(), source.clone()));

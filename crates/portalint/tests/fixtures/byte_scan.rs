@@ -1,0 +1,42 @@
+// The approved zero-copy byte-scan shapes from `xml::scan`: every slice
+// access goes through `get`/`split_at_checked`, so the panic rule has
+// nothing to flag even though these loops run on the hottest server path
+// (tokenizing and escaping every envelope). This fixture pins the shape:
+// if the rule ever starts firing on it, the zero-copy loops would need
+// blanket allows, which is exactly what the helpers exist to avoid.
+
+/// Byte offset of the first byte in `s[from..]` satisfying `pred`.
+pub fn find_byte(s: &str, from: usize, pred: impl Fn(u8) -> bool) -> Option<usize> {
+    let tail = s.as_bytes().get(from..)?;
+    tail.iter().position(|&b| pred(b)).map(|i| from + i)
+}
+
+/// Infallible split: clamps an out-of-range or non-boundary `mid`.
+pub fn split_at(s: &str, mid: usize) -> (&str, &str) {
+    s.split_at_checked(mid).unwrap_or((s, ""))
+}
+
+/// First byte plus the rest, when the first byte is ASCII.
+pub fn split_first_ascii(s: &str) -> Option<(u8, &str)> {
+    let b = *s.as_bytes().first()?;
+    if !b.is_ascii() {
+        return None;
+    }
+    Some((b, split_at(s, 1).1))
+}
+
+/// The escape-style consumer loop over those helpers: scan to the next
+/// special byte, copy the plain run, handle the special, repeat.
+pub fn consume(s: &str) -> usize {
+    let mut specials = 0usize;
+    let mut rest = s;
+    while let Some(at) = find_byte(rest, 0, |b| b == b'&' || b == b'<') {
+        let (_plain, tail) = split_at(rest, at);
+        let Some((_b, after)) = split_first_ascii(tail) else {
+            break;
+        };
+        specials += 1;
+        rest = after;
+    }
+    specials
+}

@@ -495,23 +495,23 @@ fn strs(args: &[(String, SoapValue)], n: usize) -> SoapResult<Vec<&str>> {
 }
 
 /// Exactly `N` string arguments, destructurable: `let [user] = strs_n(args)?`.
-fn strs_n<'a, const N: usize>(args: &'a [(String, SoapValue)]) -> SoapResult<[&'a str; N]> {
-    strs(args, N)?.try_into().map_err(|_| {
-        Fault::portal(PortalErrorKind::BadArguments, "argument arity mismatch")
-    })
+fn strs_n<const N: usize>(args: &[(String, SoapValue)]) -> SoapResult<[&str; N]> {
+    strs(args, N)?
+        .try_into()
+        .map_err(|_| Fault::portal(PortalErrorKind::BadArguments, "argument arity mismatch"))
 }
 
 /// The first `depth` string arguments as a context path plus exactly `N`
 /// trailing string arguments: `let (path, [key, value]) = path_args(args, depth)?`.
-fn path_args<'a, const N: usize>(
-    args: &'a [(String, SoapValue)],
+fn path_args<const N: usize>(
+    args: &[(String, SoapValue)],
     depth: usize,
-) -> SoapResult<(Vec<&'a str>, [&'a str; N])> {
+) -> SoapResult<(Vec<&str>, [&str; N])> {
     let mut path = strs(args, depth + N)?;
     let extras = path.split_off(depth);
-    let extras = extras.try_into().map_err(|_| {
-        Fault::portal(PortalErrorKind::BadArguments, "argument arity mismatch")
-    })?;
+    let extras = extras
+        .try_into()
+        .map_err(|_| Fault::portal(PortalErrorKind::BadArguments, "argument arity mismatch"))?;
     Ok((path, extras))
 }
 

@@ -172,7 +172,7 @@ impl SoapClient {
         if let Some(supplier) = self.header_supplier.read().clone() {
             envelope.headers.extend(supplier());
         }
-        let mut req = Request::post(self.path.clone(), envelope.to_xml())
+        let mut req = Request::post(self.path.clone(), crate::scratch::envelope_body(&envelope))
             .with_header("Content-Type", "text/xml; charset=utf-8")
             .with_header(
                 "SOAPAction",

@@ -6,7 +6,7 @@
 //! responses use `<METHODResponse>` with a single `<return>` child; faults
 //! use `<SOAP-ENV:Fault>`.
 
-use portalws_xml::{Element, XmlError};
+use portalws_xml::{Element, Node, XmlError};
 
 use crate::fault::Fault;
 use crate::value::SoapValue;
@@ -120,6 +120,10 @@ impl Envelope {
     }
 
     /// Serialize the full `<SOAP-ENV:Envelope>` document element.
+    ///
+    /// Clones the header and body trees into a new element; serialization
+    /// paths should prefer [`Envelope::write_xml_into`], which writes the
+    /// same bytes without the clone.
     pub fn to_element(&self) -> Element {
         let mut env = Element::new("SOAP-ENV:Envelope")
             .with_attr("xmlns:SOAP-ENV", SOAP_ENV_NS)
@@ -136,38 +140,101 @@ impl Envelope {
         env
     }
 
+    /// Serialize into an existing buffer (appends), writing the envelope
+    /// wrapper directly around the header/body trees — byte-identical to
+    /// `to_element().to_xml()` but with no tree clone and no intermediate
+    /// allocation. The SOAP hot path (server replies, client requests)
+    /// routes through this with reusable scratch buffers.
+    pub fn write_xml_into(&self, out: &mut String) {
+        out.push_str("<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"");
+        out.push_str(SOAP_ENV_NS);
+        out.push_str("\" xmlns:xsi=\"");
+        out.push_str(XSI_NS);
+        out.push_str("\" xmlns:xsd=\"");
+        out.push_str(XSD_NS);
+        out.push_str("\">");
+        if !self.headers.is_empty() {
+            out.push_str("<SOAP-ENV:Header>");
+            for h in &self.headers {
+                h.write_xml_into(out);
+            }
+            out.push_str("</SOAP-ENV:Header>");
+        }
+        out.push_str("<SOAP-ENV:Body>");
+        self.body.write_xml_into(out);
+        out.push_str("</SOAP-ENV:Body></SOAP-ENV:Envelope>");
+    }
+
     /// Serialize to XML text (the HTTP body).
     pub fn to_xml(&self) -> String {
-        self.to_element().to_xml()
+        let mut out = String::with_capacity(192 + self.body.subtree_size() * 24);
+        self.write_xml_into(&mut out);
+        out
     }
 
     /// Parse an envelope from XML text.
     pub fn parse(xml: &str) -> Result<Envelope, XmlError> {
-        let root = Element::parse(xml)?;
-        Self::from_element(&root)
+        Self::from_root(Element::parse(xml)?)
     }
 
     /// Parse an envelope from an already-parsed element.
     pub fn from_element(root: &Element) -> Result<Envelope, XmlError> {
+        Self::from_root(root.clone())
+    }
+
+    /// Build an envelope from the root element by value.
+    ///
+    /// The hot path: header and body subtrees are moved out of `root`
+    /// rather than deep-cloned, so parsing costs exactly one DOM build.
+    pub fn from_root(mut root: Element) -> Result<Envelope, XmlError> {
         if root.local_name() != "Envelope" {
             return Err(XmlError::Invalid(format!(
                 "expected SOAP Envelope, found {:?}",
                 root.local_name()
             )));
         }
-        let headers = root
-            .find("Header")
-            .map(|h| h.children().cloned().collect())
-            .unwrap_or_default();
-        let body_el = root
-            .find("Body")
-            .ok_or_else(|| XmlError::Invalid("envelope has no Body".into()))?;
-        let body = body_el
-            .children()
+        let mut headers: Option<Vec<Element>> = None;
+        let mut body: Option<Vec<Element>> = None;
+        for node in root.take_children() {
+            let Node::Element(mut el) = node else {
+                continue;
+            };
+            // First Header / first Body win, matching `Element::find`.
+            match el.local_name() {
+                "Header" if headers.is_none() => {
+                    headers = Some(
+                        el.take_children()
+                            .into_iter()
+                            .filter_map(|n| match n {
+                                Node::Element(e) => Some(e),
+                                _ => None,
+                            })
+                            .collect(),
+                    );
+                }
+                "Body" if body.is_none() => {
+                    body = Some(
+                        el.take_children()
+                            .into_iter()
+                            .filter_map(|n| match n {
+                                Node::Element(e) => Some(e),
+                                _ => None,
+                            })
+                            .collect(),
+                    );
+                }
+                _ => {}
+            }
+        }
+        let body = body
+            .ok_or_else(|| XmlError::Invalid("envelope has no Body".into()))?
+            .into_iter()
             .next()
-            .cloned()
             .ok_or_else(|| XmlError::Invalid("envelope Body is empty".into()))?;
-        Ok(Envelope { headers, body })
+        Ok(Envelope {
+            headers: headers.unwrap_or_default(),
+            body,
+        })
     }
 }
 
@@ -235,6 +302,21 @@ mod tests {
         let parsed = Envelope::parse(&env.to_xml()).unwrap();
         assert_eq!(parsed.headers.len(), 1);
         assert_eq!(parsed.header("Assertion"), Some(&assertion));
+    }
+
+    #[test]
+    fn write_into_matches_element_serialization() {
+        // The direct writer must stay byte-identical to the (cloning)
+        // to_element() path, with and without headers.
+        let with_headers = Envelope::request("Svc", "m", &[SoapValue::str("a & b")])
+            .with_header(Element::new("saml:Assertion").with_text_child("subject", "<alice>"));
+        let plain = Envelope::response("m", &SoapValue::Int(7));
+        for env in [with_headers, plain] {
+            let mut buf = String::new();
+            env.write_xml_into(&mut buf);
+            assert_eq!(buf, env.to_element().to_xml());
+            assert_eq!(env.to_xml(), buf);
+        }
     }
 
     #[test]

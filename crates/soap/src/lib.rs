@@ -22,6 +22,7 @@ pub mod base64;
 pub mod client;
 pub mod envelope;
 pub mod fault;
+pub(crate) mod scratch;
 pub mod server;
 pub mod value;
 

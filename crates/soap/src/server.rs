@@ -197,11 +197,7 @@ impl Handler for SoapServer {
             Ok(env) => env,
             Err(e) => {
                 let fault = Fault::client(format!("envelope parse failed: {e}"));
-                return Response {
-                    status: Status::InternalError,
-                    headers: vec![("Content-Type".into(), "text/xml; charset=utf-8".into())],
-                    body: Envelope::fault(&fault).to_xml().into_bytes(),
-                };
+                return xml_response(Status::InternalError, &Envelope::fault(&fault));
             }
         };
         let reply = self.dispatch(&service_name, &envelope);
@@ -211,11 +207,17 @@ impl Handler for SoapServer {
         } else {
             Status::Ok
         };
-        Response {
-            status,
-            headers: vec![("Content-Type".into(), "text/xml; charset=utf-8".into())],
-            body: reply.to_xml().into_bytes(),
-        }
+        xml_response(status, &reply)
+    }
+}
+
+/// Build the HTTP reply for an envelope, serializing through the worker
+/// thread's reusable scratch ([`crate::scratch`]).
+fn xml_response(status: Status, reply: &Envelope) -> Response {
+    Response {
+        status,
+        headers: vec![("Content-Type".into(), "text/xml; charset=utf-8".into())],
+        body: crate::scratch::envelope_body(reply),
     }
 }
 

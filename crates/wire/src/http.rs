@@ -123,24 +123,49 @@ impl Request {
         }
     }
 
-    /// Serialize to wire bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.body.len() + 128);
-        out.extend_from_slice(format!("{} {} HTTP/1.0\r\n", self.method, self.path).as_bytes());
+    /// Serialize into an existing buffer (appends; the caller owns
+    /// clearing). Writes header lines directly into `out` — no per-line
+    /// `String`s — so workers can reuse one scratch buffer across
+    /// keep-alive requests.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        // Writes to a Vec<u8> cannot fail.
+        let _ = write!(out, "{} {} HTTP/1.0\r\n", self.method, self.path);
         for (k, v) in &self.headers {
             if k.eq_ignore_ascii_case("content-length") {
                 continue; // always recomputed
             }
-            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+            let _ = write!(out, "{k}: {v}\r\n");
         }
-        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        let _ = write!(out, "Content-Length: {}\r\n\r\n", self.body.len());
         out.extend_from_slice(&self.body);
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.write_into(&mut out);
         out
     }
 
-    /// Read one request from a stream.
-    pub fn read_from(stream: impl Read) -> Result<Request> {
-        let mut reader = BufReader::new(stream);
+    /// Exact length of [`Request::to_bytes`] without serializing —
+    /// byte-accounting (and buffer pre-sizing) with no allocation.
+    pub fn wire_len(&self) -> usize {
+        let mut n = self.method.len() + 1 + self.path.len() + " HTTP/1.0\r\n".len();
+        for (k, v) in &self.headers {
+            if k.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            n += k.len() + 2 + v.len() + 2;
+        }
+        n + "Content-Length: ".len() + decimal_digits(self.body.len()) + 4 + self.body.len()
+    }
+
+    /// Read one request from an existing buffered reader. Keep-alive
+    /// serving uses this with one [`BufReader`] per connection, so the
+    /// read buffer (and any pipelined bytes it holds) survives across
+    /// requests.
+    pub fn read_from_buffered(reader: &mut impl BufRead) -> Result<Request> {
         let mut line = String::new();
         reader.read_line(&mut line)?;
         let mut parts = line.split_whitespace();
@@ -152,13 +177,18 @@ impl Request {
             .next()
             .ok_or_else(|| WireError::BadFrame("request line missing path".into()))?
             .to_owned();
-        let (headers, body) = read_headers_and_body(&mut reader)?;
+        let (headers, body) = read_headers_and_body(reader)?;
         Ok(Request {
             method,
             path,
             headers,
             body,
         })
+    }
+
+    /// Read one request from a stream.
+    pub fn read_from(stream: impl Read) -> Result<Request> {
+        Request::read_from_buffered(&mut BufReader::new(stream))
     }
 }
 
@@ -218,31 +248,56 @@ impl Response {
         String::from_utf8_lossy(&self.body).into_owned()
     }
 
-    /// Serialize to wire bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.body.len() + 128);
-        out.extend_from_slice(
-            format!(
-                "HTTP/1.0 {} {}\r\n",
-                self.status.code(),
-                self.status.reason()
-            )
-            .as_bytes(),
+    /// Serialize into an existing buffer (appends; the caller owns
+    /// clearing). The server's per-worker response scratch routes through
+    /// this so a warm keep-alive connection serializes with zero
+    /// allocations.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        // Writes to a Vec<u8> cannot fail.
+        let _ = write!(
+            out,
+            "HTTP/1.0 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
         );
         for (k, v) in &self.headers {
             if k.eq_ignore_ascii_case("content-length") {
                 continue;
             }
-            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+            let _ = write!(out, "{k}: {v}\r\n");
         }
-        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        let _ = write!(out, "Content-Length: {}\r\n\r\n", self.body.len());
         out.extend_from_slice(&self.body);
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.write_into(&mut out);
         out
     }
 
-    /// Read one response from a stream.
-    pub fn read_from(stream: impl Read) -> Result<Response> {
-        let mut reader = BufReader::new(stream);
+    /// Exact length of [`Response::to_bytes`] without serializing.
+    pub fn wire_len(&self) -> usize {
+        let mut n = "HTTP/1.0 ".len()
+            + decimal_digits(self.status.code() as usize)
+            + 1
+            + self.status.reason().len()
+            + 2;
+        for (k, v) in &self.headers {
+            if k.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            n += k.len() + 2 + v.len() + 2;
+        }
+        n + "Content-Length: ".len() + decimal_digits(self.body.len()) + 4 + self.body.len()
+    }
+
+    /// Read one response from an existing buffered reader (the form for
+    /// connections carrying several responses: a fresh `BufReader` per
+    /// response could read ahead and drop the next frame's bytes).
+    pub fn read_from_buffered(reader: &mut impl BufRead) -> Result<Response> {
         let mut line = String::new();
         reader.read_line(&mut line)?;
         let mut parts = line.split_whitespace();
@@ -253,12 +308,17 @@ impl Response {
             .next()
             .and_then(|c| c.parse().ok())
             .ok_or_else(|| WireError::BadFrame("status line missing code".into()))?;
-        let (headers, body) = read_headers_and_body(&mut reader)?;
+        let (headers, body) = read_headers_and_body(reader)?;
         Ok(Response {
             status: Status::from_code(code),
             headers,
             body,
         })
+    }
+
+    /// Read one response from a stream.
+    pub fn read_from(stream: impl Read) -> Result<Response> {
+        Response::read_from_buffered(&mut BufReader::new(stream))
     }
 
     /// Write serialized bytes to a stream.
@@ -267,6 +327,11 @@ impl Response {
         stream.flush()?;
         Ok(())
     }
+}
+
+/// Number of decimal digits in `n` (1 for 0).
+fn decimal_digits(n: usize) -> usize {
+    n.checked_ilog10().map_or(1, |d| d as usize + 1)
 }
 
 fn header_lookup<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
@@ -506,6 +571,55 @@ mod tests {
     }
 
     #[test]
+    fn wire_len_matches_serialization_exactly() {
+        let cases = [
+            Request::get("/wsdl?svc=jobsub"),
+            Request::post("/soap/jobsub", "<x/>").with_header("X-Session", "abc"),
+            Request::post("/p", vec![0u8; 1000]).with_header("Content-Length", "999"),
+            Request::post("/p", Vec::new()),
+        ];
+        for req in cases {
+            assert_eq!(req.wire_len(), req.to_bytes().len(), "{req:?}");
+        }
+        let responses = [
+            Response::xml("<ok/>").with_header("X-Trace", "1"),
+            Response::error(Status::NotFound, "no route"),
+            Response::ok("text/plain", vec![7u8; 12345]),
+        ];
+        for resp in responses {
+            assert_eq!(resp.wire_len(), resp.to_bytes().len(), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn write_into_appends() {
+        let req = Request::post("/a", "body").with_header("K", "v");
+        let mut buf = b"prefix".to_vec();
+        req.write_into(&mut buf);
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(&buf[6..], &req.to_bytes()[..]);
+
+        let resp = Response::xml("<r/>");
+        let mut buf = Vec::new();
+        resp.write_into(&mut buf);
+        buf.clear();
+        resp.write_into(&mut buf); // reuse after clear: same bytes
+        assert_eq!(buf, resp.to_bytes());
+    }
+
+    #[test]
+    fn buffered_reader_survives_pipelined_requests() {
+        let mut bytes = Request::post("/one", "1").to_bytes();
+        bytes.extend_from_slice(&Request::post("/two", "22").to_bytes());
+        let mut reader = BufReader::new(&bytes[..]);
+        let first = Request::read_from_buffered(&mut reader).unwrap();
+        let second = Request::read_from_buffered(&mut reader).unwrap();
+        assert_eq!(first.path, "/one");
+        assert_eq!(second.path, "/two");
+        assert_eq!(second.body_str(), "22");
+    }
+
+    #[test]
     fn truncated_response_is_error() {
         let resp = Response::xml("<ok>payload</ok>");
         let bytes = resp.to_bytes();
@@ -534,6 +648,7 @@ mod tests {
                     // on write so equality is exact.
                     req.headers.push((k.clone(), v.trim().to_owned()));
                 }
+                prop_assert_eq!(req.wire_len(), req.to_bytes().len());
                 let parsed = Request::read_from(&req.to_bytes()[..]).unwrap();
                 prop_assert_eq!(parsed.method, req.method);
                 prop_assert_eq!(parsed.path, req.path);

@@ -181,8 +181,12 @@ impl HttpServer {
                 let stats = Arc::clone(&stats);
                 let shutdown = Arc::clone(&shutdown);
                 std::thread::spawn(move || {
+                    // Per-worker scratch: the response serialize buffer
+                    // lives as long as the worker and is reused across
+                    // every connection (and keep-alive request) it serves.
+                    let mut scratch = WorkerScratch::default();
                     while let Ok(stream) = rx.recv() {
-                        serve_one(&*handler, stream, &stats, &shutdown);
+                        serve_one(&*handler, stream, &stats, &shutdown, &mut scratch);
                         if shutdown.load(Ordering::SeqCst) {
                             break;
                         }
@@ -201,20 +205,44 @@ impl HttpServer {
     }
 }
 
+/// Per-worker reusable buffers. Workers are fixed threads, so the scratch
+/// warms up once and every later request on the worker serializes into
+/// already-sized memory; [`WireStats`] records growths and the capacity
+/// high-water mark so experiments can verify the steady state.
+#[derive(Default)]
+struct WorkerScratch {
+    /// Response serialize buffer, cleared (capacity kept) per request.
+    out: Vec<u8>,
+}
+
 /// Serve one connection: a single HTTP/1.0 exchange by default, or a
 /// sequence of exchanges when the client sends `Connection: keep-alive`
 /// (the ablation that shows what the 2002 per-call-connection regime
 /// cost). Idle keep-alive waits poll the shutdown flag so the server can
-/// always join its workers.
-fn serve_one(handler: &dyn Handler, stream: TcpStream, stats: &WireStats, shutdown: &AtomicBool) {
+/// always join its workers. One [`std::io::BufReader`] is created per
+/// connection (not per request) and responses are serialized into the
+/// worker's reusable scratch.
+fn serve_one(
+    handler: &dyn Handler,
+    stream: TcpStream,
+    stats: &WireStats,
+    shutdown: &AtomicBool,
+    scratch: &mut WorkerScratch,
+) {
     let Ok(mut out) = stream.try_clone() else {
         return;
     };
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
     let mut first = true;
     loop {
         // Wait for the next request without consuming bytes, so a timeout
-        // never corrupts a partially-read frame.
-        if !first {
+        // never corrupts a partially-read frame. Skip the wait when the
+        // connection reader already buffered pipelined bytes: peeking the
+        // socket would block even though a request is waiting in memory.
+        if !first && reader.buffer().is_empty() {
             if stream
                 .set_read_timeout(Some(std::time::Duration::from_millis(100)))
                 .is_err()
@@ -243,7 +271,7 @@ fn serve_one(handler: &dyn Handler, stream: TcpStream, stats: &WireStats, shutdo
                 return;
             }
         }
-        let req = match Request::read_from(&stream) {
+        let req = match Request::read_from_buffered(&mut reader) {
             Ok(req) => req,
             Err(_) => {
                 // Shutdown poke or garbage: count nothing, close quietly.
@@ -255,12 +283,17 @@ fn serve_one(handler: &dyn Handler, stream: TcpStream, stats: &WireStats, shutdo
             .header("Connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
         let resp = handler.handle(&req);
-        let req_len = req.to_bytes().len();
-        let resp_bytes = resp.to_bytes();
-        stats.record_exchange(resp_bytes.len(), req_len);
+        scratch.out.clear();
+        let cap_before = scratch.out.capacity();
+        resp.write_into(&mut scratch.out);
+        if scratch.out.capacity() > cap_before {
+            stats.record_scratch_growth();
+        }
+        stats.record_scratch_high_water(scratch.out.capacity() as u64);
+        stats.record_exchange(scratch.out.len(), req.wire_len());
         {
             use std::io::Write;
-            if out.write_all(&resp_bytes).is_err() || out.flush().is_err() {
+            if out.write_all(&scratch.out).is_err() || out.flush().is_err() {
                 return;
             }
         }
@@ -339,6 +372,55 @@ mod tests {
             }
         });
         assert_eq!(server.stats().snapshot().requests, 16);
+    }
+
+    #[test]
+    fn keep_alive_scratch_grows_exactly_once() {
+        // One worker, one keep-alive connection, N identical-size
+        // exchanges: the worker's serialize scratch must grow on the first
+        // response and then be reused untouched for every later one.
+        let server = HttpServer::start(echo_handler(), 1).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let n = 16;
+        for _ in 0..n {
+            let req =
+                Request::post("/x", "fixed-size-payload").with_header("Connection", "keep-alive");
+            conn.write_all(&req.to_bytes()).unwrap();
+            let resp = Response::read_from(&conn).unwrap();
+            assert_eq!(resp.body_str(), "fixed-size-payload");
+        }
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.requests, n);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.scratch_growths, 1, "snapshot: {snap:?}");
+        // The high-water mark covers at least one serialized response.
+        let resp_len = Response::ok("text/plain", "fixed-size-payload").wire_len() as u64;
+        assert!(snap.scratch_high_water >= resp_len, "snapshot: {snap:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_keep_alive_requests_both_served() {
+        // Two requests written back-to-back before any response is read:
+        // the second lands in the connection reader's buffer, and the
+        // keep-alive wait must notice it instead of peeking the socket.
+        let server = HttpServer::start(echo_handler(), 1).unwrap();
+        let conn = TcpStream::connect(server.addr()).unwrap();
+        let mut burst = Vec::new();
+        Request::post("/x", "first")
+            .with_header("Connection", "keep-alive")
+            .write_into(&mut burst);
+        Request::post("/x", "second")
+            .with_header("Connection", "keep-alive")
+            .write_into(&mut burst);
+        (&conn).write_all(&burst).unwrap();
+        let mut reader = std::io::BufReader::new(&conn);
+        let r1 = Response::read_from_buffered(&mut reader).unwrap();
+        let r2 = Response::read_from_buffered(&mut reader).unwrap();
+        assert_eq!(r1.body_str(), "first");
+        assert_eq!(r2.body_str(), "second");
+        assert_eq!(server.stats().snapshot().requests, 2);
+        server.shutdown();
     }
 
     #[test]

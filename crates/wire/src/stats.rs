@@ -1,16 +1,26 @@
 //! Atomic wire-level counters.
 //!
 //! The experiments (E1 latency breakdown, E5 byte amplification, E6 round
-//! trips) need to report not just time but *message traffic*. Both
-//! transports and the server update a shared [`WireStats`]; the harness
-//! reads a [`StatsSnapshot`] before and after a workload and diffs.
+//! trips, E11 substrate throughput) need to report not just time but
+//! *message traffic* and *allocation behavior*. Both transports and the
+//! server update a shared [`WireStats`]; the harness reads a
+//! [`StatsSnapshot`] before and after a workload and diffs.
+//!
+//! Beyond the per-instance wire counters, a snapshot also surfaces the XML
+//! substrate's escape/unescape fast-path counters
+//! ([`portalws_xml::stats`]). Those are process-global; each [`WireStats`]
+//! baselines them at construction (and again on [`WireStats::reset`]) so a
+//! snapshot reports activity since this instance started counting, and
+//! `since()` diffs scope them to a workload like every other counter.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use portalws_xml::stats as xml_stats;
 
 /// Shared, lock-free wire counters. All methods use relaxed ordering: the
 /// counters are statistics, not synchronization (per the atomics guidance:
 /// use the weakest ordering that is correct for the purpose).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WireStats {
     requests: AtomicU64,
     connections: AtomicU64,
@@ -22,12 +32,44 @@ pub struct WireStats {
     pool_evictions: AtomicU64,
     retries: AtomicU64,
     timeouts: AtomicU64,
+    scratch_growths: AtomicU64,
+    scratch_high_water: AtomicU64,
+    // Baseline of the process-global substrate counters, captured at
+    // construction/reset so snapshots report deltas, not process history.
+    base_escape_borrowed: AtomicU64,
+    base_escape_owned: AtomicU64,
+    base_unescape_borrowed: AtomicU64,
+    base_unescape_owned: AtomicU64,
+}
+
+impl Default for WireStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl WireStats {
-    /// New zeroed counters.
+    /// New zeroed counters, baselining the substrate counters at now.
     pub fn new() -> Self {
-        Self::default()
+        let base = xml_stats::snapshot();
+        WireStats {
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            pool_reuse_hits: AtomicU64::new(0),
+            pool_reuse_misses: AtomicU64::new(0),
+            pool_evictions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            scratch_growths: AtomicU64::new(0),
+            scratch_high_water: AtomicU64::new(0),
+            base_escape_borrowed: AtomicU64::new(base.escape_borrowed),
+            base_escape_owned: AtomicU64::new(base.escape_owned),
+            base_unescape_borrowed: AtomicU64::new(base.unescape_borrowed),
+            base_unescape_owned: AtomicU64::new(base.unescape_owned),
+        }
     }
 
     /// Record one request/response exchange with its byte sizes.
@@ -75,8 +117,23 @@ impl WireStats {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one growth (reallocation) of a worker's reusable serialize
+    /// scratch. On a warm keep-alive connection this stays flat: the buffer
+    /// reaches its high-water size once and every later response reuses it.
+    pub fn record_scratch_growth(&self) {
+        self.scratch_growths.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the current capacity of a worker's serialize scratch; the
+    /// snapshot keeps the maximum seen across all workers.
+    pub fn record_scratch_high_water(&self, capacity: u64) {
+        self.scratch_high_water
+            .fetch_max(capacity, Ordering::Relaxed);
+    }
+
     /// Read all counters at once.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let xml = xml_stats::snapshot();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
@@ -88,10 +145,24 @@ impl WireStats {
             pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            scratch_growths: self.scratch_growths.load(Ordering::Relaxed),
+            scratch_high_water: self.scratch_high_water.load(Ordering::Relaxed),
+            escape_borrowed: xml
+                .escape_borrowed
+                .wrapping_sub(self.base_escape_borrowed.load(Ordering::Relaxed)),
+            escape_owned: xml
+                .escape_owned
+                .wrapping_sub(self.base_escape_owned.load(Ordering::Relaxed)),
+            unescape_borrowed: xml
+                .unescape_borrowed
+                .wrapping_sub(self.base_unescape_borrowed.load(Ordering::Relaxed)),
+            unescape_owned: xml
+                .unescape_owned
+                .wrapping_sub(self.base_unescape_owned.load(Ordering::Relaxed)),
         }
     }
 
-    /// Reset all counters to zero.
+    /// Reset all counters to zero and re-baseline the substrate counters.
     pub fn reset(&self) {
         self.requests.store(0, Ordering::Relaxed);
         self.connections.store(0, Ordering::Relaxed);
@@ -103,6 +174,17 @@ impl WireStats {
         self.pool_evictions.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.timeouts.store(0, Ordering::Relaxed);
+        self.scratch_growths.store(0, Ordering::Relaxed);
+        self.scratch_high_water.store(0, Ordering::Relaxed);
+        let base = xml_stats::snapshot();
+        self.base_escape_borrowed
+            .store(base.escape_borrowed, Ordering::Relaxed);
+        self.base_escape_owned
+            .store(base.escape_owned, Ordering::Relaxed);
+        self.base_unescape_borrowed
+            .store(base.unescape_borrowed, Ordering::Relaxed);
+        self.base_unescape_owned
+            .store(base.unescape_owned, Ordering::Relaxed);
     }
 }
 
@@ -129,10 +211,25 @@ pub struct StatsSnapshot {
     pub retries: u64,
     /// Calls abandoned at their deadline.
     pub timeouts: u64,
+    /// Worker serialize-scratch reallocations (growths). Flat after warmup.
+    pub scratch_growths: u64,
+    /// Largest worker serialize-scratch capacity seen (bytes).
+    pub scratch_high_water: u64,
+    /// `escape_text`/`escape_attr` calls that borrowed (no allocation).
+    pub escape_borrowed: u64,
+    /// Escape calls that had to allocate an escaped copy.
+    pub escape_owned: u64,
+    /// `unescape` calls that borrowed (no allocation).
+    pub unescape_borrowed: u64,
+    /// Unescape calls that had to allocate a resolved copy.
+    pub unescape_owned: u64,
 }
 
 impl StatsSnapshot {
     /// Difference since an earlier snapshot (`self - earlier`).
+    ///
+    /// `scratch_high_water` is a maximum, not a monotone sum, so the later
+    /// snapshot's value carries over unchanged.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             requests: self.requests - earlier.requests,
@@ -145,12 +242,38 @@ impl StatsSnapshot {
             pool_evictions: self.pool_evictions - earlier.pool_evictions,
             retries: self.retries - earlier.retries,
             timeouts: self.timeouts - earlier.timeouts,
+            scratch_growths: self.scratch_growths - earlier.scratch_growths,
+            scratch_high_water: self.scratch_high_water,
+            escape_borrowed: self.escape_borrowed - earlier.escape_borrowed,
+            escape_owned: self.escape_owned - earlier.escape_owned,
+            unescape_borrowed: self.unescape_borrowed - earlier.unescape_borrowed,
+            unescape_owned: self.unescape_owned - earlier.unescape_owned,
         }
     }
 
     /// Total traffic in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.bytes_sent + self.bytes_received
+    }
+
+    /// Fraction of escape calls that avoided allocating, in `[0, 1]`.
+    /// Returns 1.0 when no escapes ran (nothing allocated).
+    pub fn escape_fast_path_rate(&self) -> f64 {
+        fast_path_rate(self.escape_borrowed, self.escape_owned)
+    }
+
+    /// Fraction of unescape calls that avoided allocating, in `[0, 1]`.
+    pub fn unescape_fast_path_rate(&self) -> f64 {
+        fast_path_rate(self.unescape_borrowed, self.unescape_owned)
+    }
+}
+
+fn fast_path_rate(borrowed: u64, owned: u64) -> f64 {
+    let total = borrowed + owned;
+    if total == 0 {
+        1.0
+    } else {
+        borrowed as f64 / total as f64
     }
 }
 
@@ -194,7 +317,19 @@ mod tests {
         s.record_pool_reuse_hit();
         assert_eq!(s.snapshot().since(&before).pool_reuse_hits, 1);
         s.reset();
-        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
+    }
+
+    /// Mask the substrate fields, which mirror process-global counters
+    /// that other (parallel) tests may bump between reset and snapshot.
+    fn wire_only(snap: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            escape_borrowed: 0,
+            escape_owned: 0,
+            unescape_borrowed: 0,
+            unescape_owned: 0,
+            ..snap
+        }
     }
 
     #[test]
@@ -212,8 +347,46 @@ mod tests {
     fn reset_zeroes() {
         let s = WireStats::new();
         s.record_exchange(1, 1);
+        s.record_scratch_growth();
+        s.record_scratch_high_water(512);
         s.reset();
-        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn scratch_counters_track_growth_and_high_water() {
+        let s = WireStats::new();
+        s.record_scratch_growth();
+        s.record_scratch_high_water(4096);
+        s.record_scratch_high_water(1024); // lower watermark: ignored
+        let snap = s.snapshot();
+        assert_eq!(snap.scratch_growths, 1);
+        assert_eq!(snap.scratch_high_water, 4096);
+        let before = snap;
+        s.record_scratch_high_water(8192);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.scratch_growths, 0);
+        // A high-water mark is not a sum; the later value carries over.
+        assert_eq!(delta.scratch_high_water, 8192);
+    }
+
+    #[test]
+    fn substrate_counters_baselined_and_diffed() {
+        let s = WireStats::new();
+        let before = s.snapshot();
+        let _ = portalws_xml::escape::escape_text("plain text");
+        let _ = portalws_xml::escape::escape_text("a < b");
+        let _ = portalws_xml::escape::unescape("no entities");
+        // Lower bounds only: the counters are process-global and other
+        // tests in this binary may run concurrently.
+        let delta = s.snapshot().since(&before);
+        assert!(delta.escape_borrowed >= 1, "{delta:?}");
+        assert!(delta.escape_owned >= 1, "{delta:?}");
+        assert!(delta.unescape_borrowed >= 1, "{delta:?}");
+        let rate = delta.escape_fast_path_rate();
+        assert!(rate > 0.0 && rate < 1.0, "rate={rate}");
+        assert_eq!(StatsSnapshot::default().escape_fast_path_rate(), 1.0);
+        assert_eq!(StatsSnapshot::default().unescape_fast_path_rate(), 1.0);
     }
 
     #[test]

@@ -254,6 +254,12 @@ impl Element {
         writer::write_compact(self)
     }
 
+    /// Serialize compactly into an existing buffer — the allocation-free
+    /// form the SOAP hot path uses with per-worker scratch buffers.
+    pub fn write_xml_into(&self, out: &mut String) {
+        writer::write_compact_into(self, out);
+    }
+
     /// Serialize with two-space indentation.
     pub fn to_pretty(&self) -> String {
         writer::write_pretty(self, 2)
@@ -278,32 +284,34 @@ impl Element {
         let mut stack: Vec<Element> = Vec::new();
         let mut root: Option<Element> = None;
         loop {
-            let pos = tok.pos();
+            // The hot path records only the byte offset; line/col is
+            // recovered lazily when an error is actually constructed.
+            let at = tok.offset();
             let Some(ev) = tok.next_event()? else { break };
             match ev {
                 Event::Decl(_) | Event::Doctype(_) | Event::Pi { .. } => {}
                 Event::Comment(c) => {
                     if let Some(top) = stack.last_mut() {
-                        top.children.push(Node::Comment(c));
+                        top.children.push(Node::Comment(c.into_owned()));
                     }
                 }
                 Event::Text(t) => {
                     if let Some(top) = stack.last_mut() {
                         if !t.trim().is_empty() {
-                            top.children.push(Node::Text(t));
+                            top.children.push(Node::Text(t.into_owned()));
                         }
                     } else if !t.trim().is_empty() {
                         return Err(XmlError::Syntax {
-                            pos,
+                            pos: tok.pos_at(at),
                             msg: "text outside root element".into(),
                         });
                     }
                 }
                 Event::CData(t) => match stack.last_mut() {
-                    Some(top) => top.children.push(Node::CData(t)),
+                    Some(top) => top.children.push(Node::CData(t.into_owned())),
                     None => {
                         return Err(XmlError::Syntax {
-                            pos,
+                            pos: tok.pos_at(at),
                             msg: "CDATA outside root element".into(),
                         })
                     }
@@ -315,13 +323,16 @@ impl Element {
                 } => {
                     if root.is_some() && stack.is_empty() {
                         return Err(XmlError::Syntax {
-                            pos,
+                            pos: tok.pos_at(at),
                             msg: "multiple root elements".into(),
                         });
                     }
                     let el = Element {
-                        name,
-                        attrs,
+                        name: name.into_owned(),
+                        attrs: attrs
+                            .into_iter()
+                            .map(|(k, v)| (k.into_owned(), v.into_owned()))
+                            .collect(),
                         children: Vec::new(),
                     };
                     if self_closing {
@@ -336,15 +347,15 @@ impl Element {
                 Event::EndTag { name } => {
                     let Some(el) = stack.pop() else {
                         return Err(XmlError::Syntax {
-                            pos,
+                            pos: tok.pos_at(at),
                             msg: format!("unmatched close tag </{name}>"),
                         });
                     };
                     if el.name != name {
                         return Err(XmlError::MismatchedTag {
-                            pos,
+                            pos: tok.pos_at(at),
                             open: el.name,
-                            close: name,
+                            close: name.into_owned(),
                         });
                     }
                     match stack.last_mut() {

@@ -1,86 +1,151 @@
-//! Pull tokenizer: turns XML text into a stream of [`Event`]s.
+//! Pull tokenizer: turns XML text into a stream of borrowed [`Event`]s.
 //!
 //! The tokenizer is deliberately a single forward pass with no lookahead
 //! buffer: SOAP envelopes arrive as one contiguous string from the wire
 //! layer, and a single scan keeps the cost of the "XML tax" (experiments
-//! E1/E5) honest and measurable.
+//! E1/E5/E11) honest and measurable.
+//!
+//! Events borrow from the source — names, attribute values, text, and
+//! CDATA are [`Cow::Borrowed`] slices unless entity resolution forces an
+//! allocation. Line/column positions are *lazy*: the hot path tracks only
+//! a byte offset, and [`Tokenizer::pos_at`] scans the prefix to recover
+//! line/col only when an error is being constructed.
+
+use std::borrow::Cow;
 
 use crate::escape::unescape;
+use crate::scan;
 use crate::{Pos, Result, XmlError};
 
-/// One lexical event in the document.
+/// One lexical event in the document, borrowing from the source text.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Event {
+pub enum Event<'a> {
     /// XML declaration `<?xml version="1.0"?>` (content unparsed).
-    Decl(String),
+    Decl(Cow<'a, str>),
     /// Start of an element. `self_closing` is true for `<a/>`.
     StartTag {
-        name: String,
-        attrs: Vec<(String, String)>,
+        name: Cow<'a, str>,
+        attrs: Vec<(Cow<'a, str>, Cow<'a, str>)>,
         self_closing: bool,
     },
     /// End of an element `</a>`.
-    EndTag { name: String },
+    EndTag { name: Cow<'a, str> },
     /// Character data between tags, entities already resolved.
-    Text(String),
+    Text(Cow<'a, str>),
     /// CDATA section contents (not entity-processed, per the spec).
-    CData(String),
+    CData(Cow<'a, str>),
     /// Comment contents.
-    Comment(String),
+    Comment(Cow<'a, str>),
     /// Processing instruction other than the XML declaration.
-    Pi { target: String, data: String },
+    Pi {
+        target: Cow<'a, str>,
+        data: Cow<'a, str>,
+    },
     /// DOCTYPE declaration, skipped and reported verbatim.
-    Doctype(String),
+    Doctype(Cow<'a, str>),
+}
+
+impl Event<'_> {
+    /// Detach the event from the source buffer.
+    ///
+    /// Holders of a borrowed `Event` may not outlive the source string the
+    /// tokenizer was built over; `into_owned` is the escape hatch for the
+    /// rare consumer that must keep one (see DESIGN.md "substrate
+    /// performance" for the ownership rules).
+    pub fn into_owned(self) -> Event<'static> {
+        fn own(c: Cow<'_, str>) -> Cow<'static, str> {
+            Cow::Owned(c.into_owned())
+        }
+        match self {
+            Event::Decl(d) => Event::Decl(own(d)),
+            Event::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => Event::StartTag {
+                name: own(name),
+                attrs: attrs.into_iter().map(|(k, v)| (own(k), own(v))).collect(),
+                self_closing,
+            },
+            Event::EndTag { name } => Event::EndTag { name: own(name) },
+            Event::Text(t) => Event::Text(own(t)),
+            Event::CData(t) => Event::CData(own(t)),
+            Event::Comment(c) => Event::Comment(own(c)),
+            Event::Pi { target, data } => Event::Pi {
+                target: own(target),
+                data: own(data),
+            },
+            Event::Doctype(d) => Event::Doctype(own(d)),
+        }
+    }
 }
 
 /// Forward-only tokenizer over a source string.
 pub struct Tokenizer<'a> {
     src: &'a str,
-    /// Current byte offset into `src`.
+    /// Current byte offset into `src` — the only position state the hot
+    /// path maintains.
     off: usize,
-    line: u32,
-    col: u32,
 }
 
 impl<'a> Tokenizer<'a> {
     /// Create a tokenizer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Tokenizer {
-            src,
-            off: 0,
-            line: 1,
-            col: 1,
+        Tokenizer { src, off: 0 }
+    }
+
+    /// Current byte offset (cheap; record this on the hot path and convert
+    /// with [`Tokenizer::pos_at`] only when building an error).
+    pub fn offset(&self) -> usize {
+        self.off
+    }
+
+    /// Line/column of byte offset `off`, computed by scanning the prefix.
+    ///
+    /// O(off) — intended for error construction only, never per event.
+    pub fn pos_at(&self, off: usize) -> Pos {
+        let prefix = self
+            .src
+            .as_bytes()
+            .get(..off)
+            .unwrap_or(self.src.as_bytes());
+        let mut line = 1u32;
+        let mut line_start = 0usize;
+        for (i, &b) in prefix.iter().enumerate() {
+            if b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        Pos {
+            line,
+            col: (prefix.len() - line_start) as u32 + 1,
         }
     }
 
-    /// Current source position (for error reporting).
+    /// Current source position (for error reporting; O(offset), see
+    /// [`Tokenizer::pos_at`]).
     pub fn pos(&self) -> Pos {
-        Pos {
-            line: self.line,
-            col: self.col,
-        }
+        self.pos_at(self.off)
     }
 
     fn rest(&self) -> &'a str {
-        &self.src[self.off..]
+        self.src.get(self.off..).unwrap_or("")
     }
 
     fn eof(&self) -> bool {
         self.off >= self.src.len()
     }
 
-    /// Advance past `n` bytes, maintaining line/column counters.
+    /// Source bytes `start..end`, clamped (panic-free).
+    fn span(&self, start: usize, end: usize) -> &'a str {
+        self.src.get(start..end).unwrap_or("")
+    }
+
+    /// Advance past `n` bytes. No per-byte bookkeeping — positions are
+    /// recovered lazily from the offset on error paths.
     fn advance(&mut self, n: usize) {
-        let chunk = &self.src[self.off..self.off + n];
-        for b in chunk.bytes() {
-            if b == b'\n' {
-                self.line += 1;
-                self.col = 1;
-            } else {
-                self.col += 1;
-            }
-        }
-        self.off += n;
+        self.off = self.off.saturating_add(n).min(self.src.len());
     }
 
     fn err(&self, msg: impl Into<String>) -> XmlError {
@@ -96,9 +161,10 @@ impl<'a> Tokenizer<'a> {
 
     /// Consume up to and including `needle`, returning the text before it.
     fn take_until(&mut self, needle: &str) -> Result<&'a str> {
-        match self.rest().find(needle) {
+        let rest = self.rest();
+        match rest.find(needle) {
             Some(i) => {
-                let out = &self.rest()[..i];
+                let (out, _) = scan::split_at(rest, i);
                 self.advance(i + needle.len());
                 Ok(out)
             }
@@ -123,41 +189,63 @@ impl<'a> Tokenizer<'a> {
         c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
     }
 
-    fn take_name(&mut self) -> Result<String> {
+    fn is_ascii_name_byte(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.')
+    }
+
+    /// Length of the name-character run at the start of `rest`, resolved
+    /// with a byte scan for the ASCII names that dominate SOAP documents
+    /// and a `char` walk only from the first non-ASCII byte on.
+    fn name_len(rest: &str) -> usize {
+        let ascii =
+            scan::find_byte(rest, 0, |b| !Self::is_ascii_name_byte(b)).unwrap_or(rest.len());
+        if rest.as_bytes().get(ascii).is_none_or(|b| b.is_ascii()) {
+            return ascii;
+        }
+        let tail_len: usize = rest.get(ascii..).map_or(0, |tail| {
+            tail.chars()
+                .take_while(|&c| Self::is_name_char(c))
+                .map(char::len_utf8)
+                .sum()
+        });
+        ascii + tail_len
+    }
+
+    fn take_name(&mut self) -> Result<&'a str> {
         let rest = self.rest();
-        let mut chars = rest.chars();
-        match chars.next() {
+        match rest.chars().next() {
             Some(c) if Self::is_name_start(c) => {}
             Some(c) => return Err(self.err(format!("expected name, found {c:?}"))),
             None => return Err(self.eof_err()),
         }
-        let n: usize = rest
-            .chars()
-            .take_while(|&c| Self::is_name_char(c))
-            .map(char::len_utf8)
-            .sum();
-        let name = &rest[..n];
+        let n = Self::name_len(rest);
+        let (name, _) = scan::split_at(rest, n);
         self.advance(n);
-        Ok(name.to_owned())
+        Ok(name)
     }
 
-    fn take_quoted(&mut self) -> Result<String> {
+    fn take_quoted(&mut self) -> Result<Cow<'a, str>> {
         let quote = match self.rest().chars().next() {
-            Some(q @ ('"' | '\'')) => q,
+            Some(q @ ('"' | '\'')) => q as u8,
             Some(c) => return Err(self.err(format!("expected quoted value, found {c:?}"))),
             None => return Err(self.eof_err()),
         };
         self.advance(1);
-        let pos = self.pos();
-        let raw = self.take_until(&quote.to_string())?;
-        unescape(raw).ok_or(XmlError::BadEntity {
-            pos,
+        let start = self.off;
+        let rest = self.rest();
+        let Some(i) = scan::find_any(rest, 0, [quote]) else {
+            return Err(self.eof_err());
+        };
+        let (raw, _) = scan::split_at(rest, i);
+        self.advance(i + 1);
+        unescape(raw).ok_or_else(|| XmlError::BadEntity {
+            pos: self.pos_at(start),
             entity: raw.to_owned(),
         })
     }
 
     /// Produce the next event, or `None` at end of input.
-    pub fn next_event(&mut self) -> Result<Option<Event>> {
+    pub fn next_event(&mut self) -> Result<Option<Event<'a>>> {
         if self.eof() {
             return Ok(None);
         }
@@ -168,12 +256,12 @@ impl<'a> Tokenizer<'a> {
         if r.starts_with("<!--") {
             self.advance(4);
             let body = self.take_until("-->")?;
-            return Ok(Some(Event::Comment(body.to_owned())));
+            return Ok(Some(Event::Comment(Cow::Borrowed(body))));
         }
         if r.starts_with("<![CDATA[") {
             self.advance(9);
             let body = self.take_until("]]>")?;
-            return Ok(Some(Event::CData(body.to_owned())));
+            return Ok(Some(Event::CData(Cow::Borrowed(body))));
         }
         if r.starts_with("<!DOCTYPE") || r.starts_with("<!doctype") {
             return self.doctype_event().map(Some);
@@ -189,33 +277,27 @@ impl<'a> Tokenizer<'a> {
                 return Err(self.err("expected '>' after close tag name"));
             }
             self.advance(1);
-            return Ok(Some(Event::EndTag { name }));
+            return Ok(Some(Event::EndTag {
+                name: Cow::Borrowed(name),
+            }));
         }
         self.start_tag_event().map(Some)
     }
 
-    fn text_event(&mut self) -> Result<Event> {
-        let pos = self.pos();
-        let raw = match self.rest().find('<') {
-            Some(i) => {
-                let t = &self.rest()[..i];
-                self.advance(i);
-                t
-            }
-            None => {
-                let t = self.rest();
-                self.advance(t.len());
-                t
-            }
-        };
-        let text = unescape(raw).ok_or(XmlError::BadEntity {
-            pos,
+    fn text_event(&mut self) -> Result<Event<'a>> {
+        let start = self.off;
+        let rest = self.rest();
+        let i = scan::find_any(rest, 0, [b'<']).unwrap_or(rest.len());
+        let (raw, _) = scan::split_at(rest, i);
+        self.advance(i);
+        let text = unescape(raw).ok_or_else(|| XmlError::BadEntity {
+            pos: self.pos_at(start),
             entity: raw.to_owned(),
         })?;
         Ok(Event::Text(text))
     }
 
-    fn doctype_event(&mut self) -> Result<Event> {
+    fn doctype_event(&mut self) -> Result<Event<'a>> {
         self.advance("<!DOCTYPE".len());
         // Skip to the matching '>' while tolerating an internal subset
         // bracketed by [ ... ].
@@ -229,9 +311,9 @@ impl<'a> Tokenizer<'a> {
                 '[' => depth += 1,
                 ']' => depth = depth.saturating_sub(1),
                 '>' if depth == 0 => {
-                    let body = self.src[start..self.off].trim().to_owned();
+                    let body = self.span(start, self.off).trim();
                     self.advance(1);
-                    return Ok(Event::Doctype(body));
+                    return Ok(Event::Doctype(Cow::Borrowed(body)));
                 }
                 _ => {}
             }
@@ -239,29 +321,32 @@ impl<'a> Tokenizer<'a> {
         }
     }
 
-    fn pi_event(&mut self) -> Result<Event> {
+    fn pi_event(&mut self) -> Result<Event<'a>> {
         self.advance(2);
         let target = self.take_name()?;
         self.skip_ws();
-        let data = self.take_until("?>")?.trim_end().to_owned();
+        let data = self.take_until("?>")?.trim_end();
         if target.eq_ignore_ascii_case("xml") {
-            Ok(Event::Decl(data))
+            Ok(Event::Decl(Cow::Borrowed(data)))
         } else {
-            Ok(Event::Pi { target, data })
+            Ok(Event::Pi {
+                target: Cow::Borrowed(target),
+                data: Cow::Borrowed(data),
+            })
         }
     }
 
-    fn start_tag_event(&mut self) -> Result<Event> {
+    fn start_tag_event(&mut self) -> Result<Event<'a>> {
         self.advance(1); // consume '<'
         let name = self.take_name()?;
-        let mut attrs = Vec::new();
+        let mut attrs: Vec<(Cow<'a, str>, Cow<'a, str>)> = Vec::new();
         loop {
             self.skip_ws();
             let r = self.rest();
             if r.starts_with("/>") {
                 self.advance(2);
                 return Ok(Event::StartTag {
-                    name,
+                    name: Cow::Borrowed(name),
                     attrs,
                     self_closing: true,
                 });
@@ -269,7 +354,7 @@ impl<'a> Tokenizer<'a> {
             if r.starts_with('>') {
                 self.advance(1);
                 return Ok(Event::StartTag {
-                    name,
+                    name: Cow::Borrowed(name),
                     attrs,
                     self_closing: false,
                 });
@@ -285,15 +370,15 @@ impl<'a> Tokenizer<'a> {
             self.advance(1);
             self.skip_ws();
             let value = self.take_quoted()?;
-            if attrs.iter().any(|(n, _)| *n == aname) {
+            if attrs.iter().any(|(n, _)| n.as_ref() == aname) {
                 return Err(self.err(format!("duplicate attribute {aname:?}")));
             }
-            attrs.push((aname, value));
+            attrs.push((Cow::Borrowed(aname), value));
         }
     }
 
     /// Drain all events into a vector (convenience for tests and the DOM).
-    pub fn collect_events(mut self) -> Result<Vec<Event>> {
+    pub fn collect_events(mut self) -> Result<Vec<Event<'a>>> {
         let mut out = Vec::new();
         while let Some(ev) = self.next_event()? {
             out.push(ev);
@@ -306,7 +391,7 @@ impl<'a> Tokenizer<'a> {
 mod tests {
     use super::*;
 
-    fn events(src: &str) -> Vec<Event> {
+    fn events(src: &str) -> Vec<Event<'_>> {
         Tokenizer::new(src).collect_events().unwrap()
     }
 
@@ -341,11 +426,46 @@ mod tests {
     }
 
     #[test]
+    fn entity_free_events_borrow() {
+        let ev = events(r#"<a k="v">plain text</a>"#);
+        match &ev[0] {
+            Event::StartTag { name, attrs, .. } => {
+                assert!(matches!(name, Cow::Borrowed(_)));
+                assert!(matches!(&attrs[0].1, Cow::Borrowed(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&ev[1], Event::Text(Cow::Borrowed(_))));
+    }
+
+    #[test]
+    fn entity_resolution_allocates_only_then() {
+        let ev = events(r#"<a k="&lt;v">x &amp; y</a>"#);
+        match &ev[0] {
+            Event::StartTag { attrs, .. } => {
+                assert!(matches!(&attrs[0].1, Cow::Owned(_)));
+                assert_eq!(attrs[0].1, "<v");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&ev[1], Event::Text(Cow::Owned(_))));
+    }
+
+    #[test]
+    fn into_owned_detaches() {
+        let owned: Vec<Event<'static>> = {
+            let src = String::from("<a k=\"v\">hi</a>");
+            events(&src).into_iter().map(Event::into_owned).collect()
+        };
+        assert_eq!(owned[1], Event::Text("hi".into()));
+    }
+
+    #[test]
     fn declaration_and_comment_and_pi() {
         let ev = events("<?xml version=\"1.0\"?><!-- c --><?php echo ?><a/>");
         assert!(matches!(ev[0], Event::Decl(_)));
         assert_eq!(ev[1], Event::Comment(" c ".into()));
-        assert!(matches!(&ev[2], Event::Pi { target, .. } if target == "php"));
+        assert!(matches!(&ev[2], Event::Pi { target, .. } if target.as_ref() == "php"));
     }
 
     #[test]
@@ -383,6 +503,25 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn lazy_pos_matches_eager_walk() {
+        let src = "line one\nline <two>\n\nand three";
+        let t = Tokenizer::new(src);
+        // Reference: walk every byte the way the old tokenizer did.
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for (i, b) in src.bytes().enumerate() {
+            assert_eq!(t.pos_at(i), Pos { line, col }, "offset {i}");
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        assert_eq!(t.pos_at(src.len()), Pos { line, col });
     }
 
     #[test]

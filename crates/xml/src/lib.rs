@@ -7,8 +7,9 @@
 //! SOAP, Castor, and the Java DOM; no equivalent Rust stack exists, so this
 //! crate implements the substrate directly:
 //!
-//! * [`event`] — a pull tokenizer producing a stream of [`event::Event`]s
-//!   with byte-accurate error positions.
+//! * [`event`] — a pull tokenizer producing a stream of borrowed
+//!   [`event::Event`]s (zero-copy on entity-free input) with
+//!   byte-accurate, lazily computed error positions.
 //! * [`dom`] — an owned element tree ([`Element`], [`Node`]) with a fluent
 //!   builder API and namespace-aware navigation.
 //! * [`writer`] — compact and pretty serialization back to XML text.
@@ -36,7 +37,9 @@ pub mod dom;
 pub mod escape;
 pub mod event;
 pub mod path;
+pub mod scan;
 pub mod schema;
+pub mod stats;
 pub mod writer;
 
 pub use dom::{Element, Node};

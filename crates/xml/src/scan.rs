@@ -1,0 +1,142 @@
+//! Panic-free byte-scan primitives for the zero-copy substrate.
+//!
+//! The tokenizer and the escaper both reduce to the same two operations:
+//! "find the next interesting byte" and "split the slice there". Both are
+//! implemented here in `get`-based shapes that cannot panic, so the hot
+//! loops in [`crate::event`] and [`crate::escape`] stay clean under the
+//! `portalint` panic rule without audited allows. The `byte_scan.rs`
+//! fixture in `crates/portalint/tests` pins these shapes as the approved
+//! idiom.
+//!
+//! All scan positions produced by [`find_byte`] with an ASCII predicate are
+//! UTF-8 char boundaries (ASCII bytes never occur inside a multi-byte
+//! sequence), so [`split_at`] succeeds for every index this module hands
+//! out; the clamped fallback exists only to make the "impossible" case
+//! total instead of panicking.
+
+/// Index of the first byte at or after `from` for which `pred` holds.
+///
+/// Returns `None` when no byte matches or `from` is past the end. A single
+/// forward scan with no per-byte position bookkeeping — the memchr-style
+/// primitive the tokenizer's lazy line/col tracking relies on.
+#[inline]
+pub fn find_byte(s: &str, from: usize, pred: impl Fn(u8) -> bool) -> Option<usize> {
+    let tail = s.as_bytes().get(from..)?;
+    tail.iter().position(|&b| pred(b)).map(|i| from + i)
+}
+
+const LANE_LO: u64 = 0x0101_0101_0101_0101;
+const LANE_HI: u64 = 0x8080_8080_8080_8080;
+
+/// SWAR zero detector: the high bit of each lane that held 0x00.
+#[inline]
+const fn zero_lanes(w: u64) -> u64 {
+    w.wrapping_sub(LANE_LO) & !w & LANE_HI
+}
+
+/// Index of the first byte at or after `from` equal to any byte in `set`.
+///
+/// Word-at-a-time variant of [`find_byte`] for the scans that dominate the
+/// tokenizer and escaper: the needle set is known up front, so each 8-byte
+/// word is checked with a branch-free zero-lane test per needle instead of
+/// a per-byte predicate call. `set` must contain ASCII bytes for the
+/// char-boundary guarantee described in the module docs to hold.
+#[inline]
+pub fn find_any<const N: usize>(s: &str, from: usize, set: [u8; N]) -> Option<usize> {
+    let tail = s.as_bytes().get(from..)?;
+    let mut chunks = tail.chunks_exact(8);
+    let mut base = from;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().unwrap_or([0; 8]));
+        let mut hits = 0u64;
+        for &needle in &set {
+            hits |= zero_lanes(w ^ (needle as u64).wrapping_mul(LANE_LO));
+        }
+        if hits != 0 {
+            return Some(base + (hits.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|b| set.contains(b))
+        .map(|i| base + i)
+}
+
+/// Split `s` at byte index `mid`, clamping to the full string when `mid`
+/// is out of bounds or not a char boundary (unreachable for indices from
+/// [`find_byte`] with ASCII predicates, but total rather than panicking).
+#[inline]
+pub fn split_at(s: &str, mid: usize) -> (&str, &str) {
+    s.split_at_checked(mid).unwrap_or((s, ""))
+}
+
+/// Split off the first byte when it is ASCII; `None` on empty input or a
+/// multi-byte first character. Callers use this to step over a special
+/// byte that a [`find_byte`] scan already located.
+#[inline]
+pub fn split_first_ascii(s: &str) -> Option<(u8, &str)> {
+    let b = *s.as_bytes().first()?;
+    if !b.is_ascii() {
+        return None;
+    }
+    Some((b, split_at(s, 1).1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_byte_from_offset() {
+        assert_eq!(find_byte("a<b<c", 0, |b| b == b'<'), Some(1));
+        assert_eq!(find_byte("a<b<c", 2, |b| b == b'<'), Some(3));
+        assert_eq!(find_byte("a<b<c", 4, |b| b == b'<'), None);
+        assert_eq!(find_byte("abc", 99, |b| b == b'<'), None);
+    }
+
+    #[test]
+    fn find_byte_skips_multibyte_interiors() {
+        // '<' (0x3C) can never match inside a UTF-8 continuation byte.
+        let s = "é<";
+        assert_eq!(find_byte(s, 0, |b| b == b'<'), Some(2));
+    }
+
+    #[test]
+    fn find_any_matches_find_byte() {
+        // Differential check across chunk boundaries, offsets, and the
+        // word-remainder tail.
+        let src = "abcdefgh<ijklmnop&qrstuvwx>yz\"'end";
+        for from in 0..=src.len() + 2 {
+            let set = [b'<', b'&', b'>', b'"', b'\''];
+            assert_eq!(
+                find_any(src, from, set),
+                find_byte(src, from, |b| set.contains(&b)),
+                "from {from}"
+            );
+            assert_eq!(
+                find_any(src, from, [b'&']),
+                find_byte(src, from, |b| b == b'&'),
+                "single-needle from {from}"
+            );
+        }
+        assert_eq!(find_any("no specials here", 0, [b'<', b'&']), None);
+        assert_eq!(find_any("é<", 0, [b'<']), Some(2));
+    }
+
+    #[test]
+    fn split_at_clamps() {
+        assert_eq!(split_at("abc", 1), ("a", "bc"));
+        assert_eq!(split_at("abc", 99), ("abc", ""));
+        // Non-boundary index clamps instead of panicking.
+        assert_eq!(split_at("é", 1), ("é", ""));
+    }
+
+    #[test]
+    fn split_first_ascii_cases() {
+        assert_eq!(split_first_ascii("<a"), Some((b'<', "a")));
+        assert_eq!(split_first_ascii(""), None);
+        assert_eq!(split_first_ascii("éa"), None);
+    }
+}

@@ -81,12 +81,13 @@ impl Primitive {
                 // YYYY-MM-DDThh:mm:ss with optional trailing zone designator.
                 let b = v.as_bytes();
                 b.len() >= 19
-                    && b[4] == b'-'
-                    && b[7] == b'-'
-                    && b[10] == b'T'
-                    && b[13] == b':'
-                    && b[16] == b':'
-                    && v[..4].chars().all(|c| c.is_ascii_digit())
+                    && b.get(4) == Some(&b'-')
+                    && b.get(7) == Some(&b'-')
+                    && b.get(10) == Some(&b'T')
+                    && b.get(13) == Some(&b':')
+                    && b.get(16) == Some(&b':')
+                    && b.get(..4)
+                        .is_some_and(|year| year.iter().all(u8::is_ascii_digit))
             }
             Primitive::Base64 => v
                 .bytes()
@@ -467,9 +468,9 @@ impl Schema {
         let mut i = 0usize;
         for decl in &ct.sequence {
             let mut n = 0usize;
-            while i < children.len() && children[i].local_name() == decl.name {
+            while let Some(child) = children.get(i).filter(|c| c.local_name() == decl.name) {
                 let child_path = format!("{path}/{}", decl.name);
-                self.validate_element(children[i], decl, &child_path)?;
+                self.validate_element(child, decl, &child_path)?;
                 i += 1;
                 n += 1;
                 if let Some(max) = decl.occurs.max {
@@ -485,10 +486,10 @@ impl Schema {
                 )));
             }
         }
-        if i < children.len() {
+        if let Some(extra) = children.get(i) {
             return Err(XmlError::SchemaViolation(format!(
                 "{path}: unexpected element {:?}",
-                children[i].local_name()
+                extra.local_name()
             )));
         }
         Ok(())

@@ -7,16 +7,28 @@ use crate::escape::{escape_attr, escape_text};
 /// input tree exactly.
 pub fn write_compact(el: &Element) -> String {
     let mut out = String::with_capacity(el.subtree_size() * 16);
-    write_element(&mut out, el, None, 0);
+    write_compact_into(el, &mut out);
     out
+}
+
+/// Serialize compactly into an existing buffer (appends; the caller owns
+/// clearing). The hot-path form: SOAP workers reuse one buffer across
+/// keep-alive requests instead of allocating per response.
+pub fn write_compact_into(el: &Element, out: &mut String) {
+    write_element(out, el, None, 0);
 }
 
 /// Serialize with newline-separated, indented elements. Text-only elements
 /// stay on one line so that values do not acquire spurious whitespace.
 pub fn write_pretty(el: &Element, indent: usize) -> String {
     let mut out = String::with_capacity(el.subtree_size() * 24);
-    write_element(&mut out, el, Some(indent), 0);
+    write_pretty_into(el, indent, &mut out);
     out
+}
+
+/// Pretty-print into an existing buffer (appends).
+pub fn write_pretty_into(el: &Element, indent: usize, out: &mut String) {
+    write_element(out, el, Some(indent), 0);
 }
 
 fn is_inline(el: &Element) -> bool {
@@ -26,7 +38,9 @@ fn is_inline(el: &Element) -> bool {
 fn write_element(out: &mut String, el: &Element, indent: Option<usize>, depth: usize) {
     let pad = |out: &mut String, depth: usize| {
         if let Some(step) = indent {
-            out.push_str(&" ".repeat(step * depth));
+            for _ in 0..step * depth {
+                out.push(' ');
+            }
         }
     };
     pad(out, depth);
@@ -124,6 +138,15 @@ mod tests {
         let el = Element::new("a").with_child(Element::new("b").with_child(Element::new("c")));
         let p = write_pretty(&el, 2);
         assert_eq!(p, "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+    }
+
+    #[test]
+    fn write_into_appends_to_existing_buffer() {
+        let el = Element::new("a").with_text("x");
+        let mut buf = String::from("prefix:");
+        write_compact_into(&el, &mut buf);
+        assert_eq!(buf, "prefix:<a>x</a>");
+        assert_eq!(write_compact(&el), "<a>x</a>");
     }
 
     #[test]

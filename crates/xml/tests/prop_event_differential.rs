@@ -1,0 +1,449 @@
+//! Differential test: the borrowed zero-copy tokenizer must be
+//! byte-for-byte equivalent to the owned event stream it replaced.
+//!
+//! The `reference` module below is the pre-zero-copy tokenizer (owned
+//! `String` events, eager line/col tracking) kept verbatim as an oracle.
+//! Both tokenizers run over arbitrary generated documents — well-formed
+//! trees and adversarial tag soup — and must agree on every event *and*
+//! every error, including the error's line/col position (the lazy
+//! position computation must reproduce the eager walk exactly). Delete
+//! this file when the owned path's behavior is no longer the contract.
+
+use portalws_xml::event::{Event, Tokenizer};
+use portalws_xml::XmlError;
+use proptest::prelude::*;
+
+/// The old owned tokenizer, preserved as the behavioral oracle.
+mod reference {
+    use portalws_xml::escape::resolve_entity;
+    use portalws_xml::{Pos, XmlError};
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Event {
+        Decl(String),
+        StartTag {
+            name: String,
+            attrs: Vec<(String, String)>,
+            self_closing: bool,
+        },
+        EndTag {
+            name: String,
+        },
+        Text(String),
+        CData(String),
+        Comment(String),
+        Pi {
+            target: String,
+            data: String,
+        },
+        Doctype(String),
+    }
+
+    type Result<T> = std::result::Result<T, XmlError>;
+
+    fn unescape(s: &str) -> Option<String> {
+        if !s.contains('&') {
+            return Some(s.to_owned());
+        }
+        let mut out = String::with_capacity(s.len());
+        let mut rest = s;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            let after = &rest[amp + 1..];
+            let semi = after.find(';')?;
+            out.push(resolve_entity(&after[..semi])?);
+            rest = &after[semi + 1..];
+        }
+        out.push_str(rest);
+        Some(out)
+    }
+
+    pub struct Tokenizer<'a> {
+        src: &'a str,
+        off: usize,
+        line: u32,
+        col: u32,
+    }
+
+    impl<'a> Tokenizer<'a> {
+        pub fn new(src: &'a str) -> Self {
+            Tokenizer {
+                src,
+                off: 0,
+                line: 1,
+                col: 1,
+            }
+        }
+
+        pub fn pos(&self) -> Pos {
+            Pos {
+                line: self.line,
+                col: self.col,
+            }
+        }
+
+        fn rest(&self) -> &'a str {
+            &self.src[self.off..]
+        }
+
+        fn eof(&self) -> bool {
+            self.off >= self.src.len()
+        }
+
+        fn advance(&mut self, n: usize) {
+            let chunk = &self.src[self.off..self.off + n];
+            for b in chunk.bytes() {
+                if b == b'\n' {
+                    self.line += 1;
+                    self.col = 1;
+                } else {
+                    self.col += 1;
+                }
+            }
+            self.off += n;
+        }
+
+        fn err(&self, msg: impl Into<String>) -> XmlError {
+            XmlError::Syntax {
+                pos: self.pos(),
+                msg: msg.into(),
+            }
+        }
+
+        fn eof_err(&self) -> XmlError {
+            XmlError::UnexpectedEof { pos: self.pos() }
+        }
+
+        fn take_until(&mut self, needle: &str) -> Result<&'a str> {
+            match self.rest().find(needle) {
+                Some(i) => {
+                    let out = &self.rest()[..i];
+                    self.advance(i + needle.len());
+                    Ok(out)
+                }
+                None => Err(self.eof_err()),
+            }
+        }
+
+        fn skip_ws(&mut self) {
+            let n = self
+                .rest()
+                .bytes()
+                .take_while(|b| b.is_ascii_whitespace())
+                .count();
+            self.advance(n);
+        }
+
+        fn is_name_start(c: char) -> bool {
+            c.is_alphabetic() || c == '_' || c == ':'
+        }
+
+        fn is_name_char(c: char) -> bool {
+            c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
+        }
+
+        fn take_name(&mut self) -> Result<String> {
+            let rest = self.rest();
+            let mut chars = rest.chars();
+            match chars.next() {
+                Some(c) if Self::is_name_start(c) => {}
+                Some(c) => return Err(self.err(format!("expected name, found {c:?}"))),
+                None => return Err(self.eof_err()),
+            }
+            let n: usize = rest
+                .chars()
+                .take_while(|&c| Self::is_name_char(c))
+                .map(char::len_utf8)
+                .sum();
+            let name = &rest[..n];
+            self.advance(n);
+            Ok(name.to_owned())
+        }
+
+        fn take_quoted(&mut self) -> Result<String> {
+            let quote = match self.rest().chars().next() {
+                Some(q @ ('"' | '\'')) => q,
+                Some(c) => return Err(self.err(format!("expected quoted value, found {c:?}"))),
+                None => return Err(self.eof_err()),
+            };
+            self.advance(1);
+            let pos = self.pos();
+            let raw = self.take_until(&quote.to_string())?;
+            unescape(raw).ok_or(XmlError::BadEntity {
+                pos,
+                entity: raw.to_owned(),
+            })
+        }
+
+        pub fn next_event(&mut self) -> Result<Option<Event>> {
+            if self.eof() {
+                return Ok(None);
+            }
+            if !self.rest().starts_with('<') {
+                return self.text_event().map(Some);
+            }
+            let r = self.rest();
+            if r.starts_with("<!--") {
+                self.advance(4);
+                let body = self.take_until("-->")?;
+                return Ok(Some(Event::Comment(body.to_owned())));
+            }
+            if r.starts_with("<![CDATA[") {
+                self.advance(9);
+                let body = self.take_until("]]>")?;
+                return Ok(Some(Event::CData(body.to_owned())));
+            }
+            if r.starts_with("<!DOCTYPE") || r.starts_with("<!doctype") {
+                return self.doctype_event().map(Some);
+            }
+            if r.starts_with("<?") {
+                return self.pi_event().map(Some);
+            }
+            if r.starts_with("</") {
+                self.advance(2);
+                let name = self.take_name()?;
+                self.skip_ws();
+                if !self.rest().starts_with('>') {
+                    return Err(self.err("expected '>' after close tag name"));
+                }
+                self.advance(1);
+                return Ok(Some(Event::EndTag { name }));
+            }
+            self.start_tag_event().map(Some)
+        }
+
+        fn text_event(&mut self) -> Result<Event> {
+            let pos = self.pos();
+            let raw = match self.rest().find('<') {
+                Some(i) => {
+                    let t = &self.rest()[..i];
+                    self.advance(i);
+                    t
+                }
+                None => {
+                    let t = self.rest();
+                    self.advance(t.len());
+                    t
+                }
+            };
+            let text = unescape(raw).ok_or(XmlError::BadEntity {
+                pos,
+                entity: raw.to_owned(),
+            })?;
+            Ok(Event::Text(text))
+        }
+
+        fn doctype_event(&mut self) -> Result<Event> {
+            self.advance("<!DOCTYPE".len());
+            let start = self.off;
+            let mut depth = 0usize;
+            loop {
+                let Some(c) = self.rest().chars().next() else {
+                    return Err(self.eof_err());
+                };
+                match c {
+                    '[' => depth += 1,
+                    ']' => depth = depth.saturating_sub(1),
+                    '>' if depth == 0 => {
+                        let body = self.src[start..self.off].trim().to_owned();
+                        self.advance(1);
+                        return Ok(Event::Doctype(body));
+                    }
+                    _ => {}
+                }
+                self.advance(c.len_utf8());
+            }
+        }
+
+        fn pi_event(&mut self) -> Result<Event> {
+            self.advance(2);
+            let target = self.take_name()?;
+            self.skip_ws();
+            let data = self.take_until("?>")?.trim_end().to_owned();
+            if target.eq_ignore_ascii_case("xml") {
+                Ok(Event::Decl(data))
+            } else {
+                Ok(Event::Pi { target, data })
+            }
+        }
+
+        fn start_tag_event(&mut self) -> Result<Event> {
+            self.advance(1);
+            let name = self.take_name()?;
+            let mut attrs = Vec::new();
+            loop {
+                self.skip_ws();
+                let r = self.rest();
+                if r.starts_with("/>") {
+                    self.advance(2);
+                    return Ok(Event::StartTag {
+                        name,
+                        attrs,
+                        self_closing: true,
+                    });
+                }
+                if r.starts_with('>') {
+                    self.advance(1);
+                    return Ok(Event::StartTag {
+                        name,
+                        attrs,
+                        self_closing: false,
+                    });
+                }
+                if r.is_empty() {
+                    return Err(self.eof_err());
+                }
+                let aname = self.take_name()?;
+                self.skip_ws();
+                if !self.rest().starts_with('=') {
+                    return Err(self.err(format!("attribute {aname:?} missing '='")));
+                }
+                self.advance(1);
+                self.skip_ws();
+                let value = self.take_quoted()?;
+                if attrs.iter().any(|(n, _)| *n == aname) {
+                    return Err(self.err(format!("duplicate attribute {aname:?}")));
+                }
+                attrs.push((aname, value));
+            }
+        }
+
+        pub fn collect_events(mut self) -> Result<Vec<Event>> {
+            let mut out = Vec::new();
+            while let Some(ev) = self.next_event()? {
+                out.push(ev);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Project a borrowed event onto the reference's owned shape.
+fn to_reference(ev: Event<'_>) -> reference::Event {
+    match ev {
+        Event::Decl(d) => reference::Event::Decl(d.into_owned()),
+        Event::StartTag {
+            name,
+            attrs,
+            self_closing,
+        } => reference::Event::StartTag {
+            name: name.into_owned(),
+            attrs: attrs
+                .into_iter()
+                .map(|(k, v)| (k.into_owned(), v.into_owned()))
+                .collect(),
+            self_closing,
+        },
+        Event::EndTag { name } => reference::Event::EndTag {
+            name: name.into_owned(),
+        },
+        Event::Text(t) => reference::Event::Text(t.into_owned()),
+        Event::CData(t) => reference::Event::CData(t.into_owned()),
+        Event::Comment(c) => reference::Event::Comment(c.into_owned()),
+        Event::Pi { target, data } => reference::Event::Pi {
+            target: target.into_owned(),
+            data: data.into_owned(),
+        },
+        Event::Doctype(d) => reference::Event::Doctype(d.into_owned()),
+    }
+}
+
+fn assert_equivalent(src: &str) -> Result<(), TestCaseError> {
+    let new: Result<Vec<reference::Event>, XmlError> = Tokenizer::new(src)
+        .collect_events()
+        .map(|evs| evs.into_iter().map(to_reference).collect());
+    let old = reference::Tokenizer::new(src).collect_events();
+    prop_assert_eq!(new, old, "divergence on {:?}", src);
+    Ok(())
+}
+
+/// Fragments that exercise every tokenizer branch, including broken ones.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z][a-zA-Z0-9:_.-]{0,8}",
+        Just("<".to_owned()),
+        Just(">".to_owned()),
+        Just("/>".to_owned()),
+        Just("</".to_owned()),
+        Just("=\"v\"".to_owned()),
+        Just("='v'".to_owned()),
+        Just("=\"unterminated".to_owned()),
+        Just("&amp;".to_owned()),
+        Just("&bogus;".to_owned()),
+        Just("&unterminated".to_owned()),
+        Just("&#x41;".to_owned()),
+        Just("<!-- c -->".to_owned()),
+        Just("<!--".to_owned()),
+        Just("<![CDATA[x < y]]>".to_owned()),
+        Just("<![CDATA[".to_owned()),
+        Just("<!DOCTYPE a [ <!ENTITY x \"y\"> ]>".to_owned()),
+        Just("<?xml version=\"1.0\"?>".to_owned()),
+        Just("<?pi data ?>".to_owned()),
+        Just(" \n\t".to_owned()),
+        Just("héllo 世界".to_owned()),
+        "[ -~]{0,12}",
+    ]
+}
+
+proptest! {
+    #[test]
+    fn well_formed_documents_agree(el in well_formed::element_strategy()) {
+        let compact = el.to_xml();
+        assert_equivalent(&compact)?;
+        let pretty = el.to_pretty();
+        assert_equivalent(&pretty)?;
+    }
+
+    #[test]
+    fn arbitrary_soup_agrees(parts in proptest::collection::vec(fragment(), 0..12)) {
+        let src = parts.concat();
+        assert_equivalent(&src)?;
+    }
+
+    #[test]
+    fn arbitrary_strings_agree(s in "\\PC{0,200}") {
+        assert_equivalent(&s)?;
+    }
+}
+
+/// Well-formed tree generator (mirrors prop_roundtrip's strategy).
+mod well_formed {
+    use portalws_xml::{Element, Node};
+    use proptest::prelude::*;
+
+    fn name_strategy() -> impl Strategy<Value = String> {
+        "[a-zA-Z][a-zA-Z0-9_.-]{0,11}"
+    }
+
+    fn text_strategy() -> impl Strategy<Value = String> {
+        proptest::string::string_regex("[ -~]{0,40}").unwrap()
+    }
+
+    pub fn element_strategy() -> impl Strategy<Value = Element> {
+        let leaf = (name_strategy(), text_strategy()).prop_map(|(n, t)| {
+            let mut el = Element::new(n);
+            let trimmed = t.trim();
+            if !trimmed.is_empty() {
+                el.push_node(Node::Text(trimmed.to_owned()));
+            }
+            el
+        });
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            (
+                name_strategy(),
+                proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+                proptest::collection::vec(inner, 0..4),
+            )
+                .prop_map(|(name, attrs, children)| {
+                    let mut el = Element::new(name);
+                    for (k, v) in attrs {
+                        el.set_attr(k, v);
+                    }
+                    for c in children {
+                        el.push_child(c);
+                    }
+                    el
+                })
+        })
+    }
+}

@@ -476,11 +476,11 @@ mod tests {
             let _ga = a.lock(); // c → a closes a → b → c → a
         }))
         .expect_err("transitive cycle must be rejected");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
-        assert!(msg.contains("t-c") && msg.contains("t-a"), "unexpected: {msg}");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("t-c") && msg.contains("t-a"),
+            "unexpected: {msg}"
+        );
     }
 
     #[test]

@@ -37,7 +37,8 @@ fn e5_string_streaming_amplifies_markup_payloads() {
         ],
     )
     .unwrap();
-    let string_bytes = transport.stats().snapshot().since(&before).bytes_sent;
+    let string_delta = transport.stats().snapshot().since(&before);
+    let string_bytes = string_delta.bytes_sent;
 
     // Same bytes via the base64 ablation.
     let before = transport.stats().snapshot();
@@ -49,7 +50,26 @@ fn e5_string_streaming_amplifies_markup_payloads() {
         ],
     )
     .unwrap();
-    let b64_bytes = transport.stats().snapshot().since(&before).bytes_sent;
+    let b64_delta = transport.stats().snapshot().since(&before);
+    let b64_bytes = b64_delta.bytes_sent;
+
+    // Substrate fast-path hit rates (lower bounds — the counters are
+    // process-global, so parallel tests can only add to them). The all-'<'
+    // payload must take the allocating escape path; the base64 payload has
+    // no escapable characters, so escape *and* unescape must borrow. A
+    // regression to always-allocate leaves the borrowed counters flat here.
+    assert!(
+        string_delta.escape_owned >= 1,
+        "markup payload escaped without allocating? {string_delta:?}"
+    );
+    assert!(
+        b64_delta.escape_borrowed >= 1,
+        "base64 escape fast path missed: {b64_delta:?}"
+    );
+    assert!(
+        b64_delta.unescape_borrowed >= 1,
+        "base64 unescape fast path missed: {b64_delta:?}"
+    );
 
     // Escaping quadruples the payload (4 bytes per "<"); base64 costs 4/3.
     assert!(
