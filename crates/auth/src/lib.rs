@@ -59,6 +59,8 @@ pub enum AuthError {
     BadSignature,
     /// Assertion expired.
     Expired,
+    /// Assertion id was already presented (replay protection enabled).
+    Replayed(String),
     /// Malformed assertion document.
     Malformed(String),
 }
@@ -70,6 +72,7 @@ impl fmt::Display for AuthError {
             AuthError::UnknownContext(id) => write!(f, "unknown GSS context {id:?}"),
             AuthError::BadSignature => write!(f, "assertion signature invalid"),
             AuthError::Expired => write!(f, "assertion expired"),
+            AuthError::Replayed(id) => write!(f, "assertion {id:?} replayed"),
             AuthError::Malformed(msg) => write!(f, "malformed assertion: {msg}"),
         }
     }

@@ -57,6 +57,10 @@ pub struct AuthService {
     verifications: AtomicU64,
     /// GSS context lifetime (ms).
     context_ttl_ms: u64,
+    /// Opt-in replay protection: seen assertion id → its expiry (sim ms).
+    /// `None` preserves the historical behavior where one assertion may be
+    /// verified many times (E2 replays the same assertion deliberately).
+    replay_cache: RwLock<Option<HashMap<String, u64>>>,
 }
 
 impl AuthService {
@@ -70,7 +74,28 @@ impl AuthService {
             next_ctx: AtomicU64::new(0),
             verifications: AtomicU64::new(0),
             context_ttl_ms: 8 * 3600 * 1000,
+            replay_cache: RwLock::new(None),
         })
+    }
+
+    /// Turn on assertion replay protection: after this call, each
+    /// assertion id passes verification at most once before its expiry.
+    /// Entries are pruned as they expire, so the cache is bounded by the
+    /// number of live assertions.
+    pub fn enable_replay_protection(&self) {
+        let mut cache = self.replay_cache.write();
+        if cache.is_none() {
+            *cache = Some(HashMap::new());
+        }
+    }
+
+    /// Number of live entries in the replay cache (0 when disabled).
+    pub fn replay_cache_len(&self) -> usize {
+        self.replay_cache
+            .read()
+            .as_ref()
+            .map(HashMap::len)
+            .unwrap_or(0)
     }
 
     /// Register a principal in the keytab.
@@ -124,8 +149,10 @@ impl AuthService {
     }
 
     /// Verify a signed assertion: context known and unexpired, subject
-    /// matches the context principal, assertion unexpired, MAC valid.
-    /// Returns the authenticated principal.
+    /// matches the context principal, assertion unexpired, MAC valid,
+    /// and (when [`AuthService::enable_replay_protection`] has been
+    /// called) the assertion id not previously presented. Returns the
+    /// authenticated principal.
     pub fn verify_assertion(&self, assertion: &Assertion) -> Result<String> {
         self.verifications.fetch_add(1, Ordering::Relaxed);
         let now = self.clock.now();
@@ -143,6 +170,17 @@ impl AuthService {
             return Err(AuthError::BadSignature);
         }
         assertion.verify_signature(&ctx.key)?;
+        // Replay check last, so only authenticated assertions can occupy
+        // cache entries. Prune on the way in: expired ids can never verify
+        // again (the expiry check above fires first), so keeping them
+        // would only grow the map.
+        if let Some(cache) = self.replay_cache.write().as_mut() {
+            cache.retain(|_, expires| *expires > now);
+            if cache.contains_key(&assertion.id) {
+                return Err(AuthError::Replayed(assertion.id.clone()));
+            }
+            cache.insert(assertion.id.clone(), assertion.expires_at_ms);
+        }
         Ok(assertion.subject.clone())
     }
 
@@ -389,6 +427,126 @@ mod tests {
             svc.verify_assertion(&a).unwrap();
         }
         assert_eq!(svc.verification_count(), 5);
+    }
+
+    fn signed_assertion_with_id(svc: &AuthService, session: &GssSession, id: &str) -> Assertion {
+        let mut a = Assertion::new(
+            id,
+            session.context_id.clone(),
+            session.principal.clone(),
+            session.mechanism.name(),
+            svc.clock().timestamp(),
+            svc.clock().now() + 60_000,
+        );
+        a.sign(&session.key);
+        a
+    }
+
+    #[test]
+    fn replay_protection_is_opt_in() {
+        // E2 deliberately verifies one assertion many times; until a
+        // deployment opts in, that must keep working.
+        let svc = service();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        let a = signed_assertion(&svc, &session);
+        svc.verify_assertion(&a).unwrap();
+        svc.verify_assertion(&a).unwrap();
+        assert_eq!(svc.replay_cache_len(), 0);
+    }
+
+    #[test]
+    fn replayed_assertion_rejected_when_protection_enabled() {
+        // Regression (e12 chaos soak, mid-stream-close schedules): a
+        // retried request re-presents the same assertion id; with replay
+        // protection on, the second presentation must be refused.
+        let svc = service();
+        svc.enable_replay_protection();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        let a = signed_assertion_with_id(&svc, &session, "r-1");
+        assert_eq!(svc.verify_assertion(&a).unwrap(), "alice@GCE.ORG");
+        assert_eq!(
+            svc.verify_assertion(&a),
+            Err(AuthError::Replayed("r-1".into()))
+        );
+        // A fresh id under the same context still verifies.
+        let b = signed_assertion_with_id(&svc, &session, "r-2");
+        assert_eq!(svc.verify_assertion(&b).unwrap(), "alice@GCE.ORG");
+        assert_eq!(svc.replay_cache_len(), 2);
+    }
+
+    #[test]
+    fn replay_cache_prunes_expired_entries() {
+        let svc = service();
+        svc.enable_replay_protection();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        let a = signed_assertion_with_id(&svc, &session, "r-old");
+        svc.verify_assertion(&a).unwrap();
+        assert_eq!(svc.replay_cache_len(), 1);
+        // Once "r-old" expires it can never verify again (the expiry
+        // check fires first), so the next verification drops it.
+        svc.clock().advance(61_000);
+        assert_eq!(svc.verify_assertion(&a), Err(AuthError::Expired));
+        let b = signed_assertion_with_id(&svc, &session, "r-new");
+        svc.verify_assertion(&b).unwrap();
+        assert_eq!(svc.replay_cache_len(), 1);
+    }
+
+    #[test]
+    fn unauthenticated_assertions_cannot_occupy_replay_cache() {
+        let svc = service();
+        svc.enable_replay_protection();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        let mut forged = signed_assertion_with_id(&svc, &session, "r-forged");
+        forged.sign("wrong-key");
+        assert_eq!(svc.verify_assertion(&forged), Err(AuthError::BadSignature));
+        assert_eq!(svc.replay_cache_len(), 0);
+        // The legitimate holder of that id is not locked out by the forgery.
+        let real = signed_assertion_with_id(&svc, &session, "r-forged");
+        assert_eq!(svc.verify_assertion(&real).unwrap(), "alice@GCE.ORG");
+    }
+
+    #[test]
+    fn clock_skew_rejected_even_with_valid_signature() {
+        // A client whose clock runs behind the Authentication Service
+        // mints a correctly signed assertion that is already beyond its
+        // NotOnOrAfter by server time. The server clock wins: Expired,
+        // never accepted, and never cached as a live id.
+        let svc = service();
+        svc.enable_replay_protection();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        svc.clock().advance(120_000);
+        let mut stale = Assertion::new(
+            "r-skew",
+            session.context_id.clone(),
+            session.principal.clone(),
+            session.mechanism.name(),
+            "2002-11-16T09:00:00Z",
+            60_000, // 60s past by server time
+        );
+        stale.sign(&session.key);
+        assert_eq!(svc.verify_assertion(&stale), Err(AuthError::Expired));
+        // Boundary: NotOnOrAfter exactly equal to server "now" is also out.
+        let mut edge = Assertion::new(
+            "r-edge",
+            session.context_id.clone(),
+            session.principal.clone(),
+            session.mechanism.name(),
+            "2002-11-16T09:00:00Z",
+            svc.clock().now(),
+        );
+        edge.sign(&session.key);
+        assert_eq!(svc.verify_assertion(&edge), Err(AuthError::Expired));
+        assert_eq!(svc.replay_cache_len(), 0);
     }
 
     #[test]

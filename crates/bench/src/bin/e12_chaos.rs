@@ -1,0 +1,308 @@
+//! E12 — chaos soak: seeded fault schedules against the integrated
+//! deployment.
+//!
+//! Each schedule stands up the full Fig. 4 topology under a
+//! [`ChaosPolicy`] derived from one printed seed, then drives the portal
+//! shell through a representative session while asserting the shell
+//! invariants of DESIGN.md §9:
+//!
+//! 1. **No panics** — a schedule that panics anywhere in the stack fails
+//!    the soak and prints its seed for replay.
+//! 2. **No hangs** — every shell operation completes within a generous
+//!    wall-clock bound even while faults delay, truncate, and close
+//!    connections.
+//! 3. **Idempotent ops eventually succeed** — bounded retry absorbs any
+//!    finite fault schedule at the configured rates.
+//! 4. **Non-idempotent ops fail cleanly** — a `put` either acknowledges
+//!    with the object intact, fails with the object absent, or lands in
+//!    the unavoidable "executed but unacknowledged" state with the object
+//!    intact. A torn object is a soak failure.
+//!
+//! Per-fault-class injection counts come from each host transport's
+//! `WireStats`, so the soak also verifies the counters are observable.
+//!
+//! ```sh
+//! cargo run -p portalws-bench --release --bin e12_chaos -- \
+//!     [--quick] [--json PATH] [--seed N]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use portalws_core::{
+    ChaosPolicy, PortalDeployment, PortalShell, SecurityMode, TransportMode, UiServer,
+};
+use portalws_wire::ChaosClass;
+
+/// Retry budget for idempotent operations (invariant 3). Fault rates top
+/// out well under 50% per call, so the chance of exhausting this budget
+/// on a healthy stack is negligible.
+const IDEMPOTENT_ATTEMPTS: usize = 25;
+
+/// Wall-clock bound per shell operation (invariant 2), far above any sum
+/// of configured fault delays.
+const OP_DEADLINE_MS: u128 = 10_000;
+
+/// What one schedule observed.
+#[derive(Default)]
+struct ScheduleOutcome {
+    ops: u64,
+    attempt_failures: u64,
+    /// `put` acknowledged, object intact.
+    put_acknowledged: u64,
+    /// `put` reported failure, object absent — clean failure.
+    put_clean_failure: u64,
+    /// `put` reported failure but the object is intact — executed,
+    /// acknowledgment lost in the fault. Allowed; counted for visibility.
+    put_unacknowledged: u64,
+    /// Per-class injected-fault counts summed over every host transport.
+    chaos: [u64; ChaosClass::ALL.len()],
+    /// Invariant violations (empty on a clean schedule).
+    violations: Vec<String>,
+}
+
+/// Drive one seeded schedule end to end.
+fn run_schedule(seed: u64, security: SecurityMode, mode: TransportMode) -> ScheduleOutcome {
+    let mut out = ScheduleOutcome::default();
+    let policy = ChaosPolicy::from_seed(seed);
+    let deployment = PortalDeployment::with_chaos(security, mode, policy);
+    let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
+    let shell = PortalShell::new(ui);
+
+    // Bounded retry for operations that are safe to repeat. Login rides
+    // here too: re-presenting credentials is idempotent.
+    let retried = |label: &str, line: &str, out: &mut ScheduleOutcome| {
+        out.ops += 1;
+        let t0 = Instant::now();
+        let mut ok = false;
+        for _ in 0..IDEMPOTENT_ATTEMPTS {
+            match shell.exec(line) {
+                Ok(_) => {
+                    ok = true;
+                    break;
+                }
+                Err(_) => out.attempt_failures += 1,
+            }
+        }
+        let elapsed = t0.elapsed().as_millis();
+        if elapsed > OP_DEADLINE_MS {
+            out.violations.push(format!(
+                "{label}: took {elapsed} ms (> {OP_DEADLINE_MS} ms)"
+            ));
+        }
+        if !ok {
+            out.violations.push(format!(
+                "{label}: failed all {IDEMPOTENT_ATTEMPTS} attempts"
+            ));
+        }
+    };
+
+    retried("login", "login alice@GCE.ORG alice-pass", &mut out);
+    retried("hosts", "hosts", &mut out);
+    retried("ls", "ls /public", &mut out);
+    retried("cat", "cat /public/README", &mut out);
+    retried("find", "find script", &mut out);
+    retried("inspect", "inspect grid.sdsc.edu", &mut out);
+
+    // Non-idempotent op: one shot, then inspect ground truth directly in
+    // the broker to classify the outcome.
+    let payload = format!("payload-{seed:016x}");
+    let path = format!("/home-alice@GCE.ORG/chaos-{seed:016x}.txt");
+    out.ops += 1;
+    let t0 = Instant::now();
+    let put = shell.exec(&format!("echo {payload} | put {path}"));
+    let elapsed = t0.elapsed().as_millis();
+    if elapsed > OP_DEADLINE_MS {
+        out.violations
+            .push(format!("put: took {elapsed} ms (> {OP_DEADLINE_MS} ms)"));
+    }
+    let stored = deployment.srb.get("alice@GCE.ORG", &path).ok();
+    match (put.is_ok(), stored) {
+        (true, Some(bytes)) if bytes == payload.as_bytes() => out.put_acknowledged += 1,
+        (true, Some(_)) => out
+            .violations
+            .push(format!("put acknowledged but object torn (seed {seed:#x})")),
+        (true, None) => out.violations.push(format!(
+            "put acknowledged but object absent (seed {seed:#x})"
+        )),
+        (false, None) => {
+            out.attempt_failures += 1;
+            out.put_clean_failure += 1;
+        }
+        (false, Some(bytes)) if bytes == payload.as_bytes() => {
+            out.attempt_failures += 1;
+            out.put_unacknowledged += 1;
+        }
+        (false, Some(_)) => out
+            .violations
+            .push(format!("put failed and object torn (seed {seed:#x})")),
+    }
+
+    retried("logout", "logout", &mut out);
+
+    for host in deployment.hosts() {
+        // Client-side chaos lands on the host transport's stats;
+        // server-side chaos (drops, truncations, delays) on the TCP
+        // server's own counters.
+        if let Ok(t) = deployment.transport(&host) {
+            let snap = t.stats().snapshot();
+            for (i, class) in ChaosClass::ALL.iter().enumerate() {
+                out.chaos[i] += snap.chaos_class(*class);
+            }
+        }
+        if let Some(stats) = deployment.server_wire_stats(&host) {
+            let snap = stats.snapshot();
+            for (i, class) in ChaosClass::ALL.iter().enumerate() {
+                out.chaos[i] += snap.chaos_class(*class);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = flag_value("--json");
+    let base_seed: u64 = flag_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xE12_5EED);
+
+    // ≥50 distinct schedules even in quick mode; the full soak widens the
+    // sweep and adds real-TCP schedules (server-side chaos included).
+    let (in_memory_schedules, tcp_schedules) = if quick { (50u64, 0u64) } else { (120u64, 6u64) };
+
+    println!(
+        "E12 — chaos soak: {} in-memory + {} tcp-pooled schedules, base seed {base_seed:#x}",
+        in_memory_schedules, tcp_schedules
+    );
+
+    let mut total = ScheduleOutcome::default();
+    let mut schedules = 0u64;
+    let mut panicked: Vec<u64> = Vec::new();
+    let mut violating: Vec<u64> = Vec::new();
+
+    let mut run = |seed: u64, security: SecurityMode, mode: TransportMode| {
+        schedules += 1;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_schedule(seed, security, mode)
+        }));
+        match outcome {
+            Ok(out) => {
+                if !out.violations.is_empty() {
+                    violating.push(seed);
+                    for v in &out.violations {
+                        eprintln!("  seed {seed:#x} [{security:?}/{mode:?}]: {v}");
+                    }
+                }
+                total.ops += out.ops;
+                total.attempt_failures += out.attempt_failures;
+                total.put_acknowledged += out.put_acknowledged;
+                total.put_clean_failure += out.put_clean_failure;
+                total.put_unacknowledged += out.put_unacknowledged;
+                for (i, n) in out.chaos.iter().enumerate() {
+                    total.chaos[i] += n;
+                }
+                total.violations.extend(out.violations);
+            }
+            Err(_) => {
+                panicked.push(seed);
+                eprintln!("  seed {seed:#x} [{security:?}/{mode:?}]: PANIC");
+            }
+        }
+    };
+
+    let t0 = Instant::now();
+    for i in 0..in_memory_schedules {
+        let seed = base_seed.wrapping_add(i);
+        // Alternate the E2 security arms so the Fig. 2 auth hop also runs
+        // under chaos on half the schedules.
+        let security = if i % 2 == 0 {
+            SecurityMode::Central
+        } else {
+            SecurityMode::Open
+        };
+        run(seed, security, TransportMode::InMemory);
+    }
+    for i in 0..tcp_schedules {
+        let seed = base_seed.wrapping_add(0x10_0000 + i);
+        run(seed, SecurityMode::Open, TransportMode::TcpPooled);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    println!("\n  schedules: {schedules} in {elapsed:.1}s");
+    println!(
+        "  ops: {} ({} attempt-level failures absorbed by retry)",
+        total.ops, total.attempt_failures
+    );
+    println!(
+        "  put outcomes: {} acknowledged, {} clean failures, {} executed-unacknowledged",
+        total.put_acknowledged, total.put_clean_failure, total.put_unacknowledged
+    );
+    println!("  injected faults by class:");
+    for (i, class) in ChaosClass::ALL.iter().enumerate() {
+        println!("    {:<18} {}", class.name(), total.chaos[i]);
+    }
+
+    if let Some(path) = json_path {
+        let mut doc = String::new();
+        doc.push_str("{\n");
+        doc.push_str(&format!("  \"schedules\": {schedules},\n"));
+        doc.push_str(&format!("  \"base_seed\": {base_seed},\n"));
+        doc.push_str(&format!("  \"ops\": {},\n", total.ops));
+        doc.push_str(&format!(
+            "  \"attempt_failures\": {},\n",
+            total.attempt_failures
+        ));
+        doc.push_str(&format!(
+            "  \"put_acknowledged\": {},\n",
+            total.put_acknowledged
+        ));
+        doc.push_str(&format!(
+            "  \"put_clean_failure\": {},\n",
+            total.put_clean_failure
+        ));
+        doc.push_str(&format!(
+            "  \"put_unacknowledged\": {},\n",
+            total.put_unacknowledged
+        ));
+        doc.push_str("  \"chaos\": {\n");
+        for (i, class) in ChaosClass::ALL.iter().enumerate() {
+            doc.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                class.name(),
+                total.chaos[i],
+                if i + 1 < ChaosClass::ALL.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        doc.push_str("  },\n");
+        doc.push_str(&format!("  \"panics\": {},\n", panicked.len()));
+        doc.push_str(&format!("  \"violations\": {}\n", total.violations.len()));
+        doc.push_str("}\n");
+        std::fs::write(&path, doc).expect("write json");
+        println!("\nwrote {path}");
+    }
+
+    if !panicked.is_empty() || !violating.is_empty() {
+        eprintln!(
+            "\nFAIL: {} panicking, {} violating schedules",
+            panicked.len(),
+            violating.len()
+        );
+        for seed in panicked.iter().chain(violating.iter()) {
+            eprintln!("  replay with: e12_chaos --seed {seed} (schedule seed {seed:#x})");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall schedules clean");
+}

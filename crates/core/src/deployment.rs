@@ -35,8 +35,9 @@ use portalws_services::{
 };
 use portalws_soap::{SoapClient, SoapServer, SoapService};
 use portalws_wire::{
-    Handler, HttpServer, HttpTransport, InMemoryTransport, Pool, PoolConfig, PooledTransport,
-    Router, ServerHandle, Transport,
+    derive_seed, ChaosConfig, ChaosTransport, Handler, HttpServer, HttpTransport,
+    InMemoryTransport, Pool, PoolConfig, PooledTransport, Router, SeededServerChaos,
+    ServerChaosConfig, ServerHandle, Transport,
 };
 use portalws_wsdl::handler::WsdlHandler;
 use portalws_wsdl::WsdlDefinition;
@@ -71,6 +72,45 @@ pub enum TransportMode {
     /// Keep-alive connections drawn from a deployment-wide pool, with
     /// per-request deadlines and bounded idempotent retry.
     TcpPooled,
+}
+
+/// A deployment-wide fault schedule: one master seed fans out to a
+/// per-host client seed (`derive_seed(seed, host)`) and a per-host server
+/// seed (`derive_seed(seed, "server:<host>")`), so every failure the
+/// topology produces is replayable from the single printed `seed`.
+///
+/// Client-side faults apply in every [`TransportMode`]; the server-side
+/// response hook only exists where there is a real TCP server, so it is a
+/// no-op under [`TransportMode::InMemory`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPolicy {
+    /// Master seed, printed by the soak harness for replay.
+    pub seed: u64,
+    /// Client-side fault probabilities (per request).
+    pub client: ChaosConfig,
+    /// Server-side fault probabilities (per response).
+    pub server: ServerChaosConfig,
+}
+
+impl ChaosPolicy {
+    /// Derive the whole schedule from one seed: fault mixes and rates are
+    /// themselves seeded, so distinct seeds explore distinct regimes.
+    pub fn from_seed(seed: u64) -> ChaosPolicy {
+        ChaosPolicy {
+            seed,
+            client: ChaosConfig::from_seed(derive_seed(seed, "client-config")),
+            server: ServerChaosConfig::from_seed(derive_seed(seed, "server-config")),
+        }
+    }
+
+    /// A fixed moderate mix (every fault class enabled) under `seed`.
+    pub fn moderate(seed: u64) -> ChaosPolicy {
+        ChaosPolicy {
+            seed,
+            client: ChaosConfig::moderate(),
+            server: ServerChaosConfig::moderate(),
+        }
+    }
 }
 
 /// One logical server: a router holding `/soap`, `/wsdl`, and the
@@ -141,8 +181,12 @@ pub struct PortalDeployment {
     soap_servers: HashMap<String, Arc<SoapServer>>,
     /// Keeps TCP servers alive in `over_tcp` mode.
     _tcp_servers: Vec<ServerHandle>,
+    /// Per-host server-side wire counters (TCP modes only) — this is
+    /// where server-injected chaos (drops, truncations, delays) lands.
+    server_stats: HashMap<String, Arc<portalws_wire::WireStats>>,
     security: SecurityMode,
     mode: TransportMode,
+    chaos: Option<ChaosPolicy>,
 }
 
 /// Registered demo users: (principal, secret).
@@ -169,7 +213,27 @@ impl PortalDeployment {
         Self::build(security, TransportMode::TcpPooled)
     }
 
+    /// Stand the testbed up under a deterministic fault schedule: every
+    /// client transport is wrapped in a [`ChaosTransport`] and (in TCP
+    /// modes) every server gets a seeded response hook. The full Fig. 4
+    /// topology then runs under the schedule — E12 soaks this.
+    pub fn with_chaos(
+        security: SecurityMode,
+        mode: TransportMode,
+        policy: ChaosPolicy,
+    ) -> Arc<PortalDeployment> {
+        Self::build_with_chaos(security, mode, Some(policy))
+    }
+
     fn build(security: SecurityMode, mode: TransportMode) -> Arc<PortalDeployment> {
+        Self::build_with_chaos(security, mode, None)
+    }
+
+    fn build_with_chaos(
+        security: SecurityMode,
+        mode: TransportMode,
+        chaos: Option<ChaosPolicy>,
+    ) -> Arc<PortalDeployment> {
         let clock = SimClock::new();
         let grid = Grid::with_clock(Arc::clone(&clock));
         // Mirror the paper testbed hosts/schedulers.
@@ -265,15 +329,26 @@ impl PortalDeployment {
         // ---- transports --------------------------------------------------
         let mut transports: HashMap<String, Arc<dyn Transport>> = HashMap::new();
         let mut tcp_servers = Vec::new();
+        let mut server_stats: HashMap<String, Arc<portalws_wire::WireStats>> = HashMap::new();
+        // Per-host client-side fault wrapper; the seed fans out so each
+        // host draws an independent but replayable fault stream.
+        let chaos_wrap = |host: &str, inner: Arc<dyn Transport>| -> Arc<dyn Transport> {
+            match &chaos {
+                Some(policy) => Arc::new(ChaosTransport::new(
+                    inner,
+                    derive_seed(policy.seed, host),
+                    policy.client,
+                )),
+                None => inner,
+            }
+        };
         match mode {
             TransportMode::InMemory => {
                 for (host, server) in &servers {
-                    transports.insert(
-                        (*host).to_owned(),
-                        Arc::new(InMemoryTransport::new(
-                            Arc::clone(&server.router) as Arc<dyn Handler>
-                        )) as Arc<dyn Transport>,
-                    );
+                    let inner = Arc::new(InMemoryTransport::new(
+                        Arc::clone(&server.router) as Arc<dyn Handler>
+                    )) as Arc<dyn Transport>;
+                    transports.insert((*host).to_owned(), chaos_wrap(host, inner));
                 }
             }
             TransportMode::TcpPerCall | TransportMode::TcpPooled => {
@@ -281,16 +356,27 @@ impl PortalDeployment {
                 // internally by endpoint (unused in per-call mode).
                 let pool = Arc::new(Pool::new(PoolConfig::default()));
                 for (host, server) in &servers {
-                    let handle =
-                        HttpServer::start(Arc::clone(&server.router) as Arc<dyn Handler>, 2)
-                            .expect("bind localhost");
-                    let transport: Arc<dyn Transport> = match mode {
+                    let handler = Arc::clone(&server.router) as Arc<dyn Handler>;
+                    let handle = match &chaos {
+                        Some(policy) => HttpServer::start_chaotic(
+                            handler,
+                            2,
+                            Arc::new(SeededServerChaos::new(
+                                derive_seed(policy.seed, &format!("server:{host}")),
+                                policy.server,
+                            )),
+                        ),
+                        None => HttpServer::start(handler, 2),
+                    }
+                    .expect("bind localhost");
+                    let inner: Arc<dyn Transport> = match mode {
                         TransportMode::TcpPooled => {
                             Arc::new(PooledTransport::with_pool(handle.addr(), Arc::clone(&pool)))
                         }
                         _ => Arc::new(HttpTransport::new(handle.addr())),
                     };
-                    transports.insert((*host).to_owned(), transport);
+                    transports.insert((*host).to_owned(), chaos_wrap(host, inner));
+                    server_stats.insert((*host).to_owned(), Arc::clone(handle.stats()));
                     tcp_servers.push(handle);
                 }
             }
@@ -329,8 +415,10 @@ impl PortalDeployment {
             mutual: std::sync::atomic::AtomicBool::new(false),
             soap_servers,
             _tcp_servers: tcp_servers,
+            server_stats,
             security,
             mode,
+            chaos,
         };
         deployment.apply_guards(None);
         deployment.populate_registries();
@@ -345,6 +433,19 @@ impl PortalDeployment {
     /// Transport regime in effect.
     pub fn transport_mode(&self) -> TransportMode {
         self.mode
+    }
+
+    /// The fault schedule in effect, if any.
+    pub fn chaos_policy(&self) -> Option<ChaosPolicy> {
+        self.chaos
+    }
+
+    /// Server-side wire counters for a logical host (TCP modes only;
+    /// in-memory deployments have no server loop). Server-injected chaos
+    /// — drops, delays, truncations — is counted here, while client-side
+    /// chaos lands on [`PortalDeployment::transport`]'s stats.
+    pub fn server_wire_stats(&self, host: &str) -> Option<Arc<portalws_wire::WireStats>> {
+        self.server_stats.get(host).map(Arc::clone)
     }
 
     /// Hosts whose SSPs are guarded. The paper guards protected services,
@@ -757,6 +858,56 @@ mod tests {
             "verification hop reused pooled connections: {snap:?}"
         );
         assert!(snap.connections < snap.requests, "fewer dials than calls");
+    }
+
+    #[test]
+    fn chaotic_deployment_replays_identically_from_the_same_seed() {
+        // Two deployments under the same master seed must produce the
+        // same per-class fault counts for the same call sequence — that
+        // is the whole point of printing a seed on soak failure.
+        let counts = |seed: u64| {
+            let d = PortalDeployment::with_chaos(
+                SecurityMode::Open,
+                TransportMode::InMemory,
+                ChaosPolicy::moderate(seed),
+            );
+            let t = d.transport("grid.sdsc.edu").unwrap();
+            let client = SoapClient::new(Arc::clone(&t), "JobSubmission");
+            for _ in 0..40 {
+                let _ = client.call("listHosts", &[]);
+            }
+            let snap = t.stats().snapshot();
+            portalws_wire::ChaosClass::ALL
+                .iter()
+                .map(|c| snap.chaos_class(*c))
+                .collect::<Vec<u64>>()
+        };
+        let a = counts(0xE12_0001);
+        let b = counts(0xE12_0001);
+        let c = counts(0xE12_0002);
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert!(a.iter().sum::<u64>() > 0, "moderate chaos injected faults");
+        assert_ne!(a, c, "different seeds explore different sequences");
+    }
+
+    #[test]
+    fn chaos_policy_fans_out_per_host() {
+        let d = PortalDeployment::with_chaos(
+            SecurityMode::Open,
+            TransportMode::InMemory,
+            ChaosPolicy::from_seed(7),
+        );
+        assert_eq!(d.chaos_policy().map(|p| p.seed), Some(7));
+        // Transports on different hosts still answer (chaos is a wrapper,
+        // not a replacement), and calls can succeed under a from_seed mix.
+        let client = SoapClient::new(d.transport("hotpage.sdsc.edu").unwrap(), "BatchScriptGen");
+        let mut ok = 0;
+        for _ in 0..30 {
+            if client.call("supportedSchedulers", &[]).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 0, "some calls survive the fault schedule");
     }
 
     #[test]

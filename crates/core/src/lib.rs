@@ -23,7 +23,7 @@ pub mod deployment;
 pub mod shell;
 pub mod ui;
 
-pub use deployment::{PortalDeployment, SecurityMode, TransportMode};
+pub use deployment::{ChaosPolicy, PortalDeployment, SecurityMode, TransportMode};
 pub use shell::PortalShell;
 pub use ui::UiServer;
 

@@ -79,10 +79,23 @@ pub struct Srb {
     state: RwLock<SrbState>,
 }
 
+/// Parse a logical SRB path. Paths are absolute with non-empty segments;
+/// a missing leading slash, a doubled slash, or a trailing slash is
+/// malformed and faults rather than being silently collapsed —
+/// `//home-alice` must not resolve as if it were `/home-alice` (or, worse,
+/// skip the top-level segment the ACL and quota lookups key on).
 fn split(path: &str) -> SrbResult<Vec<&str>> {
-    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    if segs.is_empty() {
+    let rest = path
+        .strip_prefix('/')
+        .ok_or_else(|| SrbError::Invalid(format!("path {path:?} is not absolute")))?;
+    if rest.is_empty() {
         return Err(SrbError::Invalid("empty path".into()));
+    }
+    let segs: Vec<&str> = rest.split('/').collect();
+    if segs.iter().any(|s| s.is_empty()) {
+        return Err(SrbError::Invalid(format!(
+            "path {path:?} has an empty segment"
+        )));
     }
     Ok(segs)
 }
@@ -138,7 +151,12 @@ impl Srb {
     }
 
     fn check_access(state: &SrbState, principal: &str, segs: &[&str]) -> SrbResult<()> {
-        let top = segs.first().copied().unwrap_or("");
+        // `split` guarantees a non-empty, non-blank top segment; an empty
+        // slice here is a caller bug, not a world-readable root.
+        let top = segs
+            .first()
+            .copied()
+            .ok_or_else(|| SrbError::Invalid("empty path".into()))?;
         if let Some(allowed) = state.acls.get(top) {
             if !allowed.iter().any(|p| p == principal) {
                 return Err(SrbError::PermissionDenied(format!("/{top}")));
@@ -255,8 +273,12 @@ impl Srb {
         let mut state = self.state.write();
         Self::check_access(&state, principal, &segs)?;
         let (name, dirs) = segs.split_last().expect("split checked non-empty");
-        // Quota check against the top-level collection.
-        let top = segs.first().copied().unwrap_or("");
+        // Quota check against the top-level collection. `split` guarantees
+        // the segment exists; never fall back to the root's quota entry.
+        let top = segs
+            .first()
+            .copied()
+            .ok_or_else(|| SrbError::Invalid("empty path".into()))?;
         if let Some(&quota) = state.quotas.get(top) {
             let existing = match Self::descend(&state.root, dirs)
                 .ok()
@@ -413,6 +435,48 @@ mod tests {
         srb.put("u", "/d/bin", &[0xFF, 0xFE]).unwrap();
         assert!(srb.cat("u", "/d/bin").is_err());
         assert_eq!(srb.get("u", "/d/bin").unwrap(), vec![0xFF, 0xFE]);
+    }
+
+    #[test]
+    fn malformed_paths_fault_instead_of_resolving_as_root() {
+        // Regression (flushed out by the e12 chaos soak's path fuzzing):
+        // `segs.first().copied().unwrap_or("")` silently treated these as
+        // the root collection, so `//home-alice` bypassed the ACL keyed on
+        // "home-alice". Each malformed shape must fault.
+        let srb = Srb::testbed(&["alice"]);
+        for bad in [
+            "",
+            "/",
+            "//",
+            "home-alice",         // not absolute
+            "//home-alice",       // doubled leading slash
+            "/home-alice//notes", // empty middle segment
+            "/home-alice/",       // trailing slash
+        ] {
+            assert!(
+                matches!(srb.ls("mallory", bad), Err(SrbError::Invalid(_))),
+                "ls({bad:?}) must be Invalid"
+            );
+            assert!(
+                matches!(srb.get("mallory", bad), Err(SrbError::Invalid(_))),
+                "get({bad:?}) must be Invalid"
+            );
+            assert!(
+                matches!(srb.put("mallory", bad, b"x"), Err(SrbError::Invalid(_))),
+                "put({bad:?}) must be Invalid"
+            );
+            assert!(
+                matches!(srb.mkdir(bad), Err(SrbError::Invalid(_))),
+                "mkdir({bad:?}) must be Invalid"
+            );
+        }
+        // The well-formed path still works for its owner and still denies
+        // everyone else.
+        assert!(srb.ls("alice", "/home-alice").is_ok());
+        assert!(matches!(
+            srb.ls("mallory", "/home-alice"),
+            Err(SrbError::PermissionDenied(_))
+        ));
     }
 
     #[test]

@@ -718,6 +718,24 @@ mod tests {
     }
 
     #[test]
+    fn chaos_module_is_covered_by_the_panic_rule() {
+        // Pin: the fault-injection module rides the server hot path (the
+        // workspace scan derives panic rules from SERVER_CRATES by crate
+        // directory), so a panic sneaking into wire::chaos must be flagged
+        // exactly like any other wire source file.
+        assert!(SERVER_CRATES.contains(&"wire"));
+        let src = "fn plan(rng: &std::sync::Mutex<u64>) -> u64 {\n    *rng.lock().unwrap()\n}\n";
+        let a = analyze_file("crates/wire/src/chaos.rs", src, FileRules::all());
+        let live: Vec<&Violation> = a
+            .violations
+            .iter()
+            .filter(|v| !v.suppressed && v.kind == "unwrap")
+            .collect();
+        assert_eq!(live.len(), 1, "{:?}", a.violations);
+        assert_eq!(live[0].line, 2);
+    }
+
+    #[test]
     fn unwrap_or_else_is_not_unwrap() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }";
         let a = analyze_file("f.rs", src, FileRules::all());

@@ -67,7 +67,12 @@ impl DataManagementService {
         let outcome = (|| -> Result<Element, SrbError> {
             match op.as_str() {
                 "ls" => {
-                    let path = cmd.attr("collection").unwrap_or("/");
+                    // The broker rejects relative and blank paths, so a
+                    // missing attribute faults up front instead of being
+                    // papered over with a default.
+                    let path = cmd
+                        .attr("collection")
+                        .ok_or_else(|| SrbError::Invalid("ls needs collection".into()))?;
                     let entries = self.srb.ls(principal, path)?;
                     let mut out = Element::new("result").with_attr("op", "ls");
                     for e in entries {

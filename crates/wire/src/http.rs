@@ -367,7 +367,22 @@ fn read_headers_and_body(reader: &mut impl BufRead) -> Result<HeadersAndBody> {
             .ok_or_else(|| WireError::BadFrame(format!("malformed header line {line:?}")))?;
         headers.push((k.trim().to_owned(), v.trim().to_owned()));
     }
-    let len: usize = match header_lookup(&headers, "content-length") {
+    // Reject duplicate Content-Length headers outright (even when the
+    // values agree): taking "the first match" while a peer or proxy takes
+    // the other is the request-smuggling shape, and our own serializers
+    // never emit more than one.
+    let mut declared: Option<&str> = None;
+    for (k, v) in &headers {
+        if k.eq_ignore_ascii_case("content-length") {
+            if let Some(prev) = declared {
+                return Err(WireError::BadFrame(format!(
+                    "duplicate Content-Length headers ({prev:?}, {v:?})"
+                )));
+            }
+            declared = Some(v);
+        }
+    }
+    let len: usize = match declared {
         None => 0,
         Some(v) => v
             .parse()
@@ -568,6 +583,39 @@ mod tests {
                 other => panic!("{bad}: expected BadFrame, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Regression (request-smuggling shape): two Content-Length headers
+        // used to resolve to "the first match"; a peer or intermediary
+        // honoring the second would disagree about where the body ends.
+        let conflicting =
+            "POST /p HTTP/1.0\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\nbodybytes";
+        match Request::read_from(conflicting.as_bytes()) {
+            Err(WireError::BadFrame(msg)) => {
+                assert!(msg.contains("duplicate Content-Length"), "{msg}")
+            }
+            other => panic!("expected BadFrame, got {other:?}"),
+        }
+        // Even agreeing duplicates are malformed: strictness beats guessing.
+        let agreeing = "POST /p HTTP/1.0\r\ncontent-length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        assert!(matches!(
+            Request::read_from(agreeing.as_bytes()),
+            Err(WireError::BadFrame(_))
+        ));
+        // Responses go through the same reader.
+        let resp = "HTTP/1.0 200 OK\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nabc";
+        assert!(matches!(
+            Response::read_from(resp.as_bytes()),
+            Err(WireError::BadFrame(_))
+        ));
+        // A single Content-Length still parses as before.
+        let ok = "POST /p HTTP/1.0\r\nContent-Length: 4\r\n\r\nbody";
+        assert_eq!(
+            Request::read_from(ok.as_bytes()).unwrap().body_str(),
+            "body"
+        );
     }
 
     #[test]

@@ -21,19 +21,28 @@
 //! * [`stats`] — atomic counters for requests, connections, bytes, and
 //!   pool behavior (reuse, evictions, retries, timeouts), read by the
 //!   experiment harness.
+//! * [`chaos`] — deterministic, seed-driven fault injection: a client-side
+//!   [`chaos::ChaosTransport`] wrapper and a server-side response hook
+//!   ([`chaos::ServerChaos`]), every decision replayable from a printed
+//!   seed and counted per fault class in [`stats`].
 
+pub mod chaos;
 pub mod http;
 pub mod pool;
 pub mod server;
 pub mod stats;
 pub mod transport;
 
+pub use chaos::{
+    derive_seed, ChaosConfig, ChaosRng, ChaosTransport, SeededServerChaos, ServerChaos,
+    ServerChaosConfig, ServerFault,
+};
 pub use http::{Request, Response, Status, MAX_BODY_BYTES};
 pub use pool::{
     Deadline, Pool, PoolConfig, PooledTransport, RetryPolicy, DEADLINE_HEADER, IDEMPOTENT_HEADER,
 };
 pub use server::{Handler, HttpServer, Router, ServerHandle};
-pub use stats::{StatsSnapshot, WireStats};
+pub use stats::{ChaosClass, StatsSnapshot, WireStats};
 pub use transport::{HttpTransport, InMemoryTransport, Transport};
 
 use std::fmt;

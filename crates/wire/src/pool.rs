@@ -301,21 +301,36 @@ impl PooledTransport {
         &self.pool
     }
 
-    /// One attempt: checkout-or-dial, exchange, park on success. A failure
-    /// on a *reused* connection is retried once on a fresh dial without
-    /// consuming the caller's retry budget — the server merely closed an
-    /// idle connection under us, which the pool must absorb.
-    fn attempt(&self, bytes: &[u8], deadline: Option<&Deadline>) -> Result<Response> {
+    /// One attempt: checkout-or-dial, exchange, park on success.
+    ///
+    /// A *reused* connection that fails before any response byte arrives
+    /// was merely closed idle under us; the pool absorbs that with one
+    /// fresh dial for any method — re-sending cannot double-execute a
+    /// request the server never started answering — without consuming the
+    /// caller's retry budget. Once response bytes have arrived the server
+    /// may have executed the request, so only idempotent requests redial;
+    /// a non-idempotent request surfaces the error.
+    fn attempt(
+        &self,
+        bytes: &[u8],
+        deadline: Option<&Deadline>,
+        idempotent: bool,
+    ) -> Result<Response> {
         if let Some(conn) = self.pool.checkout(&self.addr, &self.stats) {
             match self.exchange(conn, bytes, deadline) {
                 Ok(resp) => return Ok(resp),
-                Err(_) => self.stats.record_pool_reuse_miss(),
+                Err(failure) => {
+                    self.stats.record_pool_reuse_miss();
+                    if failure.response_started && !idempotent {
+                        return Err(failure.err);
+                    }
+                }
             }
         } else {
             self.stats.record_pool_reuse_miss();
         }
         let conn = self.dial(deadline)?;
-        self.exchange(conn, bytes, deadline)
+        self.exchange(conn, bytes, deadline).map_err(|f| f.err)
     }
 
     fn dial(&self, deadline: Option<&Deadline>) -> Result<TcpStream> {
@@ -341,27 +356,72 @@ impl PooledTransport {
         mut conn: TcpStream,
         bytes: &[u8],
         deadline: Option<&Deadline>,
-    ) -> Result<Response> {
+    ) -> std::result::Result<Response, AttemptFailure> {
         if let Some(d) = deadline {
-            let budget = d
-                .remaining()
-                .ok_or_else(|| WireError::Timeout(format!("calling {}", self.addr)))?;
-            conn.set_write_timeout(Some(budget))?;
-            conn.set_read_timeout(Some(budget))?;
+            let budget = d.remaining().ok_or_else(|| {
+                AttemptFailure::before_response(WireError::Timeout(format!(
+                    "calling {}",
+                    self.addr
+                )))
+            })?;
+            conn.set_write_timeout(Some(budget))
+                .map_err(AttemptFailure::before_response)?;
+            conn.set_read_timeout(Some(budget))
+                .map_err(AttemptFailure::before_response)?;
         } else {
-            conn.set_write_timeout(None)?;
-            conn.set_read_timeout(None)?;
+            conn.set_write_timeout(None)
+                .map_err(AttemptFailure::before_response)?;
+            conn.set_read_timeout(None)
+                .map_err(AttemptFailure::before_response)?;
         }
         {
             use std::io::Write;
-            conn.write_all(bytes)?;
-            conn.flush()?;
+            conn.write_all(bytes)
+                .map_err(AttemptFailure::before_response)?;
+            conn.flush().map_err(AttemptFailure::before_response)?;
         }
-        let resp = Response::read_from(&conn)?;
+        // Block for the first response byte without consuming it, so a
+        // failure splits cleanly into before/after the response started —
+        // the fact `attempt` needs to know whether a redial is safe.
+        let mut probe = [0u8; 1];
+        match conn.peek(&mut probe) {
+            Ok(0) => {
+                return Err(AttemptFailure::before_response(WireError::Io(
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed before sending any response byte",
+                    ),
+                )))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(AttemptFailure::before_response(e)),
+        }
+        let resp = Response::read_from(&conn).map_err(|err| AttemptFailure {
+            err,
+            response_started: true,
+        })?;
         self.stats
             .record_exchange(bytes.len(), resp.to_bytes().len());
         self.pool.checkin(&self.addr, conn, &self.stats);
         Ok(resp)
+    }
+}
+
+/// Failure detail for one exchange attempt: whether any response bytes had
+/// already arrived when it failed. Before the first byte, the server
+/// cannot have answered (and a reused-connection failure is just a stale
+/// keep-alive); after it, the request may have executed.
+struct AttemptFailure {
+    err: WireError,
+    response_started: bool,
+}
+
+impl AttemptFailure {
+    fn before_response(err: impl Into<WireError>) -> AttemptFailure {
+        AttemptFailure {
+            err: err.into(),
+            response_started: false,
+        }
     }
 }
 
@@ -384,11 +444,14 @@ fn is_timeout_io(err: &WireError) -> bool {
 
 impl Transport for PooledTransport {
     fn round_trip(&self, req: Request) -> Result<Response> {
-        let budget = req
-            .header(DEADLINE_HEADER)
-            .and_then(|v| v.parse::<u64>().ok())
-            .map(Duration::from_millis)
-            .or(self.deadline);
+        // A malformed deadline header is a caller bug; silently dropping
+        // it would run an intended-to-be-bounded call with no budget.
+        let budget = match req.header(DEADLINE_HEADER) {
+            Some(v) => Some(Duration::from_millis(v.parse::<u64>().map_err(|_| {
+                WireError::BadFrame(format!("malformed {DEADLINE_HEADER} header {v:?}"))
+            })?)),
+            None => self.deadline,
+        };
         let deadline = budget.map(Deadline::within);
         let retryable = is_idempotent(&req);
         let req = req.with_header("Connection", "keep-alive");
@@ -396,7 +459,7 @@ impl Transport for PooledTransport {
 
         let mut retry = 0u32;
         loop {
-            match self.attempt(&bytes, deadline.as_ref()) {
+            match self.attempt(&bytes, deadline.as_ref(), retryable) {
                 Ok(resp) => return Ok(resp),
                 Err(err) => {
                     self.stats.record_error();
@@ -614,6 +677,139 @@ mod tests {
         ));
         assert!(start.elapsed() < Duration::from_millis(300));
         hold.join().unwrap();
+    }
+
+    #[test]
+    fn stale_reused_connection_redials_once_for_non_idempotent() {
+        // Regression for the e12_chaos stale-keep-alive class (any seeded
+        // schedule with `stale_keep_alive > 0`, e.g. seed 0x1 under
+        // `ChaosConfig::from_seed`): a POST on a reused keep-alive
+        // connection that dies *before any response byte* must be re-sent
+        // transparently on a fresh dial, not surfaced — the server never
+        // started answering, so re-sending cannot double-execute.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let srv = std::thread::spawn(move || {
+            // Connection 1: answer the first request, leave the connection
+            // parked, then read the second request and close unanswered.
+            let (c1, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(c1.try_clone().unwrap());
+            let r1 = Request::read_from_buffered(&mut reader).unwrap();
+            Response::ok("text/plain", r1.body).write_to(&c1).unwrap();
+            let _r2 = Request::read_from_buffered(&mut reader).unwrap();
+            drop(reader); // the reader clones the socket: close both halves
+            drop(c1);
+            // Connection 2: the transparent redial carries the re-send.
+            let (c2, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(c2.try_clone().unwrap());
+            let r3 = Request::read_from_buffered(&mut reader).unwrap();
+            Response::ok("text/plain", r3.body.clone())
+                .write_to(&c2)
+                .unwrap();
+            r3.body_str()
+        });
+        // RetryPolicy::none(): the redial must come from the pool's
+        // stale-connection handling, not the retry loop.
+        let t = PooledTransport::new(&addr).with_retry(RetryPolicy::none());
+        t.round_trip(Request::post("/x", "first")).unwrap();
+        let resp = t.round_trip(Request::post("/x", "second")).unwrap();
+        assert_eq!(resp.body_str(), "second");
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.connections, 2, "exactly one redial");
+        assert_eq!(snap.pool_reuse_hits, 1);
+        assert_eq!(snap.pool_reuse_misses, 2, "cold start + failed reuse");
+        assert_eq!(snap.retries, 0, "no retry budget consumed");
+        assert_eq!(srv.join().unwrap(), "second", "server saw the re-send");
+    }
+
+    #[test]
+    fn non_idempotent_failure_after_response_started_is_surfaced() {
+        // Regression for the e12_chaos mid-stream-close class: once
+        // response bytes have arrived, the server may have executed the
+        // POST, so the pool must NOT re-send it — the error surfaces and
+        // the caller decides.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let srv = std::thread::spawn(move || {
+            let (c1, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(c1.try_clone().unwrap());
+            let r1 = Request::read_from_buffered(&mut reader).unwrap();
+            Response::ok("text/plain", r1.body).write_to(&c1).unwrap();
+            let _r2 = Request::read_from_buffered(&mut reader).unwrap();
+            // Start the response, then die mid-frame.
+            use std::io::Write;
+            (&c1).write_all(b"HTTP/1.0 200 OK\r\nContent-Le").unwrap();
+            drop(reader); // the reader clones the socket: close both halves
+            drop(c1);
+            // A (buggy) re-send would dial again; watch for it briefly.
+            listener.set_nonblocking(true).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+            listener.accept().is_ok()
+        });
+        let t = PooledTransport::new(&addr).with_retry(RetryPolicy::none());
+        t.round_trip(Request::post("/x", "first")).unwrap();
+        let err = t.round_trip(Request::post("/x", "second")).unwrap_err();
+        assert!(
+            matches!(err, WireError::Io(_) | WireError::BadFrame(_)),
+            "got {err}"
+        );
+        assert!(
+            !srv.join().unwrap(),
+            "POST must not be re-sent after response bytes arrived"
+        );
+        assert_eq!(t.stats().snapshot().connections, 1, "no redial");
+    }
+
+    #[test]
+    fn idempotent_request_redials_even_after_response_started() {
+        // The counterpart: a GET interrupted mid-response is safe to
+        // re-send, and the pool does so on a fresh connection.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let srv = std::thread::spawn(move || {
+            let (c1, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(c1.try_clone().unwrap());
+            let _r1 = Request::read_from_buffered(&mut reader).unwrap();
+            Response::ok("text/plain", "one").write_to(&c1).unwrap();
+            let _r2 = Request::read_from_buffered(&mut reader).unwrap();
+            use std::io::Write;
+            (&c1).write_all(b"HTTP/1.0 200 OK\r\nContent-Le").unwrap();
+            drop(reader); // the reader clones the socket: close both halves
+            drop(c1);
+            let (c2, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(c2.try_clone().unwrap());
+            let _r3 = Request::read_from_buffered(&mut reader).unwrap();
+            Response::ok("text/plain", "redial-ok")
+                .write_to(&c2)
+                .unwrap();
+        });
+        let t = PooledTransport::new(&addr).with_retry(RetryPolicy::none());
+        t.round_trip(Request::get("/status")).unwrap();
+        let resp = t.round_trip(Request::get("/status")).unwrap();
+        assert_eq!(resp.body_str(), "redial-ok");
+        assert_eq!(t.stats().snapshot().connections, 2);
+        srv.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_deadline_header_is_rejected_not_ignored() {
+        // Regression: `parse().ok()` used to drop a malformed deadline
+        // header silently, running the call with no budget at all.
+        let t = PooledTransport::new("127.0.0.1:1");
+        for bad in ["soon", "-5", "1.5", "", "10s"] {
+            let req = Request::post("/x", "a").with_header(DEADLINE_HEADER, bad);
+            match t.round_trip(req) {
+                Err(WireError::BadFrame(msg)) => {
+                    assert!(msg.contains(DEADLINE_HEADER), "{msg}")
+                }
+                other => panic!("{bad:?}: expected BadFrame, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            t.stats().snapshot().connections,
+            0,
+            "rejected before any dial"
+        );
     }
 
     #[test]

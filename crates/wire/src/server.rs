@@ -19,6 +19,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 
+use crate::chaos::{apply_server_fault, ServerChaos, ServerFault};
 use crate::http::{Request, Response, Status};
 use crate::stats::WireStats;
 use crate::Result;
@@ -149,6 +150,26 @@ impl HttpServer {
         handler: Arc<dyn Handler>,
         workers: usize,
     ) -> Result<ServerHandle> {
+        HttpServer::start_inner(addr, handler, workers, None)
+    }
+
+    /// Start serving with a server-side chaos hook: `chaos` is consulted
+    /// per request after the handler runs and may drop, delay, or truncate
+    /// the response (the fault classes of `wire::chaos`).
+    pub fn start_chaotic(
+        handler: Arc<dyn Handler>,
+        workers: usize,
+        chaos: Arc<dyn ServerChaos>,
+    ) -> Result<ServerHandle> {
+        HttpServer::start_inner("127.0.0.1:0", handler, workers, Some(chaos))
+    }
+
+    fn start_inner(
+        addr: impl std::net::ToSocketAddrs,
+        handler: Arc<dyn Handler>,
+        workers: usize,
+        chaos: Option<Arc<dyn ServerChaos>>,
+    ) -> Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -180,13 +201,21 @@ impl HttpServer {
                 let handler = Arc::clone(&handler);
                 let stats = Arc::clone(&stats);
                 let shutdown = Arc::clone(&shutdown);
+                let chaos = chaos.clone();
                 std::thread::spawn(move || {
                     // Per-worker scratch: the response serialize buffer
                     // lives as long as the worker and is reused across
                     // every connection (and keep-alive request) it serves.
                     let mut scratch = WorkerScratch::default();
                     while let Ok(stream) = rx.recv() {
-                        serve_one(&*handler, stream, &stats, &shutdown, &mut scratch);
+                        serve_one(
+                            &*handler,
+                            stream,
+                            &stats,
+                            &shutdown,
+                            &mut scratch,
+                            chaos.as_deref(),
+                        );
                         if shutdown.load(Ordering::SeqCst) {
                             break;
                         }
@@ -228,6 +257,7 @@ fn serve_one(
     stats: &WireStats,
     shutdown: &AtomicBool,
     scratch: &mut WorkerScratch,
+    chaos: Option<&dyn ServerChaos>,
 ) {
     let Ok(mut out) = stream.try_clone() else {
         return;
@@ -291,8 +321,17 @@ fn serve_one(
         }
         stats.record_scratch_high_water(scratch.out.capacity() as u64);
         stats.record_exchange(scratch.out.len(), req.wire_len());
+        // The chaos hook runs after the handler: its drop/truncate classes
+        // model "the operation executed but the reply never (fully)
+        // arrived", which is exactly the ambiguity clients must survive.
+        let fault = chaos
+            .map(|c| c.decide(&req))
+            .unwrap_or(ServerFault::Deliver);
         {
             use std::io::Write;
+            if !apply_server_fault(fault, &mut out, &scratch.out, stats) {
+                return; // response dropped or truncated: close mid-frame
+            }
             if out.write_all(&scratch.out).is_err() || out.flush().is_err() {
                 return;
             }
@@ -420,6 +459,45 @@ mod tests {
         assert_eq!(r1.body_str(), "first");
         assert_eq!(r2.body_str(), "second");
         assert_eq!(server.stats().snapshot().requests, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn chaotic_server_drops_and_truncates_but_always_executes() {
+        use crate::chaos::{SeededServerChaos, ServerChaosConfig};
+        // Heavy mix so a small sample exercises every class.
+        let cfg = ServerChaosConfig {
+            drop: 0.3,
+            delay: 0.1,
+            truncate: 0.3,
+            max_delay_ms: 2,
+        };
+        let chaos = Arc::new(SeededServerChaos::new(0x5EED, cfg));
+        let server = HttpServer::start_chaotic(echo_handler(), 2, chaos).unwrap();
+        let addr = server.addr();
+        let n = 40;
+        let mut failures = 0u64;
+        for i in 0..n {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let body = format!("m{i}");
+            conn.write_all(&Request::post("/x", body.clone()).to_bytes())
+                .unwrap();
+            match Response::read_from(&conn) {
+                Ok(resp) => assert_eq!(resp.body_str(), body),
+                Err(_) => failures += 1,
+            }
+        }
+        let snap = server.stats().snapshot();
+        assert_eq!(
+            snap.requests, n,
+            "handler runs even when the reply is dropped: {snap:?}"
+        );
+        assert!(failures > 0, "mix should break some replies: {snap:?}");
+        assert_eq!(
+            snap.chaos_drops + snap.chaos_truncations,
+            failures,
+            "every client-visible failure is an injected one: {snap:?}"
+        );
         server.shutdown();
     }
 

@@ -17,6 +17,53 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use portalws_xml::stats as xml_stats;
 
+/// Fault classes injected by `wire::chaos`, counted per class so a soak
+/// run (E12) can report how many of each failure shape the schedule
+/// actually exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosClass {
+    /// Dial refused before any bytes were exchanged.
+    ConnectRefused,
+    /// Connection closed while a request or response was in flight.
+    MidStreamClose,
+    /// Response cut short at a byte boundary inside the frame.
+    Truncation,
+    /// Response delivered with corrupted header or XML body bytes.
+    Corruption,
+    /// Exchange paced/delayed (slow-loris or server-side delay).
+    Delay,
+    /// Idle keep-alive connection found closed by the peer.
+    StaleClose,
+    /// Response dropped entirely after the handler ran (server side).
+    Drop,
+}
+
+impl ChaosClass {
+    /// All classes, in display order.
+    pub const ALL: [ChaosClass; 7] = [
+        ChaosClass::ConnectRefused,
+        ChaosClass::MidStreamClose,
+        ChaosClass::Truncation,
+        ChaosClass::Corruption,
+        ChaosClass::Delay,
+        ChaosClass::StaleClose,
+        ChaosClass::Drop,
+    ];
+
+    /// Stable lowercase name (used in JSON artifacts and logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosClass::ConnectRefused => "connect_refused",
+            ChaosClass::MidStreamClose => "mid_stream_close",
+            ChaosClass::Truncation => "truncation",
+            ChaosClass::Corruption => "corruption",
+            ChaosClass::Delay => "delay",
+            ChaosClass::StaleClose => "stale_close",
+            ChaosClass::Drop => "drop",
+        }
+    }
+}
+
 /// Shared, lock-free wire counters. All methods use relaxed ordering: the
 /// counters are statistics, not synchronization (per the atomics guidance:
 /// use the weakest ordering that is correct for the purpose).
@@ -34,6 +81,13 @@ pub struct WireStats {
     timeouts: AtomicU64,
     scratch_growths: AtomicU64,
     scratch_high_water: AtomicU64,
+    chaos_connect_refused: AtomicU64,
+    chaos_mid_stream_closes: AtomicU64,
+    chaos_truncations: AtomicU64,
+    chaos_corruptions: AtomicU64,
+    chaos_delays: AtomicU64,
+    chaos_stale_closes: AtomicU64,
+    chaos_drops: AtomicU64,
     // Baseline of the process-global substrate counters, captured at
     // construction/reset so snapshots report deltas, not process history.
     base_escape_borrowed: AtomicU64,
@@ -65,6 +119,13 @@ impl WireStats {
             timeouts: AtomicU64::new(0),
             scratch_growths: AtomicU64::new(0),
             scratch_high_water: AtomicU64::new(0),
+            chaos_connect_refused: AtomicU64::new(0),
+            chaos_mid_stream_closes: AtomicU64::new(0),
+            chaos_truncations: AtomicU64::new(0),
+            chaos_corruptions: AtomicU64::new(0),
+            chaos_delays: AtomicU64::new(0),
+            chaos_stale_closes: AtomicU64::new(0),
+            chaos_drops: AtomicU64::new(0),
             base_escape_borrowed: AtomicU64::new(base.escape_borrowed),
             base_escape_owned: AtomicU64::new(base.escape_owned),
             base_unescape_borrowed: AtomicU64::new(base.unescape_borrowed),
@@ -131,6 +192,20 @@ impl WireStats {
             .fetch_max(capacity, Ordering::Relaxed);
     }
 
+    /// Record one injected fault of the given class.
+    pub fn record_chaos(&self, class: ChaosClass) {
+        let counter = match class {
+            ChaosClass::ConnectRefused => &self.chaos_connect_refused,
+            ChaosClass::MidStreamClose => &self.chaos_mid_stream_closes,
+            ChaosClass::Truncation => &self.chaos_truncations,
+            ChaosClass::Corruption => &self.chaos_corruptions,
+            ChaosClass::Delay => &self.chaos_delays,
+            ChaosClass::StaleClose => &self.chaos_stale_closes,
+            ChaosClass::Drop => &self.chaos_drops,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Read all counters at once.
     pub fn snapshot(&self) -> StatsSnapshot {
         let xml = xml_stats::snapshot();
@@ -147,6 +222,13 @@ impl WireStats {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             scratch_growths: self.scratch_growths.load(Ordering::Relaxed),
             scratch_high_water: self.scratch_high_water.load(Ordering::Relaxed),
+            chaos_connect_refused: self.chaos_connect_refused.load(Ordering::Relaxed),
+            chaos_mid_stream_closes: self.chaos_mid_stream_closes.load(Ordering::Relaxed),
+            chaos_truncations: self.chaos_truncations.load(Ordering::Relaxed),
+            chaos_corruptions: self.chaos_corruptions.load(Ordering::Relaxed),
+            chaos_delays: self.chaos_delays.load(Ordering::Relaxed),
+            chaos_stale_closes: self.chaos_stale_closes.load(Ordering::Relaxed),
+            chaos_drops: self.chaos_drops.load(Ordering::Relaxed),
             escape_borrowed: xml
                 .escape_borrowed
                 .wrapping_sub(self.base_escape_borrowed.load(Ordering::Relaxed)),
@@ -176,6 +258,13 @@ impl WireStats {
         self.timeouts.store(0, Ordering::Relaxed);
         self.scratch_growths.store(0, Ordering::Relaxed);
         self.scratch_high_water.store(0, Ordering::Relaxed);
+        self.chaos_connect_refused.store(0, Ordering::Relaxed);
+        self.chaos_mid_stream_closes.store(0, Ordering::Relaxed);
+        self.chaos_truncations.store(0, Ordering::Relaxed);
+        self.chaos_corruptions.store(0, Ordering::Relaxed);
+        self.chaos_delays.store(0, Ordering::Relaxed);
+        self.chaos_stale_closes.store(0, Ordering::Relaxed);
+        self.chaos_drops.store(0, Ordering::Relaxed);
         let base = xml_stats::snapshot();
         self.base_escape_borrowed
             .store(base.escape_borrowed, Ordering::Relaxed);
@@ -215,6 +304,20 @@ pub struct StatsSnapshot {
     pub scratch_growths: u64,
     /// Largest worker serialize-scratch capacity seen (bytes).
     pub scratch_high_water: u64,
+    /// Injected connect-refused faults.
+    pub chaos_connect_refused: u64,
+    /// Injected mid-stream connection closes.
+    pub chaos_mid_stream_closes: u64,
+    /// Injected response truncations.
+    pub chaos_truncations: u64,
+    /// Injected header/body corruptions.
+    pub chaos_corruptions: u64,
+    /// Injected pacing delays.
+    pub chaos_delays: u64,
+    /// Injected stale-keep-alive closes.
+    pub chaos_stale_closes: u64,
+    /// Responses dropped by server-side chaos.
+    pub chaos_drops: u64,
     /// `escape_text`/`escape_attr` calls that borrowed (no allocation).
     pub escape_borrowed: u64,
     /// Escape calls that had to allocate an escaped copy.
@@ -244,6 +347,13 @@ impl StatsSnapshot {
             timeouts: self.timeouts - earlier.timeouts,
             scratch_growths: self.scratch_growths - earlier.scratch_growths,
             scratch_high_water: self.scratch_high_water,
+            chaos_connect_refused: self.chaos_connect_refused - earlier.chaos_connect_refused,
+            chaos_mid_stream_closes: self.chaos_mid_stream_closes - earlier.chaos_mid_stream_closes,
+            chaos_truncations: self.chaos_truncations - earlier.chaos_truncations,
+            chaos_corruptions: self.chaos_corruptions - earlier.chaos_corruptions,
+            chaos_delays: self.chaos_delays - earlier.chaos_delays,
+            chaos_stale_closes: self.chaos_stale_closes - earlier.chaos_stale_closes,
+            chaos_drops: self.chaos_drops - earlier.chaos_drops,
             escape_borrowed: self.escape_borrowed - earlier.escape_borrowed,
             escape_owned: self.escape_owned - earlier.escape_owned,
             unescape_borrowed: self.unescape_borrowed - earlier.unescape_borrowed,
@@ -254,6 +364,24 @@ impl StatsSnapshot {
     /// Total traffic in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.bytes_sent + self.bytes_received
+    }
+
+    /// Count for one injected-fault class.
+    pub fn chaos_class(&self, class: ChaosClass) -> u64 {
+        match class {
+            ChaosClass::ConnectRefused => self.chaos_connect_refused,
+            ChaosClass::MidStreamClose => self.chaos_mid_stream_closes,
+            ChaosClass::Truncation => self.chaos_truncations,
+            ChaosClass::Corruption => self.chaos_corruptions,
+            ChaosClass::Delay => self.chaos_delays,
+            ChaosClass::StaleClose => self.chaos_stale_closes,
+            ChaosClass::Drop => self.chaos_drops,
+        }
+    }
+
+    /// Total injected faults across all classes.
+    pub fn chaos_total(&self) -> u64 {
+        ChaosClass::ALL.iter().map(|c| self.chaos_class(*c)).sum()
     }
 
     /// Fraction of escape calls that avoided allocating, in `[0, 1]`.
@@ -330,6 +458,28 @@ mod tests {
             unescape_owned: 0,
             ..snap
         }
+    }
+
+    #[test]
+    fn chaos_counters_track_per_class() {
+        let s = WireStats::new();
+        s.record_chaos(ChaosClass::ConnectRefused);
+        s.record_chaos(ChaosClass::Corruption);
+        s.record_chaos(ChaosClass::Corruption);
+        s.record_chaos(ChaosClass::Drop);
+        let snap = s.snapshot();
+        assert_eq!(snap.chaos_class(ChaosClass::ConnectRefused), 1);
+        assert_eq!(snap.chaos_class(ChaosClass::Corruption), 2);
+        assert_eq!(snap.chaos_class(ChaosClass::Drop), 1);
+        assert_eq!(snap.chaos_class(ChaosClass::Delay), 0);
+        assert_eq!(snap.chaos_total(), 4);
+        let before = snap;
+        s.record_chaos(ChaosClass::StaleClose);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.chaos_total(), 1);
+        assert_eq!(delta.chaos_class(ChaosClass::StaleClose), 1);
+        s.reset();
+        assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
     }
 
     #[test]
