@@ -30,8 +30,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use portalws_core::{
-    ChaosPolicy, PortalDeployment, PortalShell, SecurityMode, TransportMode, UiServer,
+    ChaosPolicy, PortalDeployment, PortalShell, SecurityMode, TransferClient, TransferConfig,
+    TransportMode, UiServer,
 };
+use portalws_soap::SoapValue;
 use portalws_wire::ChaosClass;
 
 /// Retry budget for idempotent operations (invariant 3). Fault rates top
@@ -55,6 +57,14 @@ struct ScheduleOutcome {
     /// `put` reported failure but the object is intact — executed,
     /// acknowledgment lost in the fault. Allowed; counted for visibility.
     put_unacknowledged: u64,
+    /// Chunked-transfer put settled with the destination intact.
+    transfer_put_acknowledged: u64,
+    /// Chunked-transfer put failed with the destination absent.
+    transfer_put_clean_failure: u64,
+    /// Chunked-transfer put reported failure but committed intact.
+    transfer_put_unacknowledged: u64,
+    /// Chunked-transfer gets that resumed to the full object.
+    transfer_gets_resumed: u64,
     /// Per-class injected-fault counts summed over every host transport.
     chaos: [u64; ChaosClass::ALL.len()],
     /// Invariant violations (empty on a clean schedule).
@@ -67,7 +77,7 @@ fn run_schedule(seed: u64, security: SecurityMode, mode: TransportMode) -> Sched
     let policy = ChaosPolicy::from_seed(seed);
     let deployment = PortalDeployment::with_chaos(security, mode, policy);
     let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
-    let shell = PortalShell::new(ui);
+    let shell = PortalShell::new(Arc::clone(&ui));
 
     // Bounded retry for operations that are safe to repeat. Login rides
     // here too: re-presenting credentials is idempotent.
@@ -138,6 +148,144 @@ fn run_schedule(seed: u64, security: SecurityMode, mode: TransportMode) -> Sched
             .push(format!("put failed and object torn (seed {seed:#x})")),
     }
 
+    // --- E13 chunked-transfer ops under the same fault schedule ----------
+    // Small chunks so every transfer is a real pipeline (several chunk
+    // round trips), each exposed to the fault schedule independently.
+    let cfg = TransferConfig {
+        chunk_bytes: 8 * 1024,
+        window: 2,
+        chunk_attempts: 12,
+    };
+    let stream_payload: Vec<u8> = (0..48 * 1024_u32).map(|i| (i % 251) as u8).collect();
+
+    // Staged put: the destination must never be torn. Commit is an
+    // atomic rename of a fully validated staging object, so the only
+    // legal outcomes mirror the single-envelope put's — acknowledged
+    // intact, clean failure (absent), or executed-but-unacknowledged.
+    let stream_path = format!("/home-alice@GCE.ORG/chaos-stream-{seed:016x}.bin");
+    out.ops += 1;
+    let t0 = Instant::now();
+    let put_res = match ui.proxy("grid.sdsc.edu", "DataManagement") {
+        Ok(client) => TransferClient::with_config(&client, cfg)
+            .put(&stream_path, &stream_payload)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Err(e) => Err(e.to_string()),
+    };
+    let elapsed = t0.elapsed().as_millis();
+    if elapsed > OP_DEADLINE_MS {
+        out.violations.push(format!(
+            "chunked put: took {elapsed} ms (> {OP_DEADLINE_MS} ms)"
+        ));
+    }
+    let stored = deployment.srb.get("alice@GCE.ORG", &stream_path).ok();
+    match (put_res.is_ok(), stored) {
+        (true, Some(bytes)) if bytes == stream_payload => out.transfer_put_acknowledged += 1,
+        (true, _) => out.violations.push(format!(
+            "chunked put acknowledged but object torn or absent (seed {seed:#x})"
+        )),
+        (false, None) => {
+            out.attempt_failures += 1;
+            out.transfer_put_clean_failure += 1;
+        }
+        (false, Some(bytes)) if bytes == stream_payload => {
+            out.attempt_failures += 1;
+            out.transfer_put_unacknowledged += 1;
+        }
+        (false, Some(_)) => out.violations.push(format!(
+            "chunked put failed and object torn (seed {seed:#x})"
+        )),
+    }
+
+    // Chunked get: every chunk read is a pure ranged read, so a fresh
+    // handle resumes cleanly — the full object must come back within the
+    // retry budget, bit for bit.
+    let src_path = format!("/home-alice@GCE.ORG/chaos-src-{seed:016x}.bin");
+    if deployment
+        .srb
+        .put("alice@GCE.ORG", &src_path, &stream_payload)
+        .is_ok()
+    {
+        out.ops += 1;
+        let mut got = None;
+        for _ in 0..IDEMPOTENT_ATTEMPTS {
+            let Ok(client) = ui.proxy("grid.sdsc.edu", "DataManagement") else {
+                out.attempt_failures += 1;
+                continue;
+            };
+            match TransferClient::with_config(&client, cfg).get(&src_path) {
+                Ok((bytes, _)) => {
+                    got = Some(bytes);
+                    break;
+                }
+                Err(_) => out.attempt_failures += 1,
+            }
+        }
+        match got {
+            Some(bytes) if bytes == stream_payload => out.transfer_gets_resumed += 1,
+            Some(_) => out.violations.push(format!(
+                "chunked get resumed to torn bytes (seed {seed:#x})"
+            )),
+            None => out.violations.push(format!(
+                "chunked get failed all {IDEMPOTENT_ATTEMPTS} attempts (seed {seed:#x})"
+            )),
+        }
+    }
+
+    // Abort reclaims: open a handle, land one chunk, abort — once the
+    // abort is acknowledged, both the staging sibling and the destination
+    // must be gone. (Abort is idempotent, so it rides the retry budget.)
+    let abandon_path = format!("/home-alice@GCE.ORG/chaos-abandon-{seed:016x}.bin");
+    if let Ok(client) = ui.proxy("grid.sdsc.edu", "DataManagement") {
+        let mut handle = None;
+        for _ in 0..IDEMPOTENT_ATTEMPTS {
+            match client.call("open_put", &[SoapValue::str(&abandon_path)]) {
+                Ok(v) => {
+                    handle = v.as_str().map(str::to_owned);
+                    break;
+                }
+                Err(_) => out.attempt_failures += 1,
+            }
+        }
+        if let Some(handle) = handle {
+            // Best-effort chunk; torn or lost is fine — abort must win
+            // regardless of how much staging data landed.
+            let _ = client.call(
+                "put_chunk",
+                &[
+                    SoapValue::str(&handle),
+                    SoapValue::Int(0),
+                    SoapValue::Base64(stream_payload[..4096].to_vec()),
+                ],
+            );
+            let mut aborted = false;
+            for _ in 0..IDEMPOTENT_ATTEMPTS {
+                match client.call("abort", &[SoapValue::str(&handle)]) {
+                    Ok(_) => {
+                        aborted = true;
+                        break;
+                    }
+                    Err(_) => out.attempt_failures += 1,
+                }
+            }
+            if aborted {
+                out.ops += 1;
+                let staging =
+                    format!("/home-alice@GCE.ORG/.part-{handle}-chaos-abandon-{seed:016x}.bin");
+                if deployment.srb.get("alice@GCE.ORG", &staging).is_ok() {
+                    out.violations.push(format!(
+                        "abort acknowledged but staging object remains (seed {seed:#x})"
+                    ));
+                }
+                if deployment.srb.get("alice@GCE.ORG", &abandon_path).is_ok() {
+                    out.violations.push(format!(
+                        "abort acknowledged but destination exists (seed {seed:#x})"
+                    ));
+                }
+            }
+        }
+    }
+
     retried("logout", "logout", &mut out);
 
     for host in deployment.hosts() {
@@ -206,6 +354,10 @@ fn main() {
                 total.put_acknowledged += out.put_acknowledged;
                 total.put_clean_failure += out.put_clean_failure;
                 total.put_unacknowledged += out.put_unacknowledged;
+                total.transfer_put_acknowledged += out.transfer_put_acknowledged;
+                total.transfer_put_clean_failure += out.transfer_put_clean_failure;
+                total.transfer_put_unacknowledged += out.transfer_put_unacknowledged;
+                total.transfer_gets_resumed += out.transfer_gets_resumed;
                 for (i, n) in out.chaos.iter().enumerate() {
                     total.chaos[i] += n;
                 }
@@ -245,6 +397,16 @@ fn main() {
         "  put outcomes: {} acknowledged, {} clean failures, {} executed-unacknowledged",
         total.put_acknowledged, total.put_clean_failure, total.put_unacknowledged
     );
+    println!(
+        "  chunked put outcomes: {} acknowledged, {} clean failures, {} executed-unacknowledged",
+        total.transfer_put_acknowledged,
+        total.transfer_put_clean_failure,
+        total.transfer_put_unacknowledged
+    );
+    println!(
+        "  chunked gets resumed to full object: {}",
+        total.transfer_gets_resumed
+    );
     println!("  injected faults by class:");
     for (i, class) in ChaosClass::ALL.iter().enumerate() {
         println!("    {:<18} {}", class.name(), total.chaos[i]);
@@ -271,6 +433,22 @@ fn main() {
         doc.push_str(&format!(
             "  \"put_unacknowledged\": {},\n",
             total.put_unacknowledged
+        ));
+        doc.push_str(&format!(
+            "  \"transfer_put_acknowledged\": {},\n",
+            total.transfer_put_acknowledged
+        ));
+        doc.push_str(&format!(
+            "  \"transfer_put_clean_failure\": {},\n",
+            total.transfer_put_clean_failure
+        ));
+        doc.push_str(&format!(
+            "  \"transfer_put_unacknowledged\": {},\n",
+            total.transfer_put_unacknowledged
+        ));
+        doc.push_str(&format!(
+            "  \"transfer_gets_resumed\": {},\n",
+            total.transfer_gets_resumed
         ));
         doc.push_str("  \"chaos\": {\n");
         for (i, class) in ChaosClass::ALL.iter().enumerate() {

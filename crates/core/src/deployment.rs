@@ -165,6 +165,9 @@ pub struct PortalDeployment {
     pub grid: Arc<Grid>,
     /// The storage broker.
     pub srb: Arc<Srb>,
+    /// The data-management service instance (kept so benches and tests
+    /// can read the chunked-transfer table's buffering high-water).
+    pub data_service: Arc<DataManagementService>,
     /// The Authentication Service (keytab holder).
     pub auth: Arc<AuthService>,
     /// The Gateway context store.
@@ -268,9 +271,10 @@ impl PortalDeployment {
         let grid_srv = LogicalServer::new();
         let jobsub = Arc::new(JobSubmissionService::new(Arc::clone(&grid)));
         grid_srv.mount("grid.sdsc.edu", jobsub);
+        let data_service = Arc::new(DataManagementService::new(Arc::clone(&srb)));
         grid_srv.mount(
             "grid.sdsc.edu",
-            Arc::new(DataManagementService::new(Arc::clone(&srb))),
+            Arc::clone(&data_service) as Arc<dyn SoapService>,
         );
         grid_srv.mount(
             "grid.sdsc.edu",
@@ -407,6 +411,7 @@ impl PortalDeployment {
             clock,
             grid,
             srb,
+            data_service,
             auth,
             contexts,
             uddi,

@@ -21,10 +21,12 @@
 
 pub mod deployment;
 pub mod shell;
+pub mod transfer;
 pub mod ui;
 
 pub use deployment::{ChaosPolicy, PortalDeployment, SecurityMode, TransportMode};
 pub use shell::PortalShell;
+pub use transfer::{TransferClient, TransferConfig, TransferReport};
 pub use ui::UiServer;
 
 use std::fmt;

@@ -26,8 +26,13 @@ use std::sync::Arc;
 use portalws_soap::SoapValue;
 use portalws_wsdl::DynamicClient;
 
+use crate::transfer::TransferClient;
 use crate::ui::UiServer;
 use crate::{PortalError, Result};
+
+/// Above this size, `put`/`get`/`cp` leave the 2002 single-envelope
+/// string path and stream through the chunked transfer protocol.
+pub const STREAM_THRESHOLD_BYTES: usize = 64 * 1024;
 
 /// The shell: parses command lines and drives the UI server's proxies.
 pub struct PortalShell {
@@ -165,14 +170,50 @@ impl PortalShell {
             }
             "put" => {
                 let content = need_stdin()?;
+                let path = need(0, "path")?;
+                if content.len() > STREAM_THRESHOLD_BYTES {
+                    // Large payloads leave the single-envelope regime and
+                    // stream as bounded chunks, transparently.
+                    let client = self.data()?;
+                    let report = TransferClient::new(&client)
+                        .put(path, content.as_bytes())
+                        .map_err(svc_err)?;
+                    return Ok(format!("{} bytes written", report.bytes));
+                }
                 let out = self
                     .data()?
-                    .call(
-                        "put",
-                        &[SoapValue::str(need(0, "path")?), SoapValue::str(content)],
-                    )
+                    .call("put", &[SoapValue::str(path), SoapValue::str(content)])
                     .map_err(svc_err)?;
                 Ok(format!("{} bytes written", out.as_i64().unwrap_or(0)))
+            }
+            "get" => {
+                // Like `cat`, but chunked end to end: works for any size
+                // without materializing a single oversized envelope.
+                let path = need(0, "path")?;
+                let client = self.data()?;
+                let bytes = self.fetch(&client, path)?;
+                String::from_utf8(bytes).map_err(|_| {
+                    PortalError::Service(format!(
+                        "get {path}: binary content; pipe through cp or use getB64"
+                    ))
+                })
+            }
+            "cp" => {
+                let src = need(0, "source path")?;
+                let dst = need(1, "destination path")?;
+                let client = self.data()?;
+                let bytes = self.fetch(&client, src)?;
+                let n = bytes.len();
+                if n > STREAM_THRESHOLD_BYTES {
+                    TransferClient::new(&client)
+                        .put(dst, &bytes)
+                        .map_err(svc_err)?;
+                } else {
+                    client
+                        .call("putB64", &[SoapValue::str(dst), SoapValue::Base64(bytes)])
+                        .map_err(svc_err)?;
+                }
+                Ok(format!("{n} bytes copied"))
             }
             "rm" => {
                 self.data()?
@@ -272,6 +313,18 @@ impl PortalShell {
 
     fn data(&self) -> Result<portalws_soap::SoapClient> {
         self.ui.proxy("grid.sdsc.edu", "DataManagement")
+    }
+
+    /// Fetch a file's bytes through the chunked transfer protocol.
+    /// `open_get` doubles as the stat, so small files cost one chunk
+    /// round-trip and large files stream with bounded memory — no
+    /// separate size probe is needed on the read side.
+    fn fetch(&self, client: &portalws_soap::SoapClient, path: &str) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        TransferClient::new(client)
+            .get_with(path, |chunk| buf.extend_from_slice(chunk))
+            .map_err(svc_err)?;
+        Ok(buf)
     }
 
     fn scriptgen(&self, site: &str) -> Result<DynamicClient> {
@@ -439,6 +492,53 @@ mod tests {
         assert!(sh.exec("jobstat notanumber").is_err());
         assert!(sh.exec("cat /ghost/file").is_err());
         assert!(sh.exec("scriptgen mars PBS b n 1 1 -- x").is_err());
+    }
+
+    #[test]
+    fn get_and_cp_round_trip_small_files() {
+        let sh = shell(SecurityMode::Open);
+        sh.exec("echo tiny payload | put /public/small.txt")
+            .unwrap();
+        assert_eq!(sh.exec("get /public/small.txt").unwrap(), "tiny payload");
+        assert_eq!(
+            sh.exec("cp /public/small.txt /public/small-copy.txt")
+                .unwrap(),
+            "12 bytes copied"
+        );
+        assert_eq!(
+            sh.exec("cat /public/small-copy.txt").unwrap(),
+            "tiny payload"
+        );
+    }
+
+    #[test]
+    fn large_put_streams_chunked_and_reads_back_identically() {
+        let sh = shell(SecurityMode::Open);
+        // Well above STREAM_THRESHOLD_BYTES so `put` takes the chunked
+        // path; content is plain text so `get`/`cat` both reproduce it.
+        let body = "streaming-line\n".repeat(8 * 1024); // 120 KiB
+        assert!(body.len() > STREAM_THRESHOLD_BYTES);
+        let out = sh
+            .exec(&format!(
+                "echo -- {} | put /public/big.txt",
+                body.trim_end()
+            ))
+            .unwrap();
+        // `echo --` preserves the tail verbatim (minus trailing newline).
+        let expected = body.trim_end();
+        assert_eq!(out, format!("{} bytes written", expected.len()));
+        assert_eq!(sh.exec("get /public/big.txt").unwrap(), expected);
+        let copied = sh.exec("cp /public/big.txt /public/big2.txt").unwrap();
+        assert_eq!(copied, format!("{} bytes copied", expected.len()));
+        assert_eq!(sh.exec("get /public/big2.txt").unwrap(), expected);
+    }
+
+    #[test]
+    fn get_of_missing_file_and_cp_to_missing_collection_error_cleanly() {
+        let sh = shell(SecurityMode::Open);
+        assert!(sh.exec("get /ghost/file").is_err());
+        sh.exec("echo x | put /public/x.txt").unwrap();
+        assert!(sh.exec("cp /public/x.txt /ghost/collection/x.txt").is_err());
     }
 
     #[test]

@@ -332,9 +332,175 @@ impl Srb {
         }
     }
 
-    /// Size of an object, without transferring it.
+    /// Size of an object, without transferring (or cloning) it.
     pub fn stat(&self, principal: &str, path: &str) -> SrbResult<usize> {
-        self.get(principal, path).map(|b| b.len())
+        let segs = split(path)?;
+        let state = self.state.read();
+        Self::check_access(&state, principal, &segs)?;
+        let (name, dirs) = Self::leaf(&segs)?;
+        let col = Self::descend(&state.root, dirs)?;
+        match col.children.get(name) {
+            Some(Node::Object(bytes)) => Ok(bytes.len()),
+            Some(Node::Collection(_)) => {
+                Err(SrbError::Invalid(format!("{name:?} is a collection")))
+            }
+            None => Err(SrbError::NotFound(path.to_owned())),
+        }
+    }
+
+    /// Split validated segments into `(leaf name, parent dirs)`.
+    fn leaf<'s>(segs: &'s [&'s str]) -> SrbResult<(&'s str, &'s [&'s str])> {
+        match segs.split_last() {
+            Some((name, dirs)) => Ok((name, dirs)),
+            None => Err(SrbError::Invalid("empty path".into())),
+        }
+    }
+
+    /// Read up to `len` bytes of an object starting at byte `off`, without
+    /// cloning the rest of it — the ranged read under the chunked transfer
+    /// path (E13). `off == size` is a clean EOF (empty result); `off >
+    /// size` faults, flagging a client offset bug rather than hiding it.
+    pub fn read_at(
+        &self,
+        principal: &str,
+        path: &str,
+        off: usize,
+        len: usize,
+    ) -> SrbResult<Vec<u8>> {
+        let segs = split(path)?;
+        let state = self.state.read();
+        Self::check_access(&state, principal, &segs)?;
+        let (name, dirs) = Self::leaf(&segs)?;
+        let col = Self::descend(&state.root, dirs)?;
+        match col.children.get(name) {
+            Some(Node::Object(bytes)) => {
+                if off > bytes.len() {
+                    return Err(SrbError::Invalid(format!(
+                        "read_at offset {off} past end of {path:?} ({} bytes)",
+                        bytes.len()
+                    )));
+                }
+                let end = off.saturating_add(len).min(bytes.len());
+                Ok(bytes.get(off..end).unwrap_or_default().to_vec())
+            }
+            Some(Node::Collection(_)) => {
+                Err(SrbError::Invalid(format!("{name:?} is a collection")))
+            }
+            None => Err(SrbError::NotFound(path.to_owned())),
+        }
+    }
+
+    /// Append `data` to an object whose current size must equal
+    /// `expected_off` (creating it when `expected_off == 0` and it does
+    /// not exist). Returns the new size. The expected-offset check is the
+    /// server-side seam the chunked `put` protocol validates against: a
+    /// duplicate or out-of-order chunk shows up as a mismatch here instead
+    /// of silently corrupting the object. Enforces the top-level quota
+    /// against only the appended bytes.
+    pub fn append_at(
+        &self,
+        principal: &str,
+        path: &str,
+        expected_off: usize,
+        data: &[u8],
+    ) -> SrbResult<usize> {
+        let segs = split(path)?;
+        let mut state = self.state.write();
+        Self::check_access(&state, principal, &segs)?;
+        let (name, dirs) = Self::leaf(&segs)?;
+        let top = segs
+            .first()
+            .copied()
+            .ok_or_else(|| SrbError::Invalid("empty path".into()))?;
+        let current = match Self::descend(&state.root, dirs)
+            .ok()
+            .and_then(|c| c.children.get(name))
+        {
+            Some(Node::Object(bytes)) => Some(bytes.len()),
+            Some(Node::Collection(_)) => {
+                return Err(SrbError::Invalid(format!("{name:?} is a collection")))
+            }
+            None => None,
+        };
+        match current {
+            Some(size) if size != expected_off => {
+                return Err(SrbError::Invalid(format!(
+                    "append_at expected offset {expected_off} but {path:?} has {size} bytes"
+                )))
+            }
+            None if expected_off != 0 => return Err(SrbError::NotFound(path.to_owned())),
+            _ => {}
+        }
+        if let Some(&quota) = state.quotas.get(top) {
+            let top_col = Self::descend(&state.root, &segs[..1])?;
+            let used = Self::collection_size(top_col);
+            if used + data.len() > quota {
+                return Err(SrbError::DiskFull {
+                    path: format!("/{top}"),
+                    quota,
+                });
+            }
+        }
+        let col = Self::descend_mut(&mut state.root, dirs)?;
+        match col.children.get_mut(name) {
+            Some(Node::Object(bytes)) => {
+                bytes.extend_from_slice(data);
+                Ok(bytes.len())
+            }
+            Some(Node::Collection(_)) => {
+                Err(SrbError::Invalid(format!("{name:?} is a collection")))
+            }
+            None => {
+                col.children
+                    .insert(name.to_owned(), Node::Object(data.to_vec()));
+                Ok(data.len())
+            }
+        }
+    }
+
+    /// Atomically move an object from `from` to `to` (replacing any
+    /// existing object at `to`) under one write lock — the commit step of
+    /// the chunked `put`: the destination either keeps its old content or
+    /// gains the complete staged content, never a torn mixture. Both paths
+    /// must share their top-level collection so ACL and quota keys are
+    /// unaffected by the move.
+    pub fn rename(&self, principal: &str, from: &str, to: &str) -> SrbResult<()> {
+        let from_segs = split(from)?;
+        let to_segs = split(to)?;
+        if from_segs.first() != to_segs.first() {
+            return Err(SrbError::Invalid(format!(
+                "rename must stay within one top-level collection ({from:?} -> {to:?})"
+            )));
+        }
+        let mut state = self.state.write();
+        Self::check_access(&state, principal, &from_segs)?;
+        let (from_name, from_dirs) = Self::leaf(&from_segs)?;
+        let (to_name, to_dirs) = Self::leaf(&to_segs)?;
+        // Validate the destination parent and type before detaching the
+        // source, so a failed rename leaves everything in place.
+        {
+            let dest = Self::descend(&state.root, to_dirs)?;
+            if matches!(dest.children.get(to_name), Some(Node::Collection(_))) {
+                return Err(SrbError::Invalid(format!("{to_name:?} is a collection")));
+            }
+        }
+        let src_col = Self::descend_mut(&mut state.root, from_dirs)?;
+        let bytes = match src_col.children.get(from_name) {
+            Some(Node::Object(_)) => match src_col.children.remove(from_name) {
+                Some(Node::Object(bytes)) => bytes,
+                _ => return Err(SrbError::NotFound(from.to_owned())),
+            },
+            Some(Node::Collection(_)) => {
+                return Err(SrbError::Invalid(format!("{from_name:?} is a collection")))
+            }
+            None => return Err(SrbError::NotFound(from.to_owned())),
+        };
+        // Validated above; still propagated rather than unwrapped.
+        let dest_col = Self::descend_mut(&mut state.root, to_dirs)?;
+        dest_col
+            .children
+            .insert(to_name.to_owned(), Node::Object(bytes));
+        Ok(())
     }
 }
 
@@ -485,5 +651,133 @@ mod tests {
         srb.mkdir("/a/b/c").unwrap();
         srb.put("u", "/a/b/c/deep.txt", b"d").unwrap();
         assert_eq!(srb.cat("u", "/a/b/c/deep.txt").unwrap(), "d");
+    }
+
+    #[test]
+    fn read_at_ranges_and_eof_boundaries() {
+        let srb = Srb::new();
+        srb.mkdir("/d").unwrap();
+        srb.put("u", "/d/f", b"0123456789").unwrap();
+        assert_eq!(srb.read_at("u", "/d/f", 0, 4).unwrap(), b"0123");
+        assert_eq!(srb.read_at("u", "/d/f", 4, 4).unwrap(), b"4567");
+        // A read that overruns the end is clipped, not faulted.
+        assert_eq!(srb.read_at("u", "/d/f", 8, 4).unwrap(), b"89");
+        // A read starting exactly at EOF is a clean empty result (the
+        // chunked get protocol's end-of-stream probe lands here).
+        assert_eq!(srb.read_at("u", "/d/f", 10, 4).unwrap(), b"");
+        // Past EOF is a client offset bug and must fault.
+        assert!(matches!(
+            srb.read_at("u", "/d/f", 11, 4),
+            Err(SrbError::Invalid(_))
+        ));
+        // Zero-length reads inside the object are fine too.
+        assert_eq!(srb.read_at("u", "/d/f", 5, 0).unwrap(), b"");
+    }
+
+    #[test]
+    fn read_at_zero_length_object() {
+        let srb = Srb::new();
+        srb.mkdir("/d").unwrap();
+        srb.put("u", "/d/empty", b"").unwrap();
+        assert_eq!(srb.read_at("u", "/d/empty", 0, 4).unwrap(), b"");
+        assert!(srb.read_at("u", "/d/empty", 1, 4).is_err());
+        assert_eq!(srb.stat("u", "/d/empty").unwrap(), 0);
+    }
+
+    #[test]
+    fn append_at_builds_object_incrementally() {
+        let srb = Srb::new();
+        srb.mkdir("/d").unwrap();
+        assert_eq!(srb.append_at("u", "/d/f", 0, b"abc").unwrap(), 3);
+        assert_eq!(srb.append_at("u", "/d/f", 3, b"def").unwrap(), 6);
+        assert_eq!(srb.get("u", "/d/f").unwrap(), b"abcdef");
+        // A duplicate (retried) chunk shows up as an offset mismatch.
+        assert!(matches!(
+            srb.append_at("u", "/d/f", 3, b"def"),
+            Err(SrbError::Invalid(_))
+        ));
+        // A skipped-ahead chunk likewise.
+        assert!(matches!(
+            srb.append_at("u", "/d/f", 9, b"x"),
+            Err(SrbError::Invalid(_))
+        ));
+        // Appending at a nonzero offset to a missing object is NotFound,
+        // distinguishing "lost handle" from "wrong offset".
+        assert!(matches!(
+            srb.append_at("u", "/d/ghost", 3, b"x"),
+            Err(SrbError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn append_at_creates_zero_length_object() {
+        let srb = Srb::new();
+        srb.mkdir("/d").unwrap();
+        // A zero-length put streams zero chunks; the create-at-offset-0
+        // call with no data must still materialize the (empty) object.
+        assert_eq!(srb.append_at("u", "/d/empty", 0, b"").unwrap(), 0);
+        assert_eq!(srb.get("u", "/d/empty").unwrap(), b"");
+    }
+
+    #[test]
+    fn append_at_enforces_quota_and_acl() {
+        let srb = Srb::new();
+        srb.mkdir("/small").unwrap();
+        srb.set_quota("/small", 10);
+        assert_eq!(srb.append_at("u", "/small/f", 0, b"12345678").unwrap(), 8);
+        assert!(matches!(
+            srb.append_at("u", "/small/f", 8, b"90123"),
+            Err(SrbError::DiskFull { .. })
+        ));
+        // The failed append left the object untouched.
+        assert_eq!(srb.stat("u", "/small/f").unwrap(), 8);
+
+        let acl = Srb::testbed(&["alice"]);
+        assert!(matches!(
+            acl.append_at("mallory", "/home-alice/f", 0, b"x"),
+            Err(SrbError::PermissionDenied(_))
+        ));
+    }
+
+    #[test]
+    fn rename_promotes_staging_atomically() {
+        let srb = Srb::new();
+        srb.mkdir("/d").unwrap();
+        srb.put("u", "/d/final", b"old").unwrap();
+        srb.put("u", "/d/.part-1", b"new content").unwrap();
+        srb.rename("u", "/d/.part-1", "/d/final").unwrap();
+        assert_eq!(srb.get("u", "/d/final").unwrap(), b"new content");
+        assert!(matches!(
+            srb.get("u", "/d/.part-1"),
+            Err(SrbError::NotFound(_))
+        ));
+        // Renaming a missing source faults and touches nothing.
+        assert!(matches!(
+            srb.rename("u", "/d/ghost", "/d/final"),
+            Err(SrbError::NotFound(_))
+        ));
+        assert_eq!(srb.get("u", "/d/final").unwrap(), b"new content");
+    }
+
+    #[test]
+    fn rename_stays_within_top_level_collection() {
+        let srb = Srb::new();
+        srb.mkdir("/a").unwrap();
+        srb.mkdir("/b").unwrap();
+        srb.put("u", "/a/f", b"x").unwrap();
+        // Crossing top-level collections would change the ACL/quota keys
+        // mid-flight; the transfer protocol never needs it.
+        assert!(matches!(
+            srb.rename("u", "/a/f", "/b/f"),
+            Err(SrbError::Invalid(_))
+        ));
+        assert_eq!(srb.get("u", "/a/f").unwrap(), b"x");
+        // Renaming onto a collection is rejected with both ends intact.
+        srb.mkdir("/a/sub").unwrap();
+        assert!(matches!(
+            srb.rename("u", "/a/f", "/a/sub"),
+            Err(SrbError::Invalid(_))
+        ));
+        assert_eq!(srb.get("u", "/a/f").unwrap(), b"x");
     }
 }

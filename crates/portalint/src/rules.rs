@@ -736,6 +736,33 @@ mod tests {
     }
 
     #[test]
+    fn transfer_modules_are_covered_by_the_panic_rule() {
+        // Pin: the chunked-transfer handle table lives in the services
+        // crate and every byte of uploaded data flows through it, so a
+        // panic (or unchecked indexing) sneaking into the transfer module
+        // must be flagged exactly like any other server source file.
+        assert!(SERVER_CRATES.contains(&"services"));
+        let src = "fn frontier(pending: &std::collections::BTreeMap<usize, Vec<u8>>) -> usize {\n    *pending.keys().next().unwrap()\n}\n";
+        let a = analyze_file("crates/services/src/transfer.rs", src, FileRules::all());
+        let live: Vec<&Violation> = a
+            .violations
+            .iter()
+            .filter(|v| !v.suppressed && v.kind == "unwrap")
+            .collect();
+        assert_eq!(live.len(), 1, "{:?}", a.violations);
+        assert_eq!(live[0].line, 2);
+
+        let src = "fn tail(data: &[u8], off: usize) -> u8 {\n    data[off]\n}\n";
+        let a = analyze_file("crates/services/src/transfer.rs", src, FileRules::all());
+        let idx: Vec<&Violation> = a
+            .violations
+            .iter()
+            .filter(|v| !v.suppressed && v.kind == "index")
+            .collect();
+        assert_eq!(idx.len(), 1, "{:?}", a.violations);
+    }
+
+    #[test]
     fn unwrap_or_else_is_not_unwrap() {
         let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }";
         let a = analyze_file("f.rs", src, FileRules::all());

@@ -22,28 +22,37 @@ use portalws_soap::{
 use portalws_xml::Element;
 
 use crate::caller_principal;
+use crate::transfer::TransferTable;
 
 /// SOAP facade over the Storage Resource Broker.
 pub struct DataManagementService {
     srb: Arc<Srb>,
+    transfers: TransferTable,
 }
 
 impl DataManagementService {
     /// Wrap a broker.
     pub fn new(srb: Arc<Srb>) -> DataManagementService {
-        DataManagementService { srb }
+        let transfers = TransferTable::new(Arc::clone(&srb));
+        DataManagementService { srb, transfers }
     }
 
     /// The wrapped broker.
     pub fn srb(&self) -> &Arc<Srb> {
         &self.srb
     }
+
+    /// The chunked-transfer handle table (benches and tests read its
+    /// buffering high-water and tune its caps).
+    pub fn transfers(&self) -> &TransferTable {
+        &self.transfers
+    }
 }
 
 /// Map broker errors onto the portal's common error codes — the paper's
 /// consistent-error-messaging requirement, with `DISK_FULL` as its own
 /// worked example.
-fn srb_fault(e: SrbError) -> Fault {
+pub(crate) fn srb_fault(e: SrbError) -> Fault {
     let kind = match &e {
         SrbError::NotFound(_) => PortalErrorKind::FileNotFound,
         SrbError::PermissionDenied(_) => PortalErrorKind::PermissionDenied,
@@ -59,7 +68,37 @@ fn arg_str<'a>(args: &'a [(String, SoapValue)], i: usize, name: &str) -> SoapRes
         .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}")))
 }
 
+fn arg_usize(args: &[(String, SoapValue)], i: usize, name: &str) -> SoapResult<usize> {
+    let v = args
+        .get(i)
+        .and_then(|(_, v)| v.as_i64())
+        .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}")))?;
+    usize::try_from(v).map_err(|_| {
+        Fault::portal(
+            PortalErrorKind::BadArguments,
+            format!("{name} must be non-negative"),
+        )
+    })
+}
+
 impl DataManagementService {
+    /// Read an object as UTF-8 text, or fault with a message that points
+    /// the caller at the binary-safe paths. Before this check the string
+    /// path degraded into a generic "not UTF-8" broker error with no hint
+    /// that `getB64` and the chunked `open_get`/`get_chunk` protocol
+    /// exist.
+    fn cat_utf8(&self, principal: &str, path: &str) -> SoapResult<String> {
+        let bytes = self.srb.get(principal, path).map_err(srb_fault)?;
+        String::from_utf8(bytes).map_err(|_| {
+            Fault::portal(
+                PortalErrorKind::BadArguments,
+                format!(
+                    "object at {path:?} is not UTF-8 text; use getB64 or the chunked open_get/get_chunk path for binary content"
+                ),
+            )
+        })
+    }
+
     /// Execute one `xml_call` command element, returning its result
     /// element. Used by both the SOAP method and tests.
     fn run_command(&self, principal: &str, cmd: &Element) -> Element {
@@ -172,14 +211,12 @@ impl SoapService for DataManagementService {
             }
             "cat" => {
                 let path = arg_str(args, 0, "path")?;
-                let text = self.srb.cat(&principal, path).map_err(srb_fault)?;
-                Ok(SoapValue::String(text))
+                Ok(SoapValue::String(self.cat_utf8(&principal, path)?))
             }
             // String streaming, exactly as deployed in 2002.
             "get" => {
                 let path = arg_str(args, 0, "path")?;
-                let text = self.srb.cat(&principal, path).map_err(srb_fault)?;
-                Ok(SoapValue::String(text))
+                Ok(SoapValue::String(self.cat_utf8(&principal, path)?))
             }
             "put" => {
                 let path = arg_str(args, 0, "path")?;
@@ -212,6 +249,65 @@ impl SoapService for DataManagementService {
             "mkdir" => {
                 let path = arg_str(args, 0, "path")?;
                 self.srb.mkdir(path).map_err(srb_fault)?;
+                Ok(SoapValue::Null)
+            }
+            // Chunked streaming transfer protocol (E13): SOAP stays the
+            // control channel, the payload moves as bounded chunks.
+            "open_get" => {
+                let path = arg_str(args, 0, "path")?;
+                let (handle, size) = self
+                    .transfers
+                    .open_get(&principal, path)
+                    .map_err(|e| e.to_fault())?;
+                Ok(SoapValue::Struct(vec![
+                    ("handle".into(), SoapValue::str(handle)),
+                    ("size".into(), SoapValue::Int(size as i64)),
+                ]))
+            }
+            "get_chunk" => {
+                let handle = arg_str(args, 0, "handle")?;
+                let off = arg_usize(args, 1, "offset")?;
+                let len = arg_usize(args, 2, "length")?;
+                let bytes = self
+                    .transfers
+                    .get_chunk(&principal, handle, off, len)
+                    .map_err(|e| e.to_fault())?;
+                Ok(SoapValue::Base64(bytes))
+            }
+            "open_put" => {
+                let path = arg_str(args, 0, "path")?;
+                let handle = self
+                    .transfers
+                    .open_put(&principal, path)
+                    .map_err(|e| e.to_fault())?;
+                Ok(SoapValue::String(handle))
+            }
+            "put_chunk" => {
+                let handle = arg_str(args, 0, "handle")?;
+                let off = arg_usize(args, 1, "offset")?;
+                let data = args
+                    .get(2)
+                    .and_then(|(_, v)| v.as_bytes())
+                    .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, "missing data"))?;
+                let acked = self
+                    .transfers
+                    .put_chunk(&principal, handle, off, data)
+                    .map_err(|e| e.to_fault())?;
+                Ok(SoapValue::Int(acked as i64))
+            }
+            "commit" => {
+                let handle = arg_str(args, 0, "handle")?;
+                let total = self
+                    .transfers
+                    .commit(&principal, handle)
+                    .map_err(|e| e.to_fault())?;
+                Ok(SoapValue::Int(total as i64))
+            }
+            "abort" => {
+                let handle = arg_str(args, 0, "handle")?;
+                self.transfers
+                    .abort(&principal, handle)
+                    .map_err(|e| e.to_fault())?;
                 Ok(SoapValue::Null)
             }
             "xml_call" => {
@@ -287,6 +383,50 @@ impl SoapService for DataManagementService {
                 vec![("path", SoapType::String)],
                 SoapType::Void,
                 "Create a collection",
+            ),
+            MethodDesc::new(
+                "open_get",
+                vec![("path", SoapType::String)],
+                SoapType::Struct,
+                "Open a chunked read handle; returns {handle, size}",
+            ),
+            MethodDesc::new(
+                "get_chunk",
+                vec![
+                    ("handle", SoapType::String),
+                    ("offset", SoapType::Int),
+                    ("length", SoapType::Int),
+                ],
+                SoapType::Base64,
+                "Ranged read through a transfer handle; empty at EOF",
+            ),
+            MethodDesc::new(
+                "open_put",
+                vec![("path", SoapType::String)],
+                SoapType::String,
+                "Open a chunked write handle staging beside the destination",
+            ),
+            MethodDesc::new(
+                "put_chunk",
+                vec![
+                    ("handle", SoapType::String),
+                    ("offset", SoapType::Int),
+                    ("data", SoapType::Base64),
+                ],
+                SoapType::Int,
+                "Append one chunk; returns the acknowledged frontier",
+            ),
+            MethodDesc::new(
+                "commit",
+                vec![("handle", SoapType::String)],
+                SoapType::Int,
+                "Atomically promote a staged put to its destination",
+            ),
+            MethodDesc::new(
+                "abort",
+                vec![("handle", SoapType::String)],
+                SoapType::Void,
+                "Abandon a transfer and reclaim its handle and staging",
             ),
             MethodDesc::new(
                 "xml_call",
@@ -456,5 +596,157 @@ mod tests {
     fn unknown_method_is_fault() {
         let (_, c) = client();
         assert!(c.call("chmod", &[]).is_err());
+    }
+
+    #[test]
+    fn non_utf8_get_faults_toward_binary_paths() {
+        // Regression: the string path used to surface a bare broker error
+        // with no redirect; callers must be pointed at getB64/open_get.
+        let (srb, c) = client();
+        srb.put("anonymous", "/data/bin", &[0xC3, 0x28, 0xFF])
+            .unwrap();
+        for method in ["get", "cat"] {
+            let err = c.call(method, &[SoapValue::str("/data/bin")]).unwrap_err();
+            let fault = err.as_fault().expect("typed fault");
+            assert_eq!(fault.kind(), Some(PortalErrorKind::BadArguments));
+            assert!(
+                fault.string.contains("getB64") && fault.string.contains("open_get"),
+                "{method} fault must direct to the binary paths: {}",
+                fault.string
+            );
+        }
+        // The binary paths themselves still work on the same object.
+        let back = c.call("getB64", &[SoapValue::str("/data/bin")]).unwrap();
+        assert_eq!(back.as_bytes().unwrap(), &[0xC3, 0x28, 0xFF]);
+    }
+
+    #[test]
+    fn chunked_transfer_round_trip_over_soap() {
+        let (srb, c) = client();
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        // Put in 7 KiB chunks.
+        let handle = c
+            .call("open_put", &[SoapValue::str("/data/big.bin")])
+            .unwrap();
+        let handle = handle.as_str().unwrap().to_owned();
+        let chunk = 7 * 1024;
+        let mut off = 0usize;
+        while off < payload.len() {
+            let end = (off + chunk).min(payload.len());
+            let acked = c
+                .call(
+                    "put_chunk",
+                    &[
+                        SoapValue::str(handle.clone()),
+                        SoapValue::Int(off as i64),
+                        SoapValue::Base64(payload[off..end].to_vec()),
+                    ],
+                )
+                .unwrap();
+            assert_eq!(acked.as_i64(), Some(end as i64));
+            off = end;
+        }
+        let total = c.call("commit", &[SoapValue::str(handle)]).unwrap();
+        assert_eq!(total.as_i64(), Some(payload.len() as i64));
+        assert_eq!(srb.get("anonymous", "/data/big.bin").unwrap(), payload);
+
+        // Get it back in different-sized chunks.
+        let opened = c
+            .call("open_get", &[SoapValue::str("/data/big.bin")])
+            .unwrap();
+        let gh = opened.field("handle").unwrap().as_str().unwrap().to_owned();
+        let size = opened.field("size").unwrap().as_i64().unwrap() as usize;
+        assert_eq!(size, payload.len());
+        let mut back = Vec::new();
+        let chunk = 9 * 1024;
+        while back.len() < size {
+            let piece = c
+                .call(
+                    "get_chunk",
+                    &[
+                        SoapValue::str(gh.clone()),
+                        SoapValue::Int(back.len() as i64),
+                        SoapValue::Int(chunk as i64),
+                    ],
+                )
+                .unwrap();
+            let piece = piece.as_bytes().unwrap().to_vec();
+            assert!(!piece.is_empty());
+            back.extend_from_slice(&piece);
+        }
+        assert_eq!(back, payload);
+        // One more read lands exactly at EOF: clean empty chunk.
+        let eof = c
+            .call(
+                "get_chunk",
+                &[
+                    SoapValue::str(gh.clone()),
+                    SoapValue::Int(size as i64),
+                    SoapValue::Int(chunk as i64),
+                ],
+            )
+            .unwrap();
+        assert_eq!(eof.as_bytes().unwrap(), b"");
+        c.call("abort", &[SoapValue::str(gh)]).unwrap();
+    }
+
+    #[test]
+    fn chunked_put_of_zero_length_file_round_trips() {
+        let (srb, c) = client();
+        let handle = c
+            .call("open_put", &[SoapValue::str("/data/empty.bin")])
+            .unwrap();
+        let handle = handle.as_str().unwrap().to_owned();
+        let total = c.call("commit", &[SoapValue::str(handle)]).unwrap();
+        assert_eq!(total.as_i64(), Some(0));
+        assert_eq!(srb.get("anonymous", "/data/empty.bin").unwrap(), b"");
+        // And the chunked read of it: open reports size 0, first read EOF.
+        let opened = c
+            .call("open_get", &[SoapValue::str("/data/empty.bin")])
+            .unwrap();
+        assert_eq!(opened.field("size").unwrap().as_i64(), Some(0));
+        let gh = opened.field("handle").unwrap().as_str().unwrap().to_owned();
+        let eof = c
+            .call(
+                "get_chunk",
+                &[SoapValue::str(gh), SoapValue::Int(0), SoapValue::Int(4096)],
+            )
+            .unwrap();
+        assert_eq!(eof.as_bytes().unwrap(), b"");
+    }
+
+    #[test]
+    fn transfer_faults_carry_typed_kinds_over_soap() {
+        let (_, c) = client();
+        // Unknown handle → NOT_FOUND.
+        let err = c
+            .call(
+                "get_chunk",
+                &[
+                    SoapValue::str("t-404"),
+                    SoapValue::Int(0),
+                    SoapValue::Int(16),
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::NotFound)
+        );
+        // Negative offset → BAD_ARGUMENTS before touching the table.
+        let err = c
+            .call(
+                "get_chunk",
+                &[
+                    SoapValue::str("t-404"),
+                    SoapValue::Int(-1),
+                    SoapValue::Int(16),
+                ],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::BadArguments)
+        );
     }
 }

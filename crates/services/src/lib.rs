@@ -31,6 +31,7 @@ pub mod data;
 pub mod factory;
 pub mod job;
 pub mod scriptgen;
+pub mod transfer;
 
 pub use batch::BatchJobService;
 pub use context::{ContextManagerMonolith, ContextStore, DecomposedContextServices};
@@ -38,6 +39,7 @@ pub use data::DataManagementService;
 pub use factory::AppFactoryService;
 pub use job::JobSubmissionService;
 pub use scriptgen::{IuScriptGen, SdscScriptGen};
+pub use transfer::{TransferError, TransferTable};
 
 use portalws_auth::Assertion;
 use portalws_soap::CallContext;

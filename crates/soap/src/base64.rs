@@ -42,6 +42,190 @@ fn value_of(c: u8) -> Option<u32> {
     }
 }
 
+/// Incremental base64 encoder: feed input in arbitrary slices (down to
+/// one byte) and get exactly the text the one-shot [`encode`] would
+/// produce. The only state between calls is a ≤2-byte carry, so the
+/// chunked transfer path (E13) encodes a payload of any size with O(chunk)
+/// memory: each `update` writes into a caller-owned scratch `String` that
+/// is reused across chunks.
+#[derive(Debug, Default, Clone)]
+pub struct Base64Encoder {
+    carry0: u8,
+    carry1: u8,
+    carry_len: u8,
+}
+
+impl Base64Encoder {
+    /// A fresh encoder (no pending carry).
+    pub fn new() -> Base64Encoder {
+        Base64Encoder::default()
+    }
+
+    /// Bytes held over from previous `update` calls (0..=2).
+    pub fn pending(&self) -> usize {
+        usize::from(self.carry_len)
+    }
+
+    fn emit_group(out: &mut String, b0: u8, b1: u8, b2: u8) {
+        let n = (u32::from(b0) << 16) | (u32::from(b1) << 8) | u32::from(b2);
+        out.push(sextet(n, 18));
+        out.push(sextet(n, 12));
+        out.push(sextet(n, 6));
+        out.push(sextet(n, 0));
+    }
+
+    /// Encode `data`, appending complete 4-char groups to `out` and
+    /// carrying up to 2 trailing bytes for the next call.
+    pub fn update(&mut self, data: &[u8], out: &mut String) {
+        let mut rest = data;
+        // Top the carry up to a full 3-byte group first.
+        while self.carry_len > 0 {
+            let Some((&b, tail)) = rest.split_first() else {
+                return;
+            };
+            rest = tail;
+            if self.carry_len == 1 {
+                self.carry1 = b;
+                self.carry_len = 2;
+            } else {
+                Self::emit_group(out, self.carry0, self.carry1, b);
+                self.carry_len = 0;
+            }
+        }
+        out.reserve(rest.len().div_ceil(3) * 4);
+        let mut groups = rest.chunks_exact(3);
+        for g in &mut groups {
+            if let [b0, b1, b2] = *g {
+                Self::emit_group(out, b0, b1, b2);
+            }
+        }
+        match *groups.remainder() {
+            [b0] => {
+                self.carry0 = b0;
+                self.carry_len = 1;
+            }
+            [b0, b1] => {
+                self.carry0 = b0;
+                self.carry1 = b1;
+                self.carry_len = 2;
+            }
+            _ => {}
+        }
+    }
+
+    /// Flush the final (possibly padded) group. The encoder is reusable
+    /// afterwards.
+    pub fn finish(&mut self, out: &mut String) {
+        match self.carry_len {
+            1 => {
+                let n = u32::from(self.carry0) << 16;
+                out.push(sextet(n, 18));
+                out.push(sextet(n, 12));
+                out.push('=');
+                out.push('=');
+            }
+            2 => {
+                let n = (u32::from(self.carry0) << 16) | (u32::from(self.carry1) << 8);
+                out.push(sextet(n, 18));
+                out.push(sextet(n, 12));
+                out.push(sextet(n, 6));
+                out.push('=');
+            }
+            _ => {}
+        }
+        self.carry_len = 0;
+    }
+}
+
+/// Incremental base64 decoder: feed text in arbitrary slices (whitespace
+/// tolerated, splits anywhere — including inside a 4-char quad) and get
+/// exactly the bytes the one-shot [`decode`] would produce. State between
+/// calls is a ≤3-digit quad carry plus a padding flag.
+#[derive(Debug, Default, Clone)]
+pub struct Base64Decoder {
+    /// Accumulated 6-bit values of the current quad.
+    quad: [u32; 4],
+    quad_len: u8,
+    /// Padding characters seen in the current quad (must be trailing).
+    pad: u8,
+    /// A padded quad was completed: any further non-whitespace is malformed.
+    finished: bool,
+}
+
+impl Base64Decoder {
+    /// A fresh decoder.
+    pub fn new() -> Base64Decoder {
+        Base64Decoder::default()
+    }
+
+    fn flush_quad(&mut self, out: &mut Vec<u8>) -> Option<()> {
+        let digits = usize::from(self.quad_len);
+        let pad = usize::from(self.pad);
+        if digits + pad != 4 || pad > 2 {
+            return None;
+        }
+        let mut n = 0u32;
+        for &d in self.quad.get(..digits)? {
+            n = (n << 6) | d;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+        self.quad_len = 0;
+        if pad > 0 {
+            self.finished = true;
+        }
+        self.pad = 0;
+        Some(())
+    }
+
+    /// Decode `text`, appending bytes to `out`. Returns `None` (leaving
+    /// the decoder poisoned for this stream) on malformed input.
+    pub fn update(&mut self, text: &str, out: &mut Vec<u8>) -> Option<()> {
+        out.reserve(text.len() / 4 * 3);
+        for c in text.bytes() {
+            if c.is_ascii_whitespace() {
+                continue;
+            }
+            if self.finished {
+                return None; // data after a padded final quad
+            }
+            if c == b'=' {
+                if self.quad_len < 2 {
+                    return None; // a quad carries at most 2 pads
+                }
+                self.pad += 1;
+            } else {
+                if self.pad > 0 {
+                    return None; // digit after padding within a quad
+                }
+                let d = value_of(c)?;
+                if let Some(slot) = self.quad.get_mut(usize::from(self.quad_len)) {
+                    *slot = d;
+                }
+                self.quad_len += 1;
+            }
+            if usize::from(self.quad_len) + usize::from(self.pad) == 4 {
+                self.flush_quad(out)?;
+            }
+        }
+        Some(())
+    }
+
+    /// Declare end of input: fails if a quad is left incomplete. The
+    /// decoder is reusable afterwards.
+    pub fn finish(&mut self) -> Option<()> {
+        let clean = self.quad_len == 0 && self.pad == 0;
+        *self = Base64Decoder::default();
+        clean.then_some(())
+    }
+}
+
 /// Decode base64 text (whitespace tolerated) to bytes. Returns `None` on
 /// malformed input.
 pub fn decode(text: &str) -> Option<Vec<u8>> {
@@ -111,5 +295,84 @@ mod tests {
     fn round_trip_all_bytes() {
         let data: Vec<u8> = (0u8..=255).collect();
         assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn incremental_encoder_matches_one_shot_for_every_split() {
+        let data: Vec<u8> = (0u8..=200).collect();
+        let expect = encode(&data);
+        for split in 0..=data.len() {
+            let mut enc = Base64Encoder::new();
+            let mut out = String::new();
+            enc.update(&data[..split], &mut out);
+            enc.update(&data[split..], &mut out);
+            enc.finish(&mut out);
+            assert_eq!(out, expect, "split at {split}");
+        }
+        // Byte-at-a-time.
+        let mut enc = Base64Encoder::new();
+        let mut out = String::new();
+        for b in &data {
+            enc.update(std::slice::from_ref(b), &mut out);
+        }
+        enc.finish(&mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn incremental_encoder_is_reusable_after_finish() {
+        let mut enc = Base64Encoder::new();
+        let mut out = String::new();
+        enc.update(b"foob", &mut out);
+        assert_eq!(enc.pending(), 1);
+        enc.finish(&mut out);
+        assert_eq!(out, "Zm9vYg==");
+        out.clear();
+        enc.update(b"foobar", &mut out);
+        enc.finish(&mut out);
+        assert_eq!(out, "Zm9vYmFy");
+    }
+
+    #[test]
+    fn incremental_decoder_matches_one_shot_for_every_split() {
+        let data: Vec<u8> = (0u8..=200).collect();
+        let text = format!("{}\n", encode(&data)); // trailing whitespace tolerated
+        for split in 0..=text.len() {
+            let mut dec = Base64Decoder::new();
+            let mut out = Vec::new();
+            dec.update(&text[..split], &mut out).unwrap();
+            dec.update(&text[split..], &mut out).unwrap();
+            dec.finish().unwrap();
+            assert_eq!(out, data, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_malformed() {
+        let feed = |parts: &[&str]| -> Option<Vec<u8>> {
+            let mut dec = Base64Decoder::new();
+            let mut out = Vec::new();
+            for p in parts {
+                dec.update(p, &mut out)?;
+            }
+            dec.finish()?;
+            Some(out)
+        };
+        assert!(feed(&["Zm9"]).is_none()); // truncated quad
+        assert!(feed(&["Zm", "!v"]).is_none()); // bad char across a split
+        assert!(feed(&["Z=", "=="]).is_none()); // over-padded
+        assert!(feed(&["Z=", "m9"]).is_none()); // digit after padding
+        assert!(feed(&["Zg==", "Zg=="]).is_none()); // data after final quad
+        assert_eq!(feed(&["Zg=", "=", " \n"]).unwrap(), b"f"); // ws after end ok
+    }
+
+    #[test]
+    fn incremental_decoder_empty_input_is_empty() {
+        let mut dec = Base64Decoder::new();
+        let mut out = Vec::new();
+        dec.update("", &mut out).unwrap();
+        dec.update(" \n\t", &mut out).unwrap();
+        dec.finish().unwrap();
+        assert!(out.is_empty());
     }
 }

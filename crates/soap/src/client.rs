@@ -144,6 +144,15 @@ impl SoapClient {
         set.extend(methods.iter().map(|m| (*m).to_owned()));
     }
 
+    /// Like [`SoapClient::set_idempotent_methods`] but additive: marks
+    /// `methods` without unmarking what is already declared. Layers that
+    /// decorate an existing proxy (e.g. the chunked transfer client) use
+    /// this so they never clobber the owner's declarations.
+    pub fn add_idempotent_methods(&self, methods: &[&str]) {
+        let mut set = self.idempotent_methods.write();
+        set.extend(methods.iter().map(|m| (*m).to_owned()));
+    }
+
     /// Attach a wall-clock `budget` to every subsequent call. The budget
     /// rides the request as a header; deadline-aware transports enforce
     /// it across dial, exchange, and retries.

@@ -72,6 +72,9 @@ pub enum PortalErrorKind {
     NotFound,
     /// Request arguments were invalid at the application level.
     BadArguments,
+    /// The service is at a declared capacity limit (e.g. the transfer
+    /// handle table or its buffered-byte budget is full); retry later.
+    Busy,
     /// Anything else; carries only its message.
     Internal,
 }
@@ -89,6 +92,7 @@ impl PortalErrorKind {
             PortalErrorKind::JobRejected => "JOB_REJECTED",
             PortalErrorKind::NotFound => "NOT_FOUND",
             PortalErrorKind::BadArguments => "BAD_ARGUMENTS",
+            PortalErrorKind::Busy => "BUSY",
             PortalErrorKind::Internal => "INTERNAL",
         }
     }
@@ -106,6 +110,7 @@ impl PortalErrorKind {
             "JOB_REJECTED" => PortalErrorKind::JobRejected,
             "NOT_FOUND" => PortalErrorKind::NotFound,
             "BAD_ARGUMENTS" => PortalErrorKind::BadArguments,
+            "BUSY" => PortalErrorKind::Busy,
             _ => PortalErrorKind::Internal,
         }
     }
@@ -328,6 +333,7 @@ mod tests {
             PortalErrorKind::JobRejected,
             PortalErrorKind::NotFound,
             PortalErrorKind::BadArguments,
+            PortalErrorKind::Busy,
             PortalErrorKind::Internal,
         ] {
             assert_eq!(PortalErrorKind::from_code(kind.code()), kind);

@@ -1,0 +1,153 @@
+//! Differential property tests for the incremental base64 codec: fed
+//! the same bytes in arbitrary slicings — including 1-byte drips — the
+//! streaming encoder and decoder must agree exactly with the one-shot
+//! functions, and compose into an identity.
+
+use portalws_soap::base64::{self, Base64Decoder, Base64Encoder};
+use proptest::prelude::*;
+
+/// Cut points for splitting `len` bytes into arbitrary contiguous
+/// pieces: a sorted list of indices in `0..=len`.
+fn splits(len: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..=len, 0..8).prop_map(move |mut cuts| {
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts
+    })
+}
+
+fn pieces<T: Copy>(data: &[T], cuts: &[usize]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    for &cut in cuts.iter().chain(std::iter::once(&data.len())) {
+        let cut = cut.min(data.len());
+        if cut > at {
+            out.push(data[at..cut].to_vec());
+        }
+        at = cut;
+    }
+    out
+}
+
+proptest! {
+    /// Encoding in arbitrary slicings matches the one-shot encoder.
+    #[test]
+    fn incremental_encode_matches_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in splits(512),
+    ) {
+        let mut enc = Base64Encoder::new();
+        let mut streamed = String::new();
+        for piece in pieces(&data, &cuts) {
+            enc.update(&piece, &mut streamed);
+        }
+        enc.finish(&mut streamed);
+        prop_assert_eq!(streamed, base64::encode(&data));
+    }
+
+    /// One byte at a time is the pathological slicing; it must still
+    /// match, and `pending` never reaches a full quantum.
+    #[test]
+    fn byte_at_a_time_encode_matches(data in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let mut enc = Base64Encoder::new();
+        let mut streamed = String::new();
+        for b in &data {
+            enc.update(std::slice::from_ref(b), &mut streamed);
+            prop_assert!(enc.pending() < 3);
+        }
+        enc.finish(&mut streamed);
+        prop_assert_eq!(streamed, base64::encode(&data));
+    }
+
+    /// Decoding valid base64 in arbitrary slicings matches the one-shot
+    /// decoder (which itself inverts encode).
+    #[test]
+    fn incremental_decode_matches_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in splits(700),
+    ) {
+        let text = base64::encode(&data);
+        let chars: Vec<char> = text.chars().collect();
+        let mut dec = Base64Decoder::new();
+        let mut out = Vec::new();
+        for piece in pieces(&chars, &cuts) {
+            let piece: String = piece.into_iter().collect();
+            prop_assert!(dec.update(&piece, &mut out).is_some(), "valid input rejected");
+        }
+        prop_assert!(dec.finish().is_some(), "valid input rejected at finish");
+        prop_assert_eq!(out, data);
+    }
+
+    /// Streaming encode piped into streaming decode is the identity,
+    /// with independent slicings on each side.
+    #[test]
+    fn encode_then_decode_is_identity(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        enc_cuts in splits(512),
+        dec_cuts in splits(700),
+    ) {
+        let mut enc = Base64Encoder::new();
+        let mut text = String::new();
+        for piece in pieces(&data, &enc_cuts) {
+            enc.update(&piece, &mut text);
+        }
+        enc.finish(&mut text);
+
+        let chars: Vec<char> = text.chars().collect();
+        let mut dec = Base64Decoder::new();
+        let mut back = Vec::new();
+        for piece in pieces(&chars, &dec_cuts) {
+            let piece: String = piece.into_iter().collect();
+            prop_assert!(dec.update(&piece, &mut back).is_some());
+        }
+        prop_assert!(dec.finish().is_some());
+        prop_assert_eq!(back, data);
+    }
+
+    /// A non-alphabet byte anywhere in the stream poisons the decode —
+    /// both the incremental decoder and the one-shot agree on rejection.
+    #[test]
+    fn non_alphabet_corruption_is_rejected(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        at in 0usize..4096,
+        bad_idx in 0usize..16,
+    ) {
+        const BAD: [char; 16] = [
+            '!', '#', '$', '%', '&', '*', '(', ')', '-', '_', '[', ']', '{', '}', '~', '?',
+        ];
+        let text = base64::encode(&data);
+        let mut chars: Vec<char> = text.chars().collect();
+        let at = at % chars.len();
+        chars[at] = BAD[bad_idx];
+        let corrupted: String = chars.iter().collect();
+        prop_assert!(base64::decode(&corrupted).is_none());
+
+        let mut dec = Base64Decoder::new();
+        let mut out = Vec::new();
+        let rejected =
+            dec.update(&corrupted, &mut out).is_none() || dec.finish().is_none();
+        prop_assert!(rejected, "incremental decoder accepted a non-alphabet byte");
+    }
+
+    /// Whitespace injected between quanta is transparent to the
+    /// incremental decoder, exactly as it is to the one-shot.
+    #[test]
+    fn whitespace_is_transparent(
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+        every in 1usize..8,
+    ) {
+        let text = base64::encode(&data);
+        let mut spaced = String::new();
+        for (i, c) in text.chars().enumerate() {
+            if i % every == 0 {
+                spaced.push_str(" \n\t");
+            }
+            spaced.push(c);
+        }
+        let mut dec = Base64Decoder::new();
+        let mut out = Vec::new();
+        prop_assert!(dec.update(&spaced, &mut out).is_some());
+        prop_assert!(dec.finish().is_some());
+        prop_assert_eq!(out, data);
+    }
+}

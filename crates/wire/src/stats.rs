@@ -88,6 +88,9 @@ pub struct WireStats {
     chaos_delays: AtomicU64,
     chaos_stale_closes: AtomicU64,
     chaos_drops: AtomicU64,
+    transfer_chunks: AtomicU64,
+    transfer_bytes: AtomicU64,
+    transfer_buffer_high_water: AtomicU64,
     // Baseline of the process-global substrate counters, captured at
     // construction/reset so snapshots report deltas, not process history.
     base_escape_borrowed: AtomicU64,
@@ -126,6 +129,9 @@ impl WireStats {
             chaos_delays: AtomicU64::new(0),
             chaos_stale_closes: AtomicU64::new(0),
             chaos_drops: AtomicU64::new(0),
+            transfer_chunks: AtomicU64::new(0),
+            transfer_bytes: AtomicU64::new(0),
+            transfer_buffer_high_water: AtomicU64::new(0),
             base_escape_borrowed: AtomicU64::new(base.escape_borrowed),
             base_escape_owned: AtomicU64::new(base.escape_owned),
             base_unescape_borrowed: AtomicU64::new(base.unescape_borrowed),
@@ -206,6 +212,27 @@ impl WireStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one chunk round-trip of a streaming transfer (E13) carrying
+    /// `payload` bytes of file content.
+    pub fn record_transfer_chunk(&self, payload: usize) {
+        self.record_transfer_chunks(1, payload as u64);
+    }
+
+    /// Record a batch of completed transfer chunk round-trips at once
+    /// (a finished transfer reporting its totals).
+    pub fn record_transfer_chunks(&self, chunks: u64, payload: u64) {
+        self.transfer_chunks.fetch_add(chunks, Ordering::Relaxed);
+        self.transfer_bytes.fetch_add(payload, Ordering::Relaxed);
+    }
+
+    /// Record the bytes a transfer currently holds in reorder/pending
+    /// buffers; the snapshot keeps the maximum, making "bounded memory"
+    /// an asserted number rather than a claim.
+    pub fn record_transfer_buffer(&self, bytes: u64) {
+        self.transfer_buffer_high_water
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Read all counters at once.
     pub fn snapshot(&self) -> StatsSnapshot {
         let xml = xml_stats::snapshot();
@@ -229,6 +256,9 @@ impl WireStats {
             chaos_delays: self.chaos_delays.load(Ordering::Relaxed),
             chaos_stale_closes: self.chaos_stale_closes.load(Ordering::Relaxed),
             chaos_drops: self.chaos_drops.load(Ordering::Relaxed),
+            transfer_chunks: self.transfer_chunks.load(Ordering::Relaxed),
+            transfer_bytes: self.transfer_bytes.load(Ordering::Relaxed),
+            transfer_buffer_high_water: self.transfer_buffer_high_water.load(Ordering::Relaxed),
             escape_borrowed: xml
                 .escape_borrowed
                 .wrapping_sub(self.base_escape_borrowed.load(Ordering::Relaxed)),
@@ -265,6 +295,9 @@ impl WireStats {
         self.chaos_delays.store(0, Ordering::Relaxed);
         self.chaos_stale_closes.store(0, Ordering::Relaxed);
         self.chaos_drops.store(0, Ordering::Relaxed);
+        self.transfer_chunks.store(0, Ordering::Relaxed);
+        self.transfer_bytes.store(0, Ordering::Relaxed);
+        self.transfer_buffer_high_water.store(0, Ordering::Relaxed);
         let base = xml_stats::snapshot();
         self.base_escape_borrowed
             .store(base.escape_borrowed, Ordering::Relaxed);
@@ -318,6 +351,12 @@ pub struct StatsSnapshot {
     pub chaos_stale_closes: u64,
     /// Responses dropped by server-side chaos.
     pub chaos_drops: u64,
+    /// Chunk round-trips completed by streaming transfers (E13).
+    pub transfer_chunks: u64,
+    /// File-content bytes moved by streaming transfers.
+    pub transfer_bytes: u64,
+    /// Largest per-transfer reorder/pending buffering seen (bytes).
+    pub transfer_buffer_high_water: u64,
     /// `escape_text`/`escape_attr` calls that borrowed (no allocation).
     pub escape_borrowed: u64,
     /// Escape calls that had to allocate an escaped copy.
@@ -354,6 +393,9 @@ impl StatsSnapshot {
             chaos_delays: self.chaos_delays - earlier.chaos_delays,
             chaos_stale_closes: self.chaos_stale_closes - earlier.chaos_stale_closes,
             chaos_drops: self.chaos_drops - earlier.chaos_drops,
+            transfer_chunks: self.transfer_chunks - earlier.transfer_chunks,
+            transfer_bytes: self.transfer_bytes - earlier.transfer_bytes,
+            transfer_buffer_high_water: self.transfer_buffer_high_water,
             escape_borrowed: self.escape_borrowed - earlier.escape_borrowed,
             escape_owned: self.escape_owned - earlier.escape_owned,
             unescape_borrowed: self.unescape_borrowed - earlier.unescape_borrowed,
@@ -518,6 +560,30 @@ mod tests {
         assert_eq!(delta.scratch_growths, 0);
         // A high-water mark is not a sum; the later value carries over.
         assert_eq!(delta.scratch_high_water, 8192);
+    }
+
+    #[test]
+    fn transfer_counters_track_chunks_bytes_and_high_water() {
+        let s = WireStats::new();
+        s.record_transfer_chunk(65536);
+        s.record_transfer_chunk(65536);
+        s.record_transfer_chunk(100);
+        s.record_transfer_buffer(131072);
+        s.record_transfer_buffer(4096); // lower watermark: ignored
+        let snap = s.snapshot();
+        assert_eq!(snap.transfer_chunks, 3);
+        assert_eq!(snap.transfer_bytes, 131172);
+        assert_eq!(snap.transfer_buffer_high_water, 131072);
+        let before = snap;
+        s.record_transfer_chunk(1);
+        s.record_transfer_buffer(262144);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.transfer_chunks, 1);
+        assert_eq!(delta.transfer_bytes, 1);
+        // High-water is a maximum, not a sum; the later value carries over.
+        assert_eq!(delta.transfer_buffer_high_water, 262144);
+        s.reset();
+        assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
     }
 
     #[test]
