@@ -6,11 +6,18 @@
 //! 1. **µs/envelope** — median parse and serialize time for the
 //!    representative SOAP envelope (a `submitXml` request with a SAML
 //!    header), the unit the whole SOAP hot path is built from.
-//! 2. **req/s vs worker count** — closed-loop load against a pooled TCP
-//!    server: one keep-alive client per server worker, each echoing the
-//!    representative job payload through a full SOAP round trip. Reuse
-//!    diagnostics (scratch growths, capacity high-water, escape/unescape
-//!    fast-path rates) come from the server's `WireStats`.
+//! 2. **req/s vs worker count, per server arm** — closed-loop load
+//!    against a pooled TCP server: one keep-alive client per server
+//!    worker, each echoing the representative job payload through a full
+//!    SOAP round trip, run on both the blocking thread-per-connection arm
+//!    and the epoll reactor arm. Reuse diagnostics (scratch growths,
+//!    capacity high-water, escape/unescape fast-path rates) come from the
+//!    server's `WireStats`.
+//! 3. **req/s vs idle connection count** — the axis the blocking arm
+//!    cannot run at all: N idle keep-alive connections parked on ONE
+//!    reactor worker while a handful of active clients drive closed-loop
+//!    traffic through the same worker. (The blocking arm pins its worker
+//!    on the first idle connection and starves every later one.)
 //!
 //! ```sh
 //! cargo run -p portalws-bench --release --bin e11_substrate -- \
@@ -79,6 +86,7 @@ fn median_us(n: usize, mut f: impl FnMut()) -> f64 {
 }
 
 struct ThroughputRow {
+    arm: &'static str,
     workers: usize,
     req_per_s: f64,
     scratch_growths: u64,
@@ -88,12 +96,17 @@ struct ThroughputRow {
 }
 
 /// Closed-loop load: `workers` keep-alive clients against a server with
-/// `workers` worker threads, `per_client` echo calls each.
-fn throughput(workers: usize, per_client: usize) -> ThroughputRow {
+/// `workers` worker threads, `per_client` echo calls each, on the chosen
+/// server arm (`"blocking"` or `"reactor"`).
+fn throughput(arm: &'static str, workers: usize, per_client: usize) -> ThroughputRow {
     let soap = SoapServer::new();
     soap.mount(Arc::new(EchoService));
     let handler: Arc<dyn Handler> = Arc::new(soap);
-    let server = HttpServer::start(handler, workers).expect("bind");
+    let server = match arm {
+        "reactor" => HttpServer::start_reactor(handler, workers),
+        _ => HttpServer::start(handler, workers),
+    }
+    .expect("bind");
     let addr = server.addr();
 
     let t0 = Instant::now();
@@ -114,6 +127,7 @@ fn throughput(workers: usize, per_client: usize) -> ThroughputRow {
 
     let snap = server.stats().snapshot();
     let row = ThroughputRow {
+        arm,
         workers,
         req_per_s: (workers * per_client) as f64 / elapsed,
         scratch_growths: snap.scratch_growths,
@@ -121,6 +135,59 @@ fn throughput(workers: usize, per_client: usize) -> ThroughputRow {
         escape_fast_path_rate: snap.escape_fast_path_rate(),
         unescape_fast_path_rate: snap.unescape_fast_path_rate(),
     };
+    server.shutdown();
+    row
+}
+
+struct IdleMixRow {
+    idle: usize,
+    active: usize,
+    req_per_s: f64,
+    connections_high_water: u64,
+}
+
+/// The connection-count axis: park `idle` keep-alive connections on ONE
+/// reactor worker, then run `active` closed-loop clients through the same
+/// worker. The parked herd must neither block the active traffic nor cost
+/// a thread apiece — the server-side `connections_high_water` gauge
+/// verifies the herd was actually simultaneous.
+fn idle_mix(idle: usize, active: usize, per_client: usize) -> IdleMixRow {
+    let soap = SoapServer::new();
+    soap.mount(Arc::new(EchoService));
+    let handler: Arc<dyn Handler> = Arc::new(soap);
+    let server = HttpServer::start_reactor(handler, 1).expect("bind");
+    let addr = server.addr();
+
+    let parked: Vec<std::net::TcpStream> = (0..idle)
+        .map(|_| std::net::TcpStream::connect(addr).expect("dial idle"))
+        .collect();
+    // Let the single worker register the whole herd before measuring.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..active {
+            scope.spawn(move || {
+                let client = SoapClient::new(Arc::new(PooledTransport::new(addr)), "Echo");
+                let payload = SoapValue::Xml(jobs_request(4, 30, 2));
+                for _ in 0..per_client {
+                    client
+                        .call("echo", std::slice::from_ref(&payload))
+                        .expect("echo");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let snap = server.stats().snapshot();
+    let row = IdleMixRow {
+        idle,
+        active,
+        req_per_s: (active * per_client) as f64 / elapsed,
+        connections_high_water: snap.connections_high_water,
+    };
+    drop(parked);
     server.shutdown();
     row
 }
@@ -166,21 +233,41 @@ fn main() {
     println!("  parse:     {parse_us:>8.2} µs/envelope");
     println!("  serialize: {serialize_us:>8.2} µs/envelope");
 
-    // --- Series 2: closed-loop req/s vs worker count ---------------------
-    println!("\n  workers   req/s   scratch-growths   high-water   escape-fast   unescape-fast");
+    // --- Series 2: closed-loop req/s vs worker count, per arm ------------
+    println!(
+        "\n  arm        workers   req/s   scratch-growths   high-water   escape-fast   unescape-fast"
+    );
     let mut rows = Vec::new();
-    for workers in [1usize, 2, 4, 8] {
-        let row = throughput(workers, per_client);
+    for arm in ["blocking", "reactor"] {
+        for workers in [1usize, 2, 4, 8] {
+            let row = throughput(arm, workers, per_client);
+            println!(
+                "  {:<9}  {:>7}   {:>7.0}   {:>15}   {:>10}   {:>10.3}   {:>12.3}",
+                row.arm,
+                row.workers,
+                row.req_per_s,
+                row.scratch_growths,
+                row.scratch_high_water,
+                row.escape_fast_path_rate,
+                row.unescape_fast_path_rate,
+            );
+            rows.push(row);
+        }
+    }
+
+    // --- Series 3: req/s vs idle keep-alive connections (reactor only) ---
+    // The blocking arm cannot run this axis: its workers would pin on the
+    // idle herd and the active clients would never be served.
+    let idle_counts: &[usize] = if quick { &[100] } else { &[100, 1000] };
+    println!("\n  idle-conns   active   req/s   conn-high-water   (1 reactor worker)");
+    let mut idle_rows = Vec::new();
+    for &idle in idle_counts {
+        let row = idle_mix(idle, 4, per_client);
         println!(
-            "  {:>7}   {:>7.0}   {:>15}   {:>10}   {:>10.3}   {:>12.3}",
-            row.workers,
-            row.req_per_s,
-            row.scratch_growths,
-            row.scratch_high_water,
-            row.escape_fast_path_rate,
-            row.unescape_fast_path_rate,
+            "  {:>10}   {:>6}   {:>7.0}   {:>15}",
+            row.idle, row.active, row.req_per_s, row.connections_high_water,
         );
-        rows.push(row);
+        idle_rows.push(row);
     }
 
     // --- JSON artifact ----------------------------------------------------
@@ -193,7 +280,8 @@ fn main() {
         doc.push_str("  \"throughput\": [\n");
         for (i, row) in rows.iter().enumerate() {
             doc.push_str(&format!(
-                "    {{\"workers\": {}, \"req_per_s\": {:.1}, \"scratch_growths\": {}, \"scratch_high_water\": {}, \"escape_fast_path_rate\": {:.4}, \"unescape_fast_path_rate\": {:.4}}}{}\n",
+                "    {{\"arm\": \"{}\", \"workers\": {}, \"req_per_s\": {:.1}, \"scratch_growths\": {}, \"scratch_high_water\": {}, \"escape_fast_path_rate\": {:.4}, \"unescape_fast_path_rate\": {:.4}}}{}\n",
+                row.arm,
                 row.workers,
                 row.req_per_s,
                 row.scratch_growths,
@@ -201,6 +289,18 @@ fn main() {
                 row.escape_fast_path_rate,
                 row.unescape_fast_path_rate,
                 if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        doc.push_str("  ],\n");
+        doc.push_str("  \"idle_mix\": [\n");
+        for (i, row) in idle_rows.iter().enumerate() {
+            doc.push_str(&format!(
+                "    {{\"idle\": {}, \"active\": {}, \"req_per_s\": {:.1}, \"connections_high_water\": {}}}{}\n",
+                row.idle,
+                row.active,
+                row.req_per_s,
+                row.connections_high_water,
+                if i + 1 < idle_rows.len() { "," } else { "" },
             ));
         }
         doc.push_str("  ]\n}\n");

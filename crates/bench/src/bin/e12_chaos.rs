@@ -21,6 +21,11 @@
 //! Per-fault-class injection counts come from each host transport's
 //! `WireStats`, so the soak also verifies the counters are observable.
 //!
+//! TCP schedules alternate between the blocking thread-per-connection
+//! server arm and the epoll reactor arm, and every schedule includes
+//! zero-byte-object round trips — the empty-body frames that corruption
+//! and truncation faults must survive without underflowing.
+//!
 //! ```sh
 //! cargo run -p portalws-bench --release --bin e12_chaos -- \
 //!     [--quick] [--json PATH] [--seed N]
@@ -30,8 +35,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use portalws_core::{
-    ChaosPolicy, PortalDeployment, PortalShell, SecurityMode, TransferClient, TransferConfig,
-    TransportMode, UiServer,
+    ChaosPolicy, PortalDeployment, PortalShell, SecurityMode, ServerArm, TransferClient,
+    TransferConfig, TransportMode, UiServer,
 };
 use portalws_soap::SoapValue;
 use portalws_wire::ChaosClass;
@@ -65,17 +70,28 @@ struct ScheduleOutcome {
     transfer_put_unacknowledged: u64,
     /// Chunked-transfer gets that resumed to the full object.
     transfer_gets_resumed: u64,
+    /// Zero-byte-object round trips (empty staged put + empty get) that
+    /// settled cleanly — the empty-body edge every fault class must
+    /// survive without underflowing.
+    empty_body_settled: u64,
     /// Per-class injected-fault counts summed over every host transport.
     chaos: [u64; ChaosClass::ALL.len()],
     /// Invariant violations (empty on a clean schedule).
     violations: Vec<String>,
 }
 
-/// Drive one seeded schedule end to end.
-fn run_schedule(seed: u64, security: SecurityMode, mode: TransportMode) -> ScheduleOutcome {
+/// Drive one seeded schedule end to end. `arm` picks the server
+/// concurrency regime for TCP modes (ignored in-memory): the soak runs
+/// the same invariants against both the blocking pool and the reactor.
+fn run_schedule(
+    seed: u64,
+    security: SecurityMode,
+    mode: TransportMode,
+    arm: ServerArm,
+) -> ScheduleOutcome {
     let mut out = ScheduleOutcome::default();
     let policy = ChaosPolicy::from_seed(seed);
-    let deployment = PortalDeployment::with_chaos(security, mode, policy);
+    let deployment = PortalDeployment::with_chaos_arm(security, mode, policy, arm);
     let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
     let shell = PortalShell::new(Arc::clone(&ui));
 
@@ -286,6 +302,68 @@ fn run_schedule(seed: u64, security: SecurityMode, mode: TransportMode) -> Sched
         }
     }
 
+    // Empty-body edge: a zero-byte object exercises the degenerate frame
+    // every fault class must survive — corruption has no byte to flip,
+    // truncation has no interior to cut. The staged put must still settle
+    // to one of the three legal outcomes, and a seeded empty object must
+    // come back as exactly zero bytes.
+    let empty_path = format!("/home-alice@GCE.ORG/chaos-empty-{seed:016x}.bin");
+    out.ops += 1;
+    let put_res = match ui.proxy("grid.sdsc.edu", "DataManagement") {
+        Ok(client) => TransferClient::with_config(&client, cfg)
+            .put(&empty_path, &[])
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Err(e) => Err(e.to_string()),
+    };
+    let stored = deployment.srb.get("alice@GCE.ORG", &empty_path).ok();
+    match (put_res.is_ok(), stored) {
+        (true, Some(bytes)) if bytes.is_empty() => out.empty_body_settled += 1,
+        (true, _) => out.violations.push(format!(
+            "empty put acknowledged but object non-empty or absent (seed {seed:#x})"
+        )),
+        (false, None) => {
+            out.attempt_failures += 1;
+            out.empty_body_settled += 1;
+        }
+        (false, Some(bytes)) if bytes.is_empty() => {
+            out.attempt_failures += 1;
+            out.empty_body_settled += 1;
+        }
+        (false, Some(_)) => out.violations.push(format!(
+            "empty put failed and object non-empty (seed {seed:#x})"
+        )),
+    }
+
+    let empty_src = format!("/home-alice@GCE.ORG/chaos-empty-src-{seed:016x}.bin");
+    if deployment.srb.put("alice@GCE.ORG", &empty_src, &[]).is_ok() {
+        out.ops += 1;
+        let mut got = None;
+        for _ in 0..IDEMPOTENT_ATTEMPTS {
+            let Ok(client) = ui.proxy("grid.sdsc.edu", "DataManagement") else {
+                out.attempt_failures += 1;
+                continue;
+            };
+            match TransferClient::with_config(&client, cfg).get(&empty_src) {
+                Ok((bytes, _)) => {
+                    got = Some(bytes);
+                    break;
+                }
+                Err(_) => out.attempt_failures += 1,
+            }
+        }
+        match got {
+            Some(bytes) if bytes.is_empty() => out.empty_body_settled += 1,
+            Some(bytes) => out.violations.push(format!(
+                "empty get returned {} bytes (seed {seed:#x})",
+                bytes.len()
+            )),
+            None => out.violations.push(format!(
+                "empty get failed all {IDEMPOTENT_ATTEMPTS} attempts (seed {seed:#x})"
+            )),
+        }
+    }
+
     retried("logout", "logout", &mut out);
 
     for host in deployment.hosts() {
@@ -323,11 +401,13 @@ fn main() {
         .unwrap_or(0xE12_5EED);
 
     // ≥50 distinct schedules even in quick mode; the full soak widens the
-    // sweep and adds real-TCP schedules (server-side chaos included).
-    let (in_memory_schedules, tcp_schedules) = if quick { (50u64, 0u64) } else { (120u64, 6u64) };
+    // sweep. TCP schedules (server-side chaos included) alternate between
+    // the blocking worker pool and the epoll reactor so both server arms
+    // soak under identical fault classes — even in quick mode.
+    let (in_memory_schedules, tcp_schedules) = if quick { (50u64, 2u64) } else { (120u64, 6u64) };
 
     println!(
-        "E12 — chaos soak: {} in-memory + {} tcp-pooled schedules, base seed {base_seed:#x}",
+        "E12 — chaos soak: {} in-memory + {} tcp-pooled schedules (both server arms), base seed {base_seed:#x}",
         in_memory_schedules, tcp_schedules
     );
 
@@ -336,17 +416,17 @@ fn main() {
     let mut panicked: Vec<u64> = Vec::new();
     let mut violating: Vec<u64> = Vec::new();
 
-    let mut run = |seed: u64, security: SecurityMode, mode: TransportMode| {
+    let mut run = |seed: u64, security: SecurityMode, mode: TransportMode, arm: ServerArm| {
         schedules += 1;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_schedule(seed, security, mode)
+            run_schedule(seed, security, mode, arm)
         }));
         match outcome {
             Ok(out) => {
                 if !out.violations.is_empty() {
                     violating.push(seed);
                     for v in &out.violations {
-                        eprintln!("  seed {seed:#x} [{security:?}/{mode:?}]: {v}");
+                        eprintln!("  seed {seed:#x} [{security:?}/{mode:?}/{arm:?}]: {v}");
                     }
                 }
                 total.ops += out.ops;
@@ -358,6 +438,7 @@ fn main() {
                 total.transfer_put_clean_failure += out.transfer_put_clean_failure;
                 total.transfer_put_unacknowledged += out.transfer_put_unacknowledged;
                 total.transfer_gets_resumed += out.transfer_gets_resumed;
+                total.empty_body_settled += out.empty_body_settled;
                 for (i, n) in out.chaos.iter().enumerate() {
                     total.chaos[i] += n;
                 }
@@ -365,7 +446,7 @@ fn main() {
             }
             Err(_) => {
                 panicked.push(seed);
-                eprintln!("  seed {seed:#x} [{security:?}/{mode:?}]: PANIC");
+                eprintln!("  seed {seed:#x} [{security:?}/{mode:?}/{arm:?}]: PANIC");
             }
         }
     };
@@ -380,11 +461,18 @@ fn main() {
         } else {
             SecurityMode::Open
         };
-        run(seed, security, TransportMode::InMemory);
+        run(seed, security, TransportMode::InMemory, ServerArm::Blocking);
     }
     for i in 0..tcp_schedules {
         let seed = base_seed.wrapping_add(0x10_0000 + i);
-        run(seed, SecurityMode::Open, TransportMode::TcpPooled);
+        // Alternate arms so every TCP fault class soaks both the blocking
+        // pool and the reactor under the same schedule family.
+        let arm = if i % 2 == 0 {
+            ServerArm::Blocking
+        } else {
+            ServerArm::Reactor
+        };
+        run(seed, SecurityMode::Open, TransportMode::TcpPooled, arm);
     }
     let elapsed = t0.elapsed().as_secs_f64();
 
@@ -406,6 +494,10 @@ fn main() {
     println!(
         "  chunked gets resumed to full object: {}",
         total.transfer_gets_resumed
+    );
+    println!(
+        "  empty-body round trips settled:      {}",
+        total.empty_body_settled
     );
     println!("  injected faults by class:");
     for (i, class) in ChaosClass::ALL.iter().enumerate() {
@@ -449,6 +541,10 @@ fn main() {
         doc.push_str(&format!(
             "  \"transfer_gets_resumed\": {},\n",
             total.transfer_gets_resumed
+        ));
+        doc.push_str(&format!(
+            "  \"empty_body_settled\": {},\n",
+            total.empty_body_settled
         ));
         doc.push_str("  \"chaos\": {\n");
         for (i, class) in ChaosClass::ALL.iter().enumerate() {

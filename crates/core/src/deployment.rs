@@ -74,6 +74,22 @@ pub enum TransportMode {
     TcpPooled,
 }
 
+/// Server concurrency regime for the testbed's TCP arms — orthogonal to
+/// [`TransportMode`], which picks the *client* side. The blocking arm is
+/// the thread-per-connection pool the 2002 servers ran; the reactor arm
+/// drives all connections per worker through epoll state machines, so
+/// idle keep-alive sessions park instead of pinning worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerArm {
+    /// Fixed worker pool, one blocking connection per worker at a time
+    /// (the ablation baseline).
+    #[default]
+    Blocking,
+    /// Epoll reactor: each worker multiplexes many nonblocking
+    /// connections (`wire::reactor`).
+    Reactor,
+}
+
 /// A deployment-wide fault schedule: one master seed fans out to a
 /// per-host client seed (`derive_seed(seed, host)`) and a per-host server
 /// seed (`derive_seed(seed, "server:<host>")`), so every failure the
@@ -189,6 +205,7 @@ pub struct PortalDeployment {
     server_stats: HashMap<String, Arc<portalws_wire::WireStats>>,
     security: SecurityMode,
     mode: TransportMode,
+    arm: ServerArm,
     chaos: Option<ChaosPolicy>,
 }
 
@@ -216,6 +233,13 @@ impl PortalDeployment {
         Self::build(security, TransportMode::TcpPooled)
     }
 
+    /// Like [`PortalDeployment::over_tcp_pooled`], but every logical host
+    /// serves through the epoll reactor arm instead of the blocking
+    /// worker pool.
+    pub fn over_tcp_pooled_reactor(security: SecurityMode) -> Arc<PortalDeployment> {
+        Self::build_with_chaos_arm(security, TransportMode::TcpPooled, None, ServerArm::Reactor)
+    }
+
     /// Stand the testbed up under a deterministic fault schedule: every
     /// client transport is wrapped in a [`ChaosTransport`] and (in TCP
     /// modes) every server gets a seeded response hook. The full Fig. 4
@@ -225,17 +249,30 @@ impl PortalDeployment {
         mode: TransportMode,
         policy: ChaosPolicy,
     ) -> Arc<PortalDeployment> {
-        Self::build_with_chaos(security, mode, Some(policy))
+        Self::build_with_chaos_arm(security, mode, Some(policy), ServerArm::Blocking)
+    }
+
+    /// Like [`PortalDeployment::with_chaos`], but also choosing the server
+    /// concurrency regime — the E12 soak runs both arms under the same
+    /// schedule.
+    pub fn with_chaos_arm(
+        security: SecurityMode,
+        mode: TransportMode,
+        policy: ChaosPolicy,
+        arm: ServerArm,
+    ) -> Arc<PortalDeployment> {
+        Self::build_with_chaos_arm(security, mode, Some(policy), arm)
     }
 
     fn build(security: SecurityMode, mode: TransportMode) -> Arc<PortalDeployment> {
-        Self::build_with_chaos(security, mode, None)
+        Self::build_with_chaos_arm(security, mode, None, ServerArm::Blocking)
     }
 
-    fn build_with_chaos(
+    fn build_with_chaos_arm(
         security: SecurityMode,
         mode: TransportMode,
         chaos: Option<ChaosPolicy>,
+        arm: ServerArm,
     ) -> Arc<PortalDeployment> {
         let clock = SimClock::new();
         let grid = Grid::with_clock(Arc::clone(&clock));
@@ -361,16 +398,21 @@ impl PortalDeployment {
                 let pool = Arc::new(Pool::new(PoolConfig::default()));
                 for (host, server) in &servers {
                     let handler = Arc::clone(&server.router) as Arc<dyn Handler>;
-                    let handle = match &chaos {
-                        Some(policy) => HttpServer::start_chaotic(
-                            handler,
-                            2,
-                            Arc::new(SeededServerChaos::new(
-                                derive_seed(policy.seed, &format!("server:{host}")),
-                                policy.server,
-                            )),
-                        ),
-                        None => HttpServer::start(handler, 2),
+                    let server_chaos = chaos.as_ref().map(|policy| {
+                        Arc::new(SeededServerChaos::new(
+                            derive_seed(policy.seed, &format!("server:{host}")),
+                            policy.server,
+                        )) as Arc<dyn portalws_wire::ServerChaos>
+                    });
+                    let handle = match (arm, server_chaos) {
+                        (ServerArm::Blocking, Some(hook)) => {
+                            HttpServer::start_chaotic(handler, 2, hook)
+                        }
+                        (ServerArm::Blocking, None) => HttpServer::start(handler, 2),
+                        (ServerArm::Reactor, Some(hook)) => {
+                            HttpServer::start_reactor_chaotic(handler, 2, hook)
+                        }
+                        (ServerArm::Reactor, None) => HttpServer::start_reactor(handler, 2),
                     }
                     .expect("bind localhost");
                     let inner: Arc<dyn Transport> = match mode {
@@ -423,6 +465,7 @@ impl PortalDeployment {
             server_stats,
             security,
             mode,
+            arm,
             chaos,
         };
         deployment.apply_guards(None);
@@ -438,6 +481,12 @@ impl PortalDeployment {
     /// Transport regime in effect.
     pub fn transport_mode(&self) -> TransportMode {
         self.mode
+    }
+
+    /// Server concurrency regime in effect (TCP modes; in-memory
+    /// deployments have no server loop either way).
+    pub fn server_arm(&self) -> ServerArm {
+        self.arm
     }
 
     /// The fault schedule in effect, if any.
@@ -828,6 +877,28 @@ mod tests {
         let snap = t.stats().snapshot();
         assert_eq!(snap.connections, 1, "one dial for four calls");
         assert_eq!(snap.pool_reuse_hits, 3);
+    }
+
+    #[test]
+    fn reactor_arm_round_trip_and_reuse() {
+        // The full topology on the reactor server arm: SOAP round trips
+        // work and pooled keep-alive connections stay reusable, i.e. the
+        // reactor honors `Connection: keep-alive` across exchanges.
+        let d = PortalDeployment::over_tcp_pooled_reactor(SecurityMode::Open);
+        assert_eq!(d.server_arm(), ServerArm::Reactor);
+        assert_eq!(d.transport_mode(), TransportMode::TcpPooled);
+        let t = d.transport("grid.sdsc.edu").unwrap();
+        let client = SoapClient::new(Arc::clone(&t), "JobSubmission");
+        for _ in 0..4 {
+            let hosts = client.call("listHosts", &[]).unwrap();
+            assert_eq!(hosts.as_array().unwrap().len(), 2);
+        }
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.connections, 1, "one dial for four calls");
+        assert_eq!(snap.pool_reuse_hits, 3);
+        let server = d.server_wire_stats("grid.sdsc.edu").unwrap().snapshot();
+        assert_eq!(server.requests, 4);
+        assert!(server.connections_high_water >= 1, "{server:?}");
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod shell;
 pub mod transfer;
 pub mod ui;
 
-pub use deployment::{ChaosPolicy, PortalDeployment, SecurityMode, TransportMode};
+pub use deployment::{ChaosPolicy, PortalDeployment, SecurityMode, ServerArm, TransportMode};
 pub use shell::PortalShell;
 pub use transfer::{TransferClient, TransferConfig, TransferReport};
 pub use ui::UiServer;

@@ -736,6 +736,24 @@ mod tests {
     }
 
     #[test]
+    fn reactor_module_is_covered_by_the_panic_rule() {
+        // Pin: the epoll reactor drives every connection on the reactor
+        // server arm — a panic there kills a worker that owns thousands
+        // of live connections, so wire::reactor must stay under the
+        // panic rule like the rest of the wire crate.
+        assert!(SERVER_CRATES.contains(&"wire"));
+        let src = "fn drive(slot: usize, conns: &[u64]) -> u64 {\n    conns[slot]\n}\n";
+        let a = analyze_file("crates/wire/src/reactor.rs", src, FileRules::all());
+        let live: Vec<&Violation> = a
+            .violations
+            .iter()
+            .filter(|v| !v.suppressed && v.kind == "index")
+            .collect();
+        assert_eq!(live.len(), 1, "{:?}", a.violations);
+        assert_eq!(live[0].line, 2);
+    }
+
+    #[test]
     fn transfer_modules_are_covered_by_the_panic_rule() {
         // Pin: the chunked-transfer handle table lives in the services
         // crate and every byte of uploaded data flows through it, so a

@@ -320,6 +320,31 @@ mod tests {
     }
 
     #[test]
+    fn over_the_reactor_server_arm() {
+        // The SOAP glue is arm-agnostic: the same SoapServer handler
+        // round-trips over the epoll reactor, and pooled keep-alive
+        // connections stay reusable across calls.
+        use portalws_wire::PooledTransport;
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let handler: Arc<dyn Handler> = Arc::new(soap);
+        let server = HttpServer::start_reactor(handler, 2).unwrap();
+        let client = SoapClient::new(Arc::new(PooledTransport::new(server.addr())), "Calc");
+        for i in 0..5 {
+            assert_eq!(
+                client
+                    .call("add", &[SoapValue::Int(i), SoapValue::Int(1)])
+                    .unwrap(),
+                SoapValue::Int(i + 1)
+            );
+        }
+        let snap = client.transport().stats().snapshot();
+        assert_eq!(snap.connections, 1, "reactor kept the connection alive");
+        assert_eq!(snap.pool_reuse_hits, 4);
+        server.shutdown();
+    }
+
+    #[test]
     fn idempotent_and_deadline_markers_ride_the_request() {
         use parking_lot::Mutex;
         use portalws_wire::{DEADLINE_HEADER, IDEMPOTENT_HEADER};

@@ -277,11 +277,17 @@ impl ChaosTransport {
 }
 
 /// Cut `bytes` at a point strictly inside the frame (never 0, never the
-/// full length), positioned by `unit` in `[0, 1)`.
-fn cut_inside(len: usize, unit: f64) -> usize {
-    let span = len.saturating_sub(2);
+/// full length), positioned by `unit` in `[0, 1)`. A frame shorter than
+/// 2 bytes has no interior, so the cut collapses to 0 (write nothing) —
+/// a fault schedule can land on an empty or 1-byte frame and must not
+/// underflow or deliver the frame whole. Shared with `wire::reactor`.
+pub(crate) fn cut_inside(len: usize, unit: f64) -> usize {
+    if len < 2 {
+        return 0;
+    }
+    let span = len - 2;
     let cut = 1 + (span as f64 * unit.clamp(0.0, 1.0)) as usize;
-    cut.min(len.saturating_sub(1)).max(1)
+    cut.min(len - 1)
 }
 
 /// Locate `needle` inside `haystack`.
@@ -362,14 +368,15 @@ impl Transport for ChaosTransport {
             ClientFault::CorruptBody => {
                 let mut resp = self.inner.round_trip(req)?;
                 self.stats.record_chaos(ChaosClass::Corruption);
+                // Saturating index: a fault schedule can land on an empty
+                // body (regression: `len - 1` underflowed here), in which
+                // case `get_mut` misses and the response passes untouched.
                 let len = resp.body.len();
-                if len > 0 {
-                    let i = ((plan.corrupt_unit * len as f64) as usize).min(len - 1);
-                    if let Some(b) = resp.body.get_mut(i) {
-                        // 0x07 is not a legal XML character, so a SOAP
-                        // envelope with it present cannot parse cleanly.
-                        *b = 0x07;
-                    }
+                let i = ((plan.corrupt_unit * len as f64) as usize).min(len.saturating_sub(1));
+                if let Some(b) = resp.body.get_mut(i) {
+                    // 0x07 is not a legal XML character, so a SOAP
+                    // envelope with it present cannot parse cleanly.
+                    *b = 0x07;
                 }
                 Ok(resp)
             }
@@ -525,7 +532,9 @@ pub(crate) fn apply_server_fault(
         ServerFault::Truncate(unit) => {
             stats.record_chaos(ChaosClass::Truncation);
             let cut = cut_inside(frame.len(), unit);
-            let prefix = frame.get(..cut).unwrap_or(frame);
+            // A frame with no interior cuts to the empty prefix: the
+            // close itself is the fault.
+            let prefix = frame.get(..cut).unwrap_or(&[]);
             let _ = out.write_all(prefix);
             let _ = out.flush();
             false
@@ -722,6 +731,73 @@ mod tests {
                 assert!(cut >= 1 && cut < len, "len={len} unit={unit} cut={cut}");
             }
         }
+        // Regression: frames with no interior (0 or 1 byte) collapse to a
+        // zero-byte cut instead of underflowing or delivering the frame.
+        for unit in [0.0, 0.5, 0.999] {
+            assert_eq!(cut_inside(0, unit), 0);
+            assert_eq!(cut_inside(1, unit), 0);
+        }
+    }
+
+    #[test]
+    fn empty_body_responses_survive_every_chaos_class() {
+        // Regression for the zero-length-body underflow: drive an
+        // empty-body response through every client fault class at 100%
+        // intensity. No class may panic; the chaos counters must record
+        // each injection.
+        let empty: Arc<dyn Handler> = Arc::new(|_: &Request| Response::xml(""));
+        for field in [
+            "connect_refused",
+            "stale_keep_alive",
+            "mid_stream_close",
+            "truncate_response",
+            "corrupt_header",
+            "corrupt_body",
+            "slow_loris",
+        ] {
+            let inner = Arc::new(InMemoryTransport::new(Arc::clone(&empty)));
+            let chaos = ChaosTransport::new(inner, 0xE0, only(field, 1.0));
+            for _ in 0..8 {
+                let _ = chaos.round_trip(Request::post("/x", ""));
+            }
+            assert_eq!(
+                chaos.stats().snapshot().chaos_total(),
+                8,
+                "class {field} must fire on every empty-body exchange"
+            );
+        }
+    }
+
+    #[test]
+    fn body_corruption_of_an_empty_body_delivers_untouched() {
+        // The corruption index saturates at the last byte; with no bytes
+        // at all there is nothing to damage and the frame passes intact.
+        let empty: Arc<dyn Handler> = Arc::new(|_: &Request| Response::xml(""));
+        let inner = Arc::new(InMemoryTransport::new(empty));
+        let chaos = ChaosTransport::new(inner, 17, only("corrupt_body", 1.0));
+        let resp = chaos.round_trip(Request::post("/x", "")).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body.is_empty(), "nothing to corrupt in an empty body");
+        assert_eq!(chaos.stats().snapshot().chaos_corruptions, 1);
+    }
+
+    #[test]
+    fn server_truncate_of_a_tiny_frame_writes_nothing() {
+        // Regression: a server-side truncation landing on a frame with no
+        // interior (empty or 1 byte) must write nothing rather than
+        // underflow or deliver the frame whole.
+        let stats = WireStats::new();
+        for frame in [vec![], vec![b'X']] {
+            let mut sink = Vec::new();
+            assert!(!apply_server_fault(
+                ServerFault::Truncate(0.5),
+                &mut sink,
+                &frame,
+                &stats
+            ));
+            assert!(sink.is_empty(), "no interior to cut: nothing written");
+        }
+        assert_eq!(stats.snapshot().chaos_truncations, 2);
     }
 
     #[test]

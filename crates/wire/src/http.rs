@@ -192,6 +192,162 @@ impl Request {
     }
 }
 
+/// Upper bound on a request head (request line + headers). A peer that
+/// streams this much without terminating its header block is not speaking
+/// the protocol; the incremental parser refuses to buffer further.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Resumable, incremental HTTP request parser for nonblocking readers.
+///
+/// The blocking server reads a request with [`Request::read_from_buffered`]
+/// and simply waits inside `read_line`; a reactor worker cannot wait, so it
+/// [`feed`](RequestParser::feed)s whatever bytes the socket had and asks
+/// [`try_next`](RequestParser::try_next) whether a complete request has
+/// accumulated. The internal buffer is the connection's *read scratch*: it
+/// moves with the connection state (not the worker thread) and keeps its
+/// capacity across keep-alive requests, so a warm connection parses without
+/// reallocating. Pipelined bytes beyond the first request simply remain
+/// buffered for the next `try_next` call.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// New empty parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Append bytes read off the wire.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when no unconsumed bytes are buffered — the state in which a
+    /// peer close is a *clean* EOF rather than a truncated request.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered (read scratch occupancy).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Capacity of the read scratch (for buffer-reuse accounting).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Try to parse one complete request out of the buffered bytes.
+    ///
+    /// * `Ok(Some(req))` — a full request was consumed; any pipelined
+    ///   surplus stays buffered.
+    /// * `Ok(None)` — the bytes so far are a valid *prefix*; feed more.
+    /// * `Err(_)` — the bytes can never become a valid request (malformed
+    ///   request line or header, bad or oversized Content-Length, or an
+    ///   unterminated header block past [`MAX_HEAD_BYTES`]). The caller
+    ///   should answer 400 and close.
+    pub fn try_next(&mut self) -> Result<Option<Request>> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(WireError::BadFrame(format!(
+                    "request head exceeds the {MAX_HEAD_BYTES}-byte cap without terminating"
+                )));
+            }
+            return Ok(None);
+        };
+        let head = self
+            .buf
+            .get(..head_end)
+            .ok_or_else(|| WireError::BadFrame("header span out of range".into()))?;
+        let head = std::str::from_utf8(head)
+            .map_err(|_| WireError::BadFrame("request head is not UTF-8".into()))?;
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines
+            .next()
+            .ok_or_else(|| WireError::BadFrame("empty request line".into()))?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| WireError::BadFrame("empty request line".into()))?
+            .to_owned();
+        let path = parts
+            .next()
+            .ok_or_else(|| WireError::BadFrame("request line missing path".into()))?
+            .to_owned();
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue; // the blank terminator line
+            }
+            let (k, v) = line
+                .split_once(':')
+                .ok_or_else(|| WireError::BadFrame(format!("malformed header line {line:?}")))?;
+            headers.push((k.trim().to_owned(), v.trim().to_owned()));
+        }
+        let len = declared_content_length(&headers)?;
+        let total = head_end + len;
+        if self.buf.len() < total {
+            return Ok(None); // head complete, body still arriving
+        }
+        let body = self
+            .buf
+            .get(head_end..total)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| WireError::BadFrame("body span out of range".into()))?;
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            path,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Offset one past the header-block terminator (`\n\n` or `\n\r\n`), if
+/// the buffer holds a complete head. Line endings match the blocking
+/// reader's tolerance: bare `\n` is accepted alongside `\r\n`.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while let Some(&b) = buf.get(i) {
+        if b == b'\n' {
+            match (buf.get(i + 1), buf.get(i + 2)) {
+                (Some(&b'\n'), _) => return Some(i + 2),
+                (Some(&b'\r'), Some(&b'\n')) => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Decide HTTP/1.0 connection persistence from a `Connection` header
+/// value. The value is a comma-separated token list (RFC 7230 §6.1), so
+/// `Connection: keep-alive, TE` requests keep-alive just as well as
+/// `Connection: keep-alive` — and `close` anywhere in the list wins over
+/// everything else. Absent header (or neither token) means close, the
+/// HTTP/1.0 default.
+pub fn wants_keep_alive(connection: Option<&str>) -> bool {
+    let Some(value) = connection else {
+        return false;
+    };
+    let mut keep = false;
+    for token in value.split(',') {
+        let token = token.trim();
+        if token.eq_ignore_ascii_case("close") {
+            return false;
+        }
+        if token.eq_ignore_ascii_case("keep-alive") {
+            keep = true;
+        }
+    }
+    keep
+}
+
 /// An HTTP response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
@@ -327,6 +483,39 @@ impl Response {
         stream.flush()?;
         Ok(())
     }
+
+    /// A `400 Bad Request` carrying a minimal SOAP fault envelope, written
+    /// to a client whose bytes consumed off the wire failed to parse as a
+    /// request. The wire crate cannot depend on the soap crate (the
+    /// dependency runs the other way), so the envelope is assembled
+    /// inline; it parses as a client fault through `soap::Envelope`.
+    pub fn bad_request_fault(detail: &str) -> Response {
+        let mut msg = String::with_capacity(detail.len());
+        for c in detail.chars() {
+            match c {
+                '&' => msg.push_str("&amp;"),
+                '<' => msg.push_str("&lt;"),
+                '>' => msg.push_str("&gt;"),
+                _ => msg.push(c),
+            }
+        }
+        let body = format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\
+             <SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\">\
+             <SOAP-ENV:Body><SOAP-ENV:Fault>\
+             <faultcode>SOAP-ENV:Client</faultcode>\
+             <faultstring>malformed HTTP request: {msg}</faultstring>\
+             </SOAP-ENV:Fault></SOAP-ENV:Body></SOAP-ENV:Envelope>"
+        );
+        Response {
+            status: Status::BadRequest,
+            headers: vec![
+                ("Content-Type".into(), "text/xml; charset=utf-8".into()),
+                ("Connection".into(), "close".into()),
+            ],
+            body: body.into_bytes(),
+        }
+    }
 }
 
 /// Number of decimal digits in `n` (1 for 0).
@@ -367,12 +556,23 @@ fn read_headers_and_body(reader: &mut impl BufRead) -> Result<HeadersAndBody> {
             .ok_or_else(|| WireError::BadFrame(format!("malformed header line {line:?}")))?;
         headers.push((k.trim().to_owned(), v.trim().to_owned()));
     }
-    // Reject duplicate Content-Length headers outright (even when the
-    // values agree): taking "the first match" while a peer or proxy takes
-    // the other is the request-smuggling shape, and our own serializers
-    // never emit more than one.
+    let len = declared_content_length(&headers)?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// Validated body length from a parsed header list. Rejects duplicate
+/// `Content-Length` headers outright (even when the values agree): taking
+/// "the first match" while a peer or proxy takes the other is the
+/// request-smuggling shape, and our own serializers never emit more than
+/// one. Also rejects unparseable values and declarations over
+/// [`MAX_BODY_BYTES`] *before* any allocation. Shared by the blocking
+/// reader and the incremental [`RequestParser`], so both server arms
+/// enforce identical framing rules.
+fn declared_content_length(headers: &[(String, String)]) -> Result<usize> {
     let mut declared: Option<&str> = None;
-    for (k, v) in &headers {
+    for (k, v) in headers {
         if k.eq_ignore_ascii_case("content-length") {
             if let Some(prev) = declared {
                 return Err(WireError::BadFrame(format!(
@@ -393,9 +593,7 @@ fn read_headers_and_body(reader: &mut impl BufRead) -> Result<HeadersAndBody> {
             "Content-Length {len} exceeds the {MAX_BODY_BYTES}-byte frame cap"
         )));
     }
-    let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
-    Ok((headers, body))
+    Ok(len)
 }
 
 /// Percent-decode one URL-encoded component.
@@ -676,6 +874,127 @@ mod tests {
         }
     }
 
+    #[test]
+    fn keep_alive_token_list_parsed() {
+        // Regression: the value used to be matched as one case-insensitive
+        // token, so a legal list like `keep-alive, TE` silently disabled
+        // keep-alive and `close` was never recognized explicitly.
+        assert!(wants_keep_alive(Some("keep-alive")));
+        assert!(wants_keep_alive(Some("Keep-Alive")));
+        assert!(wants_keep_alive(Some("keep-alive, TE")));
+        assert!(wants_keep_alive(Some("TE , Keep-Alive")));
+        assert!(!wants_keep_alive(Some("close")));
+        assert!(!wants_keep_alive(Some("Close")));
+        assert!(!wants_keep_alive(Some("keep-alive, close")));
+        assert!(!wants_keep_alive(Some("close, keep-alive")));
+        assert!(!wants_keep_alive(Some("TE")));
+        assert!(!wants_keep_alive(Some("")));
+        assert!(!wants_keep_alive(None));
+    }
+
+    #[test]
+    fn incremental_parser_single_request_byte_by_byte() {
+        let req = Request::post("/soap/jobsub", "<x/>").with_header("X-Session", "abc");
+        let bytes = req.to_bytes();
+        let mut parser = RequestParser::new();
+        for (i, b) in bytes.iter().enumerate() {
+            parser.feed(std::slice::from_ref(b));
+            let out = parser.try_next().unwrap();
+            if i + 1 < bytes.len() {
+                assert!(out.is_none(), "complete at byte {i} of {}", bytes.len());
+            } else {
+                let parsed = out.expect("complete at final byte");
+                assert_eq!(parsed.method, "POST");
+                assert_eq!(parsed.path, "/soap/jobsub");
+                assert_eq!(parsed.header("x-session"), Some("abc"));
+                assert_eq!(parsed.body_str(), "<x/>");
+            }
+        }
+        assert!(parser.is_empty());
+        assert!(parser.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_pipelined_requests_in_one_feed() {
+        let mut bytes = Request::post("/one", "1").to_bytes();
+        bytes.extend_from_slice(&Request::post("/two", "22").to_bytes());
+        let mut parser = RequestParser::new();
+        parser.feed(&bytes);
+        let first = parser.try_next().unwrap().expect("first");
+        assert_eq!(first.path, "/one");
+        assert!(!parser.is_empty(), "second request still buffered");
+        let second = parser.try_next().unwrap().expect("second");
+        assert_eq!(second.path, "/two");
+        assert_eq!(second.body_str(), "22");
+        assert!(parser.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_reader_on_errors() {
+        // The incremental parser enforces the same framing rules as the
+        // blocking reader: duplicate/unparseable/oversized Content-Length
+        // and malformed header lines are hard errors, not "need more".
+        let cases: &[&str] = &[
+            "POST /p HTTP/1.0\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\nbodybytes",
+            "POST /p HTTP/1.0\r\nContent-Length: abc\r\n\r\n",
+            "GET / HTTP/1.0\r\nbadheader\r\n\r\n",
+            &format!(
+                "POST /p HTTP/1.0\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            ),
+        ];
+        for raw in cases {
+            let mut parser = RequestParser::new();
+            parser.feed(raw.as_bytes());
+            assert!(parser.try_next().is_err(), "{raw:?}");
+            assert!(Request::read_from(raw.as_bytes()).is_err(), "{raw:?}");
+        }
+        // Bare-LF line endings parse in both, as do missing bodies.
+        let lf = "POST /p HTTP/1.0\nContent-Length: 2\n\nhi";
+        let mut parser = RequestParser::new();
+        parser.feed(lf.as_bytes());
+        assert_eq!(parser.try_next().unwrap().unwrap().body_str(), "hi");
+        assert_eq!(Request::read_from(lf.as_bytes()).unwrap().body_str(), "hi");
+    }
+
+    #[test]
+    fn incremental_parser_caps_unterminated_heads() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST /p HTTP/1.0\r\nX-Pad: ");
+        parser.feed(&vec![b'a'; MAX_HEAD_BYTES]);
+        match parser.try_next() {
+            Err(WireError::BadFrame(msg)) => assert!(msg.contains("head exceeds"), "{msg}"),
+            other => panic!("expected BadFrame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parser_reuses_buffer_capacity() {
+        let req = Request::post("/x", "fixed-size-payload").to_bytes();
+        let mut parser = RequestParser::new();
+        parser.feed(&req);
+        assert!(parser.try_next().unwrap().is_some());
+        let warm = parser.capacity();
+        for _ in 0..32 {
+            parser.feed(&req);
+            assert!(parser.try_next().unwrap().is_some());
+        }
+        assert_eq!(parser.capacity(), warm, "read scratch must not regrow");
+    }
+
+    #[test]
+    fn bad_request_fault_is_a_soap_fault_on_400() {
+        let resp = Response::bad_request_fault("bad frame: <garbage> & more");
+        assert_eq!(resp.status, Status::BadRequest);
+        assert_eq!(resp.header("Connection"), Some("close"));
+        let body = resp.body_str();
+        assert!(body.contains("SOAP-ENV:Fault"), "{body}");
+        assert!(body.contains("&lt;garbage&gt; &amp; more"), "{body}");
+        // It must survive its own framing round trip.
+        let parsed = Response::read_from(&resp.to_bytes()[..]).unwrap();
+        assert_eq!(parsed.status, Status::BadRequest);
+    }
+
     mod framing_props {
         use super::*;
         use proptest::collection::vec as pvec;
@@ -728,20 +1047,46 @@ mod tests {
 
             #[test]
             fn any_truncation_of_a_valid_frame_errors(
-                body in pvec(any::<u8>(), 1..128),
+                body in pvec(any::<u8>(), 0..128),
                 frac in 0.0f64..1.0,
             ) {
+                // Regression: the cut arithmetic used `bytes.len() - 2`,
+                // which underflows on frames shorter than two bytes; use
+                // saturating arithmetic and include empty bodies.
                 let req = Request::post("/soap/x", body);
                 let bytes = req.to_bytes();
                 // Cut strictly inside the frame: every prefix must fail to
                 // parse rather than yield a short body.
-                let cut = 1 + ((bytes.len() - 2) as f64 * frac) as usize;
+                let cut = 1 + (bytes.len().saturating_sub(2) as f64 * frac) as usize;
                 prop_assert!(Request::read_from(&bytes[..cut]).is_err());
             }
 
             #[test]
             fn url_codec_round_trips(s in "[ -~]{0,40}") {
                 prop_assert_eq!(url_decode(&url_encode(&s)), s);
+            }
+
+            #[test]
+            fn incremental_parser_agrees_with_blocking_reader(
+                body in pvec(any::<u8>(), 0..512),
+                split in 0usize..64,
+            ) {
+                // Differential: any valid frame, fed in two arbitrary
+                // chunks, parses to exactly what the blocking reader sees.
+                let req = Request::post("/soap/x", body).with_header("X-K", "v");
+                let bytes = req.to_bytes();
+                let blocking = Request::read_from(&bytes[..]).unwrap();
+                let mut parser = RequestParser::new();
+                let cut = split.min(bytes.len());
+                parser.feed(&bytes[..cut]);
+                let early = parser.try_next().unwrap();
+                parser.feed(&bytes[cut..]);
+                let parsed = match early {
+                    Some(req) => req,
+                    None => parser.try_next().unwrap().expect("complete after full feed"),
+                };
+                prop_assert_eq!(parsed, blocking);
+                prop_assert!(parser.is_empty());
             }
         }
     }

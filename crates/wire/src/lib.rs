@@ -7,8 +7,13 @@
 //! Service using a single connection", §3.2). This crate reproduces that
 //! transport regime:
 //!
-//! * [`http`] — minimal HTTP/1.0-style request/response framing.
+//! * [`http`] — minimal HTTP/1.0-style request/response framing, with an
+//!   incremental [`http::RequestParser`] for nonblocking reads.
 //! * [`server`] — a thread-pooled TCP server with a path [`server::Router`].
+//! * [`reactor`] — the epoll arm of the same server: each worker thread
+//!   drives many nonblocking connections through readiness-driven state
+//!   machines, so idle keep-alive connections park instead of pinning a
+//!   worker. The blocking arm stays as the ablation baseline.
 //! * [`transport`] — the client-side [`Transport`] abstraction with two
 //!   implementations: a real [`transport::HttpTransport`] (one connection
 //!   per call, as in 2002) and an [`transport::InMemoryTransport`] that
@@ -29,6 +34,7 @@
 pub mod chaos;
 pub mod http;
 pub mod pool;
+pub mod reactor;
 pub mod server;
 pub mod stats;
 pub mod transport;
@@ -37,7 +43,9 @@ pub use chaos::{
     derive_seed, ChaosConfig, ChaosRng, ChaosTransport, SeededServerChaos, ServerChaos,
     ServerChaosConfig, ServerFault,
 };
-pub use http::{Request, Response, Status, MAX_BODY_BYTES};
+pub use http::{
+    wants_keep_alive, Request, RequestParser, Response, Status, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
 pub use pool::{
     Deadline, Pool, PoolConfig, PooledTransport, RetryPolicy, DEADLINE_HEADER, IDEMPOTENT_HEADER,
 };

@@ -20,7 +20,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 
 use crate::chaos::{apply_server_fault, ServerChaos, ServerFault};
-use crate::http::{Request, Response, Status};
+use crate::http::{wants_keep_alive, Request, Response, Status};
 use crate::stats::WireStats;
 use crate::Result;
 
@@ -96,6 +96,25 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    /// Assemble a handle from already-spawned threads (the reactor arm
+    /// builds its own workers but shares the handle's shutdown protocol:
+    /// flag + wake-up poke + join).
+    pub(crate) fn from_parts(
+        addr: SocketAddr,
+        shutdown: Arc<AtomicBool>,
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+        stats: Arc<WireStats>,
+    ) -> ServerHandle {
+        ServerHandle {
+            addr,
+            shutdown,
+            acceptor,
+            workers,
+            stats,
+        }
+    }
+
     /// The bound address (use for clients).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -162,6 +181,35 @@ impl HttpServer {
         chaos: Arc<dyn ServerChaos>,
     ) -> Result<ServerHandle> {
         HttpServer::start_inner("127.0.0.1:0", handler, workers, Some(chaos))
+    }
+
+    /// Start the epoll reactor arm (see [`crate::reactor`]): the same
+    /// handler contract, but each of the `workers` threads drives many
+    /// nonblocking connections through an epoll loop instead of blocking
+    /// on one connection at a time. The blocking [`HttpServer::start`]
+    /// path stays available as the ablation arm.
+    pub fn start_reactor(handler: Arc<dyn Handler>, workers: usize) -> Result<ServerHandle> {
+        crate::reactor::start("127.0.0.1:0", handler, workers, None)
+    }
+
+    /// Reactor arm on a specific address (tests use this to restart a
+    /// server on a port a client already knows).
+    pub fn start_reactor_on(
+        addr: impl std::net::ToSocketAddrs,
+        handler: Arc<dyn Handler>,
+        workers: usize,
+    ) -> Result<ServerHandle> {
+        crate::reactor::start(addr, handler, workers, None)
+    }
+
+    /// Reactor arm with the server-side chaos hook (drop/delay/truncate
+    /// after the handler runs, as in [`HttpServer::start_chaotic`]).
+    pub fn start_reactor_chaotic(
+        handler: Arc<dyn Handler>,
+        workers: usize,
+        chaos: Arc<dyn ServerChaos>,
+    ) -> Result<ServerHandle> {
+        crate::reactor::start("127.0.0.1:0", handler, workers, Some(chaos))
     }
 
     fn start_inner(
@@ -301,17 +349,33 @@ fn serve_one(
                 return;
             }
         }
+        // Distinguish a clean EOF before any byte (the shutdown poke, or a
+        // keep-alive peer hanging up between requests: close quietly) from
+        // bytes that arrived but failed to parse (answer a 400 SOAP fault
+        // so the client learns something instead of hanging until its own
+        // deadline).
+        {
+            use std::io::BufRead;
+            match reader.fill_buf() {
+                Ok([]) => return, // clean EOF, no bytes
+                Ok(_) => {}
+                Err(_) => return,
+            }
+        }
         let req = match Request::read_from_buffered(&mut reader) {
             Ok(req) => req,
-            Err(_) => {
-                // Shutdown poke or garbage: count nothing, close quietly.
+            Err(e) => {
+                stats.record_bad_request();
+                scratch.out.clear();
+                Response::bad_request_fault(&e.to_string()).write_into(&mut scratch.out);
+                use std::io::Write;
+                let _ = out.write_all(&scratch.out);
+                let _ = out.flush();
                 return;
             }
         };
         first = false;
-        let keep_alive = req
-            .header("Connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+        let keep_alive = wants_keep_alive(req.header("Connection"));
         let resp = handler.handle(&req);
         scratch.out.clear();
         let cap_before = scratch.out.capacity();
@@ -498,6 +562,81 @@ mod tests {
             failures,
             "every client-visible failure is an injected one: {snap:?}"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_soap_fault() {
+        // Pinned regression: garbage used to be closed on silently,
+        // leaving the client to hang until its own deadline.
+        let server = HttpServer::start(echo_handler(), 1).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(b"NONSENSE\r\nthis is not a header\r\n\r\n")
+            .unwrap();
+        let resp = Response::read_from(&conn).unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(resp.body_str().contains("SOAP-ENV:Fault"));
+        assert_eq!(resp.header("Connection"), Some("close"));
+        assert_eq!(server.stats().snapshot().bad_requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_closes_quietly() {
+        // Pinned regression companion: the shutdown poke's shape — connect
+        // then hang up without a byte — is not a malformed request.
+        let server = HttpServer::start(echo_handler(), 1).unwrap();
+        {
+            let _conn = TcpStream::connect(server.addr()).unwrap();
+        }
+        // Let the worker observe the close before sampling the counters.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.bad_requests, 0, "{snap:?}");
+        assert_eq!(snap.requests, 0, "{snap:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_header_token_list_respected() {
+        // Pinned regression: `Connection: keep-alive, TE` is a legal token
+        // list and must keep the connection alive; `close` anywhere in the
+        // list must close it.
+        let server = HttpServer::start(echo_handler(), 1).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = std::io::BufReader::new(conn.try_clone().unwrap());
+        for _ in 0..2 {
+            conn.write_all(
+                &Request::post("/x", "hi")
+                    .with_header("Connection", "keep-alive, TE")
+                    .to_bytes(),
+            )
+            .unwrap();
+            let resp = Response::read_from_buffered(&mut reader).unwrap();
+            assert_eq!(resp.body_str(), "hi");
+        }
+        assert_eq!(server.stats().snapshot().connections, 1);
+        // Release the single blocking worker before dialing again.
+        drop(reader);
+        drop(conn);
+
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(
+            &Request::post("/x", "bye")
+                .with_header("Connection", "keep-alive, close")
+                .to_bytes(),
+        )
+        .unwrap();
+        let mut reader = std::io::BufReader::new(conn.try_clone().unwrap());
+        assert_eq!(
+            Response::read_from_buffered(&mut reader)
+                .unwrap()
+                .body_str(),
+            "bye"
+        );
+        use std::io::Read;
+        let mut probe = [0u8; 1];
+        assert_eq!(reader.read(&mut probe).unwrap(), 0, "server must close");
         server.shutdown();
     }
 

@@ -81,6 +81,9 @@ pub struct WireStats {
     timeouts: AtomicU64,
     scratch_growths: AtomicU64,
     scratch_high_water: AtomicU64,
+    bad_requests: AtomicU64,
+    conns_open: AtomicU64,
+    connections_high_water: AtomicU64,
     chaos_connect_refused: AtomicU64,
     chaos_mid_stream_closes: AtomicU64,
     chaos_truncations: AtomicU64,
@@ -122,6 +125,9 @@ impl WireStats {
             timeouts: AtomicU64::new(0),
             scratch_growths: AtomicU64::new(0),
             scratch_high_water: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            connections_high_water: AtomicU64::new(0),
             chaos_connect_refused: AtomicU64::new(0),
             chaos_mid_stream_closes: AtomicU64::new(0),
             chaos_truncations: AtomicU64::new(0),
@@ -198,6 +204,28 @@ impl WireStats {
             .fetch_max(capacity, Ordering::Relaxed);
     }
 
+    /// Record one request that consumed bytes but failed to parse and was
+    /// answered with a `400` SOAP fault.
+    pub fn record_bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection entering service (reactor registration); bumps
+    /// the open-connection gauge and its high-water mark.
+    pub fn record_conn_open(&self) {
+        let open = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.connections_high_water
+            .fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Record a connection leaving service (closed/deregistered).
+    pub fn record_conn_close(&self) {
+        // Saturating decrement: a stray close must not wrap the gauge.
+        let _ = self
+            .conns_open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
     /// Record one injected fault of the given class.
     pub fn record_chaos(&self, class: ChaosClass) {
         let counter = match class {
@@ -249,6 +277,9 @@ impl WireStats {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             scratch_growths: self.scratch_growths.load(Ordering::Relaxed),
             scratch_high_water: self.scratch_high_water.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            open_connections: self.conns_open.load(Ordering::Relaxed),
+            connections_high_water: self.connections_high_water.load(Ordering::Relaxed),
             chaos_connect_refused: self.chaos_connect_refused.load(Ordering::Relaxed),
             chaos_mid_stream_closes: self.chaos_mid_stream_closes.load(Ordering::Relaxed),
             chaos_truncations: self.chaos_truncations.load(Ordering::Relaxed),
@@ -288,6 +319,9 @@ impl WireStats {
         self.timeouts.store(0, Ordering::Relaxed);
         self.scratch_growths.store(0, Ordering::Relaxed);
         self.scratch_high_water.store(0, Ordering::Relaxed);
+        self.bad_requests.store(0, Ordering::Relaxed);
+        self.conns_open.store(0, Ordering::Relaxed);
+        self.connections_high_water.store(0, Ordering::Relaxed);
         self.chaos_connect_refused.store(0, Ordering::Relaxed);
         self.chaos_mid_stream_closes.store(0, Ordering::Relaxed);
         self.chaos_truncations.store(0, Ordering::Relaxed);
@@ -337,6 +371,12 @@ pub struct StatsSnapshot {
     pub scratch_growths: u64,
     /// Largest worker serialize-scratch capacity seen (bytes).
     pub scratch_high_water: u64,
+    /// Requests that consumed bytes but failed to parse (answered 400).
+    pub bad_requests: u64,
+    /// Connections currently registered with a reactor worker (gauge).
+    pub open_connections: u64,
+    /// Most connections simultaneously open across the server's lifetime.
+    pub connections_high_water: u64,
     /// Injected connect-refused faults.
     pub chaos_connect_refused: u64,
     /// Injected mid-stream connection closes.
@@ -386,6 +426,10 @@ impl StatsSnapshot {
             timeouts: self.timeouts - earlier.timeouts,
             scratch_growths: self.scratch_growths - earlier.scratch_growths,
             scratch_high_water: self.scratch_high_water,
+            bad_requests: self.bad_requests - earlier.bad_requests,
+            // A gauge and a maximum, not monotone sums: carry over.
+            open_connections: self.open_connections,
+            connections_high_water: self.connections_high_water,
             chaos_connect_refused: self.chaos_connect_refused - earlier.chaos_connect_refused,
             chaos_mid_stream_closes: self.chaos_mid_stream_closes - earlier.chaos_mid_stream_closes,
             chaos_truncations: self.chaos_truncations - earlier.chaos_truncations,
@@ -560,6 +604,33 @@ mod tests {
         assert_eq!(delta.scratch_growths, 0);
         // A high-water mark is not a sum; the later value carries over.
         assert_eq!(delta.scratch_high_water, 8192);
+    }
+
+    #[test]
+    fn connection_gauge_tracks_open_and_high_water() {
+        let s = WireStats::new();
+        s.record_conn_open();
+        s.record_conn_open();
+        s.record_conn_open();
+        s.record_conn_close();
+        s.record_bad_request();
+        let snap = s.snapshot();
+        assert_eq!(snap.open_connections, 2);
+        assert_eq!(snap.connections_high_water, 3);
+        assert_eq!(snap.bad_requests, 1);
+        let before = snap;
+        s.record_conn_close();
+        let delta = s.snapshot().since(&before);
+        // Gauge/maximum: the later values carry over, not a difference.
+        assert_eq!(delta.open_connections, 1);
+        assert_eq!(delta.connections_high_water, 3);
+        assert_eq!(delta.bad_requests, 0);
+        // The gauge never wraps below zero on a stray close.
+        s.record_conn_close();
+        s.record_conn_close();
+        assert_eq!(s.snapshot().open_connections, 0);
+        s.reset();
+        assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
     }
 
     #[test]
