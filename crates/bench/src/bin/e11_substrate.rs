@@ -215,12 +215,61 @@ fn main() {
     };
     let json_path = flag_value("--json");
     let baseline_path = flag_value("--baseline");
+    let assert_no_alloc = args.iter().any(|a| a == "--assert-no-alloc");
 
     let (micro_iters, per_client) = if quick { (300, 100) } else { (3000, 1500) };
 
     // --- Series 1: µs/envelope for the representative envelope ----------
     let env = representative_envelope();
     let xml = env.to_xml();
+
+    if assert_no_alloc {
+        // Dynamic cross-check of portalint's static hot-path-alloc gate:
+        // the lint proves no allocation site is reachable from the
+        // parse/serialize entry points (outside audited allows), so the
+        // substrate's owned-path counters must stay flat — identical
+        // envelope batches must produce identical escape/unescape
+        // allocate counts, at the borrow-path rate the zero-copy rework
+        // pinned.
+        for _ in 0..10 {
+            std::hint::black_box(Envelope::parse(&xml).expect("parse"));
+            std::hint::black_box(env.to_xml());
+        }
+        let iters = 200u64;
+        let run_batch = || {
+            let before = portalws_xml::stats::snapshot();
+            for _ in 0..iters {
+                std::hint::black_box(Envelope::parse(&xml).expect("parse"));
+                std::hint::black_box(env.to_xml());
+            }
+            portalws_xml::stats::snapshot().since(&before)
+        };
+        let first = run_batch();
+        let second = run_batch();
+        println!(
+            "E11 --assert-no-alloc: per {iters} envelopes — escape_owned {}→{}, unescape_owned {}→{}, escape-fast {:.3}, unescape-fast {:.3}",
+            first.escape_owned,
+            second.escape_owned,
+            first.unescape_owned,
+            second.unescape_owned,
+            second.escape_fast_path_rate(),
+            second.unescape_fast_path_rate(),
+        );
+        assert_eq!(
+            (second.escape_owned, second.unescape_owned),
+            (first.escape_owned, first.unescape_owned),
+            "substrate allocate-rate changed between identical batches: a data-dependent allocation is hiding on the hot path"
+        );
+        assert_eq!(
+            (second.escape_owned, second.unescape_owned),
+            (0, 0),
+            "representative envelope took an owned escape/unescape path: the static hot-path-alloc result (0 unsuppressed) no longer matches runtime"
+        );
+        println!(
+            "E11 --assert-no-alloc: OK (owned-path rate 0 per envelope, matching the static gate)"
+        );
+        return;
+    }
     let parse_us = median_us(micro_iters, || {
         let parsed = Envelope::parse(&xml).expect("parse");
         std::hint::black_box(parsed);

@@ -1,0 +1,258 @@
+//! Baseline snapshots: `--baseline <file> --diff` compares the current
+//! analysis against a committed JSONL report and fails only on *new*
+//! findings, so large burn-downs can land incrementally while the gate
+//! still holds the line.
+//!
+//! The key is `(file, rule, kind)` as a multiset — line numbers shift on
+//! every edit, so they are deliberately not part of the identity. A diff
+//! flags (a) any key whose unsuppressed count exceeds the baseline's and
+//! (b) growth in the total allow-directive count: every new suppression
+//! must be visible in the committed snapshot (regenerate with
+//! `check --json portalint-baseline.jsonl` and commit the result).
+//!
+//! Parsing is hand-rolled over the hand-serialized report from
+//! [`crate::report::to_jsonl`] — same no-serde constraint both ways.
+
+use std::collections::BTreeMap;
+
+use crate::workspace::Analysis;
+
+/// A parsed baseline snapshot.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Unsuppressed-violation counts keyed `(file, rule, kind)`.
+    pub counts: BTreeMap<(String, String, String), usize>,
+    /// Total allow directives recorded in the snapshot's summary line.
+    pub allow_directives: usize,
+}
+
+/// Extract a JSON string value for `key` from one report line. Handles
+/// the escapes [`crate::report::to_jsonl`] emits; returns `None` when the
+/// key is absent or not a string.
+fn json_string_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line.get(at..)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let v = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract a bare (unquoted) scalar for `key`: number or bool.
+fn json_scalar_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line.get(at..)?;
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+/// Parse a JSONL report into a [`Baseline`].
+pub fn parse_baseline(text: &str) -> Baseline {
+    let mut base = Baseline::default();
+    for line in text.lines() {
+        match json_string_field(line, "type").as_deref() {
+            Some("violation") => {
+                if json_scalar_field(line, "suppressed").as_deref() != Some("false") {
+                    continue;
+                }
+                let (Some(file), Some(rule), Some(kind)) = (
+                    json_string_field(line, "file"),
+                    json_string_field(line, "rule"),
+                    json_string_field(line, "kind"),
+                ) else {
+                    continue;
+                };
+                *base.counts.entry((file, rule, kind)).or_insert(0) += 1;
+            }
+            Some("summary") => {
+                if let Some(n) = json_scalar_field(line, "allow_directives") {
+                    base.allow_directives = n.parse().unwrap_or(0);
+                }
+            }
+            _ => {}
+        }
+    }
+    base
+}
+
+/// The result of comparing an analysis to a baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// `(file, rule, kind, baseline_count, current_count)` for every key
+    /// whose unsuppressed count grew.
+    pub grown: Vec<(String, String, String, usize, usize)>,
+    /// `(baseline, current)` when the allow-directive total grew.
+    pub allow_growth: Option<(usize, usize)>,
+}
+
+impl Diff {
+    /// No new findings, no new allows.
+    pub fn is_clean(&self) -> bool {
+        self.grown.is_empty() && self.allow_growth.is_none()
+    }
+
+    /// Human rendering for the CI log.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (file, rule, kind, was, now) in &self.grown {
+            let _ = writeln!(
+                out,
+                "{file}: [{rule}/{kind}] {now} unsuppressed (baseline {was}) — new violation(s) not in the committed snapshot"
+            );
+        }
+        if let Some((was, now)) = self.allow_growth {
+            let _ = writeln!(
+                out,
+                "allow directives grew {was} → {now}; new suppressions must land in the committed baseline (regenerate with `check --json portalint-baseline.jsonl` and review each — <reason>)"
+            );
+        }
+        if self.is_clean() {
+            let _ = writeln!(out, "portalint: no new findings vs baseline");
+        }
+        out
+    }
+}
+
+/// Count every allow directive in the analysis, suppressing or not.
+pub fn allow_count(analysis: &Analysis) -> usize {
+    analysis.allows.values().map(Vec::len).sum()
+}
+
+/// Compare `analysis` against `baseline`.
+pub fn diff(analysis: &Analysis, baseline: &Baseline) -> Diff {
+    let mut current: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for v in analysis.unsuppressed() {
+        *current
+            .entry((v.file.clone(), v.rule.to_string(), v.kind.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = Diff::default();
+    for ((file, rule, kind), now) in &current {
+        let was = baseline
+            .counts
+            .get(&(file.clone(), rule.clone(), kind.clone()))
+            .copied()
+            .unwrap_or(0);
+        if *now > was {
+            out.grown
+                .push((file.clone(), rule.clone(), kind.clone(), was, *now));
+        }
+    }
+    let allows_now = allow_count(analysis);
+    if allows_now > baseline.allow_directives {
+        out.allow_growth = Some((baseline.allow_directives, allows_now));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Violation, RULE_PANIC};
+
+    fn violation(file: &str, kind: &str, suppressed: bool) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line: 1,
+            rule: RULE_PANIC,
+            kind: kind.to_string(),
+            message: "m".into(),
+            suppressed,
+            reason: suppressed.then(|| "r".to_string()),
+        }
+    }
+
+    fn analysis(violations: Vec<Violation>) -> Analysis {
+        Analysis {
+            violations,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_jsonl() {
+        let a = analysis(vec![
+            violation("crates/wire/src/a.rs", "unwrap", false),
+            violation("crates/wire/src/a.rs", "unwrap", false),
+            violation("crates/wire/src/a.rs", "index", true),
+        ]);
+        let base = parse_baseline(&crate::report::to_jsonl(&a));
+        assert_eq!(
+            base.counts.get(&(
+                "crates/wire/src/a.rs".into(),
+                "panic".into(),
+                "unwrap".into()
+            )),
+            Some(&2)
+        );
+        // Suppressed findings are not part of the baseline identity.
+        assert!(!base.counts.contains_key(&(
+            "crates/wire/src/a.rs".into(),
+            "panic".into(),
+            "index".into()
+        )));
+    }
+
+    #[test]
+    fn same_counts_diff_clean_even_with_moved_lines() {
+        let a = analysis(vec![violation("crates/wire/src/a.rs", "unwrap", false)]);
+        let base = parse_baseline(&crate::report::to_jsonl(&a));
+        let mut moved = analysis(vec![violation("crates/wire/src/a.rs", "unwrap", false)]);
+        moved.violations[0].line = 99;
+        assert!(diff(&moved, &base).is_clean());
+    }
+
+    #[test]
+    fn new_violation_fails_diff() {
+        let base = parse_baseline(&crate::report::to_jsonl(&analysis(vec![])));
+        let now = analysis(vec![violation("crates/wire/src/a.rs", "unwrap", false)]);
+        let d = diff(&now, &base);
+        assert_eq!(d.grown.len(), 1);
+        assert!(!d.is_clean());
+        assert!(d.to_text().contains("not in the committed snapshot"));
+    }
+
+    #[test]
+    fn allow_growth_fails_diff() {
+        let base = parse_baseline(&crate::report::to_jsonl(&analysis(vec![])));
+        let mut now = analysis(vec![]);
+        now.allows.insert(
+            "crates/wire/src/a.rs".into(),
+            vec![crate::rules::Allow {
+                line: 1,
+                rule: "panic".into(),
+                reason: "r".into(),
+            }],
+        );
+        let d = diff(&now, &base);
+        assert_eq!(d.allow_growth, Some((0, 1)));
+    }
+
+    #[test]
+    fn escaped_strings_parse_back() {
+        assert_eq!(
+            json_string_field(r#"{"file":"a \"b\"\n\t\\c"}"#, "file").as_deref(),
+            Some("a \"b\"\n\t\\c")
+        );
+    }
+}

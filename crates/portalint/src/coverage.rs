@@ -1,0 +1,523 @@
+//! The `stats-coverage` rule: instrumentation completeness for the wire
+//! observability surface, extending the cross-file `wire-error-map`
+//! pattern.
+//!
+//! Telemetry that silently stops moving is worse than none — dashboards
+//! keep rendering zeros. Four invariants over `crates/wire/src/stats.rs`:
+//!
+//! * every `WireStats` field has at least one increment site
+//!   (`.fetch_add`/`.fetch_max`/`.fetch_update`/`.store`) — a counter
+//!   nobody bumps is dead weight (`no-increment`);
+//! * every `WireStats` field is read in a snapshot (`.load`) — a counter
+//!   that never reaches `snapshot()` is invisible (`not-snapshotted`);
+//! * every `StatsSnapshot` field appears in `fn since` — a field skipped
+//!   by the delta helper silently reports zero in every benchmark
+//!   interval (`missing-in-since`);
+//! * every `ChaosClass` variant is matched in `fn record_chaos`
+//!   (`chaos-unrecorded`) *and* constructed somewhere outside stats.rs
+//!   (`chaos-never-injected`) — a fault class the injector never throws
+//!   is untested error handling.
+//!
+//! The `base_*` fields are exempt from the increment check: they are
+//! baseline anchors written once at snapshot time, not counters.
+//!
+//! Suppression: `// portalint: allow(stats-coverage) — <reason>` on the
+//! field or variant declaration line (or the line above).
+
+use crate::lexer::{lex, Lexed, Tok};
+use crate::rules::{parse_allow, Violation, RULE_STATS};
+
+/// Increment-style atomic methods. `store` is deliberately absent: a
+/// reset method that zeroes every field would otherwise satisfy the
+/// check for counters nothing ever bumps.
+const BUMP_METHODS: &[&str] = &["fetch_add", "fetch_max", "fetch_update", "fetch_sub"];
+
+/// `(name, line)` of each field of `struct <name>`.
+fn struct_fields(lexed: &Lexed, live: &[usize], name: &str) -> Vec<(String, u32)> {
+    let tok = |k: usize| -> Option<&Tok> { live.get(k).map(|&i| &lexed.tokens[i].tok) };
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k + 1 < live.len() {
+        let is_struct = matches!(
+            (tok(k), tok(k + 1)),
+            (Some(Tok::Ident(a)), Some(Tok::Ident(b))) if a == "struct" && b == name
+        );
+        if !is_struct {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 2;
+        while j < live.len() && !matches!(tok(j), Some(Tok::Punct('{'))) {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < live.len() {
+            match tok(j) {
+                Some(Tok::Punct('{')) => depth += 1,
+                Some(Tok::Punct('}')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                Some(Tok::Ident(f)) if depth == 1 => {
+                    // A field name sits after `{`, `,`, `pub`, or `)` (of
+                    // `pub(crate)`) and is followed by a single `:` — a
+                    // `::` path segment inside a type never matches.
+                    let prev_ok = j == 0
+                        || matches!(
+                            tok(j - 1),
+                            Some(Tok::Punct('{')) | Some(Tok::Punct(',')) | Some(Tok::Punct(')'))
+                        )
+                        || matches!(tok(j - 1), Some(Tok::Ident(p)) if p == "pub");
+                    let colon = matches!(tok(j + 1), Some(Tok::Punct(':')))
+                        && !matches!(tok(j + 2), Some(Tok::Punct(':')));
+                    if prev_ok && colon {
+                        out.push((f.clone(), lexed.tokens[live[j]].line));
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        return out;
+    }
+    out
+}
+
+/// `(name, line)` of each variant of `enum <name>`.
+fn enum_variants_with_lines(lexed: &Lexed, live: &[usize], name: &str) -> Vec<(String, u32)> {
+    let tok = |k: usize| -> Option<&Tok> { live.get(k).map(|&i| &lexed.tokens[i].tok) };
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k + 1 < live.len() {
+        let is_enum = matches!(
+            (tok(k), tok(k + 1)),
+            (Some(Tok::Ident(a)), Some(Tok::Ident(b))) if a == "enum" && b == name
+        );
+        if !is_enum {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 2;
+        while j < live.len() && !matches!(tok(j), Some(Tok::Punct('{'))) {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        let mut parens = 0usize;
+        let mut expect = true;
+        while j < live.len() {
+            match tok(j) {
+                Some(Tok::Punct('{')) => depth += 1,
+                Some(Tok::Punct('}')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                Some(Tok::Punct('(')) => {
+                    parens += 1;
+                    expect = false;
+                }
+                Some(Tok::Punct(')')) => parens = parens.saturating_sub(1),
+                Some(Tok::Punct(',')) if depth == 1 && parens == 0 => expect = true,
+                Some(Tok::Ident(v)) if depth == 1 && parens == 0 && expect => {
+                    out.push((v.clone(), lexed.tokens[live[j]].line));
+                    expect = false;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        return out;
+    }
+    out
+}
+
+/// Live-token extent `[start, end)` of the body of `fn <name>`.
+fn fn_body_extent(lexed: &Lexed, live: &[usize], name: &str) -> Option<(usize, usize)> {
+    let tok = |k: usize| -> Option<&Tok> { live.get(k).map(|&i| &lexed.tokens[i].tok) };
+    let mut k = 0usize;
+    while k + 1 < live.len() {
+        let is_fn = matches!(
+            (tok(k), tok(k + 1)),
+            (Some(Tok::Ident(a)), Some(Tok::Ident(b))) if a == "fn" && b == name
+        );
+        if !is_fn {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 2;
+        let mut paren = 0i32;
+        while j < live.len() {
+            match tok(j) {
+                Some(Tok::Punct('(')) => paren += 1,
+                Some(Tok::Punct(')')) => paren -= 1,
+                Some(Tok::Punct('{')) if paren == 0 => break,
+                Some(Tok::Punct(';')) if paren == 0 => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        let start = j + 1;
+        let mut depth = 1usize;
+        let mut e = start;
+        while e < live.len() && depth > 0 {
+            match tok(e) {
+                Some(Tok::Punct('{')) => depth += 1,
+                Some(Tok::Punct('}')) => depth -= 1,
+                _ => {}
+            }
+            e += 1;
+        }
+        return Some((start, e.saturating_sub(1)));
+    }
+    None
+}
+
+/// `field . method` windows in `[start, end)`: does `field` get `method`
+/// called on it?
+fn field_method_used(
+    lexed: &Lexed,
+    live: &[usize],
+    range: (usize, usize),
+    field: &str,
+    methods: &[&str],
+) -> bool {
+    let tok = |k: usize| -> Option<&Tok> { live.get(k).map(|&i| &lexed.tokens[i].tok) };
+    (range.0..range.1.saturating_sub(2)).any(|k| {
+        matches!(
+            (tok(k), tok(k + 1), tok(k + 2)),
+            (Some(Tok::Ident(f)), Some(Tok::Punct('.')), Some(Tok::Ident(m)))
+                if f == field && methods.contains(&m.as_str())
+        )
+    })
+}
+
+/// Live-token extents of every `fn` body in the file.
+fn all_fn_bodies(lexed: &Lexed, live: &[usize]) -> Vec<(usize, usize)> {
+    let tok = |k: usize| -> Option<&Tok> { live.get(k).map(|&i| &lexed.tokens[i].tok) };
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k < live.len() {
+        if !matches!(tok(k), Some(Tok::Ident(a)) if a == "fn") {
+            k += 1;
+            continue;
+        }
+        let mut j = k + 1;
+        let mut paren = 0i32;
+        let mut found = true;
+        while j < live.len() {
+            match tok(j) {
+                Some(Tok::Punct('(')) => paren += 1,
+                Some(Tok::Punct(')')) => paren -= 1,
+                Some(Tok::Punct('{')) if paren == 0 => break,
+                Some(Tok::Punct(';')) if paren == 0 => {
+                    found = false;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !found {
+            k = j + 1;
+            continue;
+        }
+        let start = j + 1;
+        let mut depth = 1usize;
+        let mut e = start;
+        while e < live.len() && depth > 0 {
+            match tok(e) {
+                Some(Tok::Punct('{')) => depth += 1,
+                Some(Tok::Punct('}')) => depth -= 1,
+                _ => {}
+            }
+            e += 1;
+        }
+        out.push((start, e.saturating_sub(1)));
+        k = e;
+    }
+    out
+}
+
+/// Does any function body both mention `self.field` and perform a bump?
+/// Catches the select-then-bump indirection (`let counter = match class
+/// { … => &self.chaos_drops, … }; counter.fetch_add(1, …)`) that the
+/// direct `field.fetch_add` window misses. Over-credits a field that is
+/// merely read in a body that bumps a different field — acceptable: the
+/// direct pattern covers the common case, this one only widens it.
+fn bumped_indirectly(lexed: &Lexed, live: &[usize], field: &str) -> bool {
+    let tok = |k: usize| -> Option<&Tok> { live.get(k).map(|&i| &lexed.tokens[i].tok) };
+    all_fn_bodies(lexed, live).iter().any(|&(start, end)| {
+        let mentions_field = (start..end.saturating_sub(2)).any(|k| {
+            matches!(
+                (tok(k), tok(k + 1), tok(k + 2)),
+                (Some(Tok::Ident(s)), Some(Tok::Punct('.')), Some(Tok::Ident(f)))
+                    if s == "self" && f == field
+            )
+        });
+        mentions_field
+            && (start..end).any(
+                |k| matches!(tok(k), Some(Tok::Ident(m)) if BUMP_METHODS.contains(&m.as_str())),
+            )
+    })
+}
+
+/// `Enum :: Variant` windows in `[start, end)`.
+fn variant_mentioned(
+    lexed: &Lexed,
+    live: &[usize],
+    range: (usize, usize),
+    enum_name: &str,
+    variant: &str,
+) -> bool {
+    let tok = |k: usize| -> Option<&Tok> { live.get(k).map(|&i| &lexed.tokens[i].tok) };
+    (range.0..range.1.saturating_sub(3)).any(|k| {
+        matches!(
+            (tok(k), tok(k + 1), tok(k + 2), tok(k + 3)),
+            (Some(Tok::Ident(e)), Some(Tok::Punct(':')), Some(Tok::Punct(':')), Some(Tok::Ident(v)))
+                if e == enum_name && v == variant
+        )
+    })
+}
+
+/// Does any ident in `[start, end)` equal `name`?
+fn ident_mentioned(lexed: &Lexed, live: &[usize], range: (usize, usize), name: &str) -> bool {
+    (range.0..range.1).any(|k| matches!(&lexed.tokens[live[k]].tok, Tok::Ident(id) if id == name))
+}
+
+/// Run the stats-coverage checks over the workspace sources.
+pub fn check_stats_coverage(files: &[(String, String)]) -> Vec<Violation> {
+    let Some((stats_path, stats_src)) =
+        files.iter().find(|(p, _)| p.ends_with("wire/src/stats.rs"))
+    else {
+        return Vec::new();
+    };
+    let lexed = lex(stats_src);
+    let live = lexed.live_indices();
+    let whole = (0usize, live.len());
+
+    let mut allow_lines: Vec<(u32, String)> = Vec::new();
+    for comment in &lexed.comments {
+        if let Some(Ok((rule, reason))) = parse_allow(&comment.text) {
+            if rule == RULE_STATS {
+                allow_lines.push((comment.line, reason));
+            }
+        }
+    }
+    let allow_for = |line: u32| -> Option<String> {
+        allow_lines
+            .iter()
+            .find(|(l, _)| *l == line || *l == line.saturating_sub(1))
+            .map(|(_, r)| r.clone())
+    };
+
+    let mut out = Vec::new();
+    let mut push = |line: u32, kind: &str, message: String| {
+        let reason = allow_for(line);
+        out.push(Violation {
+            file: stats_path.clone(),
+            line,
+            rule: RULE_STATS,
+            kind: kind.to_string(),
+            message,
+            suppressed: reason.is_some(),
+            reason,
+        });
+    };
+
+    for (field, line) in struct_fields(&lexed, &live, "WireStats") {
+        if field.starts_with("base_") {
+            // Baseline anchors: written once at snapshot time, not
+            // counters with an increment/observe lifecycle.
+            continue;
+        }
+        if !field_method_used(&lexed, &live, whole, &field, BUMP_METHODS)
+            && !bumped_indirectly(&lexed, &live, &field)
+        {
+            push(
+                line,
+                "no-increment",
+                format!("WireStats::{field} has no increment site (fetch_add/fetch_max/fetch_update); dead counters report zeros forever"),
+            );
+        }
+        if !field_method_used(&lexed, &live, whole, &field, &["load"]) {
+            push(
+                line,
+                "not-snapshotted",
+                format!(
+                    "WireStats::{field} is never loaded into a snapshot; it cannot be observed"
+                ),
+            );
+        }
+    }
+
+    if let Some(since) = fn_body_extent(&lexed, &live, "since") {
+        for (field, line) in struct_fields(&lexed, &live, "StatsSnapshot") {
+            if !ident_mentioned(&lexed, &live, since, &field) {
+                push(
+                    line,
+                    "missing-in-since",
+                    format!("StatsSnapshot::{field} is missing from since(); interval deltas will silently report zero"),
+                );
+            }
+        }
+    }
+
+    let variants = enum_variants_with_lines(&lexed, &live, "ChaosClass");
+    if !variants.is_empty() {
+        let record = fn_body_extent(&lexed, &live, "record_chaos");
+        for (variant, line) in &variants {
+            let recorded =
+                record.is_some_and(|r| variant_mentioned(&lexed, &live, r, "ChaosClass", variant));
+            if !recorded {
+                push(
+                    *line,
+                    "chaos-unrecorded",
+                    format!("ChaosClass::{variant} is not matched in record_chaos(); injections of this class go uncounted"),
+                );
+            }
+            let injected = files.iter().any(|(p, src)| {
+                if p == stats_path {
+                    return false;
+                }
+                let l = lex(src);
+                let lv = l.live_indices();
+                let range = (0usize, lv.len());
+                variant_mentioned(&l, &lv, range, "ChaosClass", variant)
+            });
+            if !injected {
+                push(
+                    *line,
+                    "chaos-never-injected",
+                    format!("ChaosClass::{variant} is never constructed outside stats.rs; the fault class is declared but untested"),
+                );
+            }
+        }
+    }
+
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATS_OK: &str = "\
+pub enum ChaosClass { Drop, Delay }
+pub struct WireStats { requests: AtomicU64, base_requests: AtomicU64 }
+pub struct StatsSnapshot { pub requests: u64 }
+impl WireStats {
+    fn record_request(&self) { self.requests.fetch_add(1, Relaxed); }
+    fn record_chaos(&self, c: ChaosClass) {
+        match c { ChaosClass::Drop => {}, ChaosClass::Delay => {} }
+    }
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot { requests: self.requests.load(Relaxed) }
+    }
+}
+impl StatsSnapshot {
+    pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot { requests: self.requests - base.requests }
+    }
+}
+";
+
+    fn fixture(stats: &str, extra: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut fs = vec![("crates/wire/src/stats.rs".to_string(), stats.to_string())];
+        fs.extend(extra.iter().map(|(a, b)| (a.to_string(), b.to_string())));
+        fs
+    }
+
+    const INJECTOR: (&str, &str) = (
+        "crates/wire/src/chaos.rs",
+        "fn plan() { let _ = (ChaosClass::Drop, ChaosClass::Delay); }",
+    );
+
+    #[test]
+    fn complete_stats_file_is_clean() {
+        let v = check_stats_coverage(&fixture(STATS_OK, &[INJECTOR]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dead_counter_flagged_base_fields_exempt() {
+        let src = STATS_OK.replace(
+            "fn record_request(&self) { self.requests.fetch_add(1, Relaxed); }",
+            "",
+        );
+        let v = check_stats_coverage(&fixture(&src, &[INJECTOR]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "no-increment");
+        assert!(v[0].message.contains("requests"));
+    }
+
+    #[test]
+    fn select_then_bump_indirection_counts_as_increment() {
+        // The real record_chaos selects a counter reference in a match,
+        // then bumps through the binding.
+        let src = STATS_OK.replace(
+            "fn record_chaos(&self, c: ChaosClass) {
+        match c { ChaosClass::Drop => {}, ChaosClass::Delay => {} }
+    }",
+            "fn record_chaos(&self, c: ChaosClass) {
+        let counter = match c { ChaosClass::Drop => &self.requests, ChaosClass::Delay => &self.requests };
+        counter.fetch_add(1, Relaxed);
+    }",
+        );
+        let src = src.replace(
+            "fn record_request(&self) { self.requests.fetch_add(1, Relaxed); }",
+            "",
+        );
+        let v = check_stats_coverage(&fixture(&src, &[INJECTOR]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn missing_in_since_flagged() {
+        // Since no longer mentions the snapshot field at all (a struct
+        // literal key would still count as a mention).
+        let src = STATS_OK.replace(
+            "pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot { requests: self.requests - base.requests }
+    }",
+            "pub fn since(&self, _base: &StatsSnapshot) -> u64 { 0 }",
+        );
+        let v = check_stats_coverage(&fixture(&src, &[INJECTOR]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "missing-in-since");
+    }
+
+    #[test]
+    fn unrecorded_and_uninjected_variant_flagged() {
+        let src = STATS_OK.replace(
+            "match c { ChaosClass::Drop => {}, ChaosClass::Delay => {} }",
+            "match c { ChaosClass::Drop => {}, _ => {} }",
+        );
+        let injector_without_delay = (
+            "crates/wire/src/chaos.rs",
+            "fn plan() { let _ = ChaosClass::Drop; }",
+        );
+        let v = check_stats_coverage(&fixture(&src, &[injector_without_delay]));
+        let kinds: Vec<&str> = v.iter().map(|x| x.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["chaos-unrecorded", "chaos-never-injected"]);
+        assert!(v.iter().all(|x| x.message.contains("Delay")));
+    }
+
+    #[test]
+    fn allow_suppresses_on_declaration_line() {
+        let src = STATS_OK.replace(
+            "pub struct WireStats { requests: AtomicU64, base_requests: AtomicU64 }",
+            "pub struct WireStats {\n    // portalint: allow(stats-coverage) — reserved for the admission-control PR\n    requests: AtomicU64,\n    base_requests: AtomicU64,\n}",
+        );
+        let src = src.replace(
+            "fn record_request(&self) { self.requests.fetch_add(1, Relaxed); }",
+            "",
+        );
+        let v = check_stats_coverage(&fixture(&src, &[INJECTOR]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].suppressed);
+    }
+}

@@ -11,11 +11,16 @@
 //! * `'a` (lifetime) and `'a'` (char) are distinguished, so a stray
 //!   apostrophe never desynchronizes string detection;
 //! * block comments nest, as in real Rust;
-//! * attributes (`#[...]` / `#![...]`) are captured whole, so `[` inside
-//!   `#[derive(Debug)]` is never mistaken for slice indexing;
+//! * attributes (`#[...]` / `#![...]`) are captured whole — including
+//!   raw-string arguments like `#[doc = r#"…"#]` — so neither `[` inside
+//!   `#[derive(Debug)]` nor prose inside a doc attribute is ever mistaken
+//!   for code;
 //! * tokens covered by a `#[cfg(test)]` (or `#[test]`) item are marked
 //!   excluded, because the panic-freedom rules apply to request paths,
-//!   not to test code.
+//!   not to test code;
+//! * `macro_rules!` bodies are marked excluded: their tokens are patterns
+//!   and templates, not live code (the expansion *sites* are still
+//!   checked — what a macro expands to is a documented blind spot).
 //!
 //! Comments are collected separately with line numbers so the rule
 //! engine can find `// portalint: allow(...)` directives.
@@ -103,7 +108,8 @@ pub fn lex(source: &str) -> Lexed {
         comments: Vec::new(),
     };
     lx.run();
-    let excluded = mark_test_items(&lx.tokens);
+    let mut excluded = mark_test_items(&lx.tokens);
+    mark_macro_rules(&lx.tokens, &mut excluded);
     Lexed {
         tokens: lx.tokens,
         comments: lx.comments,
@@ -247,37 +253,7 @@ impl<'s> Lexer<'s> {
             hashes += 1;
         }
         if self.peek(hashes) == b'"' {
-            for _ in 0..hashes {
-                self.bump();
-            }
-            self.bump(); // opening quote
-            let start = self.pos;
-            let end;
-            loop {
-                if self.pos >= self.src.len() {
-                    end = self.src.len();
-                    break;
-                }
-                if self.peek(0) == b'"' {
-                    let mut ok = true;
-                    for h in 0..hashes {
-                        if self.peek(1 + h) != b'#' {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        end = self.pos;
-                        self.bump();
-                        for _ in 0..hashes {
-                            self.bump();
-                        }
-                        break;
-                    }
-                }
-                self.bump();
-            }
-            let content = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+            let content = self.consume_raw_string(hashes);
             self.push(Tok::Str(content), line);
         } else if hashes == 1 {
             // raw identifier
@@ -289,6 +265,60 @@ impl<'s> Lexer<'s> {
             let id = self.ident();
             self.push(Tok::Ident(id), line);
         }
+    }
+
+    /// Does a raw-string opener (`#…#"` or `"`) start at `pos + off`?
+    fn raw_string_ahead(&self, off: usize) -> bool {
+        let mut k = off;
+        while self.peek(k) == b'#' {
+            k += 1;
+        }
+        self.peek(k) == b'"'
+    }
+
+    /// Count the `#`s at the cursor without consuming them.
+    fn count_hashes(&self) -> usize {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == b'#' {
+            hashes += 1;
+        }
+        hashes
+    }
+
+    /// Consume a raw string whose `r` has already been consumed and whose
+    /// `hashes` leading `#`s start at the cursor; returns the content.
+    fn consume_raw_string(&mut self, hashes: usize) -> String {
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let end;
+        loop {
+            if self.pos >= self.src.len() {
+                end = self.src.len();
+                break;
+            }
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = self.pos;
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..end]).into_owned()
     }
 
     fn char_or_lifetime(&mut self, line: u32) {
@@ -340,6 +370,26 @@ impl<'s> Lexer<'s> {
             match self.peek(0) {
                 b'"' => {
                     let s = self.cooked_string();
+                    content.push('"');
+                    content.push_str(&s);
+                    content.push('"');
+                }
+                // Raw (and raw byte) string arguments: `#[doc = r#"…"#]`.
+                // Without this, the quotes desynchronize the cooked-string
+                // scan and the raw content leaks into the token stream.
+                b'r' if self.raw_string_ahead(1) => {
+                    self.bump(); // r
+                    let hashes = self.count_hashes();
+                    let s = self.consume_raw_string(hashes);
+                    content.push('"');
+                    content.push_str(&s);
+                    content.push('"');
+                }
+                b'b' if self.peek(1) == b'r' && self.raw_string_ahead(2) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    let hashes = self.count_hashes();
+                    let s = self.consume_raw_string(hashes);
                     content.push('"');
                     content.push_str(&s);
                     content.push('"');
@@ -479,6 +529,48 @@ fn mark_test_items(tokens: &[Token]) -> Vec<bool> {
     excluded
 }
 
+/// Mark every token inside a `macro_rules!` definition as excluded: the
+/// body is patterns and templates (`$x:expr`, quoted fragments), not live
+/// code, and letting it into the live index produces phantom findings.
+/// Expansion *sites* of the macro are still scanned like any other call.
+fn mark_macro_rules(tokens: &[Token], excluded: &mut [bool]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_def = matches!(&tokens[i].tok, Tok::Ident(id) if id == "macro_rules")
+            && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')));
+        if !is_def {
+            i += 1;
+            continue;
+        }
+        // `macro_rules ! name <delim> … <matching close>`; the outer
+        // delimiter is `{`, `(`, or `[`, and all three nest inside.
+        let mut j = i + 2;
+        // Skip the macro's name (and tolerate a missing one).
+        if matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Ident(_))) {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            match &tokens[j].tok {
+                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for flag in excluded.iter_mut().take(j).skip(i) {
+            *flag = true;
+        }
+        i = j;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +640,71 @@ mod tests {
             .collect();
         assert_eq!(live.iter().filter(|s| **s == "unwrap").count(), 1);
         assert!(!live.contains(&"tests"));
+    }
+
+    #[test]
+    fn raw_strings_inside_attributes_do_not_leak() {
+        // The raw-string argument used to desynchronize the attribute
+        // scan: its quotes were parsed as cooked strings and the prose
+        // leaked into the live token stream as identifiers.
+        let src = r####"#[doc = r#"call unwrap() or panic!() as "needed""#]
+fn documented() { real(); }"####;
+        let lexed = lex(src);
+        let ids: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec!["fn", "documented", "real"], "{ids:?}");
+        assert!(matches!(&lexed.tokens[0].tok, Tok::Attr(a) if a.contains("unwrap()")));
+    }
+
+    #[test]
+    fn byte_raw_strings_inside_attributes_do_not_leak() {
+        let src = r####"#[magic(bytes = br#"v[0].expect("x")"#)] fn f() {}"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"expect".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_excluded() {
+        let src = "macro_rules! maybe {\n    ($e:expr) => { $e.unwrap() };\n    () => { data[0] };\n}\nfn live() { x.unwrap(); }";
+        let lexed = lex(src);
+        let live: Vec<&str> = lexed
+            .live_indices()
+            .into_iter()
+            .filter_map(|i| match &lexed.tokens[i].tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        // Only the real unwrap survives; the template unwrap and the
+        // template indexing are macro pattern text, not live code.
+        assert_eq!(live.iter().filter(|s| **s == "unwrap").count(), 1);
+        assert!(!live.contains(&"maybe"));
+        assert!(!live.contains(&"data"));
+        assert!(live.contains(&"live"));
+    }
+
+    #[test]
+    fn parenthesized_macro_rules_with_trailing_semi_excluded() {
+        let src =
+            "macro_rules! m ( ($x:ident) => { $x.expect(\"boom\") }; );\nfn after() { ok(); }";
+        let lexed = lex(src);
+        let live: Vec<&str> = lexed
+            .live_indices()
+            .into_iter()
+            .filter_map(|i| match &lexed.tokens[i].tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!live.contains(&"expect"), "{live:?}");
+        assert!(live.contains(&"after"));
+        assert!(live.contains(&"ok"));
     }
 
     #[test]

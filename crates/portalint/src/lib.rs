@@ -23,18 +23,48 @@
 //!    `invoke` arm of a `SoapService` appears in its `methods()` (hence
 //!    in its WSDL port type), and size guards cite named cap constants.
 //!
+//! A second layer builds a workspace call graph ([`graph`]) on the same
+//! lexer — per-file `fn` inventory, call-site extraction, conservative
+//! name resolution, no type inference — and adds three transitive
+//! families:
+//!
+//! 4. **`reactor-blocking`** ([`reach`]) — nothing reachable from a
+//!    `// portalint: reactor-entry` function may reach a blocking sink
+//!    (`sleep`, `read_to_end`, `accept`, arg-taking `.read(…)`, …): a
+//!    reactor worker that blocks stalls every connection it owns.
+//! 5. **`hot-path-alloc`** ([`reach`]) — nothing reachable from a
+//!    `// portalint: hot-path-entry` function may reach an allocation
+//!    sink (`format!`, `to_owned`, `String::new`, …); `with_capacity`
+//!    and lazy error-path closures are exempt by design. Cross-checked
+//!    dynamically by E11's `--assert-no-alloc` counter deltas.
+//! 6. **`stats-coverage`** ([`coverage`]) — every `WireStats` counter is
+//!    incremented (`fetch_add`-family, not `store`), snapshotted, and
+//!    reported through `since()`; every `ChaosClass` variant is recorded
+//!    and injected.
+//!
 //! Run as `cargo run -p portalint -- check` (human output, exit 1 on any
 //! unsuppressed violation) with `--json <path>` for the machine-readable
-//! JSON-lines report the CI gate uploads.
+//! JSON-lines report the CI gate uploads, and
+//! `--baseline <snapshot> --diff` ([`baseline`]) to fail on any finding
+//! or allow-count growth relative to the committed
+//! `portalint-baseline.jsonl`.
 
+pub mod baseline;
+pub mod coverage;
+pub mod graph;
 pub mod lexer;
+pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod workspace;
 
+pub use baseline::{allow_count, diff, parse_baseline, Baseline, Diff};
+pub use coverage::check_stats_coverage;
+pub use graph::{CallGraph, CallSite, FnDef};
+pub use reach::check_reachability;
 pub use rules::{
-    analyze_file, check_wire_map, parse_allow, wire_error_variants, Allow, FileRules, LockSite,
-    Violation, RULE_BAD_ALLOW, RULE_PANIC, RULE_SIZE_CAP, RULE_WIRE_MAP, RULE_WSDL_PORT,
-    SERVER_CRATES,
+    analyze_file, check_wire_map, enum_variants, parse_allow, wire_error_variants, Allow,
+    FileRules, LockSite, Violation, RULE_BAD_ALLOW, RULE_HOTPATH, RULE_PANIC, RULE_REACTOR,
+    RULE_SIZE_CAP, RULE_STATS, RULE_WIRE_MAP, RULE_WSDL_PORT, SERVER_CRATES,
 };
 pub use workspace::{analyze_root, Analysis};

@@ -1,19 +1,22 @@
 //! CLI entry point: `cargo run -p portalint -- check [--json PATH]
-//! [--root PATH] [--tally]`.
+//! [--root PATH] [--tally] [--baseline PATH [--diff]]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use portalint::report;
 use portalint::workspace::analyze_root;
+use portalint::{diff, parse_baseline};
 
 fn usage() -> &'static str {
-    "usage: portalint check [--json PATH] [--root PATH] [--tally]\n\
+    "usage: portalint check [--json PATH] [--root PATH] [--tally] [--baseline PATH [--diff]]\n\
      \n\
-     check    walk the workspace and enforce the three invariant families\n\
-     --json   also write the machine-readable JSON-lines report to PATH\n\
-     --root   workspace root (default: the repo this binary was built in)\n\
-     --tally  print the per-crate per-rule violation tally and exit\n"
+     check      walk the workspace and enforce every invariant family\n\
+     --json     also write the machine-readable JSON-lines report to PATH\n\
+     --root     workspace root (default: the repo this binary was built in)\n\
+     --tally    print the per-crate per-rule violation tally and exit\n\
+     --baseline committed JSONL snapshot to compare against\n\
+     --diff     fail only on findings (or allow growth) not in the baseline\n"
 }
 
 fn main() -> ExitCode {
@@ -22,10 +25,23 @@ fn main() -> ExitCode {
     let mut json_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut tally = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut diff_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "check" => command = Some("check"),
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => baseline_path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--baseline requires a path\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--diff" => diff_mode = true,
             "--json" => {
                 i += 1;
                 match args.get(i) {
@@ -84,6 +100,26 @@ fn main() -> ExitCode {
     if tally {
         print!("{}", report::to_tally(&analysis));
         return ExitCode::SUCCESS;
+    }
+    if diff_mode {
+        let Some(path) = &baseline_path else {
+            eprintln!("--diff requires --baseline <path>\n{}", usage());
+            return ExitCode::from(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("portalint: failed to read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let d = diff(&analysis, &parse_baseline(&text));
+        print!("{}", d.to_text());
+        return if d.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     print!("{}", report::to_text(&analysis));
     if analysis.unsuppressed().count() > 0 {

@@ -59,14 +59,16 @@ pub fn to_jsonl(analysis: &Analysis) -> String {
             json_str(&l.kind),
         );
     }
+    let allow_directives: usize = analysis.allows.values().map(Vec::len).sum();
     let _ = writeln!(
         out,
-        "{{\"type\":\"summary\",\"files_scanned\":{},\"violations\":{},\"unsuppressed\":{},\"suppressed\":{},\"lock_sites\":{}}}",
+        "{{\"type\":\"summary\",\"files_scanned\":{},\"violations\":{},\"unsuppressed\":{},\"suppressed\":{},\"lock_sites\":{},\"allow_directives\":{}}}",
         analysis.files_scanned,
         analysis.violations.len(),
         analysis.unsuppressed().count(),
         analysis.suppressed_count(),
         analysis.locks.len(),
+        allow_directives,
     );
     out
 }
@@ -115,13 +117,20 @@ pub fn to_text(analysis: &Analysis) -> String {
     out
 }
 
-/// Render the per-crate per-rule tally (the EXPERIMENTS.md table rows),
-/// counting only unsuppressed findings.
+/// Render the per-crate per-rule tally (the EXPERIMENTS.md table rows).
+/// Unsuppressed and allowed findings get separate columns: at a
+/// burned-down baseline the first column is all zeros and the audited
+/// allows are the interesting landscape.
 pub fn to_tally(analysis: &Analysis) -> String {
-    let tally = tally_by_crate(analysis.unsuppressed());
-    let mut out = String::new();
-    for ((crate_name, rule), count) in tally {
-        let _ = writeln!(out, "{crate_name}\t{rule}\t{count}");
+    let firing = tally_by_crate(analysis.unsuppressed());
+    let allowed = tally_by_crate(analysis.violations.iter().filter(|v| v.suppressed));
+    let keys: std::collections::BTreeSet<_> = firing.keys().chain(allowed.keys()).collect();
+    let mut out = String::from("crate\trule\tunsuppressed\tallowed\n");
+    for key in keys {
+        let (crate_name, rule) = key;
+        let f = firing.get(key).copied().unwrap_or(0);
+        let a = allowed.get(key).copied().unwrap_or(0);
+        let _ = writeln!(out, "{crate_name}\t{rule}\t{f}\t{a}");
     }
     out
 }

@@ -32,6 +32,12 @@ pub const RULE_WSDL_PORT: &str = "wsdl-port";
 pub const RULE_SIZE_CAP: &str = "size-cap";
 /// Rule identifier: malformed allow directive.
 pub const RULE_BAD_ALLOW: &str = "bad-allow";
+/// Rule identifier: blocking calls reachable from reactor worker entries.
+pub const RULE_REACTOR: &str = "reactor-blocking";
+/// Rule identifier: allocation reachable from hot-path entries.
+pub const RULE_HOTPATH: &str = "hot-path-alloc";
+/// Rule identifier: WireStats / ChaosClass instrumentation completeness.
+pub const RULE_STATS: &str = "stats-coverage";
 
 /// Crates whose `src/` trees are server request paths (panic + size-cap
 /// rules apply). `xml` joined when the zero-copy substrate landed: every
@@ -128,8 +134,11 @@ pub struct FileAnalysis {
 pub fn parse_allow(text: &str) -> Option<Result<(String, String), String>> {
     let at = text.find("portalint:")?;
     let rest = text[at + "portalint:".len()..].trim_start();
-    if rest.starts_with("wire-error-map") {
-        // The mapping marker is a different directive, not an allow.
+    if rest.starts_with("wire-error-map")
+        || rest.starts_with("reactor-entry")
+        || rest.starts_with("hot-path-entry")
+    {
+        // Marker directives (mapping site, reachability roots), not allows.
         return None;
     }
     let Some(args) = rest.strip_prefix("allow(") else {
@@ -539,14 +548,20 @@ fn invoke_match_arms(lexed: &Lexed, live: &[usize]) -> Vec<(u32, String)> {
 /// Extract the variant names of `enum WireError` from the wire crate's
 /// `lib.rs` source.
 pub fn wire_error_variants(wire_lib_src: &str) -> Vec<String> {
-    let lexed = lex(wire_lib_src);
+    enum_variants(wire_lib_src, "WireError")
+}
+
+/// Extract the variant names of `enum <name>` from a source file. Tuple
+/// and struct variant payloads are skipped; only the names come back.
+pub fn enum_variants(src: &str, name: &str) -> Vec<String> {
+    let lexed = lex(src);
     let live = lexed.live_indices();
     let mut out = Vec::new();
     let mut k = 0usize;
     while k + 1 < live.len() {
         let is_enum = matches!(
             (&lexed.tokens[live[k]].tok, &lexed.tokens[live[k + 1]].tok),
-            (Tok::Ident(a), Tok::Ident(b)) if a == "enum" && b == "WireError"
+            (Tok::Ident(a), Tok::Ident(b)) if a == "enum" && b == name
         );
         if !is_enum {
             k += 1;

@@ -1,11 +1,15 @@
 //! Workspace driver: walks `crates/*/src`, applies the per-file rules,
-//! and runs the cross-file `wire-fault-map` check.
+//! and runs the cross-file checks: `wire-fault-map`, the call-graph
+//! reachability families (`reactor-blocking`, `hot-path-alloc`), and
+//! `stats-coverage`.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::coverage::check_stats_coverage;
+use crate::reach::check_reachability;
 use crate::rules::{
     analyze_file, check_wire_map, Allow, FileRules, LockSite, Violation, SERVER_CRATES,
 };
@@ -117,6 +121,10 @@ pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
         wire_lib.as_ref().map(|(p, s)| (p.as_str(), s.as_str())),
         &all_sources,
     ));
+    analysis.violations.extend(check_reachability(&all_sources));
+    analysis
+        .violations
+        .extend(check_stats_coverage(&all_sources));
     analysis
         .violations
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

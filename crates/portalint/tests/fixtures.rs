@@ -125,6 +125,29 @@ fn lexer_is_not_fooled_by_strings_comments_or_test_code() {
 }
 
 #[test]
+fn raw_strings_in_attributes_do_not_leak_live_tokens() {
+    // `#[doc = r#"…"#]` (and the `br#"…"#` byte form) contain `]`,
+    // `unwrap()`, and indexing *as text*; none of it may reach the live
+    // index, and the real functions underneath stay panic-clean.
+    let vs = analyze(
+        "attr_raw_string.rs",
+        include_str!("fixtures/attr_raw_string.rs"),
+    );
+    assert!(firing(&vs, RULE_PANIC).is_empty(), "{vs:?}");
+    assert!(vs.iter().all(|v| !v.suppressed), "{vs:?}");
+}
+
+#[test]
+fn macro_rules_bodies_do_not_leak_live_tokens() {
+    // Template `unwrap()`/`expect()`/indexing inside `macro_rules!`
+    // bodies is pattern text, not live code. The expansion *site*
+    // (`accessor!(first, 0)`) is still live — what it expands to is the
+    // documented blind spot.
+    let vs = analyze("macro_rules.rs", include_str!("fixtures/macro_rules.rs"));
+    assert!(firing(&vs, RULE_PANIC).is_empty(), "{vs:?}");
+}
+
+#[test]
 fn lock_sites_inventoried() {
     let analysis = portalint::analyze_file(
         "locks.rs",

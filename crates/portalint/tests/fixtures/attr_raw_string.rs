@@ -1,0 +1,13 @@
+//! Lexer edge case: raw strings inside attribute arguments. Before the
+//! fix, `r#"…"#` inside `#[doc = …]` ended the attribute at the first
+//! `]` inside the string and leaked the rest as live tokens.
+
+#[doc = r#"Call data[0].unwrap() at your peril — }]{ these brackets are text"#]
+pub fn documented(data: &[u8]) -> Option<&u8> {
+    data.first()
+}
+
+#[cfg_attr(feature = "docs", doc = br#"byte raw string with x.unwrap() and v[9] inside"#)]
+pub fn also_documented() -> u32 {
+    1
+}

@@ -1,0 +1,10 @@
+//! Cross-crate hot-path fixture, entry side: the marked entry calls into
+//! the `hotpath_xml.rs` fixture by free-function name.
+
+// portalint: hot-path-entry
+pub fn write_envelope(out: &mut String) {
+    render_header(out);
+    // portalint: allow(hot-path-alloc) — fixture-audited allocation
+    let label = tag.to_owned();
+    out.push_str(&label);
+}

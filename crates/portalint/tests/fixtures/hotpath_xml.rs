@@ -1,0 +1,22 @@
+//! Cross-crate hot-path fixture, callee side: depth-3 chain ending in an
+//! allocation sink, plus a lazy error-path allocation that must not fire.
+
+pub fn render_header(out: &mut String) {
+    render_attrs(out);
+}
+
+fn render_attrs(out: &mut String) {
+    render_one(out);
+}
+
+fn render_one(out: &mut String) {
+    out.push_str(&format!("attr={}", 1));
+    value.ok_or_else(|| name.to_owned());
+}
+
+#[cfg(test)]
+mod tests {
+    fn render_one() {
+        let _ = String::from("test-only allocation");
+    }
+}

@@ -1,0 +1,23 @@
+//! Lexer edge case: `macro_rules!` bodies are patterns and templates,
+//! not live code. Before the fix the template tokens leaked into the
+//! live index and its `unwrap()`/indexing fired the panic rule.
+
+macro_rules! accessor {
+    ($name:ident, $idx:expr) => {
+        fn $name(v: &[u8]) -> u8 {
+            v[$idx].unwrap()
+        }
+    };
+}
+
+macro_rules! paren_form {
+    ($x:expr) => {
+        $x.expect("template only")
+    };
+}
+
+accessor!(first, 0);
+
+fn real(v: &[u8]) -> Option<&u8> {
+    v.first()
+}

@@ -1,0 +1,25 @@
+//! A depth-3 transitive chain from a reactor entry to a blocking sink,
+//! plus an allowed nonblocking-io site.
+
+// portalint: reactor-entry
+fn run() {
+    drive();
+    // portalint: allow(reactor-blocking) — fd is registered nonblocking in the fixture scenario
+    stream.read(buf);
+}
+
+fn drive() {
+    step();
+}
+
+fn step() {
+    idle_backoff();
+}
+
+fn idle_backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn unreachable_helper() {
+    other.read_to_end(&mut sink);
+}

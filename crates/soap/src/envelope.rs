@@ -145,6 +145,7 @@ impl Envelope {
     /// `to_element().to_xml()` but with no tree clone and no intermediate
     /// allocation. The SOAP hot path (server replies, client requests)
     /// routes through this with reusable scratch buffers.
+    // portalint: hot-path-entry
     pub fn write_xml_into(&self, out: &mut String) {
         out.push_str("<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"");
         out.push_str(SOAP_ENV_NS);
@@ -186,8 +187,10 @@ impl Envelope {
     ///
     /// The hot path: header and body subtrees are moved out of `root`
     /// rather than deep-cloned, so parsing costs exactly one DOM build.
+    // portalint: hot-path-entry
     pub fn from_root(mut root: Element) -> Result<Envelope, XmlError> {
         if root.local_name() != "Envelope" {
+            // portalint: allow(hot-path-alloc) — parse-error branch; never runs on a well-formed envelope
             return Err(XmlError::Invalid(format!(
                 "expected SOAP Envelope, found {:?}",
                 root.local_name()

@@ -127,6 +127,7 @@ impl Request {
     /// clearing). Writes header lines directly into `out` — no per-line
     /// `String`s — so workers can reuse one scratch buffer across
     /// keep-alive requests.
+    // portalint: hot-path-entry
     pub fn write_into(&self, out: &mut Vec<u8>) {
         use std::io::Write as _;
         // Writes to a Vec<u8> cannot fail.
@@ -408,6 +409,7 @@ impl Response {
     /// clearing). The server's per-worker response scratch routes through
     /// this so a warm keep-alive connection serializes with zero
     /// allocations.
+    // portalint: hot-path-entry
     pub fn write_into(&self, out: &mut Vec<u8>) {
         use std::io::Write as _;
         // Writes to a Vec<u8> cannot fail.

@@ -282,6 +282,7 @@ impl Worker {
         }
     }
 
+    // portalint: reactor-entry
     fn run(&mut self) {
         let Ok(epoll) = Epoll::new() else { return };
         if epoll
@@ -344,6 +345,7 @@ impl Worker {
 
     fn accept_ready(&mut self, epoll: &Epoll) {
         loop {
+            // portalint: allow(reactor-blocking) — listener is registered nonblocking; accept returns WouldBlock instead of parking
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     if stream.set_nonblocking(true).is_err() {
@@ -464,6 +466,7 @@ impl Worker {
             return Verdict::Keep;
         }
         loop {
+            // portalint: allow(reactor-blocking) — stream was set_nonblocking at accept; read returns WouldBlock instead of parking
             match conn.stream.read(read_chunk) {
                 Ok(0) => {
                     // Peer closed. Clean EOF (no partial request buffered,
@@ -578,6 +581,7 @@ impl Worker {
             let Some(pending) = conn.out.get(conn.out_pos..) else {
                 break;
             };
+            // portalint: allow(reactor-blocking) — stream was set_nonblocking at accept; write returns WouldBlock instead of parking
             match conn.stream.write(pending) {
                 Ok(0) => return Verdict::Close,
                 Ok(n) => conn.out_pos += n,

@@ -215,6 +215,7 @@ impl<'a> Tokenizer<'a> {
         let rest = self.rest();
         match rest.chars().next() {
             Some(c) if Self::is_name_start(c) => {}
+            // portalint: allow(hot-path-alloc) — parse-error branch; never runs on well-formed input
             Some(c) => return Err(self.err(format!("expected name, found {c:?}"))),
             None => return Err(self.eof_err()),
         }
@@ -227,6 +228,7 @@ impl<'a> Tokenizer<'a> {
     fn take_quoted(&mut self) -> Result<Cow<'a, str>> {
         let quote = match self.rest().chars().next() {
             Some(q @ ('"' | '\'')) => q as u8,
+            // portalint: allow(hot-path-alloc) — parse-error branch; never runs on well-formed input
             Some(c) => return Err(self.err(format!("expected quoted value, found {c:?}"))),
             None => return Err(self.eof_err()),
         };
@@ -245,6 +247,7 @@ impl<'a> Tokenizer<'a> {
     }
 
     /// Produce the next event, or `None` at end of input.
+    // portalint: hot-path-entry
     pub fn next_event(&mut self) -> Result<Option<Event<'a>>> {
         if self.eof() {
             return Ok(None);
@@ -339,6 +342,7 @@ impl<'a> Tokenizer<'a> {
     fn start_tag_event(&mut self) -> Result<Event<'a>> {
         self.advance(1); // consume '<'
         let name = self.take_name()?;
+        // portalint: allow(hot-path-alloc) — an empty Vec allocates nothing; it grows only on attribute-bearing tags
         let mut attrs: Vec<(Cow<'a, str>, Cow<'a, str>)> = Vec::new();
         loop {
             self.skip_ws();
@@ -365,12 +369,14 @@ impl<'a> Tokenizer<'a> {
             let aname = self.take_name()?;
             self.skip_ws();
             if !self.rest().starts_with('=') {
+                // portalint: allow(hot-path-alloc) — parse-error branch; never runs on well-formed input
                 return Err(self.err(format!("attribute {aname:?} missing '='")));
             }
             self.advance(1);
             self.skip_ws();
             let value = self.take_quoted()?;
             if attrs.iter().any(|(n, _)| n.as_ref() == aname) {
+                // portalint: allow(hot-path-alloc) — parse-error branch; never runs on well-formed input
                 return Err(self.err(format!("duplicate attribute {aname:?}")));
             }
             attrs.push((Cow::Borrowed(aname), value));

@@ -14,6 +14,7 @@ pub fn write_compact(el: &Element) -> String {
 /// Serialize compactly into an existing buffer (appends; the caller owns
 /// clearing). The hot-path form: SOAP workers reuse one buffer across
 /// keep-alive requests instead of allocating per response.
+// portalint: hot-path-entry
 pub fn write_compact_into(el: &Element, out: &mut String) {
     write_element(out, el, None, 0);
 }
