@@ -21,6 +21,7 @@ use portalws_gridsim::cred::{CredentialAuthority, Mechanism};
 use portalws_soap::{
     CallContext, Fault, MethodDesc, PortalErrorKind, SoapResult, SoapService, SoapType, SoapValue,
 };
+use portalws_wire::WireStats;
 
 use crate::assertion::Assertion;
 use crate::{AuthError, Result};
@@ -48,6 +49,94 @@ struct GssContext {
     expires_at_ms: u64,
 }
 
+/// Below this the replay cache never bothers pruning — the `retain` scan
+/// costs more than the memory it frees.
+const REPLAY_PRUNE_FLOOR: usize = 32;
+
+/// Seen-assertion-id set with amortized pruning: instead of scanning the
+/// whole map under the write lock on *every* verification (O(n) each), it
+/// scans only when the map has doubled since the last scan, keeping the
+/// live set bounded at the same asymptote for O(1) amortized cost.
+struct ReplayCache {
+    /// Seen assertion id → its expiry (sim ms).
+    seen: HashMap<String, u64>,
+    /// Prune when `seen` reaches this size.
+    prune_at: usize,
+}
+
+impl ReplayCache {
+    fn new() -> ReplayCache {
+        ReplayCache {
+            seen: HashMap::new(),
+            prune_at: REPLAY_PRUNE_FLOOR,
+        }
+    }
+
+    /// Drop expired entries if the map has grown to its prune threshold,
+    /// then re-arm the threshold at double the live size.
+    fn maybe_prune(&mut self, now: u64) {
+        if self.seen.len() >= self.prune_at {
+            self.seen.retain(|_, expires| *expires > now);
+            self.prune_at = (self.seen.len() * 2).max(REPLAY_PRUNE_FLOOR);
+        }
+    }
+}
+
+/// Opt-in positive verification cache: `(assertion id, signature)` of
+/// assertions whose MAC has already been recomputed and matched, mapped
+/// to `(content digest, expiry)`. A hit additionally requires the content
+/// digest to match, so a tampered copy riding the original signature
+/// string misses and falls through to the (failing) MAC recomputation.
+/// Only the MAC is skipped on a hit; context lookup and expiry, assertion
+/// expiry, subject match, and the replay check still run on every
+/// verification. Negative results are never cached (see DESIGN.md).
+struct VerifyCache {
+    proven: HashMap<(String, String), (u64, u64)>,
+    prune_at: usize,
+}
+
+/// Order-sensitive FNV-1a fold over every assertion field, with a
+/// separator byte between fields so concatenation ambiguity cannot alias
+/// two assertions. One cheap 64-bit pass — unlike the MAC's two 128-bit
+/// passes over the allocated canonical string — which is what makes the
+/// cached verification path fast.
+fn assertion_digest(a: &Assertion) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes.iter().chain(std::iter::once(&0u8)) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(a.id.as_bytes());
+    eat(a.context_id.as_bytes());
+    eat(a.subject.as_bytes());
+    eat(a.mechanism.as_bytes());
+    eat(a.issued_at.as_bytes());
+    eat(&a.expires_at_ms.to_be_bytes());
+    for (k, v) in &a.statements {
+        eat(k.as_bytes());
+        eat(v.as_bytes());
+    }
+    h
+}
+
+impl VerifyCache {
+    fn new() -> VerifyCache {
+        VerifyCache {
+            proven: HashMap::new(),
+            prune_at: REPLAY_PRUNE_FLOOR,
+        }
+    }
+
+    fn maybe_prune(&mut self, now: u64) {
+        if self.proven.len() >= self.prune_at {
+            self.proven.retain(|_, (_, expires)| *expires > now);
+            self.prune_at = (self.proven.len() * 2).max(REPLAY_PRUNE_FLOOR);
+        }
+    }
+}
+
 /// The Authentication Service.
 pub struct AuthService {
     clock: Arc<SimClock>,
@@ -57,10 +146,15 @@ pub struct AuthService {
     verifications: AtomicU64,
     /// GSS context lifetime (ms).
     context_ttl_ms: u64,
-    /// Opt-in replay protection: seen assertion id → its expiry (sim ms).
-    /// `None` preserves the historical behavior where one assertion may be
-    /// verified many times (E2 replays the same assertion deliberately).
-    replay_cache: RwLock<Option<HashMap<String, u64>>>,
+    /// Opt-in replay protection. `None` preserves the historical behavior
+    /// where one assertion may be verified many times (E2 replays the
+    /// same assertion deliberately).
+    replay_cache: RwLock<Option<ReplayCache>>,
+    /// Opt-in MAC-skip cache for assertions already proven authentic.
+    verify_cache: RwLock<Option<VerifyCache>>,
+    /// Counter sink (`auth_verify_cached`); replaceable so a deployment
+    /// can aggregate auth counters with its wire stats.
+    stats: RwLock<Arc<WireStats>>,
 }
 
 impl AuthService {
@@ -75,27 +169,66 @@ impl AuthService {
             verifications: AtomicU64::new(0),
             context_ttl_ms: 8 * 3600 * 1000,
             replay_cache: RwLock::new(None),
+            verify_cache: RwLock::new(None),
+            stats: RwLock::new(Arc::new(WireStats::new())),
         })
     }
 
     /// Turn on assertion replay protection: after this call, each
     /// assertion id passes verification at most once before its expiry.
-    /// Entries are pruned as they expire, so the cache is bounded by the
-    /// number of live assertions.
+    /// Pruning is amortized — expired entries are swept only once the map
+    /// has doubled since the last sweep — so the map stays within a
+    /// constant factor of the live-assertion count without paying an
+    /// O(n) scan on every verification.
     pub fn enable_replay_protection(&self) {
         let mut cache = self.replay_cache.write();
         if cache.is_none() {
-            *cache = Some(HashMap::new());
+            *cache = Some(ReplayCache::new());
         }
     }
 
-    /// Number of live entries in the replay cache (0 when disabled).
+    /// Number of entries in the replay cache (0 when disabled). Between
+    /// amortized sweeps this may count already-expired ids; it is bounded
+    /// by `max(2 × live, floor)`.
     pub fn replay_cache_len(&self) -> usize {
         self.replay_cache
             .read()
             .as_ref()
-            .map(HashMap::len)
+            .map(|c| c.seen.len())
             .unwrap_or(0)
+    }
+
+    /// Turn on the assertion-verification cache: a `(id, signature)` pair
+    /// whose MAC has already been recomputed and matched skips the MAC on
+    /// re-presentation. Positive results only — failures are never
+    /// cached — and every other check (context, expiry, subject, replay)
+    /// still runs, so replay protection and revocation-by-logout are
+    /// unaffected. Hits are visible as `auth_verify_cached` in the stats.
+    pub fn enable_verify_cache(&self) {
+        let mut cache = self.verify_cache.write();
+        if cache.is_none() {
+            *cache = Some(VerifyCache::new());
+        }
+    }
+
+    /// Number of entries in the verification cache (0 when disabled).
+    pub fn verify_cache_len(&self) -> usize {
+        self.verify_cache
+            .read()
+            .as_ref()
+            .map(|c| c.proven.len())
+            .unwrap_or(0)
+    }
+
+    /// The counter sink this service records into.
+    pub fn stats(&self) -> Arc<WireStats> {
+        Arc::clone(&self.stats.read())
+    }
+
+    /// Aggregate this service's counters into `stats` (e.g. a
+    /// deployment's shared wire stats).
+    pub fn set_stats(&self, stats: Arc<WireStats>) {
+        *self.stats.write() = stats;
     }
 
     /// Register a principal in the keytab.
@@ -169,17 +302,53 @@ impl AuthService {
         if ctx.principal != assertion.subject {
             return Err(AuthError::BadSignature);
         }
-        assertion.verify_signature(&ctx.key)?;
+        // MAC check, with the opt-in verification cache in front: an
+        // assertion whose (id, signature, content digest) was already
+        // proven skips the MAC recomputation. The digest comparison stops
+        // a tampered body riding a previously proven signature string —
+        // such a copy misses and fails the recomputed MAC below.
+        let mut mac_proven = false;
+        let mut fill: Option<((String, String), u64)> = None;
+        if self.verify_cache.read().is_some() {
+            if let Some(sig) = assertion.signature.as_ref() {
+                let key = (assertion.id.clone(), sig.clone());
+                let digest = assertion_digest(assertion);
+                let guard = self.verify_cache.read();
+                let hit = guard
+                    .as_ref()
+                    .and_then(|c| c.proven.get(&key))
+                    .is_some_and(|&(d, _)| d == digest);
+                drop(guard);
+                if hit {
+                    mac_proven = true;
+                } else {
+                    fill = Some((key, digest));
+                }
+            }
+        }
+        if mac_proven {
+            self.stats.read().record_auth_verify_cached();
+        } else {
+            assertion.verify_signature(&ctx.key)?;
+            if let Some((key, digest)) = fill {
+                if let Some(cache) = self.verify_cache.write().as_mut() {
+                    cache.maybe_prune(now);
+                    cache.proven.insert(key, (digest, assertion.expires_at_ms));
+                }
+            }
+        }
         // Replay check last, so only authenticated assertions can occupy
-        // cache entries. Prune on the way in: expired ids can never verify
-        // again (the expiry check above fires first), so keeping them
-        // would only grow the map.
+        // cache entries. Expired ids can never verify again (the expiry
+        // check above fires first), so the amortized sweep may keep them
+        // around a while without changing any verdict.
         if let Some(cache) = self.replay_cache.write().as_mut() {
-            cache.retain(|_, expires| *expires > now);
-            if cache.contains_key(&assertion.id) {
+            cache.maybe_prune(now);
+            if cache.seen.contains_key(&assertion.id) {
                 return Err(AuthError::Replayed(assertion.id.clone()));
             }
-            cache.insert(assertion.id.clone(), assertion.expires_at_ms);
+            cache
+                .seen
+                .insert(assertion.id.clone(), assertion.expires_at_ms);
         }
         Ok(assertion.subject.clone())
     }
@@ -478,23 +647,156 @@ mod tests {
         assert_eq!(svc.replay_cache_len(), 2);
     }
 
+    fn signed_assertion_expiring(
+        svc: &AuthService,
+        session: &GssSession,
+        id: &str,
+        expires_at_ms: u64,
+    ) -> Assertion {
+        let mut a = Assertion::new(
+            id,
+            session.context_id.clone(),
+            session.principal.clone(),
+            session.mechanism.name(),
+            svc.clock().timestamp(),
+            expires_at_ms,
+        );
+        a.sign(&session.key);
+        a
+    }
+
     #[test]
-    fn replay_cache_prunes_expired_entries() {
+    fn replay_cache_prunes_amortized_and_stays_bounded() {
+        // The prune is amortized: expired ids are swept only when the map
+        // doubles, not scanned on every verification — but the map stays
+        // within a constant factor of the live set, and the replay
+        // verdicts are exactly what the eager-prune version gave.
         let svc = service();
         svc.enable_replay_protection();
         let session = svc
             .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
             .unwrap();
-        let a = signed_assertion_with_id(&svc, &session, "r-old");
-        svc.verify_assertion(&a).unwrap();
-        assert_eq!(svc.replay_cache_len(), 1);
-        // Once "r-old" expires it can never verify again (the expiry
-        // check fires first), so the next verification drops it.
-        svc.clock().advance(61_000);
-        assert_eq!(svc.verify_assertion(&a), Err(AuthError::Expired));
-        let b = signed_assertion_with_id(&svc, &session, "r-new");
+        // 40 short-lived assertions (past the 32-entry prune floor).
+        for i in 0..40 {
+            let a = signed_assertion_expiring(
+                &svc,
+                &session,
+                &format!("e-{i}"),
+                svc.clock().now() + 1_000,
+            );
+            svc.verify_assertion(&a).unwrap();
+        }
+        assert_eq!(svc.replay_cache_len(), 40);
+        svc.clock().advance(2_000); // all 40 expire
+                                    // One fresh verification must NOT trigger a full sweep (the old
+                                    // implementation pruned to 1 entry here, paying O(n) every call).
+        let fresh = signed_assertion_expiring(&svc, &session, "f-0", svc.clock().now() + 600_000);
+        svc.verify_assertion(&fresh).unwrap();
+        assert_eq!(svc.replay_cache_len(), 41, "no per-verify sweep");
+        // Replay semantics are unchanged while entries linger: a live id
+        // re-presented is Replayed, an expired one is Expired (never
+        // Replayed — the expiry check fires first).
+        assert_eq!(
+            svc.verify_assertion(&fresh),
+            Err(AuthError::Replayed("f-0".into()))
+        );
+        let stale = signed_assertion_expiring(&svc, &session, "e-0", svc.clock().now() - 1_000);
+        assert_eq!(svc.verify_assertion(&stale), Err(AuthError::Expired));
+        // Keep verifying fresh ids: crossing the doubled threshold sweeps
+        // the 40 expired entries, so the map tracks the live set instead
+        // of growing without bound.
+        for i in 1..100 {
+            let a = signed_assertion_expiring(
+                &svc,
+                &session,
+                &format!("f-{i}"),
+                svc.clock().now() + 600_000,
+            );
+            svc.verify_assertion(&a).unwrap();
+            assert!(
+                svc.replay_cache_len() <= 2 * (i + 1) + 40,
+                "bounded by a constant factor of live entries"
+            );
+        }
+        assert_eq!(svc.replay_cache_len(), 100, "expired ids were swept");
+    }
+
+    #[test]
+    fn verify_cache_skips_mac_and_counts_hits() {
+        let svc = service();
+        svc.enable_verify_cache();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        let a = signed_assertion(&svc, &session);
+        for _ in 0..5 {
+            assert_eq!(svc.verify_assertion(&a).unwrap(), "alice@GCE.ORG");
+        }
+        assert_eq!(svc.verify_cache_len(), 1);
+        assert_eq!(
+            svc.stats().snapshot().auth_verify_cached,
+            4,
+            "first verify recomputes the MAC, the four re-presentations hit"
+        );
+    }
+
+    #[test]
+    fn verify_cache_composes_with_every_other_check() {
+        // A cached MAC skips only the MAC: replay protection, context
+        // revocation, and expiry all still apply to re-presentations.
+        let svc = service();
+        svc.enable_verify_cache();
+        svc.enable_replay_protection();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        let a = signed_assertion_with_id(&svc, &session, "vc-1");
+        assert_eq!(svc.verify_assertion(&a).unwrap(), "alice@GCE.ORG");
+        // Replay check still fires even though the MAC is now cached.
+        assert_eq!(
+            svc.verify_assertion(&a),
+            Err(AuthError::Replayed("vc-1".into()))
+        );
+        // Expiry still fires on a cached assertion.
+        let b = signed_assertion_with_id(&svc, &session, "vc-2");
         svc.verify_assertion(&b).unwrap();
-        assert_eq!(svc.replay_cache_len(), 1);
+        svc.clock().advance(61_000);
+        assert_eq!(svc.verify_assertion(&b), Err(AuthError::Expired));
+        // Logout revokes the context; the cached MAC cannot resurrect it.
+        let c = signed_assertion_expiring(&svc, &session, "vc-3", svc.clock().now() + 60_000);
+        svc.verify_assertion(&c).unwrap();
+        svc.logout(&session.context_id);
+        assert!(matches!(
+            svc.verify_assertion(&c),
+            Err(AuthError::UnknownContext(_))
+        ));
+    }
+
+    #[test]
+    fn verify_cache_never_caches_negatives_and_misses_on_tamper() {
+        let svc = service();
+        svc.enable_verify_cache();
+        let session = svc
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        // A forged assertion fails and occupies no cache entry.
+        let mut forged = signed_assertion_with_id(&svc, &session, "vc-f");
+        forged.sign("wrong-key");
+        assert_eq!(svc.verify_assertion(&forged), Err(AuthError::BadSignature));
+        assert_eq!(svc.verify_cache_len(), 0);
+        // Prove the genuine assertion, then tamper with its content: the
+        // signature differs, so the tampered copy misses the cache and
+        // fails the MAC — the cache cannot be used to smuggle content.
+        let real = signed_assertion_with_id(&svc, &session, "vc-f");
+        svc.verify_assertion(&real).unwrap();
+        assert_eq!(svc.verify_cache_len(), 1);
+        let mut tampered = real.clone();
+        tampered.statements.push(("role".into(), "admin".into()));
+        assert_eq!(
+            svc.verify_assertion(&tampered),
+            Err(AuthError::BadSignature)
+        );
+        assert_eq!(svc.stats().snapshot().auth_verify_cached, 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use portalws_gridsim::clock::SimClock;
 use portalws_soap::client::HeaderSupplier;
 use portalws_xml::Element;
@@ -24,6 +25,13 @@ pub struct UserSession {
     counter: AtomicU64,
     /// Validity window for each minted assertion (ms).
     assertion_ttl_ms: u64,
+    /// Opt-in reuse window (ms): within it, [`UserSession::make_assertion`]
+    /// re-issues the last minted assertion instead of signing a new one.
+    /// 0 = mint fresh per request (the default, required when the server
+    /// enforces replay protection).
+    assertion_reuse_ms: AtomicU64,
+    /// The assertion being reused, when reuse is enabled.
+    cached_assertion: Mutex<Option<Assertion>>,
 }
 
 impl UserSession {
@@ -34,7 +42,23 @@ impl UserSession {
             clock,
             counter: AtomicU64::new(0),
             assertion_ttl_ms: 5 * 60 * 1000,
+            assertion_reuse_ms: AtomicU64::new(0),
+            cached_assertion: Mutex::new(None),
         })
+    }
+
+    /// Reuse each minted assertion for `window_ms` instead of signing a
+    /// fresh one per request. This is the client half of the assertion
+    /// hot path: re-presenting one signed assertion lets a verify-caching
+    /// Authentication Service ([`crate::AuthService::enable_verify_cache`])
+    /// skip the MAC on every call after the first. Incompatible with
+    /// server-side replay protection, which by design rejects the second
+    /// presentation of any assertion id — deployments pick one posture.
+    pub fn set_assertion_reuse(&self, window_ms: u64) {
+        self.assertion_reuse_ms.store(window_ms, Ordering::Relaxed);
+        if window_ms == 0 {
+            *self.cached_assertion.lock() = None;
+        }
     }
 
     /// The authenticated principal.
@@ -52,8 +76,28 @@ impl UserSession {
         self.counter.load(Ordering::Relaxed)
     }
 
-    /// Mint and sign a fresh assertion.
+    /// Mint and sign a fresh assertion — or, within an enabled reuse
+    /// window, re-issue the previous one while it is still comfortably
+    /// inside both the window and its own validity.
     pub fn make_assertion(&self) -> Assertion {
+        let reuse_ms = self.assertion_reuse_ms.load(Ordering::Relaxed);
+        if reuse_ms > 0 {
+            let now = self.clock.now();
+            let mut cached = self.cached_assertion.lock();
+            if let Some(a) = cached.as_ref() {
+                let reuse_until = (a.expires_at_ms - self.assertion_ttl_ms) + reuse_ms;
+                if now < reuse_until && !a.is_expired_at(now) {
+                    return a.clone();
+                }
+            }
+            let a = self.mint();
+            *cached = Some(a.clone());
+            return a;
+        }
+        self.mint()
+    }
+
+    fn mint(&self) -> Assertion {
         let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
         let mut a = Assertion::new(
             format!("{}-a{n:06}", self.gss.context_id),
@@ -112,6 +156,27 @@ mod tests {
         let a = session.make_assertion();
         let b = session.make_assertion();
         assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn assertion_reuse_window_reissues_then_rotates() {
+        let (svc, session) = session();
+        session.set_assertion_reuse(10_000);
+        let a = session.make_assertion();
+        let b = session.make_assertion();
+        assert_eq!(a, b, "inside the window the same assertion is reused");
+        assert_eq!(session.assertions_minted(), 1);
+        assert_eq!(svc.verify_assertion(&b).unwrap(), "alice@GCE.ORG");
+        // Past the window a fresh assertion is minted and signed.
+        svc.clock().advance(10_001);
+        let c = session.make_assertion();
+        assert_ne!(a.id, c.id);
+        assert_eq!(session.assertions_minted(), 2);
+        // Turning reuse off reverts to fresh-per-request.
+        session.set_assertion_reuse(0);
+        let d = session.make_assertion();
+        let e = session.make_assertion();
+        assert_ne!(d.id, e.id);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use portalws_core::{
     ChaosPolicy, PortalDeployment, PortalShell, SecurityMode, ServerArm, TransferClient,
     TransferConfig, TransportMode, UiServer,
 };
-use portalws_soap::SoapValue;
+use portalws_soap::{ReadCache, SoapClient, SoapValue};
 use portalws_wire::ChaosClass;
 
 /// Retry budget for idempotent operations (invariant 3). Fault rates top
@@ -74,6 +74,10 @@ struct ScheduleOutcome {
     /// settled cleanly — the empty-body edge every fault class must
     /// survive without underflowing.
     empty_body_settled: u64,
+    /// E14 cache-coherence checks that ran: a registry mutation whose
+    /// reply (and thus generation bump) was observed by the shared read
+    /// cache, followed by a re-read that must see the new state.
+    stale_read_checks: u64,
     /// Per-class injected-fault counts summed over every host transport.
     chaos: [u64; ChaosClass::ALL.len()],
     /// Invariant violations (empty on a clean schedule).
@@ -93,6 +97,9 @@ fn run_schedule(
     let policy = ChaosPolicy::from_seed(seed);
     let deployment = PortalDeployment::with_chaos_arm(security, mode, policy, arm);
     let ui = Arc::new(UiServer::new(Arc::clone(&deployment)));
+    // Every schedule runs with versioned read caching on, so the cached
+    // discovery path itself soaks under chaos (invariant 5 below).
+    let cache = ui.enable_read_caching(Arc::new(ReadCache::default()));
     let shell = PortalShell::new(Arc::clone(&ui));
 
     // Bounded retry for operations that are safe to repeat. Login rides
@@ -129,6 +136,75 @@ fn run_schedule(
     retried("cat", "cat /public/README", &mut out);
     retried("find", "find script", &mut out);
     retried("inspect", "inspect grid.sdsc.edu", &mut out);
+
+    // Invariant 5 (E14): **no stale read after an observed generation
+    // bump**. The find above primed the cached "script" query. A
+    // publisher sharing the same read cache now mutates the registry; if
+    // any publish *reply* arrives, its piggybacked generation has been
+    // observed, and from that point serving the pre-mutation result is a
+    // soak failure. A publish whose acknowledgment is lost to a fault
+    // does not qualify — the client never saw the bump, so a TTL-bounded
+    // stale serve would be legal; chaos may execute-without-ack, hence
+    // the retry loop can double-publish, which the containment check
+    // (`any`, not an exact count) tolerates.
+    let wizard = format!("ScriptWizard{seed:08x}");
+    if let Ok(transport) = deployment.transport("registry.gce.org") {
+        let publisher = SoapClient::new(transport, "Uddi");
+        publisher.enable_read_cache(Arc::clone(&cache), &[]);
+        let mut published = false;
+        'publish: for _ in 0..IDEMPOTENT_ATTEMPTS {
+            let bkey = match publisher.call(
+                "publishBusiness",
+                &[SoapValue::str(&wizard), SoapValue::str("chaos newcomer")],
+            ) {
+                Ok(k) => k,
+                Err(_) => {
+                    out.attempt_failures += 1;
+                    continue;
+                }
+            };
+            for _ in 0..IDEMPOTENT_ATTEMPTS {
+                match publisher.call(
+                    "publishService",
+                    &[
+                        bkey.clone(),
+                        SoapValue::str(&wizard),
+                        SoapValue::str("script generator minted under chaos"),
+                        SoapValue::str("http://grid.sdsc.edu/soap/BatchScriptGen"),
+                    ],
+                ) {
+                    Ok(_) => {
+                        published = true;
+                        break 'publish;
+                    }
+                    Err(_) => out.attempt_failures += 1,
+                }
+            }
+        }
+        if published {
+            out.ops += 1;
+            out.stale_read_checks += 1;
+            let mut seen = None;
+            for _ in 0..IDEMPOTENT_ATTEMPTS {
+                match ui.find_services("script") {
+                    Ok(hits) => {
+                        seen = Some(hits.iter().any(|h| h.name == wizard));
+                        break;
+                    }
+                    Err(_) => out.attempt_failures += 1,
+                }
+            }
+            match seen {
+                Some(true) => {}
+                Some(false) => out.violations.push(format!(
+                    "stale read after observed generation bump: {wizard} missing (seed {seed:#x})"
+                )),
+                None => out.violations.push(format!(
+                    "post-publish find failed all {IDEMPOTENT_ATTEMPTS} attempts (seed {seed:#x})"
+                )),
+            }
+        }
+    }
 
     // Non-idempotent op: one shot, then inspect ground truth directly in
     // the broker to classify the outcome.
@@ -439,6 +515,7 @@ fn main() {
                 total.transfer_put_unacknowledged += out.transfer_put_unacknowledged;
                 total.transfer_gets_resumed += out.transfer_gets_resumed;
                 total.empty_body_settled += out.empty_body_settled;
+                total.stale_read_checks += out.stale_read_checks;
                 for (i, n) in out.chaos.iter().enumerate() {
                     total.chaos[i] += n;
                 }
@@ -499,6 +576,10 @@ fn main() {
         "  empty-body round trips settled:      {}",
         total.empty_body_settled
     );
+    println!(
+        "  cache-coherence checks (0 stale):    {}",
+        total.stale_read_checks
+    );
     println!("  injected faults by class:");
     for (i, class) in ChaosClass::ALL.iter().enumerate() {
         println!("    {:<18} {}", class.name(), total.chaos[i]);
@@ -545,6 +626,10 @@ fn main() {
         doc.push_str(&format!(
             "  \"empty_body_settled\": {},\n",
             total.empty_body_settled
+        ));
+        doc.push_str(&format!(
+            "  \"stale_read_checks\": {},\n",
+            total.stale_read_checks
         ));
         doc.push_str("  \"chaos\": {\n");
         for (i, class) in ChaosClass::ALL.iter().enumerate() {

@@ -14,18 +14,25 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use portalws_auth::{GssSession, UserSession};
 use portalws_gridsim::cred::Mechanism;
-use portalws_soap::{SoapClient, SoapValue};
-use portalws_wsdl::handler::fetch_wsdl;
+use portalws_soap::{ReadCache, SoapClient, SoapValue};
+use portalws_wsdl::handler::{fetch_wsdl, fetch_wsdl_cached};
 use portalws_wsdl::DynamicClient;
 
 use crate::deployment::PortalDeployment;
 use crate::{PortalError, Result};
+
+/// UDDI methods whose results may be served from the read cache: pure
+/// queries, invalidated by the registry's mutation generation.
+const UDDI_CACHEABLE: &[&str] = &["findService", "findBusiness"];
 
 /// The UI server: holds proxies and the user's SSO session.
 pub struct UiServer {
     deployment: Arc<PortalDeployment>,
     uddi: SoapClient,
     session: RwLock<Option<Arc<UserSession>>>,
+    /// Shared read cache for the discovery hot path (UDDI queries and
+    /// WSDL downloads), when enabled.
+    read_cache: RwLock<Option<Arc<ReadCache>>>,
 }
 
 /// One discovery hit, surfaced to the user interface.
@@ -54,12 +61,30 @@ impl UiServer {
             deployment,
             uddi,
             session: RwLock::new(None),
+            read_cache: RwLock::new(None),
         }
     }
 
     /// The deployment behind this UI server.
     pub fn deployment(&self) -> &Arc<PortalDeployment> {
         &self.deployment
+    }
+
+    /// Turn on versioned read caching for the discovery hot path: UDDI
+    /// keyword queries are cached against the registry's mutation
+    /// generation (a publish anywhere invalidates them on the next
+    /// observed reply), and WSDL downloads are cached TTL-bounded.
+    /// Returns the cache so callers can inspect hit/miss counters.
+    pub fn enable_read_caching(&self, cache: Arc<ReadCache>) -> Arc<ReadCache> {
+        self.uddi
+            .enable_read_cache(Arc::clone(&cache), UDDI_CACHEABLE);
+        *self.read_cache.write() = Some(Arc::clone(&cache));
+        cache
+    }
+
+    /// The discovery read cache, if enabled.
+    pub fn read_cache(&self) -> Option<Arc<ReadCache>> {
+        self.read_cache.read().clone()
     }
 
     /// Log a user in (Figure 2 step 1): authenticate against the
@@ -93,6 +118,12 @@ impl UiServer {
         let session = UserSession::new(gss, Arc::clone(&self.deployment.clock));
         *self.session.write() = Some(session);
         Ok(())
+    }
+
+    /// The live session object, if logged in (e.g. to enable assertion
+    /// reuse for verify-cache-friendly deployments).
+    pub fn session(&self) -> Option<Arc<UserSession>> {
+        self.session.read().clone()
     }
 
     /// The logged-in principal, if any.
@@ -142,8 +173,11 @@ impl UiServer {
     /// Bind directly to an endpoint URL.
     pub fn bind_endpoint(&self, url: &str) -> Result<DynamicClient> {
         let (transport, service_name) = self.deployment.resolve_endpoint(url)?;
-        let wsdl =
-            fetch_wsdl(&*transport, &service_name).map_err(|e| PortalError::Bind(e.to_string()))?;
+        let wsdl = match self.read_cache.read().as_ref() {
+            Some(cache) => fetch_wsdl_cached(&*transport, &service_name, cache),
+            None => fetch_wsdl(&*transport, &service_name),
+        }
+        .map_err(|e| PortalError::Bind(e.to_string()))?;
         let client = DynamicClient::bind(wsdl, transport);
         if let Some(session) = self.session.read().as_ref() {
             client
@@ -251,6 +285,50 @@ mod tests {
             .iter()
             .any(|h| h.access_point.contains("gateway.iu.edu")));
         assert!(ui.find_services("teleport").unwrap().is_empty());
+    }
+
+    #[test]
+    fn cached_discovery_serves_hits_and_invalidates_on_observed_publish() {
+        use portalws_soap::ReadCache;
+        let ui = ui(SecurityMode::Open);
+        let cache = ui.enable_read_caching(Arc::new(ReadCache::default()));
+        let before = ui.find_services("script").unwrap();
+        assert_eq!(ui.find_services("script").unwrap(), before);
+        assert_eq!(cache.stats().snapshot().cache_hits, 1, "second query hit");
+        // Repeated binds of the same endpoint fetch the WSDL once.
+        let hit = before.first().unwrap().clone();
+        ui.bind(&hit).unwrap();
+        ui.bind(&hit).unwrap();
+        assert_eq!(cache.stats().snapshot().cache_hits, 2, "WSDL re-bind hit");
+
+        // A publisher sharing this cache mutates the registry; its reply
+        // carries the bumped generation, so the cached query result is
+        // invalidated before it can ever be served again.
+        let publisher = SoapClient::new(
+            ui.deployment().transport("registry.gce.org").unwrap(),
+            "Uddi",
+        );
+        publisher.enable_read_cache(Arc::clone(&cache), &[]);
+        let bkey = publisher
+            .call(
+                "publishBusiness",
+                &[SoapValue::str("ScriptCo"), SoapValue::str("newcomer")],
+            )
+            .unwrap();
+        publisher
+            .call(
+                "publishService",
+                &[
+                    bkey,
+                    SoapValue::str("ScriptWizard"),
+                    SoapValue::str("another batch script generator"),
+                    SoapValue::str("http://grid.sdsc.edu/soap/BatchScriptGen"),
+                ],
+            )
+            .unwrap();
+        let after = ui.find_services("script").unwrap();
+        assert_eq!(after.len(), before.len() + 1, "no stale read after bump");
+        assert!(cache.stats().snapshot().cache_invalidations >= 1);
     }
 
     #[test]

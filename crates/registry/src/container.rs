@@ -9,6 +9,8 @@
 //! Experiment E7 contrasts this registry's precision/recall against the
 //! UDDI string search on the same service population.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::RwLock;
 use portalws_xml::{path, Element};
 
@@ -132,6 +134,8 @@ impl Container {
 #[derive(Default)]
 pub struct ContainerRegistry {
     root: RwLock<Container>,
+    // Monotonic mutation generation; see `generation()`.
+    generation: AtomicU64,
 }
 
 fn split_path(p: &str) -> Result<Vec<&str>> {
@@ -148,6 +152,21 @@ impl ContainerRegistry {
         Self::default()
     }
 
+    /// Current mutation generation: bumped once per successful mutation
+    /// (register, unregister, create_container). Readers cache results
+    /// against a generation and revalidate with this single number; the
+    /// SOAP layer piggybacks it on every response header.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    // Bump after a mutation has been applied under the write lock. Release
+    // ordering pairs with the Acquire load so a reader that observes the
+    // new generation also observes the mutation it numbers.
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
     /// Create the container at `path` (and all intermediates).
     pub fn create_container(&self, path_str: &str) -> Result<()> {
         let segs = split_path(path_str)?;
@@ -156,6 +175,7 @@ impl ContainerRegistry {
         for seg in segs {
             cur = cur.ensure_child(seg);
         }
+        self.bump_generation();
         Ok(())
     }
 
@@ -175,6 +195,7 @@ impl ContainerRegistry {
             )));
         }
         cur.entries.push(entry);
+        self.bump_generation();
         Ok(())
     }
 
@@ -216,6 +237,7 @@ impl ContainerRegistry {
         if cur.entries.len() == before {
             return Err(RegistryError::NotFound(full_path.to_owned()));
         }
+        self.bump_generation();
         Ok(())
     }
 
@@ -256,6 +278,7 @@ impl ContainerRegistry {
         let root = Container::from_xml(el)?;
         Ok(ContainerRegistry {
             root: RwLock::new(root),
+            generation: AtomicU64::new(0),
         })
     }
 }
@@ -395,6 +418,24 @@ mod tests {
         reg.register("/a/b/c/d/e", scriptgen_entry("deep", &["PBS"]))
             .unwrap();
         assert!(reg.lookup("/a/b/c/d/e/deep").is_ok());
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation_only() {
+        let reg = ContainerRegistry::new();
+        assert_eq!(reg.generation(), 0);
+        reg.create_container("/gce").unwrap();
+        assert_eq!(reg.generation(), 1);
+        reg.register("/gce/scriptgen", scriptgen_entry("iu", &["PBS"]))
+            .unwrap();
+        assert_eq!(reg.generation(), 2);
+        reg.unregister("/gce/scriptgen/iu").unwrap();
+        assert_eq!(reg.generation(), 3);
+        // Failed mutations and reads leave the generation alone.
+        assert!(reg.unregister("/gce/scriptgen/iu").is_err());
+        let _ = reg.query("kind", "scriptgen");
+        let _ = reg.entry_count();
+        assert_eq!(reg.generation(), 3);
     }
 
     #[test]

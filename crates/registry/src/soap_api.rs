@@ -114,6 +114,7 @@ impl SoapService for UddiService {
                         .collect(),
                 ))
             }
+            "generation" => Ok(SoapValue::Int(self.registry.generation() as i64)),
             other => Err(Fault::client(format!("Uddi has no method {other:?}"))),
         }
     }
@@ -152,7 +153,17 @@ impl SoapService for UddiService {
                 SoapType::Array,
                 "Substring search over business names",
             ),
+            MethodDesc::new(
+                "generation",
+                vec![],
+                SoapType::Int,
+                "Current mutation generation (cheap cache revalidation probe)",
+            ),
         ]
+    }
+
+    fn generation(&self) -> Option<u64> {
+        Some(self.registry.generation())
     }
 }
 
@@ -237,6 +248,7 @@ impl SoapService for ContainerRegistryService {
                     hits.iter().map(|(p, e)| entry_to_value(p, e)).collect(),
                 ))
             }
+            "generation" => Ok(SoapValue::Int(self.registry.generation() as i64)),
             other => Err(Fault::client(format!(
                 "ContainerRegistry has no method {other:?}"
             ))),
@@ -269,7 +281,17 @@ impl SoapService for ContainerRegistryService {
                 SoapType::Array,
                 "Typed metadata query over all entries",
             ),
+            MethodDesc::new(
+                "generation",
+                vec![],
+                SoapType::Int,
+                "Current mutation generation (cheap cache revalidation probe)",
+            ),
         ]
+    }
+
+    fn generation(&self) -> Option<u64> {
+        Some(self.registry.generation())
     }
 }
 
@@ -398,8 +420,37 @@ mod tests {
     fn wsdl_generation_for_registry_services() {
         // Both facades describe themselves for WSDL publication.
         let u = UddiService::new(Arc::new(UddiRegistry::new()));
-        assert_eq!(u.methods().len(), 4);
+        assert_eq!(u.methods().len(), 5);
         let c = ContainerRegistryService::new(Arc::new(ContainerRegistry::new()));
-        assert_eq!(c.methods().len(), 3);
+        assert_eq!(c.methods().len(), 4);
+    }
+
+    #[test]
+    fn generation_probe_and_reply_header_track_mutations() {
+        let (uddi, creg) = clients();
+        // Probe method returns the current generation over the wire.
+        let g0 = uddi.call("generation", &[]).unwrap().as_i64().unwrap();
+        assert_eq!(g0, 0);
+        uddi.call(
+            "publishBusiness",
+            &[SoapValue::str("SDSC"), SoapValue::str("")],
+        )
+        .unwrap();
+        let g1 = uddi.call("generation", &[]).unwrap().as_i64().unwrap();
+        assert_eq!(g1, 1);
+
+        // The container facade is versioned too, and mutations advance it.
+        assert_eq!(creg.call("generation", &[]).unwrap(), SoapValue::Int(0));
+        creg.call(
+            "register",
+            &[
+                SoapValue::str("/gce/scriptgen"),
+                SoapValue::str("iu"),
+                SoapValue::str("http://iu:1/soap/x"),
+                SoapValue::str("http://iu:1/wsdl/x"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(creg.call("generation", &[]).unwrap(), SoapValue::Int(1));
     }
 }

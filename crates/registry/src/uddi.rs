@@ -12,6 +12,7 @@
 //! imprecision is the measured quantity in experiment E7.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
@@ -83,6 +84,8 @@ pub struct ServiceHit {
 #[derive(Default)]
 pub struct UddiRegistry {
     inner: RwLock<Inner>,
+    // Monotonic mutation generation; see `generation()`.
+    generation: AtomicU64,
 }
 
 #[derive(Default)]
@@ -105,6 +108,21 @@ impl UddiRegistry {
         Self::default()
     }
 
+    /// Current mutation generation: bumped once per successful publish.
+    /// Readers cache results against a generation and revalidate with this
+    /// single number instead of refetching bodies; the SOAP layer
+    /// piggybacks it on every response header.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    // Bump after a mutation has been applied under the write lock. Release
+    // ordering pairs with the Acquire load so a reader that observes the
+    // new generation also observes the mutation it numbers.
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
     /// Register a business entity; returns its key.
     pub fn publish_business(
         &self,
@@ -123,6 +141,7 @@ impl UddiRegistry {
             description: description.into(),
             services: Vec::new(),
         });
+        self.bump_generation();
         Ok(key)
     }
 
@@ -147,6 +166,7 @@ impl UddiRegistry {
             description: description.into(),
             bindings,
         });
+        self.bump_generation();
         Ok(key)
     }
 
@@ -164,6 +184,7 @@ impl UddiRegistry {
             overview_url: overview_url.into(),
         };
         inner.tmodels.insert(key.clone(), tm);
+        self.bump_generation();
         key
     }
 
@@ -339,5 +360,25 @@ mod tests {
         let reg = registry_with_scriptgens();
         assert_eq!(reg.service_count(), 2);
         assert_eq!(reg.businesses().len(), 2);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation_only() {
+        let reg = UddiRegistry::new();
+        assert_eq!(reg.generation(), 0);
+        let biz = reg.publish_business("X", "").unwrap();
+        assert_eq!(reg.generation(), 1);
+        reg.publish_service(&biz, "S", "", vec![]).unwrap();
+        assert_eq!(reg.generation(), 2);
+        reg.publish_tmodel("tm", "http://x/wsdl");
+        assert_eq!(reg.generation(), 3);
+        // Failed mutations and reads leave the generation alone.
+        assert!(reg.publish_business("X", "").is_err());
+        assert!(reg
+            .publish_service("uuid:biz-999", "S", "", vec![])
+            .is_err());
+        let _ = reg.find_service("s");
+        let _ = reg.businesses();
+        assert_eq!(reg.generation(), 3);
     }
 }

@@ -12,12 +12,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::RwLock;
-use portalws_wire::{Request, Transport, WireError, DEADLINE_HEADER, IDEMPOTENT_HEADER};
+use portalws_wire::{
+    Request, Transport, WireError, CACHE_FILL_HEADER, DEADLINE_HEADER, IDEMPOTENT_HEADER,
+};
 use portalws_xml::{Element, XmlError};
 
+use crate::cache::{fnv1a, ReadCache};
 use crate::envelope::Envelope;
 use crate::fault::Fault;
-use crate::server::endpoint_path;
+use crate::server::{endpoint_path, GENERATION_HEADER};
 use crate::value::SoapValue;
 
 /// Errors seen by SOAP callers.
@@ -93,6 +96,12 @@ pub struct SoapClient {
     /// deadline-aware transports ([`portalws_wire::PooledTransport`]),
     /// ignored by the 2002-regime ones.
     call_deadline: RwLock<Option<Duration>>,
+    /// Versioned read cache with single-flight coalescing; applies only
+    /// to methods in `cacheable_methods`.
+    read_cache: RwLock<Option<Arc<ReadCache>>>,
+    /// Methods whose results may be served from the read cache — pure
+    /// reads (WSDL fetches, UDDI find/get, descriptor reads).
+    cacheable_methods: RwLock<HashSet<String>>,
 }
 
 impl SoapClient {
@@ -109,6 +118,8 @@ impl SoapClient {
             reply_verifier: RwLock::new(None),
             idempotent_methods: RwLock::new(HashSet::new()),
             call_deadline: RwLock::new(None),
+            read_cache: RwLock::new(None),
+            cacheable_methods: RwLock::new(HashSet::new()),
         }
     }
 
@@ -160,6 +171,23 @@ impl SoapClient {
         *self.call_deadline.write() = Some(budget);
     }
 
+    /// Install a read cache and declare which `methods` are cacheable.
+    /// Only pure reads belong here (WSDL fetches, UDDI find/get,
+    /// descriptor reads); everything else keeps going straight to the
+    /// wire. The cache may be shared across clients, but entries are
+    /// keyed per service so sharing never mixes results.
+    pub fn enable_read_cache(&self, cache: Arc<ReadCache>, methods: &[&str]) {
+        *self.read_cache.write() = Some(cache);
+        let mut set = self.cacheable_methods.write();
+        set.clear();
+        set.extend(methods.iter().map(|m| (*m).to_owned()));
+    }
+
+    /// The read cache, if one is installed (stats inspection).
+    pub fn read_cache(&self) -> Option<Arc<ReadCache>> {
+        self.read_cache.read().clone()
+    }
+
     /// Invoke `method` with positional arguments.
     pub fn call(&self, method: &str, args: &[SoapValue]) -> Result<SoapValue, SoapError> {
         self.call_envelope(Envelope::request(&self.service, method, args))
@@ -177,16 +205,60 @@ impl SoapClient {
 
     /// Invoke with a fully built envelope (headers may already be set; the
     /// supplier's headers are appended).
+    ///
+    /// If a read cache is installed and the method is declared cacheable,
+    /// the call is served through it: the cache key digests the request
+    /// *body* only (supplier headers such as per-call assertions must not
+    /// fragment keys), concurrent identical calls coalesce onto one wire
+    /// call, and stale-past-TTL versioned entries revalidate with a
+    /// `generation` probe instead of a body refetch.
     pub fn call_envelope(&self, mut envelope: Envelope) -> Result<SoapValue, SoapError> {
         if let Some(supplier) = self.header_supplier.read().clone() {
             envelope.headers.extend(supplier());
         }
-        let mut req = Request::post(self.path.clone(), crate::scratch::envelope_body(&envelope))
+        let cacheable = self.cacheable_methods.read().contains(envelope.method());
+        let cache = if cacheable {
+            self.read_cache.read().clone()
+        } else {
+            None
+        };
+        match cache {
+            Some(cache) => {
+                let digest = fnv1a(envelope.body.to_xml().as_bytes());
+                let probe = || self.probe_generation();
+                let fetch = || self.exchange(&envelope, true);
+                cache.get_or_fetch(
+                    &self.service,
+                    envelope.method(),
+                    digest,
+                    Some(&probe),
+                    &fetch,
+                )
+            }
+            None => self.exchange(&envelope, false).map(|(value, _)| value),
+        }
+    }
+
+    /// One wire round trip: serialize, send, parse, verify. Returns the
+    /// reply value and the service generation piggybacked on the reply
+    /// header, if any. Every observed generation — including those on
+    /// faults and mutation replies — is fed to the read cache so stale
+    /// entries die at the next lookup.
+    fn exchange(
+        &self,
+        envelope: &Envelope,
+        cache_fill: bool,
+    ) -> Result<(SoapValue, Option<u64>), SoapError> {
+        let mut req = Request::post(self.path.clone(), crate::scratch::envelope_body(envelope))
             .with_header("Content-Type", "text/xml; charset=utf-8")
             .with_header(
                 "SOAPAction",
                 format!("urn:{}#{}", self.service, envelope.method()),
             );
+        if cache_fill {
+            // Lets the pool attribute this reuse to the caching layer.
+            req = req.with_header(CACHE_FILL_HEADER, "true");
+        }
         if self.idempotent_methods.read().contains(envelope.method()) {
             req = req.with_header(IDEMPOTENT_HEADER, "true");
         }
@@ -196,6 +268,12 @@ impl SoapClient {
         let resp = self.transport.round_trip(req)?;
         let reply = Envelope::parse(&resp.body_str())
             .map_err(|e| SoapError::Protocol(format!("unparsable reply: {e}")))?;
+        let generation = reply
+            .header(GENERATION_HEADER)
+            .and_then(|h| h.text().trim().parse::<u64>().ok());
+        if let (Some(generation), Some(cache)) = (generation, self.read_cache.read().as_ref()) {
+            cache.observe_generation(&self.service, generation);
+        }
         if let Some(verifier) = self.reply_verifier.read().clone() {
             verifier(&reply)
                 .map_err(|msg| SoapError::Protocol(format!("reply rejected: {msg}")))?;
@@ -203,7 +281,21 @@ impl SoapClient {
         if let Some(fault) = reply.as_fault() {
             return Err(SoapError::Fault(fault));
         }
-        reply.return_value().map_err(SoapError::Protocol)
+        let value = reply.return_value().map_err(SoapError::Protocol)?;
+        Ok((value, generation))
+    }
+
+    /// Cheap revalidation probe: ask the service for its current mutation
+    /// generation (every versioned service exposes a `generation` method).
+    /// `None` when the service is unreachable or unversioned — the cache
+    /// then treats the entry as unprovable and refetches.
+    fn probe_generation(&self) -> Option<u64> {
+        let mut envelope = Envelope::request(&self.service, "generation", &[]);
+        if let Some(supplier) = self.header_supplier.read().clone() {
+            envelope.headers.extend(supplier());
+        }
+        let (value, generation) = self.exchange(&envelope, false).ok()?;
+        generation.or_else(|| value.as_i64().map(|g| g as u64))
     }
 }
 
@@ -386,5 +478,182 @@ mod tests {
             client.call("add", &[]),
             Err(SoapError::Transport(_))
         ));
+    }
+
+    /// Wrap `inner` so every wire call is counted; returns the handler
+    /// and the counter.
+    fn counting_handler(
+        inner: Arc<dyn Handler>,
+    ) -> (Arc<dyn Handler>, Arc<std::sync::atomic::AtomicU64>) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = Arc::new(AtomicU64::new(0));
+        let observer = Arc::clone(&calls);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            observer.fetch_add(1, Ordering::SeqCst);
+            inner.handle(req)
+        });
+        (handler, calls)
+    }
+
+    #[test]
+    fn cacheable_method_served_from_cache() {
+        use crate::cache::{ReadCache, ReadCacheConfig};
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let (handler, calls) = counting_handler(Arc::new(soap));
+        let client = SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "Calc");
+        let cache = Arc::new(ReadCache::new(ReadCacheConfig::default()));
+        client.enable_read_cache(Arc::clone(&cache), &["echo"]);
+
+        for _ in 0..4 {
+            assert_eq!(
+                client.call("echo", &[SoapValue::str("x")]).unwrap(),
+                SoapValue::str("x")
+            );
+        }
+        // One fill, three hits; non-cacheable methods still hit the wire.
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        client
+            .call("add", &[SoapValue::Int(1), SoapValue::Int(2)])
+            .unwrap();
+        client
+            .call("add", &[SoapValue::Int(1), SoapValue::Int(2)])
+            .unwrap();
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 3);
+        let snap = cache.stats().snapshot();
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 1);
+        // Distinct args are distinct cache keys.
+        assert_eq!(
+            client.call("echo", &[SoapValue::str("y")]).unwrap(),
+            SoapValue::str("y")
+        );
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn coalesced_identical_lookups_issue_one_wire_call() {
+        // Satellite: M threads issuing the identical cacheable lookup
+        // against a counting transport produce exactly one wire call and
+        // M identical results. The handler holds the leader's call open
+        // until released, so every other thread provably arrives while
+        // the flight is pending and parks on it.
+        use crate::cache::{ReadCache, ReadCacheConfig};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Barrier;
+
+        const M: usize = 8;
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let inner: Arc<dyn Handler> = Arc::new(soap);
+        let calls = Arc::new(AtomicU64::new(0));
+        let release = Arc::new(AtomicBool::new(false));
+        let (observer, gate) = (Arc::clone(&calls), Arc::clone(&release));
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            observer.fetch_add(1, Ordering::SeqCst);
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            inner.handle(req)
+        });
+        let client = Arc::new(SoapClient::new(
+            Arc::new(InMemoryTransport::new(handler)),
+            "Calc",
+        ));
+        let cache = Arc::new(ReadCache::new(ReadCacheConfig::default()));
+        client.enable_read_cache(Arc::clone(&cache), &["echo"]);
+
+        let barrier = Arc::new(Barrier::new(M));
+        let workers: Vec<_> = (0..M)
+            .map(|_| {
+                let client = Arc::clone(&client);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    client.call("echo", &[SoapValue::str("same")])
+                })
+            })
+            .collect();
+        // Give every non-leader time to park on the flight, then let the
+        // leader's wire call complete.
+        std::thread::sleep(Duration::from_millis(100));
+        release.store(true, Ordering::SeqCst);
+
+        for worker in workers {
+            let value = worker.join().expect("no stuck or panicked waiter");
+            assert_eq!(value.unwrap(), SoapValue::str("same"));
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one wire call");
+        let snap = cache.stats().snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(
+            snap.coalesced_calls + snap.cache_hits,
+            (M - 1) as u64,
+            "every other caller was served without a wire call"
+        );
+    }
+
+    #[test]
+    fn failed_leader_does_not_strand_followers() {
+        // Chaos variant: the leader's wire call fails (unparsable reply).
+        // Followers must wake, re-race for leadership, and succeed on the
+        // retry — no waiter parks forever behind a dead leader.
+        use crate::cache::{ReadCache, ReadCacheConfig};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Barrier;
+
+        const M: usize = 6;
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let inner: Arc<dyn Handler> = Arc::new(soap);
+        let calls = Arc::new(AtomicU64::new(0));
+        let release = Arc::new(AtomicBool::new(false));
+        let (observer, gate) = (Arc::clone(&calls), Arc::clone(&release));
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            let n = observer.fetch_add(1, Ordering::SeqCst);
+            if n == 0 {
+                // First (leader) call: hold until followers are parked,
+                // then fail with a body that cannot parse as an envelope.
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return portalws_wire::Response::ok("text/xml", "garbage");
+            }
+            inner.handle(req)
+        });
+        let client = Arc::new(SoapClient::new(
+            Arc::new(InMemoryTransport::new(handler)),
+            "Calc",
+        ));
+        let cache = Arc::new(ReadCache::new(ReadCacheConfig::default()));
+        client.enable_read_cache(Arc::clone(&cache), &["echo"]);
+
+        let barrier = Arc::new(Barrier::new(M));
+        let workers: Vec<_> = (0..M)
+            .map(|_| {
+                let client = Arc::clone(&client);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    client.call("echo", &[SoapValue::str("same")])
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        release.store(true, Ordering::SeqCst);
+
+        let results: Vec<_> = workers
+            .into_iter()
+            .map(|w| w.join().expect("no stuck or panicked waiter"))
+            .collect();
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        let successes = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(failures, 1, "only the failed leader surfaces the error");
+        assert_eq!(successes, M - 1, "every follower retried and succeeded");
+        for r in results.iter().flatten() {
+            assert_eq!(*r, SoapValue::str("same"));
+        }
+        // The retry path issued exactly one more wire call.
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 }

@@ -19,6 +19,7 @@
 //!   `<detail>` of a SOAP fault, and clients recover it losslessly.
 
 pub mod base64;
+pub mod cache;
 pub mod client;
 pub mod envelope;
 pub mod fault;
@@ -26,10 +27,14 @@ pub(crate) mod scratch;
 pub mod server;
 pub mod value;
 
+pub use cache::{fnv1a, ReadCache, ReadCacheConfig};
 pub use client::{ReplyVerifier, SoapClient, SoapError};
 pub use envelope::Envelope;
 pub use fault::{Fault, FaultCode, PortalError, PortalErrorKind};
-pub use server::{CallContext, Guard, MethodDesc, ResponseHeaderSupplier, SoapServer, SoapService};
+pub use server::{
+    CallContext, Guard, MethodDesc, ResponseHeaderSupplier, SoapServer, SoapService,
+    GENERATION_HEADER,
+};
 pub use value::{SoapType, SoapValue};
 
 /// Result type for service method implementations: success value or fault.

@@ -71,6 +71,12 @@ impl MethodDesc {
     }
 }
 
+/// Reply header carrying a service's mutation generation (see
+/// [`SoapService::generation`]). Clients with a read cache watch this
+/// header on every reply and invalidate entries the moment they observe a
+/// newer generation.
+pub const GENERATION_HEADER: &str = "Generation";
+
 /// A SOAP-exposed service implementation.
 pub trait SoapService: Send + Sync {
     /// Service name (used in the endpoint path and the `urn:` namespace).
@@ -86,6 +92,16 @@ pub trait SoapService: Send + Sync {
 
     /// Method descriptions for interface publication (WSDL generation).
     fn methods(&self) -> Vec<MethodDesc>;
+
+    /// Monotonic mutation generation of the service's backing store, if it
+    /// is versioned. When `Some`, the dispatcher piggybacks the value on
+    /// every reply as a [`GENERATION_HEADER`] SOAP header, letting clients
+    /// revalidate cached reads with a cheap probe instead of refetching
+    /// bodies. The default (`None`) means "not versioned": clients fall
+    /// back to TTL-bounded caching.
+    fn generation(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Pre-dispatch hook: may reject the call with a fault (used for auth).
@@ -160,20 +176,32 @@ impl SoapServer {
             service: service_name.to_owned(),
             method: method.clone(),
         };
+        // Every reply from a resolved service — success, fault, or guard
+        // rejection — carries the service's current generation, so even a
+        // failed call lets the client advance its observed generation.
+        let finish = |reply: Envelope| {
+            let mut reply = self.stamp(reply);
+            if let Some(generation) = service.generation() {
+                reply
+                    .headers
+                    .push(Element::new(GENERATION_HEADER).with_text(generation.to_string()));
+            }
+            reply
+        };
         if let Some(guard) = self.guard.read().clone() {
             if let Err(fault) = guard(envelope, &ctx) {
-                return self.stamp(Envelope::fault(&fault));
+                return finish(Envelope::fault(&fault));
             }
         }
         let args = match envelope.args() {
             Ok(args) => args,
             Err(msg) => {
-                return self.stamp(Envelope::fault(&Fault::client(format!(
+                return finish(Envelope::fault(&Fault::client(format!(
                     "argument decode failed: {msg}"
                 ))))
             }
         };
-        self.stamp(match service.invoke(&method, &args, &ctx) {
+        finish(match service.invoke(&method, &args, &ctx) {
             Ok(value) => Envelope::response(&method, &value),
             Err(fault) => Envelope::fault(&fault),
         })
@@ -379,5 +407,54 @@ mod tests {
     #[test]
     fn service_names_listed() {
         assert_eq!(server().service_names(), vec!["Calc".to_string()]);
+    }
+
+    /// Calculator wrapped with a fixed generation, for header stamping.
+    struct VersionedCalc(u64);
+
+    impl SoapService for VersionedCalc {
+        fn name(&self) -> &str {
+            "Calc"
+        }
+        fn invoke(
+            &self,
+            method: &str,
+            args: &[(String, SoapValue)],
+            ctx: &CallContext,
+        ) -> SoapResult<SoapValue> {
+            Calculator.invoke(method, args, ctx)
+        }
+        fn methods(&self) -> Vec<MethodDesc> {
+            Calculator.methods()
+        }
+        fn generation(&self) -> Option<u64> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn generation_header_stamped_on_success_and_fault() {
+        let srv = SoapServer::new();
+        srv.mount(Arc::new(VersionedCalc(7)));
+        let env = Envelope::request("Calc", "add", &[SoapValue::Int(1), SoapValue::Int(2)]);
+        let reply = srv.dispatch("Calc", &env);
+        assert_eq!(
+            reply.header(GENERATION_HEADER).map(|h| h.text()).as_deref(),
+            Some("7")
+        );
+        // Faults from a resolved service still advance the client's view.
+        let reply = srv.dispatch("Calc", &Envelope::request("Calc", "nosuch", &[]));
+        assert!(reply.is_fault());
+        assert_eq!(
+            reply.header(GENERATION_HEADER).map(|h| h.text()).as_deref(),
+            Some("7")
+        );
+    }
+
+    #[test]
+    fn unversioned_service_has_no_generation_header() {
+        let env = Envelope::request("Calc", "add", &[SoapValue::Int(1), SoapValue::Int(2)]);
+        let reply = server().dispatch("Calc", &env);
+        assert!(reply.header(GENERATION_HEADER).is_none());
     }
 }

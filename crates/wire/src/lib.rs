@@ -47,7 +47,8 @@ pub use http::{
     wants_keep_alive, Request, RequestParser, Response, Status, MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
 pub use pool::{
-    Deadline, Pool, PoolConfig, PooledTransport, RetryPolicy, DEADLINE_HEADER, IDEMPOTENT_HEADER,
+    Deadline, Pool, PoolConfig, PooledTransport, RetryPolicy, CACHE_FILL_HEADER, DEADLINE_HEADER,
+    IDEMPOTENT_HEADER,
 };
 pub use server::{Handler, HttpServer, Router, ServerHandle};
 pub use stats::{ChaosClass, StatsSnapshot, WireStats};

@@ -52,6 +52,12 @@ pub const IDEMPOTENT_HEADER: &str = "X-Idempotent";
 /// `grpc-timeout`: the budget travels with the request.
 pub const DEADLINE_HEADER: &str = "X-Deadline-Ms";
 
+/// Request header marking a call issued to (re)fill a client-side
+/// `ReadCache` after a miss. The pool counts reuse hits serving such
+/// requests separately ([`WireStats::record_pool_cache_fill_hit`]) so the
+/// E6 experiment can attribute round-trip savings to caching vs pooling.
+pub const CACHE_FILL_HEADER: &str = "X-Cache-Fill";
+
 /// A wall-clock budget for one logical call, covering every dial, write,
 /// read, and retry made on its behalf.
 #[derive(Debug, Clone, Copy)]
@@ -315,8 +321,12 @@ impl PooledTransport {
         bytes: &[u8],
         deadline: Option<&Deadline>,
         idempotent: bool,
+        cache_fill: bool,
     ) -> Result<Response> {
         if let Some(conn) = self.pool.checkout(&self.addr, &self.stats) {
+            if cache_fill {
+                self.stats.record_pool_cache_fill_hit();
+            }
             match self.exchange(conn, bytes, deadline) {
                 Ok(resp) => return Ok(resp),
                 Err(failure) => {
@@ -454,12 +464,15 @@ impl Transport for PooledTransport {
         };
         let deadline = budget.map(Deadline::within);
         let retryable = is_idempotent(&req);
+        let cache_fill = req
+            .header(CACHE_FILL_HEADER)
+            .is_some_and(|v| v.eq_ignore_ascii_case("true"));
         let req = req.with_header("Connection", "keep-alive");
         let bytes = req.to_bytes();
 
         let mut retry = 0u32;
         loop {
-            match self.attempt(&bytes, deadline.as_ref(), retryable) {
+            match self.attempt(&bytes, deadline.as_ref(), retryable, cache_fill) {
                 Ok(resp) => return Ok(resp),
                 Err(err) => {
                     self.stats.record_error();
@@ -826,6 +839,27 @@ mod tests {
                 assert!(p.backoff(retry) <= ceiling);
             }
         }
+    }
+
+    #[test]
+    fn cache_fill_reuse_hits_attributed_separately() {
+        let server = HttpServer::start(upper_handler(), 2).unwrap();
+        let t = PooledTransport::new(server.addr());
+        // Cold start: a plain call parks the connection.
+        t.round_trip(Request::post("/x", "warm")).unwrap();
+        // Two cache-fill reads and one plain call, all reuse hits.
+        for _ in 0..2 {
+            let req = Request::post("/x", "fill").with_header(CACHE_FILL_HEADER, "true");
+            t.round_trip(req).unwrap();
+        }
+        t.round_trip(Request::post("/x", "plain")).unwrap();
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.pool_reuse_hits, 3);
+        assert_eq!(
+            snap.pool_cache_fill_hits, 2,
+            "only cache-fill requests counted in the attribution bucket"
+        );
+        server.shutdown();
     }
 
     #[test]

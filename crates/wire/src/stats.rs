@@ -94,6 +94,12 @@ pub struct WireStats {
     transfer_chunks: AtomicU64,
     transfer_bytes: AtomicU64,
     transfer_buffer_high_water: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_invalidations: AtomicU64,
+    coalesced_calls: AtomicU64,
+    auth_verify_cached: AtomicU64,
+    pool_cache_fill_hits: AtomicU64,
     // Baseline of the process-global substrate counters, captured at
     // construction/reset so snapshots report deltas, not process history.
     base_escape_borrowed: AtomicU64,
@@ -138,6 +144,12 @@ impl WireStats {
             transfer_chunks: AtomicU64::new(0),
             transfer_bytes: AtomicU64::new(0),
             transfer_buffer_high_water: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_invalidations: AtomicU64::new(0),
+            coalesced_calls: AtomicU64::new(0),
+            auth_verify_cached: AtomicU64::new(0),
+            pool_cache_fill_hits: AtomicU64::new(0),
             base_escape_borrowed: AtomicU64::new(base.escape_borrowed),
             base_escape_owned: AtomicU64::new(base.escape_owned),
             base_unescape_borrowed: AtomicU64::new(base.unescape_borrowed),
@@ -261,6 +273,43 @@ impl WireStats {
             .fetch_max(bytes, Ordering::Relaxed);
     }
 
+    /// Record one read served straight from a `ReadCache` without touching
+    /// the wire.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one cacheable read that had to perform the wire call (cold
+    /// entry, expired TTL, or invalidated by a generation bump).
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one cached entry discarded because the service's observed
+    /// generation moved past the entry's generation.
+    pub fn record_cache_invalidation(&self) {
+        self.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one lookup satisfied by attaching to an identical in-flight
+    /// call instead of issuing its own (single-flight follower).
+    pub fn record_coalesced_call(&self) {
+        self.coalesced_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one assertion verification answered from the auth service's
+    /// positive-result cache instead of recomputing the MAC.
+    pub fn record_auth_verify_cached(&self) {
+        self.auth_verify_cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a pool reuse hit that served a cache-fill request (a read
+    /// issued because a `ReadCache` missed), so E6 can attribute wins to
+    /// caching vs pooling separately.
+    pub fn record_pool_cache_fill_hit(&self) {
+        self.pool_cache_fill_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Read all counters at once.
     pub fn snapshot(&self) -> StatsSnapshot {
         let xml = xml_stats::snapshot();
@@ -290,6 +339,12 @@ impl WireStats {
             transfer_chunks: self.transfer_chunks.load(Ordering::Relaxed),
             transfer_bytes: self.transfer_bytes.load(Ordering::Relaxed),
             transfer_buffer_high_water: self.transfer_buffer_high_water.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            coalesced_calls: self.coalesced_calls.load(Ordering::Relaxed),
+            auth_verify_cached: self.auth_verify_cached.load(Ordering::Relaxed),
+            pool_cache_fill_hits: self.pool_cache_fill_hits.load(Ordering::Relaxed),
             escape_borrowed: xml
                 .escape_borrowed
                 .wrapping_sub(self.base_escape_borrowed.load(Ordering::Relaxed)),
@@ -332,6 +387,12 @@ impl WireStats {
         self.transfer_chunks.store(0, Ordering::Relaxed);
         self.transfer_bytes.store(0, Ordering::Relaxed);
         self.transfer_buffer_high_water.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_invalidations.store(0, Ordering::Relaxed);
+        self.coalesced_calls.store(0, Ordering::Relaxed);
+        self.auth_verify_cached.store(0, Ordering::Relaxed);
+        self.pool_cache_fill_hits.store(0, Ordering::Relaxed);
         let base = xml_stats::snapshot();
         self.base_escape_borrowed
             .store(base.escape_borrowed, Ordering::Relaxed);
@@ -397,6 +458,18 @@ pub struct StatsSnapshot {
     pub transfer_bytes: u64,
     /// Largest per-transfer reorder/pending buffering seen (bytes).
     pub transfer_buffer_high_water: u64,
+    /// Reads served from a `ReadCache` without touching the wire.
+    pub cache_hits: u64,
+    /// Cacheable reads that performed the wire call (cold/expired/stale).
+    pub cache_misses: u64,
+    /// Cached entries discarded after an observed generation bump.
+    pub cache_invalidations: u64,
+    /// Lookups satisfied by attaching to an identical in-flight call.
+    pub coalesced_calls: u64,
+    /// Assertion verifications answered from the positive-result cache.
+    pub auth_verify_cached: u64,
+    /// Pool reuse hits whose request was a cache-fill read.
+    pub pool_cache_fill_hits: u64,
     /// `escape_text`/`escape_attr` calls that borrowed (no allocation).
     pub escape_borrowed: u64,
     /// Escape calls that had to allocate an escaped copy.
@@ -440,6 +513,12 @@ impl StatsSnapshot {
             transfer_chunks: self.transfer_chunks - earlier.transfer_chunks,
             transfer_bytes: self.transfer_bytes - earlier.transfer_bytes,
             transfer_buffer_high_water: self.transfer_buffer_high_water,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_invalidations: self.cache_invalidations - earlier.cache_invalidations,
+            coalesced_calls: self.coalesced_calls - earlier.coalesced_calls,
+            auth_verify_cached: self.auth_verify_cached - earlier.auth_verify_cached,
+            pool_cache_fill_hits: self.pool_cache_fill_hits - earlier.pool_cache_fill_hits,
             escape_borrowed: self.escape_borrowed - earlier.escape_borrowed,
             escape_owned: self.escape_owned - earlier.escape_owned,
             unescape_borrowed: self.unescape_borrowed - earlier.unescape_borrowed,
@@ -468,6 +547,19 @@ impl StatsSnapshot {
     /// Total injected faults across all classes.
     pub fn chaos_total(&self) -> u64 {
         ChaosClass::ALL.iter().map(|c| self.chaos_class(*c)).sum()
+    }
+
+    /// Fraction of cacheable reads that avoided their own wire call (served
+    /// from cache or coalesced onto an in-flight leader), in `[0, 1]`.
+    /// Returns 0.0 when no cacheable reads ran.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let served = self.cache_hits + self.coalesced_calls;
+        let total = served + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
     }
 
     /// Fraction of escape calls that avoided allocating, in `[0, 1]`.
@@ -653,6 +745,38 @@ mod tests {
         assert_eq!(delta.transfer_bytes, 1);
         // High-water is a maximum, not a sum; the later value carries over.
         assert_eq!(delta.transfer_buffer_high_water, 262144);
+        s.reset();
+        assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn cache_counters_snapshot_diff_and_rate() {
+        let s = WireStats::new();
+        s.record_cache_miss();
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_coalesced_call();
+        s.record_cache_invalidation();
+        s.record_auth_verify_cached();
+        s.record_pool_cache_fill_hit();
+        let snap = s.snapshot();
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_invalidations, 1);
+        assert_eq!(snap.coalesced_calls, 1);
+        assert_eq!(snap.auth_verify_cached, 1);
+        assert_eq!(snap.pool_cache_fill_hits, 1);
+        // 3 hits + 1 coalesced out of 5 cacheable reads.
+        assert!((snap.cache_hit_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(StatsSnapshot::default().cache_hit_rate(), 0.0);
+        let before = snap;
+        s.record_cache_hit();
+        s.record_auth_verify_cached();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(delta.cache_misses, 0);
+        assert_eq!(delta.auth_verify_cached, 1);
         s.reset();
         assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
     }

@@ -70,6 +70,14 @@ pub fn fetch_wsdl(
     transport: &dyn portalws_wire::Transport,
     service: &str,
 ) -> crate::Result<WsdlDefinition> {
+    WsdlDefinition::from_xml(&fetch_wsdl_root(transport, service)?)
+}
+
+/// The raw fetch: GET the document and parse it to a DOM root.
+fn fetch_wsdl_root(
+    transport: &dyn portalws_wire::Transport,
+    service: &str,
+) -> crate::Result<portalws_xml::Element> {
     let resp = transport
         .round_trip(Request::get(format!("/wsdl/{service}")))
         .map_err(|e| crate::WsdlError::Parse(format!("wsdl fetch failed: {e}")))?;
@@ -79,9 +87,34 @@ pub fn fetch_wsdl(
             resp.status.code()
         )));
     }
-    let root = portalws_xml::Element::parse(&resp.body_str())
-        .map_err(|e| crate::WsdlError::Parse(format!("wsdl xml: {e}")))?;
-    WsdlDefinition::from_xml(&root)
+    portalws_xml::Element::parse(&resp.body_str())
+        .map_err(|e| crate::WsdlError::Parse(format!("wsdl xml: {e}")))
+}
+
+/// Pseudo-service name WSDL documents are cached under (interface
+/// definitions come over plain GET, not SOAP, so there is no real service
+/// name on the wire to key by).
+pub const WSDL_CACHE_SERVICE: &str = "__wsdl__";
+
+/// Like [`fetch_wsdl`], but served through a [`ReadCache`]: repeated
+/// binds of the same service skip the GET entirely within the cache TTL,
+/// and concurrent binds coalesce onto one fetch. WSDL documents carry no
+/// mutation generation (interface definitions change on redeploy, not at
+/// runtime), so entries are TTL-bounded only. The cached artifact is the
+/// parsed DOM root; stub generation from it still runs per call.
+pub fn fetch_wsdl_cached(
+    transport: &dyn portalws_wire::Transport,
+    service: &str,
+    cache: &portalws_soap::ReadCache,
+) -> crate::Result<WsdlDefinition> {
+    let fetch = || {
+        fetch_wsdl_root(transport, service).map(|root| (portalws_soap::SoapValue::Xml(root), None))
+    };
+    let value = cache.get_or_fetch(WSDL_CACHE_SERVICE, service, 0, None, &fetch)?;
+    let root = value
+        .as_xml()
+        .ok_or_else(|| crate::WsdlError::Parse("cached WSDL is not XML".into()))?;
+    WsdlDefinition::from_xml(root)
 }
 
 #[cfg(test)]
@@ -128,6 +161,38 @@ mod tests {
         let h = WsdlHandler::new();
         let transport = InMemoryTransport::new(Arc::new(h));
         assert!(fetch_wsdl(&transport, "Ghost").is_err());
+    }
+
+    #[test]
+    fn cached_fetch_skips_the_wire_on_rebind() {
+        use portalws_soap::{ReadCache, ReadCacheConfig};
+        use portalws_wire::Handler;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let h = WsdlHandler::new();
+        h.publish_service(&FakeScriptgen, "http://x/soap/BatchScriptGen");
+        let inner: Arc<dyn Handler> = Arc::new(h);
+        let gets = Arc::new(AtomicU64::new(0));
+        let observer = Arc::clone(&gets);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            observer.fetch_add(1, Ordering::SeqCst);
+            inner.handle(req)
+        });
+        let transport = InMemoryTransport::new(handler);
+        let cache = ReadCache::new(ReadCacheConfig::default());
+        for _ in 0..5 {
+            let wsdl = fetch_wsdl_cached(&transport, "BatchScriptGen", &cache).unwrap();
+            assert_eq!(wsdl.operations.len(), 2);
+        }
+        assert_eq!(
+            gets.load(Ordering::SeqCst),
+            1,
+            "four rebinds were cache hits"
+        );
+        // A missing service errors every time — failures are not cached.
+        assert!(fetch_wsdl_cached(&transport, "Ghost", &cache).is_err());
+        assert!(fetch_wsdl_cached(&transport, "Ghost", &cache).is_err());
+        assert_eq!(gets.load(Ordering::SeqCst), 3);
     }
 
     #[test]
