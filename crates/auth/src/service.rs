@@ -84,41 +84,18 @@ impl ReplayCache {
 
 /// Opt-in positive verification cache: `(assertion id, signature)` of
 /// assertions whose MAC has already been recomputed and matched, mapped
-/// to `(content digest, expiry)`. A hit additionally requires the content
-/// digest to match, so a tampered copy riding the original signature
-/// string misses and falls through to the (failing) MAC recomputation.
-/// Only the MAC is skipped on a hit; context lookup and expiry, assertion
-/// expiry, subject match, and the replay check still run on every
-/// verification. Negative results are never cached (see DESIGN.md).
+/// to `(canonical form, expiry)`. A hit additionally requires the stored
+/// canonical bytes to equal the presented assertion's — byte-for-byte
+/// equality, not a hash, so there is no collision to engineer: any
+/// tampered copy riding the original signature string misses and falls
+/// through to the (failing) MAC recomputation. The cached path still
+/// skips the expensive part (the MAC's two 128-bit keyed passes); only
+/// one canonicalization and a string compare remain. Context lookup and
+/// expiry, assertion expiry, subject match, and the replay check run on
+/// every verification. Negative results are never cached (see DESIGN.md).
 struct VerifyCache {
-    proven: HashMap<(String, String), (u64, u64)>,
+    proven: HashMap<(String, String), (String, u64)>,
     prune_at: usize,
-}
-
-/// Order-sensitive FNV-1a fold over every assertion field, with a
-/// separator byte between fields so concatenation ambiguity cannot alias
-/// two assertions. One cheap 64-bit pass — unlike the MAC's two 128-bit
-/// passes over the allocated canonical string — which is what makes the
-/// cached verification path fast.
-fn assertion_digest(a: &Assertion) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes.iter().chain(std::iter::once(&0u8)) {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    eat(a.id.as_bytes());
-    eat(a.context_id.as_bytes());
-    eat(a.subject.as_bytes());
-    eat(a.mechanism.as_bytes());
-    eat(a.issued_at.as_bytes());
-    eat(&a.expires_at_ms.to_be_bytes());
-    for (k, v) in &a.statements {
-        eat(k.as_bytes());
-        eat(v.as_bytes());
-    }
-    h
 }
 
 impl VerifyCache {
@@ -303,26 +280,27 @@ impl AuthService {
             return Err(AuthError::BadSignature);
         }
         // MAC check, with the opt-in verification cache in front: an
-        // assertion whose (id, signature, content digest) was already
-        // proven skips the MAC recomputation. The digest comparison stops
-        // a tampered body riding a previously proven signature string —
-        // such a copy misses and fails the recomputed MAC below.
+        // assertion whose (id, signature, canonical form) was already
+        // proven skips the MAC recomputation. The canonical comparison is
+        // exact byte equality — a tampered body riding a previously
+        // proven signature string cannot collide its way into a hit; it
+        // misses and fails the recomputed MAC below.
         let mut mac_proven = false;
-        let mut fill: Option<((String, String), u64)> = None;
+        let mut fill: Option<((String, String), String)> = None;
         if self.verify_cache.read().is_some() {
             if let Some(sig) = assertion.signature.as_ref() {
                 let key = (assertion.id.clone(), sig.clone());
-                let digest = assertion_digest(assertion);
+                let canonical = assertion.canonical();
                 let guard = self.verify_cache.read();
                 let hit = guard
                     .as_ref()
                     .and_then(|c| c.proven.get(&key))
-                    .is_some_and(|&(d, _)| d == digest);
+                    .is_some_and(|(proven, _)| *proven == canonical);
                 drop(guard);
                 if hit {
                     mac_proven = true;
                 } else {
-                    fill = Some((key, digest));
+                    fill = Some((key, canonical));
                 }
             }
         }
@@ -330,10 +308,12 @@ impl AuthService {
             self.stats.read().record_auth_verify_cached();
         } else {
             assertion.verify_signature(&ctx.key)?;
-            if let Some((key, digest)) = fill {
+            if let Some((key, canonical)) = fill {
                 if let Some(cache) = self.verify_cache.write().as_mut() {
                     cache.maybe_prune(now);
-                    cache.proven.insert(key, (digest, assertion.expires_at_ms));
+                    cache
+                        .proven
+                        .insert(key, (canonical, assertion.expires_at_ms));
                 }
             }
         }

@@ -174,7 +174,10 @@ impl UiServer {
     pub fn bind_endpoint(&self, url: &str) -> Result<DynamicClient> {
         let (transport, service_name) = self.deployment.resolve_endpoint(url)?;
         let wsdl = match self.read_cache.read().as_ref() {
-            Some(cache) => fetch_wsdl_cached(&*transport, &service_name, cache),
+            // The endpoint URL rides into the cache key: the cache is
+            // shared across binds to every host, and two hosts exposing
+            // the same service name must not share one WSDL entry.
+            Some(cache) => fetch_wsdl_cached(&*transport, url, &service_name, cache),
             None => fetch_wsdl(&*transport, &service_name),
         }
         .map_err(|e| PortalError::Bind(e.to_string()))?;

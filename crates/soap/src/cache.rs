@@ -18,9 +18,13 @@
 //! * **Single-flight coalescing.** N concurrent identical lookups issue
 //!   exactly one wire call: the first caller becomes the *leader* and
 //!   fetches; the rest park (bounded) on the leader's published result.
-//!   If the leader's call fails, its followers wake, re-race for
-//!   leadership, and after a few failed rounds fall back to direct calls —
-//!   no thundering herd, and no waiter stuck behind a dead leader.
+//!   A woken follower re-checks the fill's generation against the latest
+//!   observed one before returning — a mutation reply landing while it
+//!   was parked invalidates the fill for followers exactly as it does for
+//!   the cached entry. If the leader's call fails, its followers wake,
+//!   re-race for leadership, and after a few failed rounds fall back to
+//!   direct calls — no thundering herd, and no waiter stuck behind a
+//!   dead leader.
 //!
 //! Failures are never cached: a fault or transport error propagates to
 //! exactly the callers that were coalesced onto it, and the next lookup
@@ -80,10 +84,12 @@ struct Entry {
     cached_at: Instant,
 }
 
-/// Result of one in-flight leader call, published to its followers.
+/// Result of one in-flight leader call, published to its followers: the
+/// value plus the generation it was fetched at, so a woken follower can
+/// re-check the fill against the latest observed generation.
 enum FlightState {
     Pending,
-    Done(SoapValue),
+    Done(SoapValue, Option<u64>),
     Failed,
 }
 
@@ -113,18 +119,19 @@ impl Flight {
     }
 
     /// Publish the leader's outcome (`None` = failed) and wake followers.
-    fn publish(&self, outcome: Option<SoapValue>) {
+    fn publish(&self, outcome: Option<(SoapValue, Option<u64>)>) {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         *state = match outcome {
-            Some(value) => FlightState::Done(value),
+            Some((value, generation)) => FlightState::Done(value, generation),
             None => FlightState::Failed,
         };
         self.cv.notify_all();
     }
 
-    /// Bounded follower park. `Some(Some(v))` = leader succeeded,
+    /// Bounded follower park. `Some(Some((v, gen)))` = leader succeeded,
     /// `Some(None)` = leader failed, `None` = timed out still pending.
-    fn wait_for_outcome(&self, bound: Duration) -> Option<Option<SoapValue>> {
+    #[allow(clippy::type_complexity)]
+    fn wait_for_outcome(&self, bound: Duration) -> Option<Option<(SoapValue, Option<u64>)>> {
         let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let (state, _timeout) = self
             .cv
@@ -132,7 +139,7 @@ impl Flight {
             .unwrap_or_else(PoisonError::into_inner);
         match &*state {
             FlightState::Pending => None,
-            FlightState::Done(value) => Some(Some(value.clone())),
+            FlightState::Done(value, generation) => Some(Some((value.clone(), *generation))),
             FlightState::Failed => Some(None),
         }
     }
@@ -252,9 +259,22 @@ impl ReadCache {
                 return self.fetch_and_fill(&key, Some(&flight), fetch);
             }
             match flight.wait_for_outcome(FOLLOW_WAIT) {
-                Some(Some(value)) => {
-                    self.stats.record_coalesced_call();
-                    return Ok(value);
+                Some(Some((value, fill_gen))) => {
+                    // While this follower was parked, a mutation reply
+                    // may have advanced the observed generation past the
+                    // leader's fill; serving that value would be a stale
+                    // read after an observed bump. Re-check before
+                    // returning and re-race on mismatch (the invalidated
+                    // entry forces a fresh fetch next round).
+                    let stale = fill_gen.is_some_and(|g| {
+                        self.latest_generation(&key.0)
+                            .is_some_and(|latest| latest > g)
+                    });
+                    if !stale {
+                        self.stats.record_coalesced_call();
+                        return Ok(value);
+                    }
+                    follow_failures += 1;
                 }
                 // Leader failed or timed out: re-check the cache and
                 // re-race for leadership.
@@ -285,7 +305,7 @@ impl ReadCache {
                 }
                 self.insert(key.clone(), value.clone(), generation);
                 if let Some(flight) = flight {
-                    flight.publish(Some(value.clone()));
+                    flight.publish(Some((value.clone(), generation)));
                 }
                 Ok(value)
             }
@@ -575,6 +595,57 @@ mod tests {
             .get_or_fetch::<()>("Svc", "read", 3, None, &fetch)
             .unwrap();
         assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn follower_revalidates_leader_fill_against_latest_generation() {
+        // A mutation reply observed while a follower is parked must not
+        // let the follower serve the leader's pre-bump fill: the follower
+        // re-checks on wake-up and refetches instead.
+        use std::sync::atomic::AtomicBool;
+
+        let cache = Arc::new(cache_with_ttl(Duration::from_secs(60)));
+        let calls = Arc::new(AtomicU64::new(0));
+        let release = Arc::new(AtomicBool::new(false));
+        let generation = Arc::new(AtomicU64::new(1));
+        let spawn_reader = |label: i64| {
+            let (cache, calls, release, generation) = (
+                Arc::clone(&cache),
+                Arc::clone(&calls),
+                Arc::clone(&release),
+                Arc::clone(&generation),
+            );
+            std::thread::spawn(move || {
+                let fetch = || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    // The registry read happens when the call enters the
+                    // wire; the reply is then held until released.
+                    let g = generation.load(Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Ok::<_, ()>((SoapValue::Int(g as i64 * 100 + label), Some(g)))
+                };
+                cache.get_or_fetch("Svc", "read", 1, None, &fetch)
+            })
+        };
+        let leader = spawn_reader(1);
+        std::thread::sleep(Duration::from_millis(50)); // leader in flight
+        let follower = spawn_reader(2);
+        std::thread::sleep(Duration::from_millis(50)); // follower parked
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "follower coalesced");
+        // A mutation reply bumps the observed generation, then the
+        // leader's (generation-1) wire call completes.
+        cache.observe_generation("Svc", 2);
+        generation.store(2, Ordering::SeqCst);
+        release.store(true, Ordering::SeqCst);
+        // The leader returns its own wire-fresh read (fetched at gen 1).
+        assert_eq!(leader.join().unwrap(), Ok(SoapValue::Int(101)));
+        // The follower must NOT accept that pre-bump fill: it refetches
+        // and comes back with post-bump data.
+        assert_eq!(follower.join().unwrap(), Ok(SoapValue::Int(202)));
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "follower refetched");
+        assert_eq!(cache.stats().snapshot().coalesced_calls, 0);
     }
 
     #[test]

@@ -295,7 +295,11 @@ impl SoapClient {
             envelope.headers.extend(supplier());
         }
         let (value, generation) = self.exchange(&envelope, false).ok()?;
-        generation.or_else(|| value.as_i64().map(|g| g as u64))
+        // Checked conversion on the body fallback: a negative or garbage
+        // reply must not wrap into a huge generation — observe_generation
+        // only ever advances, so one bad probe would permanently
+        // invalidate every future entry for the service.
+        generation.or_else(|| value.as_i64().and_then(|g| u64::try_from(g).ok()))
     }
 }
 

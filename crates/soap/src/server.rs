@@ -177,11 +177,19 @@ impl SoapServer {
             method: method.clone(),
         };
         // Every reply from a resolved service — success, fault, or guard
-        // rejection — carries the service's current generation, so even a
-        // failed call lets the client advance its observed generation.
+        // rejection — carries a service generation, so even a failed call
+        // lets the client advance its observed generation. The value is
+        // captured BEFORE the method runs: stamping may under-claim (a
+        // mutation landing mid-call costs at most a spurious client-side
+        // invalidation) but must never over-claim — a read that returned
+        // pre-mutation data stamped with the post-mutation generation
+        // would be cached as current and pinned past the bump it
+        // predates. A mutator therefore observes its own bump on its
+        // *next* reply, not on the mutation's own acknowledgment.
+        let generation = service.generation();
         let finish = |reply: Envelope| {
             let mut reply = self.stamp(reply);
-            if let Some(generation) = service.generation() {
+            if let Some(generation) = generation {
                 reply
                     .headers
                     .push(Element::new(GENERATION_HEADER).with_text(generation.to_string()));

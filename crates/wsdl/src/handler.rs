@@ -102,15 +102,27 @@ pub const WSDL_CACHE_SERVICE: &str = "__wsdl__";
 /// mutation generation (interface definitions change on redeploy, not at
 /// runtime), so entries are TTL-bounded only. The cached artifact is the
 /// parsed DOM root; stub generation from it still runs per call.
+///
+/// `endpoint` identifies *which host* the transport reaches (resolved
+/// URL or host name) and is folded into the cache key: one shared cache
+/// may front binds to several hosts, and two hosts exposing a service
+/// with the same name must not collide on one entry.
 pub fn fetch_wsdl_cached(
     transport: &dyn portalws_wire::Transport,
+    endpoint: &str,
     service: &str,
     cache: &portalws_soap::ReadCache,
 ) -> crate::Result<WsdlDefinition> {
     let fetch = || {
         fetch_wsdl_root(transport, service).map(|root| (portalws_soap::SoapValue::Xml(root), None))
     };
-    let value = cache.get_or_fetch(WSDL_CACHE_SERVICE, service, 0, None, &fetch)?;
+    let value = cache.get_or_fetch(
+        WSDL_CACHE_SERVICE,
+        service,
+        portalws_soap::fnv1a(endpoint.as_bytes()),
+        None,
+        &fetch,
+    )?;
     let root = value
         .as_xml()
         .ok_or_else(|| crate::WsdlError::Parse("cached WSDL is not XML".into()))?;
@@ -181,7 +193,7 @@ mod tests {
         let transport = InMemoryTransport::new(handler);
         let cache = ReadCache::new(ReadCacheConfig::default());
         for _ in 0..5 {
-            let wsdl = fetch_wsdl_cached(&transport, "BatchScriptGen", &cache).unwrap();
+            let wsdl = fetch_wsdl_cached(&transport, "http://x", "BatchScriptGen", &cache).unwrap();
             assert_eq!(wsdl.operations.len(), 2);
         }
         assert_eq!(
@@ -190,9 +202,40 @@ mod tests {
             "four rebinds were cache hits"
         );
         // A missing service errors every time — failures are not cached.
-        assert!(fetch_wsdl_cached(&transport, "Ghost", &cache).is_err());
-        assert!(fetch_wsdl_cached(&transport, "Ghost", &cache).is_err());
+        assert!(fetch_wsdl_cached(&transport, "http://x", "Ghost", &cache).is_err());
+        assert!(fetch_wsdl_cached(&transport, "http://x", "Ghost", &cache).is_err());
         assert_eq!(gets.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn same_service_name_on_two_hosts_does_not_collide_in_the_cache() {
+        use portalws_soap::{ReadCache, ReadCacheConfig};
+
+        // Two independent deployments of the same service name behind one
+        // shared cache: each bind must receive its own host's WSDL.
+        let mk = |endpoint: &str| {
+            let h = WsdlHandler::new();
+            h.publish_service(&FakeScriptgen, endpoint);
+            InMemoryTransport::new(Arc::new(h))
+        };
+        let iu = mk("http://gateway.iu.edu/soap/BatchScriptGen");
+        let sdsc = mk("http://hotpage.sdsc.edu/soap/BatchScriptGen");
+        let cache = ReadCache::new(ReadCacheConfig::default());
+
+        let wsdl_iu =
+            fetch_wsdl_cached(&iu, "http://gateway.iu.edu", "BatchScriptGen", &cache).unwrap();
+        let wsdl_sdsc =
+            fetch_wsdl_cached(&sdsc, "http://hotpage.sdsc.edu", "BatchScriptGen", &cache).unwrap();
+        assert_eq!(
+            wsdl_iu.endpoint.as_deref(),
+            Some("http://gateway.iu.edu/soap/BatchScriptGen")
+        );
+        assert_eq!(
+            wsdl_sdsc.endpoint.as_deref(),
+            Some("http://hotpage.sdsc.edu/soap/BatchScriptGen"),
+            "second host must not be served the first host's cached WSDL"
+        );
+        assert_eq!(cache.entry_count(), 2, "one entry per endpoint");
     }
 
     #[test]
