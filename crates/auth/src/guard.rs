@@ -21,7 +21,7 @@ use crate::service::AuthService;
 use crate::service::AuthSoapFacade;
 use crate::session::UserSession;
 
-fn extract_assertion(env: &Envelope) -> Result<Assertion, Fault> {
+pub(crate) fn extract_assertion(env: &Envelope) -> Result<Assertion, Fault> {
     let el = UserSession::find_assertion(&env.headers).ok_or_else(|| {
         Fault::portal(
             PortalErrorKind::AuthFailed,

@@ -38,11 +38,13 @@ pub mod assertion;
 pub mod guard;
 pub mod mac;
 pub mod mutual;
+pub mod quota;
 pub mod service;
 pub mod session;
 
 pub use access::{Decision, Effect, PolicyEngine};
 pub use assertion::Assertion;
+pub use quota::{quota_guard, QuotaConfig, TenantQuotas};
 pub use service::{AuthService, AuthSoapFacade, GssSession};
 pub use session::UserSession;
 

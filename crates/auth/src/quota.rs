@@ -1,0 +1,246 @@
+//! Per-tenant admission quotas keyed off the verified assertion subject.
+//!
+//! The wire layer's bounded queues protect a host from *aggregate*
+//! overload, but they are tenant-blind: one portal user replaying a
+//! tight submit loop can starve everyone else before the queue ever
+//! fills. [`TenantQuotas`] adds the fairness half of admission control —
+//! a token bucket per assertion subject, consulted *after* the
+//! authentication guard has verified the assertion (an unverified
+//! subject must never burn another tenant's tokens).
+//!
+//! On exhaustion the guard raises [`PortalErrorKind::Busy`], which the
+//! SOAP dispatcher decorates with `Retry-After` hints, so a quota shed
+//! looks to clients exactly like a queue-full shed: typed, advisory,
+//! retryable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use portalws_soap::{Envelope, Fault, Guard, PortalErrorKind};
+
+/// Token-bucket parameters shared by every tenant.
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaConfig {
+    /// Bucket capacity: how many calls a tenant may burst before the
+    /// sustained rate applies.
+    pub burst: f64,
+    /// Sustained admission rate, in calls per second.
+    pub refill_per_sec: f64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            burst: 16.0,
+            refill_per_sec: 64.0,
+        }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// Per-tenant token buckets. Buckets are created lazily at full burst on
+/// a tenant's first call and refill continuously at the sustained rate.
+pub struct TenantQuotas {
+    config: QuotaConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TenantQuotas {
+    pub fn new(config: QuotaConfig) -> Arc<Self> {
+        Arc::new(TenantQuotas {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Spend one token for `subject`. On exhaustion returns the advisory
+    /// wait, in milliseconds, until the bucket holds a whole token again.
+    pub fn try_acquire(&self, subject: &str) -> Result<(), u64> {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(subject.to_owned()).or_insert(Bucket {
+            tokens: self.config.burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens =
+            (bucket.tokens + elapsed * self.config.refill_per_sec).min(self.config.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            return Ok(());
+        }
+        let deficit = 1.0 - bucket.tokens;
+        let wait_ms = (deficit / self.config.refill_per_sec * 1000.0).ceil() as u64;
+        Err(wait_ms.max(1))
+    }
+
+    /// Number of tenants that have been seen at least once.
+    pub fn tenants(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+/// Callback invoked on every quota shed — deployments hang the host's
+/// `WireStats::record_shed_quota` here so quota pressure shows up next
+/// to the wire-level shed counters.
+pub type ShedHook = Arc<dyn Fn() + Send + Sync>;
+
+/// Compose an authentication guard with per-tenant quotas: after `inner`
+/// accepts the caller, the verified assertion subject must hold a token.
+/// Ordering matters — quota runs second so a forged assertion cannot
+/// drain a legitimate tenant's bucket.
+pub fn quota_guard(inner: Guard, quotas: Arc<TenantQuotas>, on_shed: Option<ShedHook>) -> Guard {
+    Arc::new(move |env: &Envelope, ctx| {
+        inner(env, ctx)?;
+        let assertion = crate::guard::extract_assertion(env)?;
+        match quotas.try_acquire(&assertion.subject) {
+            Ok(()) => Ok(()),
+            Err(retry_ms) => {
+                if let Some(hook) = &on_shed {
+                    hook();
+                }
+                Err(Fault::portal(
+                    PortalErrorKind::Busy,
+                    format!(
+                        "tenant {} over admission quota on {}.{}; retry in ~{} ms",
+                        assertion.subject, ctx.service, ctx.method, retry_ms
+                    ),
+                ))
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::local_guard;
+    use crate::service::AuthService;
+    use crate::session::UserSession;
+    use portalws_gridsim::clock::SimClock;
+    use portalws_gridsim::cred::Mechanism;
+    use portalws_soap::{
+        CallContext, MethodDesc, SoapClient, SoapResult, SoapServer, SoapService, SoapType,
+        SoapValue,
+    };
+    use portalws_wire::{Handler, InMemoryTransport};
+
+    #[test]
+    fn bucket_bursts_then_sheds_then_refills() {
+        let quotas = TenantQuotas::new(QuotaConfig {
+            burst: 2.0,
+            refill_per_sec: 20.0,
+        });
+        assert!(quotas.try_acquire("alice").is_ok());
+        assert!(quotas.try_acquire("alice").is_ok());
+        let wait = quotas.try_acquire("alice").unwrap_err();
+        assert!(
+            (1..=50).contains(&wait),
+            "one token at 20/s is ~50 ms: {wait}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert!(quotas.try_acquire("alice").is_ok(), "bucket refilled");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let quotas = TenantQuotas::new(QuotaConfig {
+            burst: 1.0,
+            refill_per_sec: 0.001,
+        });
+        assert!(quotas.try_acquire("alice").is_ok());
+        assert!(quotas.try_acquire("alice").is_err(), "alice is spent");
+        assert!(
+            quotas.try_acquire("bob").is_ok(),
+            "alice's exhaustion never touches bob"
+        );
+        assert_eq!(quotas.tenants(), 2);
+    }
+
+    struct Ping;
+    impl SoapService for Ping {
+        fn name(&self) -> &str {
+            "Ping"
+        }
+        fn invoke(
+            &self,
+            _m: &str,
+            _a: &[(String, SoapValue)],
+            _c: &CallContext,
+        ) -> SoapResult<SoapValue> {
+            Ok(SoapValue::str("pong"))
+        }
+        fn methods(&self) -> Vec<MethodDesc> {
+            vec![MethodDesc::new("ping", vec![], SoapType::String, "Ping")]
+        }
+    }
+
+    #[test]
+    fn quota_guard_sheds_busy_after_burst_and_counts() {
+        let auth = AuthService::new(SimClock::new());
+        auth.register_user("alice@GCE.ORG", "pw");
+        let quotas = TenantQuotas::new(QuotaConfig {
+            burst: 3.0,
+            refill_per_sec: 0.001,
+        });
+        let sheds = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let counter = Arc::clone(&sheds);
+        let ssp = SoapServer::new();
+        ssp.mount(Arc::new(Ping));
+        ssp.set_guard(quota_guard(
+            local_guard(Arc::clone(&auth)),
+            quotas,
+            Some(Arc::new(move || {
+                counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })),
+        ));
+        let handler: Arc<dyn Handler> = Arc::new(ssp);
+        let ping = SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "Ping");
+        let gss = auth
+            .login("alice@GCE.ORG", "pw", Mechanism::Kerberos)
+            .unwrap();
+        let session = UserSession::new(gss, Arc::clone(auth.clock()));
+        ping.set_header_supplier(session.header_supplier());
+
+        for _ in 0..3 {
+            assert!(ping.call("ping", &[]).is_ok());
+        }
+        let err = ping.call("ping", &[]).unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::Busy),
+            "fourth call in the burst sheds as Busy"
+        );
+        assert_eq!(sheds.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unauthenticated_caller_cannot_burn_tokens() {
+        let auth = AuthService::new(SimClock::new());
+        let quotas = TenantQuotas::new(QuotaConfig {
+            burst: 1.0,
+            refill_per_sec: 0.001,
+        });
+        let probe = Arc::clone(&quotas);
+        let ssp = SoapServer::new();
+        ssp.mount(Arc::new(Ping));
+        ssp.set_guard(quota_guard(local_guard(auth), quotas, None));
+        let handler: Arc<dyn Handler> = Arc::new(ssp);
+        let bare = SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "Ping");
+
+        let err = bare.call("ping", &[]).unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(PortalErrorKind::AuthFailed),
+            "authn fails before quota is consulted"
+        );
+        assert_eq!(probe.tenants(), 0, "no bucket was created for the reject");
+    }
+}

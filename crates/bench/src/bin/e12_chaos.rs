@@ -32,14 +32,16 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use portalws_auth::{QuotaConfig, TenantQuotas, UserSession};
 use portalws_core::{
     ChaosPolicy, PortalDeployment, PortalShell, SecurityMode, ServerArm, TransferClient,
     TransferConfig, TransportMode, UiServer,
 };
-use portalws_soap::{ReadCache, SoapClient, SoapValue};
-use portalws_wire::ChaosClass;
+use portalws_gridsim::cred::Mechanism;
+use portalws_soap::{PortalErrorKind, ReadCache, SoapClient, SoapValue};
+use portalws_wire::{ChaosClass, ServerConfig};
 
 /// Retry budget for idempotent operations (invariant 3). Fault rates top
 /// out well under 50% per call, so the chance of exhausting this budget
@@ -462,6 +464,129 @@ fn run_schedule(
     out
 }
 
+/// What one shed-under-chaos schedule observed (E15 admission path).
+#[derive(Default)]
+struct ShedOutcome {
+    calls: u64,
+    admitted: u64,
+    /// Typed `BUSY` faults the clients observed — each one is a shed that
+    /// traversed the fault schedule whole (a torn shed cannot parse to a
+    /// typed fault).
+    busy_typed: u64,
+    /// Typed `DEADLINE_EXCEEDED` faults — pre-dispatch deadline sheds.
+    deadline_typed: u64,
+    /// Transport-level errors from injected faults on non-shed frames
+    /// (drops, delays past the pool deadline, corrupted replies). Allowed
+    /// under chaos; counted for visibility.
+    chaos_errors: u64,
+    /// Server-side shed counters summed over every host transport
+    /// (queue-full + deadline + quota).
+    server_sheds: u64,
+    violations: Vec<String>,
+}
+
+/// Wall-clock bound for one whole shed schedule: every call carries a
+/// short deadline budget, so even a fully adversarial fault schedule
+/// cannot stretch the burst past this.
+const SHED_SCHEDULE_DEADLINE_MS: u128 = 30_000;
+
+/// E15 admission control soaked under chaos: a deployment in a *tight*
+/// admission posture (2 workers, 2-deep queue, small per-tenant quotas)
+/// faces concurrent idempotent bursts from two authenticated tenants
+/// while the seeded fault schedule drops, delays, and truncates frames
+/// around it. The invariant under test is **sheds are never torn**:
+/// every shed a client observes must parse to a typed `BUSY` or
+/// `DEADLINE_EXCEEDED` fault. Family-level assertions (checked by the
+/// caller): the servers actually shed (counters > 0) and at least one
+/// typed shed reached a client intact.
+fn run_shed_schedule(seed: u64, arm: ServerArm) -> ShedOutcome {
+    let mut out = ShedOutcome::default();
+    let policy = ChaosPolicy::from_seed(seed);
+    let config = ServerConfig {
+        workers: 2,
+        queue_cap: Some(2),
+        max_connections: 64,
+        shed_retry_after_ms: 5,
+    };
+    let deployment = PortalDeployment::with_chaos_arm_tuned(
+        SecurityMode::Local,
+        TransportMode::TcpPooled,
+        policy,
+        arm,
+        config,
+    );
+    deployment.enable_tenant_quotas(TenantQuotas::new(QuotaConfig {
+        burst: 8.0,
+        refill_per_sec: 20.0,
+    }));
+
+    // Real sessions for both tenants: the quota guard keys off the
+    // *verified* assertion subject, so the burst must authenticate.
+    let mut sessions = Vec::new();
+    for (user, pass) in [("alice@GCE.ORG", "alice-pass"), ("bob@GCE.ORG", "bob-pass")] {
+        let gss = deployment
+            .auth
+            .login(user, pass, Mechanism::Kerberos)
+            .expect("tenant login");
+        sessions.push(UserSession::new(gss, Arc::clone(deployment.auth.clock())));
+    }
+
+    // Concurrent burst: 6 clients (3 per tenant) × 15 idempotent calls,
+    // each with a 250 ms deadline budget, against 2 workers and a 2-deep
+    // queue — the excess must shed, and every shed must arrive whole.
+    const BURST_CLIENTS_PER_TENANT: usize = 3;
+    const CALLS_PER_CLIENT: usize = 15;
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for session in &sessions {
+        for _ in 0..BURST_CLIENTS_PER_TENANT {
+            let client = SoapClient::new(
+                deployment.transport("grid.sdsc.edu").expect("host"),
+                "JobSubmission",
+            );
+            client.set_header_supplier(session.header_supplier());
+            client.set_call_deadline(Duration::from_millis(250));
+            client.set_idempotent_methods(&["listHosts"]);
+            handles.push(std::thread::spawn(move || {
+                let mut counts = (0u64, 0u64, 0u64, 0u64); // admitted, busy, deadline, chaos
+                for _ in 0..CALLS_PER_CLIENT {
+                    match client.call("listHosts", &[]) {
+                        Ok(_) => counts.0 += 1,
+                        Err(e) => match e.as_fault().and_then(|f| f.kind()) {
+                            Some(PortalErrorKind::Busy) => counts.1 += 1,
+                            Some(PortalErrorKind::DeadlineExceeded) => counts.2 += 1,
+                            _ => counts.3 += 1,
+                        },
+                    }
+                }
+                counts
+            }));
+        }
+    }
+    for handle in handles {
+        let (admitted, busy, deadline, chaos) = handle.join().expect("burst client");
+        out.calls += admitted + busy + deadline + chaos;
+        out.admitted += admitted;
+        out.busy_typed += busy;
+        out.deadline_typed += deadline;
+        out.chaos_errors += chaos;
+    }
+    let elapsed = t0.elapsed().as_millis();
+    if elapsed > SHED_SCHEDULE_DEADLINE_MS {
+        out.violations.push(format!(
+            "shed burst: took {elapsed} ms (> {SHED_SCHEDULE_DEADLINE_MS} ms) (seed {seed:#x})"
+        ));
+    }
+
+    for host in deployment.hosts() {
+        if let Some(stats) = deployment.server_wire_stats(&host) {
+            let snap = stats.snapshot();
+            out.server_sheds += snap.shed_queue_full + snap.shed_deadline + snap.shed_quota;
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -551,6 +676,57 @@ fn main() {
         };
         run(seed, SecurityMode::Open, TransportMode::TcpPooled, arm);
     }
+
+    // --- E15 admission path under the same chaos classes -----------------
+    // Tight admission bounds force sheds while faults land around them;
+    // both arms soak. Family gates: the servers really shed, and typed
+    // sheds reached clients whole (a torn shed cannot parse to one).
+    let shed_schedules = if quick { 2u64 } else { 4u64 };
+    let mut shed_total = ShedOutcome::default();
+    for i in 0..shed_schedules {
+        let seed = base_seed.wrapping_add(0x20_0000 + i);
+        let arm = if i % 2 == 0 {
+            ServerArm::Blocking
+        } else {
+            ServerArm::Reactor
+        };
+        schedules += 1;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_shed_schedule(seed, arm)
+        })) {
+            Ok(out) => {
+                if !out.violations.is_empty() {
+                    violating.push(seed);
+                    for v in &out.violations {
+                        eprintln!("  seed {seed:#x} [shed/{arm:?}]: {v}");
+                    }
+                }
+                shed_total.calls += out.calls;
+                shed_total.admitted += out.admitted;
+                shed_total.busy_typed += out.busy_typed;
+                shed_total.deadline_typed += out.deadline_typed;
+                shed_total.chaos_errors += out.chaos_errors;
+                shed_total.server_sheds += out.server_sheds;
+                shed_total.violations.extend(out.violations);
+            }
+            Err(_) => {
+                panicked.push(seed);
+                eprintln!("  seed {seed:#x} [shed/{arm:?}]: PANIC");
+            }
+        }
+    }
+    let mut shed_family_failures: Vec<String> = Vec::new();
+    if shed_total.server_sheds == 0 {
+        shed_family_failures.push(
+            "shed-under-chaos family: servers never shed — admission control never engaged"
+                .to_string(),
+        );
+    }
+    if shed_total.busy_typed + shed_total.deadline_typed == 0 {
+        shed_family_failures
+            .push("shed-under-chaos family: no typed shed reached any client intact".to_string());
+    }
+
     let elapsed = t0.elapsed().as_secs_f64();
 
     println!("\n  schedules: {schedules} in {elapsed:.1}s");
@@ -584,6 +760,15 @@ fn main() {
     for (i, class) in ChaosClass::ALL.iter().enumerate() {
         println!("    {:<18} {}", class.name(), total.chaos[i]);
     }
+    println!(
+        "  shed-under-chaos: {} calls — {} admitted, {} typed busy, {} typed deadline, {} chaos errors; {} server-side sheds",
+        shed_total.calls,
+        shed_total.admitted,
+        shed_total.busy_typed,
+        shed_total.deadline_typed,
+        shed_total.chaos_errors,
+        shed_total.server_sheds
+    );
 
     if let Some(path) = json_path {
         let mut doc = String::new();
@@ -645,19 +830,44 @@ fn main() {
             ));
         }
         doc.push_str("  },\n");
+        doc.push_str(&format!("  \"shed_calls\": {},\n", shed_total.calls));
+        doc.push_str(&format!("  \"shed_admitted\": {},\n", shed_total.admitted));
+        doc.push_str(&format!(
+            "  \"shed_busy_typed\": {},\n",
+            shed_total.busy_typed
+        ));
+        doc.push_str(&format!(
+            "  \"shed_deadline_typed\": {},\n",
+            shed_total.deadline_typed
+        ));
+        doc.push_str(&format!(
+            "  \"shed_chaos_errors\": {},\n",
+            shed_total.chaos_errors
+        ));
+        doc.push_str(&format!(
+            "  \"shed_server_sheds\": {},\n",
+            shed_total.server_sheds
+        ));
         doc.push_str(&format!("  \"panics\": {},\n", panicked.len()));
-        doc.push_str(&format!("  \"violations\": {}\n", total.violations.len()));
+        doc.push_str(&format!(
+            "  \"violations\": {}\n",
+            total.violations.len() + shed_total.violations.len() + shed_family_failures.len()
+        ));
         doc.push_str("}\n");
         std::fs::write(&path, doc).expect("write json");
         println!("\nwrote {path}");
     }
 
-    if !panicked.is_empty() || !violating.is_empty() {
+    if !panicked.is_empty() || !violating.is_empty() || !shed_family_failures.is_empty() {
         eprintln!(
-            "\nFAIL: {} panicking, {} violating schedules",
+            "\nFAIL: {} panicking, {} violating schedules, {} family-gate failures",
             panicked.len(),
-            violating.len()
+            violating.len(),
+            shed_family_failures.len()
         );
+        for f in &shed_family_failures {
+            eprintln!("  {f}");
+        }
         for seed in panicked.iter().chain(violating.iter()) {
             eprintln!("  replay with: e12_chaos --seed {seed} (schedule seed {seed:#x})");
         }

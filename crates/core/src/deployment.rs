@@ -37,7 +37,7 @@ use portalws_soap::{SoapClient, SoapServer, SoapService};
 use portalws_wire::{
     derive_seed, ChaosConfig, ChaosTransport, Handler, HttpServer, HttpTransport,
     InMemoryTransport, Pool, PoolConfig, PooledTransport, Router, SeededServerChaos,
-    ServerChaosConfig, ServerHandle, Transport,
+    ServerChaosConfig, ServerConfig, ServerHandle, Transport,
 };
 use portalws_wsdl::handler::WsdlHandler;
 use portalws_wsdl::WsdlDefinition;
@@ -203,6 +203,10 @@ pub struct PortalDeployment {
     /// Per-host server-side wire counters (TCP modes only) — this is
     /// where server-injected chaos (drops, truncations, delays) lands.
     server_stats: HashMap<String, Arc<portalws_wire::WireStats>>,
+    /// Access policy composed into the guards, if installed.
+    policy: parking_lot::RwLock<Option<Arc<portalws_auth::PolicyEngine>>>,
+    /// Per-tenant admission quotas composed into the guards, if enabled.
+    quotas: parking_lot::RwLock<Option<Arc<portalws_auth::TenantQuotas>>>,
     security: SecurityMode,
     mode: TransportMode,
     arm: ServerArm,
@@ -240,6 +244,18 @@ impl PortalDeployment {
         Self::build_with_chaos_arm(security, TransportMode::TcpPooled, None, ServerArm::Reactor)
     }
 
+    /// Pooled TCP deployment with explicit admission-control tuning:
+    /// every logical host serves under `config` (bounded queues, shed
+    /// retry hints, connection caps) on the chosen server `arm`. This is
+    /// the production posture E15 loads to the knee and beyond.
+    pub fn over_tcp_pooled_tuned(
+        security: SecurityMode,
+        arm: ServerArm,
+        config: ServerConfig,
+    ) -> Arc<PortalDeployment> {
+        Self::build_inner(security, TransportMode::TcpPooled, None, arm, Some(config))
+    }
+
     /// Stand the testbed up under a deterministic fault schedule: every
     /// client transport is wrapped in a [`ChaosTransport`] and (in TCP
     /// modes) every server gets a seeded response hook. The full Fig. 4
@@ -264,6 +280,19 @@ impl PortalDeployment {
         Self::build_with_chaos_arm(security, mode, Some(policy), arm)
     }
 
+    /// Chaos plus explicit admission bounds: the E12 shed-under-chaos
+    /// schedules run overloaded, fault-injected deployments and assert
+    /// that shed replies still arrive typed and whole.
+    pub fn with_chaos_arm_tuned(
+        security: SecurityMode,
+        mode: TransportMode,
+        policy: ChaosPolicy,
+        arm: ServerArm,
+        config: ServerConfig,
+    ) -> Arc<PortalDeployment> {
+        Self::build_inner(security, mode, Some(policy), arm, Some(config))
+    }
+
     fn build(security: SecurityMode, mode: TransportMode) -> Arc<PortalDeployment> {
         Self::build_with_chaos_arm(security, mode, None, ServerArm::Blocking)
     }
@@ -273,6 +302,16 @@ impl PortalDeployment {
         mode: TransportMode,
         chaos: Option<ChaosPolicy>,
         arm: ServerArm,
+    ) -> Arc<PortalDeployment> {
+        Self::build_inner(security, mode, chaos, arm, None)
+    }
+
+    fn build_inner(
+        security: SecurityMode,
+        mode: TransportMode,
+        chaos: Option<ChaosPolicy>,
+        arm: ServerArm,
+        tuning: Option<ServerConfig>,
     ) -> Arc<PortalDeployment> {
         let clock = SimClock::new();
         let grid = Grid::with_clock(Arc::clone(&clock));
@@ -404,15 +443,18 @@ impl PortalDeployment {
                             policy.server,
                         )) as Arc<dyn portalws_wire::ServerChaos>
                     });
+                    let config = tuning.unwrap_or_default();
                     let handle = match (arm, server_chaos) {
                         (ServerArm::Blocking, Some(hook)) => {
-                            HttpServer::start_chaotic(handler, 2, hook)
+                            HttpServer::start_tuned_chaotic(handler, config, hook)
                         }
-                        (ServerArm::Blocking, None) => HttpServer::start(handler, 2),
+                        (ServerArm::Blocking, None) => HttpServer::start_tuned(handler, config),
                         (ServerArm::Reactor, Some(hook)) => {
-                            HttpServer::start_reactor_chaotic(handler, 2, hook)
+                            HttpServer::start_reactor_tuned_chaotic(handler, config, hook)
                         }
-                        (ServerArm::Reactor, None) => HttpServer::start_reactor(handler, 2),
+                        (ServerArm::Reactor, None) => {
+                            HttpServer::start_reactor_tuned(handler, config)
+                        }
                     }
                     .expect("bind localhost");
                     let inner: Arc<dyn Transport> = match mode {
@@ -463,12 +505,14 @@ impl PortalDeployment {
             soap_servers,
             _tcp_servers: tcp_servers,
             server_stats,
+            policy: parking_lot::RwLock::new(None),
+            quotas: parking_lot::RwLock::new(None),
             security,
             mode,
             arm,
             chaos,
         };
-        deployment.apply_guards(None);
+        deployment.apply_guards();
         deployment.populate_registries();
         Arc::new(deployment)
     }
@@ -523,30 +567,40 @@ impl PortalDeployment {
         }
     }
 
-    /// (Re)apply guards to every protected SSP, optionally composing an
-    /// Akenti-style access policy on top of authentication.
-    fn apply_guards(&self, policy: Option<Arc<portalws_auth::PolicyEngine>>) {
-        if self.security == SecurityMode::Open && policy.is_none() {
+    /// (Re)apply guards to every protected SSP, composing whatever is
+    /// installed on top of authentication: an Akenti-style access policy,
+    /// then per-tenant admission quotas (outermost, so a quota shed only
+    /// ever charges verified, authorized callers).
+    fn apply_guards(&self) {
+        let policy = self.policy.read().clone();
+        let quotas = self.quotas.read().clone();
+        if self.security == SecurityMode::Open && policy.is_none() && quotas.is_none() {
             return;
         }
         for (host, server) in &self.soap_servers {
             if !Self::is_protected_host(host) {
                 continue;
             }
-            let base = self.authn_guard();
-            let g = match &policy {
-                // Policies require a verified subject, so Open mode keeps
-                // its authn-less base only when no policy is installed.
-                Some(policy) => {
-                    let base = if self.security == SecurityMode::Open {
-                        guard::local_guard(Arc::clone(&self.auth))
-                    } else {
-                        base
-                    };
-                    guard::authorized(base, Arc::clone(policy))
-                }
-                None => base,
+            // Policies and quotas require a verified subject, so Open
+            // mode keeps its authn-less base only when neither is
+            // installed.
+            let mut g = if self.security == SecurityMode::Open {
+                guard::local_guard(Arc::clone(&self.auth))
+            } else {
+                self.authn_guard()
             };
+            if let Some(policy) = &policy {
+                g = guard::authorized(g, Arc::clone(policy));
+            }
+            if let Some(quotas) = &quotas {
+                // Quota sheds land on the host's wire counters (TCP
+                // modes), next to the queue-full and deadline sheds.
+                let on_shed = self.server_stats.get(host).map(|stats| {
+                    let stats = Arc::clone(stats);
+                    Arc::new(move || stats.record_shed_quota()) as portalws_auth::quota::ShedHook
+                });
+                g = portalws_auth::quota_guard(g, Arc::clone(quotas), on_shed);
+            }
             server.set_guard(g);
         }
     }
@@ -555,7 +609,18 @@ impl PortalDeployment {
     /// further-work item). Callers must already be authenticated; the
     /// policy decides per `(principal, service, method)`.
     pub fn install_access_policy(&self, policy: Arc<portalws_auth::PolicyEngine>) {
-        self.apply_guards(Some(policy));
+        *self.policy.write() = Some(policy);
+        self.apply_guards();
+    }
+
+    /// Enable per-tenant admission quotas on every protected SSP: after
+    /// authentication (and any access policy), the verified assertion
+    /// subject must hold a token or the call sheds as a `Busy` fault with
+    /// `Retry-After` hints. Sheds are counted on the host's wire stats as
+    /// `shed_quota` in TCP modes.
+    pub fn enable_tenant_quotas(&self, quotas: Arc<portalws_auth::TenantQuotas>) {
+        *self.quotas.write() = Some(quotas);
+        self.apply_guards();
     }
 
     /// The host principal a server authenticates itself as under mutual
@@ -899,6 +964,64 @@ mod tests {
         let server = d.server_wire_stats("grid.sdsc.edu").unwrap().snapshot();
         assert_eq!(server.requests, 4);
         assert!(server.connections_high_water >= 1, "{server:?}");
+    }
+
+    #[test]
+    fn tuned_deployment_serves_on_both_arms() {
+        // The production posture: explicit admission bounds on every
+        // host. Under nominal load nothing sheds and both arms serve the
+        // full topology normally.
+        let config = ServerConfig {
+            workers: 2,
+            queue_cap: Some(64),
+            max_connections: 128,
+            shed_retry_after_ms: 25,
+        };
+        for arm in [ServerArm::Blocking, ServerArm::Reactor] {
+            let d = PortalDeployment::over_tcp_pooled_tuned(SecurityMode::Open, arm, config);
+            assert_eq!(d.server_arm(), arm);
+            let client = SoapClient::new(d.transport("grid.sdsc.edu").unwrap(), "JobSubmission");
+            for _ in 0..3 {
+                let hosts = client.call("listHosts", &[]).unwrap();
+                assert_eq!(hosts.as_array().unwrap().len(), 2);
+            }
+            let stats = d.server_wire_stats("grid.sdsc.edu").unwrap().snapshot();
+            assert_eq!(stats.requests, 3);
+            assert_eq!(stats.shed_queue_full, 0, "nominal load never sheds");
+        }
+    }
+
+    #[test]
+    fn tenant_quotas_shed_busy_and_count_on_server_stats() {
+        let d = PortalDeployment::over_tcp_pooled(SecurityMode::Local);
+        d.enable_tenant_quotas(portalws_auth::TenantQuotas::new(
+            portalws_auth::QuotaConfig {
+                burst: 2.0,
+                refill_per_sec: 0.001,
+            },
+        ));
+        let ui = crate::ui::UiServer::new(Arc::clone(&d));
+        ui.login("alice@GCE.ORG", "alice-pass").unwrap();
+        let client = ui.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+        for _ in 0..2 {
+            client.call("listHosts", &[]).unwrap();
+        }
+        let err = client.call("listHosts", &[]).unwrap_err();
+        assert_eq!(
+            err.as_fault().and_then(|f| f.kind()),
+            Some(portalws_soap::PortalErrorKind::Busy),
+            "third call in the burst sheds as Busy"
+        );
+        let stats = d.server_wire_stats("grid.sdsc.edu").unwrap().snapshot();
+        assert_eq!(
+            stats.shed_quota, 1,
+            "quota shed lands on the host's counters"
+        );
+        // A fresh tenant is untouched by alice's exhaustion.
+        let ui2 = crate::ui::UiServer::new(Arc::clone(&d));
+        ui2.login("bob@GCE.ORG", "bob-pass").unwrap();
+        let bob = ui2.proxy("grid.sdsc.edu", "JobSubmission").unwrap();
+        assert!(bob.call("listHosts", &[]).is_ok());
     }
 
     #[test]

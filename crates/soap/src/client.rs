@@ -262,8 +262,30 @@ impl SoapClient {
         if self.idempotent_methods.read().contains(envelope.method()) {
             req = req.with_header(IDEMPOTENT_HEADER, "true");
         }
-        if let Some(budget) = *self.call_deadline.read() {
-            req = req.with_header(DEADLINE_HEADER, budget.as_millis().to_string());
+        // Effective budget: the tighter of this client's configured
+        // per-call deadline and any budget inherited from an enclosing
+        // dispatch (see [`crate::deadline`]). A spent inherited budget
+        // fails fast — no wire call can possibly complete in time.
+        let inherited = crate::deadline::remaining();
+        if inherited == Some(Duration::ZERO) {
+            return Err(SoapError::Fault(Fault::portal(
+                crate::fault::PortalErrorKind::DeadlineExceeded,
+                format!(
+                    "deadline budget spent before calling {}.{}",
+                    self.service,
+                    envelope.method()
+                ),
+            )));
+        }
+        let explicit = *self.call_deadline.read();
+        let budget = match (explicit, inherited) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(budget) = budget {
+            // Round up to a whole millisecond so a nonzero budget never
+            // serializes as an already-expired "0".
+            req = req.with_header(DEADLINE_HEADER, budget.as_millis().max(1).to_string());
         }
         let resp = self.transport.round_trip(req)?;
         let reply = Envelope::parse(&resp.body_str())
@@ -473,6 +495,72 @@ mod tests {
             (false, Some("1500".into())),
             "add is not marked idempotent"
         );
+    }
+
+    #[test]
+    fn inherited_budget_tightens_the_deadline_header() {
+        use parking_lot::Mutex;
+        use portalws_wire::DEADLINE_HEADER;
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let inner: Arc<dyn Handler> = Arc::new(soap);
+        let seen: Arc<Mutex<Vec<Option<u64>>>> = Arc::new(Mutex::new(Vec::new()));
+        let observer = Arc::clone(&seen);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            observer.lock().push(
+                req.header(DEADLINE_HEADER)
+                    .and_then(|v| v.parse::<u64>().ok()),
+            );
+            inner.handle(req)
+        });
+        let client = SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "Calc");
+        client.set_call_deadline(std::time::Duration::from_millis(1500));
+
+        // Enclosing budget tighter than the configured deadline wins.
+        {
+            let _scope = crate::deadline::install(std::time::Duration::from_millis(100));
+            client.call("echo", &[SoapValue::str("x")]).unwrap();
+        }
+        // Looser enclosing budget leaves the configured deadline alone.
+        {
+            let _scope = crate::deadline::install(std::time::Duration::from_secs(60));
+            client.call("echo", &[SoapValue::str("x")]).unwrap();
+        }
+        // No configured deadline: the inherited budget still rides alone.
+        let bare = in_memory_client();
+        {
+            let _scope = crate::deadline::install(std::time::Duration::from_millis(250));
+            bare.call("echo", &[SoapValue::str("x")]).unwrap();
+        }
+
+        let seen = seen.lock();
+        let tightened = seen[0].expect("deadline header present");
+        assert!(
+            tightened > 0 && tightened <= 100,
+            "inherited 100 ms budget capped the header, got {tightened}"
+        );
+        assert_eq!(seen[1], Some(1500), "60 s inherited budget did not loosen");
+    }
+
+    #[test]
+    fn spent_inherited_budget_fails_fast_without_a_wire_call() {
+        use parking_lot::Mutex;
+        let soap = SoapServer::new();
+        soap.mount(Arc::new(Calculator));
+        let inner: Arc<dyn Handler> = Arc::new(soap);
+        let calls = Arc::new(Mutex::new(0u32));
+        let observer = Arc::clone(&calls);
+        let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
+            *observer.lock() += 1;
+            inner.handle(req)
+        });
+        let client = SoapClient::new(Arc::new(InMemoryTransport::new(handler)), "Calc");
+
+        let _scope = crate::deadline::install(std::time::Duration::ZERO);
+        let err = client.call("echo", &[SoapValue::str("x")]).unwrap_err();
+        let fault = err.as_fault().expect("typed fault");
+        assert_eq!(fault.kind(), Some(PortalErrorKind::DeadlineExceeded));
+        assert_eq!(*calls.lock(), 0, "no wire call once the budget is spent");
     }
 
     #[test]

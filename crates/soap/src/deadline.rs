@@ -1,0 +1,102 @@
+//! Thread-local end-to-end deadline budget.
+//!
+//! The wire layer's `X-Deadline-Ms` header carries a duration budget with
+//! each request, and both server arms rewrite it to the *remaining*
+//! budget before dispatch. This module is the in-process half of that
+//! contract: the SOAP dispatcher installs the remaining budget around a
+//! handler invocation, and every [`crate::SoapClient`] call made from
+//! inside the handler (fan-out to downstream services) inherits it
+//! automatically — no plumbing through service signatures.
+//!
+//! The budget is a plain thread-local because both server arms dispatch
+//! handlers synchronously on the serving thread; an installed scope never
+//! outlives its dispatch. Nested installs (a service calling back into a
+//! local dispatcher) keep the tighter budget.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Expiry instant of the innermost installed budget, if any.
+    static EXPIRES_AT: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// RAII scope for an installed budget: restores the previous budget (or
+/// none) when dropped, so nested dispatches unwind correctly.
+pub struct BudgetScope {
+    previous: Option<Instant>,
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        EXPIRES_AT.with(|slot| slot.set(self.previous));
+    }
+}
+
+/// Install `budget` as the current thread's deadline for the duration of
+/// the returned scope. A nested install never *loosens* the budget: the
+/// effective expiry is the minimum of the new and any enclosing one.
+pub fn install(budget: Duration) -> BudgetScope {
+    let expires = Instant::now() + budget;
+    EXPIRES_AT.with(|slot| {
+        let previous = slot.get();
+        let effective = match previous {
+            Some(outer) => outer.min(expires),
+            None => expires,
+        };
+        slot.set(Some(effective));
+        BudgetScope { previous }
+    })
+}
+
+/// Remaining budget on this thread: `None` when no budget is installed,
+/// `Some(Duration::ZERO)` when one is installed but already spent.
+pub fn remaining() -> Option<Duration> {
+    EXPIRES_AT.with(|slot| {
+        slot.get()
+            .map(|expires| expires.saturating_duration_since(Instant::now()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_by_default() {
+        assert_eq!(remaining(), None);
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        {
+            let _scope = install(Duration::from_secs(10));
+            let left = remaining().expect("budget installed");
+            assert!(left > Duration::from_secs(9));
+        }
+        assert_eq!(remaining(), None, "scope drop restores no-budget");
+    }
+
+    #[test]
+    fn nested_scope_keeps_the_tighter_budget() {
+        let _outer = install(Duration::from_millis(50));
+        {
+            // An inner install with a looser budget must not extend the
+            // outer deadline.
+            let _inner = install(Duration::from_secs(60));
+            assert!(remaining().unwrap() <= Duration::from_millis(50));
+        }
+        // A tighter inner budget applies, then unwinds to the outer one.
+        {
+            let _inner = install(Duration::from_millis(1));
+            assert!(remaining().unwrap() <= Duration::from_millis(1));
+        }
+        assert!(remaining().unwrap() <= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn spent_budget_reads_zero_not_none() {
+        let _scope = install(Duration::ZERO);
+        assert_eq!(remaining(), Some(Duration::ZERO));
+    }
+}

@@ -75,6 +75,10 @@ pub enum PortalErrorKind {
     /// The service is at a declared capacity limit (e.g. the transfer
     /// handle table or its buffered-byte budget is full); retry later.
     Busy,
+    /// The call's end-to-end deadline budget was already spent when the
+    /// request reached the service; retrying cannot help, the caller must
+    /// start over with a fresh budget.
+    DeadlineExceeded,
     /// Anything else; carries only its message.
     Internal,
 }
@@ -93,6 +97,7 @@ impl PortalErrorKind {
             PortalErrorKind::NotFound => "NOT_FOUND",
             PortalErrorKind::BadArguments => "BAD_ARGUMENTS",
             PortalErrorKind::Busy => "BUSY",
+            PortalErrorKind::DeadlineExceeded => "DEADLINE_EXCEEDED",
             PortalErrorKind::Internal => "INTERNAL",
         }
     }
@@ -111,6 +116,7 @@ impl PortalErrorKind {
             "NOT_FOUND" => PortalErrorKind::NotFound,
             "BAD_ARGUMENTS" => PortalErrorKind::BadArguments,
             "BUSY" => PortalErrorKind::Busy,
+            "DEADLINE_EXCEEDED" => PortalErrorKind::DeadlineExceeded,
             _ => PortalErrorKind::Internal,
         }
     }
@@ -195,7 +201,9 @@ impl Fault {
     pub fn portal(kind: PortalErrorKind, msg: impl Into<String>) -> Fault {
         let message = msg.into();
         let code = match kind {
-            PortalErrorKind::BadArguments | PortalErrorKind::AuthFailed => FaultCode::Client,
+            PortalErrorKind::BadArguments
+            | PortalErrorKind::AuthFailed
+            | PortalErrorKind::DeadlineExceeded => FaultCode::Client,
             _ => FaultCode::Server,
         };
         Fault {
@@ -334,6 +342,7 @@ mod tests {
             PortalErrorKind::NotFound,
             PortalErrorKind::BadArguments,
             PortalErrorKind::Busy,
+            PortalErrorKind::DeadlineExceeded,
             PortalErrorKind::Internal,
         ] {
             assert_eq!(PortalErrorKind::from_code(kind.code()), kind);

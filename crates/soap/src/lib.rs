@@ -21,6 +21,7 @@
 pub mod base64;
 pub mod cache;
 pub mod client;
+pub mod deadline;
 pub mod envelope;
 pub mod fault;
 pub(crate) mod scratch;

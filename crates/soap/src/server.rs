@@ -15,7 +15,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use portalws_wire::{Handler, Request, Response, Status};
+use portalws_wire::{
+    Handler, Request, Response, Status, DEADLINE_HEADER, RETRY_AFTER_HEADER, RETRY_AFTER_MS_HEADER,
+};
 use portalws_xml::Element;
 
 use crate::envelope::Envelope;
@@ -216,11 +218,23 @@ impl SoapServer {
     }
 }
 
+/// Retry hint stamped on replies carrying a [`PortalErrorKind::Busy`]
+/// fault raised *inside* a service (quota exhaustion, capacity limits) —
+/// the application-level counterpart of the wire layer's queue-full shed.
+const BUSY_RETRY_AFTER_MS: u64 = 50;
+
 impl Handler for SoapServer {
     fn handle(&self, req: &Request) -> Response {
         if req.method != "POST" {
             return Response::error(Status::BadRequest, "SOAP endpoint expects POST");
         }
+        // Install the request's remaining deadline budget (the server arm
+        // already rewrote the header to what is left) around dispatch, so
+        // downstream SoapClient calls made by the handler inherit it.
+        let _budget = req
+            .header(DEADLINE_HEADER)
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(|ms| crate::deadline::install(std::time::Duration::from_millis(ms)));
         // Path shape: /soap/<ServiceName>[...]
         let service_name = req
             .path_only()
@@ -243,7 +257,21 @@ impl Handler for SoapServer {
         } else {
             Status::Ok
         };
-        xml_response(status, &reply)
+        let mut resp = xml_response(status, &reply);
+        // Application-level sheds advise like wire-level ones: a Busy
+        // fault carries retry hints so deadline-aware clients back off
+        // instead of hammering an at-capacity service.
+        if let Some(fault) = reply.as_fault() {
+            if fault.kind() == Some(crate::fault::PortalErrorKind::Busy) {
+                resp = resp
+                    .with_header(
+                        RETRY_AFTER_HEADER,
+                        BUSY_RETRY_AFTER_MS.div_ceil(1000).max(1).to_string(),
+                    )
+                    .with_header(RETRY_AFTER_MS_HEADER, BUSY_RETRY_AFTER_MS.to_string());
+            }
+        }
+        resp
     }
 }
 
@@ -464,5 +492,97 @@ mod tests {
         let env = Envelope::request("Calc", "add", &[SoapValue::Int(1), SoapValue::Int(2)]);
         let reply = server().dispatch("Calc", &env);
         assert!(reply.header(GENERATION_HEADER).is_none());
+    }
+
+    /// Service that reports the thread-local deadline budget it sees at
+    /// invoke time, in whole milliseconds (-1 when none is installed).
+    struct BudgetProbe;
+
+    impl SoapService for BudgetProbe {
+        fn name(&self) -> &str {
+            "Probe"
+        }
+        fn invoke(
+            &self,
+            _method: &str,
+            _args: &[(String, SoapValue)],
+            _ctx: &CallContext,
+        ) -> SoapResult<SoapValue> {
+            let ms = match crate::deadline::remaining() {
+                Some(left) => left.as_millis() as i64,
+                None => -1,
+            };
+            Ok(SoapValue::Int(ms))
+        }
+        fn methods(&self) -> Vec<MethodDesc> {
+            vec![MethodDesc::new(
+                "probe",
+                vec![],
+                SoapType::Int,
+                "Report remaining budget in ms",
+            )]
+        }
+    }
+
+    #[test]
+    fn deadline_header_installs_budget_around_dispatch() {
+        let srv = SoapServer::new();
+        srv.mount(Arc::new(BudgetProbe));
+        let env = Envelope::request("Probe", "probe", &[]);
+        let req = Request::post(endpoint_path("Probe"), env.to_xml())
+            .with_header(DEADLINE_HEADER, "2000");
+        let resp = srv.handle(&req);
+        assert_eq!(resp.status, Status::Ok);
+        let reply = Envelope::parse(&resp.body_str()).unwrap();
+        let seen = reply.return_value().unwrap().as_i64().unwrap();
+        assert!(
+            seen > 0 && seen <= 2000,
+            "handler saw the installed budget, got {seen} ms"
+        );
+        // The scope unwinds with the dispatch: no budget leaks to the
+        // next request on this thread.
+        let bare = srv.handle(&Request::post(endpoint_path("Probe"), env.to_xml()));
+        let reply = Envelope::parse(&bare.body_str()).unwrap();
+        assert_eq!(reply.return_value().unwrap(), SoapValue::Int(-1));
+    }
+
+    /// Service that always reports itself at capacity.
+    struct AlwaysBusy;
+
+    impl SoapService for AlwaysBusy {
+        fn name(&self) -> &str {
+            "Busy"
+        }
+        fn invoke(
+            &self,
+            _method: &str,
+            _args: &[(String, SoapValue)],
+            _ctx: &CallContext,
+        ) -> SoapResult<SoapValue> {
+            Err(Fault::portal(PortalErrorKind::Busy, "tenant quota spent"))
+        }
+        fn methods(&self) -> Vec<MethodDesc> {
+            vec![MethodDesc::new("go", vec![], SoapType::Int, "Always busy")]
+        }
+    }
+
+    #[test]
+    fn busy_fault_reply_carries_retry_hints() {
+        let srv = SoapServer::new();
+        srv.mount(Arc::new(AlwaysBusy));
+        let env = Envelope::request("Busy", "go", &[]);
+        let resp = srv.handle(&Request::post(endpoint_path("Busy"), env.to_xml()));
+        assert_eq!(resp.status, Status::InternalError, "faults ride on 500");
+        assert_eq!(resp.header(RETRY_AFTER_HEADER), Some("1"));
+        assert_eq!(
+            resp.header(RETRY_AFTER_MS_HEADER),
+            Some(BUSY_RETRY_AFTER_MS.to_string().as_str())
+        );
+        // Non-Busy faults advise nothing: retrying cannot help them.
+        let srv = server();
+        let env = Envelope::request("Calc", "nosuch", &[]);
+        let resp = srv.handle(&Request::post(endpoint_path("Calc"), env.to_xml()));
+        assert!(resp.header(RETRY_AFTER_HEADER).is_none());
+        assert!(resp.header(RETRY_AFTER_MS_HEADER).is_none());
     }
 }

@@ -22,6 +22,9 @@ pub enum Status {
     Unauthorized,
     /// 500 — also used for SOAP faults, per SOAP-over-HTTP convention.
     InternalError,
+    /// 503 — load shed: the server refused the request at an admission
+    /// boundary (queue full, deadline spent) without running its handler.
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -33,6 +36,7 @@ impl Status {
             Status::Unauthorized => 401,
             Status::NotFound => 404,
             Status::InternalError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -44,6 +48,7 @@ impl Status {
             Status::Unauthorized => "Unauthorized",
             Status::NotFound => "Not Found",
             Status::InternalError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 
@@ -54,10 +59,19 @@ impl Status {
             400 => Status::BadRequest,
             401 => Status::Unauthorized,
             404 => Status::NotFound,
+            503 => Status::ServiceUnavailable,
             _ => Status::InternalError,
         }
     }
 }
+
+/// Standard HTTP header a shed response carries: whole seconds the client
+/// should wait before retrying (always ≥ 1, rounded up).
+pub const RETRY_AFTER_HEADER: &str = "Retry-After";
+
+/// Millisecond-precision companion to [`RETRY_AFTER_HEADER`]; clients
+/// prefer it when present so sub-second shed hints survive the round trip.
+pub const RETRY_AFTER_MS_HEADER: &str = "X-Retry-After-Ms";
 
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -492,15 +506,7 @@ impl Response {
     /// dependency runs the other way), so the envelope is assembled
     /// inline; it parses as a client fault through `soap::Envelope`.
     pub fn bad_request_fault(detail: &str) -> Response {
-        let mut msg = String::with_capacity(detail.len());
-        for c in detail.chars() {
-            match c {
-                '&' => msg.push_str("&amp;"),
-                '<' => msg.push_str("&lt;"),
-                '>' => msg.push_str("&gt;"),
-                _ => msg.push(c),
-            }
-        }
+        let msg = xml_escape_text(detail);
         let body = format!(
             "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\
              <SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\">\
@@ -518,6 +524,73 @@ impl Response {
             body: body.into_bytes(),
         }
     }
+
+    /// A `503 Service Unavailable` load-shed fault: the server refused the
+    /// request at an admission boundary (accept/request queue full)
+    /// without dispatching it. Carries both [`RETRY_AFTER_HEADER`] (whole
+    /// seconds, HTTP-standard) and [`RETRY_AFTER_MS_HEADER`] (exact), and
+    /// a SOAP fault envelope whose `<detail><portalError>` carries code
+    /// `BUSY`, so `soap::Envelope::parse(...).as_fault()` yields the typed
+    /// kind. Keep-alive is preserved: shedding defends capacity, and
+    /// tearing down the connection would only force a redial on retry.
+    pub fn shed_fault(detail: &str, retry_after_ms: u64) -> Response {
+        Response::admission_fault("BUSY", "server at capacity", detail, retry_after_ms)
+    }
+
+    /// A `503` deadline-admission fault: the request's `X-Deadline-Ms`
+    /// budget was already spent when the server got to it, so the handler
+    /// never ran. Carries portal error code `DEADLINE_EXCEEDED` and no
+    /// retry hint headers — the budget is gone; retrying is the caller's
+    /// decision, not a pacing problem.
+    pub fn deadline_fault(detail: &str) -> Response {
+        Response::admission_fault("DEADLINE_EXCEEDED", "deadline budget spent", detail, 0)
+    }
+
+    /// Shared body builder for the admission faults. `retry_after_ms == 0`
+    /// means "no retry hint" (the deadline case).
+    fn admission_fault(code: &str, summary: &str, detail: &str, retry_after_ms: u64) -> Response {
+        let msg = xml_escape_text(detail);
+        let body = format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\
+             <SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\">\
+             <SOAP-ENV:Body><SOAP-ENV:Fault>\
+             <faultcode>SOAP-ENV:Server</faultcode>\
+             <faultstring>{summary}: {msg}</faultstring>\
+             <detail><portalError><code>{code}</code>\
+             <message>{summary}: {msg}</message></portalError></detail>\
+             </SOAP-ENV:Fault></SOAP-ENV:Body></SOAP-ENV:Envelope>"
+        );
+        let mut resp = Response {
+            status: Status::ServiceUnavailable,
+            headers: vec![("Content-Type".into(), "text/xml; charset=utf-8".into())],
+            body: body.into_bytes(),
+        };
+        if retry_after_ms > 0 {
+            resp = resp
+                .with_header(
+                    RETRY_AFTER_HEADER,
+                    retry_after_ms.div_ceil(1000).to_string(),
+                )
+                .with_header(RETRY_AFTER_MS_HEADER, retry_after_ms.to_string());
+        }
+        resp
+    }
+}
+
+/// Minimal XML text escaping for the inline fault bodies — these are cold
+/// error paths assembling a full envelope string anyway, so the substrate
+/// escaper (and its fast-path counters) stays out of them.
+fn xml_escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Number of decimal digits in `n` (1 for 0).
@@ -995,6 +1068,36 @@ mod tests {
         // It must survive its own framing round trip.
         let parsed = Response::read_from(&resp.to_bytes()[..]).unwrap();
         assert_eq!(parsed.status, Status::BadRequest);
+    }
+
+    #[test]
+    fn shed_fault_carries_retry_hints_and_typed_detail() {
+        let resp = Response::shed_fault("accept queue full (cap 8)", 250);
+        assert_eq!(resp.status, Status::ServiceUnavailable);
+        assert_eq!(resp.status.code(), 503);
+        // Whole-second hint rounds up; the ms companion is exact.
+        assert_eq!(resp.header(RETRY_AFTER_HEADER), Some("1"));
+        assert_eq!(resp.header(RETRY_AFTER_MS_HEADER), Some("250"));
+        // Keep-alive survives a shed: no forced close.
+        assert_eq!(resp.header("Connection"), None);
+        let body = resp.body_str();
+        assert!(body.contains("SOAP-ENV:Fault"), "{body}");
+        assert!(body.contains("<code>BUSY</code>"), "{body}");
+        assert!(body.contains("accept queue full"), "{body}");
+        let parsed = Response::read_from(&resp.to_bytes()[..]).unwrap();
+        assert_eq!(parsed.status, Status::ServiceUnavailable);
+        assert_eq!(parsed.header(RETRY_AFTER_MS_HEADER), Some("250"));
+    }
+
+    #[test]
+    fn deadline_fault_has_no_retry_hint() {
+        let resp = Response::deadline_fault("budget of 5 ms spent before dispatch");
+        assert_eq!(resp.status, Status::ServiceUnavailable);
+        assert_eq!(resp.header(RETRY_AFTER_HEADER), None);
+        assert_eq!(resp.header(RETRY_AFTER_MS_HEADER), None);
+        let body = resp.body_str();
+        assert!(body.contains("<code>DEADLINE_EXCEEDED</code>"), "{body}");
+        assert!(body.contains("budget of 5 ms spent"), "{body}");
     }
 
     mod framing_props {

@@ -45,12 +45,13 @@ pub use chaos::{
 };
 pub use http::{
     wants_keep_alive, Request, RequestParser, Response, Status, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+    RETRY_AFTER_HEADER, RETRY_AFTER_MS_HEADER,
 };
 pub use pool::{
     Deadline, Pool, PoolConfig, PooledTransport, RetryPolicy, CACHE_FILL_HEADER, DEADLINE_HEADER,
     IDEMPOTENT_HEADER,
 };
-pub use server::{Handler, HttpServer, Router, ServerHandle};
+pub use server::{Handler, HttpServer, Router, ServerConfig, ServerHandle};
 pub use stats::{ChaosClass, StatsSnapshot, WireStats};
 pub use transport::{HttpTransport, InMemoryTransport, Transport};
 

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::http::{Request, Response};
+use crate::http::{Request, Response, Status, RETRY_AFTER_HEADER, RETRY_AFTER_MS_HEADER};
 use crate::stats::WireStats;
 use crate::transport::Transport;
 use crate::{Result, WireError};
@@ -443,6 +443,26 @@ fn is_idempotent(req: &Request) -> bool {
             .is_some_and(|v| v.eq_ignore_ascii_case("true"))
 }
 
+/// The retry hint on a load-shed response, if this is one: a `503` whose
+/// server stamped `X-Retry-After-Ms` (preferred, millisecond precision)
+/// or `Retry-After` (whole seconds). A `503` *without* a hint — e.g. a
+/// deadline-exceeded shed, where retrying can never help — yields `None`
+/// and is surfaced to the caller as-is.
+fn shed_retry_hint(resp: &Response) -> Option<Duration> {
+    if resp.status != Status::ServiceUnavailable {
+        return None;
+    }
+    if let Some(ms) = resp
+        .header(RETRY_AFTER_MS_HEADER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        return Some(Duration::from_millis(ms));
+    }
+    resp.header(RETRY_AFTER_HEADER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
 /// A socket timeout surfaces as `WouldBlock` or `TimedOut` depending on
 /// platform; both mean the deadline, not the peer, killed the attempt.
 fn is_timeout_io(err: &WireError) -> bool {
@@ -473,7 +493,29 @@ impl Transport for PooledTransport {
         let mut retry = 0u32;
         loop {
             match self.attempt(&bytes, deadline.as_ref(), retryable, cache_fill) {
-                Ok(resp) => return Ok(resp),
+                Ok(resp) => {
+                    // A load-shed reply is not a transport failure — the
+                    // server answered, saying "not now". Honor the hint:
+                    // never retry before it elapses, and only retry at all
+                    // when the request is idempotent, budget remains, and
+                    // the deadline can cover the wait. Otherwise the shed
+                    // surfaces so the SOAP layer sees the Busy fault.
+                    let Some(hint) = shed_retry_hint(&resp) else {
+                        return Ok(resp);
+                    };
+                    if !retryable || retry >= self.retry.max_retries {
+                        return Ok(resp);
+                    }
+                    if let Some(d) = &deadline {
+                        match d.remaining() {
+                            Some(left) if left > hint => {}
+                            _ => return Ok(resp),
+                        }
+                    }
+                    retry += 1;
+                    self.stats.record_retry();
+                    std::thread::sleep(hint);
+                }
                 Err(err) => {
                     self.stats.record_error();
                     let timed_out = matches!(err, WireError::Timeout(_)) || is_timeout_io(&err);
@@ -823,6 +865,78 @@ mod tests {
             0,
             "rejected before any dial"
         );
+    }
+
+    #[test]
+    fn shed_fault_retry_waits_for_the_hint() {
+        // Pinned regression: a shed reply used to be returned like any
+        // other response — an idempotent caller's own retry loop would
+        // hammer the overloaded server immediately. The pool must honor
+        // the server's hint: no retry lands before `Retry-After` elapses.
+        use std::sync::atomic::AtomicUsize;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handler: Arc<dyn crate::server::Handler> = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move |req: &Request| {
+                if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Response::shed_fault("warming up", 80)
+                } else {
+                    Response::ok("text/plain", req.body.clone())
+                }
+            })
+        };
+        let server = HttpServer::start(handler, 1).unwrap();
+        let t = PooledTransport::new(server.addr());
+
+        // Idempotent call: shed once, retried after >= the 80 ms hint.
+        let start = Instant::now();
+        let resp = t.round_trip(Request::get("/status")).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert!(
+            start.elapsed() >= Duration::from_millis(80),
+            "retried before the hint elapsed: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(t.stats().snapshot().retries, 1);
+        server.shutdown();
+
+        // Non-idempotent call: the shed surfaces immediately, no retry.
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handler: Arc<dyn crate::server::Handler> = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move |_: &Request| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Response::shed_fault("always busy", 500)
+            })
+        };
+        let server = HttpServer::start(handler, 1).unwrap();
+        let t = PooledTransport::new(server.addr());
+        let start = Instant::now();
+        let resp = t.round_trip(Request::post("/soap/x", "<e/>")).unwrap();
+        assert_eq!(resp.status, Status::ServiceUnavailable);
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "non-idempotent POST must not wait out the hint"
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "sent exactly once");
+        assert_eq!(t.stats().snapshot().retries, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_shed_fault_surfaces_without_retry() {
+        // A 503 with no retry hint (the deadline-exceeded shape) must not
+        // be retried even for idempotent requests — waiting cannot revive
+        // a spent budget.
+        let handler: Arc<dyn crate::server::Handler> =
+            Arc::new(|_: &Request| Response::deadline_fault("spent"));
+        let server = HttpServer::start(handler, 1).unwrap();
+        let t = PooledTransport::new(server.addr());
+        let resp = t.round_trip(Request::get("/status")).unwrap();
+        assert_eq!(resp.status, Status::ServiceUnavailable);
+        assert!(resp.body_str().contains("DEADLINE_EXCEEDED"));
+        assert_eq!(t.stats().snapshot().retries, 0);
+        server.shutdown();
     }
 
     #[test]

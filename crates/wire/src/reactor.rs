@@ -50,7 +50,7 @@ use std::time::Instant;
 
 use crate::chaos::{cut_inside, ServerChaos, ServerFault};
 use crate::http::{wants_keep_alive, RequestParser, Response};
-use crate::server::{Handler, ServerHandle};
+use crate::server::{admit_deadline, Handler, ServerConfig, ServerHandle};
 use crate::stats::WireStats;
 use crate::Result;
 
@@ -175,6 +175,11 @@ struct Conn {
     close_after_flush: bool,
     /// Whether the current epoll registration includes `EPOLLOUT`.
     armed_for_write: bool,
+    /// When the bytes of the request currently being assembled started
+    /// arriving — the anchor the deadline budget is charged from. Reset
+    /// whenever bytes land in an empty parser, so idle keep-alive time is
+    /// never billed to the next request.
+    arrival: Instant,
 }
 
 impl Conn {
@@ -188,6 +193,7 @@ impl Conn {
             keep_alive: false,
             close_after_flush: false,
             armed_for_write: false,
+            arrival: Instant::now(),
         }
     }
 
@@ -212,7 +218,7 @@ enum Verdict {
 pub(crate) fn start(
     addr: impl std::net::ToSocketAddrs,
     handler: Arc<dyn Handler>,
-    workers: usize,
+    config: ServerConfig,
     chaos: Option<Arc<dyn ServerChaos>>,
 ) -> Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
@@ -221,7 +227,7 @@ pub(crate) fn start(
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(WireStats::new());
 
-    let worker_handles = (0..workers.max(1))
+    let worker_handles = (0..config.workers.max(1))
         .map(|_| {
             let listener = listener.try_clone();
             let handler = Arc::clone(&handler);
@@ -230,7 +236,7 @@ pub(crate) fn start(
             let chaos = chaos.clone();
             std::thread::spawn(move || {
                 let Ok(listener) = listener else { return };
-                let mut worker = Worker::new(listener, handler, stats, shutdown, chaos);
+                let mut worker = Worker::new(listener, handler, stats, shutdown, chaos, config);
                 worker.run();
             })
         })
@@ -252,11 +258,21 @@ struct Worker {
     stats: Arc<WireStats>,
     shutdown: Arc<AtomicBool>,
     chaos: Option<Arc<dyn ServerChaos>>,
+    config: ServerConfig,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     /// Number of connections currently in `ConnState::Delayed` (skip the
     /// slab scan entirely while zero — the overwhelmingly common case).
     delayed: usize,
+    /// Live connections this worker owns (`conns` occupancy).
+    open: usize,
+    /// Whether the listener has been deregistered because `open` hit
+    /// `config.max_connections`; re-registered on the next close.
+    listener_paused: bool,
+    /// Requests dispatched to the handler in the current epoll cycle;
+    /// reset each `epoll_wait` return. With `config.queue_cap: Some(n)`
+    /// requests beyond `n` in one cycle are shed instead of dispatched.
+    dispatched: usize,
 }
 
 /// Token 0 is the listener; connection tokens are `slot + 1`.
@@ -269,6 +285,7 @@ impl Worker {
         stats: Arc<WireStats>,
         shutdown: Arc<AtomicBool>,
         chaos: Option<Arc<dyn ServerChaos>>,
+        config: ServerConfig,
     ) -> Worker {
         Worker {
             listener,
@@ -276,9 +293,13 @@ impl Worker {
             stats,
             shutdown,
             chaos,
+            config,
             conns: Vec::new(),
             free: Vec::new(),
             delayed: 0,
+            open: 0,
+            listener_paused: false,
+            dispatched: 0,
         }
     }
 
@@ -307,6 +328,7 @@ impl Worker {
                 Ok(n) => n,
                 Err(_) => return,
             };
+            self.dispatched = 0;
             for ev in events.iter().take(n) {
                 // Copy the packed fields out before use.
                 let token = ev.data;
@@ -345,6 +367,20 @@ impl Worker {
 
     fn accept_ready(&mut self, epoll: &Epoll) {
         loop {
+            // Connection cap: at the bound, stop accepting — deregister
+            // the listener so a flood parks in the kernel backlog instead
+            // of growing the slab without bound. `close` re-registers.
+            if self.open >= self.config.max_connections {
+                if !self.listener_paused
+                    && epoll
+                        .ctl(sys::EPOLL_CTL_DEL, self.listener.as_raw_fd(), 0, 0)
+                        .is_ok()
+                {
+                    self.listener_paused = true;
+                    self.stats.record_listener_pause();
+                }
+                return;
+            }
             // portalint: allow(reactor-blocking) — listener is registered nonblocking; accept returns WouldBlock instead of parking
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -372,6 +408,7 @@ impl Worker {
                     }
                     if let Some(entry) = self.conns.get_mut(slot) {
                         *entry = Some(conn);
+                        self.open += 1;
                         self.stats.record_conn_open();
                     }
                 }
@@ -413,6 +450,21 @@ impl Worker {
         let _ = epoll.ctl(sys::EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
         self.stats.record_conn_close();
         self.free.push(slot);
+        self.open = self.open.saturating_sub(1);
+        // A close frees a slot below the cap: resume accepting.
+        if self.listener_paused
+            && self.open < self.config.max_connections
+            && epoll
+                .ctl(
+                    sys::EPOLL_CTL_ADD,
+                    self.listener.as_raw_fd(),
+                    sys::EPOLLIN,
+                    LISTENER_TOKEN,
+                )
+                .is_ok()
+        {
+            self.listener_paused = false;
+        }
         // `conn` drops here, closing the socket.
     }
 
@@ -480,6 +532,11 @@ impl Worker {
                     return Verdict::Close;
                 }
                 Ok(n) => {
+                    if conn.parser.is_empty() {
+                        // First bytes of a fresh request: (re)anchor the
+                        // deadline clock here, not at connection accept.
+                        conn.arrival = Instant::now();
+                    }
                     if let Some(chunk) = read_chunk.get(..n) {
                         conn.parser.feed(chunk);
                     }
@@ -502,9 +559,25 @@ impl Worker {
                 return Verdict::Keep;
             }
             match conn.parser.try_next() {
-                Ok(Some(req)) => {
+                Ok(Some(mut req)) => {
                     conn.keep_alive = wants_keep_alive(req.header("Connection"));
-                    let resp = self.handler.handle(&req);
+                    // Admission before dispatch, cheapest check first: the
+                    // per-cycle dispatch budget (the reactor's analogue of
+                    // the blocking arm's accept queue), then the deadline
+                    // budget. A shed is not a dispatch: it skips the
+                    // exchange counters and the chaos hook, and keeps the
+                    // connection alive (the client is told to retry, not
+                    // hung up on).
+                    let shed = self.admit(conn, &mut req);
+                    let was_shed = shed.is_some();
+                    let resp = match shed {
+                        Some(fault) => fault,
+                        None => {
+                            self.dispatched += 1;
+                            self.stats.record_queue_depth(self.dispatched as u64);
+                            self.handler.handle(&req)
+                        }
+                    };
                     let frame_start = conn.out.len();
                     let cap_before = conn.out.capacity();
                     resp.write_into(&mut conn.out);
@@ -513,9 +586,11 @@ impl Worker {
                     }
                     self.stats
                         .record_scratch_high_water(conn.out.capacity() as u64);
-                    self.stats
-                        .record_exchange(conn.out.len() - frame_start, req.wire_len());
-                    self.apply_chaos(conn, &req, frame_start);
+                    if !was_shed {
+                        self.stats
+                            .record_exchange(conn.out.len() - frame_start, req.wire_len());
+                        self.apply_chaos(conn, &req, frame_start);
+                    }
                     if !conn.keep_alive {
                         conn.close_after_flush = true;
                     }
@@ -527,6 +602,23 @@ impl Worker {
                 }
             }
         }
+    }
+
+    /// Admission control for one parsed request: returns the shed fault
+    /// to answer with, or `None` to dispatch. Order matters — the dispatch
+    /// budget is checked before the deadline so an overloaded worker sheds
+    /// without even reading header values.
+    fn admit(&mut self, conn: &mut Conn, req: &mut crate::http::Request) -> Option<Response> {
+        if let Some(budget) = self.config.queue_cap {
+            if self.dispatched >= budget {
+                self.stats.record_shed_queue_full();
+                return Some(Response::shed_fault(
+                    &format!("dispatch budget ({budget}) spent this cycle"),
+                    self.config.shed_retry_after_ms,
+                ));
+            }
+        }
+        admit_deadline(req, conn.arrival, &self.stats)
     }
 
     /// The post-handler `ServerChaos` hook, translated to reactor terms:
@@ -949,6 +1041,164 @@ mod tests {
         );
         // The delayed response still arrives.
         assert_eq!(Response::read_from(&slow).unwrap().body_str(), "delayed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_pauses_listener_and_resumes_on_close() {
+        // Pinned regression: the reactor used to accept without bound —
+        // every connection grew the slab. With a cap, the extra connection
+        // must park unaccepted in the kernel backlog (no reply) until an
+        // admitted connection closes, then be served.
+        use crate::server::ServerConfig;
+        let config = ServerConfig {
+            workers: 1,
+            max_connections: 2,
+            ..ServerConfig::default()
+        };
+        let server = HttpServer::start_reactor_tuned(echo_handler(), config).unwrap();
+        let addr = server.addr();
+        // Fill the cap with two parked keep-alive connections.
+        let mut held = Vec::new();
+        for i in 0..2 {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let req =
+                Request::post("/x", format!("hold-{i}")).with_header("Connection", "keep-alive");
+            conn.write_all(&req.to_bytes()).unwrap();
+            assert_eq!(
+                Response::read_from(&conn).unwrap().body_str(),
+                format!("hold-{i}")
+            );
+            held.push(conn);
+        }
+        // The third connection lands in the backlog: connect succeeds, but
+        // no response arrives while the cap is full.
+        let mut third = TcpStream::connect(addr).unwrap();
+        third
+            .write_all(&Request::post("/x", "overflow").to_bytes())
+            .unwrap();
+        third
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        let mut probe = [0u8; 1];
+        use std::io::Read as _;
+        match (&third).read(&mut probe) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            other => panic!("third connection served past the cap: {other:?}"),
+        }
+        let snap = server.stats().snapshot();
+        assert!(snap.listener_pauses >= 1, "{snap:?}");
+        assert_eq!(snap.requests, 2, "{snap:?}");
+        // Free a slot: the listener resumes and the parked connection is
+        // accepted and served.
+        drop(held.remove(0));
+        third
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let resp = Response::read_from(&third).unwrap();
+        assert_eq!(resp.body_str(), "overflow");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dispatch_budget_sheds_burst_with_retry_hint() {
+        // A pipelined burst past the per-cycle dispatch budget: admitted
+        // requests are served correctly, the excess get well-formed BUSY
+        // faults with retry hints on the same keep-alive connection.
+        use crate::http::{RETRY_AFTER_HEADER, RETRY_AFTER_MS_HEADER};
+        use crate::server::ServerConfig;
+        let config = ServerConfig {
+            workers: 1,
+            queue_cap: Some(2),
+            shed_retry_after_ms: 40,
+            ..ServerConfig::default()
+        };
+        let server = HttpServer::start_reactor_tuned(echo_handler(), config).unwrap();
+        let conn = TcpStream::connect(server.addr()).unwrap();
+        let n = 6;
+        let mut burst = Vec::new();
+        for i in 0..n {
+            Request::post("/x", format!("m{i}"))
+                .with_header("Connection", "keep-alive")
+                .write_into(&mut burst);
+        }
+        (&conn).write_all(&burst).unwrap();
+        let mut reader = BufReader::new(&conn);
+        let mut ok = 0usize;
+        let mut shed = 0usize;
+        for i in 0..n {
+            let resp = Response::read_from_buffered(&mut reader).unwrap();
+            match resp.status {
+                Status::Ok => {
+                    ok += 1;
+                    assert_eq!(resp.body_str(), format!("m{i}"));
+                }
+                Status::ServiceUnavailable => {
+                    shed += 1;
+                    assert_eq!(resp.header(RETRY_AFTER_MS_HEADER), Some("40"));
+                    assert_eq!(resp.header(RETRY_AFTER_HEADER), Some("1"));
+                    assert!(resp.body_str().contains("<code>BUSY</code>"));
+                }
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+        assert_eq!(ok + shed, n, "every request answered, none dropped");
+        assert!(shed > 0, "burst of {n} must overrun budget 2");
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.shed_queue_full, shed as u64, "{snap:?}");
+        assert_eq!(snap.requests, ok as u64, "{snap:?}");
+        assert!(snap.queue_depth_high_water <= 2, "{snap:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_handler_on_reactor() {
+        // The reactor half of the deadline bugfix pin: an already-spent
+        // `X-Deadline-Ms` budget never reaches the handler.
+        use crate::pool::DEADLINE_HEADER;
+        use std::sync::atomic::AtomicUsize;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handler: Arc<dyn Handler> = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move |req: &Request| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                let budget = req.header(DEADLINE_HEADER).unwrap_or("none").to_string();
+                Response::ok("text/plain", budget)
+            })
+        };
+        let server = HttpServer::start_reactor(handler, 1).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(
+            &Request::post("/x", "late")
+                .with_header(DEADLINE_HEADER, "0")
+                .to_bytes(),
+        )
+        .unwrap();
+        let resp = Response::read_from(&conn).unwrap();
+        assert_eq!(resp.status, Status::ServiceUnavailable);
+        assert!(resp.body_str().contains("DEADLINE_EXCEEDED"), "{resp:?}");
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "handler must not run");
+        drop(conn);
+
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(
+            &Request::post("/x", "on-time")
+                .with_header(DEADLINE_HEADER, "10000")
+                .to_bytes(),
+        )
+        .unwrap();
+        let resp = Response::read_from(&conn).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let remaining: u64 = resp.body_str().parse().unwrap();
+        assert!(remaining > 0 && remaining <= 10_000, "{remaining}");
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.shed_deadline, 1, "{snap:?}");
+        assert_eq!(snap.requests, 1, "sheds are not dispatches: {snap:?}");
         server.shutdown();
     }
 

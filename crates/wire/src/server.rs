@@ -16,13 +16,61 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 
 use crate::chaos::{apply_server_fault, ServerChaos, ServerFault};
 use crate::http::{wants_keep_alive, Request, Response, Status};
+use crate::pool::DEADLINE_HEADER;
 use crate::stats::WireStats;
 use crate::Result;
+
+/// Admission-control tuning shared by both server arms. The defaults
+/// reproduce the historical behavior (blocking-send backpressure, a
+/// generous connection cap) so existing constructors stay bit-compatible;
+/// production deployments pass explicit bounds via
+/// [`HttpServer::start_tuned`] / [`HttpServer::start_reactor_tuned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads (both arms).
+    pub workers: usize,
+    /// Admission queue bound. Blocking arm: capacity of the
+    /// acceptor→worker connection queue — when full, the acceptor answers
+    /// a `Retry-After` shed fault instead of blocking (`None` keeps the
+    /// legacy backpressure of a blocking send into a `workers * 4` deep
+    /// channel). Reactor arm: per-worker dispatch budget per epoll cycle —
+    /// requests parsed beyond it in one readiness batch are shed.
+    pub queue_cap: Option<usize>,
+    /// Reactor arm: per-worker cap on concurrently open connections. At
+    /// the cap the worker deregisters the listener from its epoll set
+    /// (stops `EPOLLIN`) and resumes accepting when a connection closes,
+    /// so a connection flood parks in the kernel backlog instead of
+    /// growing the slab without bound.
+    pub max_connections: usize,
+    /// Retry hint stamped on queue-full shed faults, in milliseconds.
+    pub shed_retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_cap: None,
+            max_connections: 4096,
+            shed_retry_after_ms: 50,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config with `workers` threads and every admission default.
+    pub fn with_workers(workers: usize) -> ServerConfig {
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        }
+    }
+}
 
 /// A request handler. Handlers are shared across worker threads, so they
 /// must provide their own interior synchronization.
@@ -169,7 +217,22 @@ impl HttpServer {
         handler: Arc<dyn Handler>,
         workers: usize,
     ) -> Result<ServerHandle> {
-        HttpServer::start_inner(addr, handler, workers, None)
+        HttpServer::start_inner(addr, handler, ServerConfig::with_workers(workers), None)
+    }
+
+    /// Start the blocking arm with explicit admission bounds (queue cap,
+    /// shed hint) instead of the legacy defaults.
+    pub fn start_tuned(handler: Arc<dyn Handler>, config: ServerConfig) -> Result<ServerHandle> {
+        HttpServer::start_inner("127.0.0.1:0", handler, config, None)
+    }
+
+    /// Blocking arm with admission bounds *and* the server-side chaos hook.
+    pub fn start_tuned_chaotic(
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+        chaos: Arc<dyn ServerChaos>,
+    ) -> Result<ServerHandle> {
+        HttpServer::start_inner("127.0.0.1:0", handler, config, Some(chaos))
     }
 
     /// Start serving with a server-side chaos hook: `chaos` is consulted
@@ -180,7 +243,12 @@ impl HttpServer {
         workers: usize,
         chaos: Arc<dyn ServerChaos>,
     ) -> Result<ServerHandle> {
-        HttpServer::start_inner("127.0.0.1:0", handler, workers, Some(chaos))
+        HttpServer::start_inner(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig::with_workers(workers),
+            Some(chaos),
+        )
     }
 
     /// Start the epoll reactor arm (see [`crate::reactor`]): the same
@@ -189,7 +257,30 @@ impl HttpServer {
     /// on one connection at a time. The blocking [`HttpServer::start`]
     /// path stays available as the ablation arm.
     pub fn start_reactor(handler: Arc<dyn Handler>, workers: usize) -> Result<ServerHandle> {
-        crate::reactor::start("127.0.0.1:0", handler, workers, None)
+        crate::reactor::start(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig::with_workers(workers),
+            None,
+        )
+    }
+
+    /// Reactor arm with explicit admission bounds (connection cap,
+    /// per-cycle dispatch budget, shed hint).
+    pub fn start_reactor_tuned(
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+    ) -> Result<ServerHandle> {
+        crate::reactor::start("127.0.0.1:0", handler, config, None)
+    }
+
+    /// Reactor arm with admission bounds *and* the server-side chaos hook.
+    pub fn start_reactor_tuned_chaotic(
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+        chaos: Arc<dyn ServerChaos>,
+    ) -> Result<ServerHandle> {
+        crate::reactor::start("127.0.0.1:0", handler, config, Some(chaos))
     }
 
     /// Reactor arm on a specific address (tests use this to restart a
@@ -199,7 +290,7 @@ impl HttpServer {
         handler: Arc<dyn Handler>,
         workers: usize,
     ) -> Result<ServerHandle> {
-        crate::reactor::start(addr, handler, workers, None)
+        crate::reactor::start(addr, handler, ServerConfig::with_workers(workers), None)
     }
 
     /// Reactor arm with the server-side chaos hook (drop/delay/truncate
@@ -209,22 +300,32 @@ impl HttpServer {
         workers: usize,
         chaos: Arc<dyn ServerChaos>,
     ) -> Result<ServerHandle> {
-        crate::reactor::start("127.0.0.1:0", handler, workers, Some(chaos))
+        crate::reactor::start(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig::with_workers(workers),
+            Some(chaos),
+        )
     }
 
     fn start_inner(
         addr: impl std::net::ToSocketAddrs,
         handler: Arc<dyn Handler>,
-        workers: usize,
+        config: ServerConfig,
         chaos: Option<Arc<dyn ServerChaos>>,
     ) -> Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(WireStats::new());
-        // Bounded queue: applies back-pressure to the acceptor rather than
-        // queueing unboundedly when all workers are busy.
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(workers * 4);
+        let workers = config.workers;
+        // Bounded queue: with the legacy default (`queue_cap: None`) it
+        // applies back-pressure to the acceptor; with an explicit cap the
+        // acceptor sheds instead of blocking (below). Each item carries the
+        // accept instant so the deadline budget charges queue wait.
+        let cap = config.queue_cap.unwrap_or(workers.max(1) * 4);
+        type QueueItem = (TcpStream, std::time::Instant);
+        let (tx, rx): (Sender<QueueItem>, Receiver<QueueItem>) = bounded(cap);
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
@@ -236,9 +337,33 @@ impl HttpServer {
                     }
                     let Ok(stream) = stream else { continue };
                     stats.record_connection();
-                    if tx.send(stream).is_err() {
-                        break;
+                    let item = (stream, std::time::Instant::now());
+                    if config.queue_cap.is_none() {
+                        // Legacy arm: block until a worker frees a slot.
+                        if tx.send(item).is_err() {
+                            break;
+                        }
+                    } else {
+                        match tx.try_send(item) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full((stream, _))) => {
+                                // Admission control: answer a well-formed
+                                // shed fault with a retry hint instead of
+                                // letting the queue (and client latency)
+                                // grow without bound.
+                                stats.record_shed_queue_full();
+                                let fault = Response::shed_fault(
+                                    &format!("accept queue at capacity ({cap})"),
+                                    config.shed_retry_after_ms,
+                                )
+                                .with_header("Connection", "close");
+                                let _ = fault.write_to(&stream);
+                                continue;
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
                     }
+                    stats.record_queue_depth(tx.len() as u64);
                 }
             })
         };
@@ -255,10 +380,11 @@ impl HttpServer {
                     // lives as long as the worker and is reused across
                     // every connection (and keep-alive request) it serves.
                     let mut scratch = WorkerScratch::default();
-                    while let Ok(stream) = rx.recv() {
+                    while let Ok((stream, accepted)) = rx.recv() {
                         serve_one(
                             &*handler,
                             stream,
+                            accepted,
                             &stats,
                             &shutdown,
                             &mut scratch,
@@ -302,6 +428,7 @@ struct WorkerScratch {
 fn serve_one(
     handler: &dyn Handler,
     stream: TcpStream,
+    accepted: std::time::Instant,
     stats: &WireStats,
     shutdown: &AtomicBool,
     scratch: &mut WorkerScratch,
@@ -315,6 +442,11 @@ fn serve_one(
     };
     let mut reader = std::io::BufReader::new(read_half);
     let mut first = true;
+    // Deadline anchor: the first request is charged from the accept
+    // instant (queue wait counts against the client's budget); later
+    // keep-alive requests are re-anchored after the idle wait so time the
+    // client spent *not* sending is not billed to the next request.
+    let mut arrival = accepted;
     loop {
         // Wait for the next request without consuming bytes, so a timeout
         // never corrupts a partially-read frame. Skip the wait when the
@@ -348,6 +480,7 @@ fn serve_one(
             if stream.set_read_timeout(None).is_err() {
                 return;
             }
+            arrival = std::time::Instant::now();
         }
         // Distinguish a clean EOF before any byte (the shutdown poke, or a
         // keep-alive peer hanging up between requests: close quietly) from
@@ -362,7 +495,7 @@ fn serve_one(
                 Err(_) => return,
             }
         }
-        let req = match Request::read_from_buffered(&mut reader) {
+        let mut req = match Request::read_from_buffered(&mut reader) {
             Ok(req) => req,
             Err(e) => {
                 stats.record_bad_request();
@@ -376,7 +509,18 @@ fn serve_one(
         };
         first = false;
         let keep_alive = wants_keep_alive(req.header("Connection"));
-        let resp = handler.handle(&req);
+        // Deadline admission runs before dispatch: an already-expired
+        // budget never reaches the handler, it just costs a shed fault.
+        // Sheds are not dispatches — they skip the exchange counters (the
+        // shed_* counters account for them) and the chaos hook (a shed
+        // reply is a promise the work did NOT run, so it must never be
+        // torn into the ambiguity chaos models).
+        let shed = admit_deadline(&mut req, arrival, stats);
+        let was_shed = shed.is_some();
+        let resp = match shed {
+            Some(fault) => fault,
+            None => handler.handle(&req),
+        };
         scratch.out.clear();
         let cap_before = scratch.out.capacity();
         resp.write_into(&mut scratch.out);
@@ -384,13 +528,19 @@ fn serve_one(
             stats.record_scratch_growth();
         }
         stats.record_scratch_high_water(scratch.out.capacity() as u64);
-        stats.record_exchange(scratch.out.len(), req.wire_len());
+        if !was_shed {
+            stats.record_exchange(scratch.out.len(), req.wire_len());
+        }
         // The chaos hook runs after the handler: its drop/truncate classes
         // model "the operation executed but the reply never (fully)
         // arrived", which is exactly the ambiguity clients must survive.
-        let fault = chaos
-            .map(|c| c.decide(&req))
-            .unwrap_or(ServerFault::Deliver);
+        let fault = if was_shed {
+            ServerFault::Deliver
+        } else {
+            chaos
+                .map(|c| c.decide(&req))
+                .unwrap_or(ServerFault::Deliver)
+        };
         {
             use std::io::Write;
             if !apply_server_fault(fault, &mut out, &scratch.out, stats) {
@@ -403,7 +553,45 @@ fn serve_one(
         if !keep_alive {
             return;
         }
+        // Re-anchor for the next keep-alive request; a pipelined request
+        // is charged from the end of the previous response, not from the
+        // connection's accept instant.
+        arrival = std::time::Instant::now();
     }
+}
+
+/// Server-side deadline admission, shared by both arms. Reads the
+/// client-stamped `X-Deadline-Ms` budget (a duration in milliseconds,
+/// stamped at send time by `pool::PooledTransport`); when the budget is
+/// already spent by `arrival`-relative elapsed time the request is shed
+/// *before* the handler runs, with a deadline-exceeded SOAP fault.
+/// Otherwise the header is rewritten to the remaining budget so handlers
+/// and their downstream calls inherit an honest end-to-end deadline.
+/// Requests without the header (or with a malformed value) are admitted
+/// untouched — the contract is opt-in and never invents a deadline.
+pub(crate) fn admit_deadline(
+    req: &mut Request,
+    arrival: std::time::Instant,
+    stats: &WireStats,
+) -> Option<Response> {
+    let val = req.header(DEADLINE_HEADER)?;
+    let Ok(budget_ms) = val.trim().parse::<u64>() else {
+        return None;
+    };
+    let elapsed_ms = arrival.elapsed().as_millis() as u64;
+    if elapsed_ms >= budget_ms {
+        stats.record_shed_deadline();
+        return Some(Response::deadline_fault(&format!(
+            "budget of {budget_ms} ms spent before dispatch ({elapsed_ms} ms since arrival)"
+        )));
+    }
+    let remaining = budget_ms - elapsed_ms;
+    for (k, v) in req.headers.iter_mut() {
+        if k.eq_ignore_ascii_case(DEADLINE_HEADER) {
+            *v = remaining.to_string();
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -637,6 +825,198 @@ mod tests {
         use std::io::Read;
         let mut probe = [0u8; 1];
         assert_eq!(reader.read(&mut probe).unwrap(), 0, "server must close");
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_handler() {
+        // Pinned regression: clients have stamped `X-Deadline-Ms` since the
+        // pool landed, but the server ignored it — a request whose budget
+        // was already spent still burned a handler dispatch. Now it must be
+        // shed pre-dispatch with a deadline fault and zero handler runs.
+        use std::sync::atomic::AtomicUsize;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handler: Arc<dyn Handler> = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move |req: &Request| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                // Echo the (rewritten) budget so the propagation half of
+                // the contract is observable from the client side.
+                let budget = req.header(DEADLINE_HEADER).unwrap_or("none").to_string();
+                Response::ok("text/plain", budget)
+            })
+        };
+        let server = HttpServer::start(handler, 1).unwrap();
+
+        // Budget already spent: shed before dispatch.
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(
+            &Request::post("/x", "late")
+                .with_header(DEADLINE_HEADER, "0")
+                .to_bytes(),
+        )
+        .unwrap();
+        let resp = Response::read_from(&conn).unwrap();
+        assert_eq!(resp.status, Status::ServiceUnavailable);
+        assert!(resp.body_str().contains("DEADLINE_EXCEEDED"), "{resp:?}");
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "handler must not run");
+        drop(conn);
+
+        // A live budget is admitted, rewritten to the remaining budget.
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.write_all(
+            &Request::post("/x", "on-time")
+                .with_header(DEADLINE_HEADER, "10000")
+                .to_bytes(),
+        )
+        .unwrap();
+        let resp = Response::read_from(&conn).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        let remaining: u64 = resp.body_str().parse().unwrap();
+        assert!(remaining > 0 && remaining <= 10_000, "{remaining}");
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.shed_deadline, 1, "{snap:?}");
+        assert_eq!(snap.requests, 1, "sheds are not dispatches: {snap:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn burst_beyond_queue_cap_sheds_with_retry_hint() {
+        // Pinned: with an explicit queue cap, a burst past it must produce
+        // well-formed `Retry-After` shed faults — never silent drops, never
+        // an unboundedly growing queue — while every admitted request
+        // completes correctly.
+        use crate::http::{RETRY_AFTER_HEADER, RETRY_AFTER_MS_HEADER};
+        let slow: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            Response::ok("text/plain", req.body.clone())
+        });
+        let config = ServerConfig {
+            workers: 1,
+            queue_cap: Some(1),
+            shed_retry_after_ms: 25,
+            ..ServerConfig::default()
+        };
+        let server = HttpServer::start_tuned(slow, config).unwrap();
+        let addr = server.addr();
+
+        let n = 8;
+        let results: Vec<(Status, Option<String>, Option<String>, String)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        scope.spawn(move || {
+                            let mut conn = TcpStream::connect(addr).unwrap();
+                            let body = format!("m{i}");
+                            conn.write_all(&Request::post("/x", body).to_bytes())
+                                .unwrap();
+                            let resp = Response::read_from(&conn).unwrap();
+                            (
+                                resp.status,
+                                resp.header(RETRY_AFTER_HEADER).map(str::to_string),
+                                resp.header(RETRY_AFTER_MS_HEADER).map(str::to_string),
+                                resp.body_str().to_string(),
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+        let admitted = results.iter().filter(|r| r.0 == Status::Ok).count();
+        let shed = results.iter().filter(|r| r.0 == Status::ServiceUnavailable);
+        let mut shed_count = 0;
+        for (_, retry_after, retry_after_ms, body) in shed {
+            shed_count += 1;
+            assert_eq!(retry_after.as_deref(), Some("1"), "ceil(25ms) = 1s");
+            assert_eq!(retry_after_ms.as_deref(), Some("25"));
+            assert!(body.contains("<code>BUSY</code>"), "{body}");
+        }
+        assert_eq!(admitted + shed_count, n, "no silent drops: {results:?}");
+        assert!(
+            shed_count > 0,
+            "burst of {n} must overrun cap 1: {results:?}"
+        );
+        for (status, _, _, body) in &results {
+            if *status == Status::Ok {
+                assert!(body.starts_with('m'), "admitted echo intact: {body}");
+            }
+        }
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.shed_queue_full, shed_count as u64, "{snap:?}");
+        assert_eq!(snap.requests, admitted as u64, "{snap:?}");
+        assert!(snap.queue_depth_high_water <= 1, "{snap:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn sheds_are_never_torn_by_server_chaos() {
+        // Pinned: a shed is a promise the work did NOT run, so the chaos
+        // hook must never apply to it. Under a hook that truncates every
+        // delivered response, admitted replies arrive torn — but every
+        // 503 shed fault still arrives whole and parseable, hints intact.
+        use crate::chaos::{ServerChaos, ServerFault};
+        use crate::http::{RETRY_AFTER_HEADER, RETRY_AFTER_MS_HEADER};
+        struct AlwaysTruncate;
+        impl ServerChaos for AlwaysTruncate {
+            fn decide(&self, _req: &Request) -> ServerFault {
+                ServerFault::Truncate(0.5)
+            }
+        }
+        let slow: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            std::thread::sleep(std::time::Duration::from_millis(80));
+            Response::ok("text/plain", req.body.clone())
+        });
+        let config = ServerConfig {
+            workers: 1,
+            queue_cap: Some(1),
+            shed_retry_after_ms: 25,
+            ..ServerConfig::default()
+        };
+        let server =
+            HttpServer::start_tuned_chaotic(slow, config, Arc::new(AlwaysTruncate)).unwrap();
+        let addr = server.addr();
+
+        let n = 8;
+        let results: Vec<std::result::Result<Response, crate::WireError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        scope.spawn(move || {
+                            let conn = TcpStream::connect(addr).unwrap();
+                            (&conn)
+                                .write_all(&Request::post("/x", format!("m{i}")).to_bytes())
+                                .unwrap();
+                            Response::read_from(&conn)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+        let mut shed = 0;
+        let mut torn = 0;
+        for result in &results {
+            match result {
+                Ok(resp) if resp.status == Status::ServiceUnavailable => {
+                    shed += 1;
+                    assert_eq!(resp.header(RETRY_AFTER_HEADER), Some("1"));
+                    assert_eq!(resp.header(RETRY_AFTER_MS_HEADER), Some("25"));
+                    let body = resp.body_str();
+                    assert!(body.contains("<code>BUSY</code>"), "{body}");
+                    assert!(body.contains("</SOAP-ENV:Envelope>"), "whole frame: {body}");
+                }
+                // An admitted-then-truncated reply, or a 200 whose cut
+                // happened to land after the body — either way, not a shed.
+                Ok(_) => torn += 1,
+                Err(_) => torn += 1,
+            }
+        }
+        assert!(shed > 0, "burst of {n} past cap 1 must shed");
+        assert!(torn > 0, "the hook tears every delivered response");
+        assert_eq!(shed + torn, n, "no silent drops");
         server.shutdown();
     }
 

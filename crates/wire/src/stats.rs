@@ -100,6 +100,11 @@ pub struct WireStats {
     coalesced_calls: AtomicU64,
     auth_verify_cached: AtomicU64,
     pool_cache_fill_hits: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_quota: AtomicU64,
+    queue_depth_high_water: AtomicU64,
+    listener_pauses: AtomicU64,
     // Baseline of the process-global substrate counters, captured at
     // construction/reset so snapshots report deltas, not process history.
     base_escape_borrowed: AtomicU64,
@@ -150,6 +155,11 @@ impl WireStats {
             coalesced_calls: AtomicU64::new(0),
             auth_verify_cached: AtomicU64::new(0),
             pool_cache_fill_hits: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            shed_quota: AtomicU64::new(0),
+            queue_depth_high_water: AtomicU64::new(0),
+            listener_pauses: AtomicU64::new(0),
             base_escape_borrowed: AtomicU64::new(base.escape_borrowed),
             base_escape_owned: AtomicU64::new(base.escape_owned),
             base_unescape_borrowed: AtomicU64::new(base.unescape_borrowed),
@@ -310,6 +320,37 @@ impl WireStats {
         self.pool_cache_fill_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one request shed because the server's accept/request queue
+    /// was at capacity (answered with a `Retry-After` SOAP fault).
+    pub fn record_shed_queue_full(&self) {
+        self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request shed pre-dispatch because its `X-Deadline-Ms`
+    /// budget was already spent when the server got to it.
+    pub fn record_shed_deadline(&self) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request shed by a per-tenant quota (token bucket empty).
+    pub fn record_shed_quota(&self) {
+        self.shed_quota.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the current depth of the server's admission queue; the
+    /// snapshot keeps the maximum, so "bounded queue" is an asserted
+    /// number rather than a claim.
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth_high_water
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record one pause of the reactor's listener registration because a
+    /// worker hit its max-connections cap (accepting resumes on close).
+    pub fn record_listener_pause(&self) {
+        self.listener_pauses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Read all counters at once.
     pub fn snapshot(&self) -> StatsSnapshot {
         let xml = xml_stats::snapshot();
@@ -345,6 +386,11 @@ impl WireStats {
             coalesced_calls: self.coalesced_calls.load(Ordering::Relaxed),
             auth_verify_cached: self.auth_verify_cached.load(Ordering::Relaxed),
             pool_cache_fill_hits: self.pool_cache_fill_hits.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            shed_quota: self.shed_quota.load(Ordering::Relaxed),
+            queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed),
+            listener_pauses: self.listener_pauses.load(Ordering::Relaxed),
             escape_borrowed: xml
                 .escape_borrowed
                 .wrapping_sub(self.base_escape_borrowed.load(Ordering::Relaxed)),
@@ -393,6 +439,11 @@ impl WireStats {
         self.coalesced_calls.store(0, Ordering::Relaxed);
         self.auth_verify_cached.store(0, Ordering::Relaxed);
         self.pool_cache_fill_hits.store(0, Ordering::Relaxed);
+        self.shed_queue_full.store(0, Ordering::Relaxed);
+        self.shed_deadline.store(0, Ordering::Relaxed);
+        self.shed_quota.store(0, Ordering::Relaxed);
+        self.queue_depth_high_water.store(0, Ordering::Relaxed);
+        self.listener_pauses.store(0, Ordering::Relaxed);
         let base = xml_stats::snapshot();
         self.base_escape_borrowed
             .store(base.escape_borrowed, Ordering::Relaxed);
@@ -470,6 +521,16 @@ pub struct StatsSnapshot {
     pub auth_verify_cached: u64,
     /// Pool reuse hits whose request was a cache-fill read.
     pub pool_cache_fill_hits: u64,
+    /// Requests shed because the admission queue was at capacity.
+    pub shed_queue_full: u64,
+    /// Requests shed pre-dispatch with an already-expired deadline budget.
+    pub shed_deadline: u64,
+    /// Requests shed by a per-tenant quota (token bucket empty).
+    pub shed_quota: u64,
+    /// Deepest admission-queue backlog seen (high-water mark).
+    pub queue_depth_high_water: u64,
+    /// Times a reactor worker paused its listener at the connection cap.
+    pub listener_pauses: u64,
     /// `escape_text`/`escape_attr` calls that borrowed (no allocation).
     pub escape_borrowed: u64,
     /// Escape calls that had to allocate an escaped copy.
@@ -519,6 +580,12 @@ impl StatsSnapshot {
             coalesced_calls: self.coalesced_calls - earlier.coalesced_calls,
             auth_verify_cached: self.auth_verify_cached - earlier.auth_verify_cached,
             pool_cache_fill_hits: self.pool_cache_fill_hits - earlier.pool_cache_fill_hits,
+            shed_queue_full: self.shed_queue_full - earlier.shed_queue_full,
+            shed_deadline: self.shed_deadline - earlier.shed_deadline,
+            shed_quota: self.shed_quota - earlier.shed_quota,
+            // A maximum, not a monotone sum: carry over.
+            queue_depth_high_water: self.queue_depth_high_water,
+            listener_pauses: self.listener_pauses - earlier.listener_pauses,
             escape_borrowed: self.escape_borrowed - earlier.escape_borrowed,
             escape_owned: self.escape_owned - earlier.escape_owned,
             unescape_borrowed: self.unescape_borrowed - earlier.unescape_borrowed,
@@ -777,6 +844,34 @@ mod tests {
         assert_eq!(delta.cache_hits, 1);
         assert_eq!(delta.cache_misses, 0);
         assert_eq!(delta.auth_verify_cached, 1);
+        s.reset();
+        assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn shed_counters_track_and_diff() {
+        let s = WireStats::new();
+        s.record_shed_queue_full();
+        s.record_shed_queue_full();
+        s.record_shed_deadline();
+        s.record_shed_quota();
+        s.record_queue_depth(7);
+        s.record_queue_depth(3); // lower watermark: ignored
+        s.record_listener_pause();
+        let snap = s.snapshot();
+        assert_eq!(snap.shed_queue_full, 2);
+        assert_eq!(snap.shed_deadline, 1);
+        assert_eq!(snap.shed_quota, 1);
+        assert_eq!(snap.queue_depth_high_water, 7);
+        assert_eq!(snap.listener_pauses, 1);
+        let before = snap;
+        s.record_shed_deadline();
+        s.record_queue_depth(12);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.shed_queue_full, 0);
+        assert_eq!(delta.shed_deadline, 1);
+        // A high-water mark is not a sum; the later value carries over.
+        assert_eq!(delta.queue_depth_high_water, 12);
         s.reset();
         assert_eq!(wire_only(s.snapshot()), StatsSnapshot::default());
     }

@@ -35,6 +35,26 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]: the value comes back either
+    /// because the channel is at capacity or because every receiver is
+    /// gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the caller decides whether to shed.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +107,38 @@ pub mod channel {
                     .wait(state)
                     .unwrap_or_else(|p| p.into_inner());
             }
+        }
+
+        /// Enqueue `value` only if there is room right now; never blocks.
+        /// Returns the value in [`TrySendError::Full`] when the channel is
+        /// at capacity (the admission-control path) and in
+        /// [`TrySendError::Disconnected`] when all receivers are gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.items.len() >= self.0.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.items.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Items currently queued (a racy snapshot, fine for statistics).
+        pub fn len(&self) -> usize {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .items
+                .len()
+        }
+
+        /// True when no items are queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -168,6 +220,20 @@ mod tests {
         for i in 0..4 {
             assert_eq!(rx.recv().unwrap(), i);
         }
+    }
+
+    #[test]
+    fn try_send_sheds_at_capacity_without_blocking() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(4).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(5), Err(TrySendError::Disconnected(5)));
     }
 
     #[test]
