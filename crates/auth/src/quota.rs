@@ -12,13 +12,39 @@
 //! SOAP dispatcher decorates with `Retry-After` hints, so a quota shed
 //! looks to clients exactly like a queue-full shed: typed, advisory,
 //! retryable.
+//!
+//! The bucket map is lock-striped by subject hash (PR 10) so concurrent
+//! tenants on different stripes never contend, and each stripe prunes
+//! itself with an amortized sweep: a bucket that has refilled to full and
+//! sat idle past the TTL carries no information (a fresh bucket starts at
+//! full burst anyway), so dropping it is invisible to admission decisions
+//! while bounding memory to O(live tenants), not O(subjects ever seen).
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use portalws_soap::{Envelope, Fault, Guard, PortalErrorKind};
+
+/// Lock stripes over the bucket map.
+const QUOTA_STRIPES: usize = 8;
+
+/// A bucket both refilled-to-full and untouched this long is pruned —
+/// recreating it lazily yields the identical full-burst bucket.
+pub const DEFAULT_IDLE_TTL: Duration = Duration::from_secs(300);
+
+/// Smallest per-stripe occupancy that triggers an amortized sweep.
+const PRUNE_FLOOR: usize = 8;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Token-bucket parameters shared by every tenant.
 #[derive(Clone, Copy, Debug)]
@@ -44,27 +70,88 @@ struct Bucket {
     refilled: Instant,
 }
 
+/// One lock stripe of the bucket map, with its amortized prune trigger.
+struct Stripe {
+    buckets: HashMap<String, Bucket>,
+    /// Sweep when occupancy reaches this; doubled after each sweep so the
+    /// amortized cost per acquire stays O(1) (the PR 8 replay-cache
+    /// pattern).
+    prune_at: usize,
+}
+
 /// Per-tenant token buckets. Buckets are created lazily at full burst on
 /// a tenant's first call and refill continuously at the sustained rate.
+/// Striped by subject hash; each stripe prunes refilled-and-idle buckets
+/// with an amortized sweep, so memory is bounded by live tenants.
 pub struct TenantQuotas {
     config: QuotaConfig,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    idle_ttl: Duration,
+    stripes: Box<[Mutex<Stripe>]>,
 }
 
 impl TenantQuotas {
     pub fn new(config: QuotaConfig) -> Arc<Self> {
+        TenantQuotas::with_idle_ttl(config, DEFAULT_IDLE_TTL)
+    }
+
+    /// A quota table with an explicit idle TTL (tests pin this low to
+    /// exercise the prune path deterministically).
+    pub fn with_idle_ttl(config: QuotaConfig, idle_ttl: Duration) -> Arc<Self> {
+        let stripes: Vec<Mutex<Stripe>> = (0..QUOTA_STRIPES)
+            .map(|i| {
+                Mutex::new_named(
+                    Stripe {
+                        buckets: HashMap::new(),
+                        prune_at: PRUNE_FLOOR,
+                    },
+                    &format!("quota-stripe-{i}"),
+                )
+            })
+            .collect();
         Arc::new(TenantQuotas {
             config,
-            buckets: Mutex::new(HashMap::new()),
+            idle_ttl,
+            stripes: stripes.into_boxed_slice(),
         })
+    }
+
+    fn stripe_for(&self, subject: &str) -> Option<&Mutex<Stripe>> {
+        let idx = (fnv1a(subject.as_bytes()) % self.stripes.len().max(1) as u64) as usize;
+        self.stripes.get(idx)
+    }
+
+    /// Amortized sweep: once a stripe's occupancy reaches its trigger,
+    /// drop every bucket that is both refilled-to-full (its tokens plus
+    /// accrued refill reach the burst cap — recreating it lazily is
+    /// indistinguishable) and idle past the TTL. A *spent* bucket is
+    /// never pruned, no matter how idle: pruning it would forgive debt.
+    fn prune(&self, stripe: &mut Stripe, now: Instant) {
+        if stripe.buckets.len() < stripe.prune_at {
+            return;
+        }
+        let burst = self.config.burst;
+        let refill = self.config.refill_per_sec;
+        let ttl = self.idle_ttl;
+        stripe.buckets.retain(|_, b| {
+            let idle = now.saturating_duration_since(b.refilled);
+            let full = b.tokens + idle.as_secs_f64() * refill >= burst;
+            !(full && idle >= ttl)
+        });
+        stripe.prune_at = (stripe.buckets.len() * 2).max(PRUNE_FLOOR);
     }
 
     /// Spend one token for `subject`. On exhaustion returns the advisory
     /// wait, in milliseconds, until the bucket holds a whole token again.
     pub fn try_acquire(&self, subject: &str) -> Result<(), u64> {
         let now = Instant::now();
-        let mut buckets = self.buckets.lock();
-        let bucket = buckets.entry(subject.to_owned()).or_insert(Bucket {
+        let Some(stripe) = self.stripe_for(subject) else {
+            // Unreachable (the stripe array is never empty); admit rather
+            // than invent a shed that no configuration can produce.
+            return Ok(());
+        };
+        let mut stripe = stripe.lock();
+        self.prune(&mut stripe, now);
+        let bucket = stripe.buckets.entry(subject.to_owned()).or_insert(Bucket {
             tokens: self.config.burst,
             refilled: now,
         });
@@ -81,9 +168,10 @@ impl TenantQuotas {
         Err(wait_ms.max(1))
     }
 
-    /// Number of tenants that have been seen at least once.
+    /// Number of tenants currently holding a bucket (pruned tenants drop
+    /// out once their bucket is swept).
     pub fn tenants(&self) -> usize {
-        self.buckets.lock().len()
+        self.stripes.iter().map(|s| s.lock().buckets.len()).sum()
     }
 }
 
@@ -162,6 +250,59 @@ mod tests {
             "alice's exhaustion never touches bob"
         );
         assert_eq!(quotas.tenants(), 2);
+    }
+
+    #[test]
+    fn idle_full_buckets_are_pruned_bounding_memory() {
+        // Fast refill + tiny TTL: a bucket is prunable almost immediately
+        // after its tenant goes quiet.
+        let quotas = TenantQuotas::with_idle_ttl(
+            QuotaConfig {
+                burst: 1.0,
+                refill_per_sec: 1000.0,
+            },
+            Duration::from_millis(10),
+        );
+        // Generation one: 512 distinct subjects touch once and go idle.
+        for i in 0..512 {
+            let _ = quotas.try_acquire(&format!("gen1-{i}"));
+        }
+        assert_eq!(quotas.tenants(), 512);
+        std::thread::sleep(Duration::from_millis(25));
+        // Generation two churns through; the amortized sweeps triggered by
+        // its inserts must reclaim generation one instead of letting the
+        // map grow one entry per subject ever seen.
+        for i in 0..512 {
+            let _ = quotas.try_acquire(&format!("gen2-{i}"));
+        }
+        let tenants = quotas.tenants();
+        assert!(
+            tenants < 700,
+            "prune must bound the map near live tenants, got {tenants}"
+        );
+    }
+
+    #[test]
+    fn spent_buckets_survive_pruning_and_keep_their_debt() {
+        // Near-zero refill: a spent bucket never returns to full, so no
+        // amount of idling may prune it — pruning would forgive the debt.
+        let quotas = TenantQuotas::with_idle_ttl(
+            QuotaConfig {
+                burst: 1.0,
+                refill_per_sec: 0.001,
+            },
+            Duration::ZERO,
+        );
+        assert!(quotas.try_acquire("debtor").is_ok());
+        assert!(quotas.try_acquire("debtor").is_err(), "bucket is spent");
+        // Force sweeps by pushing every stripe past its prune trigger.
+        for i in 0..256 {
+            let _ = quotas.try_acquire(&format!("filler-{i}"));
+        }
+        assert!(
+            quotas.try_acquire("debtor").is_err(),
+            "debt must survive the sweep"
+        );
     }
 
     struct Ping;

@@ -21,7 +21,7 @@ use portalws_gridsim::cred::{CredentialAuthority, Mechanism};
 use portalws_soap::{
     CallContext, Fault, MethodDesc, PortalErrorKind, SoapResult, SoapService, SoapType, SoapValue,
 };
-use portalws_wire::WireStats;
+use portalws_wire::{ArcCell, WireStats};
 
 use crate::assertion::Assertion;
 use crate::{AuthError, Result};
@@ -130,8 +130,11 @@ pub struct AuthService {
     /// Opt-in MAC-skip cache for assertions already proven authentic.
     verify_cache: RwLock<Option<VerifyCache>>,
     /// Counter sink (`auth_verify_cached`); replaceable so a deployment
-    /// can aggregate auth counters with its wire stats.
-    stats: RwLock<Arc<WireStats>>,
+    /// can aggregate auth counters with its wire stats. An [`ArcCell`]
+    /// (PR 10) so the per-verification read is one atomic pointer load —
+    /// no read-lock, no double indirection — while `set_stats` stays a
+    /// rare wiring-time swap.
+    stats: ArcCell<WireStats>,
 }
 
 impl AuthService {
@@ -147,7 +150,7 @@ impl AuthService {
             context_ttl_ms: 8 * 3600 * 1000,
             replay_cache: RwLock::new(None),
             verify_cache: RwLock::new(None),
-            stats: RwLock::new(Arc::new(WireStats::new())),
+            stats: ArcCell::new(Arc::new(WireStats::new())),
         })
     }
 
@@ -199,13 +202,13 @@ impl AuthService {
 
     /// The counter sink this service records into.
     pub fn stats(&self) -> Arc<WireStats> {
-        Arc::clone(&self.stats.read())
+        self.stats.load()
     }
 
     /// Aggregate this service's counters into `stats` (e.g. a
     /// deployment's shared wire stats).
     pub fn set_stats(&self, stats: Arc<WireStats>) {
-        *self.stats.write() = stats;
+        self.stats.store(stats);
     }
 
     /// Register a principal in the keytab.
@@ -305,7 +308,7 @@ impl AuthService {
             }
         }
         if mac_proven {
-            self.stats.read().record_auth_verify_cached();
+            self.stats.load().record_auth_verify_cached();
         } else {
             assertion.verify_signature(&ctx.key)?;
             if let Some((key, canonical)) = fill {

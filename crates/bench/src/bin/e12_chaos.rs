@@ -26,6 +26,12 @@
 //! zero-byte-object round trips — the empty-body frames that corruption
 //! and truncation faults must survive without underflowing.
 //!
+//! Two further fault families ride on the same seed stream: the E15
+//! admission path soaked at seed offset `0x20_0000` (sheds must arrive
+//! typed, never torn) and the E16 cross-shard move protocol at offset
+//! `0x30_0000` (coordinator killed at rotating protocol points; journal
+//! recovery must leave exactly one visible copy and no staging residue).
+//!
 //! ```sh
 //! cargo run -p portalws-bench --release --bin e12_chaos -- \
 //!     [--quick] [--json PATH] [--seed N]
@@ -587,6 +593,170 @@ fn run_shed_schedule(seed: u64, arm: ServerArm) -> ShedOutcome {
     out
 }
 
+/// What one cross-shard move schedule observed (E16 shard router).
+#[derive(Default)]
+struct MoveOutcome {
+    moves: u64,
+    /// Coordinator faults actually injected at a protocol point.
+    injected: u64,
+    recovered_forward: u64,
+    recovered_back: u64,
+    violations: Vec<String>,
+}
+
+/// E16 cross-shard moves soaked under injected coordinator faults: a
+/// sharded deployment serves `DataManagement` through the consistent-hash
+/// router while each schedule kills the move coordinator at a different
+/// protocol point (`copy-chunk` mid-stream, `pre-commit`, the `delete-leg`
+/// after commit) and the wire chaos schedule faults the SOAP call around
+/// it. After every move (clean or killed) the router's journal recovery
+/// runs, and the invariant under test is **exactly one visible copy**:
+/// precisely one of the user-facing source/destination names resolves,
+/// with the complete payload, and no `.mv-` tombstone or `.part-` staging
+/// residue survives on any shard. `cp` moves additionally require the
+/// source untouched.
+fn run_move_schedule(seed: u64, arm: ServerArm) -> MoveOutcome {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let mut out = MoveOutcome::default();
+    let policy = ChaosPolicy::from_seed(seed);
+    let deployment = PortalDeployment::with_chaos_arm_sharded(
+        SecurityMode::Open,
+        TransportMode::TcpPooled,
+        policy,
+        arm,
+        3,
+    );
+    let router = Arc::clone(
+        deployment
+            .data_shards
+            .as_ref()
+            .expect("sharded deployment exposes the router"),
+    );
+
+    // Two top-level collections guaranteed to live on different shards.
+    let src_top = "/mv-src".to_owned();
+    let mut dst_top = String::new();
+    for i in 0..1000 {
+        let cand = format!("/mv-dst-{i}");
+        if router.owner_of(&cand) != router.owner_of(&src_top) {
+            dst_top = cand;
+            break;
+        }
+    }
+    router.mkdir(&src_top).expect("mkdir src");
+    router.mkdir(&dst_top).expect("mkdir dst");
+
+    let client = SoapClient::new(
+        deployment.transport("grid.sdsc.edu").expect("host"),
+        "DataManagement",
+    );
+    client.set_call_deadline(Duration::from_millis(2_000));
+
+    const MOVES_PER_SCHEDULE: usize = 8;
+    let points = ["none", "copy-chunk", "pre-commit", "delete-leg"];
+    for i in 0..MOVES_PER_SCHEDULE {
+        let is_cp = i % 2 == 1;
+        let point = points[(seed as usize + i) % points.len()];
+        let body: Vec<u8> = (0..120_000u32)
+            .map(|b| (b.wrapping_mul(31).wrapping_add(seed as u32 + i as u32) % 251) as u8)
+            .collect();
+        let src = format!("{src_top}/obj-{i}");
+        let dst = format!("{dst_top}/obj-{i}");
+        router
+            .put_bytes("anonymous", &src, &body)
+            .expect("seed object");
+
+        let fired = Arc::new(AtomicUsize::new(0));
+        if point != "none" {
+            let fired = Arc::clone(&fired);
+            let target = point.to_owned();
+            router.set_fault_hook(Some(Arc::new(move |p: &str| {
+                p == target && fired.fetch_add(1, Ordering::Relaxed) == 0
+            })));
+        }
+        let op = if is_cp { "cp" } else { "rename" };
+        // The SOAP call may fail from the injected coordinator fault OR
+        // from wire chaos; either way the recovery path must restore the
+        // exactly-one-copy invariant.
+        let _ = client.call(
+            op,
+            &[SoapValue::str(src.clone()), SoapValue::str(dst.clone())],
+        );
+        router.set_fault_hook(None);
+        if fired.load(Ordering::Relaxed) > 0 {
+            out.injected += 1;
+        }
+        let report = router.recover();
+        out.recovered_forward += report.rolled_forward as u64;
+        out.recovered_back += report.rolled_back as u64;
+        out.moves += 1;
+
+        // --- exactly-one-visible-copy assertions -------------------------
+        let src_read = router.get_bytes("anonymous", &src);
+        let dst_read = router.get_bytes("anonymous", &dst);
+        if is_cp {
+            // cp never disturbs its source.
+            match src_read {
+                Ok(bytes) if bytes == body => {}
+                Ok(_) => out
+                    .violations
+                    .push(format!("cp left a torn source {src} (seed {seed:#x})")),
+                Err(e) => out
+                    .violations
+                    .push(format!("cp lost its source {src}: {e} (seed {seed:#x})")),
+            }
+            if let Ok(bytes) = dst_read {
+                if bytes != body {
+                    out.violations
+                        .push(format!("cp left a torn copy at {dst} (seed {seed:#x})"));
+                }
+            }
+        } else {
+            match (src_read, dst_read) {
+                (Ok(bytes), Err(_)) | (Err(_), Ok(bytes)) => {
+                    if bytes != body {
+                        out.violations.push(format!(
+                            "rename left a torn surviving copy for obj-{i} (seed {seed:#x})"
+                        ));
+                    }
+                }
+                (Ok(_), Ok(_)) => out.violations.push(format!(
+                    "rename left obj-{i} visible under BOTH names (seed {seed:#x})"
+                )),
+                (Err(_), Err(_)) => out.violations.push(format!(
+                    "rename LOST obj-{i} — neither name resolves (seed {seed:#x})"
+                )),
+            }
+        }
+        // No tombstone or staging residue on any shard after recovery.
+        for (k, backend) in router.backends().iter().enumerate() {
+            for top in [&src_top, &dst_top] {
+                if let Ok(entries) = backend.srb().ls("anonymous", top) {
+                    for e in entries {
+                        if e.name.starts_with(".mv-") || e.name.starts_with(".part-") {
+                            out.violations.push(format!(
+                                "residue {:?} on shard {k} under {top} after recovery (seed {seed:#x})",
+                                e.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if router.pending_moves() != 0 {
+            out.violations
+                .push(format!("journal not empty after recovery (seed {seed:#x})"));
+        }
+        // Clean up both names so the next move starts fresh.
+        for b in router.backends() {
+            let _ = b.srb().rm("anonymous", &dst);
+            let _ = b.srb().rm("anonymous", &src);
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -727,6 +897,57 @@ fn main() {
             .push("shed-under-chaos family: no typed shed reached any client intact".to_string());
     }
 
+    // --- E16 cross-shard moves under coordinator + wire faults -----------
+    // Each schedule kills the cross-shard move protocol at a rotating
+    // point while wire chaos faults the SOAP call; journal recovery must
+    // restore exactly one visible copy. Family gates: coordinator faults
+    // actually fired, recovery actually ran, and zero invariant breaks.
+    let move_schedules = if quick { 2u64 } else { 4u64 };
+    let mut move_total = MoveOutcome::default();
+    for i in 0..move_schedules {
+        let seed = base_seed.wrapping_add(0x30_0000 + i);
+        let arm = if i % 2 == 0 {
+            ServerArm::Blocking
+        } else {
+            ServerArm::Reactor
+        };
+        schedules += 1;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_move_schedule(seed, arm)
+        })) {
+            Ok(out) => {
+                if !out.violations.is_empty() {
+                    violating.push(seed);
+                    for v in &out.violations {
+                        eprintln!("  seed {seed:#x} [move/{arm:?}]: {v}");
+                    }
+                }
+                move_total.moves += out.moves;
+                move_total.injected += out.injected;
+                move_total.recovered_forward += out.recovered_forward;
+                move_total.recovered_back += out.recovered_back;
+                move_total.violations.extend(out.violations);
+            }
+            Err(_) => {
+                panicked.push(seed);
+                eprintln!("  seed {seed:#x} [move/{arm:?}]: PANIC");
+            }
+        }
+    }
+    let mut move_family_failures: Vec<String> = Vec::new();
+    if move_total.injected == 0 {
+        move_family_failures.push(
+            "cross-shard move family: no coordinator fault ever fired — the protocol was never stressed"
+                .to_string(),
+        );
+    }
+    if move_total.recovered_forward + move_total.recovered_back == 0 {
+        move_family_failures.push(
+            "cross-shard move family: journal recovery never rolled a move forward or back"
+                .to_string(),
+        );
+    }
+
     let elapsed = t0.elapsed().as_secs_f64();
 
     println!("\n  schedules: {schedules} in {elapsed:.1}s");
@@ -768,6 +989,13 @@ fn main() {
         shed_total.deadline_typed,
         shed_total.chaos_errors,
         shed_total.server_sheds
+    );
+    println!(
+        "  cross-shard moves: {} moves — {} coordinator faults injected, {} rolled forward, {} rolled back",
+        move_total.moves,
+        move_total.injected,
+        move_total.recovered_forward,
+        move_total.recovered_back
     );
 
     if let Some(path) = json_path {
@@ -848,24 +1076,45 @@ fn main() {
             "  \"shed_server_sheds\": {},\n",
             shed_total.server_sheds
         ));
+        doc.push_str(&format!("  \"move_calls\": {},\n", move_total.moves));
+        doc.push_str(&format!("  \"move_injected\": {},\n", move_total.injected));
+        doc.push_str(&format!(
+            "  \"move_rolled_forward\": {},\n",
+            move_total.recovered_forward
+        ));
+        doc.push_str(&format!(
+            "  \"move_rolled_back\": {},\n",
+            move_total.recovered_back
+        ));
         doc.push_str(&format!("  \"panics\": {},\n", panicked.len()));
         doc.push_str(&format!(
             "  \"violations\": {}\n",
-            total.violations.len() + shed_total.violations.len() + shed_family_failures.len()
+            total.violations.len()
+                + shed_total.violations.len()
+                + shed_family_failures.len()
+                + move_total.violations.len()
+                + move_family_failures.len()
         ));
         doc.push_str("}\n");
         std::fs::write(&path, doc).expect("write json");
         println!("\nwrote {path}");
     }
 
-    if !panicked.is_empty() || !violating.is_empty() || !shed_family_failures.is_empty() {
+    if !panicked.is_empty()
+        || !violating.is_empty()
+        || !shed_family_failures.is_empty()
+        || !move_family_failures.is_empty()
+    {
         eprintln!(
             "\nFAIL: {} panicking, {} violating schedules, {} family-gate failures",
             panicked.len(),
             violating.len(),
-            shed_family_failures.len()
+            shed_family_failures.len() + move_family_failures.len()
         );
-        for f in &shed_family_failures {
+        for f in shed_family_failures
+            .iter()
+            .chain(move_family_failures.iter())
+        {
             eprintln!("  {f}");
         }
         for seed in panicked.iter().chain(violating.iter()) {

@@ -32,6 +32,7 @@ use portalws_services::context::{ContextManagerMonolith, ContextStore, Decompose
 use portalws_services::scriptgen::{ContextCoupling, IuScriptGen, SdscScriptGen};
 use portalws_services::{
     AppFactoryService, BatchJobService, DataManagementService, JobSubmissionService,
+    ShardedDataService,
 };
 use portalws_soap::{SoapClient, SoapServer, SoapService};
 use portalws_wire::{
@@ -182,8 +183,15 @@ pub struct PortalDeployment {
     /// The storage broker.
     pub srb: Arc<Srb>,
     /// The data-management service instance (kept so benches and tests
-    /// can read the chunked-transfer table's buffering high-water).
+    /// can read the chunked-transfer table's buffering high-water). In a
+    /// sharded deployment this is shard 0's backend, and [`Self::srb`]
+    /// is shard 0's broker.
     pub data_service: Arc<DataManagementService>,
+    /// The consistent-hash shard router serving `DataManagement` when
+    /// the deployment was built with more than one data shard (the e12
+    /// cross-shard fault family reaches its fault hook and recovery
+    /// through this); `None` in unsharded deployments.
+    pub data_shards: Option<Arc<ShardedDataService>>,
     /// The Authentication Service (keytab holder).
     pub auth: Arc<AuthService>,
     /// The Gateway context store.
@@ -223,6 +231,33 @@ impl PortalDeployment {
         Self::build(security, TransportMode::InMemory)
     }
 
+    /// In-memory testbed whose `DataManagement` endpoint is a
+    /// consistent-hash router over `shards` backend brokers instead of a
+    /// single one. With `shards <= 1` this is exactly
+    /// [`PortalDeployment::in_memory`].
+    pub fn in_memory_sharded(security: SecurityMode, shards: usize) -> Arc<PortalDeployment> {
+        Self::build_inner(
+            security,
+            TransportMode::InMemory,
+            None,
+            ServerArm::Blocking,
+            None,
+            shards,
+        )
+    }
+
+    /// Chaos deployment with a sharded data plane — the e12 cross-shard
+    /// move fault family runs this on both server arms.
+    pub fn with_chaos_arm_sharded(
+        security: SecurityMode,
+        mode: TransportMode,
+        policy: ChaosPolicy,
+        arm: ServerArm,
+        shards: usize,
+    ) -> Arc<PortalDeployment> {
+        Self::build_inner(security, mode, Some(policy), arm, None, shards)
+    }
+
     /// Stand the testbed up over real TCP servers on localhost, each
     /// logical host on its own port with `2` worker threads. One TCP
     /// connection per call, as deployed in 2002.
@@ -253,7 +288,14 @@ impl PortalDeployment {
         arm: ServerArm,
         config: ServerConfig,
     ) -> Arc<PortalDeployment> {
-        Self::build_inner(security, TransportMode::TcpPooled, None, arm, Some(config))
+        Self::build_inner(
+            security,
+            TransportMode::TcpPooled,
+            None,
+            arm,
+            Some(config),
+            1,
+        )
     }
 
     /// Stand the testbed up under a deterministic fault schedule: every
@@ -290,7 +332,7 @@ impl PortalDeployment {
         arm: ServerArm,
         config: ServerConfig,
     ) -> Arc<PortalDeployment> {
-        Self::build_inner(security, mode, Some(policy), arm, Some(config))
+        Self::build_inner(security, mode, Some(policy), arm, Some(config), 1)
     }
 
     fn build(security: SecurityMode, mode: TransportMode) -> Arc<PortalDeployment> {
@@ -303,7 +345,7 @@ impl PortalDeployment {
         chaos: Option<ChaosPolicy>,
         arm: ServerArm,
     ) -> Arc<PortalDeployment> {
-        Self::build_inner(security, mode, chaos, arm, None)
+        Self::build_inner(security, mode, chaos, arm, None, 1)
     }
 
     fn build_inner(
@@ -312,6 +354,7 @@ impl PortalDeployment {
         chaos: Option<ChaosPolicy>,
         arm: ServerArm,
         tuning: Option<ServerConfig>,
+        shards: usize,
     ) -> Arc<PortalDeployment> {
         let clock = SimClock::new();
         let grid = Grid::with_clock(Arc::clone(&clock));
@@ -319,7 +362,23 @@ impl PortalDeployment {
         for spec in testbed_hosts() {
             grid.add_host(spec.0, spec.1);
         }
-        let srb = Arc::new(Srb::testbed(&["alice@GCE.ORG", "bob@GCE.ORG"]));
+        // With `shards > 1` the `DataManagement` endpoint is a
+        // consistent-hash router over that many backend brokers; the
+        // deployment's `srb`/`data_service` fields then point at shard 0
+        // so existing benches and tests keep a valid (if partial) view.
+        let data_shards = (shards > 1).then(|| {
+            Arc::new(ShardedDataService::testbed(
+                &["alice@GCE.ORG", "bob@GCE.ORG"],
+                shards,
+            ))
+        });
+        let srb = match data_shards
+            .as_ref()
+            .and_then(|router| router.backends().first())
+        {
+            Some(backend) => Arc::clone(backend.srb()),
+            None => Arc::new(Srb::testbed(&["alice@GCE.ORG", "bob@GCE.ORG"])),
+        };
         let auth = AuthService::new(Arc::clone(&clock));
         for (user, pass) in USERS {
             auth.register_user(user, pass);
@@ -347,11 +406,22 @@ impl PortalDeployment {
         let grid_srv = LogicalServer::new();
         let jobsub = Arc::new(JobSubmissionService::new(Arc::clone(&grid)));
         grid_srv.mount("grid.sdsc.edu", jobsub);
-        let data_service = Arc::new(DataManagementService::new(Arc::clone(&srb)));
-        grid_srv.mount(
-            "grid.sdsc.edu",
-            Arc::clone(&data_service) as Arc<dyn SoapService>,
-        );
+        let data_service = match data_shards
+            .as_ref()
+            .and_then(|router| router.backends().first())
+        {
+            Some(backend) => Arc::clone(backend),
+            None => Arc::new(DataManagementService::new(Arc::clone(&srb))),
+        };
+        match &data_shards {
+            Some(router) => {
+                grid_srv.mount("grid.sdsc.edu", Arc::clone(router) as Arc<dyn SoapService>)
+            }
+            None => grid_srv.mount(
+                "grid.sdsc.edu",
+                Arc::clone(&data_service) as Arc<dyn SoapService>,
+            ),
+        }
         grid_srv.mount(
             "grid.sdsc.edu",
             Arc::new(AppFactoryService::new(
@@ -496,6 +566,7 @@ impl PortalDeployment {
             grid,
             srb,
             data_service,
+            data_shards,
             auth,
             contexts,
             uddi,
@@ -1107,6 +1178,49 @@ mod tests {
             }
         }
         assert!(ok > 0, "some calls survive the fault schedule");
+    }
+
+    #[test]
+    fn sharded_deployment_serves_data_management_end_to_end() {
+        let d = PortalDeployment::in_memory_sharded(SecurityMode::Open, 4);
+        let router = d.data_shards.as_ref().expect("sharded deployment");
+        assert_eq!(router.backends().len(), 4);
+        let c = SoapClient::new(d.transport("grid.sdsc.edu").unwrap(), "DataManagement");
+        // The testbed namespace is reachable through the router.
+        let readme = c.call("cat", &[SoapValue::str("/public/README")]).unwrap();
+        assert_eq!(readme.as_str(), Some("GCE testbed public collection\n"));
+        // Root listing merges every shard: both homes plus /public.
+        let root = c.call("ls", &[SoapValue::str("/")]).unwrap();
+        assert_eq!(root.as_array().unwrap().len(), 3);
+        // A cross-shard move through the SOAP surface leaves exactly one
+        // visible copy.
+        let mut tops = vec!["/public".to_owned()];
+        for i in 0..100 {
+            let cand = format!("/exp-{i}");
+            if router.owner_of(&cand) != router.owner_of("/public") {
+                c.call("mkdir", &[SoapValue::str(cand.clone())]).unwrap();
+                tops.push(cand);
+                break;
+            }
+        }
+        let dst = format!("{}/README", tops[1]);
+        c.call(
+            "rename",
+            &[
+                SoapValue::str("/public/README"),
+                SoapValue::str(dst.clone()),
+            ],
+        )
+        .unwrap();
+        assert!(c.call("cat", &[SoapValue::str("/public/README")]).is_err());
+        assert_eq!(
+            c.call("cat", &[SoapValue::str(dst)]).unwrap().as_str(),
+            Some("GCE testbed public collection\n")
+        );
+        assert_eq!(router.pending_moves(), 0);
+        // Unsharded deployments advertise no router.
+        let plain = PortalDeployment::in_memory(SecurityMode::Open);
+        assert!(plain.data_shards.is_none());
     }
 
     #[test]

@@ -2,10 +2,21 @@
 //!
 //! [`Grid`] plays the role Globus GRAM played for the SDSC team and direct
 //! queue submittal played for Gateway: the thing a job-submission service
-//! ultimately talks to. All state is behind one lock; the portal services
-//! above call in from many server worker threads.
+//! ultimately talks to; the portal services above call in from many server
+//! worker threads.
+//!
+//! # Lock striping
+//!
+//! State is split so the hot paths stop funnelling through one lock: the
+//! host/queue topology sits behind its own mutex, job records are striped
+//! by `id % N`, and id allocation is a lock-free atomic. `poll` — the
+//! portal's highest-rate grid call — touches only its job stripe. The
+//! canonical lock order is **hosts before any job stripe**, and no path
+//! ever holds two job stripes at once, so the acquired-before graph the
+//! parking_lot shim checks in debug builds stays acyclic.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -61,17 +72,19 @@ impl SimHost {
     }
 }
 
-#[derive(Default)]
-struct GridState {
-    hosts: HashMap<String, SimHost>,
-    jobs: HashMap<JobId, Job>,
-    next_job: JobId,
-}
+/// Job-record stripes: `poll`/`cancel` on distinct jobs contend only when
+/// their ids collide modulo this.
+const JOB_STRIPES: usize = 8;
 
 /// The simulated grid.
 pub struct Grid {
     clock: Arc<SimClock>,
-    state: Mutex<GridState>,
+    /// Host/queue topology (and the scheduling state inside each queue).
+    hosts: Mutex<HashMap<String, SimHost>>,
+    /// Job records, striped by `id % JOB_STRIPES`.
+    jobs: Box<[Mutex<HashMap<JobId, Job>>]>,
+    /// Lock-free id allocator (ids start at 1).
+    next_job: AtomicU64,
 }
 
 impl Grid {
@@ -82,10 +95,20 @@ impl Grid {
 
     /// An empty grid sharing an existing clock.
     pub fn with_clock(clock: Arc<SimClock>) -> Arc<Grid> {
+        let jobs: Vec<Mutex<HashMap<JobId, Job>>> = (0..JOB_STRIPES)
+            .map(|i| Mutex::new_named(HashMap::new(), &format!("grid-jobs-{i}")))
+            .collect();
         Arc::new(Grid {
             clock,
-            state: Mutex::new(GridState::default()),
+            hosts: Mutex::new_named(HashMap::new(), "grid-hosts"),
+            jobs: jobs.into_boxed_slice(),
+            next_job: AtomicU64::new(0),
         })
+    }
+
+    /// The stripe holding job `id`.
+    fn job_stripe(&self, id: JobId) -> &Mutex<HashMap<JobId, Job>> {
+        &self.jobs[(id % JOB_STRIPES as u64) as usize]
     }
 
     /// The shared clock.
@@ -95,7 +118,7 @@ impl Grid {
 
     /// Add a host with a set of schedulers and their queues.
     pub fn add_host(&self, spec: HostSpec, schedulers: Vec<(SchedulerKind, Vec<QueueSpec>)>) {
-        let mut state = self.state.lock();
+        let mut hosts = self.hosts.lock();
         let host = SimHost {
             spec: spec.clone(),
             schedulers: schedulers
@@ -103,7 +126,7 @@ impl Grid {
                 .map(|(kind, queues)| (kind, queues.into_iter().map(BatchQueue::new).collect()))
                 .collect(),
         };
-        state.hosts.insert(spec.name.clone(), host);
+        hosts.insert(spec.name.clone(), host);
     }
 
     /// A ready-made testbed matching the paper's two-site deployment:
@@ -141,17 +164,16 @@ impl Grid {
 
     /// Host specs registered.
     pub fn hosts(&self) -> Vec<HostSpec> {
-        let state = self.state.lock();
-        let mut hosts: Vec<HostSpec> = state.hosts.values().map(|h| h.spec.clone()).collect();
+        let state = self.hosts.lock();
+        let mut hosts: Vec<HostSpec> = state.values().map(|h| h.spec.clone()).collect();
         hosts.sort_by(|a, b| a.name.cmp(&b.name));
         hosts
     }
 
     /// Scheduler kinds available on a host.
     pub fn schedulers_on(&self, host: &str) -> Result<Vec<SchedulerKind>> {
-        let state = self.state.lock();
+        let state = self.hosts.lock();
         let h = state
-            .hosts
             .get(host)
             .ok_or_else(|| GridError::NoSuchHost(host.to_owned()))?;
         let mut kinds: Vec<SchedulerKind> = h.schedulers.keys().copied().collect();
@@ -161,9 +183,8 @@ impl Grid {
 
     /// Queue specs for one scheduler on one host.
     pub fn queues_on(&self, host: &str, kind: SchedulerKind) -> Result<Vec<QueueSpec>> {
-        let state = self.state.lock();
+        let state = self.hosts.lock();
         let h = state
-            .hosts
             .get(host)
             .ok_or_else(|| GridError::NoSuchHost(host.to_owned()))?;
         let qs = h
@@ -186,9 +207,8 @@ impl Grid {
         let req =
             parse_script(kind, script).map_err(|e| GridError::ScriptRejected(e.to_string()))?;
         let now = self.clock.now();
-        let mut state = self.state.lock();
-        let h = state
-            .hosts
+        let mut hosts = self.hosts.lock();
+        let h = hosts
             .get_mut(host)
             .ok_or_else(|| GridError::NoSuchHost(host.to_owned()))?;
         if req.cpus > h.spec.cpus {
@@ -208,17 +228,11 @@ impl Grid {
         if let Some(reason) = queue.spec.admission_error(&req) {
             return Err(GridError::ScriptRejected(reason));
         }
-        state.next_job += 1;
-        let id = state.next_job;
-        // Re-borrow after the id bump (split borrows of `state`).
-        let h = state.hosts.get_mut(host).expect("host just found");
-        let queue = h
-            .schedulers
-            .get_mut(&kind)
-            .expect("scheduler just found")
-            .iter_mut()
-            .find(|q| q.spec.name == req.queue)
-            .expect("queue just found");
+        // Validated: allocate the id and enqueue. The record is inserted
+        // into its job stripe while the hosts lock is still held (hosts →
+        // stripe is the canonical order), so a concurrent `tick` can never
+        // see a queued id whose record does not exist yet.
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed) + 1;
         queue.enqueue(id, req.cpus);
         let job = Job {
             id,
@@ -233,32 +247,36 @@ impl Grid {
             stdout: String::new(),
             exit_code: None,
         };
-        state.jobs.insert(id, job);
+        self.job_stripe(id).lock().insert(id, job);
         Ok(id)
     }
 
-    /// Current snapshot of a job.
+    /// Current snapshot of a job. Touches only the job's stripe — the
+    /// polling hot path never contends with submissions or ticks working
+    /// on other jobs.
     pub fn poll(&self, id: JobId) -> Result<Job> {
-        self.state
+        self.job_stripe(id)
             .lock()
-            .jobs
             .get(&id)
             .cloned()
             .ok_or(GridError::NoSuchJob(id))
     }
 
-    /// Cancel a job if it has not finished.
+    /// Cancel a job if it has not finished. Takes the hosts lock first
+    /// (the canonical order) since a queued or running job must also be
+    /// removed from its batch queue.
     pub fn cancel(&self, id: JobId) -> Result<()> {
         let now = self.clock.now();
-        let mut state = self.state.lock();
-        let job = state.jobs.get_mut(&id).ok_or(GridError::NoSuchJob(id))?;
+        let mut hosts = self.hosts.lock();
+        let mut jobs = self.job_stripe(id).lock();
+        let job = jobs.get_mut(&id).ok_or(GridError::NoSuchJob(id))?;
         if job.state.is_terminal() {
             return Ok(());
         }
         job.state = JobState::Cancelled;
         job.ended_at = Some(now);
         let (host, sched) = (job.host.clone(), job.scheduler.clone());
-        if let Some(h) = state.hosts.get_mut(&host) {
+        if let Some(h) = hosts.get_mut(&host) {
             if let Some(kind) = SchedulerKind::from_name(&sched) {
                 if let Some(queues) = h.schedulers.get_mut(&kind) {
                     for q in queues {
@@ -274,17 +292,19 @@ impl Grid {
 
     /// Advance virtual time by `ms` and progress every host: finish
     /// running jobs whose planned runtime has elapsed, then dispatch
-    /// pending jobs into freed CPUs.
+    /// pending jobs into freed CPUs. Holds the hosts lock throughout and
+    /// takes one job stripe at a time (never two), preserving the
+    /// canonical hosts-before-stripe order.
     pub fn tick(&self, ms: u64) {
         let now = self.clock.advance(ms);
-        let mut state = self.state.lock();
-        let state = &mut *state;
-        for host in state.hosts.values_mut() {
+        let mut hosts = self.hosts.lock();
+        for host in hosts.values_mut() {
             // Phase 1: completions.
             for queues in host.schedulers.values_mut() {
                 for queue in queues.iter_mut() {
                     for id in queue.running_jobs() {
-                        let job = state.jobs.get_mut(&id).expect("running job exists");
+                        let mut jobs = self.job_stripe(id).lock();
+                        let job = jobs.get_mut(&id).expect("running job exists");
                         let started = job.started_at.expect("running job has start");
                         if now >= started + job.planned_runtime_ms() {
                             queue.finish(id);
@@ -311,7 +331,8 @@ impl Grid {
                     let (started, used) = queue.dispatch(free);
                     free -= used;
                     for id in started {
-                        let job = state.jobs.get_mut(&id).expect("dispatched job exists");
+                        let mut jobs = self.job_stripe(id).lock();
+                        let job = jobs.get_mut(&id).expect("dispatched job exists");
                         job.state = JobState::Running;
                         job.started_at = Some(now);
                     }
@@ -335,7 +356,7 @@ impl Grid {
 
     /// Total jobs ever submitted (for experiment reporting).
     pub fn job_count(&self) -> usize {
-        self.state.lock().jobs.len()
+        self.jobs.iter().map(|stripe| stripe.lock().len()).sum()
     }
 }
 

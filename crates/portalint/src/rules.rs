@@ -903,6 +903,31 @@ impl SoapService for S {
     }
 
     #[test]
+    fn striped_lock_sites_inventoried_per_acquisition() {
+        // The PR 10 striping idiom: locks live inside a stripe vector and
+        // are acquired through an index. Every acquisition is a distinct
+        // inventory entry; `new_named` constructor calls take arguments
+        // and must not be counted as acquisitions.
+        let src = r#"
+fn put(&self, path: &str) {
+    let idx = self.stripe_idx(path);
+    let mut state = self.stripes[idx].state.write();
+    let _io = self.stripes[idx].device.lock();
+    state.touch();
+}
+fn build() -> Stripe {
+    Stripe { state: RwLock::new_named(SrbState::default(), "srb-stripe"), ops: 0 }
+}
+fn scan(&self) -> usize {
+    self.stripes.iter().map(|s| s.state.read().objects()).sum()
+}
+"#;
+        let a = analyze_file("srb.rs", src, FileRules::all());
+        let kinds: Vec<&str> = a.locks.iter().map(|l| l.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["write", "lock", "read"]);
+    }
+
+    #[test]
     fn tally_groups_by_crate_and_rule() {
         let v = Violation {
             file: "crates/wire/src/http.rs".into(),

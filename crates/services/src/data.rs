@@ -62,13 +62,17 @@ pub(crate) fn srb_fault(e: SrbError) -> Fault {
     Fault::portal(kind, e.to_string())
 }
 
-fn arg_str<'a>(args: &'a [(String, SoapValue)], i: usize, name: &str) -> SoapResult<&'a str> {
+pub(crate) fn arg_str<'a>(
+    args: &'a [(String, SoapValue)],
+    i: usize,
+    name: &str,
+) -> SoapResult<&'a str> {
     args.get(i)
         .and_then(|(_, v)| v.as_str())
         .ok_or_else(|| Fault::portal(PortalErrorKind::BadArguments, format!("missing {name}")))
 }
 
-fn arg_usize(args: &[(String, SoapValue)], i: usize, name: &str) -> SoapResult<usize> {
+pub(crate) fn arg_usize(args: &[(String, SoapValue)], i: usize, name: &str) -> SoapResult<usize> {
     let v = args
         .get(i)
         .and_then(|(_, v)| v.as_i64())
@@ -87,7 +91,7 @@ impl DataManagementService {
     /// path degraded into a generic "not UTF-8" broker error with no hint
     /// that `getB64` and the chunked `open_get`/`get_chunk` protocol
     /// exist.
-    fn cat_utf8(&self, principal: &str, path: &str) -> SoapResult<String> {
+    pub(crate) fn cat_utf8(&self, principal: &str, path: &str) -> SoapResult<String> {
         let bytes = self.srb.get(principal, path).map_err(srb_fault)?;
         String::from_utf8(bytes).map_err(|_| {
             Fault::portal(
@@ -100,8 +104,9 @@ impl DataManagementService {
     }
 
     /// Execute one `xml_call` command element, returning its result
-    /// element. Used by both the SOAP method and tests.
-    fn run_command(&self, principal: &str, cmd: &Element) -> Element {
+    /// element. Used by the SOAP method, the shard router (which routes
+    /// each batched command to its owning backend), and tests.
+    pub(crate) fn run_command(&self, principal: &str, cmd: &Element) -> Element {
         let op = cmd.local_name().to_owned();
         let outcome = (|| -> Result<Element, SrbError> {
             match op.as_str() {
@@ -251,6 +256,21 @@ impl SoapService for DataManagementService {
                 self.srb.mkdir(path).map_err(srb_fault)?;
                 Ok(SoapValue::Null)
             }
+            // Namespace moves (PR 10): atomic within one broker, and the
+            // building block the shard router composes its cross-shard
+            // move protocol from.
+            "rename" => {
+                let from = arg_str(args, 0, "from")?;
+                let to = arg_str(args, 1, "to")?;
+                self.srb.rename(&principal, from, to).map_err(srb_fault)?;
+                Ok(SoapValue::Null)
+            }
+            "cp" => {
+                let from = arg_str(args, 0, "from")?;
+                let to = arg_str(args, 1, "to")?;
+                self.srb.cp(&principal, from, to).map_err(srb_fault)?;
+                Ok(SoapValue::Null)
+            }
             // Chunked streaming transfer protocol (E13): SOAP stays the
             // control channel, the payload moves as bounded chunks.
             "open_get" => {
@@ -385,6 +405,18 @@ impl SoapService for DataManagementService {
                 "Create a collection",
             ),
             MethodDesc::new(
+                "rename",
+                vec![("from", SoapType::String), ("to", SoapType::String)],
+                SoapType::Void,
+                "Atomically move an object, replacing any existing destination",
+            ),
+            MethodDesc::new(
+                "cp",
+                vec![("from", SoapType::String), ("to", SoapType::String)],
+                SoapType::Void,
+                "Copy an object, leaving the source in place",
+            ),
+            MethodDesc::new(
                 "open_get",
                 vec![("path", SoapType::String)],
                 SoapType::Struct,
@@ -494,6 +526,36 @@ mod tests {
         assert_eq!(srb.cat("anonymous", "/data/out.txt").unwrap(), content);
         let back = c.call("get", &[SoapValue::str("/data/out.txt")]).unwrap();
         assert_eq!(back.as_str().unwrap(), content);
+    }
+
+    #[test]
+    fn rename_and_cp_over_soap() {
+        let (srb, c) = client();
+        c.call(
+            "rename",
+            &[
+                SoapValue::str("/data/in.txt"),
+                SoapValue::str("/data/moved.txt"),
+            ],
+        )
+        .unwrap();
+        assert!(srb.stat("anonymous", "/data/in.txt").is_err());
+        c.call(
+            "cp",
+            &[
+                SoapValue::str("/data/moved.txt"),
+                SoapValue::str("/data/copy.txt"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            srb.cat("anonymous", "/data/moved.txt").unwrap(),
+            "line one\nline two\n"
+        );
+        assert_eq!(
+            srb.cat("anonymous", "/data/copy.txt").unwrap(),
+            "line one\nline two\n"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod data;
 pub mod factory;
 pub mod job;
 pub mod scriptgen;
+pub mod shard;
 pub mod transfer;
 
 pub use batch::BatchJobService;
@@ -39,6 +40,7 @@ pub use data::DataManagementService;
 pub use factory::AppFactoryService;
 pub use job::JobSubmissionService;
 pub use scriptgen::{IuScriptGen, SdscScriptGen};
+pub use shard::{ShardMap, ShardedDataService};
 pub use transfer::{TransferError, TransferTable};
 
 use portalws_auth::Assertion;

@@ -23,10 +23,17 @@
 //! that is charged against a service-wide buffered-byte budget, so server
 //! memory per transfer is O(window × chunk), not O(file).
 //!
+//! The handle table is lock-striped (PR 10): a handle's numeric id picks
+//! its stripe, so concurrent transfers on different handles never contend
+//! on one table mutex. The service-wide invariants — open-handle cap,
+//! buffered-byte budget, buffered high-water — live in atomics above the
+//! stripes and stay strict (reserve-then-insert, never check-then-race).
+//!
 //! Every limit is a declared constant; hitting one is a typed
 //! [`PortalErrorKind::Busy`]-style fault, not an allocation.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,10 +58,14 @@ pub const DEFAULT_MAX_BUFFERED_BYTES: usize = 32 * 1024 * 1024;
 /// staging object reclaimed.
 pub const DEFAULT_IDLE_TTL: Duration = Duration::from_secs(120);
 
-/// How many settled (committed or aborted) put handles are remembered so
-/// that a *retried* `commit`/`abort` — the first response was lost on the
-/// wire — succeeds instead of faulting `NoSuchHandle`.
+/// How many settled (committed or aborted) put handles are remembered per
+/// stripe so that a *retried* `commit`/`abort` — the first response was
+/// lost on the wire — succeeds instead of faulting `NoSuchHandle`.
 pub const COMPLETED_MEMORY: usize = 64;
+
+/// Lock stripes over the handle table. A handle's numeric id picks its
+/// stripe, so retries of the same handle always land on the same lock.
+const TRANSFER_STRIPES: usize = 8;
 
 /// Transfer-protocol errors, mapped onto the portal's common fault
 /// vocabulary by [`TransferError::to_fault`].
@@ -164,23 +175,42 @@ struct PutHandle {
     last_used: Instant,
 }
 
-struct TableInner {
-    next_id: u64,
+/// One lock stripe of the handle table.
+struct StripeInner {
     gets: HashMap<String, GetHandle>,
     puts: HashMap<String, PutHandle>,
-    /// Service-wide bytes parked in reorder buffers.
-    buffered_bytes: usize,
-    /// High-water of `buffered_bytes` since construction.
-    buffered_high_water: usize,
     /// Recently settled put handles: `(id, total bytes, committed?)`.
     completed: VecDeque<(String, usize, bool)>,
 }
 
+impl StripeInner {
+    fn empty() -> StripeInner {
+        StripeInner {
+            gets: HashMap::new(),
+            puts: HashMap::new(),
+            completed: VecDeque::new(),
+        }
+    }
+}
+
 /// The server-side transfer handle table. One per
 /// [`crate::DataManagementService`]; every method is safe to retry.
+///
+/// Striping: handle `t-<id>` lives on stripe `id % TRANSFER_STRIPES`, so
+/// every call on one handle serializes on one stripe lock while distinct
+/// handles proceed in parallel. The open-handle cap and the buffered-byte
+/// budget are enforced by atomic reserve-before-mutate, so they remain
+/// strict service-wide bounds even with all stripes active at once.
 pub struct TransferTable {
     srb: Arc<Srb>,
-    inner: Mutex<TableInner>,
+    stripes: Box<[Mutex<StripeInner>]>,
+    next_id: AtomicU64,
+    /// Open handles across all stripes (gets + puts).
+    open_count: AtomicUsize,
+    /// Service-wide bytes parked in reorder buffers.
+    buffered_bytes: AtomicUsize,
+    /// High-water of `buffered_bytes` since construction.
+    buffered_high_water: AtomicUsize,
     max_handles: usize,
     max_buffered: usize,
     idle_ttl: Mutex<Duration>,
@@ -195,19 +225,16 @@ impl TransferTable {
     /// A table with explicit concurrency and buffering caps (tests and
     /// benches pin these to small values).
     pub fn with_caps(srb: Arc<Srb>, max_handles: usize, max_buffered: usize) -> TransferTable {
+        let stripes: Vec<Mutex<StripeInner>> = (0..TRANSFER_STRIPES)
+            .map(|i| Mutex::new_named(StripeInner::empty(), &format!("transfer-stripe-{i}")))
+            .collect();
         TransferTable {
             srb,
-            inner: Mutex::new_named(
-                TableInner {
-                    next_id: 1,
-                    gets: HashMap::new(),
-                    puts: HashMap::new(),
-                    buffered_bytes: 0,
-                    buffered_high_water: 0,
-                    completed: VecDeque::new(),
-                },
-                "transfer-table",
-            ),
+            stripes: stripes.into_boxed_slice(),
+            next_id: AtomicU64::new(1),
+            open_count: AtomicUsize::new(0),
+            buffered_bytes: AtomicUsize::new(0),
+            buffered_high_water: AtomicUsize::new(0),
             max_handles,
             max_buffered,
             idle_ttl: Mutex::new_named(DEFAULT_IDLE_TTL, "transfer-ttl"),
@@ -219,50 +246,120 @@ impl TransferTable {
         *self.idle_ttl.lock() = ttl;
     }
 
-    /// Open handles right now (gets + puts).
+    /// Number of lock stripes over the handle table.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Open handles right now (gets + puts). Sweeps every stripe first so
+    /// the answer reflects the TTL.
     pub fn open_handles(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.gets.len() + inner.puts.len()
+        let now = Instant::now();
+        let mut total = 0;
+        for stripe in self.stripes.iter() {
+            let mut inner = stripe.lock();
+            self.expire_idle(&mut inner, now);
+            total += inner.gets.len() + inner.puts.len();
+        }
+        total
     }
 
     /// Bytes currently parked in reorder buffers.
     pub fn buffered_bytes(&self) -> usize {
-        self.inner.lock().buffered_bytes
+        self.buffered_bytes.load(Ordering::Acquire)
     }
 
     /// High-water of parked reorder-buffer bytes since construction — the
     /// asserted server-memory bound in E13.
     pub fn buffered_high_water(&self) -> usize {
-        self.inner.lock().buffered_high_water
+        self.buffered_high_water.load(Ordering::Acquire)
     }
 
-    /// Drop handles idle past the TTL; a dropped put handle's staging
-    /// object is reclaimed. Runs at the head of every operation.
-    fn expire_idle(&self, inner: &mut TableInner, now: Instant) {
+    /// Stripe owning a handle id.
+    fn stripe_of_id(&self, id: u64) -> Option<&Mutex<StripeInner>> {
+        let idx = (id % self.stripes.len().max(1) as u64) as usize;
+        self.stripes.get(idx)
+    }
+
+    /// Stripe owning a `t-<id>` handle string; `None` for a handle that
+    /// was never minted by this table (malformed id).
+    fn stripe_of_handle(&self, handle: &str) -> Option<&Mutex<StripeInner>> {
+        let id = handle.strip_prefix("t-")?.parse::<u64>().ok()?;
+        self.stripe_of_id(id)
+    }
+
+    /// Drop handles idle past the TTL within one stripe; a dropped put
+    /// handle's staging object is reclaimed and its parked bytes and
+    /// handle slots are returned to the global accounting. Runs at the
+    /// head of every operation on that stripe.
+    fn expire_idle(&self, inner: &mut StripeInner, now: Instant) {
         let ttl = *self.idle_ttl.lock();
-        inner
-            .gets
-            .retain(|_, h| now.saturating_duration_since(h.last_used) < ttl);
+        let mut dropped = 0usize;
+        inner.gets.retain(|_, h| {
+            let live = now.saturating_duration_since(h.last_used) < ttl;
+            if !live {
+                dropped += 1;
+            }
+            live
+        });
         let mut reclaimed: Vec<(String, String)> = Vec::new();
+        let mut freed = 0usize;
         inner.puts.retain(|_, h| {
             let live = now.saturating_duration_since(h.last_used) < ttl;
             if !live {
+                dropped += 1;
+                freed = freed.saturating_add(h.pending_bytes);
                 reclaimed.push((h.principal.clone(), h.staging.clone()));
             }
             live
         });
+        if dropped > 0 {
+            self.open_count.fetch_sub(dropped, Ordering::AcqRel);
+        }
+        if freed > 0 {
+            self.buffered_bytes.fetch_sub(freed, Ordering::AcqRel);
+        }
         for (principal, staging) in &reclaimed {
             // Best effort: the staging object may already be gone.
             let _ = self.srb.rm(principal, staging);
         }
-        // Recompute the budget after expiry dropped pending buffers.
-        inner.buffered_bytes = inner.puts.values().map(|h| h.pending_bytes).sum();
     }
 
-    fn fresh_id(inner: &mut TableInner) -> String {
-        let id = inner.next_id;
-        inner.next_id = inner.next_id.wrapping_add(1);
-        format!("t-{id}")
+    /// Reserve one slot against the open-handle cap. If the cap is hit,
+    /// sweep every stripe once — idle handles must not hold slots hostage
+    /// — and retry before faulting `HandleLimit`.
+    fn reserve_slot(&self, now: Instant) -> TransferResult<()> {
+        if self.try_reserve_slot() {
+            return Ok(());
+        }
+        for stripe in self.stripes.iter() {
+            let mut inner = stripe.lock();
+            self.expire_idle(&mut inner, now);
+        }
+        if self.try_reserve_slot() {
+            return Ok(());
+        }
+        Err(TransferError::HandleLimit(self.max_handles))
+    }
+
+    fn try_reserve_slot(&self) -> bool {
+        self.open_count
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                if n >= self.max_handles {
+                    None
+                } else {
+                    Some(n + 1)
+                }
+            })
+            .is_ok()
+    }
+
+    fn release_slot(&self) {
+        self.open_count.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Staging path for a destination: a `.part-<handle>` sibling, so the
@@ -282,21 +379,24 @@ impl TransferTable {
     pub fn open_get(&self, principal: &str, path: &str) -> TransferResult<(String, usize)> {
         let size = self.srb.stat(principal, path)?;
         let now = Instant::now();
-        let mut inner = self.inner.lock();
+        self.reserve_slot(now)?;
+        let id = self.fresh_id();
+        let handle = format!("t-{id}");
+        let Some(stripe) = self.stripe_of_id(id) else {
+            self.release_slot();
+            return Err(TransferError::NoSuchHandle(handle));
+        };
+        let mut inner = stripe.lock();
         self.expire_idle(&mut inner, now);
-        if inner.gets.len() + inner.puts.len() >= self.max_handles {
-            return Err(TransferError::HandleLimit(self.max_handles));
-        }
-        let id = Self::fresh_id(&mut inner);
         inner.gets.insert(
-            id.clone(),
+            handle.clone(),
             GetHandle {
                 principal: principal.to_owned(),
                 path: path.to_owned(),
                 last_used: now,
             },
         );
-        Ok((id, size))
+        Ok((handle, size))
     }
 
     /// Ranged read through a get handle. A read landing exactly on EOF
@@ -313,8 +413,11 @@ impl TransferTable {
             return Err(TransferError::ChunkTooLarge(len));
         }
         let now = Instant::now();
+        let Some(stripe) = self.stripe_of_handle(handle) else {
+            return Err(TransferError::NoSuchHandle(handle.to_owned()));
+        };
         let (owner, path) = {
-            let mut inner = self.inner.lock();
+            let mut inner = stripe.lock();
             self.expire_idle(&mut inner, now);
             let h = inner
                 .gets
@@ -326,7 +429,7 @@ impl TransferTable {
         if owner != principal {
             return Err(TransferError::NotYourHandle(handle.to_owned()));
         }
-        // The ranged read happens outside the table lock: the broker does
+        // The ranged read happens outside the stripe lock: the broker does
         // its own locking and a slow read must not stall other handles.
         Ok(self.srb.read_at(principal, &path, off, len)?)
     }
@@ -336,19 +439,26 @@ impl TransferTable {
     /// a duplicate open just allocates a second handle, which idles out.
     pub fn open_put(&self, principal: &str, path: &str) -> TransferResult<String> {
         let now = Instant::now();
-        let mut inner = self.inner.lock();
-        self.expire_idle(&mut inner, now);
-        if inner.gets.len() + inner.puts.len() >= self.max_handles {
-            return Err(TransferError::HandleLimit(self.max_handles));
-        }
-        let id = Self::fresh_id(&mut inner);
-        let staging = Self::staging_path(path, &id);
+        self.reserve_slot(now)?;
+        let id = self.fresh_id();
+        let handle = format!("t-{id}");
+        let staging = Self::staging_path(path, &handle);
         // Creating the empty staging object validates path, ACL, and (for
         // the zero-byte case) materializes the object a zero-chunk commit
         // will promote.
-        self.srb.append_at(principal, &staging, 0, b"")?;
+        if let Err(e) = self.srb.append_at(principal, &staging, 0, b"") {
+            self.release_slot();
+            return Err(TransferError::Srb(e));
+        }
+        let Some(stripe) = self.stripe_of_id(id) else {
+            self.release_slot();
+            let _ = self.srb.rm(principal, &staging);
+            return Err(TransferError::NoSuchHandle(handle));
+        };
+        let mut inner = stripe.lock();
+        self.expire_idle(&mut inner, now);
         inner.puts.insert(
-            id.clone(),
+            handle.clone(),
             PutHandle {
                 principal: principal.to_owned(),
                 path: path.to_owned(),
@@ -359,7 +469,7 @@ impl TransferTable {
                 last_used: now,
             },
         );
-        Ok(id)
+        Ok(handle)
     }
 
     /// Accept one chunk at `off`. Contiguous chunks append to staging and
@@ -378,11 +488,12 @@ impl TransferTable {
             return Err(TransferError::ChunkTooLarge(data.len()));
         }
         let now = Instant::now();
-        let mut guard = self.inner.lock();
-        let inner = &mut *guard;
-        self.expire_idle(inner, now);
+        let Some(stripe) = self.stripe_of_handle(handle) else {
+            return Err(TransferError::NoSuchHandle(handle.to_owned()));
+        };
+        let mut inner = stripe.lock();
+        self.expire_idle(&mut inner, now);
         let budget = self.max_buffered;
-        let buffered_now = inner.buffered_bytes;
         let h = inner
             .puts
             .get_mut(handle)
@@ -408,27 +519,38 @@ impl TransferTable {
         }
         if off > h.next_off {
             // Ahead of the frontier: park it, within budget. A duplicate
-            // of an already-parked chunk re-acknowledges for free.
+            // of an already-parked chunk re-acknowledges for free. The
+            // budget reservation is a strict atomic add-within-cap, so
+            // concurrent stripes can never overshoot it together.
             if h.pending.contains_key(&off) {
                 return Ok(h.next_off);
             }
-            if buffered_now.saturating_add(data.len()) > budget {
+            let want = data.len();
+            let reserved =
+                self.buffered_bytes
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
+                        let total = b.saturating_add(want);
+                        if total > budget {
+                            None
+                        } else {
+                            Some(total)
+                        }
+                    });
+            let Ok(before) = reserved else {
                 return Err(TransferError::BufferLimit(budget));
-            }
-            h.pending_bytes = h.pending_bytes.saturating_add(data.len());
+            };
+            self.buffered_high_water
+                .fetch_max(before.saturating_add(want), Ordering::AcqRel);
+            h.pending_bytes = h.pending_bytes.saturating_add(want);
             h.pending.insert(off, data.to_vec());
-            let frontier = h.next_off;
-            inner.buffered_bytes = buffered_now.saturating_add(data.len());
-            if inner.buffered_bytes > inner.buffered_high_water {
-                inner.buffered_high_water = inner.buffered_bytes;
-            }
-            return Ok(frontier);
+            return Ok(h.next_off);
         }
         // Contiguous: append, then drain any parked chunks that became
-        // contiguous. Appends happen under the table lock so the staging
+        // contiguous. Appends happen under the stripe lock so the staging
         // length and `next_off` can never diverge.
         let principal_owned = h.principal.clone();
         let staging = h.staging.clone();
+        let pending_before = h.pending_bytes;
         let mut frontier = off.saturating_add(data.len());
         let mut to_append: Vec<Vec<u8>> = vec![data.to_vec()];
         let drain: TransferResult<()> = loop {
@@ -486,9 +608,12 @@ impl TransferTable {
                 out
             }
         };
-        // Whatever happened above, the parked-byte budget must reflect the
-        // pending maps as they now stand before the lock drops.
-        inner.buffered_bytes = inner.puts.values().map(|p| p.pending_bytes).sum();
+        // Whatever happened above, return exactly the bytes this handle
+        // released from its reorder buffer to the global budget.
+        let freed = pending_before.saturating_sub(h.pending_bytes);
+        if freed > 0 {
+            self.buffered_bytes.fetch_sub(freed, Ordering::AcqRel);
+        }
         append.map(|()| acked)
     }
 
@@ -497,7 +622,10 @@ impl TransferTable {
     /// an already-committed handle succeeds out of the completed memory.
     pub fn commit(&self, principal: &str, handle: &str) -> TransferResult<usize> {
         let now = Instant::now();
-        let mut inner = self.inner.lock();
+        let Some(stripe) = self.stripe_of_handle(handle) else {
+            return Err(TransferError::NoSuchHandle(handle.to_owned()));
+        };
+        let mut inner = stripe.lock();
         self.expire_idle(&mut inner, now);
         let Some(h) = inner.puts.get(handle) else {
             // Retried commit: the first response was lost after the rename
@@ -529,6 +657,7 @@ impl TransferTable {
         self.srb.rename(&h.principal, &h.staging, &h.path)?;
         let total = h.next_off;
         inner.puts.remove(handle);
+        self.release_slot();
         Self::remember_completed(&mut inner, handle, total, true);
         Ok(total)
     }
@@ -538,13 +667,17 @@ impl TransferTable {
     /// handle succeeds, so a retried abort never faults.
     pub fn abort(&self, principal: &str, handle: &str) -> TransferResult<()> {
         let now = Instant::now();
-        let mut inner = self.inner.lock();
+        let Some(stripe) = self.stripe_of_handle(handle) else {
+            return Ok(());
+        };
+        let mut inner = stripe.lock();
         self.expire_idle(&mut inner, now);
         if let Some(h) = inner.gets.get(handle) {
             if h.principal != principal {
                 return Err(TransferError::NotYourHandle(handle.to_owned()));
             }
             inner.gets.remove(handle);
+            self.release_slot();
             return Ok(());
         }
         let Some(h) = inner.puts.get(handle) else {
@@ -557,14 +690,17 @@ impl TransferTable {
         let owner = h.principal.clone();
         let freed = h.pending_bytes;
         inner.puts.remove(handle);
-        inner.buffered_bytes = inner.buffered_bytes.saturating_sub(freed);
+        self.release_slot();
+        if freed > 0 {
+            self.buffered_bytes.fetch_sub(freed, Ordering::AcqRel);
+        }
         Self::remember_completed(&mut inner, handle, 0, false);
         // Best effort: staging may already be gone if expiry raced.
         let _ = self.srb.rm(&owner, &staging);
         Ok(())
     }
 
-    fn remember_completed(inner: &mut TableInner, handle: &str, total: usize, committed: bool) {
+    fn remember_completed(inner: &mut StripeInner, handle: &str, total: usize, committed: bool) {
         if inner.completed.len() >= COMPLETED_MEMORY {
             inner.completed.pop_front();
         }
@@ -712,6 +848,18 @@ mod tests {
     }
 
     #[test]
+    fn handle_cap_reclaims_idle_slots_before_faulting() {
+        let (srb, _) = table();
+        let t = TransferTable::with_caps(srb, 2, DEFAULT_MAX_BUFFERED_BYTES);
+        t.open_get("u", "/data/src").unwrap();
+        t.open_get("u", "/data/src").unwrap();
+        // Both slots are held by now-idle handles: hitting the cap sweeps
+        // every stripe, so the open succeeds instead of faulting Busy.
+        t.set_idle_ttl(Duration::ZERO);
+        t.open_get("u", "/data/src").unwrap();
+    }
+
+    #[test]
     fn buffer_budget_is_busy() {
         let (srb, _) = table();
         let t = TransferTable::with_caps(srb, DEFAULT_MAX_HANDLES, 4);
@@ -746,6 +894,44 @@ mod tests {
             .map(|e| e.name)
             .collect();
         assert!(names.iter().all(|n| !n.starts_with(".part-")), "{names:?}");
+    }
+
+    #[test]
+    fn handles_spread_across_stripes_with_strict_global_accounting() {
+        let (srb, t) = table();
+        srb.put("u", "/data/big", &[7u8; 64]).unwrap();
+        // Mint more handles than stripes: ids are sequential so they land
+        // round-robin on every stripe, yet the global count stays exact.
+        let mut handles = Vec::new();
+        for _ in 0..(TRANSFER_STRIPES * 2) {
+            handles.push(t.open_get("u", "/data/big").unwrap().0);
+        }
+        assert_eq!(t.open_handles(), TRANSFER_STRIPES * 2);
+        for h in &handles {
+            assert_eq!(t.get_chunk("u", h, 0, 64).unwrap().len(), 64);
+            t.abort("u", h).unwrap();
+        }
+        assert_eq!(t.open_handles(), 0);
+        assert_eq!(t.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn expiry_releases_parked_bytes_to_the_global_budget() {
+        let (srb, _) = table();
+        let t = TransferTable::with_caps(srb, DEFAULT_MAX_HANDLES, 8);
+        let h = t.open_put("u", "/data/out").unwrap();
+        // Park 6 of the 8-byte budget out of order.
+        assert_eq!(t.put_chunk("u", &h, 10, b"xxxxxx").unwrap(), 0);
+        assert_eq!(t.buffered_bytes(), 6);
+        // Expire the handle: its parked bytes must come back to the budget
+        // or every future transfer would inherit a phantom reservation.
+        t.set_idle_ttl(Duration::ZERO);
+        assert_eq!(t.open_handles(), 0);
+        assert_eq!(t.buffered_bytes(), 0);
+        t.set_idle_ttl(DEFAULT_IDLE_TTL);
+        let h2 = t.open_put("u", "/data/out2").unwrap();
+        assert_eq!(t.put_chunk("u", &h2, 10, b"yyyyyy").unwrap(), 0);
+        assert_eq!(t.buffered_bytes(), 6);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //!   ([`chaos::ServerChaos`]), every decision replayable from a printed
 //!   seed and counted per fault class in [`stats`].
 
+pub mod arc_cell;
 pub mod chaos;
 pub mod http;
 pub mod pool;
@@ -39,6 +40,7 @@ pub mod server;
 pub mod stats;
 pub mod transport;
 
+pub use arc_cell::ArcCell;
 pub use chaos::{
     derive_seed, ChaosConfig, ChaosRng, ChaosTransport, SeededServerChaos, ServerChaos,
     ServerChaosConfig, ServerFault,
